@@ -1,0 +1,116 @@
+//! E1/E2 — inheritance-schema closure and community growth
+//! (DESIGN.md experiments for §3 of the paper).
+//!
+//! Expected shapes: ancestor closure is linear in the chain length;
+//! Δ-closure on object creation is linear in the number of derived
+//! aspects; community growth is quadratic overall (linear per object
+//! with the BTree insert log factor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use troll::data::{ObjectId, Value};
+use troll::kernel::{Community, Template, TemplateMorphism};
+use troll_bench::{chain_schema, tree_schema};
+
+fn bench_inheritance_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_inheritance_closure");
+    for n in [8usize, 32, 128] {
+        let chain = chain_schema(n);
+        group.bench_with_input(BenchmarkId::new("ancestors_chain", n), &n, |b, _| {
+            b.iter(|| black_box(chain.ancestors(&format!("t{}", n - 1))))
+        });
+        group.bench_with_input(BenchmarkId::new("is_a_chain", n), &n, |b, _| {
+            b.iter(|| black_box(chain.is_a(&format!("t{}", n - 1), "t0")))
+        });
+        group.bench_with_input(BenchmarkId::new("path_morphism_chain", n), &n, |b, _| {
+            b.iter(|| black_box(chain.path_morphism(&format!("t{}", n - 1), "t0")))
+        });
+    }
+    for depth in [3usize, 5, 7] {
+        let tree = tree_schema(depth);
+        let leaf = format!("n{}", tree.len());
+        group.bench_with_input(
+            BenchmarkId::new("ancestors_tree_depth", depth),
+            &depth,
+            |b, _| b.iter(|| black_box(tree.ancestors(&leaf))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_object_creation_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_object_creation");
+    for n in [8usize, 32, 128] {
+        let schema = chain_schema(n);
+        group.bench_with_input(
+            BenchmarkId::new("add_object_delta_closure", n),
+            &n,
+            |b, _| {
+                b.iter_batched(
+                    || Community::new(schema.clone()),
+                    |mut community| {
+                        community
+                            .add_object(
+                                ObjectId::new(format!("t{}", n - 1), vec![Value::from("x")]),
+                                &format!("t{}", n - 1),
+                            )
+                            .expect("identity fresh");
+                        black_box(community.len())
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_community_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_community_growth");
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("aggregate_n_parts", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut schema = chain_schema(2);
+                    schema.add_template(Template::named("part")).expect("fresh");
+                    let mut community = Community::new(schema);
+                    let parts: Vec<_> = (0..n)
+                        .map(|i| {
+                            community
+                                .add_object(
+                                    ObjectId::new("part", vec![Value::from(i as i64)]),
+                                    "part",
+                                )
+                                .expect("identity fresh")
+                        })
+                        .collect();
+                    (community, parts)
+                },
+                |(mut community, parts)| {
+                    let morphisms = parts
+                        .into_iter()
+                        .map(|p| (TemplateMorphism::identity_on("f", "t1", "part"), p))
+                        .collect();
+                    community
+                        .aggregate(
+                            ObjectId::new("t1", vec![Value::from("whole")]),
+                            "t1",
+                            morphisms,
+                        )
+                        .expect("valid aggregation");
+                    black_box(community.interactions().len())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inheritance_closure,
+    bench_object_creation_closure,
+    bench_community_growth
+);
+criterion_main!(benches);

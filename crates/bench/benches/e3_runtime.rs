@@ -1,0 +1,319 @@
+//! E3/E5 — event throughput, permission checking (including the
+//! DESIGN.md decision-2 ablation: full-history evaluation vs the
+//! incremental monitor) and event-calling propagation.
+//!
+//! Expected shapes: per-event cost grows linearly with the object's
+//! history length (the `sometime` permission scans the trace and the
+//! committed step snapshots the state); the incremental monitor is
+//! O(|φ|) per step regardless of history; calling propagation is linear
+//! in the transaction length.
+//!
+//! Methodology note: event execution mutates the base, so measuring a
+//! *successful* event per iteration would let the history grow during
+//! sampling. Successful-path benches therefore use `iter_batched` with
+//! reduced sample counts (setup cost is excluded from the measurement);
+//! the permission benches measure a **refused** event — permissions are
+//! fully evaluated, the step rolls back, and the base is unchanged,
+//! which allows unbatched, precise sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use troll::data::{MapEnv, Term, Value};
+use troll::temporal::{eval_now, EventPattern, Formula, Monitor};
+use troll::System;
+use troll_bench::{dept_base_with, person};
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_event_throughput");
+    group.sample_size(20);
+    // cost of one hire event as the standing history grows
+    for history in [4usize, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("hire_vs_history", history),
+            &history,
+            |b, _| {
+                b.iter_batched(
+                    || dept_base_with(1, history),
+                    |(mut ob, depts)| {
+                        ob.execute(&depts[0], "hire", vec![person(9999)])
+                            .expect("hire succeeds");
+                        black_box(ob.steps_executed());
+                        ob // dropped outside the measurement
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    // cost of one event as the number of co-resident objects grows
+    // (should be ~flat: execution touches one object)
+    for objects in [1usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("hire_vs_population", objects),
+            &objects,
+            |b, _| {
+                b.iter_batched(
+                    || dept_base_with(objects, 4),
+                    |(mut ob, depts)| {
+                        ob.execute(&depts[0], "hire", vec![person(9999)])
+                            .expect("hire succeeds");
+                        black_box(ob.steps_executed());
+                        ob // dropped outside the measurement
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_permission_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_permission_check");
+    // { sometime(after(hire(P))) } fire(P) — evaluated through the full
+    // engine against a never-hired person: the permission scans the
+    // entire history, the step is refused, and the base stays unchanged,
+    // so plain `iter` sampling is exact.
+    for history in [4usize, 32, 128, 256] {
+        let (mut ob, depts) = dept_base_with(1, history);
+        group.bench_with_input(
+            BenchmarkId::new("refused_fire_vs_history", history),
+            &history,
+            |b, _| {
+                b.iter(|| {
+                    let err = ob
+                        .execute(&depts[0], "fire", vec![person(999_999)])
+                        .expect_err("never hired");
+                    black_box(err)
+                })
+            },
+        );
+        // permitted fire of the earliest hire: same scan, worst case for
+        // the linear search (found at position 1); measured batched
+        // because success commits a step
+        group.sample_size(20);
+        group.bench_with_input(
+            BenchmarkId::new("granted_fire_vs_history", history),
+            &history,
+            |b, _| {
+                b.iter_batched(
+                    || dept_base_with(1, history),
+                    |(mut ob, depts)| {
+                        ob.execute(&depts[0], "fire", vec![person(0)])
+                            .expect("permitted");
+                        black_box(ob.steps_executed());
+                        ob // dropped outside the measurement
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation (DESIGN.md decision 2): evaluating
+/// `sometime(after(hire(P)))` by full-history scan vs the incremental
+/// monitor, on the same animator-produced trace.
+fn bench_monitor_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_ablation_monitor");
+    let formula = Formula::sometime(Formula::after(EventPattern::new(
+        "hire",
+        vec![Some(Term::var("P"))],
+    )));
+    for history in [16usize, 128, 512] {
+        let (ob, depts) = dept_base_with(1, history);
+        let trace = ob.instance(&depts[0]).expect("exists").trace().clone();
+        let mut env = MapEnv::new();
+        env.bind("P", person(history / 2));
+
+        group.bench_with_input(
+            BenchmarkId::new("full_history_eval", history),
+            &history,
+            |b, _| b.iter(|| black_box(eval_now(&formula, &trace, &env).expect("evaluates"))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental_monitor_step", history),
+            &history,
+            |b, _| {
+                // steady-state monitor: cost of ONE more step after the
+                // history was consumed (the quantity the runtime pays)
+                let mut monitor = Monitor::new(&formula).expect("monitorable");
+                for step in &trace {
+                    monitor.step(step, &env).expect("evaluates");
+                }
+                let last = trace.last().expect("nonempty").clone();
+                b.iter(|| {
+                    let mut m = monitor.clone();
+                    black_box(m.step(&last, &env).expect("evaluates"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_event_calling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_event_calling");
+    group.sample_size(30);
+    // transaction calling of growing length: e >> (e1; …; ek)
+    for fanout in [1usize, 8, 32] {
+        let calls: Vec<String> = (0..fanout).map(|i| format!("sub{i}")).collect();
+        let events: Vec<String> = (0..fanout).map(|i| format!("sub{i};")).collect();
+        let rules: Vec<String> = (0..fanout)
+            .map(|i| format!("[sub{i}] n = n + 1;"))
+            .collect();
+        let src = format!(
+            r#"
+object hub
+  template
+    attributes n: int;
+    events
+      birth init;
+      trigger;
+      {}
+    valuation
+      [init] n = 0;
+      {}
+    interaction
+      trigger >> ({});
+end object hub;
+"#,
+            events.join("\n      "),
+            rules.join("\n      "),
+            calls.join("; ")
+        );
+        let system = System::load_str(&src).expect("synthetic spec loads");
+        group.bench_with_input(
+            BenchmarkId::new("transaction_fanout", fanout),
+            &fanout,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        let mut ob = system.object_base().expect("base");
+                        let hub = ob.singleton("hub").expect("singleton");
+                        ob.execute(&hub, "init", vec![]).expect("init");
+                        (ob, hub)
+                    },
+                    |(mut ob, hub)| {
+                        let report = ob.execute(&hub, "trigger", vec![]).expect("fires");
+                        black_box(report.occurrences.len());
+                        ob
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    // cross-object global interaction: DEPT.new_manager >> PERSON.become_manager
+    let system = System::load_str(troll::specs::COMPANY).expect("shipped spec loads");
+    group.bench_function("global_interaction_step", |b| {
+        b.iter_batched(
+            || {
+                let mut ob = system.object_base().expect("base");
+                let bday = Value::Date(troll::data::Date::new(1960, 1, 1).expect("valid"));
+                let ada = ob
+                    .birth(
+                        "PERSON",
+                        vec![Value::from("ada"), bday],
+                        "create",
+                        vec![
+                            Value::Money(troll::data::Money::from_major(9000)),
+                            Value::from("R"),
+                        ],
+                    )
+                    .expect("person");
+                let toys = ob
+                    .birth(
+                        "DEPT",
+                        vec![Value::from("Toys")],
+                        "establishment",
+                        vec![Value::Date(
+                            troll::data::Date::new(1991, 1, 1).expect("valid"),
+                        )],
+                    )
+                    .expect("dept");
+                (ob, toys, ada)
+            },
+            |(mut ob, toys, ada)| {
+                let report = ob
+                    .execute(&toys, "new_manager", vec![Value::Id(ada)])
+                    .expect("appointment");
+                black_box(report.occurrences.len());
+                ob
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Ablation (DESIGN.md decision 1): the calling closure scans the
+/// class's interaction rules linearly per occurrence. Measures trigger
+/// cost as the number of *non-matching* rules grows — the case a
+/// trigger-indexed rule table would optimize.
+fn bench_rule_scan_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_ablation_rule_scan");
+    group.sample_size(30);
+    for rules in [1usize, 32, 128] {
+        let decls: Vec<String> = (0..rules).map(|i| format!("ev{i};")).collect();
+        let dead_rules: Vec<String> = (0..rules)
+            .map(|i| format!("ev{i} >> ev{i};"))
+            .collect();
+        let src = format!(
+            r#"
+object hub
+  template
+    attributes n: int;
+    events
+      birth init;
+      trigger;
+      bump;
+      {}
+    valuation
+      [init] n = 0;
+      [bump] n = n + 1;
+    interaction
+      trigger >> bump;
+      {}
+end object hub;
+"#,
+            decls.join("
+      "),
+            dead_rules.join("
+      ")
+        );
+        let system = System::load_str(&src).expect("synthetic spec loads");
+        group.bench_with_input(
+            BenchmarkId::new("nonmatching_rules", rules),
+            &rules,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        let mut ob = system.object_base().expect("base");
+                        let hub = ob.singleton("hub").expect("singleton");
+                        ob.execute(&hub, "init", vec![]).expect("init");
+                        (ob, hub)
+                    },
+                    |(mut ob, hub)| {
+                        let report = ob.execute(&hub, "trigger", vec![]).expect("fires");
+                        black_box(report.occurrences.len());
+                        ob
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_throughput,
+    bench_permission_check,
+    bench_monitor_ablation,
+    bench_event_calling,
+    bench_rule_scan_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! E6 — interface (view) evaluation vs population size.
+//!
+//! Expected shapes: projection and selection views are linear in the
+//! base population; the join view is O(|PERSON|·|DEPT|) pairs (here one
+//! department, so linear with a larger constant: each pair evaluates the
+//! membership predicate); derived-attribute views pay one derivation
+//! evaluation per row. E8 — module-guarded access adds only a set
+//! lookup over direct view evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use troll::System;
+use troll_bench::views_base_with;
+
+fn bench_view_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_view_eval");
+    for n in [8usize, 64, 256] {
+        let ob = views_base_with(n);
+        group.bench_with_input(BenchmarkId::new("projection", n), &n, |b, _| {
+            b.iter(|| black_box(ob.view("SAL_EMPLOYEE").expect("evaluates").len()))
+        });
+        group.bench_with_input(BenchmarkId::new("selection", n), &n, |b, _| {
+            b.iter(|| black_box(ob.view("RESEARCH_EMPLOYEE").expect("evaluates").len()))
+        });
+        group.bench_with_input(BenchmarkId::new("derived_attr", n), &n, |b, _| {
+            b.iter(|| black_box(ob.view("SAL_EMPLOYEE2").expect("evaluates").len()))
+        });
+        group.bench_with_input(BenchmarkId::new("join", n), &n, |b, _| {
+            b.iter(|| black_box(ob.view("WORKS_FOR").expect("evaluates").len()))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation (DESIGN.md decision 3): the WORKS_FOR join evaluated by the
+/// naive population-product nested loop vs the membership-indexed path.
+fn bench_join_ablation(c: &mut Criterion) {
+    use troll::runtime::JoinStrategy;
+    let mut group = c.benchmark_group("e6_ablation_join");
+    for n in [8usize, 64, 256] {
+        let ob = views_base_with(n);
+        group.bench_with_input(BenchmarkId::new("naive_product", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    ob.view_with_strategy("WORKS_FOR", JoinStrategy::Naive)
+                        .expect("evaluates")
+                        .len(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("membership_indexed", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    ob.view_with_strategy("WORKS_FOR", JoinStrategy::Indexed)
+                        .expect("evaluates")
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_module_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_module_access");
+    let system = System::load_str(troll::specs::MODULES).expect("shipped spec loads");
+    let modules = system.modules();
+    let personnel = modules.module("PERSONNEL").expect("declared");
+    let mut ob = system.object_base().expect("base");
+    for i in 0..64 {
+        ob.birth(
+            "PERSON",
+            vec![troll::data::Value::from(format!("p{i}"))],
+            "create",
+            vec![
+                troll::data::Value::Money(troll::data::Money::from_major(1000 + i)),
+                troll::data::Value::from("Research"),
+            ],
+        )
+        .expect("birth");
+    }
+    group.bench_function("direct_view", |b| {
+        b.iter(|| black_box(ob.view("SAL_EMPLOYEE").expect("evaluates").len()))
+    });
+    group.bench_function("guarded_view", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let guard = personnel
+                    .open("SALARY", &mut ob)
+                    .expect("schema exported");
+                black_box(guard.view("SAL_EMPLOYEE").expect("evaluates").len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_view_eval, bench_join_ablation, bench_module_access);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E7 — refinement checking cost vs scenario count and trace length.
+//!
+//! Expected shapes: linear in the total number of scenario steps (each
+//! step executes one abstract and one concrete event and compares the
+//! observation vector); behaviour simulation is a small constant on the
+//! free templates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use troll::refine::{check_refinement, Implementation, Scenario, ValuePool};
+use troll::System;
+
+fn bench_refinement_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_refinement_check");
+    group.sample_size(20);
+    let system = System::load_str(troll::specs::EMPLOYMENT).expect("shipped spec loads");
+    let model = system.model().clone();
+    let setup = |ob: &mut troll::runtime::ObjectBase| {
+        let rel = ob.singleton("emp_rel").expect("singleton");
+        ob.execute(&rel, "CreateEmpRel", vec![])?;
+        Ok(())
+    };
+    let imp = Implementation::new("EMPLOYEE", "EMPL_IMPL").with_interface("EMPL");
+
+    for scenario_count in [2usize, 8, 24] {
+        let scenarios = Scenario::generate(
+            &model.classes["EMPLOYEE"],
+            &ValuePool::default(),
+            scenario_count,
+            6,
+            1991,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scenarios", scenario_count),
+            &scenario_count,
+            |b, _| {
+                b.iter(|| {
+                    let report = check_refinement(&model, &imp, &scenarios, &setup)
+                        .expect("check runs");
+                    assert!(report.is_refinement());
+                    black_box(report.steps_checked)
+                })
+            },
+        );
+    }
+    for trace_len in [2usize, 8, 24] {
+        let scenarios = Scenario::generate(
+            &model.classes["EMPLOYEE"],
+            &ValuePool::default(),
+            4,
+            trace_len,
+            1991,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("trace_length", trace_len),
+            &trace_len,
+            |b, _| {
+                b.iter(|| {
+                    let report = check_refinement(&model, &imp, &scenarios, &setup)
+                        .expect("check runs");
+                    black_box(report.steps_checked)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement_check);
+criterion_main!(benches);

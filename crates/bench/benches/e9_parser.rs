@@ -1,0 +1,45 @@
+//! E9 — front-end throughput: lexing+parsing and full analysis of the
+//! shipped paper corpus and synthetic specs of growing size.
+//!
+//! Expected shapes: parsing is linear in source length; analysis is
+//! linear in the number of declarations (name tables are BTreeMaps, so
+//! with a log factor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use troll_bench::synthetic_spec;
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_paper_corpus");
+    for (name, src) in troll::specs::ALL {
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_with_input(BenchmarkId::new("parse", name), src, |b, src| {
+            b.iter(|| black_box(troll::lang::parse(src).expect("corpus parses")))
+        });
+        group.bench_with_input(BenchmarkId::new("parse_and_analyze", name), src, |b, src| {
+            b.iter(|| {
+                let spec = troll::lang::parse(src).expect("corpus parses");
+                black_box(troll::lang::analyze(&spec).expect("corpus analyzes"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_synthetic_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_synthetic_scaling");
+    for n in [4usize, 16, 64] {
+        let src = synthetic_spec(n);
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_with_input(BenchmarkId::new("classes", n), &src, |b, src| {
+            b.iter(|| {
+                let spec = troll::lang::parse(src).expect("synthetic parses");
+                black_box(troll::lang::analyze(&spec).expect("synthetic analyzes"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus, bench_synthetic_scaling);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! The `troll` command-line tool: check, format, inspect and animate
+//! TROLL specifications.
+//!
+//! ```text
+//! troll check <file.troll>…       parse + analyze, report errors
+//! troll fmt <file.troll>          print the normalized source
+//! troll info <file.troll>         summarize classes/interfaces/modules
+//! troll graph <file.troll>        emit a Graphviz DOT system diagram
+//! troll animate <file> <script>   run an animation script
+//! ```
+//!
+//! Animation scripts are line-oriented; `--` starts a comment. Terms use
+//! TROLL expression syntax, identities the `|CLASS|(key…)` literal form:
+//!
+//! ```text
+//! birth DEPT ("Toys") establishment (date(1991,10,16))
+//! exec  |DEPT|("Toys") hire (|PERSON|("ada"))
+//! show  |DEPT|("Toys") employees
+//! view  SAL_EMPLOYEE
+//! call  SAL_EMPLOYEE |PERSON|("ada") IncreaseSalary ()
+//! obligations |TASK|("t1")
+//! tick
+//! ```
+
+use std::process::ExitCode;
+use troll::System;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") if args.len() >= 2 => cmd_check(&args[1..]),
+        Some("fmt") if args.len() == 2 => cmd_fmt(&args[1]),
+        Some("info") if args.len() == 2 => cmd_info(&args[1]),
+        Some("graph") if args.len() == 2 => cmd_graph(&args[1]),
+        Some("animate") if args.len() == 3 => cmd_animate(&args[1], &args[2]),
+        _ => {
+            eprintln!(
+                "usage: troll check <file>… | fmt <file> | info <file> | graph <file> | animate <file> <script>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_check(files: &[String]) -> Result<(), String> {
+    let mut failed = false;
+    for file in files {
+        match System::load_file(file) {
+            Ok(system) => {
+                println!(
+                    "{file}: ok ({} classes, {} interfaces, {} modules)",
+                    system.model().classes.len(),
+                    system.model().interfaces.len(),
+                    system.model().modules.len()
+                );
+            }
+            Err(e) => {
+                println!("{file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        Err("some files failed to check".into())
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_fmt(file: &str) -> Result<(), String> {
+    let source = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let spec = troll::lang::parse(&source).map_err(|e| format!("{file}: {e}"))?;
+    print!("{}", troll::lang::pretty::print_spec(&spec));
+    Ok(())
+}
+
+fn cmd_graph(file: &str) -> Result<(), String> {
+    let system = System::load_file(file).map_err(|e| format!("{file}: {e}"))?;
+    print!("{}", troll::lang::graph::to_dot(system.model()));
+    Ok(())
+}
+
+fn cmd_info(file: &str) -> Result<(), String> {
+    let system = System::load_file(file).map_err(|e| format!("{file}: {e}"))?;
+    let model = system.model();
+    for (name, class) in &model.classes {
+        let kind = if class.singleton { "object" } else { "object class" };
+        let view = match &class.view {
+            Some((base, troll::lang::ViewKind::Phase)) => format!(" (phase of {base})"),
+            Some((base, troll::lang::ViewKind::Specialization)) => {
+                format!(" (specialization of {base})")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{kind} {name}{view}: {} attributes, {} events, {} valuation rules, {} permissions, {} constraints, {} interactions",
+            class.template.signature().attributes().count(),
+            class.template.signature().events().len(),
+            class.valuation.len(),
+            class.permissions.len(),
+            class.constraints.len(),
+            class.interactions.len(),
+        );
+    }
+    for (name, iface) in &model.interfaces {
+        let bases: Vec<&str> = iface.bases.iter().map(|(c, _)| c.as_str()).collect();
+        let kind = if iface.is_join() { "join view" } else { "view" };
+        println!(
+            "interface {name} ({kind} of {}): {} attributes, {} events{}",
+            bases.join(", "),
+            iface.attributes.len(),
+            iface.events.len(),
+            if iface.selection.is_some() {
+                ", with selection"
+            } else {
+                ""
+            }
+        );
+    }
+    for (name, module) in &model.modules {
+        println!(
+            "module {name}: conceptual {:?}, internal {:?}, exports {:?}",
+            module.conceptual,
+            module.internal,
+            module
+                .external
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>()
+        );
+    }
+    if !model.global_interactions.is_empty() {
+        println!("{} global interaction rule(s)", model.global_interactions.len());
+    }
+    Ok(())
+}
+
+fn cmd_animate(file: &str, script: &str) -> Result<(), String> {
+    let system = System::load_file(file).map_err(|e| format!("{file}: {e}"))?;
+    let mut ob = system.object_base().map_err(|e| e.to_string())?;
+    let script_text =
+        std::fs::read_to_string(script).map_err(|e| format!("{script}: {e}"))?;
+    let outcomes = troll::script::run_script(&mut ob, &script_text)
+        .map_err(|e| format!("{script}:{e}"))?;
+    for outcome in outcomes {
+        println!("{outcome}");
+    }
+    Ok(())
+}

@@ -1,0 +1,285 @@
+//! # troll — executable object-oriented specification and stepwise
+//! refinement
+//!
+//! A complete, executable reproduction of
+//!
+//! > Gunter Saake, Ralf Jungclaus, Hans-Dieter Ehrich.
+//! > *Object-Oriented Specification and Stepwise Refinement* (1991).
+//!
+//! This facade crate ties the substrates together into one pipeline:
+//!
+//! ```text
+//! TROLL source ──parse──▶ AST ──analyze──▶ SystemModel ──▶ ObjectBase (animate)
+//!                                              │                │
+//!                                              ├──▶ Community / InheritanceSchema (object model)
+//!                                              ├──▶ Module / GuardedBase (schema architecture)
+//!                                              └──▶ check_refinement (stepwise refinement)
+//! ```
+//!
+//! The individual layers are re-exported as modules:
+//!
+//! * [`data`] — abstract data types, terms, query algebra;
+//! * [`temporal`] — temporal logic over object histories;
+//! * [`process`] — templates as processes, simulation, event sharing;
+//! * [`kernel`] — templates, aspects, morphisms, inheritance schemas,
+//!   object communities;
+//! * [`lang`] — the TROLL language front-end;
+//! * [`runtime`] — the object base / animator;
+//! * [`refine`] — refinement checking and the three-level schema
+//!   architecture.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use troll::System;
+//! use troll::data::Value;
+//!
+//! let system = System::load_str(troll::specs::DEPT)?;
+//! let mut ob = system.object_base()?;
+//!
+//! let d = troll::data::Date::new(1991, 10, 16)?;
+//! let toys = ob.birth("DEPT", vec![Value::from("Toys")],
+//!                     "establishment", vec![Value::Date(d)])?;
+//! let ada = Value::Id(troll::data::ObjectId::new(
+//!     "PERSON", vec![Value::from("ada")]));
+//! ob.execute(&toys, "hire", vec![ada.clone()])?;
+//! ob.execute(&toys, "fire", vec![ada])?;
+//! ob.execute(&toys, "closure", vec![])?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod script;
+
+pub use troll_data as data;
+pub use troll_kernel as kernel;
+pub use troll_lang as lang;
+pub use troll_process as process;
+pub use troll_refine as refine;
+pub use troll_runtime as runtime;
+pub use troll_temporal as temporal;
+
+use std::fmt;
+use std::path::Path;
+
+/// The specification corpus shipped with the library: every worked
+/// example of the paper as a TROLL source, used by the examples, the
+/// integration tests and the benchmark harness.
+pub mod specs {
+    /// §4 — the `DEPT` object class (quickstart; experiment E3).
+    pub const DEPT: &str = include_str!("../../../specs/dept.troll");
+    /// §4 — PERSON/MANAGER phase, DEPT, TheCompany, global interactions
+    /// (experiments E3–E5).
+    pub const COMPANY: &str = include_str!("../../../specs/company.troll");
+    /// §5.2 — EMPLOYEE / emp_rel / EMPL_IMPL / EMPL (experiment E7).
+    pub const EMPLOYMENT: &str = include_str!("../../../specs/employment.troll");
+    /// §5.1 — the four interface classes (experiment E6).
+    pub const VIEWS: &str = include_str!("../../../specs/views.troll");
+    /// §6 — module declarations for the three-level architecture
+    /// (experiment E8).
+    pub const MODULES: &str = include_str!("../../../specs/modules.troll");
+    /// An original library-domain system exercising the full feature
+    /// set (permissions, phases, obligations, join views, modules).
+    pub const LIBRARY: &str = include_str!("../../../specs/library.troll");
+    /// §6.1 — the shared system clock with time-triggered activities.
+    pub const CLOCK: &str = include_str!("../../../specs/clock.troll");
+
+    /// Every shipped spec with its name (for corpus-wide tests and the
+    /// parser benchmark E9).
+    pub const ALL: &[(&str, &str)] = &[
+        ("dept", DEPT),
+        ("company", COMPANY),
+        ("employment", EMPLOYMENT),
+        ("views", VIEWS),
+        ("modules", MODULES),
+        ("library", LIBRARY),
+        ("clock", CLOCK),
+    ];
+}
+
+/// Top-level error: any failure along the pipeline.
+#[derive(Debug)]
+pub enum TrollError {
+    /// Lexing/parsing/analysis failure.
+    Lang(lang::LangError),
+    /// Execution failure.
+    Runtime(runtime::RuntimeError),
+    /// Refinement/module failure.
+    Refine(refine::RefineError),
+    /// Object-model failure.
+    Kernel(kernel::KernelError),
+    /// File system failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TrollError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrollError::Lang(e) => write!(f, "language error: {e}"),
+            TrollError::Runtime(e) => write!(f, "runtime error: {e}"),
+            TrollError::Refine(e) => write!(f, "refinement error: {e}"),
+            TrollError::Kernel(e) => write!(f, "object model error: {e}"),
+            TrollError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrollError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrollError::Lang(e) => Some(e),
+            TrollError::Runtime(e) => Some(e),
+            TrollError::Refine(e) => Some(e),
+            TrollError::Kernel(e) => Some(e),
+            TrollError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<lang::LangError> for TrollError {
+    fn from(e: lang::LangError) -> Self {
+        TrollError::Lang(e)
+    }
+}
+
+impl From<runtime::RuntimeError> for TrollError {
+    fn from(e: runtime::RuntimeError) -> Self {
+        TrollError::Runtime(e)
+    }
+}
+
+impl From<refine::RefineError> for TrollError {
+    fn from(e: refine::RefineError) -> Self {
+        TrollError::Refine(e)
+    }
+}
+
+impl From<kernel::KernelError> for TrollError {
+    fn from(e: kernel::KernelError) -> Self {
+        TrollError::Kernel(e)
+    }
+}
+
+impl From<std::io::Error> for TrollError {
+    fn from(e: std::io::Error) -> Self {
+        TrollError::Io(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, TrollError>;
+
+/// A loaded, analyzed TROLL system: the entry point of the pipeline.
+#[derive(Debug, Clone)]
+pub struct System {
+    model: lang::SystemModel,
+}
+
+impl System {
+    /// Parses and analyzes TROLL source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax or analysis error.
+    pub fn load_str(source: &str) -> Result<Self> {
+        let spec = lang::parse(source)?;
+        let model = lang::analyze(&spec)?;
+        Ok(System { model })
+    }
+
+    /// Reads, parses and analyzes a `.troll` file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors plus everything [`System::load_str`] reports.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<Self> {
+        let source = std::fs::read_to_string(path)?;
+        Self::load_str(&source)
+    }
+
+    /// The analyzed model.
+    pub fn model(&self) -> &lang::SystemModel {
+        &self.model
+    }
+
+    /// Creates a fresh object base ready to animate this system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates object-base construction failures.
+    pub fn object_base(&self) -> Result<runtime::ObjectBase> {
+        Ok(runtime::ObjectBase::new(self.model.clone())?)
+    }
+
+    /// Builds the module system from the specification's `module`
+    /// declarations.
+    pub fn modules(&self) -> refine::ModuleSystem {
+        let mut sys = refine::ModuleSystem::new();
+        for m in self.model.modules.values() {
+            sys.add(refine::Module::from_model(m));
+        }
+        sys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_shipped_specs_load() {
+        for (name, src) in specs::ALL {
+            let system = System::load_str(src)
+                .unwrap_or_else(|e| panic!("spec `{name}` failed to load: {e}"));
+            assert!(
+                !system.model().classes.is_empty(),
+                "spec `{name}` has no classes"
+            );
+        }
+    }
+
+    #[test]
+    fn load_file_round_trip() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../specs/dept.troll");
+        let system = System::load_file(dir).unwrap();
+        assert!(system.model().class("DEPT").is_some());
+        assert!(matches!(
+            System::load_file("/nonexistent/path.troll").unwrap_err(),
+            TrollError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn error_conversions_and_display() {
+        let e: TrollError = lang::LangError::new(1, 2, "boom").into();
+        assert!(e.to_string().contains("language error"));
+        let e: TrollError = runtime::RuntimeError::UnknownClass("X".into()).into();
+        assert!(e.to_string().contains("runtime error"));
+        let e: TrollError = refine::RefineError::UnknownModule("M".into()).into();
+        assert!(e.to_string().contains("refinement error"));
+        let e: TrollError = kernel::KernelError::UnknownTemplate("T".into()).into();
+        assert!(e.to_string().contains("object model error"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn modules_from_spec() {
+        let system = System::load_str(specs::MODULES).unwrap();
+        let sys = system.modules();
+        assert!(sys.module("PERSONNEL").is_some());
+        assert!(sys.module("PAYROLL").is_some());
+        assert!(sys.validate(system.model()).is_empty());
+    }
+
+    #[test]
+    fn bad_source_reports_lang_error() {
+        assert!(matches!(
+            System::load_str("object class Broken").unwrap_err(),
+            TrollError::Lang(_)
+        ));
+    }
+}

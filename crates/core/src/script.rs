@@ -1,0 +1,378 @@
+//! Line-oriented animation scripts: a tiny command language for driving
+//! an [`ObjectBase`] — used by `troll animate` and handy in tests.
+//!
+//! Commands (`--` starts a comment; terms use TROLL expression syntax,
+//! identities the `|CLASS|(key…)` literal form):
+//!
+//! ```text
+//! birth CLASS (key…) birth_event (args…)
+//! exec  |CLASS|(key…) event (args…)
+//! show  |CLASS|(key…) attribute
+//! view  INTERFACE
+//! call  INTERFACE |CLASS|(key…) event (args…)
+//! obligations |CLASS|(key…)
+//! tick
+//! ```
+
+use crate::runtime::ObjectBase;
+use std::collections::BTreeMap;
+use troll_data::{MapEnv, ObjectId, Value};
+
+/// The outcome of one script command, for display or assertion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// `birth` — the new identity.
+    Born(ObjectId),
+    /// `exec`/`call` — number of synchronous events committed.
+    Executed(usize),
+    /// `show` — the attribute observation.
+    Observation {
+        /// The instance read.
+        id: ObjectId,
+        /// Attribute name.
+        attribute: String,
+        /// Observed value.
+        value: Value,
+    },
+    /// `view` — interface name and its rows rendered as strings.
+    View {
+        /// Interface name.
+        interface: String,
+        /// One rendered line per row.
+        rows: Vec<String>,
+    },
+    /// `obligations` — (formula, discharged) pairs.
+    Obligations(Vec<(String, bool)>),
+    /// `tick` — number of active steps fired.
+    Ticked(usize),
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Born(id) => write!(f, "born {id}"),
+            Outcome::Executed(n) => write!(f, "executed {n} event(s)"),
+            Outcome::Observation {
+                id,
+                attribute,
+                value,
+            } => write!(f, "{id}.{attribute} = {value}"),
+            Outcome::View { interface, rows } => {
+                writeln!(f, "{interface} ({} rows)", rows.len())?;
+                for r in rows {
+                    writeln!(f, "  {r}")?;
+                }
+                Ok(())
+            }
+            Outcome::Obligations(status) => {
+                for (formula, discharged) in status {
+                    let s = if *discharged { "discharged" } else { "OPEN" };
+                    writeln!(f, "  [{s}] {formula}")?;
+                }
+                Ok(())
+            }
+            Outcome::Ticked(n) => write!(f, "tick: {n} active step(s)"),
+        }
+    }
+}
+
+/// Runs a whole script; stops at the first failing line.
+///
+/// # Errors
+///
+/// Returns `line-number: message` for the offending line.
+pub fn run_script(ob: &mut ObjectBase, script: &str) -> Result<Vec<Outcome>, String> {
+    let mut outcomes = Vec::new();
+    for (lineno, raw) in script.lines().enumerate() {
+        let line = raw.split("--").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let outcome =
+            run_command(ob, line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        outcomes.push(outcome);
+    }
+    Ok(outcomes)
+}
+
+/// Runs a single script command.
+///
+/// # Errors
+///
+/// Returns a human-readable message on parse or execution failure.
+pub fn run_command(ob: &mut ObjectBase, line: &str) -> Result<Outcome, String> {
+    let tokens = split_top_level(line);
+    match tokens.first().map(String::as_str) {
+        Some("birth") if tokens.len() == 5 => {
+            let key = parse_term_list(&tokens[2])?;
+            let args = parse_term_list(&tokens[4])?;
+            let id = ob
+                .birth(&tokens[1], key, &tokens[3], args)
+                .map_err(|e| e.to_string())?;
+            Ok(Outcome::Born(id))
+        }
+        Some("exec") if tokens.len() == 4 => {
+            let id = parse_identity(&tokens[1])?;
+            let args = parse_term_list(&tokens[3])?;
+            let report = ob
+                .execute(&id, &tokens[2], args)
+                .map_err(|e| e.to_string())?;
+            Ok(Outcome::Executed(report.occurrences.len()))
+        }
+        Some("show") if tokens.len() == 3 => {
+            let id = parse_identity(&tokens[1])?;
+            let value = ob.attribute(&id, &tokens[2]).map_err(|e| e.to_string())?;
+            Ok(Outcome::Observation {
+                id,
+                attribute: tokens[2].clone(),
+                value,
+            })
+        }
+        Some("view") if tokens.len() == 2 => {
+            let v = ob.view(&tokens[1]).map_err(|e| e.to_string())?;
+            let rows = v
+                .rows
+                .iter()
+                .map(|row| {
+                    row.attributes
+                        .iter()
+                        .map(|(k, val)| format!("{k} = {val}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                })
+                .collect();
+            Ok(Outcome::View {
+                interface: tokens[1].clone(),
+                rows,
+            })
+        }
+        Some("call") if tokens.len() == 5 => {
+            let interface = tokens[1].clone();
+            let id = parse_identity(&tokens[2])?;
+            let args = parse_term_list(&tokens[4])?;
+            let iface = ob
+                .model()
+                .interface(&interface)
+                .ok_or_else(|| format!("unknown interface `{interface}`"))?;
+            let var = iface
+                .bases
+                .first()
+                .map(|(_, v)| v.clone())
+                .ok_or("interface has no base")?;
+            let bindings: BTreeMap<String, ObjectId> = [(var, id)].into();
+            let report = ob
+                .view_call(&interface, &bindings, &tokens[3], args)
+                .map_err(|e| e.to_string())?;
+            Ok(Outcome::Executed(report.occurrences.len()))
+        }
+        Some("obligations") if tokens.len() == 2 => {
+            let id = parse_identity(&tokens[1])?;
+            let status = ob.check_obligations(&id).map_err(|e| e.to_string())?;
+            Ok(Outcome::Obligations(status))
+        }
+        Some("tick") if tokens.len() == 1 => {
+            let reports = ob.tick().map_err(|e| e.to_string())?;
+            Ok(Outcome::Ticked(reports.len()))
+        }
+        _ => Err(format!("unrecognized command `{line}`")),
+    }
+}
+
+/// Splits a line into top-level tokens: whitespace separates, but
+/// parentheses/brackets/braces/quotes group.
+fn split_top_level(line: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut depth = 0usize;
+    let mut quote: Option<char> = None;
+    for c in line.chars() {
+        match quote {
+            Some(q) => {
+                current.push(c);
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' => {
+                    current.push(c);
+                    quote = Some(c);
+                }
+                '(' | '[' | '{' => {
+                    depth += 1;
+                    current.push(c);
+                }
+                ')' | ']' | '}' => {
+                    depth = depth.saturating_sub(1);
+                    current.push(c);
+                }
+                c if c.is_whitespace() && depth == 0 => {
+                    if !current.is_empty() {
+                        tokens.push(std::mem::take(&mut current));
+                    }
+                }
+                c => current.push(c),
+            },
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Parses `(t1, t2, …)` into evaluated values; `()` is empty.
+fn parse_term_list(group: &str) -> Result<Vec<Value>, String> {
+    let inner = group
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| format!("expected a parenthesized argument list, found `{group}`"))?;
+    if inner.trim().is_empty() {
+        return Ok(vec![]);
+    }
+    let term =
+        crate::lang::parse_term(&format!("[{inner}]")).map_err(|e| e.to_string())?;
+    match term.eval(&MapEnv::new()).map_err(|e| e.to_string())? {
+        Value::List(items) => Ok(items),
+        other => Err(format!("argument list evaluated to non-list {other}")),
+    }
+}
+
+/// Parses and evaluates an identity literal `|CLASS|(key…)`.
+fn parse_identity(text: &str) -> Result<ObjectId, String> {
+    let term = crate::lang::parse_term(text).map_err(|e| e.to_string())?;
+    match term.eval(&MapEnv::new()).map_err(|e| e.to_string())? {
+        Value::Id(id) => Ok(id),
+        other => Err(format!("expected an identity literal, found {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::System;
+
+    fn base() -> ObjectBase {
+        System::load_str(crate::specs::DEPT)
+            .unwrap()
+            .object_base()
+            .unwrap()
+    }
+
+    #[test]
+    fn full_script_session() {
+        let mut ob = base();
+        let outcomes = run_script(
+            &mut ob,
+            r#"
+-- establish and staff a department
+birth DEPT ("Toys") establishment (date(1991,10,16))
+exec |DEPT|("Toys") hire (|PERSON|("ada"))
+exec |DEPT|("Toys") hire (|PERSON|("bob"))
+show |DEPT|("Toys") employees
+exec |DEPT|("Toys") fire (|PERSON|("ada"))
+exec |DEPT|("Toys") fire (|PERSON|("bob"))
+exec |DEPT|("Toys") closure ()
+tick
+"#,
+        )
+        .unwrap();
+        assert_eq!(outcomes.len(), 8);
+        assert!(matches!(outcomes[0], Outcome::Born(_)));
+        match &outcomes[3] {
+            Outcome::Observation { value, .. } => {
+                assert_eq!(value.as_set().unwrap().len(), 2)
+            }
+            other => panic!("expected observation, got {other:?}"),
+        }
+        assert_eq!(outcomes[7], Outcome::Ticked(0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut ob = base();
+        let err = run_script(
+            &mut ob,
+            "birth DEPT (\"Toys\") establishment (date(1991,10,16))\nexec |DEPT|(\"Toys\") explode ()",
+        )
+        .unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        // permission refusal is an error too
+        let err = run_script(
+            &mut ob,
+            "exec |DEPT|(\"Toys\") fire (|PERSON|(\"never\"))",
+        )
+        .unwrap_err();
+        assert!(err.contains("not permitted"), "{err}");
+    }
+
+    #[test]
+    fn malformed_commands_rejected() {
+        let mut ob = base();
+        assert!(run_command(&mut ob, "frobnicate").is_err());
+        assert!(run_command(&mut ob, "exec DEPT hire").is_err());
+        assert!(run_command(&mut ob, "show 42 x").is_err());
+        assert!(run_command(&mut ob, "birth DEPT Toys establishment ()").is_err());
+    }
+
+    #[test]
+    fn view_and_call_commands() {
+        let system = System::load_str(crate::specs::VIEWS).unwrap();
+        let mut ob = system.object_base().unwrap();
+        run_script(
+            &mut ob,
+            r#"
+birth PERSON ("ada") create (4000.00, "Research")
+view SAL_EMPLOYEE
+call SAL_EMPLOYEE2 |PERSON|("ada") IncreaseSalary ()
+show |PERSON|("ada") Salary
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            ob.attribute(
+                &ObjectId::new("PERSON", vec![Value::from("ada")]),
+                "Salary"
+            )
+            .unwrap(),
+            Value::Money(troll_data::Money::from_major(4400))
+        );
+    }
+
+    #[test]
+    fn splitter_respects_nesting_and_quotes() {
+        assert_eq!(
+            split_top_level(r#"exec |DEPT|("a b") hire (|P|("x", [1, 2]))"#),
+            vec![
+                "exec".to_string(),
+                r#"|DEPT|("a b")"#.to_string(),
+                "hire".to_string(),
+                r#"(|P|("x", [1, 2]))"#.to_string(),
+            ]
+        );
+        assert!(split_top_level("").is_empty());
+    }
+}
+
+#[cfg(test)]
+mod demo_session_tests {
+    use super::*;
+    use crate::System;
+
+    /// The demo session shipped in docs/ runs cleanly against the DEPT
+    /// spec — keeps the documented CLI walkthrough honest.
+    #[test]
+    fn shipped_demo_session_runs() {
+        let script = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../../docs/demo_session.txt"),
+        )
+        .expect("demo session exists");
+        let mut ob = System::load_str(crate::specs::DEPT)
+            .unwrap()
+            .object_base()
+            .unwrap();
+        let outcomes = run_script(&mut ob, &script).expect("demo session runs");
+        assert!(outcomes.len() >= 8);
+    }
+}

@@ -1,0 +1,197 @@
+//! Calendar dates — the `date` data type of the paper's examples
+//! (`est_date: date`, `birthdate: date`, `ebirth: date`).
+
+use crate::DataError;
+use std::fmt;
+use std::str::FromStr;
+
+/// A proleptic Gregorian calendar date.
+///
+/// TROLL specifications use `date` as an opaque base sort with equality
+/// and ordering (department establishment dates, person birthdates).
+/// We implement a real calendar so examples can construct and compare
+/// meaningful dates.
+///
+/// # Example
+///
+/// ```
+/// use troll_data::Date;
+/// let d = Date::new(1991, 10, 16)?;
+/// assert!(d < Date::new(2026, 7, 5)?);
+/// assert_eq!(d.to_string(), "1991-10-16");
+/// # Ok::<(), troll_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl Date {
+    /// Creates a date, validating the month and day against the calendar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidDate`] if `month` is not in `1..=12` or
+    /// `day` is not valid for the given month/year (leap years are
+    /// handled).
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, DataError> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return Err(DataError::InvalidDate { year, month, day });
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// The year component.
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    /// The month component (1–12).
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    /// The day-of-month component (1–31).
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Number of days since the epoch 0000-03-01 (useful for date
+    /// arithmetic and ordering proofs in tests).
+    pub fn day_number(&self) -> i64 {
+        // Standard civil-from-days inverse (Howard Hinnant's algorithm).
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let mp = i64::from((self.month + 9) % 12);
+        let doy = (153 * mp + 2) / 5 + i64::from(self.day) - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe
+    }
+
+    /// Returns the date `n` days later (or earlier for negative `n`).
+    pub fn plus_days(&self, n: i64) -> Date {
+        let z = self.day_number() + n;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+        let m = ((mp + 2) % 12 + 1) as u8;
+        let y = (y + i64::from(m <= 2)) as i32;
+        Date {
+            year: y,
+            month: m,
+            day: d,
+        }
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl FromStr for Date {
+    type Err = DataError;
+
+    /// Parses `YYYY-MM-DD`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || DataError::InvalidDate {
+            year: 0,
+            month: 0,
+            day: 0,
+        };
+        let mut parts = s.splitn(3, '-');
+        let year: i32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let month: u8 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let day: u8 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        Date::new(year, month, day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn valid_and_invalid_dates() {
+        assert!(Date::new(1991, 10, 16).is_ok());
+        assert!(Date::new(2024, 2, 29).is_ok()); // leap year
+        assert!(Date::new(2023, 2, 29).is_err());
+        assert!(Date::new(2023, 13, 1).is_err());
+        assert!(Date::new(2023, 0, 1).is_err());
+        assert!(Date::new(2023, 4, 31).is_err());
+        assert!(Date::new(2000, 2, 29).is_ok()); // 400-year leap
+        assert!(Date::new(1900, 2, 29).is_err()); // 100-year non-leap
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        let a = Date::new(1991, 10, 16).unwrap();
+        let b = Date::new(1991, 11, 1).unwrap();
+        let c = Date::new(1992, 1, 1).unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let d: Date = "1991-10-16".parse().unwrap();
+        assert_eq!(d, Date::new(1991, 10, 16).unwrap());
+        assert_eq!(d.to_string().parse::<Date>().unwrap(), d);
+        assert!("not-a-date".parse::<Date>().is_err());
+        assert!("1991-13-01".parse::<Date>().is_err());
+    }
+
+    #[test]
+    fn plus_days_crosses_boundaries() {
+        let d = Date::new(1991, 12, 31).unwrap();
+        assert_eq!(d.plus_days(1), Date::new(1992, 1, 1).unwrap());
+        assert_eq!(d.plus_days(-365), Date::new(1990, 12, 31).unwrap());
+        let leap = Date::new(2024, 2, 28).unwrap();
+        assert_eq!(leap.plus_days(1), Date::new(2024, 2, 29).unwrap());
+        assert_eq!(leap.plus_days(2), Date::new(2024, 3, 1).unwrap());
+    }
+
+    proptest! {
+        #[test]
+        fn day_number_is_strictly_monotone(y in 1800i32..2200, m in 1u8..=12, d in 1u8..=28, n in 1i64..1000) {
+            let date = Date::new(y, m, d).unwrap();
+            let later = date.plus_days(n);
+            prop_assert!(later > date);
+            prop_assert_eq!(later.day_number() - date.day_number(), n);
+        }
+
+        #[test]
+        fn plus_days_round_trips(y in 1800i32..2200, m in 1u8..=12, d in 1u8..=28, n in -10000i64..10000) {
+            let date = Date::new(y, m, d).unwrap();
+            prop_assert_eq!(date.plus_days(n).plus_days(-n), date);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Error type for data-level operations.
+
+use std::fmt;
+
+/// Error raised by evaluation of data terms and built-in operations.
+///
+/// TROLL data terms are strongly sorted; evaluation only fails on genuine
+/// sort errors (applying an operation to values outside its domain),
+/// references to unbound variables, or partial operations applied outside
+/// their domain (e.g. division by zero, `head` of an empty list).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// An operation was applied to values of the wrong sort.
+    SortMismatch {
+        /// The operation (or context) that failed.
+        context: String,
+        /// Human-readable description of what was expected.
+        expected: String,
+        /// Debug rendering of the offending value.
+        found: String,
+    },
+    /// A variable was referenced that is not bound in the environment.
+    UnboundVariable(String),
+    /// A tuple field was accessed that does not exist.
+    NoSuchField {
+        /// The field name looked up.
+        field: String,
+        /// The fields that do exist on the tuple.
+        available: Vec<String>,
+    },
+    /// A partial operation was applied outside its domain.
+    Undefined(String),
+    /// Arithmetic overflowed the underlying machine representation.
+    Overflow(String),
+    /// An operation was applied with the wrong number of arguments.
+    Arity {
+        /// The operation name.
+        op: String,
+        /// Number of arguments expected.
+        expected: usize,
+        /// Number of arguments supplied.
+        found: usize,
+    },
+    /// An invalid date was constructed.
+    InvalidDate {
+        /// Year component.
+        year: i32,
+        /// Month component.
+        month: u8,
+        /// Day component.
+        day: u8,
+    },
+}
+
+impl DataError {
+    /// Convenience constructor for [`DataError::SortMismatch`].
+    pub fn sort_mismatch(
+        context: impl Into<String>,
+        expected: impl Into<String>,
+        found: impl fmt::Debug,
+    ) -> Self {
+        DataError::SortMismatch {
+            context: context.into(),
+            expected: expected.into(),
+            found: format!("{found:?}"),
+        }
+    }
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::SortMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "sort mismatch in {context}: expected {expected}, found {found}"),
+            DataError::UnboundVariable(name) => write!(f, "unbound variable `{name}`"),
+            DataError::NoSuchField { field, available } => {
+                write!(f, "no field `{field}` in tuple with fields {available:?}")
+            }
+            DataError::Undefined(what) => write!(f, "undefined: {what}"),
+            DataError::Overflow(what) => write!(f, "arithmetic overflow in {what}"),
+            DataError::Arity {
+                op,
+                expected,
+                found,
+            } => write!(f, "operation `{op}` expects {expected} argument(s), got {found}"),
+            DataError::InvalidDate { year, month, day } => {
+                write!(f, "invalid date {year:04}-{month:02}-{day:02}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DataError::UnboundVariable("x".into());
+        assert_eq!(e.to_string(), "unbound variable `x`");
+        let e = DataError::Arity {
+            op: "insert".into(),
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("insert"));
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+
+    #[test]
+    fn sort_mismatch_helper_formats_found_value() {
+        let e = DataError::sort_mismatch("plus", "int", 3.5f64);
+        match e {
+            DataError::SortMismatch { found, .. } => assert_eq!(found, "3.5"),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

@@ -1,0 +1,813 @@
+//! Built-in operations on data values.
+//!
+//! These are the operations TROLL valuation rules and derivation rules
+//! refer to: the paper's examples use `insert`, `remove`, `delete`, `in`
+//! on sets, arithmetic on integers and money (`Salary + n`,
+//! `Salary * 13.5`), and comparisons (`Salary ≥ 5000`).
+
+use crate::{DataError, Money, Result, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A built-in operation symbol.
+///
+/// Apply one with [`Op::apply`]:
+///
+/// ```
+/// use troll_data::{Op, Value};
+/// let s = Value::set_of(vec![Value::from(1)]);
+/// let s2 = Op::Insert.apply(&[Value::from(2), s])?;
+/// assert_eq!(Op::Card.apply(&[s2])?, Value::from(2));
+/// # Ok::<(), troll_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub enum Op {
+    // --- boolean ---
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+    /// Logical negation.
+    Not,
+    /// Logical implication.
+    Implies,
+
+    // --- comparison (any sort, structural) ---
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Neq,
+    /// Strictly less (ints, money, dates, strings).
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Strictly greater.
+    Gt,
+    /// Greater or equal.
+    Ge,
+
+    // --- arithmetic (int and money) ---
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (int×int, or money×int in either order).
+    Mul,
+    /// Integer division (partial: divisor must be nonzero).
+    Div,
+    /// Remainder (partial: divisor must be nonzero).
+    Mod,
+    /// Numeric negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Binary minimum.
+    Min,
+    /// Binary maximum.
+    Max,
+    /// Money scaled by tenths: `scale_tenths(m, 11)` is `m * 1.1`.
+    ScaleTenths,
+
+    // --- sets ---
+    /// `insert(x, s)` — set with `x` added (paper's valuation rules).
+    Insert,
+    /// `remove(x, s)` — set with `x` removed (alias: `delete`).
+    Remove,
+    /// `in(x, s)` — membership test (also works on lists and map keys).
+    In,
+    /// Set union.
+    Union,
+    /// Set intersection.
+    Intersect,
+    /// Set difference.
+    Difference,
+    /// Subset test.
+    Subset,
+    /// `card(s)` / `count(s)` — cardinality of a set or length of a list.
+    Card,
+
+    // --- lists ---
+    /// `append(x, l)` — list with `x` appended at the back.
+    Append,
+    /// `concat(l1, l2)` — list concatenation.
+    Concat,
+    /// `head(l)` — first element (partial).
+    Head,
+    /// `tail(l)` — all but the first element (partial).
+    Tail,
+    /// `nth(i, l)` — zero-based indexing (partial).
+    Nth,
+    /// `to_set(l)` — forget order and multiplicity.
+    ToSet,
+    /// `to_list(s)` — enumerate a set in its canonical order.
+    ToList,
+
+    // --- maps ---
+    /// `put(k, v, m)` — map update.
+    MapPut,
+    /// `get(k, m)` — map lookup (partial).
+    MapGet,
+    /// `drop(k, m)` — remove a key.
+    MapDrop,
+    /// `keys(m)` — the key set.
+    MapKeys,
+    /// `values(m)` — the values as a list (in key order).
+    MapValues,
+
+    // --- strings ---
+    /// String concatenation.
+    StrConcat,
+    /// String length.
+    StrLen,
+    /// Substring containment.
+    StrContains,
+
+    // --- dates ---
+    /// `plus_days(d, n)`.
+    DatePlusDays,
+    /// `year(d)`.
+    DateYear,
+
+    // --- definedness ---
+    /// `defined(v)` — true unless `v` is the undefined observation.
+    IsDefined,
+
+    // --- identities ---
+    /// `mkid(class, [k1, …])` — constructs an object identity from a
+    /// class name and a key list. Surface syntax: `|CLASS|(k1, …)`.
+    MkId,
+}
+
+impl Op {
+    /// The TROLL surface name of the operation (what the parser accepts).
+    pub fn name(&self) -> &'static str {
+        use Op::*;
+        match self {
+            And => "and",
+            Or => "or",
+            Not => "not",
+            Implies => "implies",
+            Eq => "=",
+            Neq => "<>",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "div",
+            Mod => "mod",
+            Neg => "neg",
+            Abs => "abs",
+            Min => "min",
+            Max => "max",
+            ScaleTenths => "scale_tenths",
+            Insert => "insert",
+            Remove => "remove",
+            In => "in",
+            Union => "union",
+            Intersect => "intersect",
+            Difference => "difference",
+            Subset => "subset",
+            Card => "card",
+            Append => "append",
+            Concat => "concat",
+            Head => "head",
+            Tail => "tail",
+            Nth => "nth",
+            ToSet => "to_set",
+            ToList => "to_list",
+            MapPut => "put",
+            MapGet => "get",
+            MapDrop => "drop",
+            MapKeys => "keys",
+            MapValues => "values",
+            StrConcat => "str_concat",
+            StrLen => "str_len",
+            StrContains => "str_contains",
+            DatePlusDays => "plus_days",
+            DateYear => "year",
+            IsDefined => "defined",
+            MkId => "mkid",
+        }
+    }
+
+    /// Looks an operation up by its surface name (including aliases such
+    /// as `delete` for `remove` and `count` for `card`).
+    pub fn by_name(name: &str) -> Option<Op> {
+        use Op::*;
+        Some(match name {
+            "and" => And,
+            "or" => Or,
+            "not" => Not,
+            "implies" => Implies,
+            "=" => Eq,
+            "<>" | "!=" => Neq,
+            "<" => Lt,
+            "<=" => Le,
+            ">" => Gt,
+            ">=" => Ge,
+            "+" => Add,
+            "-" => Sub,
+            "*" => Mul,
+            "div" | "/" => Div,
+            "mod" => Mod,
+            "neg" => Neg,
+            "abs" => Abs,
+            "min" => Min,
+            "max" => Max,
+            "scale_tenths" => ScaleTenths,
+            "insert" => Insert,
+            "remove" | "delete" => Remove,
+            "in" => In,
+            "union" => Union,
+            "intersect" => Intersect,
+            "difference" | "minus" => Difference,
+            "subset" => Subset,
+            "card" | "count" => Card,
+            "append" => Append,
+            "concat" => Concat,
+            "head" => Head,
+            "tail" => Tail,
+            "nth" => Nth,
+            "to_set" => ToSet,
+            "to_list" => ToList,
+            "put" => MapPut,
+            "get" => MapGet,
+            "drop" => MapDrop,
+            "keys" => MapKeys,
+            "values" => MapValues,
+            "str_concat" | "++" => StrConcat,
+            "str_len" => StrLen,
+            "str_contains" => StrContains,
+            "plus_days" => DatePlusDays,
+            "year" => DateYear,
+            "defined" => IsDefined,
+            "mkid" => MkId,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the operation takes.
+    pub fn arity(&self) -> usize {
+        use Op::*;
+        match self {
+            Not | Neg | Abs | Card | Head | Tail | ToSet | ToList | MapKeys | MapValues
+            | StrLen | DateYear | IsDefined => 1,
+            And | Or | Implies | Eq | Neq | Lt | Le | Gt | Ge | Add | Sub | Mul | Div | Mod
+            | Min | Max | ScaleTenths | Insert | Remove | In | Union | Intersect | Difference
+            | Subset | Append | Concat | Nth | MapGet | MapDrop | StrConcat | StrContains
+            | DatePlusDays | MkId => 2,
+            MapPut => 3,
+        }
+    }
+
+    /// Applies the operation to the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// * [`DataError::Arity`] if the wrong number of arguments is given.
+    /// * [`DataError::SortMismatch`] if an argument has the wrong sort.
+    /// * [`DataError::Undefined`] for partial operations outside their
+    ///   domain (`head []`, `get` on a missing key, division by zero).
+    /// * [`DataError::Overflow`] on arithmetic overflow.
+    pub fn apply(&self, args: &[Value]) -> Result<Value> {
+        use Op::*;
+        if args.len() != self.arity() {
+            return Err(DataError::Arity {
+                op: self.name().to_string(),
+                expected: self.arity(),
+                found: args.len(),
+            });
+        }
+        match self {
+            And => bool2(self, args, |a, b| a && b),
+            Or => bool2(self, args, |a, b| a || b),
+            Implies => bool2(self, args, |a, b| !a || b),
+            Not => {
+                let a = want_bool(self, &args[0])?;
+                Ok(Value::Bool(!a))
+            }
+            Eq => Ok(Value::Bool(args[0] == args[1])),
+            Neq => Ok(Value::Bool(args[0] != args[1])),
+            Lt | Le | Gt | Ge => compare(self, &args[0], &args[1]),
+            Add | Sub | Mul | Div | Mod | Min | Max => arith(self, &args[0], &args[1]),
+            Neg => match &args[0] {
+                Value::Int(i) => i
+                    .checked_neg()
+                    .map(Value::Int)
+                    .ok_or_else(|| DataError::Overflow("neg".into())),
+                Value::Money(m) => Ok(Value::Money(-*m)),
+                other => Err(DataError::sort_mismatch("neg", "int or money", other)),
+            },
+            Abs => match &args[0] {
+                Value::Int(i) => i
+                    .checked_abs()
+                    .map(Value::Int)
+                    .ok_or_else(|| DataError::Overflow("abs".into())),
+                Value::Money(m) => Ok(Value::Money(if m.cents() < 0 { -*m } else { *m })),
+                other => Err(DataError::sort_mismatch("abs", "int or money", other)),
+            },
+            ScaleTenths => match (&args[0], &args[1]) {
+                (Value::Money(m), Value::Int(t)) => Ok(Value::Money(m.scale_by_tenths(*t))),
+                (a, b) => Err(DataError::sort_mismatch(
+                    "scale_tenths",
+                    "(money, int)",
+                    (a, b),
+                )),
+            },
+            Insert => {
+                let mut s = want_set(self, &args[1])?.clone();
+                s.insert(args[0].clone());
+                Ok(Value::Set(s))
+            }
+            Remove => {
+                let mut s = want_set(self, &args[1])?.clone();
+                s.remove(&args[0]);
+                Ok(Value::Set(s))
+            }
+            In => match &args[1] {
+                Value::Set(s) => Ok(Value::Bool(s.contains(&args[0]))),
+                Value::List(l) => Ok(Value::Bool(l.contains(&args[0]))),
+                Value::Map(m) => Ok(Value::Bool(m.contains_key(&args[0]))),
+                other => Err(DataError::sort_mismatch("in", "set, list or map", other)),
+            },
+            Union => set2(self, args, |a, b| a.union(b).cloned().collect()),
+            Intersect => set2(self, args, |a, b| a.intersection(b).cloned().collect()),
+            Difference => set2(self, args, |a, b| a.difference(b).cloned().collect()),
+            Subset => {
+                let a = want_set(self, &args[0])?;
+                let b = want_set(self, &args[1])?;
+                Ok(Value::Bool(a.is_subset(b)))
+            }
+            Card => match &args[0] {
+                Value::Set(s) => Ok(Value::Int(s.len() as i64)),
+                Value::List(l) => Ok(Value::Int(l.len() as i64)),
+                Value::Map(m) => Ok(Value::Int(m.len() as i64)),
+                other => Err(DataError::sort_mismatch("card", "set, list or map", other)),
+            },
+            Append => {
+                let mut l = want_list(self, &args[1])?.to_vec();
+                l.push(args[0].clone());
+                Ok(Value::List(l))
+            }
+            Concat => {
+                let mut l = want_list(self, &args[0])?.to_vec();
+                l.extend_from_slice(want_list(self, &args[1])?);
+                Ok(Value::List(l))
+            }
+            Head => want_list(self, &args[0])?
+                .first()
+                .cloned()
+                .ok_or_else(|| DataError::Undefined("head of empty list".into())),
+            Tail => {
+                let l = want_list(self, &args[0])?;
+                if l.is_empty() {
+                    Err(DataError::Undefined("tail of empty list".into()))
+                } else {
+                    Ok(Value::List(l[1..].to_vec()))
+                }
+            }
+            Nth => {
+                let i = want_int(self, &args[0])?;
+                let l = want_list(self, &args[1])?;
+                usize::try_from(i)
+                    .ok()
+                    .and_then(|i| l.get(i))
+                    .cloned()
+                    .ok_or_else(|| DataError::Undefined(format!("nth({i}) out of bounds")))
+            }
+            ToSet => {
+                let l = want_list(self, &args[0])?;
+                Ok(Value::Set(l.iter().cloned().collect()))
+            }
+            ToList => {
+                let s = want_set(self, &args[0])?;
+                Ok(Value::List(s.iter().cloned().collect()))
+            }
+            MapPut => {
+                let mut m = want_map(self, &args[2])?.clone();
+                m.insert(args[0].clone(), args[1].clone());
+                Ok(Value::Map(m))
+            }
+            MapGet => want_map(self, &args[1])?
+                .get(&args[0])
+                .cloned()
+                .ok_or_else(|| DataError::Undefined(format!("get: key {} not in map", args[0]))),
+            MapDrop => {
+                let mut m = want_map(self, &args[1])?.clone();
+                m.remove(&args[0]);
+                Ok(Value::Map(m))
+            }
+            MapKeys => {
+                let m = want_map(self, &args[0])?;
+                Ok(Value::Set(m.keys().cloned().collect()))
+            }
+            MapValues => {
+                let m = want_map(self, &args[0])?;
+                Ok(Value::List(m.values().cloned().collect()))
+            }
+            StrConcat => match (&args[0], &args[1]) {
+                (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+                (a, b) => Err(DataError::sort_mismatch("str_concat", "(string, string)", (a, b))),
+            },
+            StrLen => match &args[0] {
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                other => Err(DataError::sort_mismatch("str_len", "string", other)),
+            },
+            StrContains => match (&args[0], &args[1]) {
+                (Value::Str(hay), Value::Str(needle)) => Ok(Value::Bool(hay.contains(needle))),
+                (a, b) => Err(DataError::sort_mismatch(
+                    "str_contains",
+                    "(string, string)",
+                    (a, b),
+                )),
+            },
+            DatePlusDays => match (&args[0], &args[1]) {
+                (Value::Date(d), Value::Int(n)) => Ok(Value::Date(d.plus_days(*n))),
+                (a, b) => Err(DataError::sort_mismatch("plus_days", "(date, int)", (a, b))),
+            },
+            DateYear => match &args[0] {
+                Value::Date(d) => Ok(Value::Int(i64::from(d.year()))),
+                other => Err(DataError::sort_mismatch("year", "date", other)),
+            },
+            IsDefined => Ok(Value::Bool(!args[0].is_undefined())),
+            MkId => match (&args[0], &args[1]) {
+                (Value::Str(class), Value::List(key)) => Ok(Value::Id(
+                    crate::ObjectId::new(class.clone(), key.clone()),
+                )),
+                (a, b) => Err(DataError::sort_mismatch(
+                    "mkid",
+                    "(string, list of key values)",
+                    (a, b),
+                )),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn want_bool(op: &Op, v: &Value) -> Result<bool> {
+    v.as_bool()
+        .ok_or_else(|| DataError::sort_mismatch(op.name(), "bool", v))
+}
+
+fn want_int(op: &Op, v: &Value) -> Result<i64> {
+    v.as_int()
+        .ok_or_else(|| DataError::sort_mismatch(op.name(), "int", v))
+}
+
+fn want_set<'a>(op: &Op, v: &'a Value) -> Result<&'a BTreeSet<Value>> {
+    v.as_set()
+        .ok_or_else(|| DataError::sort_mismatch(op.name(), "set", v))
+}
+
+fn want_list<'a>(op: &Op, v: &'a Value) -> Result<&'a [Value]> {
+    v.as_list()
+        .ok_or_else(|| DataError::sort_mismatch(op.name(), "list", v))
+}
+
+fn want_map<'a>(op: &Op, v: &'a Value) -> Result<&'a std::collections::BTreeMap<Value, Value>> {
+    match v {
+        Value::Map(m) => Ok(m),
+        other => Err(DataError::sort_mismatch(op.name(), "map", other)),
+    }
+}
+
+fn bool2(op: &Op, args: &[Value], f: impl Fn(bool, bool) -> bool) -> Result<Value> {
+    let a = want_bool(op, &args[0])?;
+    let b = want_bool(op, &args[1])?;
+    Ok(Value::Bool(f(a, b)))
+}
+
+fn set2(
+    op: &Op,
+    args: &[Value],
+    f: impl Fn(&BTreeSet<Value>, &BTreeSet<Value>) -> BTreeSet<Value>,
+) -> Result<Value> {
+    let a = want_set(op, &args[0])?;
+    let b = want_set(op, &args[1])?;
+    Ok(Value::Set(f(a, b)))
+}
+
+fn compare(op: &Op, a: &Value, b: &Value) -> Result<Value> {
+    use std::cmp::Ordering;
+    let ord = match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x.cmp(y),
+        (Value::Money(x), Value::Money(y)) => x.cmp(y),
+        (Value::Date(x), Value::Date(y)) => x.cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        _ => {
+            return Err(DataError::sort_mismatch(
+                op.name(),
+                "two comparable values of the same sort",
+                (a, b),
+            ))
+        }
+    };
+    Ok(Value::Bool(match op {
+        Op::Lt => ord == Ordering::Less,
+        Op::Le => ord != Ordering::Greater,
+        Op::Gt => ord == Ordering::Greater,
+        Op::Ge => ord != Ordering::Less,
+        _ => unreachable!("compare called with non-comparison op"),
+    }))
+}
+
+fn arith(op: &Op, a: &Value, b: &Value) -> Result<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => {
+            let r = match op {
+                Op::Add => x.checked_add(*y),
+                Op::Sub => x.checked_sub(*y),
+                Op::Mul => x.checked_mul(*y),
+                Op::Div => {
+                    if *y == 0 {
+                        return Err(DataError::Undefined("division by zero".into()));
+                    }
+                    x.checked_div(*y)
+                }
+                Op::Mod => {
+                    if *y == 0 {
+                        return Err(DataError::Undefined("modulo by zero".into()));
+                    }
+                    x.checked_rem(*y)
+                }
+                Op::Min => Some(*x.min(y)),
+                Op::Max => Some(*x.max(y)),
+                _ => unreachable!("arith called with non-arith op"),
+            };
+            r.map(Value::Int)
+                .ok_or_else(|| DataError::Overflow(op.name().into()))
+        }
+        (Value::Money(x), Value::Money(y)) => match op {
+            Op::Add => x.checked_add(*y).map(Value::Money),
+            Op::Sub => x.checked_sub(*y).map(Value::Money),
+            Op::Min => Ok(Value::Money(*x.min(y))),
+            Op::Max => Ok(Value::Money(*x.max(y))),
+            _ => Err(DataError::sort_mismatch(
+                op.name(),
+                "money supports +, -, min, max",
+                (a, b),
+            )),
+        },
+        (Value::Money(m), Value::Int(k)) | (Value::Int(k), Value::Money(m)) if *op == Op::Mul => {
+            m.checked_mul(*k).map(Value::Money)
+        }
+        (Value::Money(m), Value::Int(k)) if *op == Op::Add => {
+            // `Salary + n` in the paper's EMPL_IMPL adds an integer amount
+            // (whole currency units) to a money value.
+            m.checked_add(Money::from_major(*k)).map(Value::Money)
+        }
+        (Value::Money(m), Value::Int(k)) if *op == Op::Sub => {
+            m.checked_sub(Money::from_major(*k)).map(Value::Money)
+        }
+        _ => Err(DataError::sort_mismatch(
+            op.name(),
+            "numeric arguments of matching sort",
+            (a, b),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Date;
+
+    fn set(vals: Vec<i64>) -> Value {
+        Value::set_of(vals.into_iter().map(Value::from))
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for op in [
+            Op::And,
+            Op::Insert,
+            Op::Remove,
+            Op::In,
+            Op::Card,
+            Op::Eq,
+            Op::Lt,
+            Op::Add,
+            Op::MapPut,
+            Op::Head,
+            Op::DateYear,
+            Op::IsDefined,
+        ] {
+            assert_eq!(Op::by_name(op.name()), Some(op));
+        }
+        assert_eq!(Op::by_name("delete"), Some(Op::Remove));
+        assert_eq!(Op::by_name("count"), Some(Op::Card));
+        assert_eq!(Op::by_name("nonsense"), None);
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let e = Op::Insert.apply(&[Value::from(1)]).unwrap_err();
+        assert!(matches!(e, DataError::Arity { .. }));
+    }
+
+    #[test]
+    fn set_ops() {
+        let s = set(vec![1, 2]);
+        assert_eq!(
+            Op::Insert.apply(&[Value::from(3), s.clone()]).unwrap(),
+            set(vec![1, 2, 3])
+        );
+        assert_eq!(
+            Op::Remove.apply(&[Value::from(1), s.clone()]).unwrap(),
+            set(vec![2])
+        );
+        assert_eq!(
+            Op::In.apply(&[Value::from(2), s.clone()]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Op::Union.apply(&[s.clone(), set(vec![3])]).unwrap(),
+            set(vec![1, 2, 3])
+        );
+        assert_eq!(
+            Op::Intersect.apply(&[s.clone(), set(vec![2, 3])]).unwrap(),
+            set(vec![2])
+        );
+        assert_eq!(
+            Op::Difference.apply(&[s.clone(), set(vec![2])]).unwrap(),
+            set(vec![1])
+        );
+        assert_eq!(
+            Op::Subset.apply(&[set(vec![1]), s.clone()]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(Op::Card.apply(&[s]).unwrap(), Value::from(2));
+    }
+
+    #[test]
+    fn insert_is_idempotent_on_sets() {
+        let s = set(vec![1]);
+        let once = Op::Insert.apply(&[Value::from(1), s]).unwrap();
+        assert_eq!(once, set(vec![1]));
+    }
+
+    #[test]
+    fn list_ops() {
+        let l = Value::list_of(vec![Value::from(1), Value::from(2)]);
+        assert_eq!(Op::Head.apply(std::slice::from_ref(&l)).unwrap(), Value::from(1));
+        assert_eq!(
+            Op::Tail.apply(std::slice::from_ref(&l)).unwrap(),
+            Value::list_of(vec![Value::from(2)])
+        );
+        assert_eq!(
+            Op::Nth.apply(&[Value::from(1), l.clone()]).unwrap(),
+            Value::from(2)
+        );
+        assert!(Op::Head.apply(&[Value::empty_list()]).is_err());
+        assert!(Op::Tail.apply(&[Value::empty_list()]).is_err());
+        assert!(Op::Nth.apply(&[Value::from(5), l.clone()]).is_err());
+        assert!(Op::Nth.apply(&[Value::from(-1), l.clone()]).is_err());
+        assert_eq!(
+            Op::Append.apply(&[Value::from(3), l.clone()]).unwrap(),
+            Value::list_of(vec![Value::from(1), Value::from(2), Value::from(3)])
+        );
+        assert_eq!(Op::ToSet.apply(&[l]).unwrap(), set(vec![1, 2]));
+    }
+
+    #[test]
+    fn map_ops() {
+        let m = Value::map_of(vec![(Value::from("a"), Value::from(1))]);
+        let m2 = Op::MapPut
+            .apply(&[Value::from("b"), Value::from(2), m.clone()])
+            .unwrap();
+        assert_eq!(
+            Op::MapGet.apply(&[Value::from("b"), m2.clone()]).unwrap(),
+            Value::from(2)
+        );
+        assert!(Op::MapGet.apply(&[Value::from("zzz"), m2.clone()]).is_err());
+        assert_eq!(
+            Op::MapKeys.apply(std::slice::from_ref(&m2)).unwrap(),
+            Value::set_of(vec![Value::from("a"), Value::from("b")])
+        );
+        let dropped = Op::MapDrop.apply(&[Value::from("a"), m2]).unwrap();
+        assert_eq!(Op::Card.apply(&[dropped]).unwrap(), Value::from(1));
+        assert_eq!(
+            Op::In.apply(&[Value::from("a"), m]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn arithmetic_int() {
+        assert_eq!(
+            Op::Add.apply(&[Value::from(2), Value::from(3)]).unwrap(),
+            Value::from(5)
+        );
+        assert_eq!(
+            Op::Div.apply(&[Value::from(7), Value::from(2)]).unwrap(),
+            Value::from(3)
+        );
+        assert!(Op::Div.apply(&[Value::from(1), Value::from(0)]).is_err());
+        assert!(Op::Mod.apply(&[Value::from(1), Value::from(0)]).is_err());
+        assert!(Op::Add
+            .apply(&[Value::from(i64::MAX), Value::from(1)])
+            .is_err());
+        assert_eq!(
+            Op::Min.apply(&[Value::from(2), Value::from(3)]).unwrap(),
+            Value::from(2)
+        );
+    }
+
+    #[test]
+    fn arithmetic_money() {
+        let m = Value::Money(Money::from_major(100));
+        // money + money
+        assert_eq!(
+            Op::Add.apply(&[m.clone(), m.clone()]).unwrap(),
+            Value::Money(Money::from_major(200))
+        );
+        // money * int — SAL_EMPLOYEE2's Salary-based derivations
+        assert_eq!(
+            Op::Mul.apply(&[m.clone(), Value::from(3)]).unwrap(),
+            Value::Money(Money::from_major(300))
+        );
+        // Salary + n with integer n (EMPL_IMPL IncreaseSalary)
+        assert_eq!(
+            Op::Add.apply(&[m.clone(), Value::from(50)]).unwrap(),
+            Value::Money(Money::from_major(150))
+        );
+        // Salary * 1.1 via tenths
+        assert_eq!(
+            Op::ScaleTenths.apply(&[m, Value::from(11)]).unwrap(),
+            Value::Money(Money::from_major(110))
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            Op::Ge
+                .apply(&[
+                    Value::Money(Money::from_major(5500)),
+                    Value::Money(Money::from_major(5000))
+                ])
+                .unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Op::Lt
+                .apply(&[
+                    Value::Date(Date::new(1991, 1, 1).unwrap()),
+                    Value::Date(Date::new(1992, 1, 1).unwrap())
+                ])
+                .unwrap(),
+            Value::Bool(true)
+        );
+        assert!(Op::Lt.apply(&[Value::from(1), Value::from("x")]).is_err());
+        assert_eq!(
+            Op::Eq.apply(&[Value::from(1), Value::from("x")]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn definedness() {
+        assert_eq!(
+            Op::IsDefined.apply(&[Value::Undefined]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Op::IsDefined.apply(&[Value::from(0)]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn strings_and_dates() {
+        assert_eq!(
+            Op::StrConcat
+                .apply(&[Value::from("ab"), Value::from("cd")])
+                .unwrap(),
+            Value::from("abcd")
+        );
+        assert_eq!(Op::StrLen.apply(&[Value::from("abc")]).unwrap(), Value::from(3));
+        assert_eq!(
+            Op::StrContains
+                .apply(&[Value::from("research dept"), Value::from("research")])
+                .unwrap(),
+            Value::Bool(true)
+        );
+        let d = Value::Date(Date::new(1991, 12, 31).unwrap());
+        assert_eq!(
+            Op::DatePlusDays.apply(&[d.clone(), Value::from(1)]).unwrap(),
+            Value::Date(Date::new(1992, 1, 1).unwrap())
+        );
+        assert_eq!(Op::DateYear.apply(&[d]).unwrap(), Value::from(1991));
+    }
+}

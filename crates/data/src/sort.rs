@@ -1,0 +1,224 @@
+//! The sort (type) language of TROLL data terms.
+
+use std::fmt;
+
+/// A named, sorted tuple field, as in
+/// `tuple(ename:string, ebirth:date, esalary:integer)` (paper §5.2).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TupleField {
+    /// Field name.
+    pub name: String,
+    /// Field sort.
+    pub sort: Sort,
+}
+
+impl TupleField {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, sort: Sort) -> Self {
+        TupleField {
+            name: name.into(),
+            sort,
+        }
+    }
+}
+
+/// Sorts classify the values of [`crate::Value`].
+///
+/// The base sorts are those used in the paper's specifications (`string`,
+/// `date`, `integer`, `money`, `bool`); `nat` is included because the
+/// paper's data signature examples assume natural numbers for counts.
+/// `Id(class)` is the identity sort written `|C|` in TROLL (e.g.
+/// `OfficialCar : |CAR|` in the `MANAGER` class).
+///
+/// # Example
+///
+/// ```
+/// use troll_data::{Sort, TupleField};
+/// // set(tuple(ename:string, ebirth:date, esalary:integer))
+/// let emps = Sort::set(Sort::tuple(vec![
+///     TupleField::new("ename", Sort::String),
+///     TupleField::new("ebirth", Sort::Date),
+///     TupleField::new("esalary", Sort::Int),
+/// ]));
+/// assert_eq!(
+///     emps.to_string(),
+///     "set(tuple(ename:string, ebirth:date, esalary:int))"
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Sort {
+    /// Truth values.
+    Bool,
+    /// Integers.
+    Int,
+    /// Natural numbers (a subsort of `Int`; values are `Int`s checked to
+    /// be non-negative).
+    Nat,
+    /// Character strings.
+    String,
+    /// Calendar dates.
+    Date,
+    /// Monetary amounts.
+    Money,
+    /// Identity sort `|C|` of the object class named by the payload.
+    Id(String),
+    /// Finite sets.
+    Set(Box<Sort>),
+    /// Finite lists.
+    List(Box<Sort>),
+    /// Finite maps.
+    Map(Box<Sort>, Box<Sort>),
+    /// Named-field tuples (records).
+    Tuple(Vec<TupleField>),
+    /// Optional values (an attribute may be undefined before its first
+    /// valuation; `optional` makes this explicit).
+    Optional(Box<Sort>),
+}
+
+impl Sort {
+    /// `set(elem)`.
+    pub fn set(elem: Sort) -> Sort {
+        Sort::Set(Box::new(elem))
+    }
+
+    /// `list(elem)`.
+    pub fn list(elem: Sort) -> Sort {
+        Sort::List(Box::new(elem))
+    }
+
+    /// `map(key, value)`.
+    pub fn map(key: Sort, value: Sort) -> Sort {
+        Sort::Map(Box::new(key), Box::new(value))
+    }
+
+    /// `tuple(f1:s1, …, fn:sn)`.
+    pub fn tuple(fields: Vec<TupleField>) -> Sort {
+        Sort::Tuple(fields)
+    }
+
+    /// `optional(inner)`.
+    pub fn optional(inner: Sort) -> Sort {
+        Sort::Optional(Box::new(inner))
+    }
+
+    /// Identity sort `|class|`.
+    pub fn id(class: impl Into<String>) -> Sort {
+        Sort::Id(class.into())
+    }
+
+    /// Whether a value of sort `self` may be used where `other` is
+    /// expected. This is the subsort relation of the paper's data
+    /// signature: `Nat ≤ Int`, `s ≤ optional(s)`, and congruent closure
+    /// through the constructors.
+    pub fn is_subsort_of(&self, other: &Sort) -> bool {
+        use Sort::*;
+        match (self, other) {
+            (a, b) if a == b => true,
+            (Nat, Int) => true,
+            (a, Optional(b)) => a.is_subsort_of(b),
+            (Set(a), Set(b)) | (List(a), List(b)) => a.is_subsort_of(b),
+            (Map(ka, va), Map(kb, vb)) => ka.is_subsort_of(kb) && va.is_subsort_of(vb),
+            (Tuple(fa), Tuple(fb)) => {
+                fa.len() == fb.len()
+                    && fa
+                        .iter()
+                        .zip(fb)
+                        .all(|(x, y)| x.name == y.name && x.sort.is_subsort_of(&y.sort))
+            }
+            _ => false,
+        }
+    }
+
+    /// Looks up the sort of a tuple field; `None` when `self` is not a
+    /// tuple or the field is absent.
+    pub fn field_sort(&self, field: &str) -> Option<&Sort> {
+        match self {
+            Sort::Tuple(fields) => fields.iter().find(|f| f.name == field).map(|f| &f.sort),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "bool"),
+            Sort::Int => write!(f, "int"),
+            Sort::Nat => write!(f, "nat"),
+            Sort::String => write!(f, "string"),
+            Sort::Date => write!(f, "date"),
+            Sort::Money => write!(f, "money"),
+            Sort::Id(class) => write!(f, "|{class}|"),
+            Sort::Set(e) => write!(f, "set({e})"),
+            Sort::List(e) => write!(f, "list({e})"),
+            Sort::Map(k, v) => write!(f, "map({k}, {v})"),
+            Sort::Tuple(fields) => {
+                write!(f, "tuple(")?;
+                for (i, fld) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}:{}", fld.name, fld.sort)?;
+                }
+                write!(f, ")")
+            }
+            Sort::Optional(inner) => write!(f, "optional({inner})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_troll_syntax() {
+        assert_eq!(Sort::set(Sort::Id("PERSON".into())).to_string(), "set(|PERSON|)");
+        assert_eq!(Sort::map(Sort::String, Sort::Int).to_string(), "map(string, int)");
+        assert_eq!(Sort::optional(Sort::Date).to_string(), "optional(date)");
+    }
+
+    #[test]
+    fn subsort_nat_int() {
+        assert!(Sort::Nat.is_subsort_of(&Sort::Int));
+        assert!(!Sort::Int.is_subsort_of(&Sort::Nat));
+        assert!(Sort::set(Sort::Nat).is_subsort_of(&Sort::set(Sort::Int)));
+        assert!(Sort::Int.is_subsort_of(&Sort::optional(Sort::Int)));
+        assert!(Sort::Nat.is_subsort_of(&Sort::optional(Sort::Int)));
+    }
+
+    #[test]
+    fn subsort_is_reflexive_on_samples() {
+        let samples = vec![
+            Sort::Bool,
+            Sort::id("DEPT"),
+            Sort::tuple(vec![TupleField::new("a", Sort::Int)]),
+            Sort::map(Sort::String, Sort::set(Sort::Date)),
+        ];
+        for s in &samples {
+            assert!(s.is_subsort_of(s), "{s} not reflexive");
+        }
+    }
+
+    #[test]
+    fn tuple_subsort_requires_same_field_names() {
+        let a = Sort::tuple(vec![TupleField::new("x", Sort::Nat)]);
+        let b = Sort::tuple(vec![TupleField::new("x", Sort::Int)]);
+        let c = Sort::tuple(vec![TupleField::new("y", Sort::Int)]);
+        assert!(a.is_subsort_of(&b));
+        assert!(!a.is_subsort_of(&c));
+    }
+
+    #[test]
+    fn field_sort_lookup() {
+        let t = Sort::tuple(vec![
+            TupleField::new("ename", Sort::String),
+            TupleField::new("esalary", Sort::Int),
+        ]);
+        assert_eq!(t.field_sort("esalary"), Some(&Sort::Int));
+        assert_eq!(t.field_sort("missing"), None);
+        assert_eq!(Sort::Int.field_sort("x"), None);
+    }
+}

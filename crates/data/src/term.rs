@@ -1,0 +1,852 @@
+//! The core term IR for TROLL data expressions.
+//!
+//! Valuation rules, permissions, constraints, derivation rules and
+//! selection predicates are all lowered to [`Term`]s by the language
+//! front-end (`troll-lang`) and evaluated here against an [`Env`]. The
+//! runtime binds attribute names, event parameters and `SELF` in the
+//! environment; this crate stays agnostic of where bindings come from.
+
+use crate::{DataError, Op, Result, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Quantifier kind for bounded quantification over finite collections,
+/// as in the paper's `closure` permission:
+/// `for all (P: PERSON : sometime(P in employees) ⇒ …)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Quantifier {
+    /// Universal quantification (`for all`).
+    Forall,
+    /// Existential quantification (`exists`).
+    Exists,
+}
+
+/// A data term.
+///
+/// Terms are pure: evaluation has no side effects and depends only on the
+/// environment.
+///
+/// # Example
+///
+/// ```
+/// use troll_data::{Term, Op, Value, MapEnv};
+/// // exists(s1: Emps) s1.esalary > 100
+/// let term = Term::quant(
+///     troll_data::Quantifier::Exists,
+///     "s1",
+///     Term::var("Emps"),
+///     Term::apply(Op::Gt, vec![
+///         Term::field(Term::var("s1"), "esalary"),
+///         Term::constant(Value::from(100)),
+///     ]),
+/// );
+/// let mut env = MapEnv::new();
+/// env.bind("Emps", Value::set_of(vec![
+///     Value::tuple_of(vec![("esalary", Value::from(150))]),
+/// ]));
+/// assert_eq!(term.eval(&env)?, Value::Bool(true));
+/// # Ok::<(), troll_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Term {
+    /// A literal value.
+    Const(Value),
+    /// A variable reference, resolved in the evaluation environment.
+    Var(String),
+    /// Application of a built-in operation.
+    Apply(Op, Vec<Term>),
+    /// Tuple field projection, written `t.field`.
+    Field(Box<Term>, String),
+    /// Tuple construction, written `tuple(f1: t1, …)`.
+    MkTuple(Vec<(String, Term)>),
+    /// Set construction, written `{t1, …, tn}`.
+    MkSet(Vec<Term>),
+    /// List construction, written `[t1, …, tn]`.
+    MkList(Vec<Term>),
+    /// Conditional, written `if c then a else b`.
+    IfThenElse(Box<Term>, Box<Term>, Box<Term>),
+    /// Bounded quantification over a finite set or list.
+    Quant {
+        /// Which quantifier.
+        q: Quantifier,
+        /// Bound variable name.
+        var: String,
+        /// Term denoting the finite domain (a set or list).
+        domain: Box<Term>,
+        /// Body predicate, evaluated with `var` bound to each element.
+        body: Box<Term>,
+    },
+    /// Local binding, written `let x = t1 in t2`.
+    Let {
+        /// Bound variable name.
+        var: String,
+        /// Bound term.
+        value: Box<Term>,
+        /// Body evaluated with the binding in scope.
+        body: Box<Term>,
+    },
+    /// Query-algebra selection, written `select|pred|(rel)` in TROLL
+    /// interface derivations (§5.1/§5.2). The predicate sees the tuple's
+    /// fields as variables.
+    Select {
+        /// Relation term (set of tuples).
+        rel: Box<Term>,
+        /// Selection predicate.
+        pred: Box<Term>,
+    },
+    /// Query-algebra projection, written `project|f1, …|(rel)`.
+    Project {
+        /// Relation term (set of tuples).
+        rel: Box<Term>,
+        /// Fields to keep.
+        fields: Vec<String>,
+    },
+    /// Extracts the unique element of a singleton set — the implicit
+    /// final step of key-based derivations like the paper's
+    /// `Salary = …(select|key match|(employees))`.
+    The(Box<Term>),
+}
+
+impl Term {
+    /// A literal term.
+    pub fn constant(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    /// The boolean literal `true`.
+    pub fn truth() -> Term {
+        Term::Const(Value::Bool(true))
+    }
+
+    /// A variable reference.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// An operation application.
+    pub fn apply(op: Op, args: Vec<Term>) -> Term {
+        Term::Apply(op, args)
+    }
+
+    /// Field projection `base.field`.
+    pub fn field(base: Term, field: impl Into<String>) -> Term {
+        Term::Field(Box::new(base), field.into())
+    }
+
+    /// Conditional term.
+    pub fn ite(cond: Term, then: Term, els: Term) -> Term {
+        Term::IfThenElse(Box::new(cond), Box::new(then), Box::new(els))
+    }
+
+    /// Bounded quantification.
+    pub fn quant(q: Quantifier, var: impl Into<String>, domain: Term, body: Term) -> Term {
+        Term::Quant {
+            q,
+            var: var.into(),
+            domain: Box::new(domain),
+            body: Box::new(body),
+        }
+    }
+
+    /// Local binding.
+    pub fn let_in(var: impl Into<String>, value: Term, body: Term) -> Term {
+        Term::Let {
+            var: var.into(),
+            value: Box::new(value),
+            body: Box::new(body),
+        }
+    }
+
+    /// Query-algebra selection.
+    pub fn select(rel: Term, pred: Term) -> Term {
+        Term::Select {
+            rel: Box::new(rel),
+            pred: Box::new(pred),
+        }
+    }
+
+    /// Query-algebra projection.
+    pub fn project(rel: Term, fields: Vec<impl Into<String>>) -> Term {
+        Term::Project {
+            rel: Box::new(rel),
+            fields: fields.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Unique-element extraction from a singleton set.
+    pub fn the(rel: Term) -> Term {
+        Term::The(Box::new(rel))
+    }
+
+    /// Binary equality shorthand.
+    pub fn eq(a: Term, b: Term) -> Term {
+        Term::apply(Op::Eq, vec![a, b])
+    }
+
+    /// Binary conjunction shorthand.
+    pub fn and(a: Term, b: Term) -> Term {
+        Term::apply(Op::And, vec![a, b])
+    }
+
+    /// Evaluates the term in the given environment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DataError`]s from operation application, unbound
+    /// variables, and projections on non-tuples.
+    pub fn eval(&self, env: &dyn Env) -> Result<Value> {
+        match self {
+            Term::Const(v) => Ok(v.clone()),
+            Term::Var(name) => env
+                .lookup(name)
+                .ok_or_else(|| DataError::UnboundVariable(name.clone())),
+            Term::Apply(op, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(env)?);
+                }
+                op.apply(&vals)
+            }
+            Term::Field(base, field) => {
+                let v = base.eval(env)?;
+                match &v {
+                    Value::Tuple(fields) => v.field(field).cloned().ok_or_else(|| {
+                        DataError::NoSuchField {
+                            field: field.clone(),
+                            available: fields.iter().map(|(n, _)| n.clone()).collect(),
+                        }
+                    }),
+                    other => Err(DataError::sort_mismatch(
+                        format!(".{field}"),
+                        "tuple",
+                        other,
+                    )),
+                }
+            }
+            Term::MkTuple(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (n, t) in fields {
+                    out.push((n.clone(), t.eval(env)?));
+                }
+                Ok(Value::tuple_of(out))
+            }
+            Term::MkSet(elems) => {
+                let mut out = std::collections::BTreeSet::new();
+                for t in elems {
+                    out.insert(t.eval(env)?);
+                }
+                Ok(Value::Set(out))
+            }
+            Term::MkList(elems) => {
+                let mut out = Vec::with_capacity(elems.len());
+                for t in elems {
+                    out.push(t.eval(env)?);
+                }
+                Ok(Value::List(out))
+            }
+            Term::IfThenElse(c, a, b) => {
+                let cond = c.eval(env)?;
+                match cond.as_bool() {
+                    Some(true) => a.eval(env),
+                    Some(false) => b.eval(env),
+                    None => Err(DataError::sort_mismatch("if-condition", "bool", cond)),
+                }
+            }
+            Term::Quant {
+                q,
+                var,
+                domain,
+                body,
+            } => {
+                let dom = domain.eval(env)?;
+                let elems: Vec<Value> = match dom {
+                    Value::Set(s) => s.into_iter().collect(),
+                    Value::List(l) => l,
+                    other => {
+                        return Err(DataError::sort_mismatch(
+                            "quantifier domain",
+                            "set or list",
+                            other,
+                        ))
+                    }
+                };
+                for elem in elems {
+                    let scoped = Binding {
+                        name: var,
+                        value: elem,
+                        parent: env,
+                    };
+                    let b = body.eval(&scoped)?;
+                    match (q, b.as_bool()) {
+                        (Quantifier::Forall, Some(false)) => return Ok(Value::Bool(false)),
+                        (Quantifier::Exists, Some(true)) => return Ok(Value::Bool(true)),
+                        (_, Some(_)) => {}
+                        (_, None) => {
+                            return Err(DataError::sort_mismatch("quantifier body", "bool", b))
+                        }
+                    }
+                }
+                Ok(Value::Bool(matches!(q, Quantifier::Forall)))
+            }
+            Term::Let { var, value, body } => {
+                let v = value.eval(env)?;
+                let scoped = Binding {
+                    name: var,
+                    value: v,
+                    parent: env,
+                };
+                body.eval(&scoped)
+            }
+            Term::Select { rel, pred } => {
+                let r = rel.eval(env)?;
+                crate::algebra::select(&r, pred, env)
+            }
+            Term::Project { rel, fields } => {
+                let r = rel.eval(env)?;
+                let fields: Vec<&str> = fields.iter().map(String::as_str).collect();
+                crate::algebra::project(&r, &fields)
+            }
+            Term::The(rel) => {
+                let r = rel.eval(env)?;
+                crate::algebra::the_element(&r)
+            }
+        }
+    }
+
+    /// Collects the free variables of the term into `out`.
+    pub fn free_vars_into(&self, out: &mut Vec<String>) {
+        self.free_vars_bound(&mut Vec::new(), out);
+    }
+
+    /// Returns the free variables of the term (sorted, deduplicated).
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.free_vars_into(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn free_vars_bound(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            Term::Const(_) => {}
+            Term::Var(name) => {
+                if !bound.iter().any(|b| b == name) {
+                    out.push(name.clone());
+                }
+            }
+            Term::Apply(_, args) => {
+                for a in args {
+                    a.free_vars_bound(bound, out);
+                }
+            }
+            Term::Field(base, _) => base.free_vars_bound(bound, out),
+            Term::MkTuple(fields) => {
+                for (_, t) in fields {
+                    t.free_vars_bound(bound, out);
+                }
+            }
+            Term::MkSet(elems) | Term::MkList(elems) => {
+                for t in elems {
+                    t.free_vars_bound(bound, out);
+                }
+            }
+            Term::IfThenElse(c, a, b) => {
+                c.free_vars_bound(bound, out);
+                a.free_vars_bound(bound, out);
+                b.free_vars_bound(bound, out);
+            }
+            Term::Quant {
+                var, domain, body, ..
+            } => {
+                domain.free_vars_bound(bound, out);
+                bound.push(var.clone());
+                body.free_vars_bound(bound, out);
+                bound.pop();
+            }
+            Term::Let { var, value, body } => {
+                value.free_vars_bound(bound, out);
+                bound.push(var.clone());
+                body.free_vars_bound(bound, out);
+                bound.pop();
+            }
+            // Selection predicates also see the tuple's fields as
+            // variables; we conservatively report those as free since the
+            // field set is not statically known.
+            Term::Select { rel, pred } => {
+                rel.free_vars_bound(bound, out);
+                pred.free_vars_bound(bound, out);
+            }
+            Term::Project { rel, .. } | Term::The(rel) => rel.free_vars_bound(bound, out),
+        }
+    }
+
+    /// Substitutes `replacement` for every free occurrence of `var`.
+    pub fn subst(&self, var: &str, replacement: &Term) -> Term {
+        match self {
+            Term::Const(_) => self.clone(),
+            Term::Var(name) => {
+                if name == var {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Term::Apply(op, args) => Term::Apply(
+                *op,
+                args.iter().map(|a| a.subst(var, replacement)).collect(),
+            ),
+            Term::Field(base, f) => Term::Field(Box::new(base.subst(var, replacement)), f.clone()),
+            Term::MkTuple(fields) => Term::MkTuple(
+                fields
+                    .iter()
+                    .map(|(n, t)| (n.clone(), t.subst(var, replacement)))
+                    .collect(),
+            ),
+            Term::MkSet(elems) => {
+                Term::MkSet(elems.iter().map(|t| t.subst(var, replacement)).collect())
+            }
+            Term::MkList(elems) => {
+                Term::MkList(elems.iter().map(|t| t.subst(var, replacement)).collect())
+            }
+            Term::IfThenElse(c, a, b) => Term::ite(
+                c.subst(var, replacement),
+                a.subst(var, replacement),
+                b.subst(var, replacement),
+            ),
+            Term::Quant {
+                q,
+                var: bound,
+                domain,
+                body,
+            } => {
+                let domain = domain.subst(var, replacement);
+                let body = if bound == var {
+                    (**body).clone()
+                } else {
+                    body.subst(var, replacement)
+                };
+                Term::quant(*q, bound.clone(), domain, body)
+            }
+            Term::Let {
+                var: bound,
+                value,
+                body,
+            } => {
+                let value = value.subst(var, replacement);
+                let body = if bound == var {
+                    (**body).clone()
+                } else {
+                    body.subst(var, replacement)
+                };
+                Term::let_in(bound.clone(), value, body)
+            }
+            Term::Select { rel, pred } => {
+                Term::select(rel.subst(var, replacement), pred.subst(var, replacement))
+            }
+            Term::Project { rel, fields } => Term::Project {
+                rel: Box::new(rel.subst(var, replacement)),
+                fields: fields.clone(),
+            },
+            Term::The(rel) => Term::the(rel.subst(var, replacement)),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Var(name) => write!(f, "{name}"),
+            Term::Apply(op, args) => {
+                write!(f, "{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Term::Field(base, field) => write!(f, "{base}.{field}"),
+            Term::MkTuple(fields) => {
+                write!(f, "tuple(")?;
+                for (i, (n, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                write!(f, ")")
+            }
+            Term::MkSet(elems) => {
+                write!(f, "{{")?;
+                for (i, t) in elems.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}")
+            }
+            Term::MkList(elems) => {
+                write!(f, "[")?;
+                for (i, t) in elems.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "]")
+            }
+            Term::IfThenElse(c, a, b) => write!(f, "if {c} then {a} else {b}"),
+            Term::Quant {
+                q,
+                var,
+                domain,
+                body,
+            } => {
+                let kw = match q {
+                    Quantifier::Forall => "for all",
+                    Quantifier::Exists => "exists",
+                };
+                write!(f, "{kw}({var} in {domain} : {body})")
+            }
+            Term::Let { var, value, body } => write!(f, "let {var} = {value} in {body}"),
+            Term::Select { rel, pred } => write!(f, "select|{pred}|({rel})"),
+            Term::Project { rel, fields } => {
+                write!(f, "project|{}|({rel})", fields.join(", "))
+            }
+            Term::The(rel) => write!(f, "the({rel})"),
+        }
+    }
+}
+
+/// An evaluation environment: resolves variable names to values.
+///
+/// The runtime implements this over object attribute states, event
+/// parameters and `SELF`; tests can use [`MapEnv`].
+pub trait Env {
+    /// Looks up a variable; `None` means unbound.
+    fn lookup(&self, name: &str) -> Option<Value>;
+}
+
+/// A simple map-backed environment for tests and standalone evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MapEnv {
+    bindings: BTreeMap<String, Value>,
+}
+
+impl MapEnv {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        MapEnv::default()
+    }
+
+    /// Adds or replaces a binding.
+    pub fn bind(&mut self, name: impl Into<String>, value: Value) -> &mut Self {
+        self.bindings.insert(name.into(), value);
+        self
+    }
+
+    /// Builds an environment from pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (impl Into<String>, Value)>) -> Self {
+        MapEnv {
+            bindings: pairs.into_iter().map(|(n, v)| (n.into(), v)).collect(),
+        }
+    }
+}
+
+impl Env for MapEnv {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.bindings.get(name).cloned()
+    }
+}
+
+impl Env for BTreeMap<String, Value> {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.get(name).cloned()
+    }
+}
+
+/// A single binding layered over a parent environment (used for
+/// quantifier and `let` scopes).
+struct Binding<'a> {
+    name: &'a str,
+    value: Value,
+    parent: &'a dyn Env,
+}
+
+impl Env for Binding<'_> {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        if name == self.name {
+            Some(self.value.clone())
+        } else {
+            self.parent.lookup(name)
+        }
+    }
+}
+
+/// Chains two environments; the first shadows the second.
+#[derive(Debug, Clone, Copy)]
+pub struct Layered<'a, A: ?Sized, B: ?Sized> {
+    /// Environment consulted first.
+    pub top: &'a A,
+    /// Fallback environment.
+    pub base: &'a B,
+}
+
+impl<A: Env + ?Sized, B: Env + ?Sized> Env for Layered<'_, A, B> {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.top.lookup(name).or_else(|| self.base.lookup(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn env() -> MapEnv {
+        MapEnv::from_pairs(vec![
+            ("x", Value::from(10)),
+            ("y", Value::from(4)),
+            (
+                "emps",
+                Value::set_of(vec![
+                    Value::tuple_of(vec![("name", Value::from("a")), ("sal", Value::from(100))]),
+                    Value::tuple_of(vec![("name", Value::from("b")), ("sal", Value::from(200))]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn arithmetic_eval() {
+        let t = Term::apply(Op::Add, vec![Term::var("x"), Term::var("y")]);
+        assert_eq!(t.eval(&env()).unwrap(), Value::from(14));
+    }
+
+    #[test]
+    fn unbound_variable_reported() {
+        let t = Term::var("zzz");
+        assert_eq!(
+            t.eval(&env()).unwrap_err(),
+            DataError::UnboundVariable("zzz".into())
+        );
+    }
+
+    #[test]
+    fn field_access_and_error() {
+        let tup = Term::constant(Value::tuple_of(vec![("a", Value::from(1))]));
+        assert_eq!(
+            Term::field(tup.clone(), "a").eval(&env()).unwrap(),
+            Value::from(1)
+        );
+        let err = Term::field(tup, "b").eval(&env()).unwrap_err();
+        assert!(matches!(err, DataError::NoSuchField { .. }));
+        let err = Term::field(Term::var("x"), "b").eval(&env()).unwrap_err();
+        assert!(matches!(err, DataError::SortMismatch { .. }));
+    }
+
+    #[test]
+    fn conditional_short_circuits_branches() {
+        // the untaken branch may be erroneous without failing evaluation
+        let t = Term::ite(
+            Term::constant(true),
+            Term::var("x"),
+            Term::var("does-not-exist"),
+        );
+        assert_eq!(t.eval(&env()).unwrap(), Value::from(10));
+    }
+
+    #[test]
+    fn forall_over_tuples() {
+        // for all(e in emps : e.sal >= 100)
+        let t = Term::quant(
+            Quantifier::Forall,
+            "e",
+            Term::var("emps"),
+            Term::apply(
+                Op::Ge,
+                vec![Term::field(Term::var("e"), "sal"), Term::constant(100i64)],
+            ),
+        );
+        assert_eq!(t.eval(&env()).unwrap(), Value::Bool(true));
+        // exists(e in emps : e.sal > 150)
+        let t = Term::quant(
+            Quantifier::Exists,
+            "e",
+            Term::var("emps"),
+            Term::apply(
+                Op::Gt,
+                vec![Term::field(Term::var("e"), "sal"), Term::constant(150i64)],
+            ),
+        );
+        assert_eq!(t.eval(&env()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn quantifiers_over_empty_domain() {
+        let empty = Term::constant(Value::empty_set());
+        let falsum = Term::constant(false);
+        assert_eq!(
+            Term::quant(Quantifier::Forall, "e", empty.clone(), falsum.clone())
+                .eval(&env())
+                .unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Term::quant(Quantifier::Exists, "e", empty, falsum)
+                .eval(&env())
+                .unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn quantifier_shadowing() {
+        // x is 10 outside, shadowed inside the quantifier
+        let t = Term::quant(
+            Quantifier::Forall,
+            "x",
+            Term::constant(Value::set_of(vec![Value::from(1)])),
+            Term::eq(Term::var("x"), Term::constant(1i64)),
+        );
+        assert_eq!(t.eval(&env()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn let_binding() {
+        let t = Term::let_in(
+            "z",
+            Term::apply(Op::Mul, vec![Term::var("x"), Term::constant(2i64)]),
+            Term::apply(Op::Add, vec![Term::var("z"), Term::var("y")]),
+        );
+        assert_eq!(t.eval(&env()).unwrap(), Value::from(24));
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let t = Term::quant(
+            Quantifier::Forall,
+            "e",
+            Term::var("emps"),
+            Term::and(
+                Term::apply(Op::IsDefined, vec![Term::var("e")]),
+                Term::eq(Term::var("x"), Term::var("x")),
+            ),
+        );
+        assert_eq!(t.free_vars(), vec!["emps".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn subst_avoids_bound_occurrences() {
+        let t = Term::quant(
+            Quantifier::Forall,
+            "x",
+            Term::var("dom"),
+            Term::var("x"),
+        );
+        let replaced = t.subst("x", &Term::constant(5i64));
+        // bound x untouched
+        assert_eq!(replaced, t);
+        let t2 = Term::var("x").subst("x", &Term::constant(5i64));
+        assert_eq!(t2, Term::constant(5i64));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = Term::apply(Op::Insert, vec![Term::var("P"), Term::var("employees")]);
+        assert_eq!(t.to_string(), "insert(P, employees)");
+        let q = Term::the(Term::project(
+            Term::select(Term::var("Emps"), Term::eq(Term::var("ename"), Term::var("n"))),
+            vec!["esalary"],
+        ));
+        assert_eq!(
+            q.to_string(),
+            "the(project|esalary|(select|=(ename, n)|(Emps)))"
+        );
+    }
+
+    #[test]
+    fn algebra_terms_evaluate() {
+        // the(project|sal|(select|name = "a"|(emps)))  — §5.2 derivation shape
+        let q = Term::the(Term::project(
+            Term::select(
+                Term::var("emps"),
+                Term::eq(Term::var("name"), Term::constant(Value::from("a"))),
+            ),
+            vec!["sal"],
+        ));
+        assert_eq!(q.eval(&env()).unwrap(), Value::from(100));
+        // selection predicate sees outer variables too
+        let mut e2 = env();
+        e2.bind("target", Value::from("b"));
+        let q2 = Term::the(Term::project(
+            Term::select(
+                Term::var("emps"),
+                Term::eq(Term::var("name"), Term::var("target")),
+            ),
+            vec!["sal"],
+        ));
+        assert_eq!(q2.eval(&e2).unwrap(), Value::from(200));
+        // the() on non-singleton errors
+        let bad = Term::the(Term::var("emps"));
+        assert!(bad.eval(&env()).is_err());
+    }
+
+    #[test]
+    fn algebra_terms_subst_and_free_vars() {
+        let q = Term::select(Term::var("rel"), Term::eq(Term::var("f"), Term::var("x")));
+        assert_eq!(
+            q.free_vars(),
+            vec!["f".to_string(), "rel".to_string(), "x".to_string()]
+        );
+        let substituted = q.subst("x", &Term::constant(1i64));
+        assert_eq!(
+            substituted,
+            Term::select(Term::var("rel"), Term::eq(Term::var("f"), Term::constant(1i64)))
+        );
+        let p = Term::project(Term::var("rel"), vec!["a"]).subst("rel", &Term::var("r2"));
+        assert_eq!(p, Term::project(Term::var("r2"), vec!["a"]));
+    }
+
+    #[test]
+    fn layered_env_shadows() {
+        let mut top = MapEnv::new();
+        top.bind("x", Value::from(1));
+        let base = env();
+        let layered = Layered {
+            top: &top,
+            base: &base,
+        };
+        assert_eq!(layered.lookup("x"), Some(Value::from(1)));
+        assert_eq!(layered.lookup("y"), Some(Value::from(4)));
+    }
+
+    proptest! {
+        #[test]
+        fn subst_then_eval_equals_bind_then_eval(x in -100i64..100, y in -100i64..100) {
+            // (x + y) with x substituted == (x + y) with x bound
+            let t = Term::apply(Op::Add, vec![Term::var("a"), Term::var("b")]);
+            let substituted = t.subst("a", &Term::constant(x));
+            let mut env1 = MapEnv::new();
+            env1.bind("b", Value::from(y));
+            let mut env2 = MapEnv::new();
+            env2.bind("a", Value::from(x));
+            env2.bind("b", Value::from(y));
+            prop_assert_eq!(substituted.eval(&env1).unwrap(), t.eval(&env2).unwrap());
+        }
+
+        #[test]
+        fn eval_is_deterministic(x in -100i64..100) {
+            let t = Term::apply(Op::Mul, vec![Term::var("v"), Term::constant(3i64)]);
+            let mut e = MapEnv::new();
+            e.bind("v", Value::from(x));
+            prop_assert_eq!(t.eval(&e).unwrap(), t.eval(&e).unwrap());
+        }
+    }
+}

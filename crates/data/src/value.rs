@@ -1,0 +1,569 @@
+//! The value universe of TROLL data terms.
+
+use crate::{Date, Money, Sort, TupleField};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An object identity value.
+///
+/// The paper (Section 3) requires of identities only that "we should know
+/// which of them are equal and which are not, and we should have enough of
+/// them around". In TROLL, identities are declared per class under the
+/// `identification` keyword as a tuple of data values "analogously to
+/// database keys" (e.g. `PERSON` is identified by `name: string` and
+/// `birthdate: date`). An [`ObjectId`] is therefore a class name plus a
+/// key tuple.
+///
+/// # Example
+///
+/// ```
+/// use troll_data::{ObjectId, Value, Date};
+/// let p = ObjectId::new("PERSON", vec![
+///     Value::from("E. Codd"),
+///     Value::Date(Date::new(1923, 8, 19)?),
+/// ]);
+/// assert_eq!(p.class(), "PERSON");
+/// assert_eq!(p.to_string(), "PERSON(\"E. Codd\", 1923-08-19)");
+/// # Ok::<(), troll_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ObjectId {
+    class: String,
+    key: Vec<Value>,
+}
+
+impl ObjectId {
+    /// Creates an identity in class `class` with the given key values.
+    pub fn new(class: impl Into<String>, key: Vec<Value>) -> Self {
+        ObjectId {
+            class: class.into(),
+            key,
+        }
+    }
+
+    /// Creates an identity with a single key value.
+    pub fn singleton(class: impl Into<String>, key: Value) -> Self {
+        ObjectId::new(class, vec![key])
+    }
+
+    /// The class this identity belongs to.
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    /// The key values identifying the object within its class.
+    pub fn key(&self) -> &[Value] {
+        &self.key
+    }
+
+    /// Re-tags this identity with a different class name, keeping the key.
+    ///
+    /// Used when an object appears under another *aspect*: `SUN·computer`
+    /// and `SUN·el_device` share the identity key but are addressed
+    /// through different templates (paper Example 3.1). Inheritance
+    /// morphisms preserve the identity, so retagging is only sound along
+    /// such morphisms — the kernel crate enforces that.
+    pub fn retag(&self, class: impl Into<String>) -> ObjectId {
+        ObjectId {
+            class: class.into(),
+            key: self.key.clone(),
+        }
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.class)?;
+        for (i, v) in self.key.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A TROLL data value.
+///
+/// Values are totally ordered (structurally) so that any value may be a
+/// set member or map key, as the paper's data signatures require
+/// (`set(PERSON)`, `set(tuple(...))`). Note the deliberate absence of
+/// floating point: `money` covers the paper's fractional arithmetic
+/// exactly.
+///
+/// `Undefined` is the value of an attribute that has not yet been
+/// assigned by any valuation rule (observable only between birth and the
+/// first valuation that touches the attribute).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Value {
+    /// The undefined observation.
+    #[default]
+    Undefined,
+    /// Truth value.
+    Bool(bool),
+    /// Integer (also used for `nat`; sort checking enforces sign).
+    Int(i64),
+    /// Character string.
+    Str(String),
+    /// Calendar date.
+    Date(Date),
+    /// Monetary amount.
+    Money(Money),
+    /// Object identity.
+    Id(ObjectId),
+    /// Finite set.
+    Set(BTreeSet<Value>),
+    /// Finite list.
+    List(Vec<Value>),
+    /// Finite map.
+    Map(BTreeMap<Value, Value>),
+    /// Tuple with named fields, kept sorted by field name so equality is
+    /// independent of field order in the source text.
+    Tuple(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds a set value from an iterator of elements (duplicates are
+    /// collapsed, as for mathematical sets).
+    pub fn set_of(elems: impl IntoIterator<Item = Value>) -> Value {
+        Value::Set(elems.into_iter().collect())
+    }
+
+    /// Builds a list value.
+    pub fn list_of(elems: impl IntoIterator<Item = Value>) -> Value {
+        Value::List(elems.into_iter().collect())
+    }
+
+    /// Builds a map value from key/value pairs (later duplicates of a key
+    /// override earlier ones).
+    pub fn map_of(pairs: impl IntoIterator<Item = (Value, Value)>) -> Value {
+        Value::Map(pairs.into_iter().collect())
+    }
+
+    /// Builds a tuple value; fields are sorted by name.
+    pub fn tuple_of(fields: impl IntoIterator<Item = (impl Into<String>, Value)>) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            fields.into_iter().map(|(n, v)| (n.into(), v)).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        fields.dedup_by(|a, b| a.0 == b.0);
+        Value::Tuple(fields)
+    }
+
+    /// The empty set.
+    pub fn empty_set() -> Value {
+        Value::Set(BTreeSet::new())
+    }
+
+    /// The empty list.
+    pub fn empty_list() -> Value {
+        Value::List(Vec::new())
+    }
+
+    /// Whether this is the undefined observation.
+    pub fn is_undefined(&self) -> bool {
+        matches!(self, Value::Undefined)
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the identity payload, if this is an `Id`.
+    pub fn as_id(&self) -> Option<&ObjectId> {
+        match self {
+            Value::Id(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Returns the set payload, if this is a `Set`.
+    pub fn as_set(&self) -> Option<&BTreeSet<Value>> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the list payload, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Looks up a tuple field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Tuple(fields) => fields
+                .binary_search_by(|(n, _)| n.as_str().cmp(name))
+                .ok()
+                .map(|i| &fields[i].1),
+            _ => None,
+        }
+    }
+
+    /// Checks whether this value conforms to (is a member of) `sort`.
+    ///
+    /// `Undefined` conforms only to `optional(_)` sorts, capturing the
+    /// paper's convention that attributes are observations that may be
+    /// temporarily undefined.
+    pub fn conforms_to(&self, sort: &Sort) -> bool {
+        match (self, sort) {
+            (Value::Undefined, Sort::Optional(_)) => true,
+            (v, Sort::Optional(inner)) => v.conforms_to(inner),
+            (Value::Bool(_), Sort::Bool) => true,
+            (Value::Int(_), Sort::Int) => true,
+            (Value::Int(i), Sort::Nat) => *i >= 0,
+            (Value::Str(_), Sort::String) => true,
+            (Value::Date(_), Sort::Date) => true,
+            (Value::Money(_), Sort::Money) => true,
+            (Value::Id(id), Sort::Id(class)) => id.class() == class,
+            (Value::Set(elems), Sort::Set(elem_sort)) => {
+                elems.iter().all(|e| e.conforms_to(elem_sort))
+            }
+            (Value::List(elems), Sort::List(elem_sort)) => {
+                elems.iter().all(|e| e.conforms_to(elem_sort))
+            }
+            (Value::Map(pairs), Sort::Map(k_sort, v_sort)) => pairs
+                .iter()
+                .all(|(k, v)| k.conforms_to(k_sort) && v.conforms_to(v_sort)),
+            (Value::Tuple(fields), Sort::Tuple(field_sorts)) => {
+                fields.len() == field_sorts.len() && {
+                    // Tuple values are sorted by name; sort declarations may
+                    // list fields in any order.
+                    let mut sorted: Vec<&TupleField> = field_sorts.iter().collect();
+                    sorted.sort_by(|a, b| a.name.cmp(&b.name));
+                    fields
+                        .iter()
+                        .zip(sorted)
+                        .all(|((n, v), f)| *n == f.name && v.conforms_to(&f.sort))
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Infers the most specific sort of this value, when one exists.
+    ///
+    /// Heterogeneous collections and empty collections have no unique
+    /// most-specific element sort; for empty collections we default the
+    /// element sort to `int` (any use site that cares should check
+    /// conformance against the declared sort instead).
+    pub fn infer_sort(&self) -> Option<Sort> {
+        match self {
+            Value::Undefined => None,
+            Value::Bool(_) => Some(Sort::Bool),
+            Value::Int(i) => Some(if *i >= 0 { Sort::Nat } else { Sort::Int }),
+            Value::Str(_) => Some(Sort::String),
+            Value::Date(_) => Some(Sort::Date),
+            Value::Money(_) => Some(Sort::Money),
+            Value::Id(id) => Some(Sort::Id(id.class().to_string())),
+            Value::Set(elems) => {
+                let elem = Self::common_sort(elems.iter())?;
+                Some(Sort::set(elem))
+            }
+            Value::List(elems) => {
+                let elem = Self::common_sort(elems.iter())?;
+                Some(Sort::list(elem))
+            }
+            Value::Map(pairs) => {
+                let k = Self::common_sort(pairs.keys())?;
+                let v = Self::common_sort(pairs.values())?;
+                Some(Sort::map(k, v))
+            }
+            Value::Tuple(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (n, v) in fields {
+                    out.push(TupleField::new(n.clone(), v.infer_sort()?));
+                }
+                Some(Sort::Tuple(out))
+            }
+        }
+    }
+
+    fn common_sort<'a>(mut values: impl Iterator<Item = &'a Value>) -> Option<Sort> {
+        let first = match values.next() {
+            None => return Some(Sort::Int),
+            Some(v) => v.infer_sort()?,
+        };
+        values.try_fold(first, |acc, v| {
+            let s = v.infer_sort()?;
+            if s.is_subsort_of(&acc) {
+                Some(acc)
+            } else if acc.is_subsort_of(&s) {
+                Some(s)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<Date> for Value {
+    fn from(d: Date) -> Self {
+        Value::Date(d)
+    }
+}
+
+impl From<Money> for Value {
+    fn from(m: Money) -> Self {
+        Value::Money(m)
+    }
+}
+
+impl From<ObjectId> for Value {
+    fn from(id: ObjectId) -> Self {
+        Value::Id(id)
+    }
+}
+
+impl FromIterator<Value> for Value {
+    /// Collecting an iterator of values yields a list value.
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Value::list_of(iter)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Undefined => write!(f, "undefined"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Money(m) => write!(f, "{m}"),
+            Value::Id(id) => write!(f, "{id}"),
+            Value::Set(elems) => {
+                write!(f, "{{")?;
+                for (i, e) in elems.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::List(elems) => {
+                write!(f, "[")?;
+                for (i, e) in elems.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(pairs) => {
+                write!(f, "map(")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} -> {v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Tuple(fields) => {
+                write!(f, "tuple(")?;
+                for (i, (n, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}:{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn person(name: &str) -> ObjectId {
+        ObjectId::singleton("PERSON", Value::from(name))
+    }
+
+    #[test]
+    fn tuple_fields_are_order_insensitive() {
+        let a = Value::tuple_of(vec![("x", Value::from(1)), ("y", Value::from(2))]);
+        let b = Value::tuple_of(vec![("y", Value::from(2)), ("x", Value::from(1))]);
+        assert_eq!(a, b);
+        assert_eq!(a.field("x"), Some(&Value::from(1)));
+        assert_eq!(a.field("z"), None);
+    }
+
+    #[test]
+    fn set_collapses_duplicates() {
+        let s = Value::set_of(vec![Value::from(1), Value::from(1), Value::from(2)]);
+        assert_eq!(s.as_set().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn conformance_base_sorts() {
+        assert!(Value::from(true).conforms_to(&Sort::Bool));
+        assert!(Value::from(-1).conforms_to(&Sort::Int));
+        assert!(!Value::from(-1).conforms_to(&Sort::Nat));
+        assert!(Value::from(0).conforms_to(&Sort::Nat));
+        assert!(Value::from("x").conforms_to(&Sort::String));
+        assert!(!Value::from("x").conforms_to(&Sort::Int));
+        assert!(Value::Undefined.conforms_to(&Sort::optional(Sort::Int)));
+        assert!(!Value::Undefined.conforms_to(&Sort::Int));
+        assert!(Value::from(3).conforms_to(&Sort::optional(Sort::Int)));
+    }
+
+    #[test]
+    fn conformance_identities() {
+        let id = Value::Id(person("alice"));
+        assert!(id.conforms_to(&Sort::id("PERSON")));
+        assert!(!id.conforms_to(&Sort::id("DEPT")));
+    }
+
+    #[test]
+    fn conformance_collections() {
+        let emps = Value::set_of(vec![Value::Id(person("a")), Value::Id(person("b"))]);
+        assert!(emps.conforms_to(&Sort::set(Sort::id("PERSON"))));
+        assert!(!emps.conforms_to(&Sort::set(Sort::id("DEPT"))));
+        assert!(Value::empty_set().conforms_to(&Sort::set(Sort::id("DEPT"))));
+
+        let t = Value::tuple_of(vec![
+            ("ename", Value::from("a")),
+            ("esalary", Value::from(100)),
+        ]);
+        let sort = Sort::tuple(vec![
+            TupleField::new("esalary", Sort::Int),
+            TupleField::new("ename", Sort::String),
+        ]);
+        assert!(t.conforms_to(&sort), "field order in sort must not matter");
+    }
+
+    #[test]
+    fn sort_inference() {
+        assert_eq!(Value::from(5).infer_sort(), Some(Sort::Nat));
+        assert_eq!(Value::from(-5).infer_sort(), Some(Sort::Int));
+        let mixed = Value::set_of(vec![Value::from(-1), Value::from(1)]);
+        assert_eq!(mixed.infer_sort(), Some(Sort::set(Sort::Int)));
+        let hetero = Value::set_of(vec![Value::from(1), Value::from("x")]);
+        assert_eq!(hetero.infer_sort(), None);
+        assert_eq!(Value::Undefined.infer_sort(), None);
+    }
+
+    #[test]
+    fn retag_preserves_key() {
+        let sun = ObjectId::singleton("computer", Value::from("SUN"));
+        let dev = sun.retag("el_device");
+        assert_eq!(dev.class(), "el_device");
+        assert_eq!(dev.key(), sun.key());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::from(3).to_string(), "3");
+        assert_eq!(Value::empty_set().to_string(), "{}");
+        assert_eq!(
+            Value::list_of(vec![Value::from(1), Value::from(2)]).to_string(),
+            "[1, 2]"
+        );
+        assert_eq!(Value::Undefined.to_string(), "undefined");
+        assert_eq!(
+            Value::Id(person("alice")).to_string(),
+            "PERSON(\"alice\")"
+        );
+    }
+
+    fn arb_scalar() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            any::<bool>().prop_map(Value::from),
+            any::<i64>().prop_map(Value::from),
+            "[a-z]{0,8}".prop_map(Value::from),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn ordering_is_total_and_consistent(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+            use std::cmp::Ordering;
+            // antisymmetry
+            if a.cmp(&b) == Ordering::Equal {
+                prop_assert_eq!(&a, &b);
+            }
+            // transitivity spot check
+            if a <= b && b <= c {
+                prop_assert!(a <= c);
+            }
+        }
+
+        #[test]
+        fn sets_ignore_insertion_order(mut elems in proptest::collection::vec(arb_scalar(), 0..8)) {
+            let s1 = Value::set_of(elems.clone());
+            elems.reverse();
+            let s2 = Value::set_of(elems);
+            prop_assert_eq!(s1, s2);
+        }
+
+        #[test]
+        fn inferred_sort_admits_value(v in arb_scalar()) {
+            let s = v.infer_sort().unwrap();
+            prop_assert!(v.conforms_to(&s));
+        }
+    }
+}

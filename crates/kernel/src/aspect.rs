@@ -1,0 +1,186 @@
+//! Aspects and aspect morphisms.
+
+use crate::TemplateMorphism;
+use std::fmt;
+use troll_data::ObjectId;
+
+/// An object aspect `b·t` — "a pair b·t where b is an identity and t is
+/// a template", read "b as t" (§3). A given person may have the aspects
+/// `p·person`, `p·employee`, `p·patient`, … all with the same identity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Aspect {
+    identity: ObjectId,
+    template: String,
+}
+
+impl Aspect {
+    /// Creates the aspect `identity · template`.
+    pub fn new(identity: ObjectId, template: impl Into<String>) -> Self {
+        Aspect {
+            identity,
+            template: template.into(),
+        }
+    }
+
+    /// The identity `b`.
+    pub fn identity(&self) -> &ObjectId {
+        &self.identity
+    }
+
+    /// The template name `t`.
+    pub fn template(&self) -> &str {
+        &self.template
+    }
+
+    /// Whether this aspect belongs to the same object as `other` (same
+    /// identity, possibly different template).
+    pub fn same_object(&self, other: &Aspect) -> bool {
+        self.identity == other.identity
+    }
+}
+
+impl fmt::Display for Aspect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}·{}", self.identity, self.template)
+    }
+}
+
+/// An aspect morphism `h : b·t → c·u` — "template morphisms with
+/// identities attached" (§3).
+///
+/// The identities make the fundamental distinction:
+///
+/// * `b = c` — an **inheritance morphism**: both aspects are the *same
+///   object* (Example 3.1: `h : SUN·computer → SUN·el_device`);
+/// * `b ≠ c` — an **interaction morphism**: distinct objects related
+///   structurally (Example 3.1: `f' : SUN·el_device → PXX·powsply`,
+///   the HAS-THE relationship).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AspectMorphism {
+    morphism: TemplateMorphism,
+    source: Aspect,
+    target: Aspect,
+}
+
+impl AspectMorphism {
+    /// Creates an aspect morphism from a template morphism and two
+    /// aspects. The template morphism's endpoints must match the
+    /// aspects' templates; returns `None` otherwise.
+    pub fn new(morphism: TemplateMorphism, source: Aspect, target: Aspect) -> Option<Self> {
+        if morphism.source() != source.template() || morphism.target() != target.template() {
+            return None;
+        }
+        Some(AspectMorphism {
+            morphism,
+            source,
+            target,
+        })
+    }
+
+    /// The underlying template morphism.
+    pub fn template_morphism(&self) -> &TemplateMorphism {
+        &self.morphism
+    }
+
+    /// Source aspect.
+    pub fn source(&self) -> &Aspect {
+        &self.source
+    }
+
+    /// Target aspect.
+    pub fn target(&self) -> &Aspect {
+        &self.target
+    }
+
+    /// Whether this is an inheritance morphism (`b = c`).
+    pub fn is_inheritance(&self) -> bool {
+        self.source.identity() == self.target.identity()
+    }
+
+    /// Whether this is an interaction morphism (`b ≠ c`).
+    pub fn is_interaction(&self) -> bool {
+        !self.is_inheritance()
+    }
+}
+
+impl fmt::Display for AspectMorphism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.is_inheritance() {
+            "inheritance"
+        } else {
+            "interaction"
+        };
+        write!(
+            f,
+            "{}: {} → {} [{kind}]",
+            self.morphism.name(),
+            self.source,
+            self.target
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troll_data::Value;
+
+    fn sun() -> ObjectId {
+        ObjectId::singleton("computer", Value::from("SUN"))
+    }
+
+    fn pxx() -> ObjectId {
+        ObjectId::singleton("powsply", Value::from("PXX"))
+    }
+
+    #[test]
+    fn aspect_identity_and_display() {
+        let a = Aspect::new(sun(), "computer");
+        let b = Aspect::new(sun(), "el_device");
+        let c = Aspect::new(pxx(), "powsply");
+        assert!(a.same_object(&b));
+        assert!(!a.same_object(&c));
+        assert_eq!(a.to_string(), "computer(\"SUN\")·computer");
+    }
+
+    #[test]
+    fn inheritance_vs_interaction() {
+        let h = TemplateMorphism::identity_on("h", "computer", "el_device");
+        let inh = AspectMorphism::new(
+            h,
+            Aspect::new(sun(), "computer"),
+            Aspect::new(sun(), "el_device"),
+        )
+        .unwrap();
+        assert!(inh.is_inheritance());
+        assert!(!inh.is_interaction());
+        assert!(inh.to_string().contains("[inheritance]"));
+
+        let f = TemplateMorphism::identity_on("f", "el_device", "powsply");
+        let int = AspectMorphism::new(
+            f,
+            Aspect::new(sun(), "el_device"),
+            Aspect::new(pxx(), "powsply"),
+        )
+        .unwrap();
+        assert!(int.is_interaction());
+        assert!(int.to_string().contains("[interaction]"));
+    }
+
+    #[test]
+    fn endpoint_templates_must_match() {
+        let h = TemplateMorphism::identity_on("h", "computer", "el_device");
+        assert!(AspectMorphism::new(
+            h.clone(),
+            Aspect::new(sun(), "el_device"), // wrong: morphism source is computer
+            Aspect::new(sun(), "el_device"),
+        )
+        .is_none());
+        assert!(AspectMorphism::new(
+            h,
+            Aspect::new(sun(), "computer"),
+            Aspect::new(sun(), "computer"), // wrong target
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,549 @@
+//! Object communities — collections of interacting aspects.
+
+use crate::{Aspect, AspectMorphism, InheritanceSchema, KernelError, Result, TemplateMorphism};
+use std::collections::{BTreeMap, BTreeSet};
+use troll_data::ObjectId;
+
+/// An interaction morphism edge in a community: a template morphism with
+/// two (distinct-identity) aspects attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InteractionEdge {
+    /// The underlying template morphism.
+    pub morphism: TemplateMorphism,
+    /// Source aspect.
+    pub source: Aspect,
+    /// Target aspect.
+    pub target: Aspect,
+}
+
+impl InteractionEdge {
+    /// View as an [`AspectMorphism`].
+    pub fn as_aspect_morphism(&self) -> AspectMorphism {
+        AspectMorphism::new(
+            self.morphism.clone(),
+            self.source.clone(),
+            self.target.clone(),
+        )
+        .expect("edge endpoints validated on insertion")
+    }
+}
+
+/// An object community: "a collection of interacting objects" (§3),
+/// closed under the inheritance schema Δ — "if an aspect is given, all
+/// its derived aspects with respect to a given inheritance schema should
+/// also be in the community".
+///
+/// Grown by the paper's construction steps:
+///
+/// * [`Community::add_object`] — create an object (an aspect plus its
+///   derived aspects);
+/// * [`Community::incorporate`] — "taking a part and enlarging it by
+///   adding new items"; the multiple version is
+///   [`Community::aggregate`] (Example 3.9: assembling `SUN·computer`
+///   from `PXX·powsply` and `CYY·cpu`);
+/// * [`Community::interface_object`] — the reverse step, creating an
+///   object with a *new identity* over existing ones (Example 3.8: a
+///   database view); the multiple version is
+///   [`Community::synchronize`] — synchronization by sharing
+///   (Example 3.7: the cable shared by cpu and power supply).
+#[derive(Debug, Clone)]
+pub struct Community {
+    schema: InheritanceSchema,
+    aspects: BTreeSet<Aspect>,
+    /// The creation template of each identity (the most specific aspect).
+    base_template: BTreeMap<ObjectId, String>,
+    interactions: Vec<InteractionEdge>,
+}
+
+impl Community {
+    /// Creates an empty community over the given inheritance schema.
+    pub fn new(schema: InheritanceSchema) -> Self {
+        Community {
+            schema,
+            aspects: BTreeSet::new(),
+            base_template: BTreeMap::new(),
+            interactions: Vec::new(),
+        }
+    }
+
+    /// The underlying inheritance schema.
+    pub fn schema(&self) -> &InheritanceSchema {
+        &self.schema
+    }
+
+    /// Creates an object: "we create an object by providing an identity
+    /// b and a template t. Then this object b·t has all aspects obtained
+    /// by relating the same identity b to all 'derived' aspects" (§3).
+    ///
+    /// # Errors
+    ///
+    /// * [`KernelError::UnknownTemplate`] if the template is not in Δ.
+    /// * [`KernelError::IdentityInUse`] if the identity already names an
+    ///   object ("no other aspect should have this identity").
+    pub fn add_object(&mut self, identity: ObjectId, template: &str) -> Result<Aspect> {
+        if !self.schema.contains(template) {
+            return Err(KernelError::UnknownTemplate(template.to_string()));
+        }
+        if let Some(existing) = self.base_template.get(&identity) {
+            return Err(KernelError::IdentityInUse {
+                identity: identity.to_string(),
+                existing_template: existing.clone(),
+            });
+        }
+        let base = Aspect::new(identity.clone(), template);
+        self.aspects.insert(base.clone());
+        self.base_template
+            .insert(identity.clone(), template.to_string());
+        // Δ-closure: add every derived aspect.
+        for derived in self.schema.ancestors(template) {
+            self.aspects.insert(Aspect::new(identity.clone(), derived));
+        }
+        Ok(base)
+    }
+
+    /// Whether the aspect is in the community.
+    pub fn contains(&self, aspect: &Aspect) -> bool {
+        self.aspects.contains(aspect)
+    }
+
+    /// Whether any aspect with this identity exists.
+    pub fn contains_identity(&self, identity: &ObjectId) -> bool {
+        self.base_template.contains_key(identity)
+    }
+
+    /// All aspects, in order.
+    pub fn aspects(&self) -> impl Iterator<Item = &Aspect> {
+        self.aspects.iter()
+    }
+
+    /// The objects (base aspects: identity with its creation template).
+    pub fn objects(&self) -> impl Iterator<Item = Aspect> + '_ {
+        self.base_template
+            .iter()
+            .map(|(id, t)| Aspect::new(id.clone(), t.clone()))
+    }
+
+    /// All aspects of one identity (the object's aspects).
+    pub fn aspects_of(&self, identity: &ObjectId) -> Vec<&Aspect> {
+        self.aspects
+            .iter()
+            .filter(|a| a.identity() == identity)
+            .collect()
+    }
+
+    /// The inheritance morphisms of the object named by `identity`:
+    /// for every schema morphism between templates the object has
+    /// aspects of, the corresponding aspect morphism (same identity on
+    /// both sides).
+    pub fn inheritance_morphisms(&self, identity: &ObjectId) -> Vec<AspectMorphism> {
+        let mut out = Vec::new();
+        let templates: BTreeSet<&str> = self
+            .aspects_of(identity)
+            .into_iter()
+            .map(Aspect::template)
+            .collect();
+        for m in self.schema.morphisms() {
+            if templates.contains(m.source()) && templates.contains(m.target()) {
+                let am = AspectMorphism::new(
+                    m.clone(),
+                    Aspect::new(identity.clone(), m.source()),
+                    Aspect::new(identity.clone(), m.target()),
+                )
+                .expect("schema morphism endpoints match aspect templates");
+                out.push(am);
+            }
+        }
+        out
+    }
+
+    /// Adds an interaction morphism between two existing aspects.
+    ///
+    /// # Errors
+    ///
+    /// * [`KernelError::UnknownAspect`] if either endpoint is missing.
+    /// * [`KernelError::InteractionNeedsDistinctIdentities`] if both
+    ///   aspects have the same identity.
+    /// * [`KernelError::InvalidMorphism`] if the template morphism fails
+    ///   its checks between the endpoint templates.
+    pub fn add_interaction(
+        &mut self,
+        morphism: TemplateMorphism,
+        source: Aspect,
+        target: Aspect,
+    ) -> Result<()> {
+        if !self.contains(&source) {
+            return Err(KernelError::UnknownAspect(source.to_string()));
+        }
+        if !self.contains(&target) {
+            return Err(KernelError::UnknownAspect(target.to_string()));
+        }
+        if source.identity() == target.identity() {
+            return Err(KernelError::InteractionNeedsDistinctIdentities {
+                identity: source.identity().to_string(),
+            });
+        }
+        let src_t = self
+            .schema
+            .template(source.template())
+            .ok_or_else(|| KernelError::UnknownTemplate(source.template().to_string()))?;
+        let dst_t = self
+            .schema
+            .template(target.template())
+            .ok_or_else(|| KernelError::UnknownTemplate(target.template().to_string()))?;
+        let violations = morphism.check(src_t, dst_t);
+        if !violations.is_empty() {
+            return Err(KernelError::InvalidMorphism {
+                name: morphism.name().to_string(),
+                violations,
+            });
+        }
+        self.interactions.push(InteractionEdge {
+            morphism,
+            source,
+            target,
+        });
+        Ok(())
+    }
+
+    /// Incorporation: the part `b·u` is already in the community; create
+    /// the enlarged object `a·t` and connect it via `h : a·t → b·u`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Community::add_object`] and
+    /// [`Community::add_interaction`].
+    pub fn incorporate(
+        &mut self,
+        identity: ObjectId,
+        template: &str,
+        morphism: TemplateMorphism,
+        part: &Aspect,
+    ) -> Result<Aspect> {
+        self.aggregate(identity, template, vec![(morphism, part.clone())])
+    }
+
+    /// Aggregation — the multiple version of incorporation: create
+    /// `a·t` with morphisms to several parts (Example 3.9).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Community::add_object`] and
+    /// [`Community::add_interaction`]; on failure the new object is
+    /// rolled back.
+    pub fn aggregate(
+        &mut self,
+        identity: ObjectId,
+        template: &str,
+        parts: Vec<(TemplateMorphism, Aspect)>,
+    ) -> Result<Aspect> {
+        for (_, part) in &parts {
+            if !self.contains(part) {
+                return Err(KernelError::UnknownAspect(part.to_string()));
+            }
+        }
+        let whole = self.add_object(identity.clone(), template)?;
+        for (morphism, part) in parts {
+            if let Err(e) = self.add_interaction(morphism, whole.clone(), part.clone()) {
+                self.remove_object(&identity);
+                return Err(e);
+            }
+        }
+        Ok(whole)
+    }
+
+    /// Interfacing: create an object with a **new identity** on top of an
+    /// existing one, connected by `h : b·u → a·t` (source is the existing
+    /// object). "Consider the construction of a database view on top of
+    /// a database: this is interfacing" (Example 3.8).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Community::add_object`] and
+    /// [`Community::add_interaction`].
+    pub fn interface_object(
+        &mut self,
+        identity: ObjectId,
+        template: &str,
+        morphism: TemplateMorphism,
+        over: &Aspect,
+    ) -> Result<Aspect> {
+        self.synchronize(identity, template, vec![(morphism, over.clone())])
+    }
+
+    /// Synchronization by sharing — the multiple version of interfacing:
+    /// several existing objects are connected **to** the new shared
+    /// object (Example 3.7: `CYY·cpu → CBZ·cable ← PXX·powsply`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Community::add_object`] and
+    /// [`Community::add_interaction`]; on failure the new object is
+    /// rolled back.
+    pub fn synchronize(
+        &mut self,
+        identity: ObjectId,
+        template: &str,
+        sharers: Vec<(TemplateMorphism, Aspect)>,
+    ) -> Result<Aspect> {
+        for (_, sharer) in &sharers {
+            if !self.contains(sharer) {
+                return Err(KernelError::UnknownAspect(sharer.to_string()));
+            }
+        }
+        let shared = self.add_object(identity.clone(), template)?;
+        for (morphism, sharer) in sharers {
+            if let Err(e) = self.add_interaction(morphism, sharer.clone(), shared.clone()) {
+                self.remove_object(&identity);
+                return Err(e);
+            }
+        }
+        Ok(shared)
+    }
+
+    /// The parts of an aspect: targets of interaction edges leaving it.
+    pub fn parts_of(&self, whole: &Aspect) -> Vec<&Aspect> {
+        self.interactions
+            .iter()
+            .filter(|e| &e.source == whole)
+            .map(|e| &e.target)
+            .collect()
+    }
+
+    /// The sharing diagram around `shared`: all pairs of distinct
+    /// sources with interaction morphisms into it (`p → shared ← q`).
+    pub fn sharers_of(&self, shared: &Aspect) -> Vec<&Aspect> {
+        self.interactions
+            .iter()
+            .filter(|e| &e.target == shared)
+            .map(|e| &e.source)
+            .collect()
+    }
+
+    /// All interaction edges.
+    pub fn interactions(&self) -> &[InteractionEdge] {
+        &self.interactions
+    }
+
+    /// Number of aspects.
+    pub fn len(&self) -> usize {
+        self.aspects.len()
+    }
+
+    /// Whether the community has no aspects.
+    pub fn is_empty(&self) -> bool {
+        self.aspects.is_empty()
+    }
+
+    fn remove_object(&mut self, identity: &ObjectId) {
+        self.aspects.retain(|a| a.identity() != identity);
+        self.base_template.remove(identity);
+        self.interactions
+            .retain(|e| e.source.identity() != identity && e.target.identity() != identity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Template;
+    use troll_data::Value;
+
+    fn schema() -> InheritanceSchema {
+        let mut s = InheritanceSchema::new();
+        s.add_template(Template::named("thing")).unwrap();
+        s.add_specialization(
+            Template::named("el_device"),
+            TemplateMorphism::identity_on("d2t", "el_device", "thing"),
+        )
+        .unwrap();
+        s.add_specialization(
+            Template::named("computer"),
+            TemplateMorphism::identity_on("h", "computer", "el_device"),
+        )
+        .unwrap();
+        for t in ["powsply", "cpu", "cable"] {
+            s.add_template(Template::named(t)).unwrap();
+        }
+        s
+    }
+
+    fn id(class: &str, name: &str) -> ObjectId {
+        ObjectId::singleton(class, Value::from(name))
+    }
+
+    #[test]
+    fn add_object_closes_under_schema() {
+        let mut c = Community::new(schema());
+        let sun = id("computer", "SUN");
+        let base = c.add_object(sun.clone(), "computer").unwrap();
+        assert_eq!(base.template(), "computer");
+        // derived aspects SUN·el_device and SUN·thing exist
+        assert!(c.contains(&Aspect::new(sun.clone(), "el_device")));
+        assert!(c.contains(&Aspect::new(sun.clone(), "thing")));
+        assert_eq!(c.aspects_of(&sun).len(), 3);
+        assert_eq!(c.len(), 3);
+        // the object list shows only the base aspect
+        let objs: Vec<Aspect> = c.objects().collect();
+        assert_eq!(objs, vec![Aspect::new(sun.clone(), "computer")]);
+        // inheritance morphisms: computer→el_device and el_device→thing
+        let inh = c.inheritance_morphisms(&sun);
+        assert_eq!(inh.len(), 2);
+        assert!(inh.iter().all(AspectMorphism::is_inheritance));
+    }
+
+    #[test]
+    fn identity_uniqueness_enforced() {
+        let mut c = Community::new(schema());
+        let sun = id("computer", "SUN");
+        c.add_object(sun.clone(), "computer").unwrap();
+        let err = c.add_object(sun, "computer").unwrap_err();
+        assert!(matches!(err, KernelError::IdentityInUse { .. }));
+    }
+
+    #[test]
+    fn unknown_template_rejected() {
+        let mut c = Community::new(schema());
+        let err = c.add_object(id("x", "X"), "ghost").unwrap_err();
+        assert_eq!(err, KernelError::UnknownTemplate("ghost".into()));
+    }
+
+    #[test]
+    fn example_3_9_aggregation() {
+        let mut c = Community::new(schema());
+        let pxx = c.add_object(id("powsply", "PXX"), "powsply").unwrap();
+        let cyy = c.add_object(id("cpu", "CYY"), "cpu").unwrap();
+        let sun = c
+            .aggregate(
+                id("computer", "SUN"),
+                "computer",
+                vec![
+                    (
+                        TemplateMorphism::identity_on("f", "computer", "powsply"),
+                        pxx.clone(),
+                    ),
+                    (
+                        TemplateMorphism::identity_on("g", "computer", "cpu"),
+                        cyy.clone(),
+                    ),
+                ],
+            )
+            .unwrap();
+        let parts = c.parts_of(&sun);
+        assert_eq!(parts.len(), 2);
+        assert!(parts.contains(&&pxx));
+        assert!(parts.contains(&&cyy));
+        // all interaction edges are interaction morphisms
+        for e in c.interactions() {
+            assert!(e.as_aspect_morphism().is_interaction());
+        }
+    }
+
+    #[test]
+    fn example_3_7_sharing() {
+        let mut c = Community::new(schema());
+        let pxx = c.add_object(id("powsply", "PXX"), "powsply").unwrap();
+        let cyy = c.add_object(id("cpu", "CYY"), "cpu").unwrap();
+        let cable = c
+            .synchronize(
+                id("cable", "CBZ"),
+                "cable",
+                vec![
+                    (
+                        TemplateMorphism::identity_on("s1", "cpu", "cable"),
+                        cyy.clone(),
+                    ),
+                    (
+                        TemplateMorphism::identity_on("s2", "powsply", "cable"),
+                        pxx.clone(),
+                    ),
+                ],
+            )
+            .unwrap();
+        let sharers = c.sharers_of(&cable);
+        assert_eq!(sharers.len(), 2);
+        assert!(sharers.contains(&&cyy));
+        assert!(sharers.contains(&&pxx));
+    }
+
+    #[test]
+    fn interaction_requires_distinct_identities() {
+        let mut c = Community::new(schema());
+        let sun = id("computer", "SUN");
+        c.add_object(sun.clone(), "computer").unwrap();
+        let err = c
+            .add_interaction(
+                TemplateMorphism::identity_on("h", "computer", "el_device"),
+                Aspect::new(sun.clone(), "computer"),
+                Aspect::new(sun, "el_device"),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            KernelError::InteractionNeedsDistinctIdentities { .. }
+        ));
+    }
+
+    #[test]
+    fn interaction_requires_existing_aspects() {
+        let mut c = Community::new(schema());
+        let pxx = c.add_object(id("powsply", "PXX"), "powsply").unwrap();
+        let ghost = Aspect::new(id("cpu", "GHOST"), "cpu");
+        let err = c
+            .add_interaction(
+                TemplateMorphism::identity_on("m", "powsply", "cpu"),
+                pxx.clone(),
+                ghost.clone(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, KernelError::UnknownAspect(_)));
+        let err = c
+            .add_interaction(
+                TemplateMorphism::identity_on("m", "cpu", "powsply"),
+                ghost,
+                pxx,
+            )
+            .unwrap_err();
+        assert!(matches!(err, KernelError::UnknownAspect(_)));
+    }
+
+    #[test]
+    fn failed_aggregate_rolls_back() {
+        let mut c = Community::new(schema());
+        let pxx = c.add_object(id("powsply", "PXX"), "powsply").unwrap();
+        // second part does not exist
+        let err = c.aggregate(
+            id("computer", "SUN"),
+            "computer",
+            vec![
+                (
+                    TemplateMorphism::identity_on("f", "computer", "powsply"),
+                    pxx,
+                ),
+                (
+                    TemplateMorphism::identity_on("g", "computer", "cpu"),
+                    Aspect::new(id("cpu", "GHOST"), "cpu"),
+                ),
+            ],
+        );
+        assert!(err.is_err());
+        assert!(!c.contains_identity(&id("computer", "SUN")));
+        // interfacing failure also rolls back: morphism endpoints wrong
+        let pxx = Aspect::new(id("powsply", "PXX"), "powsply");
+        let err = c.interface_object(
+            id("cable", "CBZ"),
+            "cable",
+            TemplateMorphism::identity_on("bad", "cable", "powsply"), // wrong direction
+            &pxx,
+        );
+        assert!(err.is_err());
+        assert!(!c.contains_identity(&id("cable", "CBZ")));
+    }
+
+    #[test]
+    fn empty_community() {
+        let c = Community::new(schema());
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.interactions().len(), 0);
+    }
+}

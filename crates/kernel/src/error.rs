@@ -1,0 +1,95 @@
+//! Error type for object-model construction.
+
+use std::fmt;
+
+/// Error raised while building or checking templates, morphisms, schemas
+/// and communities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A referenced template is not in the schema.
+    UnknownTemplate(String),
+    /// A template with this name already exists in the schema.
+    DuplicateTemplate(String),
+    /// A referenced aspect is not in the community.
+    UnknownAspect(String),
+    /// The aspect already exists in the community.
+    DuplicateAspect(String),
+    /// A morphism failed its structure/behaviour-preservation checks.
+    InvalidMorphism {
+        /// Morphism name.
+        name: String,
+        /// The individual violations found.
+        violations: Vec<String>,
+    },
+    /// Adding the morphism would create an inheritance cycle.
+    InheritanceCycle(String),
+    /// An interaction morphism was given two aspects with the same
+    /// identity (that would make it an inheritance morphism, which only
+    /// the schema may introduce).
+    InteractionNeedsDistinctIdentities {
+        /// The offending identity.
+        identity: String,
+    },
+    /// An identity is already in use by an unrelated object — the paper:
+    /// "no other aspect should have this identity".
+    IdentityInUse {
+        /// The identity.
+        identity: String,
+        /// The template it is already associated with.
+        existing_template: String,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::UnknownTemplate(t) => write!(f, "unknown template `{t}`"),
+            KernelError::DuplicateTemplate(t) => write!(f, "template `{t}` already defined"),
+            KernelError::UnknownAspect(a) => write!(f, "unknown aspect {a}"),
+            KernelError::DuplicateAspect(a) => write!(f, "aspect {a} already in community"),
+            KernelError::InvalidMorphism { name, violations } => {
+                write!(f, "morphism `{name}` invalid: {}", violations.join("; "))
+            }
+            KernelError::InheritanceCycle(t) => {
+                write!(f, "adding template `{t}` would create an inheritance cycle")
+            }
+            KernelError::InteractionNeedsDistinctIdentities { identity } => write!(
+                f,
+                "interaction morphism requires distinct identities, both are {identity}"
+            ),
+            KernelError::IdentityInUse {
+                identity,
+                existing_template,
+            } => write!(
+                f,
+                "identity {identity} already names an object of template `{existing_template}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            KernelError::UnknownTemplate("x".into()).to_string(),
+            "unknown template `x`"
+        );
+        let e = KernelError::InvalidMorphism {
+            name: "h".into(),
+            violations: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(e.to_string(), "morphism `h` invalid: a; b");
+    }
+
+    #[test]
+    fn error_traits() {
+        fn assert_err<T: std::error::Error + Send + Sync>() {}
+        assert_err::<KernelError>();
+    }
+}

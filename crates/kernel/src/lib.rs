@@ -1,0 +1,81 @@
+//! # troll-kernel — the object model: templates, aspects, morphisms
+//!
+//! This crate is the executable form of Section 3 of Saake, Jungclaus,
+//! Ehrich, *Object-Oriented Specification and Stepwise Refinement*
+//! (1991): the semantic framework in which "concepts related to the
+//! object-oriented paradigm like interaction, inheritance and object
+//! aggregation can be uniformly modelled by object morphisms".
+//!
+//! The framework, in the paper's own vocabulary:
+//!
+//! * a [`Template`] is "an object's structure and behavior pattern
+//!   without individual identity" — a [`Signature`] of attributes and
+//!   events plus a behaviour process ([`troll_process::Lts`]);
+//! * an **identity** is a [`troll_data::ObjectId`];
+//! * an [`Aspect`] is a pair `b·t` ("b as t") of an identity and a
+//!   template;
+//! * a [`TemplateMorphism`] is a structure- and behaviour-preserving map
+//!   between templates; attaching identities gives an
+//!   [`AspectMorphism`], which is an **inheritance morphism** iff both
+//!   aspects carry the same identity and an **interaction morphism**
+//!   otherwise;
+//! * an [`InheritanceSchema`] is a diagram of templates and inheritance
+//!   schema morphisms (Example 3.2's `thing / el_device / calculator /
+//!   computer / …` lattice), grown by *specialization* and *abstraction*
+//!   (with *multiple inheritance* and *generalization* as their multiple
+//!   versions);
+//! * a [`Community`] is a collection of aspects closed under the schema's
+//!   derived aspects and connected by interaction morphisms, grown by
+//!   *incorporation* and *interfacing* (with *aggregation* and
+//!   *synchronization by sharing* as their multiple versions).
+//!
+//! # Example — Example 3.1 of the paper
+//!
+//! ```
+//! use troll_kernel::{Template, TemplateMorphism, InheritanceSchema, Community, Aspect};
+//! use troll_data::{ObjectId, Value};
+//!
+//! // templates (empty signatures suffice for the identity bookkeeping)
+//! let el_device = Template::named("el_device");
+//! let computer = Template::named("computer");
+//!
+//! let mut schema = InheritanceSchema::new();
+//! schema.add_template(el_device)?;
+//! // computer IS-A el_device
+//! schema.add_specialization(computer, TemplateMorphism::identity_on(
+//!     "h", "computer", "el_device"))?;
+//!
+//! let mut community = Community::new(schema);
+//! let sun = ObjectId::singleton("computer", Value::from("SUN"));
+//! community.add_object(sun.clone(), "computer")?;
+//!
+//! // closing under the schema created the derived aspect SUN·el_device,
+//! // related by an inheritance morphism:
+//! assert!(community.contains(&Aspect::new(sun.clone(), "el_device")));
+//! let inh = community.inheritance_morphisms(&sun);
+//! assert_eq!(inh.len(), 1);
+//! assert!(inh[0].is_inheritance());
+//! # Ok::<(), troll_kernel::KernelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aspect;
+mod community;
+mod error;
+mod morphism;
+mod schema;
+mod signature;
+mod template;
+
+pub use aspect::{Aspect, AspectMorphism};
+pub use community::{Community, InteractionEdge};
+pub use error::KernelError;
+pub use morphism::TemplateMorphism;
+pub use schema::InheritanceSchema;
+pub use signature::{AttributeSymbol, Signature};
+pub use template::Template;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, KernelError>;

@@ -1,0 +1,433 @@
+//! Template morphisms — structure- and behaviour-preserving maps.
+
+use crate::Template;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A template morphism `h : source → target`.
+///
+/// "A general notion of template morphism, i.e. a structure and behavior
+/// preserving map among templates … captures inheritance as well as
+/// interaction relationships" (§3). We implement the paper's working
+/// case, *template projections*: the morphism maps a portion of the
+/// source's items onto the target's items — e.g. Example 3.4 maps the
+/// computer's `switch_on_c` to the device's `switch_on`.
+///
+/// Item maps may be given explicitly; items of the target not explicitly
+/// covered are implicitly mapped from the same-named source item (the
+/// overwhelmingly common case, and what [`TemplateMorphism::identity_on`]
+/// relies on). [`TemplateMorphism::check`] verifies, against concrete
+/// templates:
+///
+/// 1. **well-formedness** — mapped items exist on both sides, event
+///    arities agree, attribute sorts agree (up to subsorting);
+/// 2. **surjectivity** — every target item is in the image ("the
+///    inheritance morphisms of interest seem to be surjective", §3);
+/// 3. **behaviour preservation** — the source behaviour, projected onto
+///    the mapped events and relabelled, is simulated by the target
+///    behaviour ("a computer is bound to the protocol of switching on
+///    before being able to switch off", Example 3.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateMorphism {
+    name: String,
+    source: String,
+    target: String,
+    event_map: BTreeMap<String, String>,
+    attr_map: BTreeMap<String, String>,
+}
+
+impl TemplateMorphism {
+    /// Creates a morphism with explicit item maps.
+    pub fn new(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        target: impl Into<String>,
+        event_map: BTreeMap<String, String>,
+        attr_map: BTreeMap<String, String>,
+    ) -> Self {
+        TemplateMorphism {
+            name: name.into(),
+            source: source.into(),
+            target: target.into(),
+            event_map,
+            attr_map,
+        }
+    }
+
+    /// Creates the morphism that maps every same-named item of `source`
+    /// onto `target` (resolved against the concrete templates during
+    /// [`TemplateMorphism::check`]).
+    pub fn identity_on(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        target: impl Into<String>,
+    ) -> Self {
+        TemplateMorphism::new(name, source, target, BTreeMap::new(), BTreeMap::new())
+    }
+
+    /// Morphism name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Source template name.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Target template name.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// The explicit event map (before implicit same-name completion).
+    pub fn event_map(&self) -> &BTreeMap<String, String> {
+        &self.event_map
+    }
+
+    /// Maps a source event name to its target event name, using the
+    /// explicit map first and falling back to the identity.
+    pub fn map_event<'a>(&'a self, event: &'a str) -> &'a str {
+        self.event_map.get(event).map(String::as_str).unwrap_or(event)
+    }
+
+    /// Maps a source attribute name to its target attribute name.
+    pub fn map_attribute<'a>(&'a self, attr: &'a str) -> &'a str {
+        self.attr_map.get(attr).map(String::as_str).unwrap_or(attr)
+    }
+
+    /// Resolves the full event map against concrete templates: explicit
+    /// entries plus same-name completion for target events.
+    pub fn resolved_event_map(&self, src: &Template, dst: &Template) -> BTreeMap<String, String> {
+        let mut map = self.event_map.clone();
+        for ev in dst.signature().events().iter() {
+            let covered = map.values().any(|t| t == &ev.name);
+            if !covered && src.signature().has_event(&ev.name) {
+                map.insert(ev.name.clone(), ev.name.clone());
+            }
+        }
+        map
+    }
+
+    /// Resolves the full attribute map against concrete templates.
+    pub fn resolved_attr_map(&self, src: &Template, dst: &Template) -> BTreeMap<String, String> {
+        let mut map = self.attr_map.clone();
+        for at in dst.signature().attributes() {
+            let covered = map.values().any(|t| t == &at.name);
+            if !covered && src.signature().has_attribute(&at.name) {
+                map.insert(at.name.clone(), at.name.clone());
+            }
+        }
+        map
+    }
+
+    /// Checks the morphism against concrete source and target templates;
+    /// returns the list of violations (empty = valid).
+    pub fn check(&self, src: &Template, dst: &Template) -> Vec<String> {
+        let mut violations = Vec::new();
+        if src.name() != self.source {
+            violations.push(format!(
+                "source template is `{}`, expected `{}`",
+                src.name(),
+                self.source
+            ));
+        }
+        if dst.name() != self.target {
+            violations.push(format!(
+                "target template is `{}`, expected `{}`",
+                dst.name(),
+                self.target
+            ));
+        }
+
+        let event_map = self.resolved_event_map(src, dst);
+        let attr_map = self.resolved_attr_map(src, dst);
+
+        // 1. well-formedness
+        for (s, t) in &event_map {
+            match (src.signature().event(s), dst.signature().event(t)) {
+                (None, _) => violations.push(format!("source has no event `{s}`")),
+                (_, None) => violations.push(format!("target has no event `{t}`")),
+                (Some(se), Some(te)) => {
+                    if se.arity != te.arity {
+                        violations.push(format!(
+                            "event map `{s}` ↦ `{t}` changes arity {} → {}",
+                            se.arity, te.arity
+                        ));
+                    }
+                }
+            }
+        }
+        for (s, t) in &attr_map {
+            match (src.signature().attribute(s), dst.signature().attribute(t)) {
+                (None, _) => violations.push(format!("source has no attribute `{s}`")),
+                (_, None) => violations.push(format!("target has no attribute `{t}`")),
+                (Some(sa), Some(ta)) => {
+                    if !sa.sort.is_subsort_of(&ta.sort) {
+                        violations.push(format!(
+                            "attribute map `{s}` ↦ `{t}` violates sorts: {} is not a subsort of {}",
+                            sa.sort, ta.sort
+                        ));
+                    }
+                }
+            }
+        }
+
+        // 2. surjectivity onto the target's items
+        for ev in dst.signature().events().iter() {
+            if !event_map.values().any(|t| t == &ev.name) {
+                violations.push(format!("target event `{}` not in the image", ev.name));
+            }
+        }
+        for at in dst.signature().attributes() {
+            if !attr_map.values().any(|t| t == &at.name) {
+                violations.push(format!("target attribute `{}` not in the image", at.name));
+            }
+        }
+
+        // 3. behaviour preservation: project source behaviour onto the
+        // mapped events, relabel along the morphism, and require the
+        // target behaviour to simulate the projection.
+        if violations.is_empty() {
+            let mapped_sources: Vec<&str> = event_map.keys().map(String::as_str).collect();
+            let projected = src.behavior().restrict_to(&mapped_sources);
+            let relabelled = projected.relabel(&event_map);
+            if !troll_process::simulate::simulates(dst.behavior(), &relabelled) {
+                violations.push(format!(
+                    "behaviour not preserved: target `{}` does not simulate the projected source behaviour",
+                    dst.name()
+                ));
+            }
+        }
+
+        violations
+    }
+
+    /// Composes with another morphism: `self : t → u`, `other : u → v`
+    /// gives `other ∘ self : t → v`. Returns `None` if the middle
+    /// templates disagree.
+    pub fn compose(&self, other: &TemplateMorphism) -> Option<TemplateMorphism> {
+        if self.target != other.source {
+            return None;
+        }
+        // Compose explicit maps; identity fallbacks compose implicitly.
+        let mut event_map = BTreeMap::new();
+        for (s, mid) in &self.event_map {
+            event_map.insert(s.clone(), other.map_event(mid).to_string());
+        }
+        for (mid, t) in &other.event_map {
+            // source events implicitly mapped through self's identity
+            if !self.event_map.values().any(|v| v == mid) {
+                event_map.insert(mid.clone(), t.clone());
+            }
+        }
+        let mut attr_map = BTreeMap::new();
+        for (s, mid) in &self.attr_map {
+            attr_map.insert(s.clone(), other.map_attribute(mid).to_string());
+        }
+        for (mid, t) in &other.attr_map {
+            if !self.attr_map.values().any(|v| v == mid) {
+                attr_map.insert(mid.clone(), t.clone());
+            }
+        }
+        Some(TemplateMorphism::new(
+            format!("{}∘{}", other.name, self.name),
+            self.source.clone(),
+            other.target.clone(),
+            event_map,
+            attr_map,
+        ))
+    }
+}
+
+impl fmt::Display for TemplateMorphism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} → {}", self.name, self.source, self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttributeSymbol, Signature};
+    use troll_data::Sort;
+    use troll_process::EventSymbol;
+
+    fn el_device() -> Template {
+        let mut sig = Signature::new();
+        sig.add_attribute(AttributeSymbol::new("is_on", Sort::Bool));
+        sig.add_event(EventSymbol::birth("create", 0));
+        sig.add_event(EventSymbol::update("switch_on", 0));
+        sig.add_event(EventSymbol::update("switch_off", 0));
+        sig.add_event(EventSymbol::death("scrap", 0));
+        // strict protocol: on/off alternate
+        let mut lts = troll_process::Lts::new(4, 0);
+        lts.add_transition(0, "create", 1); // off
+        lts.add_transition(1, "switch_on", 2); // on
+        lts.add_transition(2, "switch_off", 1);
+        lts.add_transition(1, "scrap", 3);
+        Template::with_behavior("el_device", sig, lts)
+    }
+
+    /// Computer with renamed events `switch_on_c` etc. (Example 3.4)
+    fn computer() -> Template {
+        let mut sig = Signature::new();
+        sig.add_attribute(AttributeSymbol::new("is_on", Sort::Bool));
+        sig.add_attribute(AttributeSymbol::new("cpu_count", Sort::Nat));
+        sig.add_event(EventSymbol::birth("create", 0));
+        sig.add_event(EventSymbol::update("switch_on_c", 0));
+        sig.add_event(EventSymbol::update("switch_off_c", 0));
+        sig.add_event(EventSymbol::update("compute", 1));
+        sig.add_event(EventSymbol::death("scrap", 0));
+        let mut lts = troll_process::Lts::new(4, 0);
+        lts.add_transition(0, "create", 1);
+        lts.add_transition(1, "switch_on_c", 2);
+        lts.add_transition(2, "compute", 2);
+        lts.add_transition(2, "switch_off_c", 1);
+        lts.add_transition(1, "scrap", 3);
+        Template::with_behavior("computer", sig, lts)
+    }
+
+    fn h() -> TemplateMorphism {
+        TemplateMorphism::new(
+            "h",
+            "computer",
+            "el_device",
+            [
+                ("switch_on_c".to_string(), "switch_on".to_string()),
+                ("switch_off_c".to_string(), "switch_off".to_string()),
+            ]
+            .into(),
+            BTreeMap::new(),
+        )
+    }
+
+    #[test]
+    fn example_3_4_is_a_valid_morphism() {
+        let violations = h().check(&computer(), &el_device());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn implicit_same_name_completion() {
+        // `create`, `scrap`, `is_on` are mapped implicitly
+        let m = h();
+        let resolved = m.resolved_event_map(&computer(), &el_device());
+        assert_eq!(resolved.get("create").map(String::as_str), Some("create"));
+        assert_eq!(
+            resolved.get("switch_on_c").map(String::as_str),
+            Some("switch_on")
+        );
+        let attrs = m.resolved_attr_map(&computer(), &el_device());
+        assert_eq!(attrs.get("is_on").map(String::as_str), Some("is_on"));
+        assert_eq!(m.map_event("switch_on_c"), "switch_on");
+        assert_eq!(m.map_event("create"), "create");
+    }
+
+    #[test]
+    fn surjectivity_violation_detected() {
+        // target with an extra event nothing maps to
+        let mut dst = el_device();
+        dst = {
+            let mut sig = dst.signature().clone();
+            sig.add_event(EventSymbol::update("explode", 0));
+            Template::new("el_device", sig)
+        };
+        let violations = h().check(&computer(), &dst);
+        assert!(violations.iter().any(|v| v.contains("explode")));
+    }
+
+    #[test]
+    fn arity_violation_detected() {
+        let mut sig = Signature::new();
+        sig.add_event(EventSymbol::update("e", 2));
+        let src = Template::new("S", sig);
+        let mut sig = Signature::new();
+        sig.add_event(EventSymbol::update("e", 1));
+        let dst = Template::new("T", sig);
+        let m = TemplateMorphism::identity_on("m", "S", "T");
+        let violations = m.check(&src, &dst);
+        assert!(violations.iter().any(|v| v.contains("arity")));
+    }
+
+    #[test]
+    fn sort_violation_detected() {
+        let mut sig = Signature::new();
+        sig.add_attribute(AttributeSymbol::new("a", Sort::String));
+        let src = Template::new("S", sig);
+        let mut sig = Signature::new();
+        sig.add_attribute(AttributeSymbol::new("a", Sort::Int));
+        let dst = Template::new("T", sig);
+        let m = TemplateMorphism::identity_on("m", "S", "T");
+        let violations = m.check(&src, &dst);
+        assert!(violations.iter().any(|v| v.contains("subsort")));
+        // Nat → Int is fine
+        let mut sig = Signature::new();
+        sig.add_attribute(AttributeSymbol::new("a", Sort::Nat));
+        let src_nat = Template::new("S", sig);
+        assert!(m.check(&src_nat, &dst).is_empty());
+    }
+
+    #[test]
+    fn behavior_violation_detected() {
+        // source allows switch_off before switch_on — device protocol broken
+        let mut sig = computer().signature().clone();
+        sig.add_event(EventSymbol::update("switch_on_c", 0));
+        let mut lts = troll_process::Lts::new(3, 0);
+        lts.add_transition(0, "create", 1);
+        lts.add_transition(1, "switch_off_c", 1); // off before on!
+        lts.add_transition(1, "switch_on_c", 1);
+        let rogue = Template::with_behavior("computer", sig, lts);
+        let violations = h().check(&rogue, &el_device());
+        assert!(
+            violations.iter().any(|v| v.contains("behaviour")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn missing_items_detected() {
+        let m = TemplateMorphism::new(
+            "bad",
+            "computer",
+            "el_device",
+            [("no_such".to_string(), "switch_on".to_string())].into(),
+            [("ghost".to_string(), "is_on".to_string())].into(),
+        );
+        let violations = m.check(&computer(), &el_device());
+        assert!(violations.iter().any(|v| v.contains("no event `no_such`")));
+        assert!(violations.iter().any(|v| v.contains("no attribute `ghost`")));
+    }
+
+    #[test]
+    fn wrong_endpoint_names_detected() {
+        let violations = h().check(&el_device(), &computer());
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn composition() {
+        // workstation → computer → el_device
+        let w2c = TemplateMorphism::new(
+            "g",
+            "workstation",
+            "computer",
+            [("power_w".to_string(), "switch_on_c".to_string())].into(),
+            BTreeMap::new(),
+        );
+        let composed = w2c.compose(&h()).unwrap();
+        assert_eq!(composed.source(), "workstation");
+        assert_eq!(composed.target(), "el_device");
+        // explicit chain: power_w ↦ switch_on_c ↦ switch_on
+        assert_eq!(composed.map_event("power_w"), "switch_on");
+        // other's explicit entries carried through identity
+        assert_eq!(composed.map_event("switch_off_c"), "switch_off");
+        // mismatched middles compose to None
+        assert_eq!(h().compose(&w2c), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(h().to_string(), "h: computer → el_device");
+    }
+}

@@ -1,0 +1,631 @@
+//! Inheritance schemas — diagrams of templates related by inheritance
+//! schema morphisms.
+
+use crate::{KernelError, Result, Template, TemplateMorphism};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// An inheritance schema Δ: "a diagram consisting of a collection of
+/// templates related by inheritance schema morphisms" (§3). Morphisms go
+/// *upward*: `h : computer → el_device` expresses that each computer IS
+/// An electronic device.
+///
+/// The schema is grown by the paper's construction steps:
+///
+/// * [`InheritanceSchema::add_specialization`] — target already in Δ,
+///   create the source (top-down; "by inheritance, many people mean just
+///   specialization");
+/// * [`InheritanceSchema::add_abstraction`] — source already in Δ,
+///   create the target (grow upward, "hiding details (but not forgetting
+///   them)");
+/// * [`InheritanceSchema::add_multiple_specialization`] — *multiple
+///   inheritance* (Example 3.5: `computer` from `el_device` and
+///   `calculator`);
+/// * [`InheritanceSchema::add_generalization`] — *generalization*
+///   (Example 3.6: `contract_partner` generalizing `person` and
+///   `company`).
+///
+/// Every morphism added is checked for structure/behaviour preservation
+/// against the concrete templates, and acyclicity of the diagram is
+/// maintained.
+#[derive(Debug, Clone, Default)]
+pub struct InheritanceSchema {
+    templates: BTreeMap<String, Template>,
+    morphisms: Vec<TemplateMorphism>,
+}
+
+impl InheritanceSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        InheritanceSchema::default()
+    }
+
+    /// Adds a template with no inheritance relationships (a root such as
+    /// `thing`).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::DuplicateTemplate`] if the name is taken.
+    pub fn add_template(&mut self, template: Template) -> Result<()> {
+        if self.templates.contains_key(template.name()) {
+            return Err(KernelError::DuplicateTemplate(template.name().to_string()));
+        }
+        self.templates.insert(template.name().to_string(), template);
+        Ok(())
+    }
+
+    /// Specialization: the morphism's **target** must already be in the
+    /// schema; the new `template` becomes the morphism's source.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate/unknown templates, invalid morphisms, or
+    /// cycles.
+    pub fn add_specialization(
+        &mut self,
+        template: Template,
+        morphism: TemplateMorphism,
+    ) -> Result<()> {
+        self.add_multiple_specialization(template, vec![morphism])
+    }
+
+    /// Multiple specialization (multiple inheritance): connect the new
+    /// template upward to several existing ones simultaneously.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate/unknown templates, invalid morphisms, or
+    /// cycles.
+    pub fn add_multiple_specialization(
+        &mut self,
+        template: Template,
+        morphisms: Vec<TemplateMorphism>,
+    ) -> Result<()> {
+        let name = template.name().to_string();
+        for m in &morphisms {
+            if m.source() != name {
+                return Err(KernelError::InvalidMorphism {
+                    name: m.name().to_string(),
+                    violations: vec![format!(
+                        "specialization morphism must have source `{name}`, has `{}`",
+                        m.source()
+                    )],
+                });
+            }
+            if !self.templates.contains_key(m.target()) {
+                return Err(KernelError::UnknownTemplate(m.target().to_string()));
+            }
+        }
+        self.add_template(template)?;
+        for m in morphisms {
+            if let Err(e) = self.add_morphism(m) {
+                self.templates.remove(&name);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Abstraction: the morphism's **source** must already be in the
+    /// schema; the new `template` becomes the morphism's target.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate/unknown templates, invalid morphisms, or
+    /// cycles.
+    pub fn add_abstraction(
+        &mut self,
+        template: Template,
+        morphism: TemplateMorphism,
+    ) -> Result<()> {
+        self.add_generalization(template, vec![morphism])
+    }
+
+    /// Generalization: connect several existing templates upward to the
+    /// new one simultaneously.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate/unknown templates, invalid morphisms, or
+    /// cycles.
+    pub fn add_generalization(
+        &mut self,
+        template: Template,
+        morphisms: Vec<TemplateMorphism>,
+    ) -> Result<()> {
+        let name = template.name().to_string();
+        for m in &morphisms {
+            if m.target() != name {
+                return Err(KernelError::InvalidMorphism {
+                    name: m.name().to_string(),
+                    violations: vec![format!(
+                        "generalization morphism must have target `{name}`, has `{}`",
+                        m.target()
+                    )],
+                });
+            }
+            if !self.templates.contains_key(m.source()) {
+                return Err(KernelError::UnknownTemplate(m.source().to_string()));
+            }
+        }
+        self.add_template(template)?;
+        for m in morphisms {
+            if let Err(e) = self.add_morphism(m) {
+                self.templates.remove(&name);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds an inheritance schema morphism between two templates already
+    /// in the schema, checking validity and acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// * [`KernelError::UnknownTemplate`] for missing endpoints.
+    /// * [`KernelError::InvalidMorphism`] if the morphism violates
+    ///   structure or behaviour preservation.
+    /// * [`KernelError::InheritanceCycle`] if it would close a cycle.
+    pub fn add_morphism(&mut self, morphism: TemplateMorphism) -> Result<()> {
+        let src = self
+            .templates
+            .get(morphism.source())
+            .ok_or_else(|| KernelError::UnknownTemplate(morphism.source().to_string()))?;
+        let dst = self
+            .templates
+            .get(morphism.target())
+            .ok_or_else(|| KernelError::UnknownTemplate(morphism.target().to_string()))?;
+        let violations = morphism.check(src, dst);
+        if !violations.is_empty() {
+            return Err(KernelError::InvalidMorphism {
+                name: morphism.name().to_string(),
+                violations,
+            });
+        }
+        // cycle check: target must not already reach source
+        if morphism.source() == morphism.target()
+            || self
+                .ancestors(morphism.target())
+                .contains(morphism.source())
+        {
+            return Err(KernelError::InheritanceCycle(morphism.source().to_string()));
+        }
+        self.morphisms.push(morphism);
+        Ok(())
+    }
+
+    /// Looks up a template by name.
+    pub fn template(&self, name: &str) -> Option<&Template> {
+        self.templates.get(name)
+    }
+
+    /// Whether a template with the given name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.templates.contains_key(name)
+    }
+
+    /// Iterates over all templates in name order.
+    pub fn templates(&self) -> impl Iterator<Item = &Template> {
+        self.templates.values()
+    }
+
+    /// All schema morphisms.
+    pub fn morphisms(&self) -> &[TemplateMorphism] {
+        &self.morphisms
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether the schema has no templates.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// The *derived* templates of `name`: everything reachable upward
+    /// (transitively) through schema morphisms, excluding `name` itself.
+    /// An object created with template `t` has exactly the aspects
+    /// `{t} ∪ ancestors(t)` (§3: "this object b·t has all aspects
+    /// obtained by relating the same identity b to all 'derived' aspects
+    /// t′").
+    pub fn ancestors(&self, name: &str) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([name.to_string()]);
+        while let Some(current) = queue.pop_front() {
+            for m in &self.morphisms {
+                if m.source() == current && seen.insert(m.target().to_string()) {
+                    queue.push_back(m.target().to_string());
+                }
+            }
+        }
+        seen
+    }
+
+    /// The templates that specialize `name`, transitively.
+    pub fn descendants(&self, name: &str) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([name.to_string()]);
+        while let Some(current) = queue.pop_front() {
+            for m in &self.morphisms {
+                if m.target() == current && seen.insert(m.source().to_string()) {
+                    queue.push_back(m.source().to_string());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether `sub` IS-A `sup` (reflexive-transitive).
+    pub fn is_a(&self, sub: &str, sup: &str) -> bool {
+        sub == sup || self.ancestors(sub).contains(sup)
+    }
+
+    /// Composes schema morphisms along some upward path from `sub` to
+    /// `sup`; `None` if no path exists. (For the diamond case several
+    /// paths may exist; the paper's projections make them agree on
+    /// shared items, and we return the first found by DFS.)
+    pub fn path_morphism(&self, sub: &str, sup: &str) -> Option<TemplateMorphism> {
+        if sub == sup {
+            return Some(TemplateMorphism::identity_on(
+                format!("id_{sub}"),
+                sub,
+                sup,
+            ));
+        }
+        for m in &self.morphisms {
+            if m.source() == sub {
+                if m.target() == sup {
+                    return Some(m.clone());
+                }
+                if let Some(rest) = self.path_morphism(m.target(), sup) {
+                    return m.compose(&rest);
+                }
+            }
+        }
+        None
+    }
+
+    /// Direct (one-step) upward morphisms from `name`.
+    pub fn direct_morphisms_from(&self, name: &str) -> Vec<&TemplateMorphism> {
+        self.morphisms.iter().filter(|m| m.source() == name).collect()
+    }
+
+    /// All composed morphisms along **every** upward path from `sub` to
+    /// `sup` (the diamond case yields several).
+    pub fn all_path_morphisms(&self, sub: &str, sup: &str) -> Vec<TemplateMorphism> {
+        if sub == sup {
+            return vec![TemplateMorphism::identity_on(
+                format!("id_{sub}"),
+                sub,
+                sup,
+            )];
+        }
+        let mut out = Vec::new();
+        for m in &self.morphisms {
+            if m.source() == sub {
+                if m.target() == sup {
+                    out.push(m.clone());
+                } else {
+                    for rest in self.all_path_morphisms(m.target(), sup) {
+                        if let Some(composed) = m.compose(&rest) {
+                            out.push(composed);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks **diamond consistency**: for every pair of templates
+    /// related by multiple upward paths (multiple inheritance diamonds,
+    /// Example 3.2's `computer → {el_device, calculator} → thing`), all
+    /// composed morphisms must map shared items identically — otherwise
+    /// an inherited item would be ambiguous.
+    ///
+    /// Returns the violations found (empty = consistent).
+    pub fn diamond_violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let names: Vec<&str> = self.templates.keys().map(String::as_str).collect();
+        for sub in &names {
+            for sup in &names {
+                if sub == sup {
+                    continue;
+                }
+                let paths = self.all_path_morphisms(sub, sup);
+                if paths.len() < 2 {
+                    continue;
+                }
+                let (Some(sub_t), Some(sup_t)) = (self.template(sub), self.template(sup))
+                else {
+                    continue;
+                };
+                let reference_events = paths[0].resolved_event_map(sub_t, sup_t);
+                let reference_attrs = paths[0].resolved_attr_map(sub_t, sup_t);
+                for other in &paths[1..] {
+                    if other.resolved_event_map(sub_t, sup_t) != reference_events {
+                        out.push(format!(
+                            "diamond `{sub}` ⇒ `{sup}`: paths disagree on event mapping"
+                        ));
+                        break;
+                    }
+                    if other.resolved_attr_map(sub_t, sup_t) != reference_attrs {
+                        out.push(format!(
+                            "diamond `{sub}` ⇒ `{sup}`: paths disagree on attribute mapping"
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the inheritance schema of Example 3.2:
+    ///
+    /// ```text
+    ///            thing
+    ///           /     \
+    ///     el_device  calculator
+    ///           \     /
+    ///           computer
+    ///          /   |    \
+    /// personal_c workstation mainframe
+    /// ```
+    pub(crate) fn example_3_2() -> InheritanceSchema {
+        let mut s = InheritanceSchema::new();
+        s.add_template(Template::named("thing")).unwrap();
+        s.add_specialization(
+            Template::named("el_device"),
+            TemplateMorphism::identity_on("d2t", "el_device", "thing"),
+        )
+        .unwrap();
+        s.add_specialization(
+            Template::named("calculator"),
+            TemplateMorphism::identity_on("c2t", "calculator", "thing"),
+        )
+        .unwrap();
+        // Example 3.5: computer by multiple specialization
+        s.add_multiple_specialization(
+            Template::named("computer"),
+            vec![
+                TemplateMorphism::identity_on("h", "computer", "el_device"),
+                TemplateMorphism::identity_on("h2", "computer", "calculator"),
+            ],
+        )
+        .unwrap();
+        for leaf in ["personal_c", "workstation", "mainframe"] {
+            s.add_specialization(
+                Template::named(leaf),
+                TemplateMorphism::identity_on(format!("{leaf}2c"), leaf, "computer"),
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn example_3_2_structure() {
+        let s = example_3_2();
+        assert_eq!(s.len(), 7);
+        assert!(!s.is_empty());
+        assert_eq!(
+            s.ancestors("workstation"),
+            ["computer", "el_device", "calculator", "thing"]
+                .iter()
+                .map(|x| x.to_string())
+                .collect()
+        );
+        assert_eq!(
+            s.descendants("thing").len(),
+            6,
+            "everything but thing itself"
+        );
+        assert!(s.is_a("workstation", "thing"));
+        assert!(s.is_a("computer", "computer"));
+        assert!(!s.is_a("thing", "computer"));
+        assert!(!s.is_a("el_device", "calculator"));
+        assert_eq!(s.direct_morphisms_from("computer").len(), 2);
+    }
+
+    #[test]
+    fn path_morphism_composes() {
+        let s = example_3_2();
+        let m = s.path_morphism("workstation", "thing").unwrap();
+        assert_eq!(m.source(), "workstation");
+        assert_eq!(m.target(), "thing");
+        assert!(s.path_morphism("thing", "workstation").is_none());
+        let id = s.path_morphism("computer", "computer").unwrap();
+        assert_eq!(id.source(), "computer");
+    }
+
+    #[test]
+    fn abstraction_grows_upward() {
+        // "if we find out later on that computers … require special safety
+        // measures, we might consider introducing a template sensitive as
+        // an abstraction of computer" (§3).
+        let mut s = example_3_2();
+        s.add_abstraction(
+            Template::named("sensitive"),
+            TemplateMorphism::identity_on("sens", "computer", "sensitive"),
+        )
+        .unwrap();
+        assert!(s.is_a("computer", "sensitive"));
+        assert!(s.is_a("workstation", "sensitive"));
+        assert!(!s.is_a("el_device", "sensitive"));
+    }
+
+    #[test]
+    fn generalization_of_person_and_company() {
+        // Example 3.6's contract_partner
+        let mut s = InheritanceSchema::new();
+        s.add_template(Template::named("person")).unwrap();
+        s.add_template(Template::named("company")).unwrap();
+        s.add_generalization(
+            Template::named("contract_partner"),
+            vec![
+                TemplateMorphism::identity_on("p2cp", "person", "contract_partner"),
+                TemplateMorphism::identity_on("c2cp", "company", "contract_partner"),
+            ],
+        )
+        .unwrap();
+        assert!(s.is_a("person", "contract_partner"));
+        assert!(s.is_a("company", "contract_partner"));
+    }
+
+    #[test]
+    fn duplicate_template_rejected() {
+        let mut s = example_3_2();
+        assert_eq!(
+            s.add_template(Template::named("thing")).unwrap_err(),
+            KernelError::DuplicateTemplate("thing".into())
+        );
+    }
+
+    #[test]
+    fn unknown_endpoints_rejected() {
+        let mut s = InheritanceSchema::new();
+        s.add_template(Template::named("a")).unwrap();
+        let err = s
+            .add_morphism(TemplateMorphism::identity_on("m", "a", "ghost"))
+            .unwrap_err();
+        assert_eq!(err, KernelError::UnknownTemplate("ghost".into()));
+        let err = s
+            .add_specialization(
+                Template::named("b"),
+                TemplateMorphism::identity_on("m", "b", "ghost"),
+            )
+            .unwrap_err();
+        assert_eq!(err, KernelError::UnknownTemplate("ghost".into()));
+        // schema unchanged on failure
+        assert!(!s.contains("b"));
+    }
+
+    #[test]
+    fn wrong_direction_morphism_rejected() {
+        let mut s = InheritanceSchema::new();
+        s.add_template(Template::named("base")).unwrap();
+        let err = s
+            .add_specialization(
+                Template::named("spec"),
+                TemplateMorphism::identity_on("m", "base", "spec"), // backwards
+            )
+            .unwrap_err();
+        assert!(matches!(err, KernelError::InvalidMorphism { .. }));
+        let err = s
+            .add_generalization(
+                Template::named("gen"),
+                vec![TemplateMorphism::identity_on("m", "gen", "base")], // backwards
+            )
+            .unwrap_err();
+        assert!(matches!(err, KernelError::InvalidMorphism { .. }));
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut s = InheritanceSchema::new();
+        s.add_template(Template::named("a")).unwrap();
+        s.add_specialization(
+            Template::named("b"),
+            TemplateMorphism::identity_on("b2a", "b", "a"),
+        )
+        .unwrap();
+        // a → b would close a cycle
+        let err = s
+            .add_morphism(TemplateMorphism::identity_on("a2b", "a", "b"))
+            .unwrap_err();
+        assert!(matches!(err, KernelError::InheritanceCycle(_)));
+        // self loop
+        let err = s
+            .add_morphism(TemplateMorphism::identity_on("aa", "a", "a"))
+            .unwrap_err();
+        assert!(matches!(err, KernelError::InheritanceCycle(_)));
+    }
+
+    #[test]
+    fn diamond_consistency() {
+        // Example 3.2's diamond is consistent (identity morphisms agree)
+        let s = example_3_2();
+        assert_eq!(s.all_path_morphisms("computer", "thing").len(), 2);
+        assert!(s.diamond_violations().is_empty());
+        assert_eq!(s.all_path_morphisms("thing", "computer").len(), 0);
+        assert_eq!(s.all_path_morphisms("thing", "thing").len(), 1);
+
+        // an inconsistent diamond: the two paths rename an event
+        // differently
+        use crate::{Signature, Template};
+        use troll_process::EventSymbol;
+        let mut sig_top = Signature::new();
+        sig_top.add_event(EventSymbol::update("go", 0));
+        let mut sig_mid = Signature::new();
+        sig_mid.add_event(EventSymbol::update("go", 0));
+        let mut sig_bot = Signature::new();
+        sig_bot.add_event(EventSymbol::update("go_fast", 0));
+        sig_bot.add_event(EventSymbol::update("go_slow", 0));
+
+        let mut bad = InheritanceSchema::new();
+        bad.add_template(Template::new("top", sig_top)).unwrap();
+        bad.add_specialization(
+            Template::new("left", sig_mid.clone()),
+            TemplateMorphism::identity_on("l", "left", "top"),
+        )
+        .unwrap();
+        bad.add_specialization(
+            Template::new("right", sig_mid),
+            TemplateMorphism::identity_on("r", "right", "top"),
+        )
+        .unwrap();
+        bad.add_multiple_specialization(
+            Template::new("bottom", sig_bot),
+            vec![
+                TemplateMorphism::new(
+                    "bl",
+                    "bottom",
+                    "left",
+                    [("go_fast".to_string(), "go".to_string())].into(),
+                    std::collections::BTreeMap::new(),
+                ),
+                TemplateMorphism::new(
+                    "br",
+                    "bottom",
+                    "right",
+                    [("go_slow".to_string(), "go".to_string())].into(),
+                    std::collections::BTreeMap::new(),
+                ),
+            ],
+        )
+        .unwrap();
+        let v = bad.diamond_violations();
+        assert!(
+            v.iter().any(|m| m.contains("disagree on event mapping")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_item_morphism_rejected_and_rolled_back() {
+        use crate::{AttributeSymbol, Signature};
+        use troll_data::Sort;
+        let mut s = InheritanceSchema::new();
+        let mut sig = Signature::new();
+        sig.add_attribute(AttributeSymbol::new("serial", Sort::Int));
+        s.add_template(Template::new("base", sig)).unwrap();
+        // specialized template lacks `serial`, so the (implicitly
+        // resolved) morphism cannot be surjective onto base
+        let err = s
+            .add_specialization(
+                Template::named("spec"),
+                TemplateMorphism::identity_on("m", "spec", "base"),
+            )
+            .unwrap_err();
+        assert!(matches!(err, KernelError::InvalidMorphism { .. }));
+        assert!(!s.contains("spec"), "failed specialization must roll back");
+    }
+}

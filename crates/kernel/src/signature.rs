@@ -1,0 +1,181 @@
+//! Object signatures: attributes and events.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use troll_data::Sort;
+use troll_process::{Alphabet, EventSymbol};
+
+/// An attribute symbol: name and observation sort.
+///
+/// "Attributes and events define the access interface forming the object
+/// signature" (§4).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttributeSymbol {
+    /// Attribute name.
+    pub name: String,
+    /// Sort of the observed values.
+    pub sort: Sort,
+    /// Whether the attribute is derived (computed by a derivation rule
+    /// rather than stored — interface classes, §5.1).
+    pub derived: bool,
+}
+
+impl AttributeSymbol {
+    /// Creates a stored attribute.
+    pub fn new(name: impl Into<String>, sort: Sort) -> Self {
+        AttributeSymbol {
+            name: name.into(),
+            sort,
+            derived: false,
+        }
+    }
+
+    /// Creates a derived attribute.
+    pub fn derived(name: impl Into<String>, sort: Sort) -> Self {
+        AttributeSymbol {
+            name: name.into(),
+            sort,
+            derived: true,
+        }
+    }
+}
+
+impl fmt::Display for AttributeSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.derived {
+            write!(f, "derived {}: {}", self.name, self.sort)
+        } else {
+            write!(f, "{}: {}", self.name, self.sort)
+        }
+    }
+}
+
+/// An object signature: named attributes plus an event alphabet.
+///
+/// # Example
+///
+/// ```
+/// use troll_kernel::{Signature, AttributeSymbol};
+/// use troll_data::Sort;
+/// use troll_process::EventSymbol;
+///
+/// let mut sig = Signature::new();
+/// sig.add_attribute(AttributeSymbol::new("est_date", Sort::Date));
+/// sig.add_event(EventSymbol::birth("establishment", 1));
+/// assert!(sig.has_attribute("est_date"));
+/// assert!(sig.has_event("establishment"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Signature {
+    attributes: BTreeMap<String, AttributeSymbol>,
+    events: Alphabet,
+}
+
+impl Signature {
+    /// Creates an empty signature.
+    pub fn new() -> Self {
+        Signature::default()
+    }
+
+    /// Adds an attribute; returns the previous symbol of the same name.
+    pub fn add_attribute(&mut self, attr: AttributeSymbol) -> Option<AttributeSymbol> {
+        self.attributes.insert(attr.name.clone(), attr)
+    }
+
+    /// Adds an event; returns the previous symbol of the same name.
+    pub fn add_event(&mut self, event: EventSymbol) -> Option<EventSymbol> {
+        self.events.insert(event)
+    }
+
+    /// Looks up an attribute.
+    pub fn attribute(&self, name: &str) -> Option<&AttributeSymbol> {
+        self.attributes.get(name)
+    }
+
+    /// Looks up an event.
+    pub fn event(&self, name: &str) -> Option<&EventSymbol> {
+        self.events.get(name)
+    }
+
+    /// Whether the named attribute exists.
+    pub fn has_attribute(&self, name: &str) -> bool {
+        self.attributes.contains_key(name)
+    }
+
+    /// Whether the named event exists.
+    pub fn has_event(&self, name: &str) -> bool {
+        self.events.contains(name)
+    }
+
+    /// Iterates attributes in name order.
+    pub fn attributes(&self) -> impl Iterator<Item = &AttributeSymbol> {
+        self.attributes.values()
+    }
+
+    /// The event alphabet.
+    pub fn events(&self) -> &Alphabet {
+        &self.events
+    }
+
+    /// Number of attributes plus events ("items" in the paper's sense).
+    pub fn num_items(&self) -> usize {
+        self.attributes.len() + self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troll_data::Sort;
+
+    /// The DEPT signature from §4 of the paper.
+    pub(crate) fn dept_signature() -> Signature {
+        let mut sig = Signature::new();
+        sig.add_attribute(AttributeSymbol::new("est_date", Sort::Date));
+        sig.add_attribute(AttributeSymbol::new("manager", Sort::id("PERSON")));
+        sig.add_attribute(AttributeSymbol::new(
+            "employees",
+            Sort::set(Sort::id("PERSON")),
+        ));
+        sig.add_event(EventSymbol::birth("establishment", 1));
+        sig.add_event(EventSymbol::death("closure", 0));
+        sig.add_event(EventSymbol::update("new_manager", 1));
+        sig.add_event(EventSymbol::update("hire", 1));
+        sig.add_event(EventSymbol::update("fire", 1));
+        sig
+    }
+
+    #[test]
+    fn dept_signature_items() {
+        let sig = dept_signature();
+        assert_eq!(sig.num_items(), 8);
+        assert_eq!(sig.attribute("manager").unwrap().sort, Sort::id("PERSON"));
+        assert!(!sig.attribute("manager").unwrap().derived);
+        assert!(sig.event("hire").is_some());
+        assert!(sig.event("promote").is_none());
+        assert!(!sig.has_attribute("missing"));
+        assert_eq!(sig.attributes().count(), 3);
+        assert_eq!(sig.events().len(), 5);
+    }
+
+    #[test]
+    fn replacing_symbols() {
+        let mut sig = dept_signature();
+        let old = sig.add_attribute(AttributeSymbol::derived("manager", Sort::String));
+        assert!(old.is_some());
+        assert!(sig.attribute("manager").unwrap().derived);
+        assert_eq!(sig.attributes().count(), 3);
+    }
+
+    #[test]
+    fn attribute_display() {
+        assert_eq!(
+            AttributeSymbol::new("x", Sort::Int).to_string(),
+            "x: int"
+        );
+        assert_eq!(
+            AttributeSymbol::derived("y", Sort::Money).to_string(),
+            "derived y: money"
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Templates: structure and behaviour patterns without identity.
+
+use crate::Signature;
+use std::fmt;
+use troll_data::Sort;
+use troll_process::{EventSymbol, Lts};
+
+/// A template — "an object's structure and behavior pattern without
+/// individual identity. Formally, a template can be modeled as a
+/// process" (§3).
+///
+/// A template couples a [`Signature`] (attributes + events) with a
+/// behaviour [`Lts`] over the event names. When no explicit behaviour is
+/// given, the template gets the *free* behaviour: any birth event first,
+/// then any update events, terminated by any death event — the maximal
+/// prefix-closed life-cycle language over the alphabet. Permissions (in
+/// the runtime) restrict it further.
+///
+/// # Example
+///
+/// ```
+/// use troll_kernel::{Template, Signature, AttributeSymbol};
+/// use troll_data::Sort;
+/// use troll_process::EventSymbol;
+///
+/// let mut sig = Signature::new();
+/// sig.add_attribute(AttributeSymbol::new("is_on", Sort::Bool));
+/// sig.add_event(EventSymbol::birth("create", 0));
+/// sig.add_event(EventSymbol::update("switch_on", 0));
+/// sig.add_event(EventSymbol::death("scrap", 0));
+/// let t = Template::new("el_device", sig);
+/// assert!(t.behavior().accepts(["create", "switch_on", "scrap"]));
+/// assert!(!t.behavior().accepts(["switch_on"])); // must be born first
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    name: String,
+    signature: Signature,
+    behavior: Lts,
+}
+
+impl Template {
+    /// Creates a template with the free life-cycle behaviour derived
+    /// from the signature's birth/update/death classification.
+    pub fn new(name: impl Into<String>, signature: Signature) -> Self {
+        let behavior = free_life_cycle(&signature);
+        Template {
+            name: name.into(),
+            signature,
+            behavior,
+        }
+    }
+
+    /// Creates a template with an explicit behaviour LTS.
+    pub fn with_behavior(name: impl Into<String>, signature: Signature, behavior: Lts) -> Self {
+        Template {
+            name: name.into(),
+            signature,
+            behavior,
+        }
+    }
+
+    /// Creates a template with an empty signature — sufficient for
+    /// identity/inheritance bookkeeping in examples and tests.
+    pub fn named(name: impl Into<String>) -> Self {
+        Template::new(name, Signature::new())
+    }
+
+    /// The template name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The signature.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The behaviour process.
+    pub fn behavior(&self) -> &Lts {
+        &self.behavior
+    }
+
+    /// Builds the **class template** for this member template: "a class
+    /// is again an object, with a time varying set of objects as
+    /// members. … The class items are actions like inserting and
+    /// deleting members, and observations are attribute/value pairs with
+    /// attributes like the current number of members and the current set
+    /// of (identities of) members. In most object-oriented systems,
+    /// standard class items … are provided implicitly" (§3).
+    ///
+    /// The resulting template has events `create_class`, `insert`,
+    /// `delete`, `drop_class` and attributes `members` and `card`. Since
+    /// the class template is itself a template, classes of classes
+    /// (metaclasses) need no extra machinery.
+    pub fn class_template(&self) -> Template {
+        let mut sig = Signature::new();
+        sig.add_attribute(crate::AttributeSymbol::new(
+            "members",
+            Sort::set(Sort::id(&self.name)),
+        ));
+        sig.add_attribute(crate::AttributeSymbol::new("card", Sort::Nat));
+        sig.add_event(EventSymbol::birth("create_class", 0));
+        sig.add_event(EventSymbol::update("insert", 1));
+        sig.add_event(EventSymbol::update("delete", 1));
+        sig.add_event(EventSymbol::death("drop_class", 0));
+        Template::new(format!("class({})", self.name), sig)
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "template {} ({} attributes, {} events)",
+            self.name,
+            self.signature.attributes().count(),
+            self.signature.events().len()
+        )
+    }
+}
+
+/// The free life-cycle LTS: state 0 (unborn) takes any birth event to
+/// state 1 (alive); state 1 loops on updates/actives and takes any death
+/// event to state 2 (dead, terminal). Templates whose alphabet has no
+/// birth events are considered always-alive substrate objects (e.g. the
+/// paper's `emp_rel` before wrapping): they start alive.
+fn free_life_cycle(signature: &Signature) -> Lts {
+    use troll_process::EventKind;
+    let has_birth = signature.events().birth_events().next().is_some();
+    let initial = if has_birth { 0 } else { 1 };
+    let mut lts = Lts::new(3, initial);
+    for ev in signature.events().iter() {
+        match ev.kind {
+            EventKind::Birth => lts.add_transition(0, ev.name.clone(), 1),
+            EventKind::Update | EventKind::Active => lts.add_transition(1, ev.name.clone(), 1),
+            EventKind::Death => lts.add_transition(1, ev.name.clone(), 2),
+        }
+    }
+    lts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttributeSymbol;
+
+    fn dept_template() -> Template {
+        let mut sig = Signature::new();
+        sig.add_attribute(AttributeSymbol::new("est_date", Sort::Date));
+        sig.add_attribute(AttributeSymbol::new(
+            "employees",
+            Sort::set(Sort::id("PERSON")),
+        ));
+        sig.add_event(EventSymbol::birth("establishment", 1));
+        sig.add_event(EventSymbol::update("hire", 1));
+        sig.add_event(EventSymbol::update("fire", 1));
+        sig.add_event(EventSymbol::death("closure", 0));
+        Template::new("DEPT", sig)
+    }
+
+    #[test]
+    fn free_behavior_respects_life_cycle() {
+        let t = dept_template();
+        let b = t.behavior();
+        assert!(b.accepts(["establishment", "hire", "hire", "fire", "closure"]));
+        assert!(!b.accepts(["hire"]));
+        assert!(!b.accepts(["establishment", "closure", "hire"]));
+        assert!(!b.accepts(["establishment", "establishment"]));
+        assert!(b
+            .life_cycle_violations(t.signature().events())
+            .is_empty());
+    }
+
+    #[test]
+    fn birthless_template_starts_alive() {
+        let mut sig = Signature::new();
+        sig.add_event(EventSymbol::update("tick", 0));
+        let t = Template::new("clock", sig);
+        assert!(t.behavior().accepts(["tick", "tick"]));
+    }
+
+    #[test]
+    fn class_template_standard_items() {
+        let t = dept_template();
+        let c = t.class_template();
+        assert_eq!(c.name(), "class(DEPT)");
+        assert!(c.signature().has_event("insert"));
+        assert!(c.signature().has_event("delete"));
+        assert!(c.signature().has_attribute("members"));
+        assert_eq!(
+            c.signature().attribute("members").unwrap().sort,
+            Sort::set(Sort::id("DEPT"))
+        );
+        assert!(c
+            .behavior()
+            .accepts(["create_class", "insert", "insert", "delete"]));
+        // metaclass: class of classes
+        let meta = c.class_template();
+        assert_eq!(meta.name(), "class(class(DEPT))");
+        assert_eq!(
+            meta.signature().attribute("members").unwrap().sort,
+            Sort::set(Sort::id("class(DEPT)"))
+        );
+    }
+
+    #[test]
+    fn display() {
+        let t = dept_template();
+        assert_eq!(t.to_string(), "template DEPT (2 attributes, 4 events)");
+    }
+
+    #[test]
+    fn explicit_behavior_kept() {
+        let mut strict = Lts::new(2, 0);
+        strict.add_transition(0, "establishment", 1);
+        let t = Template::with_behavior("DEPT", Signature::new(), strict.clone());
+        assert_eq!(t.behavior(), &strict);
+    }
+}

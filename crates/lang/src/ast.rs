@@ -1,0 +1,393 @@
+//! Declaration-level abstract syntax for TROLL specifications.
+//!
+//! Expressions are represented directly as [`troll_data::Term`]s and
+//! temporal formulas as [`troll_temporal::Formula`]s — the parser lowers
+//! them on the fly; this module keeps the *declaration* structure
+//! (classes, sections, rules) faithful to the source.
+
+use troll_data::{Sort, Term};
+use troll_temporal::Formula;
+
+/// A complete specification: a sequence of top-level items.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Spec {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Spec {
+    /// Finds an object class declaration by name.
+    pub fn object_class(&self, name: &str) -> Option<&ObjectClassDecl> {
+        self.items.iter().find_map(|i| match i {
+            Item::ObjectClass(c) if c.name == name => Some(c),
+            _ => None,
+        })
+    }
+
+    /// Finds an interface class declaration by name.
+    pub fn interface_class(&self, name: &str) -> Option<&InterfaceClassDecl> {
+        self.items.iter().find_map(|i| match i {
+            Item::InterfaceClass(c) if c.name == name => Some(c),
+            _ => None,
+        })
+    }
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `object class C … end object class C;`
+    ObjectClass(ObjectClassDecl),
+    /// `interface class I … end interface class I;`
+    InterfaceClass(InterfaceClassDecl),
+    /// `global interactions … end global interactions;`
+    GlobalInteractions(GlobalInteractionsDecl),
+    /// `module M … end module M;`
+    Module(ModuleDecl),
+}
+
+/// An `object class` (or single `object`) declaration.
+///
+/// A single `object` (like the paper's `TheCompany` and `emp_rel`) is an
+/// object class with `singleton == true`: its one instance is born
+/// implicitly addressable by the class name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Whether this was declared `object X` rather than `object class X`.
+    pub singleton: bool,
+    /// `identification` parameters (database-key style).
+    pub identification: Vec<Param>,
+    /// Declared `data types` (documentation of the data signature).
+    pub data_types: Vec<Sort>,
+    /// `view of BASE;` — specialization/phase (§4: MANAGER view of
+    /// PERSON).
+    pub view_of: Option<String>,
+    /// `inheriting OBJ as alias;` — incorporation of base instances for
+    /// formal implementation (§5.2: EMPL_IMPL inheriting emp_rel).
+    pub inheriting: Vec<InheritDecl>,
+    /// The template body.
+    pub body: TemplateBody,
+}
+
+/// `inheriting emp_rel as employees;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct InheritDecl {
+    /// The incorporated object (class) name.
+    pub object: String,
+    /// Local alias used to address it.
+    pub alias: String,
+}
+
+/// A typed parameter/variable declaration `name: sort`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// Declared sort.
+    pub sort: Sort,
+}
+
+impl Param {
+    /// Creates a parameter.
+    pub fn new(name: impl Into<String>, sort: Sort) -> Self {
+        Param {
+            name: name.into(),
+            sort,
+        }
+    }
+}
+
+/// The sections of a template.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TemplateBody {
+    /// Attribute declarations.
+    pub attributes: Vec<AttrDecl>,
+    /// Component declarations (complex objects).
+    pub components: Vec<ComponentDecl>,
+    /// Event declarations.
+    pub events: Vec<EventDecl>,
+    /// Valuation rules.
+    pub valuation: Vec<ValuationRule>,
+    /// Derivation rules for derived attributes.
+    pub derivation_rules: Vec<DerivationRule>,
+    /// Permissions.
+    pub permissions: Vec<PermissionRule>,
+    /// Constraints.
+    pub constraints: Vec<ConstraintDecl>,
+    /// Local interactions / calling rules.
+    pub interactions: Vec<CallingRule>,
+    /// Liveness obligations — future-directed formulas the object must
+    /// discharge over its completed life ("liveness requirements (i.e.
+    /// goals to be achieved by the object in an active way)", §4).
+    pub obligations: Vec<Formula>,
+}
+
+/// An attribute declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrDecl {
+    /// Attribute name.
+    pub name: String,
+    /// Parameter sorts — the paper's *parameterized attributes*
+    /// (`IncomeInYear(integer): money`); non-empty implies `derived`.
+    pub params: Vec<Sort>,
+    /// Observation sort.
+    pub sort: Sort,
+    /// Whether declared `derived`.
+    pub derived: bool,
+}
+
+/// Component multiplicity in a complex object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentKind {
+    /// A single component object.
+    Single,
+    /// `LIST(C)` — an ordered list of components.
+    List,
+    /// `SET(C)` — a set of components.
+    Set,
+}
+
+/// A component declaration `depts: LIST(DEPT);`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentDecl {
+    /// Component name.
+    pub name: String,
+    /// Multiplicity.
+    pub kind: ComponentKind,
+    /// Class of the component objects.
+    pub class: String,
+}
+
+/// Life-cycle marker on an event declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventMarker {
+    /// `birth e;`
+    Birth,
+    /// plain update event
+    #[default]
+    Update,
+    /// `death e;`
+    Death,
+    /// `active e;`
+    Active,
+}
+
+/// An event declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventDecl {
+    /// Event name.
+    pub name: String,
+    /// Parameter sorts.
+    pub params: Vec<Sort>,
+    /// Life-cycle marker.
+    pub marker: EventMarker,
+    /// Whether declared `derived` (interface classes, §5.1).
+    pub derived: bool,
+    /// `birth PERSON.become_manager;` — the event is an alias for a base
+    /// object's event (phases, §4).
+    pub alias_of: Option<(String, String)>,
+}
+
+/// A valuation rule
+/// `{ guard } => [ event(params) ] attr = term ;`
+/// (guard optional).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValuationRule {
+    /// Optional guard predicate, evaluated in the pre-state.
+    pub guard: Option<Term>,
+    /// Event name the rule is indexed by.
+    pub event: String,
+    /// Variable names bound to the event's actual parameters.
+    pub params: Vec<String>,
+    /// Attribute assigned.
+    pub attribute: String,
+    /// New value, a term over the pre-state and the parameters.
+    pub value: Term,
+}
+
+/// A derivation rule `attr = term ;` or `attr(x, …) = term ;`
+/// (derived and parameterized attributes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivationRule {
+    /// Derived attribute name.
+    pub attribute: String,
+    /// Parameter binder names (parameterized attributes).
+    pub params: Vec<String>,
+    /// Defining term.
+    pub value: Term,
+}
+
+/// A permission `{ formula } event(args) ;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PermissionRule {
+    /// Precondition formula.
+    pub formula: Formula,
+    /// Event name.
+    pub event: String,
+    /// Variable names bound to the event's actual parameters (a `_`
+    /// in the source produces a fresh ignored binder).
+    pub params: Vec<String>,
+}
+
+/// Kind of constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintKindAst {
+    /// `static φ;` — must hold in every state.
+    Static,
+    /// `dynamic φ;` — temporal formula holding at every position.
+    Dynamic,
+    /// `initially φ;` — must hold right after birth.
+    Initially,
+}
+
+/// A constraint declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintDecl {
+    /// Kind.
+    pub kind: ConstraintKindAst,
+    /// The formula.
+    pub formula: Formula,
+}
+
+/// One side of an event-calling rule: a (possibly qualified) event with
+/// argument terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRef {
+    /// Where the event lives.
+    pub target: TargetRef,
+    /// Event name.
+    pub event: String,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+/// Qualification of an event reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TargetRef {
+    /// Unqualified: the enclosing object itself.
+    Local,
+    /// `alias.event` — a component or incorporated (inherited) object.
+    Component(String),
+    /// `CLASS(id_expr).event` — a specific instance of a class (global
+    /// interactions).
+    Instance {
+        /// Class name.
+        class: String,
+        /// Term denoting the instance identity.
+        id: Term,
+    },
+}
+
+/// An event-calling rule
+/// `trigger >> callee ;` or `trigger >> (c1; c2; …) ;`
+/// — event calling and transaction calling (§4, §5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallingRule {
+    /// The calling event (pattern position: its args are binder
+    /// variables when simple).
+    pub trigger: EventRef,
+    /// The called events, executed as one synchronous unit.
+    pub calls: Vec<EventRef>,
+}
+
+/// A `global interactions` block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GlobalInteractionsDecl {
+    /// Declared variables.
+    pub variables: Vec<Param>,
+    /// The calling rules.
+    pub rules: Vec<CallingRule>,
+}
+
+/// An `interface class` declaration (§5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceClassDecl {
+    /// Interface name.
+    pub name: String,
+    /// Encapsulated base classes with optional instance variables
+    /// (`encapsulating PERSON P, DEPT D`).
+    pub encapsulating: Vec<EncapsulatedBase>,
+    /// Optional `selection where` predicate.
+    pub selection: Option<Term>,
+    /// Exposed attributes (possibly `derived`).
+    pub attributes: Vec<AttrDecl>,
+    /// Exposed events (possibly `derived`).
+    pub events: Vec<EventDecl>,
+    /// Derivation rules for derived attributes.
+    pub derivation_rules: Vec<DerivationRule>,
+    /// Calling rules for derived events.
+    pub calling: Vec<CallingRule>,
+}
+
+/// One encapsulated base of an interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncapsulatedBase {
+    /// Base class name.
+    pub class: String,
+    /// Instance variable (defaults to the class name when omitted).
+    pub var: String,
+}
+
+/// A `module` declaration — the three-level schema architecture (§6).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModuleDecl {
+    /// Module name.
+    pub name: String,
+    /// Classes of the conceptual schema.
+    pub conceptual: Vec<String>,
+    /// Classes/objects of the internal schema.
+    pub internal: Vec<String>,
+    /// Named external schemata (export interfaces): name → interface
+    /// classes.
+    pub external: Vec<(String, Vec<String>)>,
+    /// Imports of other modules' external schemata:
+    /// `(module, schema)` pairs.
+    pub imports: Vec<(String, String)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_lookup_helpers() {
+        let spec = Spec {
+            items: vec![
+                Item::ObjectClass(ObjectClassDecl {
+                    name: "DEPT".into(),
+                    singleton: false,
+                    identification: vec![Param::new("id", Sort::String)],
+                    data_types: vec![],
+                    view_of: None,
+                    inheriting: vec![],
+                    body: TemplateBody::default(),
+                }),
+                Item::InterfaceClass(InterfaceClassDecl {
+                    name: "SAL".into(),
+                    encapsulating: vec![EncapsulatedBase {
+                        class: "PERSON".into(),
+                        var: "PERSON".into(),
+                    }],
+                    selection: None,
+                    attributes: vec![],
+                    events: vec![],
+                    derivation_rules: vec![],
+                    calling: vec![],
+                }),
+            ],
+        };
+        assert!(spec.object_class("DEPT").is_some());
+        assert!(spec.object_class("SAL").is_none());
+        assert!(spec.interface_class("SAL").is_some());
+        assert!(spec.interface_class("DEPT").is_none());
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(EventMarker::default(), EventMarker::Update);
+        let body = TemplateBody::default();
+        assert!(body.attributes.is_empty() && body.permissions.is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Graphical notation: renders an analyzed [`SystemModel`] as a
+//! Graphviz DOT graph — the paper's "graphical notations for TROLL"
+//! future-work item (§7).
+//!
+//! Nodes are object classes (record shape, singletons with a dashed
+//! border, phases/specializations annotated), interface classes
+//! (ellipses) and modules (clusters). Edges:
+//!
+//! * `view of` — solid edge labelled *phase* / *specialization*;
+//! * `inheriting … as` — edge labelled *incorporates*;
+//! * components — edge labelled with the component name/multiplicity;
+//! * interfaces — dashed edges to their encapsulated bases;
+//! * global interactions — bold edges between the trigger and callee
+//!   classes labelled with the events.
+
+use crate::{SystemModel, ViewKind};
+use std::fmt::Write;
+
+/// Renders the model as DOT (pipe through `dot -Tsvg` to draw).
+pub fn to_dot(model: &SystemModel) -> String {
+    let mut out = String::from("digraph troll {\n  rankdir=BT;\n  node [fontname=\"Helvetica\"];\n");
+
+    // object classes
+    for (name, class) in &model.classes {
+        let attrs = class.template.signature().attributes().count();
+        let events = class.template.signature().events().len();
+        let style = if class.singleton {
+            "shape=record, style=dashed"
+        } else {
+            "shape=record"
+        };
+        let _ = writeln!(
+            out,
+            "  {:?} [{style}, label=\"{{{name}|{attrs} attrs, {events} events}}\"];",
+            node(name)
+        );
+    }
+
+    // interfaces
+    for (name, iface) in &model.interfaces {
+        let _ = writeln!(
+            out,
+            "  {:?} [shape=ellipse, label=\"{name}\"];",
+            node(name)
+        );
+        for (base, _) in &iface.bases {
+            let _ = writeln!(
+                out,
+                "  {:?} -> {:?} [style=dashed, label=\"view of\"];",
+                node(name),
+                node(base)
+            );
+        }
+    }
+
+    // structural edges
+    for (name, class) in &model.classes {
+        if let Some((base, kind)) = &class.view {
+            let label = match kind {
+                ViewKind::Phase => "phase",
+                ViewKind::Specialization => "specialization",
+            };
+            let _ = writeln!(
+                out,
+                "  {:?} -> {:?} [label=\"{label}\"];",
+                node(name),
+                node(base)
+            );
+        }
+        for (object, alias) in &class.inheriting {
+            let _ = writeln!(
+                out,
+                "  {:?} -> {:?} [label=\"incorporates {alias}\"];",
+                node(name),
+                node(object)
+            );
+        }
+        for comp in &class.components {
+            let mult = match comp.kind {
+                crate::ast::ComponentKind::Single => "",
+                crate::ast::ComponentKind::List => " [list]",
+                crate::ast::ComponentKind::Set => " [set]",
+            };
+            let _ = writeln!(
+                out,
+                "  {:?} -> {:?} [label=\"{}{mult}\", arrowhead=diamond];",
+                node(name),
+                node(&comp.class),
+                comp.name
+            );
+        }
+    }
+
+    // global interactions
+    for rule in &model.global_interactions {
+        if let crate::EventTarget::Instance { class: from, .. } = &rule.trigger_target {
+            for call in &rule.calls {
+                if let crate::EventTarget::Instance { class: to, .. } = &call.target {
+                    let _ = writeln!(
+                        out,
+                        "  {:?} -> {:?} [style=bold, color=blue, label=\"{} >> {}\"];",
+                        node(from),
+                        node(to),
+                        rule.trigger_event,
+                        call.event
+                    );
+                }
+            }
+        }
+    }
+
+    // modules as clusters
+    for (mname, module) in &model.modules {
+        let _ = writeln!(out, "  subgraph \"cluster_{mname}\" {{");
+        let _ = writeln!(out, "    label=\"module {mname}\"; style=rounded;");
+        for c in module
+            .conceptual
+            .iter()
+            .chain(&module.internal)
+            .chain(module.external.iter().flat_map(|(_, m)| m))
+        {
+            let _ = writeln!(out, "    {:?};", node(c));
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+/// DOT node id for a class/interface name.
+fn node(name: &str) -> String {
+    format!("n_{name}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, parse};
+
+    fn model(src: &str) -> SystemModel {
+        analyze(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dot_renders_classes_and_edges() {
+        let src = r#"
+object class PERSON
+  identification name: string;
+  template
+    attributes Salary: money;
+    events birth create; become_manager;
+end object class PERSON;
+
+object class MANAGER
+  view of PERSON;
+  template
+    events birth PERSON.become_manager;
+end object class MANAGER;
+
+object TheCompany
+  template
+    components depts: LIST(DEPT);
+end object TheCompany;
+
+object class DEPT
+  identification id: string;
+  template
+    events birth establishment; new_manager(|PERSON|);
+end object class DEPT;
+
+interface class SAL
+  encapsulating PERSON
+  attributes Salary: money;
+end interface class SAL;
+
+global interactions
+  variables P: |PERSON|; D: |DEPT|;
+  DEPT(D).new_manager(P) >> PERSON(P).become_manager;
+end global interactions;
+
+module M
+  conceptual schema PERSON, DEPT;
+  external schema S = SAL;
+end module M;
+"#;
+        let dot = to_dot(&model(src));
+        assert!(dot.starts_with("digraph troll {"));
+        assert!(dot.ends_with("}\n"));
+        // nodes
+        assert!(dot.contains("\"n_PERSON\""));
+        assert!(dot.contains("\"n_MANAGER\""));
+        assert!(dot.contains("shape=ellipse, label=\"SAL\""));
+        // singleton is dashed
+        assert!(dot.contains("style=dashed, label=\"{TheCompany"));
+        // edges
+        assert!(dot.contains("\"n_MANAGER\" -> \"n_PERSON\" [label=\"phase\"]"));
+        assert!(dot.contains("arrowhead=diamond"));
+        assert!(dot.contains("new_manager >> become_manager"));
+        // module cluster
+        assert!(dot.contains("subgraph \"cluster_M\""));
+    }
+
+    #[test]
+    fn dot_renders_incorporation() {
+        let src = r#"
+object base_rel
+  template
+    attributes T: set(tuple(k: string));
+    events birth mk;
+    valuation
+      [mk] T = {};
+end object base_rel;
+
+object class IMPL
+  identification k: string;
+  template
+    inheriting base_rel as store;
+    events birth go;
+end object class IMPL;
+"#;
+        let dot = to_dot(&model(src));
+        assert!(dot.contains("incorporates store"));
+    }
+}

@@ -1,0 +1,334 @@
+//! The TROLL lexer.
+
+use crate::{LangError, Result, Token, TokenKind};
+
+/// Tokenizes TROLL source text.
+///
+/// * Comments run from `--` to end of line.
+/// * String literals use `"…"` or `'…'` (the paper writes
+///   `'Research'`).
+/// * `123.45` is a money literal; `123` is an integer.
+/// * `_` alone is the wildcard token.
+///
+/// # Errors
+///
+/// Reports unterminated strings, malformed numbers and unexpected
+/// characters with line/column positions.
+///
+/// # Example
+///
+/// ```
+/// use troll_lang::{lex, TokenKind};
+/// let toks = lex("hire(P) >> fire(P); -- comment")?;
+/// assert_eq!(toks[0].kind, TokenKind::Ident("hire".into()));
+/// assert_eq!(toks[4].kind, TokenKind::Calls);
+/// assert_eq!(toks.last().unwrap().kind, TokenKind::Eof);
+/// # Ok::<(), troll_lang::LangError>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token::new($kind, line, col));
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '-' if next == Some('-') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            '[' => push!(TokenKind::LBracket, 1),
+            ']' => push!(TokenKind::RBracket, 1),
+            '{' => push!(TokenKind::LBrace, 1),
+            '}' => push!(TokenKind::RBrace, 1),
+            ',' => push!(TokenKind::Comma, 1),
+            ';' => push!(TokenKind::Semi, 1),
+            ':' => push!(TokenKind::Colon, 1),
+            '.' => push!(TokenKind::Dot, 1),
+            '|' => push!(TokenKind::Pipe, 1),
+            '+' => push!(TokenKind::Plus, 1),
+            '-' => push!(TokenKind::Minus, 1),
+            '*' => push!(TokenKind::Star, 1),
+            '/' => push!(TokenKind::Slash, 1),
+            '=' if next == Some('>') => push!(TokenKind::Implies, 2),
+            '⇒' => push!(TokenKind::Implies, 1),
+            '≥' => push!(TokenKind::Ge, 1),
+            '≤' => push!(TokenKind::Le, 1),
+            '=' => push!(TokenKind::Eq, 1),
+            '<' if next == Some('>') => push!(TokenKind::Neq, 2),
+            '<' if next == Some('=') => push!(TokenKind::Le, 2),
+            '<' => push!(TokenKind::Lt, 1),
+            '>' if next == Some('>') => push!(TokenKind::Calls, 2),
+            '>' if next == Some('=') => push!(TokenKind::Ge, 2),
+            '>' => push!(TokenKind::Gt, 1),
+            '"' | '\'' => {
+                let quote = c;
+                let start_col = col;
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(j) {
+                        None | Some('\n') => {
+                            return Err(LangError::new(
+                                line,
+                                start_col,
+                                "unterminated string literal",
+                            ))
+                        }
+                        Some(&ch) if ch == quote => break,
+                        Some(&ch) => {
+                            s.push(ch);
+                            j += 1;
+                        }
+                    }
+                }
+                let len = j + 1 - i;
+                tokens.push(Token::new(TokenKind::Str(s), line, start_col));
+                i = j + 1;
+                col += len;
+            }
+            '_' if !next.is_some_and(|n| n.is_alphanumeric() || n == '_') => {
+                push!(TokenKind::Underscore, 1)
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // money literal: digits '.' 1-2 digits (not followed by ident)
+                if chars.get(j) == Some(&'.')
+                    && chars.get(j + 1).is_some_and(char::is_ascii_digit)
+                {
+                    let mut k = j + 1;
+                    while k < chars.len() && chars[k].is_ascii_digit() {
+                        k += 1;
+                    }
+                    let text: String = chars[i..k].iter().collect();
+                    let m: troll_data::Money = text
+                        .parse()
+                        .map_err(|_| LangError::new(line, col, format!("bad money literal `{text}`")))?;
+                    let len = k - i;
+                    tokens.push(Token::new(TokenKind::Money(m.cents()), line, col));
+                    i = k;
+                    col += len;
+                } else {
+                    let text: String = chars[i..j].iter().collect();
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| LangError::new(line, col, format!("integer `{text}` out of range")))?;
+                    let len = j - i;
+                    tokens.push(Token::new(TokenKind::Int(n), line, col));
+                    i = j;
+                    col += len;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                let len = j - i;
+                tokens.push(Token::new(TokenKind::Ident(text), line, col));
+                i = j;
+                col += len;
+            }
+            other => {
+                return Err(LangError::new(
+                    line,
+                    col,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        }
+    }
+    tokens.push(Token::new(TokenKind::Eof, line, col));
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            kinds("( ) [ ] { } , ; : . | = <> < <= > >= + - * / >> => _"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::LBracket,
+                TokenKind::RBracket,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Comma,
+                TokenKind::Semi,
+                TokenKind::Colon,
+                TokenKind::Dot,
+                TokenKind::Pipe,
+                TokenKind::Eq,
+                TokenKind::Neq,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Calls,
+                TokenKind::Implies,
+                TokenKind::Underscore,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_math_symbols_accepted() {
+        // the paper typesets ⇒ and ≥
+        assert_eq!(
+            kinds("a ⇒ b ≥ 5 ≤ 6"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Implies,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ge,
+                TokenKind::Int(5),
+                TokenKind::Le,
+                TokenKind::Int(6),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 5000 3.5 10.25"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(5000),
+                TokenKind::Money(350),
+                TokenKind::Money(1025),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_after_int_is_field_access_when_not_money() {
+        // `1.x` lexes as Int Dot Ident (money needs a digit after '.')
+        assert_eq!(
+            kinds("1.x"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(
+            kinds(r#""Research" 'Research'"#),
+            vec![
+                TokenKind::Str("Research".into()),
+                TokenKind::Str("Research".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("'unterminated\nnext'").is_err());
+    }
+
+    #[test]
+    fn identifiers_and_underscores() {
+        assert_eq!(
+            kinds("est_date new_manager _private DEPT"),
+            vec![
+                TokenKind::Ident("est_date".into()),
+                TokenKind::Ident("new_manager".into()),
+                TokenKind::Ident("_private".into()),
+                TokenKind::Ident("DEPT".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a -- whole rest ignored ; >> ()\nb"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("ab\n  cd").unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn error_position() {
+        let e = lex("ok\n  §").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 3));
+        assert!(e.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn paper_fragment_lexes() {
+        let src = r#"
+object class DEPT
+  identification id: string;
+  template
+    attributes employees: set(PERSON);
+    events birth establishment(date); death closure;
+    valuation
+      variables P: PERSON;
+      [hire(P)] employees = insert(P, employees);
+    permissions
+      { sometime(after(hire(P))) } fire(P);
+end object class DEPT;
+"#;
+        let toks = lex(src).unwrap();
+        assert!(toks.len() > 40);
+        assert!(toks.iter().any(|t| t.is_kw("valuation")));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::LBracket));
+    }
+}

@@ -1,0 +1,1528 @@
+//! Static analysis: name/sort resolution and lowering to [`SystemModel`].
+
+use crate::ast::*;
+use crate::model::*;
+use crate::{LangError, Result};
+use std::collections::BTreeSet;
+use troll_data::Term;
+use troll_kernel::{AttributeSymbol, Signature, Template};
+use troll_process::{EventKind, EventSymbol};
+use troll_temporal::Formula;
+
+/// Analyzes a parsed specification and lowers it to a [`SystemModel`].
+///
+/// Checks performed:
+///
+/// * unique class/interface names; unique attribute and event names per
+///   class;
+/// * valuation rules index existing events with the right arity and
+///   assign existing, non-derived attributes; derivation rules define
+///   existing derived attributes;
+/// * permissions guard existing events with the right arity;
+/// * calling rules resolve their targets (component aliases, incorporated
+///   objects, class instances) and called events with matching arity;
+/// * `view of` bases exist, and the view kind
+///   (specialization vs phase) is derived from the birth alias;
+/// * interface classes encapsulate existing bases; non-derived items
+///   exist on a base; derived items have derivation/calling rules;
+/// * term scope: free variables of every rule resolve to attributes,
+///   rule parameters, identification attributes, component/incorporation
+///   aliases, `self`, or quantifier binders;
+/// * modules reference existing classes and interfaces.
+///
+/// # Errors
+///
+/// Returns the first violation as a [`LangError`] (positions are
+/// approximate at the declaration level: analysis errors report line 0).
+pub fn analyze(spec: &Spec) -> Result<SystemModel> {
+    let mut model = SystemModel::default();
+
+    // pass 0: attribute names per class, so `view of` classes can
+    // reference base attributes (MANAGER's constraint on PERSON's
+    // Salary) regardless of declaration order
+    let mut attr_names: std::collections::BTreeMap<String, BTreeSet<String>> =
+        std::collections::BTreeMap::new();
+    let mut view_bases: std::collections::BTreeMap<String, String> =
+        std::collections::BTreeMap::new();
+    for item in &spec.items {
+        if let Item::ObjectClass(decl) = item {
+            let mut names: BTreeSet<String> = decl
+                .identification
+                .iter()
+                .map(|p| p.name.clone())
+                .collect();
+            names.extend(decl.body.attributes.iter().map(|a| a.name.clone()));
+            names.extend(decl.body.components.iter().map(|c| c.name.clone()));
+            names.extend(decl.inheriting.iter().map(|i| i.alias.clone()));
+            attr_names.insert(decl.name.clone(), names);
+            if let Some(base) = &decl.view_of {
+                view_bases.insert(decl.name.clone(), base.clone());
+            }
+        }
+    }
+
+    // pass 1: collect names and build class skeletons
+    for item in &spec.items {
+        match item {
+            Item::ObjectClass(decl) => {
+                if model.classes.contains_key(&decl.name) {
+                    return err(format!("duplicate class `{}`", decl.name));
+                }
+                // inherited scope: attributes of the (transitive) view bases
+                let mut inherited = BTreeSet::new();
+                let mut cursor = decl.view_of.clone();
+                let mut hops = 0;
+                while let Some(base) = cursor {
+                    if hops > 32 {
+                        return err(format!(
+                            "class `{}`: cyclic `view of` chain",
+                            decl.name
+                        ));
+                    }
+                    hops += 1;
+                    if let Some(names) = attr_names.get(&base) {
+                        inherited.extend(names.iter().cloned());
+                    }
+                    cursor = view_bases.get(&base).cloned();
+                }
+                let class = lower_class(decl, &inherited)?;
+                model.classes.insert(decl.name.clone(), class);
+            }
+            Item::InterfaceClass(decl)
+                if model.interfaces.contains_key(&decl.name) => {
+                    return err(format!("duplicate interface `{}`", decl.name));
+                }
+                // lowered in pass 2 (needs the class table)
+            _ => {}
+        }
+    }
+
+    // pass 2: cross-reference checks
+    let class_names: BTreeSet<String> = model.classes.keys().cloned().collect();
+    for item in &spec.items {
+        match item {
+            Item::ObjectClass(decl) => {
+                check_cross_references(decl, &model)?;
+                // resolve the view kind now that the base is known
+                if let Some(base) = &decl.view_of {
+                    let kind = view_kind(decl, base, &model)?;
+                    let class = model.classes.get_mut(&decl.name).expect("inserted in pass 1");
+                    class.view = Some((base.clone(), kind));
+                }
+            }
+            Item::InterfaceClass(decl) => {
+                let iface = lower_interface(decl, &model)?;
+                model.interfaces.insert(decl.name.clone(), iface);
+            }
+            Item::GlobalInteractions(decl) => {
+                for rule in &decl.rules {
+                    let lowered = lower_global_rule(rule, &model)?;
+                    model.global_interactions.push(lowered);
+                }
+            }
+            Item::Module(decl) => {
+                let module = lower_module(decl, &class_names, spec)?;
+                model.modules.insert(decl.name.clone(), module);
+            }
+        }
+    }
+
+    Ok(model)
+}
+
+fn err<T>(message: String) -> Result<T> {
+    Err(LangError::new(0, 0, message))
+}
+
+// ----- class lowering ------------------------------------------------
+
+fn lower_class(decl: &ObjectClassDecl, inherited_scope: &BTreeSet<String>) -> Result<ClassModel> {
+    let name = &decl.name;
+    let mut sig = Signature::new();
+    let mut scope: BTreeSet<String> = inherited_scope.clone();
+    scope.insert("self".to_string());
+
+    // identification attributes
+    for p in &decl.identification {
+        if sig.has_attribute(&p.name) {
+            return err(format!(
+                "class `{name}`: duplicate identification attribute `{}`",
+                p.name
+            ));
+        }
+        sig.add_attribute(AttributeSymbol::new(&p.name, p.sort.clone()));
+        scope.insert(p.name.clone());
+    }
+
+    // declared attributes (parameterized families are not part of the
+    // plain signature: they are derived observation families, read via
+    // the runtime's attribute_with_args)
+    for a in &decl.body.attributes {
+        if a.params.is_empty() {
+            if sig.has_attribute(&a.name) {
+                return err(format!("class `{name}`: duplicate attribute `{}`", a.name));
+            }
+            let sym = if a.derived {
+                AttributeSymbol::derived(&a.name, a.sort.clone())
+            } else {
+                AttributeSymbol::new(&a.name, a.sort.clone())
+            };
+            sig.add_attribute(sym);
+            scope.insert(a.name.clone());
+        }
+    }
+
+    // components become attributes holding identities
+    for c in &decl.body.components {
+        if sig.has_attribute(&c.name) {
+            return err(format!(
+                "class `{name}`: component `{}` clashes with an attribute",
+                c.name
+            ));
+        }
+        let sort = match c.kind {
+            ComponentKind::Single => troll_data::Sort::id(&c.class),
+            ComponentKind::List => troll_data::Sort::list(troll_data::Sort::id(&c.class)),
+            ComponentKind::Set => troll_data::Sort::set(troll_data::Sort::id(&c.class)),
+        };
+        sig.add_attribute(AttributeSymbol::new(&c.name, sort));
+        scope.insert(c.name.clone());
+    }
+
+    // incorporated objects: alias attribute of identity sort
+    for inh in &decl.inheriting {
+        if sig.has_attribute(&inh.alias) {
+            return err(format!(
+                "class `{name}`: incorporation alias `{}` clashes with an attribute",
+                inh.alias
+            ));
+        }
+        sig.add_attribute(AttributeSymbol::new(
+            &inh.alias,
+            troll_data::Sort::id(&inh.object),
+        ));
+        scope.insert(inh.alias.clone());
+    }
+
+    // events
+    let mut event_aliases = Vec::new();
+    for e in &decl.body.events {
+        if sig.has_event(&e.name) {
+            return err(format!("class `{name}`: duplicate event `{}`", e.name));
+        }
+        let kind = match e.marker {
+            EventMarker::Birth => EventKind::Birth,
+            EventMarker::Update => EventKind::Update,
+            EventMarker::Death => EventKind::Death,
+            EventMarker::Active => EventKind::Active,
+        };
+        sig.add_event(EventSymbol::new(&e.name, e.params.len(), kind));
+        if let Some((base, base_event)) = &e.alias_of {
+            event_aliases.push((e.name.clone(), base.clone(), base_event.clone()));
+        }
+    }
+
+    // valuation rules
+    let mut valuation = Vec::new();
+    for rule in &decl.body.valuation {
+        let event = sig.event(&rule.event).ok_or_else(|| {
+            LangError::new(
+                0,
+                0,
+                format!(
+                    "class `{name}`: valuation rule for unknown event `{}`",
+                    rule.event
+                ),
+            )
+        })?;
+        if event.arity != rule.params.len() {
+            return err(format!(
+                "class `{name}`: valuation rule for `{}` binds {} parameter(s), event has {}",
+                rule.event,
+                rule.params.len(),
+                event.arity
+            ));
+        }
+        let attr = sig.attribute(&rule.attribute).ok_or_else(|| {
+            LangError::new(
+                0,
+                0,
+                format!(
+                    "class `{name}`: valuation rule assigns unknown attribute `{}`",
+                    rule.attribute
+                ),
+            )
+        })?;
+        if attr.derived {
+            return err(format!(
+                "class `{name}`: valuation rule assigns derived attribute `{}` (use a derivation rule)",
+                rule.attribute
+            ));
+        }
+        let mut rule_scope = scope.clone();
+        rule_scope.extend(rule.params.iter().cloned());
+        check_term_scope(&rule.value, &rule_scope, name, "valuation rule")?;
+        if let Some(g) = &rule.guard {
+            check_term_scope(g, &rule_scope, name, "valuation guard")?;
+        }
+        valuation.push(ValuationModel {
+            guard: rule.guard.clone(),
+            event: rule.event.clone(),
+            params: rule.params.clone(),
+            attribute: rule.attribute.clone(),
+            value: rule.value.clone(),
+        });
+    }
+
+    // parameterized attribute families
+    let mut param_attributes = Vec::new();
+    for a in &decl.body.attributes {
+        if a.params.is_empty() {
+            continue;
+        }
+        let rule = decl
+            .body
+            .derivation_rules
+            .iter()
+            .find(|d| d.attribute == a.name)
+            .ok_or_else(|| {
+                LangError::new(
+                    0,
+                    0,
+                    format!(
+                        "class `{name}`: parameterized attribute `{}` has no derivation rule",
+                        a.name
+                    ),
+                )
+            })?;
+        if rule.params.len() != a.params.len() {
+            return err(format!(
+                "class `{name}`: derivation rule for `{}` binds {} parameter(s), attribute has {}",
+                a.name,
+                rule.params.len(),
+                a.params.len()
+            ));
+        }
+        let mut rule_scope = scope.clone();
+        rule_scope.extend(rule.params.iter().cloned());
+        check_term_scope(&rule.value, &rule_scope, name, "parameterized derivation")?;
+        param_attributes.push(ParamAttrModel {
+            name: a.name.clone(),
+            params: a.params.clone(),
+            sort: a.sort.clone(),
+            binders: rule.params.clone(),
+            value: rule.value.clone(),
+        });
+    }
+
+    // derivation rules (plain derived attributes)
+    let mut derivation = Vec::new();
+    for rule in &decl.body.derivation_rules {
+        if param_attributes.iter().any(|p| p.name == rule.attribute) {
+            continue; // handled above
+        }
+        if !rule.params.is_empty() {
+            return err(format!(
+                "class `{name}`: derivation rule for `{}` binds parameters, but the attribute is not parameterized",
+                rule.attribute
+            ));
+        }
+        let attr = sig.attribute(&rule.attribute).ok_or_else(|| {
+            LangError::new(
+                0,
+                0,
+                format!(
+                    "class `{name}`: derivation rule for unknown attribute `{}`",
+                    rule.attribute
+                ),
+            )
+        })?;
+        if !attr.derived {
+            return err(format!(
+                "class `{name}`: derivation rule for non-derived attribute `{}`",
+                rule.attribute
+            ));
+        }
+        check_term_scope(&rule.value, &scope, name, "derivation rule")?;
+        derivation.push(DerivationModel {
+            attribute: rule.attribute.clone(),
+            value: rule.value.clone(),
+        });
+    }
+    for a in &decl.body.attributes {
+        if a.derived
+            && a.params.is_empty()
+            && !derivation.iter().any(|d| d.attribute == a.name)
+        {
+            return err(format!(
+                "class `{name}`: derived attribute `{}` has no derivation rule",
+                a.name
+            ));
+        }
+    }
+
+    // permissions
+    let mut permissions = Vec::new();
+    for p in &decl.body.permissions {
+        let event = sig.event(&p.event).ok_or_else(|| {
+            LangError::new(
+                0,
+                0,
+                format!("class `{name}`: permission for unknown event `{}`", p.event),
+            )
+        })?;
+        if !p.params.is_empty() && event.arity != p.params.len() {
+            return err(format!(
+                "class `{name}`: permission for `{}` binds {} parameter(s), event has {}",
+                p.event,
+                p.params.len(),
+                event.arity
+            ));
+        }
+        let mut f_scope = scope.clone();
+        f_scope.extend(p.params.iter().cloned());
+        check_formula_scope(&p.formula, &f_scope, name, "permission")?;
+        permissions.push(PermissionModel {
+            event: p.event.clone(),
+            params: p.params.clone(),
+            formula: p.formula.clone(),
+        });
+    }
+
+    // obligations: future-directed formulas, checked over completed traces
+    let mut obligations = Vec::new();
+    for o in &decl.body.obligations {
+        check_formula_scope(o, &scope, name, "obligation")?;
+        obligations.push(o.clone());
+    }
+
+    // constraints
+    let mut constraints = Vec::new();
+    for c in &decl.body.constraints {
+        check_formula_scope(&c.formula, &scope, name, "constraint")?;
+        constraints.push(ConstraintModel {
+            kind: match c.kind {
+                ConstraintKindAst::Static => ConstraintKind::Static,
+                ConstraintKindAst::Dynamic => ConstraintKind::Dynamic,
+                ConstraintKindAst::Initially => ConstraintKind::Initially,
+            },
+            formula: c.formula.clone(),
+        });
+    }
+
+    // local calling rules (cross-class parts validated in pass 2)
+    let mut interactions = Vec::new();
+    for rule in &decl.body.interactions {
+        let trigger_event = match &rule.trigger.target {
+            TargetRef::Local => rule.trigger.event.clone(),
+            other => {
+                return err(format!(
+                    "class `{name}`: interaction trigger must be a local event, found {other:?}"
+                ))
+            }
+        };
+        let event = sig.event(&trigger_event).ok_or_else(|| {
+            LangError::new(
+                0,
+                0,
+                format!("class `{name}`: interaction trigger `{trigger_event}` is not an event"),
+            )
+        })?;
+        let mut trigger_params = Vec::new();
+        for arg in &rule.trigger.args {
+            match arg {
+                Term::Var(v) => trigger_params.push(v.clone()),
+                other => {
+                    return err(format!(
+                        "class `{name}`: interaction trigger arguments must be variables, found `{other}`"
+                    ))
+                }
+            }
+        }
+        if !trigger_params.is_empty() && trigger_params.len() != event.arity {
+            return err(format!(
+                "class `{name}`: interaction trigger `{trigger_event}` binds {} parameter(s), event has {}",
+                trigger_params.len(),
+                event.arity
+            ));
+        }
+        let mut rule_scope = scope.clone();
+        rule_scope.extend(trigger_params.iter().cloned());
+        let mut calls = Vec::new();
+        for call in &rule.calls {
+            for arg in &call.args {
+                check_term_scope(arg, &rule_scope, name, "interaction argument")?;
+            }
+            let target = match &call.target {
+                TargetRef::Local => EventTarget::Local,
+                TargetRef::Component(alias) => EventTarget::Component(alias.clone()),
+                TargetRef::Instance { class, id } => {
+                    check_term_scope(id, &rule_scope, name, "interaction instance id")?;
+                    EventTarget::Instance {
+                        class: class.clone(),
+                        id: id.clone(),
+                    }
+                }
+            };
+            calls.push(LoweredCall {
+                target,
+                event: call.event.clone(),
+                args: call.args.clone(),
+            });
+        }
+        interactions.push(CallRule {
+            trigger_target: EventTarget::Local,
+            trigger_event,
+            trigger_params,
+            calls,
+        });
+    }
+
+    let template = Template::new(name.clone(), sig);
+    Ok(ClassModel {
+        name: name.clone(),
+        singleton: decl.singleton,
+        identification: decl
+            .identification
+            .iter()
+            .map(|p| (p.name.clone(), p.sort.clone()))
+            .collect(),
+        template,
+        view: None, // filled in pass 2
+        inheriting: decl
+            .inheriting
+            .iter()
+            .map(|i| (i.object.clone(), i.alias.clone()))
+            .collect(),
+        components: decl
+            .body
+            .components
+            .iter()
+            .map(|c| ComponentModel {
+                name: c.name.clone(),
+                kind: c.kind,
+                class: c.class.clone(),
+            })
+            .collect(),
+        valuation,
+        derivation,
+        permissions,
+        constraints,
+        interactions,
+        event_aliases,
+        obligations,
+        param_attributes,
+    })
+}
+
+fn view_kind(decl: &ObjectClassDecl, base: &str, model: &SystemModel) -> Result<ViewKind> {
+    let base_class = model
+        .classes
+        .get(base)
+        .ok_or_else(|| LangError::new(0, 0, format!("class `{}`: view of unknown class `{base}`", decl.name)))?;
+    // A phase is entered by a base *update* event aliased as the view's
+    // birth (MANAGER: birth PERSON.become_manager). A specialization has
+    // no such alias, or aliases a base birth event.
+    for e in &decl.body.events {
+        if e.marker == EventMarker::Birth {
+            if let Some((alias_base, base_event)) = &e.alias_of {
+                if alias_base != base {
+                    return err(format!(
+                        "class `{}`: birth alias refers to `{alias_base}`, but the view base is `{base}`",
+                        decl.name
+                    ));
+                }
+                let kind = base_class
+                    .template
+                    .signature()
+                    .events()
+                    .kind_of(base_event)
+                    .ok_or_else(|| {
+                        LangError::new(
+                            0,
+                            0,
+                            format!(
+                                "class `{}`: birth alias `{base_event}` is not an event of `{base}`",
+                                decl.name
+                            ),
+                        )
+                    })?;
+                return Ok(if kind == EventKind::Birth {
+                    ViewKind::Specialization
+                } else {
+                    ViewKind::Phase
+                });
+            }
+        }
+    }
+    Ok(ViewKind::Specialization)
+}
+
+fn check_cross_references(decl: &ObjectClassDecl, model: &SystemModel) -> Result<()> {
+    let name = &decl.name;
+    // event aliases must match the base event's arity: the aliased
+    // occurrence receives the base event's actual arguments
+    for e in &decl.body.events {
+        if let Some((base, base_event)) = &e.alias_of {
+            let base_class = model.classes.get(base).ok_or_else(|| {
+                LangError::new(
+                    0,
+                    0,
+                    format!("class `{name}`: event alias refers to unknown class `{base}`"),
+                )
+            })?;
+            let bev = base_class
+                .template
+                .signature()
+                .event(base_event)
+                .ok_or_else(|| {
+                    LangError::new(
+                        0,
+                        0,
+                        format!(
+                            "class `{name}`: event alias `{base}.{base_event}` does not exist"
+                        ),
+                    )
+                })?;
+            if bev.arity != e.params.len() {
+                return err(format!(
+                    "class `{name}`: aliased event `{}` declares {} parameter(s), base event `{base}.{base_event}` has {}",
+                    e.name,
+                    e.params.len(),
+                    bev.arity
+                ));
+            }
+        }
+    }
+    for c in &decl.body.components {
+        if !model.classes.contains_key(&c.class) {
+            return err(format!(
+                "class `{name}`: component `{}` has unknown class `{}`",
+                c.name, c.class
+            ));
+        }
+    }
+    for inh in &decl.inheriting {
+        if !model.classes.contains_key(&inh.object) {
+            return err(format!(
+                "class `{name}`: inheriting unknown object `{}`",
+                inh.object
+            ));
+        }
+    }
+    // called events must exist on their targets
+    let class = model.classes.get(name).expect("class inserted in pass 1");
+    for rule in &class.interactions {
+        for call in &rule.calls {
+            let (target_class, label) = match &call.target {
+                EventTarget::Local => (name.clone(), "local".to_string()),
+                EventTarget::Component(alias) => {
+                    let target = class
+                        .inheriting
+                        .iter()
+                        .find(|(_, a)| a == alias)
+                        .map(|(obj, _)| obj.clone())
+                        .or_else(|| {
+                            class
+                                .components
+                                .iter()
+                                .find(|c| &c.name == alias)
+                                .map(|c| c.class.clone())
+                        });
+                    match target {
+                        Some(t) => (t, format!("component `{alias}`")),
+                        None => {
+                            return err(format!(
+                                "class `{name}`: calling rule targets unknown component `{alias}`"
+                            ))
+                        }
+                    }
+                }
+                EventTarget::Instance { class: c, .. } => (c.clone(), format!("class `{c}`")),
+            };
+            let target_model = model.classes.get(&target_class).ok_or_else(|| {
+                LangError::new(
+                    0,
+                    0,
+                    format!("class `{name}`: calling rule targets unknown class `{target_class}`"),
+                )
+            })?;
+            let ev = target_model
+                .template
+                .signature()
+                .event(&call.event)
+                .ok_or_else(|| {
+                    LangError::new(
+                        0,
+                        0,
+                        format!(
+                            "class `{name}`: calling rule invokes unknown event `{}` on {label}",
+                            call.event
+                        ),
+                    )
+                })?;
+            if ev.arity != call.args.len() {
+                return err(format!(
+                    "class `{name}`: call to `{}` passes {} argument(s), event has {}",
+                    call.event,
+                    call.args.len(),
+                    ev.arity
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ----- interfaces ------------------------------------------------------
+
+fn lower_interface(decl: &InterfaceClassDecl, model: &SystemModel) -> Result<InterfaceModel> {
+    let name = &decl.name;
+    let mut bases = Vec::new();
+    for b in &decl.encapsulating {
+        if !model.classes.contains_key(&b.class) {
+            return err(format!(
+                "interface `{name}`: encapsulating unknown class `{}`",
+                b.class
+            ));
+        }
+        bases.push((b.class.clone(), b.var.clone()));
+    }
+    if bases.is_empty() {
+        return err(format!("interface `{name}`: no encapsulated base"));
+    }
+
+    let mut scope: BTreeSet<String> = bases.iter().map(|(_, v)| v.clone()).collect();
+    scope.insert("self".to_string());
+    // selection predicates and derivation rules may reference base
+    // attributes unqualified (the paper's RESEARCH_EMPLOYEE selects on
+    // `Dept`, SAL_EMPLOYEE2 derives from `Salary`)
+    for (class, _) in &bases {
+        for attr in model.classes[class.as_str()].template.signature().attributes() {
+            scope.insert(attr.name.clone());
+        }
+    }
+
+    // attributes
+    let mut attributes = Vec::new();
+    for a in &decl.attributes {
+        if !a.derived {
+            // must exist on exactly one base
+            let owners: Vec<&String> = bases
+                .iter()
+                .map(|(c, _)| c)
+                .filter(|c| {
+                    model.classes[c.as_str()]
+                        .template
+                        .signature()
+                        .has_attribute(&a.name)
+                })
+                .collect();
+            match owners.len() {
+                0 => {
+                    return err(format!(
+                        "interface `{name}`: attribute `{}` not found on any base",
+                        a.name
+                    ))
+                }
+                1 => {}
+                _ => {
+                    return err(format!(
+                        "interface `{name}`: attribute `{}` is ambiguous between bases",
+                        a.name
+                    ))
+                }
+            }
+        } else if !decl.derivation_rules.iter().any(|d| d.attribute == a.name) {
+            return err(format!(
+                "interface `{name}`: derived attribute `{}` has no derivation rule",
+                a.name
+            ));
+        }
+        attributes.push((a.name.clone(), a.sort.clone(), a.derived));
+        scope.insert(a.name.clone());
+    }
+
+    // events
+    let mut events = Vec::new();
+    for e in &decl.events {
+        if !e.derived {
+            let owners: Vec<&String> = bases
+                .iter()
+                .map(|(c, _)| c)
+                .filter(|c| {
+                    model.classes[c.as_str()]
+                        .template
+                        .signature()
+                        .has_event(&e.name)
+                })
+                .collect();
+            if owners.is_empty() {
+                return err(format!(
+                    "interface `{name}`: event `{}` not found on any base",
+                    e.name
+                ));
+            }
+        } else if !decl.calling.iter().any(|c| c.trigger.event == e.name) {
+            return err(format!(
+                "interface `{name}`: derived event `{}` has no calling rule",
+                e.name
+            ));
+        }
+        events.push(EventModel {
+            name: e.name.clone(),
+            params: e.params.clone(),
+            kind: EventKind::Update,
+            derived: e.derived,
+        });
+    }
+
+    if let Some(sel) = &decl.selection {
+        check_term_scope(sel, &scope, name, "selection predicate")?;
+    }
+    let mut derivation = Vec::new();
+    for d in &decl.derivation_rules {
+        if !d.params.is_empty() {
+            return err(format!(
+                "interface `{name}`: parameterized derivation rules are not supported on interfaces"
+            ));
+        }
+        check_term_scope(&d.value, &scope, name, "derivation rule")?;
+        derivation.push(DerivationModel {
+            attribute: d.attribute.clone(),
+            value: d.value.clone(),
+        });
+    }
+
+    let mut calling = Vec::new();
+    for rule in &decl.calling {
+        let mut calls = Vec::new();
+        for call in &rule.calls {
+            let target = match &call.target {
+                TargetRef::Local => EventTarget::Local,
+                TargetRef::Component(alias) => EventTarget::Component(alias.clone()),
+                TargetRef::Instance { class, id } => EventTarget::Instance {
+                    class: class.clone(),
+                    id: id.clone(),
+                },
+            };
+            // a Local call from an interface goes to the encapsulated base
+            if target == EventTarget::Local {
+                let found = bases.iter().any(|(c, _)| {
+                    model.classes[c.as_str()]
+                        .template
+                        .signature()
+                        .has_event(&call.event)
+                });
+                if !found {
+                    return err(format!(
+                        "interface `{name}`: calling rule invokes unknown base event `{}`",
+                        call.event
+                    ));
+                }
+            }
+            calls.push(LoweredCall {
+                target,
+                event: call.event.clone(),
+                args: call.args.clone(),
+            });
+        }
+        calling.push(CallRule {
+            trigger_target: EventTarget::Local,
+            trigger_event: rule.trigger.event.clone(),
+            trigger_params: rule
+                .trigger
+                .args
+                .iter()
+                .filter_map(|a| match a {
+                    Term::Var(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect(),
+            calls,
+        });
+    }
+
+    Ok(InterfaceModel {
+        name: name.clone(),
+        bases,
+        selection: decl.selection.clone(),
+        attributes,
+        events,
+        derivation,
+        calling,
+    })
+}
+
+// ----- global interactions ---------------------------------------------
+
+fn lower_global_rule(rule: &CallingRule, model: &SystemModel) -> Result<CallRule> {
+    let (class, id) = match &rule.trigger.target {
+        TargetRef::Instance { class, id } => (class.clone(), id.clone()),
+        other => {
+            return err(format!(
+                "global interaction trigger must be CLASS(id).event, found {other:?}"
+            ))
+        }
+    };
+    let trigger_class = model
+        .classes
+        .get(&class)
+        .ok_or_else(|| LangError::new(0, 0, format!("global interaction on unknown class `{class}`")))?;
+    let ev = trigger_class
+        .template
+        .signature()
+        .event(&rule.trigger.event)
+        .ok_or_else(|| {
+            LangError::new(
+                0,
+                0,
+                format!(
+                    "global interaction trigger `{}` is not an event of `{class}`",
+                    rule.trigger.event
+                ),
+            )
+        })?;
+    let mut trigger_params = Vec::new();
+    for arg in &rule.trigger.args {
+        match arg {
+            Term::Var(v) => trigger_params.push(v.clone()),
+            other => {
+                return err(format!(
+                    "global interaction trigger arguments must be variables, found `{other}`"
+                ))
+            }
+        }
+    }
+    if trigger_params.len() != ev.arity {
+        return err(format!(
+            "global interaction trigger `{}` binds {} parameter(s), event has {}",
+            rule.trigger.event,
+            trigger_params.len(),
+            ev.arity
+        ));
+    }
+    let mut calls = Vec::new();
+    for call in &rule.calls {
+        let target = match &call.target {
+            TargetRef::Instance { class, id } => {
+                let callee = model.classes.get(class).ok_or_else(|| {
+                    LangError::new(0, 0, format!("global interaction calls unknown class `{class}`"))
+                })?;
+                let cev = callee
+                    .template
+                    .signature()
+                    .event(&call.event)
+                    .ok_or_else(|| {
+                        LangError::new(
+                            0,
+                            0,
+                            format!(
+                                "global interaction calls unknown event `{}` on `{class}`",
+                                call.event
+                            ),
+                        )
+                    })?;
+                if cev.arity != call.args.len() {
+                    return err(format!(
+                        "global interaction call to `{}` passes {} argument(s), event has {}",
+                        call.event,
+                        call.args.len(),
+                        cev.arity
+                    ));
+                }
+                EventTarget::Instance {
+                    class: class.clone(),
+                    id: id.clone(),
+                }
+            }
+            other => {
+                return err(format!(
+                    "global interaction calls must be CLASS(id).event, found {other:?}"
+                ))
+            }
+        };
+        calls.push(LoweredCall {
+            target,
+            event: call.event.clone(),
+            args: call.args.clone(),
+        });
+    }
+    Ok(CallRule {
+        trigger_target: EventTarget::Instance { class, id },
+        trigger_event: rule.trigger.event.clone(),
+        trigger_params,
+        calls,
+    })
+}
+
+// ----- modules -----------------------------------------------------------
+
+fn lower_module(
+    decl: &ModuleDecl,
+    class_names: &BTreeSet<String>,
+    spec: &Spec,
+) -> Result<ModuleModel> {
+    for c in decl.conceptual.iter().chain(&decl.internal) {
+        if !class_names.contains(c) {
+            return err(format!(
+                "module `{}`: unknown class `{c}` in schema",
+                decl.name
+            ));
+        }
+    }
+    for (schema, members) in &decl.external {
+        for m in members {
+            if spec.interface_class(m).is_none() {
+                return err(format!(
+                    "module `{}`: external schema `{schema}` lists unknown interface `{m}`",
+                    decl.name
+                ));
+            }
+        }
+    }
+    Ok(ModuleModel {
+        name: decl.name.clone(),
+        conceptual: decl.conceptual.clone(),
+        internal: decl.internal.clone(),
+        external: decl.external.clone(),
+        imports: decl.imports.clone(),
+    })
+}
+
+// ----- scope checking ----------------------------------------------------
+
+/// Checks that the free variables of a term resolve in `scope`.
+/// Selection predicates (`select|p|(rel)`) are skipped: their variables
+/// include the relation's tuple fields, which are not statically known.
+fn check_term_scope(
+    term: &Term,
+    scope: &BTreeSet<String>,
+    class: &str,
+    context: &str,
+) -> Result<()> {
+    let mut bound: Vec<String> = Vec::new();
+    check_term_scope_inner(term, scope, &mut bound, class, context)
+}
+
+fn check_term_scope_inner(
+    term: &Term,
+    scope: &BTreeSet<String>,
+    bound: &mut Vec<String>,
+    class: &str,
+    context: &str,
+) -> Result<()> {
+    match term {
+        Term::Const(_) => Ok(()),
+        Term::Var(v) => {
+            if scope.contains(v) || bound.iter().any(|b| b == v) || v.starts_with("population(") {
+                Ok(())
+            } else {
+                err(format!(
+                    "class `{class}`: unknown variable `{v}` in {context}"
+                ))
+            }
+        }
+        Term::Apply(_, args) => {
+            for a in args {
+                check_term_scope_inner(a, scope, bound, class, context)?;
+            }
+            Ok(())
+        }
+        Term::Field(base, _) => check_term_scope_inner(base, scope, bound, class, context),
+        Term::MkTuple(fields) => {
+            for (_, t) in fields {
+                check_term_scope_inner(t, scope, bound, class, context)?;
+            }
+            Ok(())
+        }
+        Term::MkSet(elems) | Term::MkList(elems) => {
+            for t in elems {
+                check_term_scope_inner(t, scope, bound, class, context)?;
+            }
+            Ok(())
+        }
+        Term::IfThenElse(c, a, b) => {
+            check_term_scope_inner(c, scope, bound, class, context)?;
+            check_term_scope_inner(a, scope, bound, class, context)?;
+            check_term_scope_inner(b, scope, bound, class, context)
+        }
+        Term::Quant {
+            var, domain, body, ..
+        } => {
+            check_term_scope_inner(domain, scope, bound, class, context)?;
+            bound.push(var.clone());
+            let r = check_term_scope_inner(body, scope, bound, class, context);
+            bound.pop();
+            r
+        }
+        Term::Let { var, value, body } => {
+            check_term_scope_inner(value, scope, bound, class, context)?;
+            bound.push(var.clone());
+            let r = check_term_scope_inner(body, scope, bound, class, context);
+            bound.pop();
+            r
+        }
+        Term::Select { rel, .. } => {
+            // predicate skipped: tuple fields not statically known
+            check_term_scope_inner(rel, scope, bound, class, context)
+        }
+        Term::Project { rel, .. } | Term::The(rel) => {
+            check_term_scope_inner(rel, scope, bound, class, context)
+        }
+    }
+}
+
+fn check_formula_scope(
+    formula: &Formula,
+    scope: &BTreeSet<String>,
+    class: &str,
+    context: &str,
+) -> Result<()> {
+    match formula {
+        Formula::Pred(t) => check_term_scope(t, scope, class, context),
+        Formula::Occurs(p) | Formula::After(p) => {
+            for arg in p.args.iter().flatten() {
+                check_term_scope(arg, scope, class, context)?;
+            }
+            Ok(())
+        }
+        Formula::Not(f)
+        | Formula::Sometime(f)
+        | Formula::AlwaysPast(f)
+        | Formula::Previous(f)
+        | Formula::Eventually(f)
+        | Formula::Henceforth(f) => check_formula_scope(f, scope, class, context),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Since(a, b) => {
+            check_formula_scope(a, scope, class, context)?;
+            check_formula_scope(b, scope, class, context)
+        }
+        Formula::Quant {
+            var, domain, body, ..
+        } => {
+            check_term_scope(domain, scope, class, context)?;
+            let mut inner = scope.clone();
+            inner.insert(var.clone());
+            check_formula_scope(body, &inner, class, context)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn analyze_src(src: &str) -> crate::Result<SystemModel> {
+        analyze(&parse(src)?)
+    }
+
+    const DEPT: &str = r#"
+object class DEPT
+  identification id: string;
+  template
+    attributes
+      est_date: date;
+      manager: |PERSON|;
+      employees: set(|PERSON|);
+    events
+      birth establishment(date);
+      death closure;
+      new_manager(|PERSON|);
+      hire(|PERSON|);
+      fire(|PERSON|);
+    valuation
+      variables P: |PERSON|; d: date;
+      [establishment(d)] est_date = d;
+      [new_manager(P)] manager = P;
+      [hire(P)] employees = insert(P, employees);
+      [fire(P)] employees = remove(P, employees);
+    permissions
+      variables P: |PERSON|;
+      { sometime(after(hire(P))) } fire(P);
+      { for all(P: PERSON : sometime(P in employees) => sometime(after(fire(P)))) } closure;
+end object class DEPT;
+"#;
+
+    #[test]
+    fn dept_analyzes() {
+        let model = analyze_src(DEPT).unwrap();
+        let dept = model.class("DEPT").unwrap();
+        assert_eq!(dept.valuation.len(), 4);
+        assert_eq!(dept.permissions.len(), 2);
+        assert!(dept.template.signature().has_attribute("id"));
+        assert!(dept.template.signature().has_event("hire"));
+        assert_eq!(
+            dept.template.signature().events().kind_of("closure"),
+            Some(EventKind::Death)
+        );
+        assert_eq!(dept.valuation_for("hire").count(), 1);
+        assert_eq!(dept.permissions_for("fire").count(), 1);
+        assert_eq!(dept.permissions_for("hire").count(), 0);
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let src = format!("{DEPT}{DEPT}");
+        let e = analyze_src(&src).unwrap_err();
+        assert!(e.to_string().contains("duplicate class"));
+    }
+
+    #[test]
+    fn unknown_variable_in_valuation_rejected() {
+        let src = r#"
+object class C
+  template
+    attributes x: int;
+    events birth b; bump(int);
+    valuation
+      variables n: int;
+      [bump(n)] x = x + stranger;
+end object class C;
+"#;
+        let e = analyze_src(src).unwrap_err();
+        assert!(e.to_string().contains("unknown variable `stranger`"), "{e}");
+    }
+
+    #[test]
+    fn arity_mismatches_rejected() {
+        let src = r#"
+object class C
+  template
+    attributes x: int;
+    events birth b; bump(int);
+    valuation
+      [bump] x = 0;
+end object class C;
+"#;
+        let e = analyze_src(src).unwrap_err();
+        assert!(e.to_string().contains("binds 0 parameter"), "{e}");
+        let src = r#"
+object class C
+  template
+    events birth b; e(int);
+    permissions
+      variables n: int; m: int;
+      { true } e(n, m);
+end object class C;
+"#;
+        let e = analyze_src(src).unwrap_err();
+        assert!(e.to_string().contains("permission"), "{e}");
+    }
+
+    #[test]
+    fn derived_attribute_rules_enforced() {
+        // derived without rule
+        let src = r#"
+object class C
+  template
+    attributes derived d: int;
+    events birth b;
+end object class C;
+"#;
+        let e = analyze_src(src).unwrap_err();
+        assert!(e.to_string().contains("no derivation rule"), "{e}");
+        // valuation assigning derived
+        let src = r#"
+object class C
+  template
+    attributes derived d: int;
+    events birth b;
+    valuation
+      [b] d = 1;
+    derivation rules
+      d = 2;
+end object class C;
+"#;
+        let e = analyze_src(src).unwrap_err();
+        assert!(e.to_string().contains("derived attribute"), "{e}");
+        // derivation for non-derived
+        let src = r#"
+object class C
+  template
+    attributes s: int;
+    events birth b;
+    derivation rules
+      s = 2;
+end object class C;
+"#;
+        let e = analyze_src(src).unwrap_err();
+        assert!(e.to_string().contains("non-derived"), "{e}");
+    }
+
+    #[test]
+    fn view_kinds_resolved() {
+        let src = r#"
+object class PERSON
+  identification name: string;
+  template
+    events birth create; become_manager; death die;
+end object class PERSON;
+
+object class MANAGER
+  view of PERSON;
+  template
+    events birth PERSON.become_manager;
+end object class MANAGER;
+
+object class WOMAN
+  view of PERSON;
+  template
+    events birth PERSON.create;
+end object class WOMAN;
+"#;
+        let model = analyze_src(src).unwrap();
+        assert_eq!(
+            model.class("MANAGER").unwrap().view,
+            Some(("PERSON".to_string(), ViewKind::Phase))
+        );
+        assert_eq!(
+            model.class("WOMAN").unwrap().view,
+            Some(("PERSON".to_string(), ViewKind::Specialization))
+        );
+    }
+
+    #[test]
+    fn view_of_unknown_base_rejected() {
+        let src = r#"
+object class MANAGER
+  view of GHOST;
+  template
+    events birth b;
+end object class MANAGER;
+"#;
+        let e = analyze_src(src).unwrap_err();
+        assert!(e.to_string().contains("unknown class `GHOST`"), "{e}");
+    }
+
+    #[test]
+    fn component_and_inheriting_validation() {
+        let src = r#"
+object TheCompany
+  template
+    components depts: LIST(GHOST);
+end object TheCompany;
+"#;
+        let e = analyze_src(src).unwrap_err();
+        assert!(e.to_string().contains("unknown class `GHOST`"), "{e}");
+
+        let src = r#"
+object class IMPL
+  template
+    inheriting ghost_rel as base;
+    events birth b;
+end object class IMPL;
+"#;
+        let e = analyze_src(src).unwrap_err();
+        assert!(e.to_string().contains("inheriting unknown object"), "{e}");
+    }
+
+    #[test]
+    fn calling_rules_resolved() {
+        let src = r#"
+object base_obj
+  template
+    attributes n: int;
+    events birth init; poke(int);
+    valuation
+      variables k: int;
+      [init] n = 0;
+      [poke(k)] n = n + k;
+end object base_obj;
+
+object class FRONT
+  template
+    inheriting base_obj as base;
+    events birth start; push(int);
+    interaction
+      variables m: int;
+      push(m) >> base.poke(m);
+end object class FRONT;
+"#;
+        let model = analyze_src(src).unwrap();
+        let front = model.class("FRONT").unwrap();
+        assert_eq!(front.interactions.len(), 1);
+        assert_eq!(
+            front.interactions[0].calls[0].target,
+            EventTarget::Component("base".to_string())
+        );
+        // unknown callee event rejected
+        let bad = src.replace("base.poke(m)", "base.zap(m)");
+        let e = analyze_src(&bad).unwrap_err();
+        assert!(e.to_string().contains("unknown event `zap`"), "{e}");
+        // wrong arity rejected
+        let bad = src.replace("base.poke(m)", "base.poke(m, m)");
+        let e = analyze_src(&bad).unwrap_err();
+        assert!(e.to_string().contains("passes 2 argument"), "{e}");
+    }
+
+    #[test]
+    fn global_interactions_resolved() {
+        let src = r#"
+object class PERSON
+  identification name: string;
+  template
+    events birth create; become_manager;
+end object class PERSON;
+
+object class DEPT
+  identification id: string;
+  template
+    attributes manager: |PERSON|;
+    events birth establishment; new_manager(|PERSON|);
+    valuation
+      variables P: |PERSON|;
+      [new_manager(P)] manager = P;
+end object class DEPT;
+
+global interactions
+  variables P: |PERSON|; D: |DEPT|;
+  DEPT(D).new_manager(P) >> PERSON(P).become_manager;
+end global interactions;
+"#;
+        let model = analyze_src(src).unwrap();
+        assert_eq!(model.global_interactions.len(), 1);
+        let rule = &model.global_interactions[0];
+        assert_eq!(rule.trigger_event, "new_manager");
+        assert_eq!(rule.trigger_params, vec!["P".to_string()]);
+        // unknown event rejected
+        let bad = src.replace("PERSON(P).become_manager", "PERSON(P).vanish");
+        assert!(analyze_src(&bad).is_err());
+    }
+
+    #[test]
+    fn interface_checks() {
+        let base = r#"
+object class PERSON
+  identification name: string;
+  template
+    attributes Salary: money; Dept: string;
+    events birth create; ChangeSalary(money);
+end object class PERSON;
+"#;
+        let good = format!(
+            "{base}
+interface class SAL
+  encapsulating PERSON
+  attributes
+    name: string;
+    derived Income: money;
+    Salary: money;
+  events
+    ChangeSalary(money);
+    derived IncreaseSalary;
+  derivation rules
+    Income = Salary * 13.5;
+  calling
+    IncreaseSalary >> ChangeSalary(Salary * 1.1);
+end interface class SAL;
+"
+        );
+        let model = analyze_src(&good).unwrap();
+        let sal = model.interface("SAL").unwrap();
+        assert!(!sal.is_join());
+        assert_eq!(sal.attributes.len(), 3);
+        assert_eq!(sal.calling.len(), 1);
+
+        let bad = format!(
+            "{base}
+interface class SAL
+  encapsulating PERSON
+  attributes ghost: int;
+end interface class SAL;
+"
+        );
+        let e = analyze_src(&bad).unwrap_err();
+        assert!(e.to_string().contains("not found on any base"), "{e}");
+
+        let bad = format!(
+            "{base}
+interface class SAL
+  encapsulating GHOST
+  attributes Salary: money;
+end interface class SAL;
+"
+        );
+        let e = analyze_src(&bad).unwrap_err();
+        assert!(e.to_string().contains("unknown class `GHOST`"), "{e}");
+    }
+
+    #[test]
+    fn module_checks() {
+        let src = r#"
+object class PERSON
+  identification name: string;
+  template
+    attributes Salary: money;
+    events birth create;
+end object class PERSON;
+
+interface class SAL
+  encapsulating PERSON
+  attributes Salary: money;
+end interface class SAL;
+
+module M
+  conceptual schema PERSON;
+  external schema S = SAL;
+end module M;
+"#;
+        let model = analyze_src(src).unwrap();
+        assert_eq!(model.modules["M"].conceptual, vec!["PERSON"]);
+        let bad = src.replace("conceptual schema PERSON;", "conceptual schema GHOST;");
+        assert!(analyze_src(&bad).is_err());
+        let bad = src.replace("external schema S = SAL;", "external schema S = GHOST;");
+        assert!(analyze_src(&bad).is_err());
+    }
+}
+
+#[cfg(test)]
+mod alias_validation_tests {
+    use crate::{analyze, parse};
+
+    #[test]
+    fn alias_arity_and_targets_validated() {
+        let base = r#"
+object class PERSON
+  identification name: string;
+  template
+    events birth create(int); promote;
+end object class PERSON;
+"#;
+        // wrong arity on aliased birth
+        let bad = format!(
+            "{base}
+object class V
+  view of PERSON;
+  template
+    events birth PERSON.create;
+end object class V;"
+        );
+        let e = analyze(&parse(&bad).unwrap()).unwrap_err();
+        assert!(e.to_string().contains("declares 0 parameter"), "{e}");
+
+        // alias to unknown base event
+        let bad = format!(
+            "{base}
+object class V
+  view of PERSON;
+  template
+    events birth PERSON.vanish;
+end object class V;"
+        );
+        let e = analyze(&parse(&bad).unwrap()).unwrap_err();
+        assert!(e.to_string().contains("does not exist"), "{e}");
+
+        // alias to unknown class
+        let bad = format!(
+            "{base}
+object class V
+  view of PERSON;
+  template
+    events birth GHOST.create(int);
+end object class V;"
+        );
+        let e = analyze(&parse(&bad).unwrap()).unwrap_err();
+        assert!(e.to_string().contains("unknown class"), "{e}");
+    }
+}

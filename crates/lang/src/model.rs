@@ -1,0 +1,279 @@
+//! Lowered, analysis-checked system models.
+//!
+//! [`crate::analyze`] turns a parsed [`crate::ast::Spec`] into a
+//! [`SystemModel`]: name-resolved, sort-checked class models with
+//! [`troll_kernel::Template`]s, ready for the runtime to animate.
+
+use crate::ast::ComponentKind;
+use std::collections::BTreeMap;
+use troll_data::{Sort, Term};
+use troll_kernel::Template;
+use troll_process::EventKind;
+use troll_temporal::Formula;
+
+/// A fully analyzed specification.
+#[derive(Debug, Clone, Default)]
+pub struct SystemModel {
+    /// Object classes (and singleton objects) by name.
+    pub classes: BTreeMap<String, ClassModel>,
+    /// Interface classes by name.
+    pub interfaces: BTreeMap<String, InterfaceModel>,
+    /// Global interaction rules.
+    pub global_interactions: Vec<CallRule>,
+    /// Modules by name.
+    pub modules: BTreeMap<String, ModuleModel>,
+}
+
+impl SystemModel {
+    /// Looks up a class model.
+    pub fn class(&self, name: &str) -> Option<&ClassModel> {
+        self.classes.get(name)
+    }
+
+    /// Looks up an interface model.
+    pub fn interface(&self, name: &str) -> Option<&InterfaceModel> {
+        self.interfaces.get(name)
+    }
+}
+
+/// How a `view of` class relates to its base (§4): a **specialization**
+/// is born with the base object and holds for its entire life (woman as
+/// specialization of person); a **phase** is entered by a base event
+/// during the object's life (manager as a phase of person, entered by
+/// `become_manager`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewKind {
+    /// Static specialization.
+    Specialization,
+    /// Dynamic role/phase.
+    Phase,
+}
+
+/// A lowered object class.
+#[derive(Debug, Clone)]
+pub struct ClassModel {
+    /// Class name.
+    pub name: String,
+    /// Whether declared as a single `object`.
+    pub singleton: bool,
+    /// Identification (key) attributes.
+    pub identification: Vec<(String, Sort)>,
+    /// The kernel template (signature + free behaviour).
+    pub template: Template,
+    /// `view of` base with the derived kind, if any.
+    pub view: Option<(String, ViewKind)>,
+    /// Incorporated base objects `(object class, alias)` (§5.2).
+    pub inheriting: Vec<(String, String)>,
+    /// Components of a complex object.
+    pub components: Vec<ComponentModel>,
+    /// Valuation rules.
+    pub valuation: Vec<ValuationModel>,
+    /// Derivation rules for derived attributes.
+    pub derivation: Vec<DerivationModel>,
+    /// Permissions.
+    pub permissions: Vec<PermissionModel>,
+    /// Constraints.
+    pub constraints: Vec<ConstraintModel>,
+    /// Local event-calling rules.
+    pub interactions: Vec<CallRule>,
+    /// Event aliases: `(local event, base class, base event)`.
+    pub event_aliases: Vec<(String, String, String)>,
+    /// Liveness obligations, checked over completed traces.
+    pub obligations: Vec<Formula>,
+    /// Parameterized derived attributes.
+    pub param_attributes: Vec<ParamAttrModel>,
+}
+
+impl ClassModel {
+    /// The valuation rules indexed by the given event.
+    pub fn valuation_for<'a>(&'a self, event: &'a str) -> impl Iterator<Item = &'a ValuationModel> + 'a {
+        self.valuation.iter().filter(move |v| v.event == event)
+    }
+
+    /// The permissions guarding the given event.
+    pub fn permissions_for<'a>(&'a self, event: &'a str) -> impl Iterator<Item = &'a PermissionModel> + 'a {
+        self.permissions.iter().filter(move |p| p.event == event)
+    }
+}
+
+/// A component of a complex object.
+#[derive(Debug, Clone)]
+pub struct ComponentModel {
+    /// Component name.
+    pub name: String,
+    /// Multiplicity.
+    pub kind: ComponentKind,
+    /// Component class.
+    pub class: String,
+}
+
+/// A lowered valuation rule.
+#[derive(Debug, Clone)]
+pub struct ValuationModel {
+    /// Optional guard (pre-state predicate).
+    pub guard: Option<Term>,
+    /// Event name.
+    pub event: String,
+    /// Parameter binder names.
+    pub params: Vec<String>,
+    /// Assigned attribute.
+    pub attribute: String,
+    /// New-value term over the pre-state.
+    pub value: Term,
+}
+
+/// A lowered derivation rule.
+#[derive(Debug, Clone)]
+pub struct DerivationModel {
+    /// Derived attribute.
+    pub attribute: String,
+    /// Defining term.
+    pub value: Term,
+}
+
+/// A lowered **parameterized attribute** — the paper's
+/// `IncomeInYear(integer): money`: a family of derived observations
+/// indexed by data arguments, read via
+/// `ObjectBase::attribute_with_args`.
+#[derive(Debug, Clone)]
+pub struct ParamAttrModel {
+    /// Attribute family name.
+    pub name: String,
+    /// Parameter sorts.
+    pub params: Vec<Sort>,
+    /// Observation sort.
+    pub sort: Sort,
+    /// Binder names of the derivation rule.
+    pub binders: Vec<String>,
+    /// Defining term (over the binders and the object's state).
+    pub value: Term,
+}
+
+/// A lowered permission.
+#[derive(Debug, Clone)]
+pub struct PermissionModel {
+    /// Guarded event.
+    pub event: String,
+    /// Parameter binder names.
+    pub params: Vec<String>,
+    /// Precondition formula over the object's history.
+    pub formula: Formula,
+}
+
+/// Constraint kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintKind {
+    /// Holds in every state.
+    Static,
+    /// Temporal formula holding at every position.
+    Dynamic,
+    /// Holds in the birth state.
+    Initially,
+}
+
+/// A lowered constraint.
+#[derive(Debug, Clone)]
+pub struct ConstraintModel {
+    /// Kind.
+    pub kind: ConstraintKind,
+    /// Formula.
+    pub formula: Formula,
+}
+
+/// Where a called event lives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventTarget {
+    /// The object itself.
+    Local,
+    /// A component or incorporated object, by alias.
+    Component(String),
+    /// A specific instance of a class (`DEPT(D)`), with the identity
+    /// given by a term.
+    Instance {
+        /// Class name.
+        class: String,
+        /// Identity term.
+        id: Term,
+    },
+}
+
+/// One called event in a calling rule.
+#[derive(Debug, Clone)]
+pub struct LoweredCall {
+    /// Target object.
+    pub target: EventTarget,
+    /// Event name.
+    pub event: String,
+    /// Argument terms (evaluated in the caller's environment).
+    pub args: Vec<Term>,
+}
+
+/// A lowered event-calling rule: when the trigger occurs, all called
+/// events occur synchronously with it (transaction calling when several).
+#[derive(Debug, Clone)]
+pub struct CallRule {
+    /// Trigger target (Local for in-class rules; Instance for global
+    /// interactions).
+    pub trigger_target: EventTarget,
+    /// Trigger event name.
+    pub trigger_event: String,
+    /// Trigger parameter binders (plain variables) — bound to the
+    /// trigger's actual arguments when the rule fires.
+    pub trigger_params: Vec<String>,
+    /// The called events, in order.
+    pub calls: Vec<LoweredCall>,
+}
+
+/// A lowered event declaration for interfaces.
+#[derive(Debug, Clone)]
+pub struct EventModel {
+    /// Event name.
+    pub name: String,
+    /// Parameter sorts.
+    pub params: Vec<Sort>,
+    /// Life-cycle kind.
+    pub kind: EventKind,
+    /// Whether derived.
+    pub derived: bool,
+}
+
+/// A lowered interface class (§5.1).
+#[derive(Debug, Clone)]
+pub struct InterfaceModel {
+    /// Interface name.
+    pub name: String,
+    /// Encapsulated bases: `(class, variable)`.
+    pub bases: Vec<(String, String)>,
+    /// Selection predicate, if any.
+    pub selection: Option<Term>,
+    /// Exposed attributes: `(name, sort, derived)`.
+    pub attributes: Vec<(String, Sort, bool)>,
+    /// Exposed events.
+    pub events: Vec<EventModel>,
+    /// Derivation rules for derived attributes.
+    pub derivation: Vec<DerivationModel>,
+    /// Calling rules for derived events.
+    pub calling: Vec<CallRule>,
+}
+
+impl InterfaceModel {
+    /// Whether this is a join view (more than one base).
+    pub fn is_join(&self) -> bool {
+        self.bases.len() > 1
+    }
+}
+
+/// A lowered module (three-level schema architecture, §6).
+#[derive(Debug, Clone)]
+pub struct ModuleModel {
+    /// Module name.
+    pub name: String,
+    /// Conceptual-schema classes.
+    pub conceptual: Vec<String>,
+    /// Internal-schema classes.
+    pub internal: Vec<String>,
+    /// External schemata: name → interface classes.
+    pub external: Vec<(String, Vec<String>)>,
+    /// Imported `(module, schema)` pairs.
+    pub imports: Vec<(String, String)>,
+}

@@ -1,0 +1,661 @@
+//! Pretty-printer: renders a parsed [`Spec`] back to TROLL concrete
+//! syntax. `parse ∘ print ∘ parse = parse` (round-trip stability) is
+//! property-tested against the shipped corpus.
+
+use crate::ast::*;
+use std::fmt::Write;
+use troll_data::{Sort, Term};
+use troll_temporal::{EventPattern, Formula};
+
+/// Renders a specification as TROLL source text.
+pub fn print_spec(spec: &Spec) -> String {
+    let mut out = String::new();
+    for item in &spec.items {
+        match item {
+            Item::ObjectClass(c) => print_object_class(&mut out, c),
+            Item::InterfaceClass(c) => print_interface_class(&mut out, c),
+            Item::GlobalInteractions(g) => print_globals(&mut out, g),
+            Item::Module(m) => print_module(&mut out, m),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn print_object_class(out: &mut String, c: &ObjectClassDecl) {
+    if c.singleton {
+        let _ = writeln!(out, "object {}", c.name);
+    } else {
+        let _ = writeln!(out, "object class {}", c.name);
+    }
+    if !c.identification.is_empty() {
+        let _ = writeln!(out, "  identification");
+        for p in &c.identification {
+            let _ = writeln!(out, "    {}: {};", p.name, print_sort(&p.sort));
+        }
+    }
+    if !c.data_types.is_empty() {
+        let sorts: Vec<String> = c.data_types.iter().map(print_sort).collect();
+        let _ = writeln!(out, "  data types {};", sorts.join(", "));
+    }
+    if let Some(base) = &c.view_of {
+        let _ = writeln!(out, "  view of {base};");
+    }
+    let _ = writeln!(out, "  template");
+    for inh in &c.inheriting {
+        let _ = writeln!(out, "    inheriting {} as {};", inh.object, inh.alias);
+    }
+    print_body(out, &c.body);
+    if c.singleton {
+        let _ = writeln!(out, "end object {};", c.name);
+    } else {
+        let _ = writeln!(out, "end object class {};", c.name);
+    }
+}
+
+fn print_body(out: &mut String, b: &TemplateBody) {
+    if !b.attributes.is_empty() {
+        let _ = writeln!(out, "    attributes");
+        for a in &b.attributes {
+            let derived = if a.derived { "derived " } else { "" };
+            let params = if a.params.is_empty() {
+                String::new()
+            } else {
+                let ps: Vec<String> = a.params.iter().map(print_sort).collect();
+                format!("({})", ps.join(", "))
+            };
+            let _ = writeln!(
+                out,
+                "      {derived}{}{params}: {};",
+                a.name,
+                print_sort(&a.sort)
+            );
+        }
+    }
+    if !b.components.is_empty() {
+        let _ = writeln!(out, "    components");
+        for c in &b.components {
+            let rendered = match c.kind {
+                ComponentKind::Single => c.class.clone(),
+                ComponentKind::List => format!("LIST({})", c.class),
+                ComponentKind::Set => format!("SET({})", c.class),
+            };
+            let _ = writeln!(out, "      {}: {rendered};", c.name);
+        }
+    }
+    if !b.events.is_empty() {
+        let _ = writeln!(out, "    events");
+        for e in &b.events {
+            let marker = match e.marker {
+                EventMarker::Birth => "birth ",
+                EventMarker::Death => "death ",
+                EventMarker::Active => "active ",
+                EventMarker::Update => "",
+            };
+            let derived = if e.derived { "derived " } else { "" };
+            let name = match &e.alias_of {
+                Some((base, ev)) => format!("{base}.{ev}"),
+                None => e.name.clone(),
+            };
+            let params = if e.params.is_empty() {
+                String::new()
+            } else {
+                let ps: Vec<String> = e.params.iter().map(print_sort).collect();
+                format!("({})", ps.join(", "))
+            };
+            let _ = writeln!(out, "      {marker}{derived}{name}{params};");
+        }
+    }
+    if !b.valuation.is_empty() {
+        let _ = writeln!(out, "    valuation");
+        for v in &b.valuation {
+            let guard = match &v.guard {
+                Some(g) => format!("{{ {} }} => ", print_term(g)),
+                None => String::new(),
+            };
+            let params = if v.params.is_empty() {
+                String::new()
+            } else {
+                format!("({})", v.params.join(", "))
+            };
+            let _ = writeln!(
+                out,
+                "      {guard}[{}{params}] {} = {};",
+                v.event,
+                v.attribute,
+                print_term(&v.value)
+            );
+        }
+    }
+    if !b.derivation_rules.is_empty() {
+        let _ = writeln!(out, "    derivation rules");
+        for d in &b.derivation_rules {
+            let params = if d.params.is_empty() {
+                String::new()
+            } else {
+                format!("({})", d.params.join(", "))
+            };
+            let _ = writeln!(
+                out,
+                "      {}{params} = {};",
+                d.attribute,
+                print_term(&d.value)
+            );
+        }
+    }
+    if !b.permissions.is_empty() {
+        let _ = writeln!(out, "    permissions");
+        for p in &b.permissions {
+            let params = if p.params.is_empty() {
+                String::new()
+            } else {
+                format!("({})", p.params.join(", "))
+            };
+            let _ = writeln!(
+                out,
+                "      {{ {} }} {}{params};",
+                print_formula(&p.formula),
+                p.event
+            );
+        }
+    }
+    if !b.obligations.is_empty() {
+        let _ = writeln!(out, "    obligations");
+        for o in &b.obligations {
+            let _ = writeln!(out, "      {};", print_formula(o));
+        }
+    }
+    if !b.constraints.is_empty() {
+        let _ = writeln!(out, "    constraints");
+        for c in &b.constraints {
+            let kw = match c.kind {
+                ConstraintKindAst::Static => "static",
+                ConstraintKindAst::Dynamic => "dynamic",
+                ConstraintKindAst::Initially => "initially",
+            };
+            let _ = writeln!(out, "      {kw} {};", print_formula(&c.formula));
+        }
+    }
+    if !b.interactions.is_empty() {
+        let _ = writeln!(out, "    interaction");
+        for rule in &b.interactions {
+            let _ = writeln!(out, "      {};", print_calling_rule(rule));
+        }
+    }
+}
+
+fn print_interface_class(out: &mut String, c: &InterfaceClassDecl) {
+    let _ = writeln!(out, "interface class {}", c.name);
+    let bases: Vec<String> = c
+        .encapsulating
+        .iter()
+        .map(|b| {
+            if b.var == b.class {
+                b.class.clone()
+            } else {
+                format!("{} {}", b.class, b.var)
+            }
+        })
+        .collect();
+    let _ = writeln!(out, "  encapsulating {}", bases.join(", "));
+    if let Some(sel) = &c.selection {
+        let _ = writeln!(out, "  selection where {};", print_term(sel));
+    }
+    if !c.attributes.is_empty() {
+        let _ = writeln!(out, "  attributes");
+        for a in &c.attributes {
+            let derived = if a.derived { "derived " } else { "" };
+            let _ = writeln!(out, "    {derived}{}: {};", a.name, print_sort(&a.sort));
+        }
+    }
+    if !c.events.is_empty() {
+        let _ = writeln!(out, "  events");
+        for e in &c.events {
+            let derived = if e.derived { "derived " } else { "" };
+            let params = if e.params.is_empty() {
+                String::new()
+            } else {
+                let ps: Vec<String> = e.params.iter().map(print_sort).collect();
+                format!("({})", ps.join(", "))
+            };
+            let _ = writeln!(out, "    {derived}{}{params};", e.name);
+        }
+    }
+    if !c.derivation_rules.is_empty() {
+        let _ = writeln!(out, "  derivation rules");
+        for d in &c.derivation_rules {
+            let _ = writeln!(out, "    {} = {};", d.attribute, print_term(&d.value));
+        }
+    }
+    if !c.calling.is_empty() {
+        let _ = writeln!(out, "  calling");
+        for rule in &c.calling {
+            let _ = writeln!(out, "    {};", print_calling_rule(rule));
+        }
+    }
+    let _ = writeln!(out, "end interface class {};", c.name);
+}
+
+fn print_globals(out: &mut String, g: &GlobalInteractionsDecl) {
+    let _ = writeln!(out, "global interactions");
+    if !g.variables.is_empty() {
+        let vars: Vec<String> = g
+            .variables
+            .iter()
+            .map(|p| format!("{}: {};", p.name, print_sort(&p.sort)))
+            .collect();
+        let _ = writeln!(out, "  variables {}", vars.join(" "));
+    }
+    for rule in &g.rules {
+        let _ = writeln!(out, "  {};", print_calling_rule(rule));
+    }
+    let _ = writeln!(out, "end global interactions;");
+}
+
+fn print_module(out: &mut String, m: &ModuleDecl) {
+    let _ = writeln!(out, "module {}", m.name);
+    if !m.conceptual.is_empty() {
+        let _ = writeln!(out, "  conceptual schema {};", m.conceptual.join(", "));
+    }
+    if !m.internal.is_empty() {
+        let _ = writeln!(out, "  internal schema {};", m.internal.join(", "));
+    }
+    for (name, members) in &m.external {
+        let _ = writeln!(out, "  external schema {name} = {};", members.join(", "));
+    }
+    for (module, schema) in &m.imports {
+        let _ = writeln!(out, "  import {module}.{schema};");
+    }
+    let _ = writeln!(out, "end module {};", m.name);
+}
+
+fn print_calling_rule(rule: &CallingRule) -> String {
+    let trigger = print_event_ref(&rule.trigger);
+    if rule.calls.len() == 1 {
+        format!("{trigger} >> {}", print_event_ref(&rule.calls[0]))
+    } else {
+        let calls: Vec<String> = rule.calls.iter().map(print_event_ref).collect();
+        format!("{trigger} >> ({})", calls.join("; "))
+    }
+}
+
+fn print_event_ref(e: &EventRef) -> String {
+    let target = match &e.target {
+        TargetRef::Local => String::new(),
+        TargetRef::Component(alias) => format!("{alias}."),
+        TargetRef::Instance { class, id } => format!("{class}({}).", print_term(id)),
+    };
+    let args = if e.args.is_empty() {
+        String::new()
+    } else {
+        let rendered: Vec<String> = e.args.iter().map(print_term).collect();
+        format!("({})", rendered.join(", "))
+    };
+    format!("{target}{}{args}", e.event)
+}
+
+/// Renders a sort in parseable TROLL syntax (identity sorts as `|C|`).
+pub fn print_sort(sort: &Sort) -> String {
+    match sort {
+        Sort::Bool => "bool".into(),
+        Sort::Int => "int".into(),
+        Sort::Nat => "nat".into(),
+        Sort::String => "string".into(),
+        Sort::Date => "date".into(),
+        Sort::Money => "money".into(),
+        Sort::Id(c) => format!("|{c}|"),
+        Sort::Set(e) => format!("set({})", print_sort(e)),
+        Sort::List(e) => format!("list({})", print_sort(e)),
+        Sort::Map(k, v) => format!("map({}, {})", print_sort(k), print_sort(v)),
+        Sort::Tuple(fields) => {
+            let fs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, print_sort(&f.sort)))
+                .collect();
+            format!("tuple({})", fs.join(", "))
+        }
+        Sort::Optional(inner) => format!("optional({})", print_sort(inner)),
+    }
+}
+
+/// Renders a term in parseable TROLL syntax. Infix operators are fully
+/// parenthesized (correct and unambiguous, at the cost of some noise).
+pub fn print_term(t: &Term) -> String {
+    use troll_data::Op;
+    match t {
+        Term::Const(v) => print_value(v),
+        Term::Var(name) => {
+            if name == "self" {
+                "self".into()
+            } else {
+                name.clone()
+            }
+        }
+        Term::Apply(troll_data::Op::MkId, args) if args.len() == 2 => {
+            if let (Term::Const(troll_data::Value::Str(class)), Term::MkList(keys)) =
+                (&args[0], &args[1])
+            {
+                let ks: Vec<String> = keys.iter().map(print_term).collect();
+                format!("|{class}|({})", ks.join(", "))
+            } else {
+                format!(
+                    "mkid({}, {})",
+                    print_term(&args[0]),
+                    print_term(&args[1])
+                )
+            }
+        }
+        Term::Apply(op, args) => {
+            let infix = matches!(
+                op,
+                Op::And
+                    | Op::Or
+                    | Op::Eq
+                    | Op::Neq
+                    | Op::Lt
+                    | Op::Le
+                    | Op::Gt
+                    | Op::Ge
+                    | Op::Add
+                    | Op::Sub
+                    | Op::Mul
+                    | Op::In
+                    | Op::Subset
+            );
+            if infix && args.len() == 2 {
+                format!(
+                    "({} {} {})",
+                    print_term(&args[0]),
+                    op.name(),
+                    print_term(&args[1])
+                )
+            } else if *op == Op::Not && args.len() == 1 {
+                format!("not({})", print_term(&args[0]))
+            } else {
+                let rendered: Vec<String> = args.iter().map(print_term).collect();
+                format!("{}({})", op.name(), rendered.join(", "))
+            }
+        }
+        Term::Field(base, field) => format!("{}.{field}", print_term(base)),
+        Term::MkTuple(fields) => {
+            let fs: Vec<String> = fields
+                .iter()
+                .map(|(n, v)| format!("{n}: {}", print_term(v)))
+                .collect();
+            format!("tuple({})", fs.join(", "))
+        }
+        Term::MkSet(elems) => {
+            let es: Vec<String> = elems.iter().map(print_term).collect();
+            format!("{{{}}}", es.join(", "))
+        }
+        Term::MkList(elems) => {
+            let es: Vec<String> = elems.iter().map(print_term).collect();
+            format!("[{}]", es.join(", "))
+        }
+        Term::IfThenElse(c, a, b) => format!(
+            "if {} then {} else {}",
+            print_term(c),
+            print_term(a),
+            print_term(b)
+        ),
+        Term::Quant {
+            q,
+            var,
+            domain,
+            body,
+        } => {
+            let kw = match q {
+                troll_data::Quantifier::Forall => "for all",
+                troll_data::Quantifier::Exists => "exists",
+            };
+            format!("{kw}({var} in {} : {})", print_term(domain), print_term(body))
+        }
+        Term::Let { var, value, body } => {
+            // `let` has no surface syntax in TROLL; inline by substitution
+            print_term(&body.subst(var, value))
+        }
+        Term::Select { rel, pred } => {
+            format!("select|{}|({})", print_term(pred), print_term(rel))
+        }
+        Term::Project { rel, fields } => {
+            format!("project|{}|({})", fields.join(", "), print_term(rel))
+        }
+        Term::The(rel) => format!("the({})", print_term(rel)),
+    }
+}
+
+fn print_value(v: &troll_data::Value) -> String {
+    use troll_data::Value;
+    match v {
+        Value::Undefined => "undefined".into(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => {
+            if *i < 0 {
+                format!("({i})")
+            } else {
+                i.to_string()
+            }
+        }
+        Value::Str(s) => format!("{s:?}"),
+        Value::Date(d) => format!("date({}, {}, {})", d.year(), d.month(), d.day()),
+        Value::Money(m) => {
+            let cents = m.cents();
+            if cents < 0 {
+                format!("neg({}.{:02})", -cents / 100, (-cents) % 100)
+            } else {
+                format!("{}.{:02}", cents / 100, cents % 100)
+            }
+        }
+        Value::Set(elems) => {
+            let es: Vec<String> = elems.iter().map(print_value).collect();
+            format!("{{{}}}", es.join(", "))
+        }
+        Value::List(elems) => {
+            let es: Vec<String> = elems.iter().map(print_value).collect();
+            format!("[{}]", es.join(", "))
+        }
+        Value::Tuple(fields) => {
+            let fs: Vec<String> = fields
+                .iter()
+                .map(|(n, v)| format!("{n}: {}", print_value(v)))
+                .collect();
+            format!("tuple({})", fs.join(", "))
+        }
+        Value::Id(id) => {
+            let ks: Vec<String> = id
+                .key()
+                .iter()
+                .map(|k| print_value(&k.clone()))
+                .collect();
+            format!("|{}|({})", id.class(), ks.join(", "))
+        }
+        // maps have no literal syntax; render as data
+        other => other.to_string(),
+    }
+}
+
+/// Renders a temporal formula in parseable TROLL syntax.
+pub fn print_formula(f: &Formula) -> String {
+    match f {
+        Formula::Pred(t) => print_term(t),
+        Formula::Occurs(p) => format!("occurs({})", print_pattern(p)),
+        Formula::After(p) => format!("after({})", print_pattern(p)),
+        Formula::Not(g) => format!("not {}", atom(g)),
+        Formula::And(a, b) => format!("({} and {})", print_formula(a), print_formula(b)),
+        Formula::Or(a, b) => format!("({} or {})", print_formula(a), print_formula(b)),
+        Formula::Implies(a, b) => format!("({} => {})", print_formula(a), print_formula(b)),
+        Formula::Sometime(g) => format!("sometime({})", print_formula(g)),
+        Formula::AlwaysPast(g) => format!("always({})", print_formula(g)),
+        Formula::Previous(g) => format!("previous({})", print_formula(g)),
+        Formula::Since(a, b) => format!("({} since {})", atom(a), atom(b)),
+        Formula::Eventually(g) => format!("eventually({})", print_formula(g)),
+        Formula::Henceforth(g) => format!("henceforth({})", print_formula(g)),
+        Formula::Quant {
+            q,
+            var,
+            domain,
+            body,
+        } => {
+            let kw = match q {
+                troll_data::Quantifier::Forall => "for all",
+                troll_data::Quantifier::Exists => "exists",
+            };
+            // population(C) domains print back as the `P: C` form
+            let domain_str = match domain {
+                Term::Var(v) if v.starts_with("population(") && v.ends_with(')') => {
+                    let class = &v["population(".len()..v.len() - 1];
+                    return format!("{kw}({var}: {class} : {})", print_formula(body));
+                }
+                other => print_term(other),
+            };
+            format!("{kw}({var} in {domain_str} : {})", print_formula(body))
+        }
+    }
+}
+
+/// Wraps non-atomic formulas in parentheses for `since`/`not` operands.
+fn atom(f: &Formula) -> String {
+    match f {
+        Formula::Pred(_) | Formula::Occurs(_) | Formula::After(_) => print_formula(f),
+        Formula::Sometime(_)
+        | Formula::AlwaysPast(_)
+        | Formula::Previous(_)
+        | Formula::Eventually(_)
+        | Formula::Henceforth(_) => print_formula(f),
+        other => format!("({})", print_formula(other)),
+    }
+}
+
+fn print_pattern(p: &EventPattern) -> String {
+    if p.args.is_empty() {
+        return p.name.clone();
+    }
+    let args: Vec<String> = p
+        .args
+        .iter()
+        .map(|a| match a {
+            Some(t) => print_term(t),
+            None => "_".into(),
+        })
+        .collect();
+    format!("{}({})", p.name, args.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_formula, parse_term};
+
+    #[test]
+    fn terms_round_trip() {
+        for src in [
+            "insert(P, employees)",
+            "(a + b) * 2",
+            "{1, 2, 3}",
+            "[x, y]",
+            "tuple(ename: n, esalary: s)",
+            "if defined(x) then x + 1 else 0",
+            "self.EmpName",
+            "the(project|esalary|(select|(ename = n)|(Emps)))",
+            "exists(e in Emps : (e.ename = n))",
+        ] {
+            let t1 = parse_term(src).unwrap();
+            let printed = print_term(&t1);
+            let t2 = parse_term(&printed)
+                .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+            assert_eq!(t1, t2, "round trip changed `{src}` → `{printed}`");
+        }
+    }
+
+    #[test]
+    fn formulas_round_trip() {
+        for src in [
+            "sometime(after(hire(P)))",
+            "always(not occurs(closure))",
+            "(x >= 1 since occurs(reset))",
+            "for all(P: PERSON : sometime((P in employees)) => sometime(after(fire(P))))",
+            "eventually(occurs(done))",
+            "after(hire(_))",
+        ] {
+            let f1 = parse_formula(src).unwrap();
+            let printed = print_formula(&f1);
+            let f2 = parse_formula(&printed)
+                .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+            assert_eq!(f1, f2, "round trip changed `{src}` → `{printed}`");
+        }
+    }
+
+    #[test]
+    fn negative_literals_round_trip() {
+        let t1 = parse_term("0 - 5").unwrap();
+        let printed = print_term(&t1);
+        assert_eq!(parse_term(&printed).unwrap(), t1);
+        let neg = Term::constant(-3i64);
+        assert_eq!(parse_term(&print_term(&neg)).unwrap(), neg);
+    }
+
+    #[test]
+    fn values_print_parseably() {
+        use troll_data::{Date, Money, Value};
+        for v in [
+            Value::Undefined,
+            Value::from(true),
+            Value::from(42),
+            Value::from(-42),
+            Value::from("research dept"),
+            Value::Date(Date::new(1991, 10, 16).unwrap()),
+            Value::Money(Money::from_major(5000)),
+            Value::Money(Money::from_cents(-5)),
+            Value::set_of(vec![Value::from(1), Value::from(2)]),
+            Value::tuple_of(vec![("a", Value::from(1))]),
+        ] {
+            let printed = print_term(&Term::Const(v.clone()));
+            let reparsed = parse_term(&printed)
+                .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+            let evaluated = reparsed.eval(&troll_data::MapEnv::new()).unwrap();
+            assert_eq!(evaluated, v, "value changed through printing: `{printed}`");
+        }
+    }
+
+    #[test]
+    fn let_terms_print_by_substitution() {
+        let t = Term::let_in(
+            "x",
+            Term::constant(5i64),
+            Term::apply(troll_data::Op::Add, vec![Term::var("x"), Term::var("y")]),
+        );
+        assert_eq!(print_term(&t), "(5 + y)");
+    }
+}
+
+/// Corpus round-trip: parse → print → parse is the identity on the AST
+/// for every shipped spec. Kept in a separate test module so the corpus
+/// lives next to the other corpus tests.
+#[cfg(test)]
+mod corpus_round_trip {
+    use super::print_spec;
+    use crate::parse;
+
+    #[test]
+    fn shipped_corpus_round_trips() {
+        // the corpus lives in the facade crate; embed the same sources
+        // here via the workspace-relative path
+        for (name, path) in [
+            ("dept", "../../specs/dept.troll"),
+            ("company", "../../specs/company.troll"),
+            ("employment", "../../specs/employment.troll"),
+            ("views", "../../specs/views.troll"),
+            ("modules", "../../specs/modules.troll"),
+        ] {
+            let src = std::fs::read_to_string(
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(path),
+            )
+            .unwrap_or_else(|e| panic!("reading {name}: {e}"));
+            let ast1 = parse(&src).unwrap_or_else(|e| panic!("parsing {name}: {e}"));
+            let printed = print_spec(&ast1);
+            let ast2 = parse(&printed)
+                .unwrap_or_else(|e| panic!("reparsing printed {name}: {e}\n---\n{printed}"));
+            assert_eq!(ast1, ast2, "round trip changed the {name} spec");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Token definitions for the TROLL lexer.
+
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are contextual: TROLL freely uses
+    /// words like `variables` as section headers; the parser decides).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Money literal (`123.45`).
+    Money(i64),
+    /// String literal (single- or double-quoted).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `|`
+    Pipe,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `>>` — event calling.
+    Calls,
+    /// `=>` — implication / guarded rule arrow.
+    Implies,
+    /// `_` — wildcard in event patterns.
+    Underscore,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(i) => write!(f, "integer {i}"),
+            TokenKind::Money(c) => write!(f, "money {}.{:02}", c / 100, c % 100),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Neq => write!(f, "`<>`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Calls => write!(f, "`>>`"),
+            TokenKind::Implies => write!(f, "`=>`"),
+            TokenKind::Underscore => write!(f, "`_`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The kind (and payload).
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, line: usize, column: usize) -> Self {
+        Token { kind, line, column }
+    }
+
+    /// The identifier payload, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given (case-sensitive) keyword.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        self.ident() == Some(kw)
+    }
+
+    /// Whether this token matches the keyword case-insensitively
+    /// (TROLL's examples write both `LIST(DEPT)` and `set(PERSON)`).
+    pub fn is_kw_ci(&self, kw: &str) -> bool {
+        self.ident().is_some_and(|s| s.eq_ignore_ascii_case(kw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_helpers() {
+        let t = Token::new(TokenKind::Ident("LIST".into()), 1, 1);
+        assert!(t.is_kw("LIST"));
+        assert!(!t.is_kw("list"));
+        assert!(t.is_kw_ci("list"));
+        assert_eq!(t.ident(), Some("LIST"));
+        let p = Token::new(TokenKind::Semi, 1, 2);
+        assert_eq!(p.ident(), None);
+        assert!(!p.is_kw("x"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TokenKind::Ident("hire".into()).to_string(), "`hire`");
+        assert_eq!(TokenKind::Calls.to_string(), "`>>`");
+        assert_eq!(TokenKind::Money(1250).to_string(), "money 12.50");
+    }
+}

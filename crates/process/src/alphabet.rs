@@ -1,0 +1,262 @@
+//! Event alphabets: the action signatures of templates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Classification of an event within a template's life cycle.
+///
+/// TROLL marks events as `birth` (create the object), `death` (destroy
+/// it) or plain update events; `active` events may occur on the object's
+/// own initiative (§4: "events that may occur on the object's own
+/// initiative whenever their occurrence is possible").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum EventKind {
+    /// Creates the object; must be the first event of any life cycle.
+    Birth,
+    /// Ordinary update event.
+    #[default]
+    Update,
+    /// Destroys the object; terminal in any life cycle.
+    Death,
+    /// Update event that the object may trigger itself.
+    Active,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Birth => write!(f, "birth"),
+            EventKind::Update => write!(f, "update"),
+            EventKind::Death => write!(f, "death"),
+            EventKind::Active => write!(f, "active"),
+        }
+    }
+}
+
+/// An event symbol: name, arity, and life-cycle kind.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventSymbol {
+    /// Event name.
+    pub name: String,
+    /// Number of data parameters.
+    pub arity: usize,
+    /// Life-cycle classification.
+    pub kind: EventKind,
+}
+
+impl EventSymbol {
+    /// Creates an event symbol.
+    pub fn new(name: impl Into<String>, arity: usize, kind: EventKind) -> Self {
+        EventSymbol {
+            name: name.into(),
+            arity,
+            kind,
+        }
+    }
+
+    /// An update event.
+    pub fn update(name: impl Into<String>, arity: usize) -> Self {
+        EventSymbol::new(name, arity, EventKind::Update)
+    }
+
+    /// A birth event.
+    pub fn birth(name: impl Into<String>, arity: usize) -> Self {
+        EventSymbol::new(name, arity, EventKind::Birth)
+    }
+
+    /// A death event.
+    pub fn death(name: impl Into<String>, arity: usize) -> Self {
+        EventSymbol::new(name, arity, EventKind::Death)
+    }
+}
+
+impl fmt::Display for EventSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} [{}]", self.name, self.arity, self.kind)
+    }
+}
+
+/// A finite alphabet of event symbols, keyed by name.
+///
+/// # Example
+///
+/// ```
+/// use troll_process::{Alphabet, EventSymbol, EventKind};
+/// let mut a = Alphabet::new();
+/// a.insert(EventSymbol::birth("establishment", 1));
+/// a.insert(EventSymbol::update("hire", 1));
+/// a.insert(EventSymbol::death("closure", 0));
+/// assert_eq!(a.kind_of("hire"), Some(EventKind::Update));
+/// assert_eq!(a.birth_events().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Alphabet {
+    symbols: BTreeMap<String, EventSymbol>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Alphabet::default()
+    }
+
+    /// Inserts a symbol; returns the previous symbol with the same name,
+    /// if any.
+    pub fn insert(&mut self, symbol: EventSymbol) -> Option<EventSymbol> {
+        self.symbols.insert(symbol.name.clone(), symbol)
+    }
+
+    /// Looks up a symbol by name.
+    pub fn get(&self, name: &str) -> Option<&EventSymbol> {
+        self.symbols.get(name)
+    }
+
+    /// Whether the alphabet contains an event of the given name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.symbols.contains_key(name)
+    }
+
+    /// The life-cycle kind of the named event, if present.
+    pub fn kind_of(&self, name: &str) -> Option<EventKind> {
+        self.symbols.get(name).map(|s| s.kind)
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Iterates over all symbols in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &EventSymbol> {
+        self.symbols.values()
+    }
+
+    /// Iterates over birth events.
+    pub fn birth_events(&self) -> impl Iterator<Item = &EventSymbol> {
+        self.iter().filter(|s| s.kind == EventKind::Birth)
+    }
+
+    /// Iterates over death events.
+    pub fn death_events(&self) -> impl Iterator<Item = &EventSymbol> {
+        self.iter().filter(|s| s.kind == EventKind::Death)
+    }
+
+    /// Iterates over active events.
+    pub fn active_events(&self) -> impl Iterator<Item = &EventSymbol> {
+        self.iter().filter(|s| s.kind == EventKind::Active)
+    }
+
+    /// The names shared between two alphabets — the synchronization set
+    /// of event sharing.
+    pub fn shared_names<'a>(&'a self, other: &'a Alphabet) -> Vec<&'a str> {
+        self.symbols
+            .keys()
+            .filter(|n| other.contains(n))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Whether `other`'s symbols are a sub-signature of `self` (same
+    /// names imply same arity and kind). Template morphisms in the kernel
+    /// crate build on this.
+    pub fn includes(&self, other: &Alphabet) -> bool {
+        other
+            .iter()
+            .all(|s| self.get(&s.name).is_some_and(|mine| mine == s))
+    }
+}
+
+impl FromIterator<EventSymbol> for Alphabet {
+    fn from_iter<I: IntoIterator<Item = EventSymbol>>(iter: I) -> Self {
+        let mut a = Alphabet::new();
+        for s in iter {
+            a.insert(s);
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dept_alphabet() -> Alphabet {
+        vec![
+            EventSymbol::birth("establishment", 1),
+            EventSymbol::death("closure", 0),
+            EventSymbol::update("new_manager", 1),
+            EventSymbol::update("hire", 1),
+            EventSymbol::update("fire", 1),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn classification_queries() {
+        let a = dept_alphabet();
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        assert_eq!(a.kind_of("hire"), Some(EventKind::Update));
+        assert_eq!(a.kind_of("closure"), Some(EventKind::Death));
+        assert_eq!(a.kind_of("nope"), None);
+        assert_eq!(a.birth_events().count(), 1);
+        assert_eq!(a.death_events().count(), 1);
+        assert_eq!(a.active_events().count(), 0);
+    }
+
+    #[test]
+    fn insert_replaces_by_name() {
+        let mut a = dept_alphabet();
+        let old = a.insert(EventSymbol::update("hire", 2));
+        assert_eq!(old, Some(EventSymbol::update("hire", 1)));
+        assert_eq!(a.get("hire").unwrap().arity, 2);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn shared_names_for_event_sharing() {
+        let cpu: Alphabet = vec![
+            EventSymbol::update("switch_on", 0),
+            EventSymbol::update("execute", 1),
+        ]
+        .into_iter()
+        .collect();
+        let powsply: Alphabet = vec![
+            EventSymbol::update("switch_on", 0),
+            EventSymbol::update("surge", 0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(cpu.shared_names(&powsply), vec!["switch_on"]);
+    }
+
+    #[test]
+    fn signature_inclusion() {
+        let a = dept_alphabet();
+        let sub: Alphabet = vec![
+            EventSymbol::update("hire", 1),
+            EventSymbol::update("fire", 1),
+        ]
+        .into_iter()
+        .collect();
+        assert!(a.includes(&sub));
+        let wrong_arity: Alphabet = vec![EventSymbol::update("hire", 2)].into_iter().collect();
+        assert!(!a.includes(&wrong_arity));
+        let wrong_kind: Alphabet = vec![EventSymbol::birth("hire", 1)].into_iter().collect();
+        assert!(!a.includes(&wrong_kind));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            EventSymbol::birth("establishment", 1).to_string(),
+            "establishment/1 [birth]"
+        );
+    }
+}

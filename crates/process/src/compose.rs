@@ -1,0 +1,228 @@
+//! Parallel composition with synchronization — event sharing.
+//!
+//! The paper's Example 3.7: the cable `CBZ` is a shared part of cpu `CYY`
+//! and power supply `PXX`; "if the power supply is switched on, the cable
+//! and the cpu are switched on at the same time". At the process level
+//! this is the classical synchronous product: shared labels must be taken
+//! jointly, private labels interleave.
+
+use crate::Lts;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Synchronous product of two LTSs.
+///
+/// Labels in `sync` must be performed by both systems simultaneously;
+/// all other labels interleave. Only states reachable from the joint
+/// initial state are constructed.
+///
+/// Returns the product LTS together with the mapping from product state
+/// ids to the underlying state pairs (useful for diagnostics).
+///
+/// # Example
+///
+/// ```
+/// use troll_process::{Lts, compose::sync_product};
+/// let mut ps = Lts::new(2, 0);
+/// ps.add_transition(0, "switch_on", 1);
+/// ps.add_transition(1, "switch_off", 0);
+/// let mut cpu = Lts::new(2, 0);
+/// cpu.add_transition(0, "switch_on", 1);
+/// cpu.add_transition(1, "exec", 1);
+/// cpu.add_transition(1, "switch_off", 0);
+///
+/// let (prod, _) = sync_product(&ps, &cpu, &["switch_on", "switch_off"]);
+/// // switching on happens jointly; exec interleaves afterwards
+/// assert!(prod.accepts(["switch_on", "exec", "switch_off"]));
+/// // cpu cannot exec before the shared switch_on
+/// assert!(!prod.accepts(["exec"]));
+/// ```
+pub fn sync_product(a: &Lts, b: &Lts, sync: &[&str]) -> (Lts, Vec<(usize, usize)>) {
+    let sync: BTreeSet<&str> = sync.iter().copied().collect();
+    let mut index: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut lts = Lts::new(0, 0);
+
+    let get_or_insert =
+        |pair: (usize, usize), lts: &mut Lts, pairs: &mut Vec<(usize, usize)>, index: &mut BTreeMap<(usize, usize), usize>| {
+            if let Some(&id) = index.get(&pair) {
+                return (id, false);
+            }
+            let id = lts.add_state();
+            index.insert(pair, id);
+            pairs.push(pair);
+            (id, true)
+        };
+
+    let initial_pair = (a.initial(), b.initial());
+    let (initial_id, _) = get_or_insert(initial_pair, &mut lts, &mut pairs, &mut index);
+    debug_assert_eq!(initial_id, 0);
+
+    let mut queue = VecDeque::from([initial_pair]);
+    let mut visited = BTreeSet::from([initial_pair]);
+    while let Some((sa, sb)) = queue.pop_front() {
+        let from_id = index[&(sa, sb)];
+        // moves of a
+        for (label, ta) in a.outgoing(sa) {
+            if sync.contains(label) {
+                // must synchronize with b
+                for tb in b.successors(sb, label) {
+                    let (to_id, _) = get_or_insert((ta, tb), &mut lts, &mut pairs, &mut index);
+                    lts.add_transition(from_id, label, to_id);
+                    if visited.insert((ta, tb)) {
+                        queue.push_back((ta, tb));
+                    }
+                }
+            } else {
+                let (to_id, _) = get_or_insert((ta, sb), &mut lts, &mut pairs, &mut index);
+                lts.add_transition(from_id, label, to_id);
+                if visited.insert((ta, sb)) {
+                    queue.push_back((ta, sb));
+                }
+            }
+        }
+        // private moves of b (shared moves handled above)
+        for (label, tb) in b.outgoing(sb) {
+            if !sync.contains(label) {
+                let (to_id, _) = get_or_insert((sa, tb), &mut lts, &mut pairs, &mut index);
+                lts.add_transition(from_id, label, to_id);
+                if visited.insert((sa, tb)) {
+                    queue.push_back((sa, tb));
+                }
+            }
+        }
+    }
+    (lts, pairs)
+}
+
+/// N-ary synchronous product, synchronizing every pair of components on
+/// the intersection of their label sets (CSP-style alphabetized
+/// parallel): a label shared by *k* components requires all *k* to move.
+///
+/// This is how a sharing diagram `CYY·cpu → CBZ·cable ← PXX·powsply`
+/// executes: the cable's events are in the alphabets of both cpu and
+/// power supply, so all three move together.
+pub fn sync_product_all(components: &[(&Lts, BTreeSet<String>)]) -> Lts {
+    match components {
+        [] => Lts::new(1, 0),
+        [(first, _)] => (*first).clone(),
+        [(first, first_alpha), rest @ ..] => {
+            let mut acc: Lts = (*first).clone();
+            let mut acc_alpha = first_alpha.clone();
+            for (next, next_alpha) in rest {
+                let shared: Vec<&str> = acc_alpha
+                    .intersection(next_alpha)
+                    .map(String::as_str)
+                    .collect();
+                let (prod, _) = sync_product(&acc, next, &shared);
+                acc = prod;
+                acc_alpha.extend(next_alpha.iter().cloned());
+            }
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggler(on: &str, off: &str) -> Lts {
+        let mut l = Lts::new(2, 0);
+        l.add_transition(0, on, 1);
+        l.add_transition(1, off, 0);
+        l
+    }
+
+    #[test]
+    fn shared_labels_synchronize() {
+        let ps = toggler("switch_on", "switch_off");
+        let cpu = {
+            let mut l = toggler("switch_on", "switch_off");
+            l.add_transition(1, "exec", 1);
+            l
+        };
+        let (prod, pairs) = sync_product(&ps, &cpu, &["switch_on", "switch_off"]);
+        assert!(prod.accepts(["switch_on", "exec", "exec", "switch_off", "switch_on"]));
+        assert!(!prod.accepts(["exec"]));
+        assert!(!prod.accepts(["switch_on", "switch_on"]));
+        // product is reachable-only: 2 joint states
+        assert_eq!(prod.num_states(), 2);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], (0, 0));
+    }
+
+    #[test]
+    fn private_labels_interleave() {
+        let a = {
+            let mut l = Lts::new(2, 0);
+            l.add_transition(0, "x", 1);
+            l
+        };
+        let b = {
+            let mut l = Lts::new(2, 0);
+            l.add_transition(0, "y", 1);
+            l
+        };
+        let (prod, _) = sync_product(&a, &b, &[]);
+        assert!(prod.accepts(["x", "y"]));
+        assert!(prod.accepts(["y", "x"]));
+        assert_eq!(prod.num_states(), 4);
+    }
+
+    #[test]
+    fn deadlock_when_sync_impossible() {
+        // a requires "go" but b never offers it
+        let a = {
+            let mut l = Lts::new(2, 0);
+            l.add_transition(0, "go", 1);
+            l
+        };
+        let b = Lts::new(1, 0);
+        let (prod, _) = sync_product(&a, &b, &["go"]);
+        assert!(!prod.accepts(["go"]));
+        assert_eq!(prod.num_transitions(), 0);
+    }
+
+    #[test]
+    fn example_3_7_cable_shared_by_cpu_and_powsply() {
+        // cable: switch_on/switch_off toggling
+        let cable = toggler("cable_on", "cable_off");
+        // power supply: its switch_on forces cable_on (modelled by the
+        // shared label), then may surge privately
+        let mut powsply = Lts::new(2, 0);
+        powsply.add_transition(0, "cable_on", 1);
+        powsply.add_transition(1, "surge", 1);
+        powsply.add_transition(1, "cable_off", 0);
+        // cpu: computes only while the cable is on
+        let mut cpu = Lts::new(2, 0);
+        cpu.add_transition(0, "cable_on", 1);
+        cpu.add_transition(1, "compute", 1);
+        cpu.add_transition(1, "cable_off", 0);
+
+        let alpha = |l: &Lts| -> BTreeSet<String> {
+            l.labels().into_iter().map(str::to_string).collect()
+        };
+        let prod = sync_product_all(&[
+            (&cable, alpha(&cable)),
+            (&powsply, alpha(&powsply)),
+            (&cpu, alpha(&cpu)),
+        ]);
+        // joint switch-on, then both private activities, joint switch-off
+        assert!(prod.accepts(["cable_on", "surge", "compute", "cable_off"]));
+        // compute impossible before the shared cable_on
+        assert!(!prod.accepts(["compute"]));
+        assert!(!prod.accepts(["surge"]));
+        // cable_on is a three-way synchronization: only one transition from start
+        assert_eq!(prod.outgoing(prod.initial()).count(), 1);
+    }
+
+    #[test]
+    fn nary_product_edge_cases() {
+        let empty = sync_product_all(&[]);
+        assert!(empty.accepts([] as [&str; 0]));
+        let single = toggler("a", "b");
+        let alpha: BTreeSet<String> = single.labels().into_iter().map(str::to_string).collect();
+        let p = sync_product_all(&[(&single, alpha)]);
+        assert!(p.accepts(["a", "b", "a"]));
+    }
+}

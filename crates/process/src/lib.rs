@@ -1,0 +1,61 @@
+//! # troll-process — templates as processes
+//!
+//! The semantic basis of TROLL (Saake, Jungclaus, Ehrich 1991, §3):
+//! "Conceptually, objects can be treated as communicating processes with
+//! observable attributes \[SE90\]. … Formally, a template can be modeled
+//! as a process \[ES91\]."
+//!
+//! This crate provides the process dimension:
+//!
+//! * [`Alphabet`] — event symbols with arities, with birth/death
+//!   classification (TROLL's `birth`/`death` event markers).
+//! * [`Lts`] — finite labelled transition systems over event labels: the
+//!   behaviour patterns of templates. Life-cycle validity (must start
+//!   with a birth event, death is terminal) is checked here.
+//! * [`ProcessTerm`] — regular process expressions (sequence, choice,
+//!   iteration) compiled to LTSs; these model *derived events* and
+//!   *transaction calling*, where "an event … call\[s\] a finite sequence
+//!   of other events treated as a transaction unit" (§4).
+//! * [`compose::sync_product`] — parallel composition synchronizing on
+//!   shared labels: the process-level meaning of **event sharing**
+//!   (Example 3.7's cable shared between cpu and power supply).
+//! * [`simulate`] — simulation preorder checking between LTSs (with
+//!   relabelling), the operational core of refinement correctness in
+//!   `troll-refine`: every behaviour of the abstract template must be
+//!   matched by the implementation.
+//!
+//! # Example
+//!
+//! ```
+//! use troll_process::{Lts, simulate};
+//!
+//! // el_device: switch_on / switch_off alternate, starting with on
+//! let mut dev = Lts::new(2, 0);
+//! dev.add_transition(0, "switch_on", 1);
+//! dev.add_transition(1, "switch_off", 0);
+//!
+//! // computer: same protocol plus a `compute` loop while on
+//! let mut comp = Lts::new(2, 0);
+//! comp.add_transition(0, "switch_on", 1);
+//! comp.add_transition(1, "compute", 1);
+//! comp.add_transition(1, "switch_off", 0);
+//!
+//! // The computer's behaviour "contains" that of the device (Example 3.4):
+//! // restricted to the device alphabet, computer is simulated by device.
+//! let restricted = comp.restrict_to(&["switch_on", "switch_off"]);
+//! assert!(simulate::simulates(&dev, &restricted));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alphabet;
+pub mod compose;
+mod lts;
+pub mod minimize;
+pub mod simulate;
+mod term;
+
+pub use alphabet::{Alphabet, EventKind, EventSymbol};
+pub use lts::{Lts, StateId};
+pub use term::ProcessTerm;

@@ -1,0 +1,399 @@
+//! Finite labelled transition systems — behaviour patterns of templates.
+
+use crate::{Alphabet, EventKind};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Index of a state within an [`Lts`].
+pub type StateId = usize;
+
+/// A finite labelled transition system.
+///
+/// States are dense indices; transitions are labelled by event names.
+/// Nondeterminism is allowed (several same-labelled transitions from one
+/// state). The LTS of a template describes its *admissible* event
+/// sequences — the paper's permissions restrict "the set of possible
+/// sequences over the alphabet of events to admissible sequences" (§4).
+///
+/// # Example
+///
+/// ```
+/// use troll_process::Lts;
+/// let mut dev = Lts::new(2, 0);
+/// dev.add_transition(0, "switch_on", 1);
+/// dev.add_transition(1, "switch_off", 0);
+/// assert!(dev.accepts(["switch_on", "switch_off", "switch_on"]));
+/// assert!(!dev.accepts(["switch_off"]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Lts {
+    num_states: usize,
+    initial: StateId,
+    /// state -> label -> successor set
+    transitions: BTreeMap<StateId, BTreeMap<String, BTreeSet<StateId>>>,
+}
+
+impl Lts {
+    /// Creates an LTS with `num_states` states and the given initial
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial >= num_states` and `num_states > 0`.
+    pub fn new(num_states: usize, initial: StateId) -> Self {
+        assert!(
+            num_states == 0 || initial < num_states,
+            "initial state {initial} out of range for {num_states} states"
+        );
+        Lts {
+            num_states,
+            initial,
+            transitions: BTreeMap::new(),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        self.num_states += 1;
+        self.num_states - 1
+    }
+
+    /// Adds a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is out of range.
+    pub fn add_transition(&mut self, from: StateId, label: impl Into<String>, to: StateId) {
+        assert!(from < self.num_states, "from-state out of range");
+        assert!(to < self.num_states, "to-state out of range");
+        self.transitions
+            .entry(from)
+            .or_default()
+            .entry(label.into())
+            .or_default()
+            .insert(to);
+    }
+
+    /// Successors of `state` under `label`.
+    pub fn successors(&self, state: StateId, label: &str) -> impl Iterator<Item = StateId> + '_ {
+        self.transitions
+            .get(&state)
+            .and_then(|by_label| by_label.get(label))
+            .into_iter()
+            .flatten()
+            .copied()
+    }
+
+    /// All outgoing `(label, successor)` pairs of `state`.
+    pub fn outgoing(&self, state: StateId) -> impl Iterator<Item = (&str, StateId)> + '_ {
+        self.transitions
+            .get(&state)
+            .into_iter()
+            .flat_map(|by_label| {
+                by_label
+                    .iter()
+                    .flat_map(|(l, succs)| succs.iter().map(move |s| (l.as_str(), *s)))
+            })
+    }
+
+    /// The set of labels appearing on any transition.
+    pub fn labels(&self) -> BTreeSet<&str> {
+        self.transitions
+            .values()
+            .flat_map(|by_label| by_label.keys().map(String::as_str))
+            .collect()
+    }
+
+    /// Total number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions
+            .values()
+            .flat_map(|m| m.values())
+            .map(|s| s.len())
+            .sum()
+    }
+
+    /// Whether the LTS accepts the given label sequence from its initial
+    /// state (as a *prefix* behaviour: every state is accepting, matching
+    /// the prefix-closed trace semantics of processes).
+    pub fn accepts<'a>(&self, word: impl IntoIterator<Item = &'a str>) -> bool {
+        let mut current: BTreeSet<StateId> = BTreeSet::from([self.initial]);
+        for label in word {
+            let mut next = BTreeSet::new();
+            for s in &current {
+                next.extend(self.successors(*s, label));
+            }
+            if next.is_empty() {
+                return false;
+            }
+            current = next;
+        }
+        true
+    }
+
+    /// Enumerates all accepted label sequences of length up to
+    /// `max_depth` (the finite trace language used by tests and by
+    /// refinement checking on small templates).
+    pub fn traces_up_to(&self, max_depth: usize) -> Vec<Vec<String>> {
+        let mut out = vec![vec![]];
+        let mut frontier: Vec<(StateId, Vec<String>)> = vec![(self.initial, vec![])];
+        for _ in 0..max_depth {
+            let mut next_frontier = Vec::new();
+            for (state, prefix) in frontier {
+                for (label, succ) in self.outgoing(state) {
+                    let mut w = prefix.clone();
+                    w.push(label.to_string());
+                    out.push(w.clone());
+                    next_frontier.push((succ, w));
+                }
+            }
+            if next_frontier.is_empty() {
+                break;
+            }
+            frontier = next_frontier;
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// States reachable from the initial state.
+    pub fn reachable(&self) -> BTreeSet<StateId> {
+        let mut seen = BTreeSet::from([self.initial]);
+        let mut queue = VecDeque::from([self.initial]);
+        while let Some(s) = queue.pop_front() {
+            for (_, succ) in self.outgoing(s) {
+                if seen.insert(succ) {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Restricts the LTS to transitions whose label is in `keep`,
+    /// preserving states — the alphabet projection used when comparing a
+    /// specialized template against its base (Example 3.4: a computer,
+    /// viewed only through `switch_on`/`switch_off`, behaves like an
+    /// electronic device).
+    pub fn restrict_to(&self, keep: &[&str]) -> Lts {
+        let keep: BTreeSet<&str> = keep.iter().copied().collect();
+        let mut out = Lts::new(self.num_states, self.initial);
+        for (from, by_label) in &self.transitions {
+            for (label, succs) in by_label {
+                if keep.contains(label.as_str()) {
+                    for to in succs {
+                        out.add_transition(*from, label.clone(), *to);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renames labels via the given map; labels not in the map are kept.
+    /// This applies a template-morphism's event mapping to behaviour
+    /// (e.g. `switch_on_c ↦ switch_on` in Example 3.4).
+    pub fn relabel(&self, map: &BTreeMap<String, String>) -> Lts {
+        let mut out = Lts::new(self.num_states, self.initial);
+        for (from, by_label) in &self.transitions {
+            for (label, succs) in by_label {
+                let new_label = map.get(label).cloned().unwrap_or_else(|| label.clone());
+                for to in succs {
+                    out.add_transition(*from, new_label.clone(), *to);
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks life-cycle validity against an alphabet: every transition
+    /// out of the initial state is a birth event, birth events occur only
+    /// there, and death events lead to states with no outgoing
+    /// transitions. Labels missing from the alphabet are reported too.
+    ///
+    /// Returns the list of violations (empty = valid).
+    pub fn life_cycle_violations(&self, alphabet: &Alphabet) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (from, by_label) in &self.transitions {
+            for (label, succs) in by_label {
+                let kind = match alphabet.kind_of(label) {
+                    Some(k) => k,
+                    None => {
+                        violations.push(format!("label `{label}` not in alphabet"));
+                        continue;
+                    }
+                };
+                if *from == self.initial && kind != EventKind::Birth {
+                    violations.push(format!(
+                        "non-birth event `{label}` leaves the initial state"
+                    ));
+                }
+                if *from != self.initial && kind == EventKind::Birth {
+                    violations.push(format!(
+                        "birth event `{label}` occurs after the initial state"
+                    ));
+                }
+                if kind == EventKind::Death {
+                    for s in succs {
+                        if self.outgoing(*s).next().is_some() {
+                            violations.push(format!(
+                                "death event `{label}` leads to non-terminal state {s}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventSymbol;
+    use proptest::prelude::*;
+
+    /// The DEPT life cycle: establishment; (hire|fire|new_manager)*; closure
+    fn dept_lts() -> Lts {
+        let mut l = Lts::new(3, 0);
+        l.add_transition(0, "establishment", 1);
+        l.add_transition(1, "hire", 1);
+        l.add_transition(1, "fire", 1);
+        l.add_transition(1, "new_manager", 1);
+        l.add_transition(1, "closure", 2);
+        l
+    }
+
+    fn dept_alphabet() -> Alphabet {
+        vec![
+            EventSymbol::birth("establishment", 1),
+            EventSymbol::death("closure", 0),
+            EventSymbol::update("new_manager", 1),
+            EventSymbol::update("hire", 1),
+            EventSymbol::update("fire", 1),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn accepts_prefix_closed_language() {
+        let l = dept_lts();
+        assert!(l.accepts([]));
+        assert!(l.accepts(["establishment"]));
+        assert!(l.accepts(["establishment", "hire", "fire", "closure"]));
+        assert!(!l.accepts(["hire"]));
+        assert!(!l.accepts(["establishment", "closure", "hire"]));
+        assert!(!l.accepts(["establishment", "establishment"]));
+    }
+
+    #[test]
+    fn valid_life_cycle_has_no_violations() {
+        assert!(dept_lts()
+            .life_cycle_violations(&dept_alphabet())
+            .is_empty());
+    }
+
+    #[test]
+    fn life_cycle_violations_detected() {
+        let mut l = dept_lts();
+        // hire out of the initial state: non-birth at initial
+        l.add_transition(0, "hire", 1);
+        // establishment again later: birth after initial
+        l.add_transition(1, "establishment", 1);
+        // closure into a live state
+        l.add_transition(1, "closure", 1);
+        let v = l.life_cycle_violations(&dept_alphabet());
+        assert_eq!(v.len(), 3, "{v:?}");
+        // unknown label
+        let mut l2 = dept_lts();
+        l2.add_transition(1, "mystery", 1);
+        let v2 = l2.life_cycle_violations(&dept_alphabet());
+        assert!(v2.iter().any(|m| m.contains("mystery")));
+    }
+
+    #[test]
+    fn traces_enumeration() {
+        let l = dept_lts();
+        let traces = l.traces_up_to(2);
+        assert!(traces.contains(&vec![]));
+        assert!(traces.contains(&vec!["establishment".to_string()]));
+        assert!(traces.contains(&vec![
+            "establishment".to_string(),
+            "hire".to_string()
+        ]));
+        assert!(!traces.iter().any(|t| t.first().map(String::as_str) == Some("hire")));
+        // all traces accepted
+        for t in &traces {
+            assert!(l.accepts(t.iter().map(String::as_str)));
+        }
+    }
+
+    #[test]
+    fn reachability() {
+        let mut l = dept_lts();
+        let unreachable = l.add_state();
+        l.add_transition(unreachable, "hire", 1);
+        let r = l.reachable();
+        assert!(r.contains(&0) && r.contains(&1) && r.contains(&2));
+        assert!(!r.contains(&unreachable));
+    }
+
+    #[test]
+    fn restriction_and_relabel() {
+        let l = dept_lts();
+        let r = l.restrict_to(&["establishment", "closure"]);
+        assert!(r.accepts(["establishment", "closure"]));
+        assert!(!r.accepts(["establishment", "hire"]));
+        let map: BTreeMap<String, String> =
+            [("hire".to_string(), "hire_c".to_string())].into();
+        let rl = l.relabel(&map);
+        assert!(rl.accepts(["establishment", "hire_c"]));
+        assert!(!rl.accepts(["establishment", "hire"]));
+    }
+
+    #[test]
+    fn nondeterminism_supported() {
+        let mut l = Lts::new(3, 0);
+        l.add_transition(0, "a", 1);
+        l.add_transition(0, "a", 2);
+        l.add_transition(1, "b", 1);
+        assert!(l.accepts(["a", "b"]));
+        assert_eq!(l.successors(0, "a").count(), 2);
+        assert_eq!(l.num_transitions(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn transition_bounds_checked() {
+        let mut l = Lts::new(1, 0);
+        l.add_transition(0, "a", 5);
+    }
+
+    proptest! {
+        /// Every enumerated trace is accepted, and acceptance is
+        /// prefix-closed.
+        #[test]
+        fn traces_sound_and_prefix_closed(depth in 1usize..5) {
+            let l = dept_lts();
+            for t in l.traces_up_to(depth) {
+                prop_assert!(l.accepts(t.iter().map(String::as_str)));
+                if !t.is_empty() {
+                    let prefix = &t[..t.len() - 1];
+                    prop_assert!(l.accepts(prefix.iter().map(String::as_str)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Bisimulation-quotient minimization of LTSs.
+//!
+//! Templates produced by specialization chains and synchronous products
+//! accumulate redundant states; the quotient under strong bisimilarity
+//! is the canonical minimal representative, useful for comparing
+//! behaviours structurally and for readable refinement diagnostics.
+
+use crate::Lts;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Computes the quotient of the reachable part of `lts` under strong
+/// bisimilarity (partition refinement): the result is bisimilar to the
+/// input and has one state per bisimulation class.
+///
+/// # Example
+///
+/// ```
+/// use troll_process::{Lts, minimize::quotient, simulate::bisimilar};
+/// // an "unrolled" two-cycle of the same behaviour
+/// let mut unrolled = Lts::new(4, 0);
+/// unrolled.add_transition(0, "a", 1);
+/// unrolled.add_transition(1, "b", 2);
+/// unrolled.add_transition(2, "a", 3);
+/// unrolled.add_transition(3, "b", 0);
+/// let min = quotient(&unrolled);
+/// assert_eq!(min.num_states(), 2);
+/// assert!(bisimilar(&unrolled, &min));
+/// ```
+pub fn quotient(lts: &Lts) -> Lts {
+    let reachable: Vec<usize> = lts.reachable().into_iter().collect();
+    if reachable.is_empty() {
+        return Lts::new(1, 0);
+    }
+
+    // initial partition: states grouped by their outgoing label set
+    let mut block_of: BTreeMap<usize, usize> = BTreeMap::new();
+    {
+        let mut by_signature: BTreeMap<BTreeSet<String>, usize> = BTreeMap::new();
+        for &s in &reachable {
+            let signature: BTreeSet<String> = lts
+                .outgoing(s)
+                .map(|(l, _)| l.to_string())
+                .collect();
+            let next_block = by_signature.len();
+            let block = *by_signature.entry(signature).or_insert(next_block);
+            block_of.insert(s, block);
+        }
+    }
+
+    // refine: split blocks by (current block, label → successor blocks)
+    // until the partition is stable (block count stops growing)
+    loop {
+        let mut new_block_of: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut key_to_block: BTreeMap<(usize, BTreeMap<String, BTreeSet<usize>>), usize> =
+            BTreeMap::new();
+        for &s in &reachable {
+            let mut succ_profile: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+            for (label, t) in lts.outgoing(s) {
+                succ_profile
+                    .entry(label.to_string())
+                    .or_default()
+                    .insert(block_of[&t]);
+            }
+            let key = (block_of[&s], succ_profile);
+            let next = key_to_block.len();
+            let block = *key_to_block.entry(key).or_insert(next);
+            new_block_of.insert(s, block);
+        }
+        let stable = key_to_block.len() == count_blocks(&block_of);
+        block_of = new_block_of;
+        if stable {
+            break;
+        }
+    }
+
+    // build the quotient
+    let num_blocks = count_blocks(&block_of);
+    let initial_block = block_of[&lts.initial()];
+    let mut out = Lts::new(num_blocks, initial_block);
+    let mut added: BTreeSet<(usize, String, usize)> = BTreeSet::new();
+    for &s in &reachable {
+        for (label, t) in lts.outgoing(s) {
+            let edge = (block_of[&s], label.to_string(), block_of[&t]);
+            if added.insert(edge.clone()) {
+                out.add_transition(edge.0, edge.1, edge.2);
+            }
+        }
+    }
+    out
+}
+
+fn count_blocks(block_of: &BTreeMap<usize, usize>) -> usize {
+    block_of.values().collect::<BTreeSet<_>>().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::bisimilar;
+
+    #[test]
+    fn collapses_duplicate_states() {
+        // two parallel identical branches
+        let mut l = Lts::new(5, 0);
+        l.add_transition(0, "a", 1);
+        l.add_transition(0, "a", 2);
+        l.add_transition(1, "b", 3);
+        l.add_transition(2, "b", 4);
+        let min = quotient(&l);
+        assert!(bisimilar(&l, &min));
+        assert_eq!(min.num_states(), 3, "{min:?}");
+    }
+
+    #[test]
+    fn distinguishes_genuinely_different_states() {
+        let mut l = Lts::new(3, 0);
+        l.add_transition(0, "a", 1);
+        l.add_transition(1, "b", 2);
+        let min = quotient(&l);
+        assert_eq!(min.num_states(), 3);
+        assert!(bisimilar(&l, &min));
+    }
+
+    #[test]
+    fn drops_unreachable_states() {
+        let mut l = Lts::new(4, 0);
+        l.add_transition(0, "a", 1);
+        l.add_transition(2, "z", 3); // unreachable island
+        let min = quotient(&l);
+        assert!(min.num_states() <= 2);
+        assert!(bisimilar(&l, &min));
+        assert!(!min.labels().contains("z"));
+    }
+
+    #[test]
+    fn unrolled_cycle_collapses() {
+        let mut unrolled = Lts::new(6, 0);
+        for i in 0..6 {
+            let label = if i % 2 == 0 { "on" } else { "off" };
+            unrolled.add_transition(i, label, (i + 1) % 6);
+        }
+        let min = quotient(&unrolled);
+        assert_eq!(min.num_states(), 2);
+        assert!(bisimilar(&unrolled, &min));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Lts::new(1, 0);
+        let min = quotient(&empty);
+        assert_eq!(min.num_states(), 1);
+        assert!(bisimilar(&empty, &min));
+    }
+
+    #[test]
+    fn quotient_of_sync_product_stays_bisimilar() {
+        use crate::compose::sync_product;
+        let mut a = Lts::new(2, 0);
+        a.add_transition(0, "go", 1);
+        a.add_transition(1, "stop", 0);
+        let mut b = Lts::new(2, 0);
+        b.add_transition(0, "go", 1);
+        b.add_transition(1, "work", 1);
+        b.add_transition(1, "stop", 0);
+        let (prod, _) = sync_product(&a, &b, &["go", "stop"]);
+        let min = quotient(&prod);
+        assert!(bisimilar(&prod, &min));
+        assert!(min.num_states() <= prod.num_states());
+    }
+}

@@ -1,0 +1,215 @@
+//! Simulation and bisimulation checking between LTSs.
+//!
+//! Refinement correctness in the paper (§5.2) requires that "all
+//! properties of the original … specification can be derived from" the
+//! implementation. Operationally we check the behavioural half of this as
+//! a **simulation**: every step the abstract template can take must be
+//! matched (under the refinement's event mapping) by the implementation.
+
+use crate::Lts;
+use std::collections::BTreeSet;
+
+/// Whether `simulator` simulates `simulated`: there is a simulation
+/// relation `R` with `(simulated.initial, simulator.initial) ∈ R` such
+/// that whenever `(s, t) ∈ R` and `s --l--> s'`, there is `t --l--> t'`
+/// with `(s', t') ∈ R`.
+///
+/// Intuitively: everything `simulated` can do, `simulator` can match.
+///
+/// # Example
+///
+/// ```
+/// use troll_process::{Lts, simulate::simulates};
+/// let mut spec = Lts::new(1, 0);
+/// spec.add_transition(0, "a", 0);
+/// spec.add_transition(0, "b", 0);
+/// let mut restricted = Lts::new(1, 0);
+/// restricted.add_transition(0, "a", 0);
+/// assert!(simulates(&spec, &restricted)); // spec matches everything restricted does
+/// assert!(!simulates(&restricted, &spec)); // restricted cannot match "b"
+/// ```
+pub fn simulates(simulator: &Lts, simulated: &Lts) -> bool {
+    greatest_simulation(simulator, simulated)
+        .contains(&(simulated.initial(), simulator.initial()))
+}
+
+/// Computes the greatest simulation relation as a set of pairs
+/// `(simulated_state, simulator_state)`.
+///
+/// Runs the classical fixpoint: start from the full relation and remove
+/// pairs `(s, t)` where some move of `s` cannot be matched by `t`, until
+/// stable. Complexity O(|S|²·|T|·|→|) on these small behavioural
+/// templates.
+pub fn greatest_simulation(simulator: &Lts, simulated: &Lts) -> BTreeSet<(usize, usize)> {
+    let n_sim = simulated.num_states().max(1);
+    let n_tor = simulator.num_states().max(1);
+    let mut rel: BTreeSet<(usize, usize)> = (0..n_sim)
+        .flat_map(|s| (0..n_tor).map(move |t| (s, t)))
+        .collect();
+    loop {
+        let mut removed = false;
+        let snapshot: Vec<(usize, usize)> = rel.iter().copied().collect();
+        for (s, t) in snapshot {
+            let ok = simulated.outgoing(s).all(|(label, s2)| {
+                simulator
+                    .successors(t, label)
+                    .any(|t2| rel.contains(&(s2, t2)))
+            });
+            if !ok {
+                rel.remove(&(s, t));
+                removed = true;
+            }
+        }
+        if !removed {
+            return rel;
+        }
+    }
+}
+
+/// Whether the two LTSs are bisimilar (mutually simulating via a single
+/// symmetric relation).
+pub fn bisimilar(a: &Lts, b: &Lts) -> bool {
+    // Greatest bisimulation: pairs must match in both directions.
+    let na = a.num_states().max(1);
+    let nb = b.num_states().max(1);
+    let mut rel: BTreeSet<(usize, usize)> = (0..na)
+        .flat_map(|s| (0..nb).map(move |t| (s, t)))
+        .collect();
+    loop {
+        let mut removed = false;
+        let snapshot: Vec<(usize, usize)> = rel.iter().copied().collect();
+        for (s, t) in snapshot {
+            let forth = a
+                .outgoing(s)
+                .all(|(l, s2)| b.successors(t, l).any(|t2| rel.contains(&(s2, t2))));
+            let back = b
+                .outgoing(t)
+                .all(|(l, t2)| a.successors(s, l).any(|s2| rel.contains(&(s2, t2))));
+            if !(forth && back) {
+                rel.remove(&(s, t));
+                removed = true;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    rel.contains(&(a.initial(), b.initial()))
+}
+
+/// Bounded trace-inclusion check: every trace of `included` up to
+/// `depth` is a trace of `includer`. Simulation implies trace inclusion;
+/// the converse fails for nondeterministic systems — both directions are
+/// exercised in the tests. Used by `troll-refine` to produce
+/// counterexample traces.
+pub fn trace_inclusion_up_to(includer: &Lts, included: &Lts, depth: usize) -> Result<(), Vec<String>> {
+    for t in included.traces_up_to(depth) {
+        if !includer.accepts(t.iter().map(String::as_str)) {
+            return Err(t);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Lts {
+        let mut l = Lts::new(2, 0);
+        l.add_transition(0, "switch_on", 1);
+        l.add_transition(1, "switch_off", 0);
+        l
+    }
+
+    fn computer() -> Lts {
+        let mut l = Lts::new(2, 0);
+        l.add_transition(0, "switch_on", 1);
+        l.add_transition(1, "compute", 1);
+        l.add_transition(1, "switch_off", 0);
+        l
+    }
+
+    #[test]
+    fn example_3_4_computer_contains_device_protocol() {
+        // Restricted to the device alphabet, computer ≼ device.
+        let comp = computer().restrict_to(&["switch_on", "switch_off"]);
+        assert!(simulates(&device(), &comp));
+        // And the device is simulated by the unrestricted computer too:
+        assert!(simulates(&computer(), &device()));
+        // But the device does not simulate the full computer (compute).
+        assert!(!simulates(&device(), &computer()));
+    }
+
+    #[test]
+    fn simulation_is_reflexive_and_transitive_on_samples() {
+        let samples = vec![device(), computer()];
+        for l in &samples {
+            assert!(simulates(l, l));
+        }
+        // transitivity: device ≽ restricted-computer; computer ≽ device
+        let restricted = computer().restrict_to(&["switch_on", "switch_off"]);
+        assert!(simulates(&computer(), &restricted));
+    }
+
+    #[test]
+    fn bisimilarity() {
+        assert!(bisimilar(&device(), &device()));
+        assert!(!bisimilar(&device(), &computer()));
+        // bisimilar but not identical state spaces
+        let mut unrolled = Lts::new(3, 0);
+        unrolled.add_transition(0, "switch_on", 1);
+        unrolled.add_transition(1, "switch_off", 2);
+        unrolled.add_transition(2, "switch_on", 1);
+        assert!(bisimilar(&device(), &unrolled));
+    }
+
+    #[test]
+    fn nondeterminism_separates_simulation_from_traces() {
+        // Classic example: a.(b+c) vs a.b + a.c
+        let mut det = Lts::new(3, 0);
+        det.add_transition(0, "a", 1);
+        det.add_transition(1, "b", 2);
+        det.add_transition(1, "c", 2);
+
+        let mut nondet = Lts::new(4, 0);
+        nondet.add_transition(0, "a", 1);
+        nondet.add_transition(0, "a", 2);
+        nondet.add_transition(1, "b", 3);
+        nondet.add_transition(2, "c", 3);
+
+        // same traces...
+        assert!(trace_inclusion_up_to(&det, &nondet, 4).is_ok());
+        assert!(trace_inclusion_up_to(&nondet, &det, 4).is_ok());
+        // ...det simulates nondet but not vice versa
+        assert!(simulates(&det, &nondet));
+        assert!(!simulates(&nondet, &det));
+        assert!(!bisimilar(&det, &nondet));
+    }
+
+    #[test]
+    fn trace_inclusion_counterexample() {
+        let err = trace_inclusion_up_to(&device(), &computer(), 3).unwrap_err();
+        assert!(err.contains(&"compute".to_string()), "{err:?}");
+    }
+
+    #[test]
+    fn simulation_implies_trace_inclusion() {
+        let pairs = vec![
+            (device(), computer().restrict_to(&["switch_on", "switch_off"])),
+            (computer(), device()),
+        ];
+        for (simulator, simulated) in pairs {
+            assert!(simulates(&simulator, &simulated));
+            assert!(trace_inclusion_up_to(&simulator, &simulated, 5).is_ok());
+        }
+    }
+
+    #[test]
+    fn empty_lts_edge_cases() {
+        let empty = Lts::new(1, 0);
+        assert!(simulates(&device(), &empty));
+        assert!(!simulates(&empty, &device()));
+        assert!(bisimilar(&empty, &empty));
+    }
+}

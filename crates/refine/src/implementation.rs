@@ -1,0 +1,264 @@
+//! The refinement mapping between an abstract class and its
+//! implementation.
+
+use crate::{RefineError, Result};
+use std::collections::BTreeMap;
+use troll_lang::SystemModel;
+
+/// A formal implementation (§5.2): the abstract class, the concrete
+/// class realizing it (typically built by aggregating base objects), the
+/// optional hiding interface, and the item maps relating abstract
+/// events/attributes to concrete ones (identity where omitted).
+///
+/// # Example
+///
+/// ```
+/// use troll_refine::Implementation;
+/// let imp = Implementation::new("EMPLOYEE", "EMPL_IMPL")
+///     .with_interface("EMPL")
+///     .map_event("Promote", "IncreaseSalary")
+///     .map_attribute("Pay", "Salary");
+/// assert_eq!(imp.concrete_event("Promote"), "IncreaseSalary");
+/// assert_eq!(imp.concrete_event("HireEmployee"), "HireEmployee");
+/// assert_eq!(imp.concrete_attribute("Pay"), "Salary");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Implementation {
+    abstract_class: String,
+    concrete_class: String,
+    interface: Option<String>,
+    event_map: BTreeMap<String, String>,
+    attr_map: BTreeMap<String, String>,
+}
+
+impl Implementation {
+    /// Creates a refinement mapping with identity item maps.
+    pub fn new(abstract_class: impl Into<String>, concrete_class: impl Into<String>) -> Self {
+        Implementation {
+            abstract_class: abstract_class.into(),
+            concrete_class: concrete_class.into(),
+            interface: None,
+            event_map: BTreeMap::new(),
+            attr_map: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the hiding interface (the encapsulation step of §5.2).
+    pub fn with_interface(mut self, interface: impl Into<String>) -> Self {
+        self.interface = Some(interface.into());
+        self
+    }
+
+    /// Maps an abstract event to a differently-named concrete event.
+    pub fn map_event(mut self, abstract_event: impl Into<String>, concrete: impl Into<String>) -> Self {
+        self.event_map.insert(abstract_event.into(), concrete.into());
+        self
+    }
+
+    /// Maps an abstract attribute to a differently-named concrete one.
+    pub fn map_attribute(
+        mut self,
+        abstract_attr: impl Into<String>,
+        concrete: impl Into<String>,
+    ) -> Self {
+        self.attr_map.insert(abstract_attr.into(), concrete.into());
+        self
+    }
+
+    /// The abstract class name.
+    pub fn abstract_class(&self) -> &str {
+        &self.abstract_class
+    }
+
+    /// The concrete class name.
+    pub fn concrete_class(&self) -> &str {
+        &self.concrete_class
+    }
+
+    /// The hiding interface, if declared.
+    pub fn interface(&self) -> Option<&str> {
+        self.interface.as_deref()
+    }
+
+    /// The concrete event implementing an abstract event.
+    pub fn concrete_event<'a>(&'a self, abstract_event: &'a str) -> &'a str {
+        self.event_map
+            .get(abstract_event)
+            .map(String::as_str)
+            .unwrap_or(abstract_event)
+    }
+
+    /// The concrete attribute implementing an abstract attribute.
+    pub fn concrete_attribute<'a>(&'a self, abstract_attr: &'a str) -> &'a str {
+        self.attr_map
+            .get(abstract_attr)
+            .map(String::as_str)
+            .unwrap_or(abstract_attr)
+    }
+
+    /// The full event map resolved against the abstract class's
+    /// signature (identity completion).
+    pub fn resolved_event_map(&self, model: &SystemModel) -> Result<BTreeMap<String, String>> {
+        let abs = model
+            .class(&self.abstract_class)
+            .ok_or_else(|| RefineError::UnknownClass(self.abstract_class.clone()))?;
+        let mut out = self.event_map.clone();
+        for ev in abs.template.signature().events().iter() {
+            out.entry(ev.name.clone()).or_insert_with(|| ev.name.clone());
+        }
+        Ok(out)
+    }
+
+    /// Validates the mapping against a model: both classes exist, every
+    /// mapped abstract event/attribute exists abstractly, its image
+    /// exists concretely (events with equal arity), and the hiding
+    /// interface (when given) exists and encapsulates the concrete
+    /// class.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, model: &SystemModel) -> Result<()> {
+        let abs = model
+            .class(&self.abstract_class)
+            .ok_or_else(|| RefineError::UnknownClass(self.abstract_class.clone()))?;
+        let conc = model
+            .class(&self.concrete_class)
+            .ok_or_else(|| RefineError::UnknownClass(self.concrete_class.clone()))?;
+        for ev in abs.template.signature().events().iter() {
+            let target = self.concrete_event(&ev.name);
+            let cev = conc.template.signature().event(target).ok_or_else(|| {
+                RefineError::BadMapping(format!(
+                    "abstract event `{}` maps to `{target}`, missing on `{}`",
+                    ev.name, self.concrete_class
+                ))
+            })?;
+            if cev.arity != ev.arity {
+                return Err(RefineError::BadMapping(format!(
+                    "event `{}`/{} maps to `{target}`/{}",
+                    ev.name, ev.arity, cev.arity
+                )));
+            }
+        }
+        for attr in abs.template.signature().attributes() {
+            let target = self.concrete_attribute(&attr.name);
+            let exists = conc.template.signature().has_attribute(target)
+                || conc.derivation.iter().any(|d| d.attribute == target);
+            if !exists {
+                return Err(RefineError::BadMapping(format!(
+                    "abstract attribute `{}` maps to `{target}`, missing on `{}`",
+                    attr.name, self.concrete_class
+                )));
+            }
+        }
+        if let Some(iface_name) = &self.interface {
+            let iface = model
+                .interface(iface_name)
+                .ok_or_else(|| RefineError::UnknownInterface(iface_name.clone()))?;
+            if !iface.bases.iter().any(|(c, _)| c == &self.concrete_class) {
+                return Err(RefineError::BadMapping(format!(
+                    "interface `{iface_name}` does not encapsulate `{}`",
+                    self.concrete_class
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SystemModel {
+        let src = r#"
+object class ABS
+  identification k: string;
+  template
+    attributes x: int;
+    events
+      birth make;
+      bump(int);
+      death drop_it;
+    valuation
+      variables n: int;
+      [make] x = 0;
+      [bump(n)] x = x + n;
+end object class ABS;
+
+object class CONC
+  identification k: string;
+  template
+    attributes x: int;
+    events
+      birth make;
+      bump_impl(int);
+      death drop_it;
+    valuation
+      variables n: int;
+      [make] x = 0;
+      [bump_impl(n)] x = x + n;
+end object class CONC;
+
+interface class CONC_VIEW
+  encapsulating CONC
+  attributes x: int;
+  events bump_impl(int);
+end interface class CONC_VIEW;
+"#;
+        troll_lang::analyze(&troll_lang::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn identity_completion_and_mapping() {
+        let imp = Implementation::new("ABS", "CONC").map_event("bump", "bump_impl");
+        let resolved = imp.resolved_event_map(&model()).unwrap();
+        assert_eq!(resolved["bump"], "bump_impl");
+        assert_eq!(resolved["make"], "make");
+        assert_eq!(imp.concrete_attribute("x"), "x");
+    }
+
+    #[test]
+    fn validates_good_mapping() {
+        let imp = Implementation::new("ABS", "CONC")
+            .map_event("bump", "bump_impl")
+            .with_interface("CONC_VIEW");
+        imp.validate(&model()).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_items() {
+        let m = model();
+        // unmapped `bump` does not exist on CONC
+        let imp = Implementation::new("ABS", "CONC");
+        assert!(matches!(
+            imp.validate(&m).unwrap_err(),
+            RefineError::BadMapping(_)
+        ));
+        // unknown classes
+        assert!(matches!(
+            Implementation::new("GHOST", "CONC").validate(&m).unwrap_err(),
+            RefineError::UnknownClass(_)
+        ));
+        assert!(matches!(
+            Implementation::new("ABS", "GHOST").validate(&m).unwrap_err(),
+            RefineError::UnknownClass(_)
+        ));
+        // unknown interface
+        let imp = Implementation::new("ABS", "CONC")
+            .map_event("bump", "bump_impl")
+            .with_interface("GHOST");
+        assert!(matches!(
+            imp.validate(&m).unwrap_err(),
+            RefineError::UnknownInterface(_)
+        ));
+        // bad attribute map
+        let imp = Implementation::new("ABS", "CONC")
+            .map_event("bump", "bump_impl")
+            .map_attribute("x", "zzz");
+        assert!(matches!(
+            imp.validate(&m).unwrap_err(),
+            RefineError::BadMapping(_)
+        ));
+    }
+}

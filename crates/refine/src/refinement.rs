@@ -1,0 +1,512 @@
+//! Operational refinement checking: drive abstract and concrete side by
+//! side and compare observations through the mapping.
+
+use crate::{Implementation, RefineError, Result, Scenario};
+use troll_data::Value;
+use troll_lang::SystemModel;
+use troll_process::simulate;
+use troll_runtime::{ObjectBase, RuntimeError};
+
+/// One disagreement between the abstract object and its implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Scenario index.
+    pub scenario: usize,
+    /// Step index within the scenario.
+    pub step: usize,
+    /// The abstract event of the step.
+    pub event: String,
+    /// What went wrong.
+    pub kind: DivergenceKind,
+}
+
+/// Kinds of divergence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DivergenceKind {
+    /// After a step both sides accepted, an abstract attribute and its
+    /// concrete image observe different values.
+    Observation {
+        /// Abstract attribute name.
+        attribute: String,
+        /// Value on the abstract object.
+        abstract_value: Value,
+        /// Value on the implementation (through the mapping).
+        concrete_value: Value,
+    },
+    /// The abstract object accepted the event but the implementation
+    /// refused it — the implementation cannot reproduce an admissible
+    /// abstract life cycle.
+    ConcreteRefused(String),
+    /// The implementation accepted an event the abstract specification
+    /// forbids — the implementation violates an abstract permission
+    /// property.
+    ConcreteMorePermissive,
+    /// Alive/dead status differs after the step.
+    LifecycleMismatch {
+        /// Abstract side alive?
+        abstract_alive: bool,
+        /// Concrete side alive?
+        concrete_alive: bool,
+    },
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scenario {} step {} ({}): ",
+            self.scenario, self.step, self.event
+        )?;
+        match &self.kind {
+            DivergenceKind::Observation {
+                attribute,
+                abstract_value,
+                concrete_value,
+            } => write!(
+                f,
+                "observation `{attribute}` differs: abstract {abstract_value}, concrete {concrete_value}"
+            ),
+            DivergenceKind::ConcreteRefused(msg) => {
+                write!(f, "implementation refused an admissible event: {msg}")
+            }
+            DivergenceKind::ConcreteMorePermissive => {
+                write!(f, "implementation accepted a forbidden event")
+            }
+            DivergenceKind::LifecycleMismatch {
+                abstract_alive,
+                concrete_alive,
+            } => write!(
+                f,
+                "life cycle differs: abstract alive = {abstract_alive}, concrete alive = {concrete_alive}"
+            ),
+        }
+    }
+}
+
+/// The result of a refinement check.
+#[derive(Debug, Clone)]
+pub struct RefinementReport {
+    /// Scenarios driven.
+    pub scenarios_run: usize,
+    /// Individual event steps compared.
+    pub steps_checked: usize,
+    /// Whether the concrete behaviour (relabelled through the event map)
+    /// simulates the abstract template's behaviour.
+    pub behavior_simulated: bool,
+    /// All divergences found.
+    pub divergences: Vec<Divergence>,
+}
+
+impl RefinementReport {
+    /// Whether the implementation passed every check — the operational
+    /// reading of the paper's "all properties of the original
+    /// specification can be derived" (§5.2).
+    pub fn is_refinement(&self) -> bool {
+        self.behavior_simulated && self.divergences.is_empty()
+    }
+}
+
+impl std::fmt::Display for RefinementReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "refinement check: {} scenario(s), {} step(s), behaviour simulated: {}",
+            self.scenarios_run, self.steps_checked, self.behavior_simulated
+        )?;
+        if self.divergences.is_empty() {
+            write!(f, "no divergences — implementation is correct on the checked scenarios")
+        } else {
+            writeln!(f, "{} divergence(s):", self.divergences.len())?;
+            for d in &self.divergences {
+                writeln!(f, "  {d}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks that `imp.concrete_class` correctly implements
+/// `imp.abstract_class` on the given scenarios.
+///
+/// Both sides run in **fresh, isolated object bases** per scenario;
+/// `setup` is applied to each base first (e.g. to birth the shared
+/// `emp_rel` relation object the implementation aggregates).
+///
+/// Checked per step, through the event/attribute maps:
+///
+/// 1. **acceptance agreement** — permission refusals must coincide
+///    (a step both sides refuse is recorded as checked and skipped);
+/// 2. **observation equality** — every abstract attribute equals its
+///    concrete image after the step;
+/// 3. **life-cycle agreement** — alive/dead status coincides;
+///
+/// plus, once per check, **behaviour simulation** of the abstract
+/// template by the relabelled concrete template.
+///
+/// # Errors
+///
+/// Fails on invalid mappings or genuine runtime errors (sort errors,
+/// unknown events); permission refusals are *data*, not errors.
+pub fn check_refinement(
+    model: &SystemModel,
+    imp: &Implementation,
+    scenarios: &[Scenario],
+    setup: &dyn Fn(&mut ObjectBase) -> troll_runtime::Result<()>,
+) -> Result<RefinementReport> {
+    imp.validate(model)?;
+    let abs_class = model
+        .class(imp.abstract_class())
+        .ok_or_else(|| RefineError::UnknownClass(imp.abstract_class().to_string()))?;
+    let conc_class = model
+        .class(imp.concrete_class())
+        .ok_or_else(|| RefineError::UnknownClass(imp.concrete_class().to_string()))?;
+
+    // behaviour simulation through the event map
+    let event_map = imp.resolved_event_map(model)?;
+    let abs_relabelled = abs_class.template.behavior().relabel(&event_map);
+    let behavior_simulated =
+        simulate::simulates(conc_class.template.behavior(), &abs_relabelled);
+
+    let mut divergences = Vec::new();
+    let mut steps_checked = 0usize;
+
+    for (si, scenario) in scenarios.iter().enumerate() {
+        let mut abs_ob = ObjectBase::new(model.clone())?;
+        let mut conc_ob = ObjectBase::new(model.clone())?;
+        setup(&mut abs_ob)?;
+        setup(&mut conc_ob)?;
+
+        let abs_id = troll_data::ObjectId::new(
+            imp.abstract_class().to_string(),
+            scenario.key.clone(),
+        );
+        let conc_id = troll_data::ObjectId::new(
+            imp.concrete_class().to_string(),
+            scenario.key.clone(),
+        );
+
+        let mut abs_dead = false;
+        for (ti, step) in scenario.steps.iter().enumerate() {
+            steps_checked += 1;
+            let conc_event = imp.concrete_event(&step.event).to_string();
+            let abs_result = abs_ob.execute(&abs_id, &step.event, step.args.clone());
+            let conc_result = conc_ob.execute(&conc_id, &conc_event, step.args.clone());
+            match (abs_result, conc_result) {
+                (Ok(_), Ok(_)) => {
+                    let abs_alive = abs_ob.instance(&abs_id).is_some_and(|i| i.is_alive());
+                    let conc_alive = conc_ob.instance(&conc_id).is_some_and(|i| i.is_alive());
+                    if abs_alive != conc_alive {
+                        divergences.push(Divergence {
+                            scenario: si,
+                            step: ti,
+                            event: step.event.clone(),
+                            kind: DivergenceKind::LifecycleMismatch {
+                                abstract_alive: abs_alive,
+                                concrete_alive: conc_alive,
+                            },
+                        });
+                    }
+                    abs_dead = !abs_alive;
+                    if abs_dead {
+                        // attributes of dead objects are not observable;
+                        // only the life-cycle agreement above applies
+                        continue;
+                    }
+                    // compare observations through the attribute map
+                    for attr in abs_class.template.signature().attributes() {
+                        let abs_v = abs_ob
+                            .attribute(&abs_id, &attr.name)
+                            .map_err(|e| RefineError::Runtime(e.to_string()))?;
+                        let conc_attr = imp.concrete_attribute(&attr.name);
+                        let conc_v = conc_ob
+                            .attribute(&conc_id, conc_attr)
+                            .map_err(|e| RefineError::Runtime(e.to_string()))?;
+                        if abs_v != conc_v {
+                            divergences.push(Divergence {
+                                scenario: si,
+                                step: ti,
+                                event: step.event.clone(),
+                                kind: DivergenceKind::Observation {
+                                    attribute: attr.name.clone(),
+                                    abstract_value: abs_v,
+                                    concrete_value: conc_v,
+                                },
+                            });
+                        }
+                    }
+                }
+                (Err(abs_err), Err(_conc_err)) => {
+                    // agreement on refusal — fine if both are admissibility
+                    // refusals; propagate genuine evaluation errors
+                    if !is_refusal(&abs_err) {
+                        return Err(RefineError::Runtime(abs_err.to_string()));
+                    }
+                }
+                (Ok(_), Err(conc_err)) => {
+                    if is_refusal(&conc_err) {
+                        divergences.push(Divergence {
+                            scenario: si,
+                            step: ti,
+                            event: step.event.clone(),
+                            kind: DivergenceKind::ConcreteRefused(conc_err.to_string()),
+                        });
+                        // resync: the abstract side advanced, stop scenario
+                        break;
+                    }
+                    return Err(RefineError::Runtime(conc_err.to_string()));
+                }
+                (Err(abs_err), Ok(_)) => {
+                    if is_refusal(&abs_err) {
+                        divergences.push(Divergence {
+                            scenario: si,
+                            step: ti,
+                            event: step.event.clone(),
+                            kind: DivergenceKind::ConcreteMorePermissive,
+                        });
+                        break;
+                    }
+                    return Err(RefineError::Runtime(abs_err.to_string()));
+                }
+            }
+            if abs_dead {
+                break;
+            }
+        }
+    }
+
+    Ok(RefinementReport {
+        scenarios_run: scenarios.len(),
+        steps_checked,
+        behavior_simulated,
+        divergences,
+    })
+}
+
+/// Whether an error represents an admissibility refusal (a legitimate
+/// "no" from the specification) rather than an evaluation failure.
+fn is_refusal(e: &RuntimeError) -> bool {
+    matches!(
+        e,
+        RuntimeError::NotPermitted { .. }
+            | RuntimeError::ConstraintViolated { .. }
+            | RuntimeError::NotAlive(_)
+            | RuntimeError::AlreadyBorn(_)
+            | RuntimeError::RoleNotActive { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ScenarioStep, ValuePool};
+
+    /// Abstract counter and two implementations: a correct one (over an
+    /// incorporated cell object) and a buggy one (loses increments of 0
+    /// … actually: applies a cap the abstract spec doesn't have).
+    const SRC: &str = r#"
+object cell
+  template
+    attributes content: int;
+    events
+      birth init_cell;
+      write(int);
+    valuation
+      variables v: int;
+      [init_cell] content = 0;
+      [write(v)] content = v;
+end object cell;
+
+object class COUNTER
+  identification cid: string;
+  template
+    attributes value: int;
+    events
+      birth create;
+      step(int);
+      death discard;
+    valuation
+      variables n: int;
+      [create] value = 0;
+      [step(n)] value = value + n;
+    permissions
+      variables n: int;
+      { n >= 0 } step(n);
+end object class COUNTER;
+
+object class COUNTER_IMPL
+  identification cid: string;
+  template
+    inheriting cell as store;
+    attributes
+      derived value: int;
+    events
+      birth create;
+      step(int);
+      death discard;
+    derivation rules
+      value = store.content;
+    permissions
+      variables n: int;
+      { n >= 0 } step(n);
+    interaction
+      variables n: int;
+      step(n) >> store.write(store.content + n);
+end object class COUNTER_IMPL;
+
+object class COUNTER_BUGGY
+  identification cid: string;
+  template
+    attributes value: int;
+    events
+      birth create;
+      step(int);
+      death discard;
+    valuation
+      variables n: int;
+      [create] value = 0;
+      { value + n <= 10 } => [step(n)] value = value + n;
+    permissions
+      variables n: int;
+      { n >= 0 } step(n);
+end object class COUNTER_BUGGY;
+
+object class COUNTER_LAX
+  identification cid: string;
+  template
+    attributes value: int;
+    events
+      birth create;
+      step(int);
+      death discard;
+    valuation
+      variables n: int;
+      [create] value = 0;
+      [step(n)] value = value + n;
+end object class COUNTER_LAX;
+"#;
+
+    fn model() -> SystemModel {
+        troll_lang::analyze(&troll_lang::parse(SRC).unwrap()).unwrap()
+    }
+
+    fn setup(ob: &mut ObjectBase) -> troll_runtime::Result<()> {
+        let cell = ob.singleton("cell").expect("cell singleton");
+        ob.execute(&cell, "init_cell", vec![])?;
+        Ok(())
+    }
+
+    fn scenarios(model: &SystemModel) -> Vec<Scenario> {
+        Scenario::generate(
+            &model.classes["COUNTER"],
+            &ValuePool::default(),
+            10,
+            6,
+            2024,
+        )
+    }
+
+    #[test]
+    fn correct_implementation_passes() {
+        let m = model();
+        let imp = Implementation::new("COUNTER", "COUNTER_IMPL");
+        let report = check_refinement(&m, &imp, &scenarios(&m), &setup).unwrap();
+        assert!(report.is_refinement(), "{report}");
+        assert!(report.steps_checked > 10);
+        assert!(report.behavior_simulated);
+        assert!(report.to_string().contains("no divergences"));
+    }
+
+    #[test]
+    fn buggy_implementation_caught_by_observation() {
+        let m = model();
+        let imp = Implementation::new("COUNTER", "COUNTER_BUGGY");
+        // explicit scenario that exceeds the bug's cap
+        let scenario = Scenario {
+            key: vec![Value::from("c1")],
+            steps: vec![
+                ScenarioStep {
+                    event: "create".into(),
+                    args: vec![],
+                },
+                ScenarioStep {
+                    event: "step".into(),
+                    args: vec![Value::from(7)],
+                },
+                ScenarioStep {
+                    event: "step".into(),
+                    args: vec![Value::from(7)],
+                },
+            ],
+        };
+        let report = check_refinement(&m, &imp, &[scenario], &setup).unwrap();
+        assert!(!report.is_refinement());
+        assert!(matches!(
+            report.divergences[0].kind,
+            DivergenceKind::Observation { .. }
+        ));
+        assert!(report.to_string().contains("observation `value` differs"));
+    }
+
+    #[test]
+    fn more_permissive_implementation_caught() {
+        let m = model();
+        // LAX drops the `n >= 0` permission: accepting step(-1) violates
+        // the abstract permission property
+        let imp = Implementation::new("COUNTER", "COUNTER_LAX");
+        let scenario = Scenario {
+            key: vec![Value::from("c1")],
+            steps: vec![
+                ScenarioStep {
+                    event: "create".into(),
+                    args: vec![],
+                },
+                ScenarioStep {
+                    event: "step".into(),
+                    args: vec![Value::from(-1)],
+                },
+            ],
+        };
+        let report = check_refinement(&m, &imp, &[scenario], &setup).unwrap();
+        assert!(!report.is_refinement());
+        assert_eq!(
+            report.divergences[0].kind,
+            DivergenceKind::ConcreteMorePermissive
+        );
+    }
+
+    #[test]
+    fn agreement_on_refusals_is_not_a_divergence() {
+        let m = model();
+        let imp = Implementation::new("COUNTER", "COUNTER_IMPL");
+        let scenario = Scenario {
+            key: vec![Value::from("c1")],
+            steps: vec![
+                ScenarioStep {
+                    event: "create".into(),
+                    args: vec![],
+                },
+                // both sides refuse negative steps
+                ScenarioStep {
+                    event: "step".into(),
+                    args: vec![Value::from(-5)],
+                },
+                ScenarioStep {
+                    event: "step".into(),
+                    args: vec![Value::from(3)],
+                },
+            ],
+        };
+        let report = check_refinement(&m, &imp, &[scenario], &setup).unwrap();
+        assert!(report.is_refinement(), "{report}");
+    }
+
+    #[test]
+    fn invalid_mapping_rejected() {
+        let m = model();
+        let imp = Implementation::new("COUNTER", "COUNTER_IMPL").map_event("step", "zap");
+        assert!(matches!(
+            check_refinement(&m, &imp, &[], &setup).unwrap_err(),
+            RefineError::BadMapping(_)
+        ));
+    }
+}

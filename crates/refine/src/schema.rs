@@ -1,0 +1,599 @@
+//! The three-level schema architecture for object system modules (§6,
+//! Figure 1).
+//!
+//! "We propose to adapt this three-level schema architecture for our
+//! abstract concept of dynamic objects": a module organizes its classes
+//! into a **conceptual schema** (the abstract, implementation-independent
+//! description), an **internal schema** (the implementation level —
+//! formal implementations over base objects), and several **external
+//! schemata** (views for particular applications or user groups, which
+//! double as access-control boundaries: "the possibility of defining
+//! several external schemata as export interfaces allows to include
+//! access control and security mechanisms already on the system
+//! specification level").
+
+use crate::{Implementation, RefineError, Result};
+use std::collections::{BTreeMap, BTreeSet};
+use troll_data::{ObjectId, Value};
+use troll_lang::{ModuleModel, SystemModel};
+use troll_runtime::{ObjectBase, StepReport, ViewSet};
+
+/// The conceptual schema: the abstract classes of the module.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConceptualSchema {
+    /// Class names.
+    pub classes: Vec<String>,
+}
+
+/// The internal schema: implementation-level classes and the formal
+/// implementations that relate them to the conceptual schema.
+#[derive(Debug, Clone, Default)]
+pub struct InternalSchema {
+    /// Implementation-level classes (base objects and implementation
+    /// classes).
+    pub classes: Vec<String>,
+    /// Registered refinements (conceptual → internal).
+    pub implementations: Vec<Implementation>,
+}
+
+/// An external schema: a named export interface — a set of interface
+/// classes through which clients may observe and manipulate the module.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExternalSchema {
+    /// Schema name.
+    pub name: String,
+    /// Interface classes included.
+    pub interfaces: Vec<String>,
+}
+
+/// An object system module with the three-level schema architecture.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// The conceptual level.
+    pub conceptual: ConceptualSchema,
+    /// The internal level.
+    pub internal: InternalSchema,
+    /// The external level: several export schemata.
+    pub external: Vec<ExternalSchema>,
+    /// Imports of other modules' external schemata.
+    pub imports: Vec<(String, String)>,
+}
+
+impl Module {
+    /// Builds a module from a lowered `module` declaration.
+    pub fn from_model(m: &ModuleModel) -> Module {
+        Module {
+            name: m.name.clone(),
+            conceptual: ConceptualSchema {
+                classes: m.conceptual.clone(),
+            },
+            internal: InternalSchema {
+                classes: m.internal.clone(),
+                implementations: Vec::new(),
+            },
+            external: m
+                .external
+                .iter()
+                .map(|(name, interfaces)| ExternalSchema {
+                    name: name.clone(),
+                    interfaces: interfaces.clone(),
+                })
+                .collect(),
+            imports: m.imports.clone(),
+        }
+    }
+
+    /// Registers a formal implementation in the internal schema.
+    pub fn add_implementation(&mut self, imp: Implementation) {
+        self.internal.implementations.push(imp);
+    }
+
+    /// Finds an export schema by name.
+    pub fn export_schema(&self, name: &str) -> Option<&ExternalSchema> {
+        self.external.iter().find(|s| s.name == name)
+    }
+
+    /// Validates the module against a system model:
+    ///
+    /// * all schema members exist;
+    /// * external interfaces encapsulate only classes of this module
+    ///   (conceptual or internal) — views cannot leak foreign objects;
+    /// * every registered implementation maps a conceptual class onto an
+    ///   internal class and validates structurally.
+    ///
+    /// Returns the list of violations (empty = valid).
+    pub fn validate(&self, model: &SystemModel) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut members: BTreeSet<&str> = BTreeSet::new();
+        for c in self.conceptual.classes.iter().chain(&self.internal.classes) {
+            if model.class(c).is_none() {
+                violations.push(format!("module `{}`: unknown class `{c}`", self.name));
+            }
+            members.insert(c.as_str());
+        }
+        for schema in &self.external {
+            for i in &schema.interfaces {
+                match model.interface(i) {
+                    None => violations.push(format!(
+                        "module `{}`: unknown interface `{i}` in schema `{}`",
+                        self.name, schema.name
+                    )),
+                    Some(iface) => {
+                        for (base, _) in &iface.bases {
+                            if !members.contains(base.as_str()) {
+                                violations.push(format!(
+                                    "module `{}`: interface `{i}` encapsulates `{base}`, which is not a module member",
+                                    self.name
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for imp in &self.internal.implementations {
+            if !self
+                .conceptual
+                .classes
+                .iter()
+                .any(|c| c == imp.abstract_class())
+            {
+                violations.push(format!(
+                    "module `{}`: implementation of `{}` which is not in the conceptual schema",
+                    self.name,
+                    imp.abstract_class()
+                ));
+            }
+            if !self
+                .internal
+                .classes
+                .iter()
+                .any(|c| c == imp.concrete_class())
+            {
+                violations.push(format!(
+                    "module `{}`: implementation by `{}` which is not in the internal schema",
+                    self.name,
+                    imp.concrete_class()
+                ));
+            }
+            if let Err(e) = imp.validate(model) {
+                violations.push(format!("module `{}`: {e}", self.name));
+            }
+        }
+        violations
+    }
+
+    /// Checks every registered formal implementation of this module
+    /// operationally (§6.1: "module refinement by formal implementation
+    /// steps where one (more abstract) module is implemented in terms of
+    /// dependent other modules"): for each implementation, random
+    /// scenarios over the abstract class are generated and
+    /// [`crate::check_refinement`] is run.
+    ///
+    /// Returns one report per implementation, in registration order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and runtime errors from the checks.
+    pub fn check_implementations(
+        &self,
+        model: &troll_lang::SystemModel,
+        scenarios_per_implementation: usize,
+        max_scenario_len: usize,
+        seed: u64,
+        setup: &dyn Fn(&mut ObjectBase) -> troll_runtime::Result<()>,
+    ) -> crate::Result<Vec<(String, crate::RefinementReport)>> {
+        let mut out = Vec::new();
+        for imp in &self.internal.implementations {
+            let abstract_class = model
+                .class(imp.abstract_class())
+                .ok_or_else(|| RefineError::UnknownClass(imp.abstract_class().to_string()))?;
+            let scenarios = crate::Scenario::generate(
+                abstract_class,
+                &crate::ValuePool::default(),
+                scenarios_per_implementation,
+                max_scenario_len,
+                seed,
+            );
+            let report = crate::check_refinement(model, imp, &scenarios, setup)?;
+            out.push((imp.abstract_class().to_string(), report));
+        }
+        Ok(out)
+    }
+
+    /// Opens a guarded handle on an object base, restricted to the given
+    /// export schema — the module's society interface for one client
+    /// group.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the schema is not exported by this module.
+    pub fn open<'a>(
+        &self,
+        schema: &str,
+        base: &'a mut ObjectBase,
+    ) -> Result<GuardedBase<'a>> {
+        let export = self
+            .export_schema(schema)
+            .ok_or_else(|| RefineError::UnknownExportSchema {
+                module: self.name.clone(),
+                schema: schema.to_string(),
+            })?;
+        Ok(GuardedBase {
+            module: self.name.clone(),
+            allowed: export.interfaces.iter().cloned().collect(),
+            base,
+        })
+    }
+}
+
+/// A handle on an object base that only permits access through the
+/// interfaces of one export schema — "the implementation of single
+/// modules is hidden to the outside" (§6.2).
+#[derive(Debug)]
+pub struct GuardedBase<'a> {
+    module: String,
+    allowed: BTreeSet<String>,
+    base: &'a mut ObjectBase,
+}
+
+impl GuardedBase<'_> {
+    /// The interfaces this handle may use.
+    pub fn allowed_interfaces(&self) -> impl Iterator<Item = &str> {
+        self.allowed.iter().map(String::as_str)
+    }
+
+    /// Evaluates an exported view.
+    ///
+    /// # Errors
+    ///
+    /// [`RefineError::AccessDenied`] if the interface is not in the
+    /// export schema; otherwise view-evaluation errors.
+    pub fn view(&self, interface: &str) -> Result<ViewSet> {
+        if !self.allowed.contains(interface) {
+            return Err(RefineError::AccessDenied {
+                module: self.module.clone(),
+                interface: interface.to_string(),
+            });
+        }
+        Ok(self.base.view(interface)?)
+    }
+
+    /// Executes an exported view event.
+    ///
+    /// # Errors
+    ///
+    /// [`RefineError::AccessDenied`] if the interface is not exported;
+    /// otherwise the underlying execution errors.
+    pub fn view_call(
+        &mut self,
+        interface: &str,
+        bindings: &BTreeMap<String, ObjectId>,
+        event: &str,
+        args: Vec<Value>,
+    ) -> Result<StepReport> {
+        if !self.allowed.contains(interface) {
+            return Err(RefineError::AccessDenied {
+                module: self.module.clone(),
+                interface: interface.to_string(),
+            });
+        }
+        Ok(self.base.view_call(interface, bindings, event, args)?)
+    }
+}
+
+/// A system of modules — horizontal composition of communicating object
+/// societies (§6.1).
+#[derive(Debug, Clone, Default)]
+pub struct ModuleSystem {
+    modules: BTreeMap<String, Module>,
+}
+
+impl ModuleSystem {
+    /// Creates an empty module system.
+    pub fn new() -> Self {
+        ModuleSystem::default()
+    }
+
+    /// Adds a module.
+    pub fn add(&mut self, module: Module) {
+        self.modules.insert(module.name.clone(), module);
+    }
+
+    /// Looks up a module.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.get(name)
+    }
+
+    /// Validates every module and every import edge: imported schemata
+    /// must exist on the exporting module.
+    pub fn validate(&self, model: &SystemModel) -> Vec<String> {
+        let mut violations = Vec::new();
+        for module in self.modules.values() {
+            violations.extend(module.validate(model));
+            for (target, schema) in &module.imports {
+                match self.modules.get(target) {
+                    None => violations.push(format!(
+                        "module `{}` imports from unknown module `{target}`",
+                        module.name
+                    )),
+                    Some(exporter) => {
+                        if exporter.export_schema(schema).is_none() {
+                            violations.push(format!(
+                                "module `{}` imports schema `{schema}` which `{target}` does not export",
+                                module.name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+object class PERSON
+  identification name: string;
+  template
+    attributes Salary: money; Dept: string;
+    events
+      birth create(money, string);
+      ChangeSalary(money);
+      death die;
+    valuation
+      variables m: money; d: string;
+      [create(m, d)] Salary = m;
+      [create(m, d)] Dept = d;
+      [ChangeSalary(m)] Salary = m;
+end object class PERSON;
+
+interface class SAL_EMPLOYEE
+  encapsulating PERSON
+  attributes name: string; Salary: money;
+  events ChangeSalary(money);
+end interface class SAL_EMPLOYEE;
+
+interface class PHONEBOOK
+  encapsulating PERSON
+  attributes name: string; Dept: string;
+end interface class PHONEBOOK;
+
+module PERSONNEL
+  conceptual schema PERSON;
+  external schema SALARY = SAL_EMPLOYEE;
+  external schema DIRECTORY = PHONEBOOK;
+end module PERSONNEL;
+
+module PAYROLL
+  conceptual schema PERSON;
+  import PERSONNEL.SALARY;
+end module PAYROLL;
+"#;
+
+    fn system() -> (SystemModel, ObjectBase) {
+        let model = troll_lang::analyze(&troll_lang::parse(SRC).unwrap()).unwrap();
+        let mut ob = ObjectBase::new(model.clone()).unwrap();
+        ob.birth(
+            "PERSON",
+            vec![Value::from("ada")],
+            "create",
+            vec![
+                Value::Money(troll_data::Money::from_major(4000)),
+                Value::from("Research"),
+            ],
+        )
+        .unwrap();
+        (model, ob)
+    }
+
+    fn modules(model: &SystemModel) -> ModuleSystem {
+        let mut sys = ModuleSystem::new();
+        for m in model.modules.values() {
+            sys.add(Module::from_model(m));
+        }
+        sys
+    }
+
+    #[test]
+    fn module_built_from_declaration_validates() {
+        let (model, _) = system();
+        let sys = modules(&model);
+        assert!(sys.validate(&model).is_empty());
+        let personnel = sys.module("PERSONNEL").unwrap();
+        assert_eq!(personnel.conceptual.classes, vec!["PERSON"]);
+        assert_eq!(personnel.external.len(), 2);
+        assert!(personnel.export_schema("SALARY").is_some());
+        assert!(personnel.export_schema("GHOST").is_none());
+    }
+
+    #[test]
+    fn guarded_access_allows_exported_interface_only() {
+        let (model, mut ob) = system();
+        let sys = modules(&model);
+        let personnel = sys.module("PERSONNEL").unwrap();
+
+        let guard = personnel.open("SALARY", &mut ob).unwrap();
+        assert_eq!(guard.allowed_interfaces().collect::<Vec<_>>(), vec!["SAL_EMPLOYEE"]);
+        // exported view works
+        let v = guard.view("SAL_EMPLOYEE").unwrap();
+        assert_eq!(v.len(), 1);
+        // other module's view through this schema: denied
+        let err = guard.view("PHONEBOOK").unwrap_err();
+        assert!(matches!(err, RefineError::AccessDenied { .. }));
+    }
+
+    #[test]
+    fn guarded_view_call_forwards_and_denies() {
+        let (model, mut ob) = system();
+        let sys = modules(&model);
+        let personnel = sys.module("PERSONNEL").unwrap();
+        let ada = ObjectId::singleton("PERSON", Value::from("ada"));
+        let bindings: BTreeMap<String, ObjectId> =
+            [("PERSON".to_string(), ada.clone())].into();
+
+        {
+            let mut guard = personnel.open("SALARY", &mut ob).unwrap();
+            guard
+                .view_call(
+                    "SAL_EMPLOYEE",
+                    &bindings,
+                    "ChangeSalary",
+                    vec![Value::Money(troll_data::Money::from_major(5000))],
+                )
+                .unwrap();
+            let err = guard
+                .view_call("PHONEBOOK", &bindings, "anything", vec![])
+                .unwrap_err();
+            assert!(matches!(err, RefineError::AccessDenied { .. }));
+        }
+        assert_eq!(
+            ob.attribute(&ada, "Salary").unwrap(),
+            Value::Money(troll_data::Money::from_major(5000))
+        );
+    }
+
+    #[test]
+    fn opening_unknown_schema_fails() {
+        let (model, mut ob) = system();
+        let sys = modules(&model);
+        let err = sys
+            .module("PERSONNEL")
+            .unwrap()
+            .open("GHOST", &mut ob)
+            .unwrap_err();
+        assert!(matches!(err, RefineError::UnknownExportSchema { .. }));
+    }
+
+    #[test]
+    fn import_validation() {
+        let (model, _) = system();
+        let mut sys = modules(&model);
+        assert!(sys.validate(&model).is_empty());
+        // import of a non-exported schema
+        let mut bad = Module::from_model(&model.modules["PAYROLL"]);
+        bad.name = "BAD".into();
+        bad.imports = vec![("PERSONNEL".into(), "GHOST".into())];
+        sys.add(bad);
+        let v = sys.validate(&model);
+        assert!(v.iter().any(|m| m.contains("does not export")), "{v:?}");
+        // import from unknown module
+        let worse = Module {
+            name: "WORSE".into(),
+            imports: vec![("NOWHERE".into(), "X".into())],
+            ..Module::default()
+        };
+        sys.add(worse);
+        let v = sys.validate(&model);
+        assert!(v.iter().any(|m| m.contains("unknown module")), "{v:?}");
+    }
+
+    #[test]
+    fn implementation_membership_validated() {
+        let (model, _) = system();
+        let mut m = Module::from_model(&model.modules["PERSONNEL"]);
+        // implementation whose classes are not module members
+        m.add_implementation(Implementation::new("PERSON", "PERSON"));
+        let v = m.validate(&model);
+        assert!(
+            v.iter().any(|msg| msg.contains("not in the internal schema")),
+            "{v:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod module_refinement_tests {
+    use super::*;
+    use crate::Implementation;
+
+    const SRC: &str = r#"
+object cell
+  template
+    attributes content: int;
+    events
+      birth init_cell;
+      write(int);
+    valuation
+      variables v: int;
+      [init_cell] content = 0;
+      [write(v)] content = v;
+end object cell;
+
+object class COUNTER
+  identification cid: string;
+  template
+    attributes value: int;
+    events
+      birth create;
+      step(int);
+      death discard;
+    valuation
+      variables n: int;
+      [create] value = 0;
+      [step(n)] value = value + n;
+end object class COUNTER;
+
+object class COUNTER_IMPL
+  identification cid: string;
+  template
+    inheriting cell as store;
+    attributes
+      derived value: int;
+    events
+      birth create;
+      step(int);
+      death discard;
+    derivation rules
+      value = store.content;
+    interaction
+      variables n: int;
+      step(n) >> store.write(store.content + n);
+end object class COUNTER_IMPL;
+
+module TALLY
+  conceptual schema COUNTER;
+  internal schema COUNTER_IMPL, cell;
+end module TALLY;
+"#;
+
+    #[test]
+    fn module_checks_its_implementations() {
+        let model = troll_lang::analyze(&troll_lang::parse(SRC).unwrap()).unwrap();
+        let mut module = Module::from_model(&model.modules["TALLY"]);
+        module.add_implementation(Implementation::new("COUNTER", "COUNTER_IMPL"));
+        assert!(module.validate(&model).is_empty());
+
+        let setup = |ob: &mut ObjectBase| {
+            let cell = ob.singleton("cell").expect("singleton");
+            ob.execute(&cell, "init_cell", vec![])?;
+            Ok(())
+        };
+        let reports = module
+            .check_implementations(&model, 6, 5, 99, &setup)
+            .unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].0, "COUNTER");
+        assert!(reports[0].1.is_refinement(), "{}", reports[0].1);
+    }
+
+    #[test]
+    fn unknown_abstract_class_reported() {
+        let model = troll_lang::analyze(&troll_lang::parse(SRC).unwrap()).unwrap();
+        let mut module = Module::from_model(&model.modules["TALLY"]);
+        module.add_implementation(Implementation::new("GHOST", "COUNTER_IMPL"));
+        let setup = |_: &mut ObjectBase| Ok(());
+        assert!(matches!(
+            module
+                .check_implementations(&model, 1, 2, 1, &setup)
+                .unwrap_err(),
+            RefineError::UnknownClass(_)
+        ));
+    }
+}

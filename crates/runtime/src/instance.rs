@@ -1,0 +1,144 @@
+//! Object instances: identity, state, history, roles.
+
+use std::collections::BTreeMap;
+use troll_data::{ObjectId, Value};
+use troll_temporal::Trace;
+
+/// The state of one role (phase) an instance currently plays or has
+/// played.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct RoleState {
+    /// Role-local attribute state.
+    pub attrs: BTreeMap<String, Value>,
+    /// Whether the role is currently active.
+    pub active: bool,
+    /// Role-local history.
+    pub trace: Trace,
+}
+
+/// A live (or dead) object instance in the object base.
+///
+/// Holds the stored attribute state, the append-only event/state history
+/// ([`Trace`]) that permissions are evaluated against, and any role
+/// (phase) states the object has acquired (§4: "an object being a
+/// special kind just for a part of its life").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    id: ObjectId,
+    class: String,
+    pub(crate) state: BTreeMap<String, Value>,
+    pub(crate) trace: Trace,
+    pub(crate) alive: bool,
+    pub(crate) born: bool,
+    pub(crate) roles: BTreeMap<String, RoleState>,
+}
+
+impl Instance {
+    /// Creates an unborn instance shell.
+    pub(crate) fn new(id: ObjectId, class: impl Into<String>) -> Self {
+        Instance {
+            id,
+            class: class.into(),
+            state: BTreeMap::new(),
+            trace: Trace::new(),
+            alive: false,
+            born: false,
+            roles: BTreeMap::new(),
+        }
+    }
+
+    /// The instance identity.
+    pub fn id(&self) -> &ObjectId {
+        &self.id
+    }
+
+    /// The creation class.
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    /// Whether the instance is alive (born and not dead).
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Whether the instance was ever born.
+    pub fn was_born(&self) -> bool {
+        self.born
+    }
+
+    /// Reads a stored attribute (derived attributes are computed by
+    /// [`crate::ObjectBase::attribute`]).
+    pub fn stored_attribute(&self, name: &str) -> Option<&Value> {
+        self.state.get(name)
+    }
+
+    /// The object's history.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The names of currently active roles (phases).
+    pub fn active_roles(&self) -> Vec<&str> {
+        self.roles
+            .iter()
+            .filter(|(_, r)| r.active)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Whether the given role is currently active.
+    pub fn has_role(&self, role: &str) -> bool {
+        self.roles.get(role).is_some_and(|r| r.active)
+    }
+
+    /// Reads a role-local attribute.
+    pub fn role_attribute(&self, role: &str, name: &str) -> Option<&Value> {
+        self.roles.get(role).and_then(|r| r.attrs.get(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_flags() {
+        let id = ObjectId::singleton("DEPT", Value::from("Toys"));
+        let mut inst = Instance::new(id.clone(), "DEPT");
+        assert!(!inst.is_alive());
+        assert!(!inst.was_born());
+        inst.born = true;
+        inst.alive = true;
+        assert!(inst.is_alive());
+        inst.alive = false;
+        assert!(!inst.is_alive());
+        assert!(inst.was_born());
+        assert_eq!(inst.id(), &id);
+        assert_eq!(inst.class(), "DEPT");
+    }
+
+    #[test]
+    fn roles() {
+        let id = ObjectId::singleton("PERSON", Value::from("ada"));
+        let mut inst = Instance::new(id, "PERSON");
+        assert!(!inst.has_role("MANAGER"));
+        assert!(inst.active_roles().is_empty());
+        inst.roles.insert(
+            "MANAGER".into(),
+            RoleState {
+                attrs: [("OfficialCar".to_string(), Value::from("tesla"))].into(),
+                active: true,
+                trace: Trace::new(),
+            },
+        );
+        assert!(inst.has_role("MANAGER"));
+        assert_eq!(inst.active_roles(), vec!["MANAGER"]);
+        assert_eq!(
+            inst.role_attribute("MANAGER", "OfficialCar"),
+            Some(&Value::from("tesla"))
+        );
+        assert_eq!(inst.role_attribute("MANAGER", "nope"), None);
+        assert_eq!(inst.role_attribute("GHOST", "x"), None);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for temporal evaluation.
+
+use std::fmt;
+use troll_data::DataError;
+
+/// Error raised when evaluating temporal formulas over traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalError {
+    /// A data-level subterm failed to evaluate.
+    Data(DataError),
+    /// A state predicate did not evaluate to a boolean.
+    NonBooleanPredicate {
+        /// Rendering of the predicate term.
+        predicate: String,
+        /// Rendering of the non-boolean value obtained.
+        value: String,
+    },
+    /// A quantifier domain did not evaluate to a finite collection.
+    NonFiniteDomain(String),
+    /// The formula was evaluated at a position outside the trace.
+    PositionOutOfRange {
+        /// Requested position.
+        position: usize,
+        /// Trace length.
+        len: usize,
+    },
+    /// The incremental [`crate::Monitor`] was given a formula outside its
+    /// supported fragment (quantifier-free, past-only).
+    UnsupportedByMonitor(String),
+}
+
+impl fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalError::Data(e) => write!(f, "data error in temporal formula: {e}"),
+            TemporalError::NonBooleanPredicate { predicate, value } => {
+                write!(f, "state predicate `{predicate}` evaluated to non-boolean {value}")
+            }
+            TemporalError::NonFiniteDomain(d) => {
+                write!(f, "quantifier domain `{d}` is not a finite set or list")
+            }
+            TemporalError::PositionOutOfRange { position, len } => {
+                write!(f, "position {position} outside trace of length {len}")
+            }
+            TemporalError::UnsupportedByMonitor(what) => {
+                write!(f, "formula not in the monitorable fragment: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TemporalError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for TemporalError {
+    fn from(e: DataError) -> Self {
+        TemporalError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = TemporalError::Data(DataError::UnboundVariable("x".into()));
+        assert!(e.to_string().contains("unbound variable"));
+        assert!(e.source().is_some());
+        let e = TemporalError::PositionOutOfRange { position: 5, len: 2 };
+        assert_eq!(e.to_string(), "position 5 outside trace of length 2");
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,619 @@
+//! Reference evaluator: full-history semantics of the temporal logic.
+
+use crate::{EventPattern, Formula, Result, Step, TemporalError, Trace};
+use troll_data::{Env, Layered, Quantifier, Value};
+
+/// Evaluates `pattern` against the events of `step`, with pattern
+/// argument terms evaluated rigidly in `env`.
+fn matches_step(pattern: &EventPattern, step: &Step, env: &dyn Env) -> Result<bool> {
+    for occ in &step.events {
+        if occ.name != pattern.name {
+            continue;
+        }
+        if pattern.args.is_empty() {
+            return Ok(true);
+        }
+        if occ.args.len() != pattern.args.len() {
+            continue;
+        }
+        let mut all = true;
+        for (pat, actual) in pattern.args.iter().zip(&occ.args) {
+            match pat {
+                None => {}
+                Some(term) => {
+                    let expected = term.eval(env)?;
+                    if expected != *actual {
+                        all = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if all {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Evaluates a state predicate at a step: the step's attribute state
+/// shadows the ambient environment.
+fn eval_pred(term: &troll_data::Term, step: &Step, env: &dyn Env) -> Result<bool> {
+    let layered = Layered {
+        top: step,
+        base: env,
+    };
+    let v = term.eval(&layered)?;
+    v.as_bool().ok_or_else(|| TemporalError::NonBooleanPredicate {
+        predicate: term.to_string(),
+        value: v.to_string(),
+    })
+}
+
+/// A trace with an optional appended virtual step — lets callers
+/// evaluate "history + the state being built right now" without cloning
+/// the history (the runtime's permission checks do this on every event).
+#[derive(Clone, Copy)]
+struct TraceView<'a> {
+    base: &'a Trace,
+    extra: Option<&'a Step>,
+}
+
+impl<'a> TraceView<'a> {
+    fn len(&self) -> usize {
+        self.base.len() + usize::from(self.extra.is_some())
+    }
+
+    fn step(&self, pos: usize) -> Option<&'a Step> {
+        if pos < self.base.len() {
+            self.base.step(pos)
+        } else if pos == self.base.len() {
+            self.extra
+        } else {
+            None
+        }
+    }
+}
+
+/// Evaluates `formula` at position `pos` of `trace` under `env`.
+///
+/// Past operators look backward from `pos`; future operators
+/// (`eventually`, `henceforth`) look forward through the **recorded**
+/// remainder of the trace — meaningful for liveness checking of completed
+/// traces, as the paper's liveness requirements are "goals to be achieved
+/// by the object" over its whole life.
+///
+/// # Errors
+///
+/// * [`TemporalError::PositionOutOfRange`] if `pos >= trace.len()`.
+/// * Data and sort errors from predicate evaluation.
+pub fn eval_at(formula: &Formula, trace: &Trace, pos: usize, env: &dyn Env) -> Result<bool> {
+    eval_at_view(
+        formula,
+        TraceView {
+            base: trace,
+            extra: None,
+        },
+        pos,
+        env,
+    )
+}
+
+/// Evaluates the formula as of a **virtual final step** appended to the
+/// trace, without cloning the history: the runtime uses this to check
+/// permissions and constraints against the in-step threaded state.
+///
+/// # Errors
+///
+/// Data and sort errors from predicate evaluation.
+pub fn eval_now_appended(
+    formula: &Formula,
+    trace: &Trace,
+    appended: &Step,
+    env: &dyn Env,
+) -> Result<bool> {
+    let view = TraceView {
+        base: trace,
+        extra: Some(appended),
+    };
+    eval_at_view(formula, view, view.len() - 1, env)
+}
+
+fn eval_at_view(formula: &Formula, trace: TraceView<'_>, pos: usize, env: &dyn Env) -> Result<bool> {
+    let step = trace.step(pos).ok_or(TemporalError::PositionOutOfRange {
+        position: pos,
+        len: trace.len(),
+    })?;
+    match formula {
+        Formula::Pred(t) => eval_pred(t, step, env),
+        Formula::Occurs(p) | Formula::After(p) => matches_step(p, step, env),
+        Formula::Not(f) => Ok(!eval_at_view(f, trace, pos, env)?),
+        Formula::And(a, b) => {
+            Ok(eval_at_view(a, trace, pos, env)? && eval_at_view(b, trace, pos, env)?)
+        }
+        Formula::Or(a, b) => {
+            Ok(eval_at_view(a, trace, pos, env)? || eval_at_view(b, trace, pos, env)?)
+        }
+        Formula::Implies(a, b) => {
+            Ok(!eval_at_view(a, trace, pos, env)? || eval_at_view(b, trace, pos, env)?)
+        }
+        Formula::Sometime(f) => {
+            for j in (0..=pos).rev() {
+                if eval_at_view(f, trace, j, env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::AlwaysPast(f) => {
+            for j in 0..=pos {
+                if !eval_at_view(f, trace, j, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Previous(f) => {
+            if pos == 0 {
+                Ok(false)
+            } else {
+                eval_at_view(f, trace, pos - 1, env)
+            }
+        }
+        Formula::Since(a, b) => {
+            // exists j <= pos: b@j and forall k in (j, pos]: a@k
+            for j in (0..=pos).rev() {
+                if eval_at_view(b, trace, j, env)? {
+                    return Ok(true);
+                }
+                if !eval_at_view(a, trace, j, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Eventually(f) => {
+            for j in pos..trace.len() {
+                if eval_at_view(f, trace, j, env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Henceforth(f) => {
+            for j in pos..trace.len() {
+                if !eval_at_view(f, trace, j, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Quant {
+            q,
+            var,
+            domain,
+            body,
+        } => {
+            // Domain evaluated at the evaluation position (rigidly).
+            let layered = Layered {
+                top: step,
+                base: env,
+            };
+            let dom = domain.eval(&layered)?;
+            let elems: Vec<Value> = match dom {
+                Value::Set(s) => s.into_iter().collect(),
+                Value::List(l) => l,
+                other => return Err(TemporalError::NonFiniteDomain(other.to_string())),
+            };
+            for elem in elems {
+                let bound = OneBinding {
+                    name: var,
+                    value: elem,
+                    parent: env,
+                };
+                let holds = eval_at_view(body, trace, pos, &bound)?;
+                match (q, holds) {
+                    (Quantifier::Forall, false) => return Ok(false),
+                    (Quantifier::Exists, true) => return Ok(true),
+                    _ => {}
+                }
+            }
+            Ok(matches!(q, Quantifier::Forall))
+        }
+    }
+}
+
+/// Evaluates the formula at the latest position of the trace.
+///
+/// An **empty** trace (object not yet born) satisfies no `Occurs`/`After`
+/// and no `Sometime`; by convention `eval_now` returns `false` for any
+/// formula on an empty trace except those that are vacuously true, which
+/// we approximate by evaluating `AlwaysPast`, `Henceforth` and `Not`-free
+/// duals as `true`. To keep semantics simple and predictable, we instead
+/// define: on an empty trace, `eval_now` returns `Ok(false)` for
+/// `Pred`/`Occurs`/`After`/`Sometime`/`Since`/`Eventually`/`Previous`
+/// and `Ok(true)` for `AlwaysPast`/`Henceforth`, with connectives and
+/// quantifier-free structure evaluated compositionally (quantifier
+/// domains cannot be evaluated without a state and yield an error).
+///
+/// # Errors
+///
+/// Same conditions as [`eval_at`].
+pub fn eval_now(formula: &Formula, trace: &Trace, env: &dyn Env) -> Result<bool> {
+    if trace.is_empty() {
+        return eval_empty(formula, env);
+    }
+    eval_at(formula, trace, trace.len() - 1, env)
+}
+
+#[allow(clippy::only_used_in_recursion)] // env kept for future Pred handling on empty traces
+fn eval_empty(formula: &Formula, env: &dyn Env) -> Result<bool> {
+    match formula {
+        Formula::Pred(_)
+        | Formula::Occurs(_)
+        | Formula::After(_)
+        | Formula::Sometime(_)
+        | Formula::Since(_, _)
+        | Formula::Eventually(_)
+        | Formula::Previous(_) => Ok(false),
+        Formula::AlwaysPast(_) | Formula::Henceforth(_) => Ok(true),
+        Formula::Not(f) => Ok(!eval_empty(f, env)?),
+        Formula::And(a, b) => Ok(eval_empty(a, env)? && eval_empty(b, env)?),
+        Formula::Or(a, b) => Ok(eval_empty(a, env)? || eval_empty(b, env)?),
+        Formula::Implies(a, b) => Ok(!eval_empty(a, env)? || eval_empty(b, env)?),
+        Formula::Quant { .. } => Err(TemporalError::NonFiniteDomain(
+            "quantifier domain on empty trace".into(),
+        )),
+    }
+}
+
+/// Checks that the formula holds at **every** position of the trace —
+/// used for dynamic integrity constraints, which the paper requires to
+/// hold throughout the object's life.
+///
+/// # Errors
+///
+/// Same conditions as [`eval_at`]. An empty trace trivially satisfies.
+pub fn holds_throughout(formula: &Formula, trace: &Trace, env: &dyn Env) -> Result<bool> {
+    for pos in 0..trace.len() {
+        if !eval_at(formula, trace, pos, env)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+struct OneBinding<'a> {
+    name: &'a str,
+    value: Value,
+    parent: &'a dyn Env,
+}
+
+impl Env for OneBinding<'_> {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        if name == self.name {
+            Some(self.value.clone())
+        } else {
+            self.parent.lookup(name)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventOccurrence;
+    use troll_data::{MapEnv, Op, Term};
+
+    fn step(events: Vec<(&str, Vec<Value>)>, x: i64) -> Step {
+        Step::new(
+            events
+                .into_iter()
+                .map(|(n, a)| EventOccurrence::new(n, a))
+                .collect(),
+            [("x".to_string(), Value::from(x))],
+        )
+    }
+
+    /// birth; hire(ada); hire(bob); fire(ada)
+    fn dept_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(step(vec![("establishment", vec![])], 0));
+        t.push(step(vec![("hire", vec![Value::from("ada")])], 1));
+        t.push(step(vec![("hire", vec![Value::from("bob")])], 2));
+        t.push(step(vec![("fire", vec![Value::from("ada")])], 1));
+        t
+    }
+
+    #[test]
+    fn occurs_and_after_match_args_rigidly() {
+        let t = dept_trace();
+        let mut env = MapEnv::new();
+        env.bind("P", Value::from("ada"));
+        let hired_p = Formula::sometime(Formula::after(EventPattern::new(
+            "hire",
+            vec![Some(Term::var("P"))],
+        )));
+        assert!(eval_now(&hired_p, &t, &env).unwrap());
+        env.bind("P", Value::from("eve"));
+        assert!(!eval_now(&hired_p, &t, &env).unwrap());
+    }
+
+    #[test]
+    fn wildcard_pattern_matches_any_args() {
+        let t = dept_trace();
+        let env = MapEnv::new();
+        let any_hire = Formula::sometime(Formula::occurs(EventPattern::any("hire")));
+        assert!(eval_now(&any_hire, &t, &env).unwrap());
+        let none = Formula::sometime(Formula::occurs(EventPattern::any("closure")));
+        assert!(!eval_now(&none, &t, &env).unwrap());
+        // explicit wildcard slot
+        let one_arg_hire = Formula::sometime(Formula::occurs(EventPattern::new("hire", vec![None])));
+        assert!(eval_now(&one_arg_hire, &t, &env).unwrap());
+    }
+
+    #[test]
+    fn dept_fire_permission() {
+        // { sometime(after(hire(P))) } fire(P)
+        let perm = Formula::sometime(Formula::after(EventPattern::new(
+            "hire",
+            vec![Some(Term::var("P"))],
+        )));
+        let mut t = Trace::new();
+        t.push(step(vec![("establishment", vec![])], 0));
+        let mut env = MapEnv::new();
+        env.bind("P", Value::from("ada"));
+        // before hiring ada: not permitted
+        assert!(!eval_now(&perm, &t, &env).unwrap());
+        t.push(step(vec![("hire", vec![Value::from("ada")])], 1));
+        // after: permitted, and stays permitted later
+        assert!(eval_now(&perm, &t, &env).unwrap());
+        t.push(step(vec![("hire", vec![Value::from("bob")])], 2));
+        assert!(eval_now(&perm, &t, &env).unwrap());
+    }
+
+    #[test]
+    fn pred_sees_state_at_position() {
+        let t = dept_trace();
+        let env = MapEnv::new();
+        let x_is_2 = Formula::pred(Term::eq(Term::var("x"), Term::constant(2i64)));
+        // now x == 1
+        assert!(!eval_now(&x_is_2, &t, &env).unwrap());
+        // but sometime x == 2
+        assert!(eval_now(&Formula::sometime(x_is_2.clone()), &t, &env).unwrap());
+        // at position 2 exactly
+        assert!(eval_at(&x_is_2, &t, 2, &env).unwrap());
+    }
+
+    #[test]
+    fn previous_and_position_zero() {
+        let t = dept_trace();
+        let env = MapEnv::new();
+        let estab = Formula::occurs(EventPattern::any("establishment"));
+        assert!(eval_at(&Formula::previous(estab.clone()), &t, 1, &env).unwrap());
+        assert!(!eval_at(&Formula::previous(estab.clone()), &t, 0, &env).unwrap());
+        assert!(!eval_at(&Formula::previous(estab), &t, 3, &env).unwrap());
+    }
+
+    #[test]
+    fn since_semantics() {
+        // x >= 1 since establishment: true at every pos >= 1
+        let t = dept_trace();
+        let env = MapEnv::new();
+        let f = Formula::since(
+            Formula::pred(Term::apply(Op::Ge, vec![Term::var("x"), Term::constant(1i64)])),
+            Formula::occurs(EventPattern::any("establishment")),
+        );
+        assert!(eval_at(&f, &t, 0, &env).unwrap()); // b holds at 0
+        assert!(eval_at(&f, &t, 3, &env).unwrap());
+        // something that never happened
+        let g = Formula::since(Formula::truth(), Formula::occurs(EventPattern::any("nope")));
+        assert!(!eval_at(&g, &t, 3, &env).unwrap());
+        // a fails before b found
+        let h = Formula::since(
+            Formula::pred(Term::eq(Term::var("x"), Term::constant(99i64))),
+            Formula::occurs(EventPattern::any("establishment")),
+        );
+        assert!(!eval_at(&h, &t, 3, &env).unwrap());
+    }
+
+    #[test]
+    fn always_past() {
+        let t = dept_trace();
+        let env = MapEnv::new();
+        let nonneg = Formula::pred(Term::apply(
+            Op::Ge,
+            vec![Term::var("x"), Term::constant(0i64)],
+        ));
+        assert!(eval_now(&Formula::always_past(nonneg), &t, &env).unwrap());
+        let always_one = Formula::pred(Term::eq(Term::var("x"), Term::constant(1i64)));
+        assert!(!eval_now(&Formula::always_past(always_one), &t, &env).unwrap());
+    }
+
+    #[test]
+    fn liveness_eventually_on_completed_trace() {
+        let t = dept_trace();
+        let env = MapEnv::new();
+        // from position 0, eventually fire occurs
+        let f = Formula::eventually(Formula::occurs(EventPattern::any("fire")));
+        assert!(eval_at(&f, &t, 0, &env).unwrap());
+        // from the last position, no further hire occurs… but fire is at 3
+        let g = Formula::eventually(Formula::occurs(EventPattern::any("hire")));
+        assert!(!eval_at(&g, &t, 3, &env).unwrap());
+        // henceforth x <= 2 holds from 0
+        let h = Formula::henceforth(Formula::pred(Term::apply(
+            Op::Le,
+            vec![Term::var("x"), Term::constant(2i64)],
+        )));
+        assert!(eval_at(&h, &t, 0, &env).unwrap());
+    }
+
+    #[test]
+    fn closure_permission_quantified() {
+        // for all(P in hired_ever : sometime(after(hire(P))) => sometime(after(fire(P))))
+        // Domain comes from a state attribute `hired_ever`.
+        let body = Formula::implies(
+            Formula::sometime(Formula::after(EventPattern::new(
+                "hire",
+                vec![Some(Term::var("P"))],
+            ))),
+            Formula::sometime(Formula::after(EventPattern::new(
+                "fire",
+                vec![Some(Term::var("P"))],
+            ))),
+        );
+        let closure_ok = Formula::forall("P", Term::var("hired_ever"), body);
+
+        let mut t = Trace::new();
+        let hired = |names: Vec<&str>| {
+            (
+                "hired_ever".to_string(),
+                Value::set_of(names.into_iter().map(Value::from)),
+            )
+        };
+        t.push(Step::new(
+            vec![EventOccurrence::new("establishment", vec![])],
+            [hired(vec![])],
+        ));
+        t.push(Step::new(
+            vec![EventOccurrence::new("hire", vec![Value::from("ada")])],
+            [hired(vec!["ada"])],
+        ));
+        let env = MapEnv::new();
+        // ada hired but not fired: closure not permitted
+        assert!(!eval_now(&closure_ok, &t, &env).unwrap());
+        t.push(Step::new(
+            vec![EventOccurrence::new("fire", vec![Value::from("ada")])],
+            [hired(vec!["ada"])],
+        ));
+        assert!(eval_now(&closure_ok, &t, &env).unwrap());
+    }
+
+    #[test]
+    fn exists_quantifier() {
+        let t = dept_trace();
+        let mut env = MapEnv::new();
+        env.bind(
+            "people",
+            Value::set_of(vec![Value::from("ada"), Value::from("eve")]),
+        );
+        let f = Formula::exists(
+            "P",
+            Term::var("people"),
+            Formula::sometime(Formula::occurs(EventPattern::new(
+                "fire",
+                vec![Some(Term::var("P"))],
+            ))),
+        );
+        assert!(eval_now(&f, &t, &env).unwrap());
+        env.bind("people", Value::set_of(vec![Value::from("eve")]));
+        assert!(!eval_now(&f, &t, &env).unwrap());
+        env.bind("people", Value::empty_set());
+        assert!(!eval_now(&f, &t, &env).unwrap());
+    }
+
+    #[test]
+    fn empty_trace_conventions() {
+        let t = Trace::new();
+        let env = MapEnv::new();
+        assert!(!eval_now(
+            &Formula::sometime(Formula::occurs(EventPattern::any("e"))),
+            &t,
+            &env
+        )
+        .unwrap());
+        assert!(eval_now(&Formula::always_past(Formula::truth()), &t, &env).unwrap());
+        assert!(eval_now(
+            &Formula::not(Formula::occurs(EventPattern::any("e"))),
+            &t,
+            &env
+        )
+        .unwrap());
+        assert!(holds_throughout(&Formula::pred(Term::var("nope")), &t, &env).unwrap());
+    }
+
+    #[test]
+    fn position_out_of_range() {
+        let t = dept_trace();
+        let env = MapEnv::new();
+        let e = eval_at(&Formula::truth(), &t, 99, &env).unwrap_err();
+        assert!(matches!(e, TemporalError::PositionOutOfRange { .. }));
+    }
+
+    #[test]
+    fn non_boolean_predicate_rejected() {
+        let t = dept_trace();
+        let env = MapEnv::new();
+        let e = eval_now(&Formula::pred(Term::var("x")), &t, &env).unwrap_err();
+        assert!(matches!(e, TemporalError::NonBooleanPredicate { .. }));
+    }
+
+    #[test]
+    fn appended_virtual_step_equals_clone_and_push() {
+        // eval_now_appended(f, t, s) ≡ eval_now(f, t + [s]) for a range
+        // of formulas — the zero-copy path must be indistinguishable.
+        let t = dept_trace();
+        let env = MapEnv::new();
+        let virtual_step = step(vec![("hire", vec![Value::from("zoe")])], 7);
+        let formulas = vec![
+            Formula::sometime(Formula::occurs(EventPattern::any("hire"))),
+            Formula::occurs(EventPattern::any("hire")),
+            Formula::pred(Term::eq(Term::var("x"), Term::constant(7i64))),
+            Formula::previous(Formula::occurs(EventPattern::any("fire"))),
+            Formula::always_past(Formula::pred(Term::apply(
+                Op::Ge,
+                vec![Term::var("x"), Term::constant(0i64)],
+            ))),
+            Formula::since(
+                Formula::truth(),
+                Formula::occurs(EventPattern::any("establishment")),
+            ),
+        ];
+        let mut cloned = t.clone();
+        cloned.push(virtual_step.clone());
+        for f in formulas {
+            assert_eq!(
+                eval_now_appended(&f, &t, &virtual_step, &env).unwrap(),
+                eval_now(&f, &cloned, &env).unwrap(),
+                "disagreement on {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn appended_step_on_empty_trace() {
+        let t = Trace::new();
+        let env = MapEnv::new();
+        let s = step(vec![("birth_ev", vec![])], 0);
+        assert!(eval_now_appended(
+            &Formula::occurs(EventPattern::any("birth_ev")),
+            &t,
+            &s,
+            &env
+        )
+        .unwrap());
+        assert!(!eval_now_appended(
+            &Formula::previous(Formula::truth()),
+            &t,
+            &s,
+            &env
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn holds_throughout_dynamic_constraint() {
+        let t = dept_trace();
+        let env = MapEnv::new();
+        let inv = Formula::pred(Term::apply(
+            Op::Ge,
+            vec![Term::var("x"), Term::constant(0i64)],
+        ));
+        assert!(holds_throughout(&inv, &t, &env).unwrap());
+        let bad = Formula::pred(Term::apply(
+            Op::Ge,
+            vec![Term::var("x"), Term::constant(1i64)],
+        ));
+        assert!(!holds_throughout(&bad, &t, &env).unwrap()); // fails at birth
+    }
+}

@@ -1,0 +1,363 @@
+//! Incremental evaluation of past-time formulas.
+//!
+//! The reference evaluator ([`crate::eval_at`]) re-scans the history on
+//! every query, costing O(|trace|·|φ|). For permission checking this is
+//! paid on **every event**, so the runtime prefers this monitor: the
+//! classic past-LTL dynamic programming scheme keeps one boolean per
+//! subformula and updates all of them in O(|φ|) per step.
+//!
+//! The monitorable fragment is *quantifier-free, past-only* formulas with
+//! **rigid** pattern arguments (the argument terms must evaluate to the
+//! same values at every step — e.g. permission parameters). Formulas
+//! outside the fragment are rejected at construction; callers fall back
+//! to the reference evaluator. DESIGN.md decision 2 benchmarks the two
+//! against each other (`bench_permission_check`).
+
+use crate::eval::{eval_at, eval_now};
+use crate::{EventPattern, Formula, Result, Step, TemporalError, Trace};
+use troll_data::{Env, Layered, Term};
+
+/// Flattened subformula node; children are indices into the node array
+/// (children always precede parents, enabling a single bottom-up pass).
+#[derive(Debug, Clone)]
+enum Node {
+    Pred(Term),
+    Occurs(EventPattern),
+    Not(usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Implies(usize, usize),
+    Sometime(usize),
+    AlwaysPast(usize),
+    Previous(usize),
+    Since(usize, usize),
+}
+
+/// Incremental evaluator for quantifier-free past-time formulas.
+///
+/// # Example
+///
+/// ```
+/// use troll_data::{MapEnv, Term, Value};
+/// use troll_temporal::{Monitor, Formula, EventPattern, Step};
+///
+/// let phi = Formula::sometime(Formula::occurs(EventPattern::any("hire")));
+/// let mut m = Monitor::new(&phi)?;
+/// let env = MapEnv::new();
+/// let quiet = Step::new(vec![], []);
+/// let hire = Step::new(vec![("hire", vec![]).into()], []);
+/// assert!(!m.step(&quiet, &env)?);
+/// assert!(m.step(&hire, &env)?);
+/// assert!(m.step(&quiet, &env)?); // sometime is sticky
+/// # Ok::<(), troll_temporal::TemporalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    nodes: Vec<Node>,
+    /// Values of each subformula at the previous step.
+    prev: Vec<bool>,
+    /// Number of steps consumed.
+    steps: usize,
+}
+
+impl Monitor {
+    /// Compiles a formula into a monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemporalError::UnsupportedByMonitor`] if the formula
+    /// contains quantifiers or future operators.
+    pub fn new(formula: &Formula) -> Result<Self> {
+        let mut nodes = Vec::new();
+        flatten(formula, &mut nodes)?;
+        let prev = vec![false; nodes.len()];
+        Ok(Monitor {
+            nodes,
+            prev,
+            steps: 0,
+        })
+    }
+
+    /// Number of steps consumed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Feeds the next step of the history; returns the formula's truth
+    /// value at that step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate-evaluation errors.
+    pub fn step(&mut self, step: &Step, env: &dyn Env) -> Result<bool> {
+        let first = self.steps == 0;
+        let mut cur = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            cur[i] = match node {
+                Node::Pred(t) => {
+                    let layered = Layered {
+                        top: step,
+                        base: env,
+                    };
+                    let v = t.eval(&layered)?;
+                    v.as_bool().ok_or_else(|| TemporalError::NonBooleanPredicate {
+                        predicate: t.to_string(),
+                        value: v.to_string(),
+                    })?
+                }
+                Node::Occurs(p) => pattern_matches(p, step, env)?,
+                Node::Not(a) => !cur[*a],
+                Node::And(a, b) => cur[*a] && cur[*b],
+                Node::Or(a, b) => cur[*a] || cur[*b],
+                Node::Implies(a, b) => !cur[*a] || cur[*b],
+                Node::Sometime(a) => cur[*a] || (!first && self.prev[i]),
+                Node::AlwaysPast(a) => cur[*a] && (first || self.prev[i]),
+                Node::Previous(a) => !first && self.prev[*a],
+                Node::Since(a, b) => cur[*b] || (cur[*a] && !first && self.prev[i]),
+            };
+        }
+        self.prev = cur;
+        self.steps += 1;
+        Ok(*self.prev.last().expect("monitor has at least one node"))
+    }
+
+    /// Current truth value (of the last consumed step); `false` before
+    /// the first step, mirroring [`crate::eval_now`] on empty traces for
+    /// the positive fragment.
+    pub fn current(&self) -> bool {
+        self.steps > 0 && *self.prev.last().expect("monitor has at least one node")
+    }
+
+    /// Replays an entire trace through a fresh copy of this monitor and
+    /// returns the final value — a convenience for equivalence tests
+    /// against the reference evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate-evaluation errors.
+    pub fn run(&self, trace: &Trace, env: &dyn Env) -> Result<bool> {
+        let mut m = Monitor {
+            nodes: self.nodes.clone(),
+            prev: vec![false; self.nodes.len()],
+            steps: 0,
+        };
+        let mut last = false;
+        for step in trace {
+            last = m.step(step, env)?;
+        }
+        Ok(last)
+    }
+}
+
+fn pattern_matches(pattern: &EventPattern, step: &Step, env: &dyn Env) -> Result<bool> {
+    for occ in &step.events {
+        if occ.name != pattern.name {
+            continue;
+        }
+        if pattern.args.is_empty() {
+            return Ok(true);
+        }
+        if occ.args.len() != pattern.args.len() {
+            continue;
+        }
+        let mut all = true;
+        for (pat, actual) in pattern.args.iter().zip(&occ.args) {
+            if let Some(term) = pat {
+                if term.eval(env)? != *actual {
+                    all = false;
+                    break;
+                }
+            }
+        }
+        if all {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Flattens `formula` into `nodes` (postorder) and returns the root index.
+fn flatten(formula: &Formula, nodes: &mut Vec<Node>) -> Result<usize> {
+    let node = match formula {
+        Formula::Pred(t) => Node::Pred(t.clone()),
+        Formula::Occurs(p) | Formula::After(p) => Node::Occurs(p.clone()),
+        Formula::Not(f) => Node::Not(flatten(f, nodes)?),
+        Formula::And(a, b) => {
+            let (a, b) = (flatten(a, nodes)?, flatten(b, nodes)?);
+            Node::And(a, b)
+        }
+        Formula::Or(a, b) => {
+            let (a, b) = (flatten(a, nodes)?, flatten(b, nodes)?);
+            Node::Or(a, b)
+        }
+        Formula::Implies(a, b) => {
+            let (a, b) = (flatten(a, nodes)?, flatten(b, nodes)?);
+            Node::Implies(a, b)
+        }
+        Formula::Sometime(f) => Node::Sometime(flatten(f, nodes)?),
+        Formula::AlwaysPast(f) => Node::AlwaysPast(flatten(f, nodes)?),
+        Formula::Previous(f) => Node::Previous(flatten(f, nodes)?),
+        Formula::Since(a, b) => {
+            let (a, b) = (flatten(a, nodes)?, flatten(b, nodes)?);
+            Node::Since(a, b)
+        }
+        Formula::Eventually(_) | Formula::Henceforth(_) => {
+            return Err(TemporalError::UnsupportedByMonitor(
+                "future operator".into(),
+            ))
+        }
+        Formula::Quant { .. } => {
+            return Err(TemporalError::UnsupportedByMonitor("quantifier".into()))
+        }
+    };
+    nodes.push(node);
+    Ok(nodes.len() - 1)
+}
+
+/// Checks monitor/evaluator agreement on a trace (test helper, exposed
+/// for the property-test suites of downstream crates).
+///
+/// # Errors
+///
+/// Propagates errors from either evaluator.
+pub fn agree_on_trace(formula: &Formula, trace: &Trace, env: &dyn Env) -> Result<bool> {
+    let monitor = Monitor::new(formula)?;
+    let m = monitor.run(trace, env)?;
+    let e = if trace.is_empty() {
+        eval_now(formula, trace, env)?
+    } else {
+        eval_at(formula, trace, trace.len() - 1, env)?
+    };
+    Ok(m == e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventOccurrence;
+    use proptest::prelude::*;
+    use troll_data::{MapEnv, Op, Value};
+
+    fn mkstep(events: Vec<&str>, x: i64) -> Step {
+        Step::new(
+            events
+                .into_iter()
+                .map(|n| EventOccurrence::new(n, vec![]))
+                .collect(),
+            [("x".to_string(), Value::from(x))],
+        )
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(Monitor::new(&Formula::eventually(Formula::truth())).is_err());
+        assert!(Monitor::new(&Formula::forall(
+            "P",
+            Term::var("d"),
+            Formula::truth()
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn sometime_is_sticky() {
+        let phi = Formula::sometime(Formula::occurs(EventPattern::any("e")));
+        let mut m = Monitor::new(&phi).unwrap();
+        let env = MapEnv::new();
+        assert!(!m.current());
+        assert!(!m.step(&mkstep(vec![], 0), &env).unwrap());
+        assert!(m.step(&mkstep(vec!["e"], 0), &env).unwrap());
+        assert!(m.step(&mkstep(vec![], 0), &env).unwrap());
+        assert!(m.current());
+        assert_eq!(m.steps(), 3);
+    }
+
+    #[test]
+    fn previous_lags_one_step() {
+        let phi = Formula::previous(Formula::occurs(EventPattern::any("e")));
+        let mut m = Monitor::new(&phi).unwrap();
+        let env = MapEnv::new();
+        assert!(!m.step(&mkstep(vec!["e"], 0), &env).unwrap());
+        assert!(m.step(&mkstep(vec![], 0), &env).unwrap());
+        assert!(!m.step(&mkstep(vec![], 0), &env).unwrap());
+    }
+
+    #[test]
+    fn since_operator() {
+        // x >= 1 since e
+        let phi = Formula::since(
+            Formula::pred(Term::apply(Op::Ge, vec![Term::var("x"), Term::constant(1i64)])),
+            Formula::occurs(EventPattern::any("e")),
+        );
+        let mut m = Monitor::new(&phi).unwrap();
+        let env = MapEnv::new();
+        assert!(!m.step(&mkstep(vec![], 5), &env).unwrap()); // no e yet
+        assert!(m.step(&mkstep(vec!["e"], 5), &env).unwrap());
+        assert!(m.step(&mkstep(vec![], 2), &env).unwrap()); // x stays >= 1
+        assert!(!m.step(&mkstep(vec![], 0), &env).unwrap()); // x drops below
+        assert!(!m.step(&mkstep(vec![], 5), &env).unwrap()); // does not recover
+        assert!(m.step(&mkstep(vec!["e"], 0), &env).unwrap()); // fresh e
+    }
+
+    fn arb_formula() -> impl Strategy<Value = Formula> {
+        let leaf = prop_oneof![
+            Just(Formula::occurs(EventPattern::any("a"))),
+            Just(Formula::occurs(EventPattern::any("b"))),
+            Just(Formula::pred(Term::apply(
+                Op::Ge,
+                vec![Term::var("x"), Term::constant(1i64)]
+            ))),
+            Just(Formula::truth()),
+        ];
+        leaf.prop_recursive(4, 24, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(Formula::not),
+                inner.clone().prop_map(Formula::sometime),
+                inner.clone().prop_map(Formula::always_past),
+                inner.clone().prop_map(Formula::previous),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+                (inner.clone(), inner).prop_map(|(a, b)| Formula::since(a, b)),
+            ]
+        })
+    }
+
+    fn arb_trace() -> impl Strategy<Value = Trace> {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(prop_oneof![Just("a"), Just("b")], 0..3),
+                0i64..3,
+            ),
+            1..12,
+        )
+        .prop_map(|steps| {
+            steps
+                .into_iter()
+                .map(|(events, x)| mkstep(events, x))
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// The monitor and the reference evaluator agree on every
+        /// formula of the monitorable fragment and every trace.
+        #[test]
+        fn monitor_agrees_with_reference(f in arb_formula(), t in arb_trace()) {
+            let env = MapEnv::new();
+            prop_assert!(agree_on_trace(&f, &t, &env).unwrap());
+        }
+
+        /// Agreement holds at every prefix, not just the end.
+        #[test]
+        fn monitor_agrees_on_all_prefixes(f in arb_formula(), t in arb_trace()) {
+            let env = MapEnv::new();
+            let mut m = Monitor::new(&f).unwrap();
+            for (pos, step) in t.iter().enumerate() {
+                let mv = m.step(step, &env).unwrap();
+                let ev = eval_at(&f, &t, pos, &env).unwrap();
+                prop_assert_eq!(mv, ev, "disagreement at position {}", pos);
+            }
+        }
+    }
+}

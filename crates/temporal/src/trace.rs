@@ -1,0 +1,202 @@
+//! Object histories: traces of steps.
+
+use std::collections::BTreeMap;
+use troll_data::{Env, Value};
+
+/// A single event occurrence: event name plus actual argument values.
+///
+/// Paper §3: "The class items are actions like inserting and deleting
+/// members"; §4 valuation rules are indexed by event terms such as
+/// `hire(P)`. An occurrence records the *actual* parameters the event was
+/// invoked with.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EventOccurrence {
+    /// Event name (e.g. `"hire"`).
+    pub name: String,
+    /// Actual argument values.
+    pub args: Vec<Value>,
+}
+
+impl EventOccurrence {
+    /// Creates an occurrence.
+    pub fn new(name: impl Into<String>, args: Vec<Value>) -> Self {
+        EventOccurrence {
+            name: name.into(),
+            args,
+        }
+    }
+}
+
+impl From<(&str, Vec<Value>)> for EventOccurrence {
+    fn from((name, args): (&str, Vec<Value>)) -> Self {
+        EventOccurrence::new(name, args)
+    }
+}
+
+impl std::fmt::Display for EventOccurrence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One step of an object's life: the set of events that occurred
+/// simultaneously (event sharing / calling makes several events occur in
+/// one step) and the attribute state observed *after* the step.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Step {
+    /// Events that occurred at this step.
+    pub events: Vec<EventOccurrence>,
+    /// Attribute observations after the step.
+    pub state: BTreeMap<String, Value>,
+}
+
+impl Step {
+    /// Creates a step from events and post-state bindings.
+    pub fn new(
+        events: Vec<EventOccurrence>,
+        state: impl IntoIterator<Item = (String, Value)>,
+    ) -> Self {
+        Step {
+            events,
+            state: state.into_iter().collect(),
+        }
+    }
+
+    /// Whether an event with the given name occurred at this step.
+    pub fn has_event(&self, name: &str) -> bool {
+        self.events.iter().any(|e| e.name == name)
+    }
+}
+
+impl Env for Step {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.state.get(name).cloned()
+    }
+}
+
+/// A finite object history — the sequence of steps from birth onward.
+///
+/// Conceptually this is a (finite prefix of a) *life cycle* of the
+/// template-as-process; position 0 is the birth step.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Trace {
+    steps: Vec<Step>,
+}
+
+impl Trace {
+    /// Creates an empty trace (object not yet born).
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: Step) {
+        self.steps.push(step);
+    }
+
+    /// Number of steps so far.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace is empty (no birth yet).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The step at `pos`, if any.
+    pub fn step(&self, pos: usize) -> Option<&Step> {
+        self.steps.get(pos)
+    }
+
+    /// The most recent step, if any.
+    pub fn last(&self) -> Option<&Step> {
+        self.steps.last()
+    }
+
+    /// Iterates over the steps in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Step> {
+        self.steps.iter()
+    }
+
+    /// The current attribute state (of the last step); empty before birth.
+    pub fn current_state(&self) -> BTreeMap<String, Value> {
+        self.last().map(|s| s.state.clone()).unwrap_or_default()
+    }
+}
+
+impl FromIterator<Step> for Trace {
+    fn from_iter<I: IntoIterator<Item = Step>>(iter: I) -> Self {
+        Trace {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Step;
+    type IntoIter = std::slice::Iter<'a, Step>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.steps.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_accumulates_steps() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(Step::new(
+            vec![EventOccurrence::new("birth", vec![])],
+            [("x".to_string(), Value::from(1))],
+        ));
+        t.push(Step::new(
+            vec![EventOccurrence::new("bump", vec![])],
+            [("x".to_string(), Value::from(2))],
+        ));
+        assert_eq!(t.len(), 2);
+        assert!(t.step(0).unwrap().has_event("birth"));
+        assert!(!t.step(0).unwrap().has_event("bump"));
+        assert_eq!(t.current_state().get("x"), Some(&Value::from(2)));
+        assert!(t.step(7).is_none());
+    }
+
+    #[test]
+    fn step_is_an_env() {
+        let s = Step::new(vec![], [("a".to_string(), Value::from(3))]);
+        assert_eq!(s.lookup("a"), Some(Value::from(3)));
+        assert_eq!(s.lookup("b"), None);
+    }
+
+    #[test]
+    fn occurrence_display() {
+        let e = EventOccurrence::new("hire", vec![Value::from("ada")]);
+        assert_eq!(e.to_string(), "hire(\"ada\")");
+        let e = EventOccurrence::new("closure", vec![]);
+        assert_eq!(e.to_string(), "closure()");
+    }
+
+    #[test]
+    fn trace_from_iterator() {
+        let t: Trace = (0..3)
+            .map(|i| Step::new(vec![], [("n".to_string(), Value::from(i))]))
+            .collect();
+        assert_eq!(t.len(), 3);
+        let collected: Vec<_> = (&t).into_iter().collect();
+        assert_eq!(collected.len(), 3);
+    }
+}

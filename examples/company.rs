@@ -1,0 +1,95 @@
+//! The company information system of §4: persons with the MANAGER
+//! phase, departments, the complex object `TheCompany`, and the global
+//! interaction `DEPT(D).new_manager(P) >> PERSON(P).become_manager`.
+//!
+//! Run with `cargo run --example company`.
+
+use troll::data::{Date, Money, Value};
+use troll::System;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = System::load_str(troll::specs::COMPANY)?;
+    let mut ob = system.object_base()?;
+
+    // --- populate ----------------------------------------------------
+    let bday = Value::Date(Date::new(1960, 3, 14)?);
+    let mut people = Vec::new();
+    for (name, salary) in [("ada", 7_000), ("bob", 3_000), ("eve", 5_500)] {
+        let id = ob.birth(
+            "PERSON",
+            vec![Value::from(name), bday.clone()],
+            "create",
+            vec![
+                Value::Money(Money::from_major(salary)),
+                Value::from("Research"),
+            ],
+        )?;
+        people.push(id);
+    }
+    let [ada, bob, _eve] = &people[..] else {
+        unreachable!()
+    };
+
+    let toys = ob.birth(
+        "DEPT",
+        vec![Value::from("Toys")],
+        "establishment",
+        vec![Value::Date(Date::new(1991, 10, 16)?)],
+    )?;
+
+    // TheCompany is a singleton complex object, alive from the start.
+    let company = ob.singleton("TheCompany").expect("declared singleton");
+    ob.execute(&company, "found_dept", vec![Value::Id(toys.clone())])?;
+    println!(
+        "TheCompany.depts = {}",
+        ob.attribute(&company, "depts")?
+    );
+
+    // --- global interaction + phase ------------------------------------
+    // Appointing ada calls become_manager on her person object, which in
+    // turn enters the MANAGER phase (birth PERSON.become_manager).
+    let report = ob.execute(&toys, "new_manager", vec![Value::Id(ada.clone())])?;
+    println!("appointment step executed {} synchronous events:", report.occurrences.len());
+    for occ in &report.occurrences {
+        println!("  {occ}");
+    }
+    assert!(ob.instance(ada).unwrap().has_role("MANAGER"));
+    println!(
+        "ada's official car: {}",
+        ob.role_attribute(ada, "MANAGER", "OfficialCar")?
+    );
+    ob.execute(ada, "assign_official_car", vec![Value::from("company tesla")])?;
+    println!(
+        "after assignment:   {}",
+        ob.role_attribute(ada, "MANAGER", "OfficialCar")?
+    );
+
+    // --- role constraints ----------------------------------------------
+    // bob earns 3000 < 5000: the MANAGER constraint refuses the phase.
+    match ob.execute(&toys, "new_manager", vec![Value::Id(bob.clone())]) {
+        Err(e) => println!("bob cannot be appointed: {e}"),
+        Ok(_) => unreachable!("constraint must refuse"),
+    }
+    // The whole synchronous step rolled back: the department still has
+    // ada as manager.
+    assert_eq!(ob.attribute(&toys, "manager")?, Value::Id(ada.clone()));
+
+    // While managing, ada's salary cannot drop below the bound…
+    assert!(ob
+        .execute(ada, "ChangeSalary", vec![Value::Money(Money::from_major(100))])
+        .is_err());
+    // …until she steps down.
+    ob.execute(ada, "step_down", vec![])?;
+    ob.execute(ada, "ChangeSalary", vec![Value::Money(Money::from_major(100))])?;
+    println!("after stepping down, ada's salary: {}", ob.attribute(ada, "Salary")?);
+
+    // --- class objects ---------------------------------------------------
+    println!(
+        "populations: {} persons, {} managers, {} departments",
+        ob.class_card("PERSON"),
+        ob.class_card("MANAGER"),
+        ob.class_card("DEPT"),
+    );
+    assert_eq!(ob.class_card("MANAGER"), 0);
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! A full session with the library system — an original TROLL domain
+//! exercising everything at once: cross-object event calling, temporal
+//! permissions, constraints, a phase, obligations, and views (including
+//! the borrowers join view) behind module export schemata.
+//!
+//! Run with `cargo run --example library`.
+
+use troll::data::{Money, ObjectId, Value};
+use troll::System;
+
+fn book(isbn: &str) -> ObjectId {
+    ObjectId::new("BOOK", vec![Value::from(isbn)])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = System::load_str(troll::specs::LIBRARY)?;
+    let mut ob = system.object_base()?;
+
+    // --- stock the shelves ------------------------------------------------
+    for (isbn, title, copies) in [
+        ("0-13-629155-4", "Object-Oriented Specification", 2),
+        ("3-540-51635-X", "Temporal Logic of Programs", 1),
+        ("0-201-53771-0", "Database Systems", 3),
+    ] {
+        ob.birth(
+            "BOOK",
+            vec![Value::from(isbn)],
+            "acquire",
+            vec![Value::from(title), Value::from(copies)],
+        )?;
+    }
+
+    let ada = ob.birth(
+        "MEMBER",
+        vec![Value::from("m1")],
+        "join_library",
+        vec![Value::from("ada")],
+    )?;
+
+    // --- borrowing calls the book object synchronously ----------------------
+    let spec_book = book("0-13-629155-4");
+    let report = ob.execute(&ada, "borrow", vec![Value::Id(spec_book.clone())])?;
+    println!("borrow step: {} synchronous events", report.occurrences.len());
+    assert!(report.occurred("lend"));
+    assert_eq!(ob.attribute(&spec_book, "available")?, Value::from(1));
+
+    // --- permissions: the three-book limit ------------------------------------
+    ob.execute(&ada, "borrow", vec![Value::Id(book("3-540-51635-X"))])?;
+    ob.execute(&ada, "borrow", vec![Value::Id(book("0-201-53771-0"))])?;
+    match ob.execute(&ada, "borrow", vec![Value::Id(book("0-201-53771-0"))]) {
+        Err(e) => println!("fourth borrow refused: {e}"),
+        Ok(_) => unreachable!("limit is three"),
+    }
+
+    // --- fines block borrowing until paid ----------------------------------------
+    ob.execute(&ada, "bring_back", vec![Value::Id(book("0-201-53771-0"))])?;
+    ob.execute(&ada, "incur_fine", vec![Value::Money(Money::from_cents(250))])?;
+    assert!(ob
+        .execute(&ada, "borrow", vec![Value::Id(book("0-201-53771-0"))])
+        .is_err());
+    ob.execute(&ada, "pay_fine", vec![Value::Money(Money::from_cents(250))])?;
+    ob.execute(&ada, "borrow", vec![Value::Id(book("0-201-53771-0"))])?;
+    println!("fines settled; ada borrows again");
+
+    // --- the librarian phase ---------------------------------------------------
+    ob.execute(&ada, "promote_to_staff", vec![])?;
+    assert!(ob.instance(&ada).unwrap().has_role("LIBRARIAN"));
+    ob.execute(&ada, "assign_desk", vec![Value::from("reference")])?;
+    println!(
+        "ada staffs the {} desk",
+        ob.role_attribute(&ada, "LIBRARIAN", "desk")?
+    );
+
+    // --- views through the module's export schemata --------------------------------
+    let modules = system.modules();
+    let library = modules.module("LIBRARY").expect("declared");
+    {
+        let public = library.open("PUBLIC", &mut ob)?;
+        let catalog = public.view("CATALOG")?;
+        println!("public catalog ({} rows):", catalog.len());
+        for row in &catalog.rows {
+            println!(
+                "  {} — on shelf: {}",
+                row.attribute("title").unwrap(),
+                row.attribute("on_shelf").unwrap()
+            );
+        }
+        // the borrowers register is staff-only
+        assert!(public.view("BORROWERS").is_err());
+    }
+    {
+        let desk = library.open("DESK", &mut ob)?;
+        let borrowers = desk.view("BORROWERS")?;
+        println!("desk: {} outstanding loans", borrowers.len());
+        assert_eq!(borrowers.len(), 3);
+    }
+
+    // --- obligations discharged at end of life --------------------------------------
+    // mid-life, the leave_library obligation is still open
+    let open_obligations = ob.check_obligations(&ada)?;
+    assert!(
+        open_obligations.iter().any(|(_, discharged)| !discharged),
+        "leaving is still owed"
+    );
+    // ada cannot leave with books outstanding (permission) …
+    assert!(ob.execute(&ada, "leave_library", vec![]).is_err());
+    for isbn in ["0-13-629155-4", "3-540-51635-X", "0-201-53771-0"] {
+        ob.execute(&ada, "bring_back", vec![Value::Id(book(isbn))])?;
+    }
+    ob.execute(&ada, "leave_library", vec![])?;
+    // … and her obligation (eventually everything returned) is discharged
+    let obligations = ob.check_obligations(&ada)?;
+    for (formula, discharged) in &obligations {
+        println!("obligation {formula}: discharged = {discharged}");
+    }
+    assert!(ob.obligations_discharged(&ada)?);
+    Ok(())
+}

@@ -1,0 +1,139 @@
+//! The semantic framework of §3, end to end: Examples 3.1–3.9 of the
+//! paper built with the kernel API — templates, aspects, inheritance and
+//! interaction morphisms, the inheritance schema, and the community
+//! construction steps (aggregation and synchronization by sharing) —
+//! then the sharing diagram executed at the process level.
+//!
+//! Run with `cargo run --example object_community`.
+
+use troll::data::{ObjectId, Value};
+use troll::kernel::{Aspect, Community, InheritanceSchema, Template, TemplateMorphism};
+use troll::process::{compose::sync_product_all, Lts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Example 3.2: the inheritance schema -----------------------------
+    //            thing
+    //           /     \
+    //     el_device  calculator
+    //           \     /
+    //           computer
+    //          /   |    \
+    //  personal_c workstation mainframe
+    let mut schema = InheritanceSchema::new();
+    schema.add_template(Template::named("thing"))?;
+    schema.add_specialization(
+        Template::named("el_device"),
+        TemplateMorphism::identity_on("d2t", "el_device", "thing"),
+    )?;
+    schema.add_specialization(
+        Template::named("calculator"),
+        TemplateMorphism::identity_on("c2t", "calculator", "thing"),
+    )?;
+    // Example 3.5: multiple inheritance
+    schema.add_multiple_specialization(
+        Template::named("computer"),
+        vec![
+            TemplateMorphism::identity_on("h", "computer", "el_device"),
+            TemplateMorphism::identity_on("h2", "computer", "calculator"),
+        ],
+    )?;
+    for leaf in ["personal_c", "workstation", "mainframe"] {
+        schema.add_specialization(
+            Template::named(leaf),
+            TemplateMorphism::identity_on(format!("{leaf}2c"), leaf, "computer"),
+        )?;
+    }
+    // part templates for the community
+    for part in ["powsply", "cpu", "cable"] {
+        schema.add_template(Template::named(part))?;
+    }
+    println!(
+        "inheritance schema: {} templates; workstation IS-A thing: {}",
+        schema.len(),
+        schema.is_a("workstation", "thing")
+    );
+
+    // abstraction grows the schema upward (§3): computers turn out to be
+    // sensitive company property
+    schema.add_abstraction(
+        Template::named("sensitive"),
+        TemplateMorphism::identity_on("sens", "computer", "sensitive"),
+    )?;
+    assert!(schema.is_a("mainframe", "sensitive"));
+
+    // --- Example 3.1: aspects and their morphisms ----------------------------
+    let mut community = Community::new(schema);
+    let sun = ObjectId::new("computer", vec![Value::from("SUN")]);
+    community.add_object(sun.clone(), "computer")?;
+    // Δ-closure created every derived aspect of the same identity:
+    println!("aspects of SUN:");
+    for aspect in community.aspects_of(&sun) {
+        println!("  {aspect}");
+    }
+    assert!(community.contains(&Aspect::new(sun.clone(), "el_device")));
+    assert!(community.contains(&Aspect::new(sun.clone(), "sensitive")));
+    // all relating morphisms are inheritance morphisms (same identity)
+    for m in community.inheritance_morphisms(&sun) {
+        assert!(m.is_inheritance());
+        println!("  {m}");
+    }
+
+    // --- Example 3.9: aggregation ------------------------------------------
+    let pxx = community.add_object(ObjectId::new("powsply", vec![Value::from("PXX")]), "powsply")?;
+    let cyy = community.add_object(ObjectId::new("cpu", vec![Value::from("CYY")]), "cpu")?;
+    let sun2 = community.aggregate(
+        ObjectId::new("computer", vec![Value::from("SUN-2")]),
+        "computer",
+        vec![
+            (TemplateMorphism::identity_on("f", "computer", "powsply"), pxx.clone()),
+            (TemplateMorphism::identity_on("g", "computer", "cpu"), cyy.clone()),
+        ],
+    )?;
+    println!("aggregated {sun2} from {} parts", community.parts_of(&sun2).len());
+
+    // --- Example 3.7: synchronization by sharing ------------------------------
+    let cable = community.synchronize(
+        ObjectId::new("cable", vec![Value::from("CBZ")]),
+        "cable",
+        vec![
+            (TemplateMorphism::identity_on("s1", "cpu", "cable"), cyy.clone()),
+            (TemplateMorphism::identity_on("s2", "powsply", "cable"), pxx.clone()),
+        ],
+    )?;
+    let sharers = community.sharers_of(&cable);
+    println!("sharing diagram: {} → {cable} ← {}", sharers[0], sharers[1]);
+    // every interaction edge relates distinct identities
+    for e in community.interactions() {
+        assert!(e.as_aspect_morphism().is_interaction());
+    }
+
+    // --- the sharing executed as processes -------------------------------------
+    // "if the power supply is switched on, the cable and the cpu are
+    // switched on at the same time"
+    let mut cable_p = Lts::new(2, 0);
+    cable_p.add_transition(0, "cable_on", 1);
+    cable_p.add_transition(1, "cable_off", 0);
+    let mut powsply_p = Lts::new(2, 0);
+    powsply_p.add_transition(0, "cable_on", 1);
+    powsply_p.add_transition(1, "surge", 1);
+    powsply_p.add_transition(1, "cable_off", 0);
+    let mut cpu_p = Lts::new(2, 0);
+    cpu_p.add_transition(0, "cable_on", 1);
+    cpu_p.add_transition(1, "compute", 1);
+    cpu_p.add_transition(1, "cable_off", 0);
+
+    let alphabet = |l: &Lts| l.labels().into_iter().map(str::to_string).collect();
+    let joint = sync_product_all(&[
+        (&cable_p, alphabet(&cable_p)),
+        (&powsply_p, alphabet(&powsply_p)),
+        (&cpu_p, alphabet(&cpu_p)),
+    ]);
+    assert!(joint.accepts(["cable_on", "surge", "compute", "cable_off"]));
+    assert!(!joint.accepts(["compute"]), "cpu can only compute once the shared cable is on");
+    println!(
+        "joint behaviour of the sharing diagram: {} states, {} transitions",
+        joint.num_states(),
+        joint.num_transitions()
+    );
+    Ok(())
+}

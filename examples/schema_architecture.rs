@@ -1,0 +1,105 @@
+//! The three-level schema architecture (§6, Figure 1): a module with a
+//! conceptual schema, an internal schema and two export schemata, plus a
+//! second module importing one of them. Access control happens at the
+//! specification level: clients reach the object base only through the
+//! interfaces their schema exports.
+//!
+//! Run with `cargo run --example schema_architecture`.
+
+use std::collections::BTreeMap;
+use troll::data::{Money, ObjectId, Value};
+use troll::System;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = System::load_str(troll::specs::MODULES)?;
+    let modules = system.modules();
+
+    // The module system validates: members exist, external interfaces
+    // only encapsulate module members, imports resolve.
+    let violations = modules.validate(system.model());
+    assert!(violations.is_empty(), "{violations:?}");
+    println!("module system validates cleanly");
+
+    let personnel = modules.module("PERSONNEL").expect("declared");
+    println!(
+        "module PERSONNEL: conceptual = {:?}, internal = {:?}, exports = {:?}",
+        personnel.conceptual.classes,
+        personnel.internal.classes,
+        personnel
+            .external
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>()
+    );
+
+    // --- populate the object base ----------------------------------------
+    let mut ob = system.object_base()?;
+    ob.birth(
+        "PERSON",
+        vec![Value::from("ada")],
+        "create",
+        vec![
+            Value::Money(Money::from_major(4_000)),
+            Value::from("Research"),
+        ],
+    )?;
+    let ada = ObjectId::new("PERSON", vec![Value::from("ada")]);
+
+    // --- the salary department's window ------------------------------------
+    {
+        let mut salary_client = personnel.open("SALARY", &mut ob)?;
+        let v = salary_client.view("SAL_EMPLOYEE")?;
+        println!(
+            "SALARY client sees {} row(s); ada earns {}",
+            v.len(),
+            v.rows[0].attribute("Salary").unwrap()
+        );
+        // it may change salaries…
+        let bindings: BTreeMap<String, ObjectId> = [("PERSON".to_string(), ada.clone())].into();
+        salary_client.view_call(
+            "SAL_EMPLOYEE",
+            &bindings,
+            "ChangeSalary",
+            vec![Value::Money(Money::from_major(5_000))],
+        )?;
+        // …but the directory view is not exported to it:
+        match salary_client.view("PHONEBOOK") {
+            Err(e) => println!("SALARY client denied: {e}"),
+            Ok(_) => unreachable!("access control must refuse"),
+        }
+    }
+
+    // --- the directory's window ----------------------------------------------
+    {
+        let directory_client = personnel.open("DIRECTORY", &mut ob)?;
+        let v = directory_client.view("PHONEBOOK")?;
+        println!(
+            "DIRECTORY client sees {} row(s); ada works in {}",
+            v.len(),
+            v.rows[0].attribute("Dept").unwrap()
+        );
+        // the phonebook shows no salaries at all
+        assert!(v.rows[0].attribute("Salary").is_none());
+    }
+
+    // --- horizontal composition ------------------------------------------------
+    // PAYROLL imports PERSONNEL.SALARY; the import edge was validated
+    // above. A PAYROLL client therefore opens PERSONNEL's SALARY schema.
+    let payroll = modules.module("PAYROLL").expect("declared");
+    println!(
+        "PAYROLL imports {:?} — opening the exporter's schema",
+        payroll.imports
+    );
+    let (exporter, schema) = &payroll.imports[0];
+    let imported = modules.module(exporter).expect("validated").open(schema, &mut ob)?;
+    let v = imported.view("SAL_EMPLOYEE")?;
+    println!(
+        "PAYROLL (via import) sees ada's salary: {}",
+        v.rows[0].attribute("Salary").unwrap()
+    );
+    assert_eq!(
+        v.rows[0].attribute("Salary"),
+        Some(&Value::Money(Money::from_major(5_000)))
+    );
+    Ok(())
+}

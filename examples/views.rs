@@ -1,0 +1,100 @@
+//! Object interfaces (§5.1): projection views, derived
+//! attributes/events, selection views, and the `WORKS_FOR` join view —
+//! all identity-preserving windows onto the same object base.
+//!
+//! Run with `cargo run --example views`.
+
+use std::collections::BTreeMap;
+use troll::data::{Money, ObjectId, Value};
+use troll::System;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = System::load_str(troll::specs::VIEWS)?;
+    let mut ob = system.object_base()?;
+
+    // --- populate -------------------------------------------------------
+    for (name, salary, dept) in [
+        ("ada", 4_000, "Research"),
+        ("bob", 3_000, "Sales"),
+        ("eve", 5_000, "Research"),
+    ] {
+        ob.birth(
+            "PERSON",
+            vec![Value::from(name)],
+            "create",
+            vec![Value::Money(Money::from_major(salary)), Value::from(dept)],
+        )?;
+    }
+    let research = ob.birth("DEPT", vec![Value::from("Research")], "establishment", vec![])?;
+    let ada = ObjectId::new("PERSON", vec![Value::from("ada")]);
+    let eve = ObjectId::new("PERSON", vec![Value::from("eve")]);
+    ob.execute(&research, "hire", vec![Value::Id(ada.clone())])?;
+    ob.execute(&research, "hire", vec![Value::Id(eve)])?;
+
+    // --- projection view --------------------------------------------------
+    let sal = ob.view("SAL_EMPLOYEE")?;
+    println!("SAL_EMPLOYEE ({} rows):", sal.len());
+    for row in &sal.rows {
+        println!(
+            "  {} earns {}",
+            row.attribute("name").unwrap(),
+            row.attribute("Salary").unwrap()
+        );
+    }
+    assert_eq!(sal.len(), 3);
+
+    // --- derived attributes and events -----------------------------------
+    let sal2 = ob.view("SAL_EMPLOYEE2")?;
+    let ada_row = sal2.row_for("PERSON", &ada).expect("ada visible");
+    println!(
+        "ada's CurrentIncomePerYear = Salary * 13.5 = {}",
+        ada_row.attribute("CurrentIncomePerYear").unwrap()
+    );
+    assert_eq!(
+        ada_row.attribute("CurrentIncomePerYear"),
+        Some(&Value::Money(Money::from_major(54_000)))
+    );
+
+    // the paper's parameterized attribute IncomeInYear(integer): money
+    println!(
+        "ada's IncomeInYear(2026) = {}, IncomeInYear(1999) = {}",
+        ob.attribute_with_args(&ada, "IncomeInYear", vec![Value::from(2026)])?,
+        ob.attribute_with_args(&ada, "IncomeInYear", vec![Value::from(1999)])?,
+    );
+
+    // IncreaseSalary >> ChangeSalary(Salary * 1.1): the derived event
+    // expands against the base object, preserving identity.
+    let bindings: BTreeMap<String, ObjectId> = [("PERSON".to_string(), ada.clone())].into();
+    ob.view_call("SAL_EMPLOYEE2", &bindings, "IncreaseSalary", vec![])?;
+    println!(
+        "after IncreaseSalary through the view: ada's base Salary = {}",
+        ob.attribute(&ada, "Salary")?
+    );
+    assert_eq!(
+        ob.attribute(&ada, "Salary")?,
+        Value::Money(Money::from_major(4_400))
+    );
+
+    // --- selection view ----------------------------------------------------
+    let researchers = ob.view("RESEARCH_EMPLOYEE")?;
+    println!("RESEARCH_EMPLOYEE has {} rows (ada, eve)", researchers.len());
+    assert_eq!(researchers.len(), 2);
+
+    // --- join view -----------------------------------------------------------
+    let works_for = ob.view("WORKS_FOR")?;
+    println!("WORKS_FOR ({} rows):", works_for.len());
+    for row in &works_for.rows {
+        println!(
+            "  {} works for {}",
+            row.attribute("PersonName").unwrap(),
+            row.attribute("DeptName").unwrap()
+        );
+    }
+    assert_eq!(works_for.len(), 2, "only hired persons join");
+
+    // Views are dynamic: firing ada drops her join row immediately.
+    ob.execute(&research, "fire", vec![Value::Id(ada)])?;
+    assert_eq!(ob.view("WORKS_FOR")?.len(), 1);
+    println!("after firing ada, WORKS_FOR has 1 row");
+    Ok(())
+}

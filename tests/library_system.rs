@@ -1,0 +1,224 @@
+//! Integration tests for the library-domain specification: a fresh
+//! domain (not from the paper) exercising the whole runtime at once,
+//! including cross-object atomicity of synchronous steps.
+
+use troll::data::{Money, ObjectId, Value};
+use troll::System;
+
+fn setup() -> troll::runtime::ObjectBase {
+    let system = System::load_str(troll::specs::LIBRARY).unwrap();
+    let mut ob = system.object_base().unwrap();
+    ob.birth(
+        "BOOK",
+        vec![Value::from("isbn-1")],
+        "acquire",
+        vec![Value::from("Specs"), Value::from(1)],
+    )
+    .unwrap();
+    ob.birth(
+        "MEMBER",
+        vec![Value::from("m1")],
+        "join_library",
+        vec![Value::from("ada")],
+    )
+    .unwrap();
+    ob.birth(
+        "MEMBER",
+        vec![Value::from("m2")],
+        "join_library",
+        vec![Value::from("bob")],
+    )
+    .unwrap();
+    ob
+}
+
+fn book1() -> ObjectId {
+    ObjectId::new("BOOK", vec![Value::from("isbn-1")])
+}
+
+fn member(m: &str) -> ObjectId {
+    ObjectId::new("MEMBER", vec![Value::from(m)])
+}
+
+#[test]
+fn borrowing_is_cross_object_synchronous() {
+    let mut ob = setup();
+    let report = ob
+        .execute(&member("m1"), "borrow", vec![Value::Id(book1())])
+        .unwrap();
+    // borrow on the member + lend on the book, one step
+    assert_eq!(report.occurrences.len(), 2);
+    assert_eq!(ob.attribute(&book1(), "available").unwrap(), Value::from(0));
+    assert_eq!(
+        ob.attribute(&member("m1"), "borrowed").unwrap(),
+        Value::set_of(vec![Value::Id(book1())])
+    );
+    // both traces advanced by exactly one step
+    assert_eq!(ob.instance(&book1()).unwrap().trace().len(), 2);
+    assert_eq!(ob.instance(&member("m1")).unwrap().trace().len(), 2);
+}
+
+/// The heart of transaction semantics: when the *called* object's
+/// permission refuses (the single copy is already lent), the calling
+/// member's state must roll back too — no half-committed steps.
+#[test]
+fn cross_object_rollback_on_callee_refusal() {
+    let mut ob = setup();
+    ob.execute(&member("m1"), "borrow", vec![Value::Id(book1())])
+        .unwrap();
+    // bob tries to borrow the same single-copy book
+    let before_trace = ob.instance(&member("m2")).unwrap().trace().len();
+    let err = ob
+        .execute(&member("m2"), "borrow", vec![Value::Id(book1())])
+        .unwrap_err();
+    assert!(
+        matches!(err, troll::runtime::RuntimeError::NotPermitted { .. }),
+        "{err}"
+    );
+    // bob unchanged — no phantom borrow
+    assert_eq!(
+        ob.attribute(&member("m2"), "borrowed").unwrap(),
+        Value::empty_set()
+    );
+    assert_eq!(ob.instance(&member("m2")).unwrap().trace().len(), before_trace);
+    // the book unchanged as well
+    assert_eq!(ob.attribute(&book1(), "available").unwrap(), Value::from(0));
+}
+
+#[test]
+fn returning_restores_availability() {
+    let mut ob = setup();
+    ob.execute(&member("m1"), "borrow", vec![Value::Id(book1())])
+        .unwrap();
+    ob.execute(&member("m1"), "bring_back", vec![Value::Id(book1())])
+        .unwrap();
+    assert_eq!(ob.attribute(&book1(), "available").unwrap(), Value::from(1));
+    // bringing back something you don't hold is refused
+    let err = ob
+        .execute(&member("m1"), "bring_back", vec![Value::Id(book1())])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        troll::runtime::RuntimeError::NotPermitted { .. }
+    ));
+}
+
+#[test]
+fn fines_gate_borrowing_and_leaving() {
+    let mut ob = setup();
+    let m1 = member("m1");
+    ob.execute(&m1, "incur_fine", vec![Value::Money(Money::from_cents(100))])
+        .unwrap();
+    assert!(ob
+        .execute(&m1, "borrow", vec![Value::Id(book1())])
+        .is_err());
+    assert!(ob.execute(&m1, "leave_library", vec![]).is_err());
+    // overpaying is refused ({ m <= fines })
+    assert!(ob
+        .execute(&m1, "pay_fine", vec![Value::Money(Money::from_cents(500))])
+        .is_err());
+    ob.execute(&m1, "pay_fine", vec![Value::Money(Money::from_cents(100))])
+        .unwrap();
+    ob.execute(&m1, "leave_library", vec![]).unwrap();
+    assert!(!ob.instance(&m1).unwrap().is_alive());
+}
+
+#[test]
+fn librarian_phase_and_desk() {
+    let mut ob = setup();
+    let m1 = member("m1");
+    ob.execute(&m1, "promote_to_staff", vec![]).unwrap();
+    assert!(ob.instance(&m1).unwrap().has_role("LIBRARIAN"));
+    assert_eq!(
+        ob.role_attribute(&m1, "LIBRARIAN", "desk").unwrap(),
+        Value::from("front")
+    );
+    ob.execute(&m1, "assign_desk", vec![Value::from("archive")])
+        .unwrap();
+    assert_eq!(
+        ob.role_attribute(&m1, "LIBRARIAN", "desk").unwrap(),
+        Value::from("archive")
+    );
+    ob.execute(&m1, "retire_from_desk", vec![]).unwrap();
+    assert!(!ob.instance(&m1).unwrap().has_role("LIBRARIAN"));
+    // bob never promoted: staff events refused
+    assert!(ob
+        .execute(&member("m2"), "assign_desk", vec![Value::from("x")])
+        .is_err());
+}
+
+#[test]
+fn catalog_and_borrowers_views() {
+    let mut ob = setup();
+    let catalog = ob.view("CATALOG").unwrap();
+    assert_eq!(catalog.len(), 1);
+    assert_eq!(
+        catalog.rows[0].attribute("on_shelf"),
+        Some(&Value::from(true))
+    );
+    ob.execute(&member("m1"), "borrow", vec![Value::Id(book1())])
+        .unwrap();
+    let catalog = ob.view("CATALOG").unwrap();
+    assert_eq!(
+        catalog.rows[0].attribute("on_shelf"),
+        Some(&Value::from(false))
+    );
+    let borrowers = ob.view("BORROWERS").unwrap();
+    assert_eq!(borrowers.len(), 1);
+    assert_eq!(
+        borrowers.rows[0].attribute("member_name"),
+        Some(&Value::from("ada"))
+    );
+    assert_eq!(
+        borrowers.rows[0].attribute("book_title"),
+        Some(&Value::from("Specs"))
+    );
+}
+
+#[test]
+fn module_access_control() {
+    let system = System::load_str(troll::specs::LIBRARY).unwrap();
+    let modules = system.modules();
+    assert!(modules.validate(system.model()).is_empty());
+    let library = modules.module("LIBRARY").unwrap();
+    let mut ob = setup();
+    let public = library.open("PUBLIC", &mut ob).unwrap();
+    assert!(public.view("CATALOG").is_ok());
+    assert!(public.view("BORROWERS").is_err());
+    drop(public);
+    let desk = library.open("DESK", &mut ob).unwrap();
+    assert!(desk.view("CATALOG").is_ok());
+    assert!(desk.view("BORROWERS").is_ok());
+}
+
+#[test]
+fn obligations_track_life_completion() {
+    let mut ob = setup();
+    let m1 = member("m1");
+    // open obligation mid-life
+    assert!(!ob.obligations_discharged(&m1).unwrap());
+    ob.execute(&m1, "leave_library", vec![]).unwrap();
+    assert!(ob.obligations_discharged(&m1).unwrap());
+    let status = ob.check_obligations(&m1).unwrap();
+    assert_eq!(status.len(), 2);
+    assert!(status.iter().all(|(_, ok)| *ok));
+}
+
+#[test]
+fn book_constraints_hold_under_stress() {
+    let mut ob = setup();
+    // take_back beyond copies is refused ({ available < copies })
+    let err = ob.execute(&book1(), "take_back", vec![]).unwrap_err();
+    assert!(matches!(
+        err,
+        troll::runtime::RuntimeError::NotPermitted { .. }
+    ));
+    // discarding is only allowed with all copies on the shelf
+    ob.execute(&member("m1"), "borrow", vec![Value::Id(book1())])
+        .unwrap();
+    assert!(ob.execute(&book1(), "discard_book", vec![]).is_err());
+    ob.execute(&member("m1"), "bring_back", vec![Value::Id(book1())])
+        .unwrap();
+    ob.execute(&book1(), "discard_book", vec![]).unwrap();
+    assert!(!ob.instance(&book1()).unwrap().is_alive());
+}

@@ -1,0 +1,469 @@
+//! Integration tests reproducing every worked example of the paper —
+//! the executable experiment suite of DESIGN.md (E1–E9). Each test
+//! section cites the paper construct it reproduces.
+
+use std::collections::BTreeMap;
+use troll::data::{Date, Money, ObjectId, Value};
+use troll::kernel::{Aspect, Community, InheritanceSchema, Template, TemplateMorphism};
+use troll::refine::{check_refinement, Implementation, Scenario, ScenarioStep, ValuePool};
+use troll::System;
+
+fn pid(name: &str) -> ObjectId {
+    ObjectId::new("PERSON", vec![Value::from(name)])
+}
+
+/// E1 — Examples 3.2, 3.4–3.6: the inheritance schema of templates.
+#[test]
+fn e1_inheritance_schema() {
+    let mut schema = InheritanceSchema::new();
+    schema.add_template(Template::named("thing")).unwrap();
+    schema
+        .add_specialization(
+            Template::named("el_device"),
+            TemplateMorphism::identity_on("d2t", "el_device", "thing"),
+        )
+        .unwrap();
+    schema
+        .add_specialization(
+            Template::named("calculator"),
+            TemplateMorphism::identity_on("c2t", "calculator", "thing"),
+        )
+        .unwrap();
+    // Example 3.5: computer by multiple specialization
+    schema
+        .add_multiple_specialization(
+            Template::named("computer"),
+            vec![
+                TemplateMorphism::identity_on("h", "computer", "el_device"),
+                TemplateMorphism::identity_on("h2", "computer", "calculator"),
+            ],
+        )
+        .unwrap();
+    for leaf in ["personal_c", "workstation", "mainframe"] {
+        schema
+            .add_specialization(
+                Template::named(leaf),
+                TemplateMorphism::identity_on(format!("{leaf}2c"), leaf, "computer"),
+            )
+            .unwrap();
+    }
+    assert_eq!(schema.len(), 7);
+    // each computer IS An electronic device, transitively a thing
+    assert!(schema.is_a("computer", "el_device"));
+    assert!(schema.is_a("personal_c", "thing"));
+    assert!(!schema.is_a("el_device", "calculator"));
+    // morphisms compose along paths
+    let m = schema.path_morphism("workstation", "thing").unwrap();
+    assert_eq!((m.source(), m.target()), ("workstation", "thing"));
+    // Example 3.6: generalization (bottom-up construction)
+    let mut s2 = InheritanceSchema::new();
+    s2.add_template(Template::named("person")).unwrap();
+    s2.add_template(Template::named("company")).unwrap();
+    s2.add_generalization(
+        Template::named("contract_partner"),
+        vec![
+            TemplateMorphism::identity_on("p", "person", "contract_partner"),
+            TemplateMorphism::identity_on("c", "company", "contract_partner"),
+        ],
+    )
+    .unwrap();
+    assert!(s2.is_a("person", "contract_partner"));
+    assert!(s2.is_a("company", "contract_partner"));
+}
+
+/// E2 — Examples 3.1, 3.7, 3.9: aspects, the community, aggregation and
+/// synchronization by sharing.
+#[test]
+fn e2_object_community() {
+    let mut schema = InheritanceSchema::new();
+    schema.add_template(Template::named("el_device")).unwrap();
+    schema
+        .add_specialization(
+            Template::named("computer"),
+            TemplateMorphism::identity_on("h", "computer", "el_device"),
+        )
+        .unwrap();
+    for t in ["powsply", "cpu", "cable"] {
+        schema.add_template(Template::named(t)).unwrap();
+    }
+    let mut community = Community::new(schema);
+
+    // SUN·computer and its derived aspect SUN·el_device (Example 3.1)
+    let sun = ObjectId::new("computer", vec![Value::from("SUN")]);
+    community.add_object(sun.clone(), "computer").unwrap();
+    assert!(community.contains(&Aspect::new(sun.clone(), "el_device")));
+    let inh = community.inheritance_morphisms(&sun);
+    assert_eq!(inh.len(), 1);
+    assert!(inh[0].is_inheritance());
+
+    // Example 3.9: aggregate SUN-2 from PXX and CYY
+    let pxx = community
+        .add_object(ObjectId::new("powsply", vec![Value::from("PXX")]), "powsply")
+        .unwrap();
+    let cyy = community
+        .add_object(ObjectId::new("cpu", vec![Value::from("CYY")]), "cpu")
+        .unwrap();
+    let sun2 = community
+        .aggregate(
+            ObjectId::new("computer", vec![Value::from("SUN2")]),
+            "computer",
+            vec![
+                (
+                    TemplateMorphism::identity_on("f", "computer", "powsply"),
+                    pxx.clone(),
+                ),
+                (
+                    TemplateMorphism::identity_on("g", "computer", "cpu"),
+                    cyy.clone(),
+                ),
+            ],
+        )
+        .unwrap();
+    assert_eq!(community.parts_of(&sun2).len(), 2);
+
+    // Example 3.7: CYY·cpu → CBZ·cable ← PXX·powsply
+    let cable = community
+        .synchronize(
+            ObjectId::new("cable", vec![Value::from("CBZ")]),
+            "cable",
+            vec![
+                (TemplateMorphism::identity_on("s1", "cpu", "cable"), cyy),
+                (TemplateMorphism::identity_on("s2", "powsply", "cable"), pxx),
+            ],
+        )
+        .unwrap();
+    assert_eq!(community.sharers_of(&cable).len(), 2);
+    assert!(community
+        .interactions()
+        .iter()
+        .all(|e| e.as_aspect_morphism().is_interaction()));
+}
+
+/// E3 — §4: the DEPT object class, verbatim life cycle with valuation
+/// and both permissions.
+#[test]
+fn e3_dept_object_class() {
+    let system = System::load_str(troll::specs::DEPT).unwrap();
+    let mut ob = system.object_base().unwrap();
+    let toys = ob
+        .birth(
+            "DEPT",
+            vec![Value::from("Toys")],
+            "establishment",
+            vec![Value::Date(Date::new(1991, 10, 16).unwrap())],
+        )
+        .unwrap();
+    // valuation: est_date recorded
+    assert_eq!(
+        ob.attribute(&toys, "est_date").unwrap(),
+        Value::Date(Date::new(1991, 10, 16).unwrap())
+    );
+    let (ada, bob) = (Value::Id(pid("ada")), Value::Id(pid("bob")));
+    ob.execute(&toys, "hire", vec![ada.clone()]).unwrap();
+    ob.execute(&toys, "hire", vec![bob.clone()]).unwrap();
+    ob.execute(&toys, "new_manager", vec![ada.clone()]).unwrap();
+    assert_eq!(ob.attribute(&toys, "manager").unwrap(), ada.clone());
+    // permission 1: fire only after hire
+    assert!(ob
+        .execute(&toys, "fire", vec![Value::Id(pid("eve"))])
+        .is_err());
+    // permission 2: closure only after everyone hired was fired
+    assert!(ob.execute(&toys, "closure", vec![]).is_err());
+    ob.execute(&toys, "fire", vec![ada]).unwrap();
+    ob.execute(&toys, "fire", vec![bob]).unwrap();
+    ob.execute(&toys, "closure", vec![]).unwrap();
+    assert!(!ob.instance(&toys).unwrap().is_alive());
+}
+
+/// E4 — §4: MANAGER as a phase of PERSON, with the salary constraint.
+#[test]
+fn e4_manager_phase() {
+    let system = System::load_str(troll::specs::COMPANY).unwrap();
+    let mut ob = system.object_base().unwrap();
+    let bday = Value::Date(Date::new(1960, 1, 1).unwrap());
+    let rich = ob
+        .birth(
+            "PERSON",
+            vec![Value::from("rich"), bday.clone()],
+            "create",
+            vec![Value::Money(Money::from_major(9_000)), Value::from("R")],
+        )
+        .unwrap();
+    let poor = ob
+        .birth(
+            "PERSON",
+            vec![Value::from("poor"), bday],
+            "create",
+            vec![Value::Money(Money::from_major(900)), Value::from("R")],
+        )
+        .unwrap();
+    // phase entry via the base event
+    ob.execute(&rich, "become_manager", vec![]).unwrap();
+    assert!(ob.instance(&rich).unwrap().has_role("MANAGER"));
+    assert_eq!(
+        ob.role_attribute(&rich, "MANAGER", "OfficialCar").unwrap(),
+        Value::from("none")
+    );
+    // constraint Salary >= 5000 refuses the poor
+    assert!(ob.execute(&poor, "become_manager", vec![]).is_err());
+    assert!(!ob.instance(&poor).unwrap().has_role("MANAGER"));
+    // phase exit
+    ob.execute(&rich, "step_down", vec![]).unwrap();
+    assert!(!ob.instance(&rich).unwrap().has_role("MANAGER"));
+}
+
+/// E5 — §4: TheCompany components and the global interaction
+/// `DEPT(D).new_manager(P) >> PERSON(P).become_manager`.
+#[test]
+fn e5_company_and_global_interactions() {
+    let system = System::load_str(troll::specs::COMPANY).unwrap();
+    let mut ob = system.object_base().unwrap();
+    let bday = Value::Date(Date::new(1960, 1, 1).unwrap());
+    let ada = ob
+        .birth(
+            "PERSON",
+            vec![Value::from("ada"), bday],
+            "create",
+            vec![Value::Money(Money::from_major(9_000)), Value::from("R")],
+        )
+        .unwrap();
+    let toys = ob
+        .birth(
+            "DEPT",
+            vec![Value::from("Toys")],
+            "establishment",
+            vec![Value::Date(Date::new(1991, 1, 1).unwrap())],
+        )
+        .unwrap();
+    // complex object: a list-of-DEPT component
+    let company = ob.singleton("TheCompany").unwrap();
+    ob.execute(&company, "found_dept", vec![Value::Id(toys.clone())])
+        .unwrap();
+    assert_eq!(
+        ob.attribute(&company, "depts").unwrap(),
+        Value::list_of(vec![Value::Id(toys.clone())])
+    );
+    // the global interaction forces become_manager synchronously
+    let report = ob
+        .execute(&toys, "new_manager", vec![Value::Id(ada.clone())])
+        .unwrap();
+    assert!(report.occurred("new_manager"));
+    assert!(report.occurred("become_manager"));
+    // and the phase was entered on the person (E4 meets E5)
+    assert!(ob.instance(&ada).unwrap().has_role("MANAGER"));
+}
+
+/// E6 — §5.1: the four interface classes.
+#[test]
+fn e6_interfaces() {
+    let system = System::load_str(troll::specs::VIEWS).unwrap();
+    let mut ob = system.object_base().unwrap();
+    for (name, sal, dept) in [
+        ("ada", 4_000, "Research"),
+        ("bob", 3_000, "Sales"),
+        ("eve", 5_000, "Research"),
+    ] {
+        ob.birth(
+            "PERSON",
+            vec![Value::from(name)],
+            "create",
+            vec![Value::Money(Money::from_major(sal)), Value::from(dept)],
+        )
+        .unwrap();
+    }
+    let research = ob
+        .birth("DEPT", vec![Value::from("Research")], "establishment", vec![])
+        .unwrap();
+    ob.execute(&research, "hire", vec![Value::Id(pid("ada"))])
+        .unwrap();
+
+    // projection view: all persons, restricted signature
+    let v = ob.view("SAL_EMPLOYEE").unwrap();
+    assert_eq!(v.len(), 3);
+    assert!(v.rows[0].attribute("Dept").is_none());
+
+    // derived attribute: CurrentIncomePerYear = Salary * 13.5
+    let v2 = ob.view("SAL_EMPLOYEE2").unwrap();
+    let ada_row = v2.row_for("PERSON", &pid("ada")).unwrap();
+    assert_eq!(
+        ada_row.attribute("CurrentIncomePerYear"),
+        Some(&Value::Money(Money::from_major(54_000)))
+    );
+    // derived event: IncreaseSalary >> ChangeSalary(Salary * 1.1)
+    let bindings: BTreeMap<String, ObjectId> = [("PERSON".to_string(), pid("ada"))].into();
+    ob.view_call("SAL_EMPLOYEE2", &bindings, "IncreaseSalary", vec![])
+        .unwrap();
+    assert_eq!(
+        ob.attribute(&pid("ada"), "Salary").unwrap(),
+        Value::Money(Money::from_major(4_400))
+    );
+
+    // parameterized attribute (the paper's IncomeInYear(integer): money)
+    assert_eq!(
+        ob.attribute_with_args(&pid("eve"), "IncomeInYear", vec![Value::from(2026)])
+            .unwrap(),
+        Value::Money(Money::from_major(67_500))
+    );
+
+    // selection view
+    assert_eq!(ob.view("RESEARCH_EMPLOYEE").unwrap().len(), 2);
+
+    // join view: only the hired person joins
+    let wf = ob.view("WORKS_FOR").unwrap();
+    assert_eq!(wf.len(), 1);
+    assert_eq!(
+        wf.rows[0].attribute("PersonName"),
+        Some(&Value::from("ada"))
+    );
+    assert_eq!(
+        wf.rows[0].attribute("DeptName"),
+        Some(&Value::from("Research"))
+    );
+}
+
+/// E7 — §5.2: the formal implementation EMPLOYEE / emp_rel / EMPL_IMPL /
+/// EMPL, with the mechanized refinement check.
+#[test]
+fn e7_formal_implementation() {
+    let system = System::load_str(troll::specs::EMPLOYMENT).unwrap();
+    let model = system.model();
+    let setup = |ob: &mut troll::runtime::ObjectBase| {
+        let rel = ob.singleton("emp_rel").expect("singleton");
+        ob.execute(&rel, "CreateEmpRel", vec![])?;
+        Ok(())
+    };
+    let imp = Implementation::new("EMPLOYEE", "EMPL_IMPL").with_interface("EMPL");
+
+    let bday = Value::Date(Date::new(1923, 8, 19).unwrap());
+    let explicit = Scenario {
+        key: vec![Value::from("codd"), bday],
+        steps: vec![
+            ScenarioStep {
+                event: "HireEmployee".into(),
+                args: vec![],
+            },
+            ScenarioStep {
+                event: "IncreaseSalary".into(),
+                args: vec![Value::from(500)],
+            },
+            // refused on both sides: negative raise
+            ScenarioStep {
+                event: "IncreaseSalary".into(),
+                args: vec![Value::from(-10)],
+            },
+            ScenarioStep {
+                event: "FireEmployee".into(),
+                args: vec![],
+            },
+        ],
+    };
+    let mut scenarios = vec![explicit];
+    scenarios.extend(Scenario::generate(
+        &model.classes["EMPLOYEE"],
+        &ValuePool::default(),
+        30,
+        10,
+        7,
+    ));
+    let report = check_refinement(model, &imp, &scenarios, &setup).unwrap();
+    assert!(report.is_refinement(), "{report}");
+    assert!(report.behavior_simulated);
+    assert!(report.steps_checked >= 30);
+}
+
+/// E7b — the transaction calling inside emp_rel:
+/// `ChangeSalary(n,b,s) >> (DeleteEmp(n,b); InsertEmp(n,b,s))`.
+#[test]
+fn e7_transaction_calling() {
+    let system = System::load_str(troll::specs::EMPLOYMENT).unwrap();
+    let mut ob = system.object_base().unwrap();
+    let rel = ob.singleton("emp_rel").unwrap();
+    ob.execute(&rel, "CreateEmpRel", vec![]).unwrap();
+    let bday = Value::Date(Date::new(1960, 1, 1).unwrap());
+    ob.execute(
+        &rel,
+        "InsertEmp",
+        vec![Value::from("ada"), bday.clone(), Value::from(100)],
+    )
+    .unwrap();
+    let report = ob
+        .execute(
+            &rel,
+            "ChangeSalary",
+            vec![Value::from("ada"), bday, Value::from(900)],
+        )
+        .unwrap();
+    // trigger + DeleteEmp + InsertEmp, one synchronous step
+    assert_eq!(report.occurrences.len(), 3);
+    let emps = ob.attribute(&rel, "Emps").unwrap();
+    assert_eq!(emps.as_set().unwrap().len(), 1);
+    assert_eq!(
+        emps.as_set()
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .field("esalary"),
+        Some(&Value::from(900))
+    );
+}
+
+/// E8 — §6 / Figure 1: the three-level schema architecture with guarded
+/// module access.
+#[test]
+fn e8_three_level_architecture() {
+    let system = System::load_str(troll::specs::MODULES).unwrap();
+    let modules = system.modules();
+    assert!(modules.validate(system.model()).is_empty());
+
+    let mut ob = system.object_base().unwrap();
+    ob.birth(
+        "PERSON",
+        vec![Value::from("ada")],
+        "create",
+        vec![
+            Value::Money(Money::from_major(4_000)),
+            Value::from("Research"),
+        ],
+    )
+    .unwrap();
+
+    let personnel = modules.module("PERSONNEL").unwrap();
+    // conceptual / internal / external levels all present (Figure 1)
+    assert_eq!(personnel.conceptual.classes, vec!["PERSON"]);
+    assert_eq!(personnel.internal.classes, vec!["person_rel"]);
+    assert_eq!(personnel.external.len(), 2);
+
+    // access only through export interfaces
+    {
+        let salary_guard = personnel.open("SALARY", &mut ob).unwrap();
+        assert!(salary_guard.view("SAL_EMPLOYEE").is_ok());
+        assert!(salary_guard.view("PHONEBOOK").is_err());
+    }
+    {
+        let directory_guard = personnel.open("DIRECTORY", &mut ob).unwrap();
+        assert!(directory_guard.view("PHONEBOOK").is_ok());
+        assert!(directory_guard.view("SAL_EMPLOYEE").is_err());
+    }
+
+    // horizontal composition via import
+    let payroll = modules.module("PAYROLL").unwrap();
+    assert_eq!(
+        payroll.imports,
+        vec![("PERSONNEL".to_string(), "SALARY".to_string())]
+    );
+}
+
+/// E9 — the full shipped corpus parses and analyzes.
+#[test]
+fn e9_corpus_loads() {
+    for (name, src) in troll::specs::ALL {
+        let system =
+            System::load_str(src).unwrap_or_else(|e| panic!("spec `{name}` failed: {e}"));
+        let mut ob = system
+            .object_base()
+            .unwrap_or_else(|e| panic!("spec `{name}` object base: {e}"));
+        // animating a fresh base is harmless for every spec
+        assert!(ob.tick().unwrap().is_empty());
+    }
+}
