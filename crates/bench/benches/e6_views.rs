@@ -86,9 +86,7 @@ fn bench_module_access(c: &mut Criterion) {
         b.iter_batched(
             || (),
             |_| {
-                let guard = personnel
-                    .open("SALARY", &mut ob)
-                    .expect("schema exported");
+                let guard = personnel.open("SALARY", &mut ob).expect("schema exported");
                 black_box(guard.view("SAL_EMPLOYEE").expect("evaluates").len())
             },
             criterion::BatchSize::SmallInput,
@@ -97,5 +95,10 @@ fn bench_module_access(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_view_eval, bench_join_ablation, bench_module_access);
+criterion_group!(
+    benches,
+    bench_view_eval,
+    bench_join_ablation,
+    bench_module_access
+);
 criterion_main!(benches);

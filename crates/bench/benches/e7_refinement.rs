@@ -35,8 +35,8 @@ fn bench_refinement_check(c: &mut Criterion) {
             &scenario_count,
             |b, _| {
                 b.iter(|| {
-                    let report = check_refinement(&model, &imp, &scenarios, &setup)
-                        .expect("check runs");
+                    let report =
+                        check_refinement(&model, &imp, &scenarios, &setup).expect("check runs");
                     assert!(report.is_refinement());
                     black_box(report.steps_checked)
                 })
@@ -56,8 +56,8 @@ fn bench_refinement_check(c: &mut Criterion) {
             &trace_len,
             |b, _| {
                 b.iter(|| {
-                    let report = check_refinement(&model, &imp, &scenarios, &setup)
-                        .expect("check runs");
+                    let report =
+                        check_refinement(&model, &imp, &scenarios, &setup).expect("check runs");
                     black_box(report.steps_checked)
                 })
             },

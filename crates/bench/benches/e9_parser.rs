@@ -16,12 +16,16 @@ fn bench_corpus(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("parse", name), src, |b, src| {
             b.iter(|| black_box(troll::lang::parse(src).expect("corpus parses")))
         });
-        group.bench_with_input(BenchmarkId::new("parse_and_analyze", name), src, |b, src| {
-            b.iter(|| {
-                let spec = troll::lang::parse(src).expect("corpus parses");
-                black_box(troll::lang::analyze(&spec).expect("corpus analyzes"))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parse_and_analyze", name),
+            src,
+            |b, src| {
+                b.iter(|| {
+                    let spec = troll::lang::parse(src).expect("corpus parses");
+                    black_box(troll::lang::analyze(&spec).expect("corpus analyzes"))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -19,7 +19,11 @@ pub fn chain_schema(n: usize) -> InheritanceSchema {
         schema
             .add_specialization(
                 Template::named(format!("t{i}")),
-                TemplateMorphism::identity_on(format!("m{i}"), format!("t{i}"), format!("t{}", i - 1)),
+                TemplateMorphism::identity_on(
+                    format!("m{i}"),
+                    format!("t{i}"),
+                    format!("t{}", i - 1),
+                ),
             )
             .expect("chain is acyclic");
     }
@@ -81,6 +85,37 @@ pub fn dept_base_with(n: usize, history_len: usize) -> (ObjectBase, Vec<ObjectId
         depts.push(id);
     }
     (ob, depts)
+}
+
+/// Like [`dept_base_with`], but the history is **deep, not wide**: one
+/// department alternately hires and fires the *same* person, so the
+/// trace grows to `history_len` steps while the attribute state stays
+/// bounded (at most one employee). This isolates history-depth costs
+/// (temporal scans over the trace) from state-size costs (snapshot and
+/// working-state clones), which `dept_base_with` deliberately conflates
+/// by hiring `history_len` distinct persons.
+pub fn dept_base_deep(history_len: usize) -> (ObjectBase, ObjectId) {
+    let system = System::load_str(troll::specs::DEPT).expect("shipped spec loads");
+    let mut ob = system.object_base().expect("object base");
+    let date = Value::Date(Date::new(1991, 10, 16).expect("valid date"));
+    let id = ob
+        .birth(
+            "DEPT",
+            vec![Value::from("deep")],
+            "establishment",
+            vec![date],
+        )
+        .expect("birth succeeds");
+    for j in 0..history_len {
+        if j % 2 == 0 {
+            ob.execute(&id, "hire", vec![person(0)])
+                .expect("hire succeeds");
+        } else {
+            ob.execute(&id, "fire", vec![person(0)])
+                .expect("fire permitted");
+        }
+    }
+    (ob, id)
 }
 
 /// A PERSON identity value for workloads.

@@ -91,7 +91,11 @@ fn cmd_info(file: &str) -> Result<(), String> {
     let system = System::load_file(file).map_err(|e| format!("{file}: {e}"))?;
     let model = system.model();
     for (name, class) in &model.classes {
-        let kind = if class.singleton { "object" } else { "object class" };
+        let kind = if class.singleton {
+            "object"
+        } else {
+            "object class"
+        };
         let view = match &class.view {
             Some((base, troll::lang::ViewKind::Phase)) => format!(" (phase of {base})"),
             Some((base, troll::lang::ViewKind::Specialization)) => {
@@ -137,7 +141,10 @@ fn cmd_info(file: &str) -> Result<(), String> {
         );
     }
     if !model.global_interactions.is_empty() {
-        println!("{} global interaction rule(s)", model.global_interactions.len());
+        println!(
+            "{} global interaction rule(s)",
+            model.global_interactions.len()
+        );
     }
     Ok(())
 }
@@ -145,10 +152,9 @@ fn cmd_info(file: &str) -> Result<(), String> {
 fn cmd_animate(file: &str, script: &str) -> Result<(), String> {
     let system = System::load_file(file).map_err(|e| format!("{file}: {e}"))?;
     let mut ob = system.object_base().map_err(|e| e.to_string())?;
-    let script_text =
-        std::fs::read_to_string(script).map_err(|e| format!("{script}: {e}"))?;
-    let outcomes = troll::script::run_script(&mut ob, &script_text)
-        .map_err(|e| format!("{script}:{e}"))?;
+    let script_text = std::fs::read_to_string(script).map_err(|e| format!("{script}: {e}"))?;
+    let outcomes =
+        troll::script::run_script(&mut ob, &script_text).map_err(|e| format!("{script}:{e}"))?;
     for outcome in outcomes {
         println!("{outcome}");
     }

@@ -242,8 +242,7 @@ mod tests {
 
     #[test]
     fn load_file_round_trip() {
-        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../../specs/dept.troll");
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/dept.troll");
         let system = System::load_file(dir).unwrap();
         assert!(system.model().class("DEPT").is_some());
         assert!(matches!(

@@ -88,8 +88,7 @@ pub fn run_script(ob: &mut ObjectBase, script: &str) -> Result<Vec<Outcome>, Str
         if line.is_empty() {
             continue;
         }
-        let outcome =
-            run_command(ob, line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let outcome = run_command(ob, line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
         outcomes.push(outcome);
     }
     Ok(outcomes)
@@ -230,8 +229,7 @@ fn parse_term_list(group: &str) -> Result<Vec<Value>, String> {
     if inner.trim().is_empty() {
         return Ok(vec![]);
     }
-    let term =
-        crate::lang::parse_term(&format!("[{inner}]")).map_err(|e| e.to_string())?;
+    let term = crate::lang::parse_term(&format!("[{inner}]")).map_err(|e| e.to_string())?;
     match term.eval(&MapEnv::new()).map_err(|e| e.to_string())? {
         Value::List(items) => Ok(items),
         other => Err(format!("argument list evaluated to non-list {other}")),
@@ -298,11 +296,8 @@ tick
         .unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
         // permission refusal is an error too
-        let err = run_script(
-            &mut ob,
-            "exec |DEPT|(\"Toys\") fire (|PERSON|(\"never\"))",
-        )
-        .unwrap_err();
+        let err =
+            run_script(&mut ob, "exec |DEPT|(\"Toys\") fire (|PERSON|(\"never\"))").unwrap_err();
         assert!(err.contains("not permitted"), "{err}");
     }
 
@@ -330,11 +325,8 @@ show |PERSON|("ada") Salary
         )
         .unwrap();
         assert_eq!(
-            ob.attribute(
-                &ObjectId::new("PERSON", vec![Value::from("ada")]),
-                "Salary"
-            )
-            .unwrap(),
+            ob.attribute(&ObjectId::new("PERSON", vec![Value::from("ada")]), "Salary")
+                .unwrap(),
             Value::Money(troll_data::Money::from_major(4400))
         );
     }
@@ -364,8 +356,7 @@ mod demo_session_tests {
     #[test]
     fn shipped_demo_session_runs() {
         let script = std::fs::read_to_string(
-            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-                .join("../../docs/demo_session.txt"),
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/demo_session.txt"),
         )
         .expect("demo session exists");
         let mut ob = System::load_str(crate::specs::DEPT)

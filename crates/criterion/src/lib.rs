@@ -1,0 +1,316 @@
+//! Minimal, dependency-free micro-benchmark harness exposing the subset
+//! of the `criterion` 0.8 API that troll-rs uses. The workspace builds
+//! hermetically — no registry is reachable — so the real crate cannot be
+//! resolved, and the EXPERIMENTS.md suite must still be runnable with
+//! `cargo bench --workspace`.
+//!
+//! Methodology (simpler than the real crate, same spirit):
+//! - each benchmark point is warmed up (~100 ms), then an iteration
+//!   count is calibrated so one sample takes ~25 ms;
+//! - `SAMPLES` timed samples are collected and the per-iteration
+//!   median/min/max are reported in criterion's familiar
+//!   `time: [low median high]` line (here: [min median max]);
+//! - `iter_batched` times only the routine, never the setup closure.
+//!
+//! There is no statistical outlier analysis, no baseline comparison and
+//! no HTML report; EXPERIMENTS.md cares about point estimates and
+//! complexity *shapes*, which medians over 20+ samples capture well.
+
+use std::fmt::Display;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const SAMPLES: usize = 24;
+const WARMUP: Duration = Duration::from_millis(100);
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// How batched inputs are grouped. The shim always times one routine
+/// call at a time, so the variants only exist for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark point identifier: `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepts both `&str` and `BenchmarkId` where the real API does.
+pub trait IntoBenchmarkId {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_point(&id.into_label(), None, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's timing budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_point(&label, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_point(&label, self.throughput, &mut |b: &mut Bencher| {
+            b_input(b, input, &mut f)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn b_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(b: &mut Bencher, input: &I, f: &mut F) {
+    f(b, input)
+}
+
+/// Collects per-iteration nanosecond samples for one benchmark point.
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration.
+        let mut iters: u64 = 0;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters as f64;
+        let batch = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.samples.push(ns);
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warmup (setup excluded from the estimate's numerator as in the
+        // measured loop: only the routine is timed).
+        // As in the real crate, the routine's *output* is dropped
+        // outside the timed window — outputs often carry the whole
+        // mutated state (e.g. an object base), and timing their
+        // deallocation would re-introduce exactly the setup-shaped
+        // costs `iter_batched` exists to exclude.
+        let mut elapsed = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP || iters == 0 {
+            let input = setup();
+            let t = Instant::now();
+            let out = black_box(routine(input));
+            elapsed += t.elapsed();
+            drop(out);
+            iters += 1;
+        }
+        let per_iter = (elapsed.as_secs_f64() / iters as f64).max(1e-9);
+        let batch = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).clamp(1, 10_000);
+
+        for _ in 0..SAMPLES {
+            let mut ns_total = 0.0;
+            for _ in 0..batch {
+                let input = setup();
+                let t = Instant::now();
+                let out = black_box(routine(input));
+                ns_total += t.elapsed().as_secs_f64() * 1e9;
+                drop(out);
+            }
+            self.samples.push(ns_total / batch as f64);
+        }
+    }
+}
+
+/// Like the real crate, the first non-flag CLI argument is a substring
+/// filter on benchmark labels (`cargo bench --bench e3_runtime --
+/// e3_monitored_path` runs only that group). Flags are ignored.
+fn filter() -> Option<&'static str> {
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER
+        .get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+        .as_deref()
+}
+
+fn run_point(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    if let Some(needle) = filter() {
+        if !label.contains(needle) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::with_capacity(SAMPLES),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<56} (no samples)");
+        return;
+    }
+    b.samples.sort_by(|a, c| a.total_cmp(c));
+    let min = b.samples[0];
+    let max = *b.samples.last().unwrap();
+    let median = b.samples[b.samples.len() / 2];
+    let mut line = format!(
+        "{label:<56} time:   [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        let per_sec = n as f64 / (median * 1e-9);
+        line.push_str(&format!("  thrpt: {:.2} Melem/s", per_sec / 1e6));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+
+    #[test]
+    fn fmt_scales() {
+        assert_eq!(fmt_ns(512.0), "512.00 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.00 ms");
+    }
+}

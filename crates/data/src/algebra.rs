@@ -290,7 +290,11 @@ pub fn max(rel: &Value, field: &str) -> Result<Value> {
     fold_extremum(rel, field, |a, b| a > b)
 }
 
-fn fold_extremum(rel: &Value, field: &str, better: impl Fn(&Value, &Value) -> bool) -> Result<Value> {
+fn fold_extremum(
+    rel: &Value,
+    field: &str,
+    better: impl Fn(&Value, &Value) -> bool,
+) -> Result<Value> {
     let tuples = want_relation(rel)?;
     let mut best: Option<&Value> = None;
     for t in tuples {
@@ -339,10 +343,7 @@ mod tests {
 
     #[test]
     fn select_filters_by_field_predicate() {
-        let pred = Term::apply(
-            Op::Ge,
-            vec![Term::var("esalary"), Term::constant(150i64)],
-        );
+        let pred = Term::apply(Op::Ge, vec![Term::var("esalary"), Term::constant(150i64)]);
         let out = select(&rel(), &pred, &MapEnv::new()).unwrap();
         assert_eq!(out, Value::set_of(vec![emp("bob", 200), emp("eve", 200)]));
     }
@@ -401,8 +402,14 @@ mod tests {
     #[test]
     fn natural_join_on_shared_fields() {
         let depts = Value::set_of(vec![
-            Value::tuple_of(vec![("ename", Value::from("ada")), ("dept", Value::from("R"))]),
-            Value::tuple_of(vec![("ename", Value::from("bob")), ("dept", Value::from("S"))]),
+            Value::tuple_of(vec![
+                ("ename", Value::from("ada")),
+                ("dept", Value::from("R")),
+            ]),
+            Value::tuple_of(vec![
+                ("ename", Value::from("bob")),
+                ("dept", Value::from("S")),
+            ]),
         ]);
         let joined = join(&rel(), &depts).unwrap();
         assert_eq!(count(&joined).unwrap(), Value::from(2));
@@ -436,10 +443,7 @@ mod tests {
         ]);
         let depts = Value::set_of(vec![Value::tuple_of(vec![
             ("dname", Value::from("Research")),
-            (
-                "members",
-                Value::set_of(vec![Value::from("ada")]),
-            ),
+            ("members", Value::set_of(vec![Value::from("ada")])),
         ])]);
         let pred = Term::apply(Op::In, vec![Term::var("pname"), Term::var("members")]);
         let out = theta_join(&persons, &depts, &pred, &MapEnv::new()).unwrap();

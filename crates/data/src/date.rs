@@ -22,7 +22,6 @@ use std::str::FromStr;
 /// # Ok::<(), troll_data::DataError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Date {
     year: i32,
     month: u8,

@@ -74,7 +74,10 @@ impl fmt::Display for DataError {
                 context,
                 expected,
                 found,
-            } => write!(f, "sort mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "sort mismatch in {context}: expected {expected}, found {found}"
+            ),
             DataError::UnboundVariable(name) => write!(f, "unbound variable `{name}`"),
             DataError::NoSuchField { field, available } => {
                 write!(f, "no field `{field}` in tuple with fields {available:?}")
@@ -85,7 +88,10 @@ impl fmt::Display for DataError {
                 op,
                 expected,
                 found,
-            } => write!(f, "operation `{op}` expects {expected} argument(s), got {found}"),
+            } => write!(
+                f,
+                "operation `{op}` expects {expected} argument(s), got {found}"
+            ),
             DataError::InvalidDate { year, month, day } => {
                 write!(f, "invalid date {year:04}-{month:02}-{day:02}")
             }

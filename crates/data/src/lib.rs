@@ -66,21 +66,3 @@ pub use value::{ObjectId, Value};
 
 /// Convenience result alias for fallible data operations.
 pub type Result<T> = std::result::Result<T, DataError>;
-
-#[cfg(all(test, feature = "serde"))]
-mod serde_bounds {
-    /// With the `serde` feature, all data structures satisfy C-SERDE.
-    #[test]
-    fn data_structures_are_serde() {
-        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serde::<crate::Value>();
-        assert_serde::<crate::ObjectId>();
-        assert_serde::<crate::Sort>();
-        assert_serde::<crate::TupleField>();
-        assert_serde::<crate::Date>();
-        assert_serde::<crate::Money>();
-        assert_serde::<crate::Op>();
-        assert_serde::<crate::Term>();
-        assert_serde::<crate::Quantifier>();
-    }
-}

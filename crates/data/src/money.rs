@@ -25,7 +25,6 @@ use std::str::FromStr;
 /// assert_eq!(salary.to_string(), "5000.00");
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Money(i64);
 
 impl Money {
@@ -98,7 +97,9 @@ impl Money {
     /// [`DataError::Overflow`] on overflow.
     pub fn scale(self, num: i64, den: i64) -> Result<Money, DataError> {
         if den == 0 {
-            return Err(DataError::Undefined("money scale by zero denominator".into()));
+            return Err(DataError::Undefined(
+                "money scale by zero denominator".into(),
+            ));
         }
         self.0
             .checked_mul(num)
@@ -190,7 +191,9 @@ mod tests {
         assert_eq!(a.checked_add(b).unwrap(), Money::from_major(13));
         assert_eq!(a.checked_sub(b).unwrap(), Money::from_major(7));
         assert_eq!(a.checked_mul(3).unwrap(), Money::from_major(30));
-        assert!(Money::from_cents(i64::MAX).checked_add(Money::from_cents(1)).is_err());
+        assert!(Money::from_cents(i64::MAX)
+            .checked_add(Money::from_cents(1))
+            .is_err());
         assert!(Money::from_cents(i64::MAX).checked_mul(2).is_err());
         assert!(a.scale(1, 0).is_err());
         assert_eq!(a.scale(3, 2).unwrap(), Money::from_major(15));

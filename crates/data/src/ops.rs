@@ -21,7 +21,6 @@ use std::fmt;
 /// # Ok::<(), troll_data::DataError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Op {
     // --- boolean ---
@@ -412,7 +411,11 @@ impl Op {
             }
             StrConcat => match (&args[0], &args[1]) {
                 (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
-                (a, b) => Err(DataError::sort_mismatch("str_concat", "(string, string)", (a, b))),
+                (a, b) => Err(DataError::sort_mismatch(
+                    "str_concat",
+                    "(string, string)",
+                    (a, b),
+                )),
             },
             StrLen => match &args[0] {
                 Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
@@ -436,9 +439,9 @@ impl Op {
             },
             IsDefined => Ok(Value::Bool(!args[0].is_undefined())),
             MkId => match (&args[0], &args[1]) {
-                (Value::Str(class), Value::List(key)) => Ok(Value::Id(
-                    crate::ObjectId::new(class.clone(), key.clone()),
-                )),
+                (Value::Str(class), Value::List(key)) => {
+                    Ok(Value::Id(crate::ObjectId::new(class.clone(), key.clone())))
+                }
                 (a, b) => Err(DataError::sort_mismatch(
                     "mkid",
                     "(string, list of key values)",
@@ -660,7 +663,10 @@ mod tests {
     #[test]
     fn list_ops() {
         let l = Value::list_of(vec![Value::from(1), Value::from(2)]);
-        assert_eq!(Op::Head.apply(std::slice::from_ref(&l)).unwrap(), Value::from(1));
+        assert_eq!(
+            Op::Head.apply(std::slice::from_ref(&l)).unwrap(),
+            Value::from(1)
+        );
         assert_eq!(
             Op::Tail.apply(std::slice::from_ref(&l)).unwrap(),
             Value::list_of(vec![Value::from(2)])
@@ -796,7 +802,10 @@ mod tests {
                 .unwrap(),
             Value::from("abcd")
         );
-        assert_eq!(Op::StrLen.apply(&[Value::from("abc")]).unwrap(), Value::from(3));
+        assert_eq!(
+            Op::StrLen.apply(&[Value::from("abc")]).unwrap(),
+            Value::from(3)
+        );
         assert_eq!(
             Op::StrContains
                 .apply(&[Value::from("research dept"), Value::from("research")])
@@ -805,7 +814,9 @@ mod tests {
         );
         let d = Value::Date(Date::new(1991, 12, 31).unwrap());
         assert_eq!(
-            Op::DatePlusDays.apply(&[d.clone(), Value::from(1)]).unwrap(),
+            Op::DatePlusDays
+                .apply(&[d.clone(), Value::from(1)])
+                .unwrap(),
             Value::Date(Date::new(1992, 1, 1).unwrap())
         );
         assert_eq!(Op::DateYear.apply(&[d]).unwrap(), Value::from(1991));

@@ -5,7 +5,6 @@ use std::fmt;
 /// A named, sorted tuple field, as in
 /// `tuple(ename:string, ebirth:date, esalary:integer)` (paper §5.2).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TupleField {
     /// Field name.
     pub name: String,
@@ -47,7 +46,6 @@ impl TupleField {
 /// );
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Sort {
     /// Truth values.
     Bool,
@@ -175,8 +173,14 @@ mod tests {
 
     #[test]
     fn display_matches_troll_syntax() {
-        assert_eq!(Sort::set(Sort::Id("PERSON".into())).to_string(), "set(|PERSON|)");
-        assert_eq!(Sort::map(Sort::String, Sort::Int).to_string(), "map(string, int)");
+        assert_eq!(
+            Sort::set(Sort::Id("PERSON".into())).to_string(),
+            "set(|PERSON|)"
+        );
+        assert_eq!(
+            Sort::map(Sort::String, Sort::Int).to_string(),
+            "map(string, int)"
+        );
         assert_eq!(Sort::optional(Sort::Date).to_string(), "optional(date)");
     }
 

@@ -14,7 +14,6 @@ use std::fmt;
 /// as in the paper's `closure` permission:
 /// `for all (P: PERSON : sometime(P in employees) ⇒ …)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Quantifier {
     /// Universal quantification (`for all`).
     Forall,
@@ -49,7 +48,6 @@ pub enum Quantifier {
 /// # Ok::<(), troll_data::DataError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Term {
     /// A literal value.
     Const(Value),
@@ -212,12 +210,14 @@ impl Term {
             Term::Field(base, field) => {
                 let v = base.eval(env)?;
                 match &v {
-                    Value::Tuple(fields) => v.field(field).cloned().ok_or_else(|| {
-                        DataError::NoSuchField {
-                            field: field.clone(),
-                            available: fields.iter().map(|(n, _)| n.clone()).collect(),
-                        }
-                    }),
+                    Value::Tuple(fields) => {
+                        v.field(field)
+                            .cloned()
+                            .ok_or_else(|| DataError::NoSuchField {
+                                field: field.clone(),
+                                available: fields.iter().map(|(n, _)| n.clone()).collect(),
+                            })
+                    }
                     other => Err(DataError::sort_mismatch(
                         format!(".{field}"),
                         "tuple",
@@ -452,6 +452,18 @@ impl Term {
             },
             Term::The(rel) => Term::the(rel.subst(var, replacement)),
         }
+    }
+
+    /// Substitutes the constant `bindings[v]` for every free occurrence
+    /// of each variable `v`. Because every replacement is a closed
+    /// constant, sequential substitution coincides with simultaneous
+    /// substitution.
+    pub fn subst_map(&self, bindings: &BTreeMap<String, Value>) -> Term {
+        let mut t = self.clone();
+        for (var, value) in bindings {
+            t = t.subst(var, &Term::Const(value.clone()));
+        }
+        t
     }
 }
 
@@ -744,12 +756,7 @@ mod tests {
 
     #[test]
     fn subst_avoids_bound_occurrences() {
-        let t = Term::quant(
-            Quantifier::Forall,
-            "x",
-            Term::var("dom"),
-            Term::var("x"),
-        );
+        let t = Term::quant(Quantifier::Forall, "x", Term::var("dom"), Term::var("x"));
         let replaced = t.subst("x", &Term::constant(5i64));
         // bound x untouched
         assert_eq!(replaced, t);
@@ -762,7 +769,10 @@ mod tests {
         let t = Term::apply(Op::Insert, vec![Term::var("P"), Term::var("employees")]);
         assert_eq!(t.to_string(), "insert(P, employees)");
         let q = Term::the(Term::project(
-            Term::select(Term::var("Emps"), Term::eq(Term::var("ename"), Term::var("n"))),
+            Term::select(
+                Term::var("Emps"),
+                Term::eq(Term::var("ename"), Term::var("n")),
+            ),
             vec!["esalary"],
         ));
         assert_eq!(
@@ -808,7 +818,10 @@ mod tests {
         let substituted = q.subst("x", &Term::constant(1i64));
         assert_eq!(
             substituted,
-            Term::select(Term::var("rel"), Term::eq(Term::var("f"), Term::constant(1i64)))
+            Term::select(
+                Term::var("rel"),
+                Term::eq(Term::var("f"), Term::constant(1i64))
+            )
         );
         let p = Term::project(Term::var("rel"), vec!["a"]).subst("rel", &Term::var("r2"));
         assert_eq!(p, Term::project(Term::var("r2"), vec!["a"]));

@@ -27,7 +27,6 @@ use std::fmt;
 /// # Ok::<(), troll_data::DataError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ObjectId {
     class: String,
     key: Vec<Value>,
@@ -96,9 +95,7 @@ impl fmt::Display for ObjectId {
 /// `Undefined` is the value of an attribute that has not yet been
 /// assigned by any valuation rule (observable only between birth and the
 /// first valuation that touches the attribute).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Value {
     /// The undefined observation.
     #[default]
@@ -324,7 +321,6 @@ impl Value {
     }
 }
 
-
 impl From<bool> for Value {
     fn from(b: bool) -> Self {
         Value::Bool(b)
@@ -524,10 +520,7 @@ mod tests {
             "[1, 2]"
         );
         assert_eq!(Value::Undefined.to_string(), "undefined");
-        assert_eq!(
-            Value::Id(person("alice")).to_string(),
-            "PERSON(\"alice\")"
-        );
+        assert_eq!(Value::Id(person("alice")).to_string(), "PERSON(\"alice\")");
     }
 
     fn arb_scalar() -> impl Strategy<Value = Value> {

@@ -88,7 +88,10 @@ impl TemplateMorphism {
     /// Maps a source event name to its target event name, using the
     /// explicit map first and falling back to the identity.
     pub fn map_event<'a>(&'a self, event: &'a str) -> &'a str {
-        self.event_map.get(event).map(String::as_str).unwrap_or(event)
+        self.event_map
+            .get(event)
+            .map(String::as_str)
+            .unwrap_or(event)
     }
 
     /// Maps a source attribute name to its target attribute name.
@@ -396,7 +399,9 @@ mod tests {
         );
         let violations = m.check(&computer(), &el_device());
         assert!(violations.iter().any(|v| v.contains("no event `no_such`")));
-        assert!(violations.iter().any(|v| v.contains("no attribute `ghost`")));
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("no attribute `ghost`")));
     }
 
     #[test]

@@ -268,11 +268,7 @@ impl InheritanceSchema {
     /// shared items, and we return the first found by DFS.)
     pub fn path_morphism(&self, sub: &str, sup: &str) -> Option<TemplateMorphism> {
         if sub == sup {
-            return Some(TemplateMorphism::identity_on(
-                format!("id_{sub}"),
-                sub,
-                sup,
-            ));
+            return Some(TemplateMorphism::identity_on(format!("id_{sub}"), sub, sup));
         }
         for m in &self.morphisms {
             if m.source() == sub {
@@ -289,18 +285,17 @@ impl InheritanceSchema {
 
     /// Direct (one-step) upward morphisms from `name`.
     pub fn direct_morphisms_from(&self, name: &str) -> Vec<&TemplateMorphism> {
-        self.morphisms.iter().filter(|m| m.source() == name).collect()
+        self.morphisms
+            .iter()
+            .filter(|m| m.source() == name)
+            .collect()
     }
 
     /// All composed morphisms along **every** upward path from `sub` to
     /// `sup` (the diamond case yields several).
     pub fn all_path_morphisms(&self, sub: &str, sup: &str) -> Vec<TemplateMorphism> {
         if sub == sup {
-            return vec![TemplateMorphism::identity_on(
-                format!("id_{sub}"),
-                sub,
-                sup,
-            )];
+            return vec![TemplateMorphism::identity_on(format!("id_{sub}"), sub, sup)];
         }
         let mut out = Vec::new();
         for m in &self.morphisms {
@@ -338,8 +333,7 @@ impl InheritanceSchema {
                 if paths.len() < 2 {
                     continue;
                 }
-                let (Some(sub_t), Some(sup_t)) = (self.template(sub), self.template(sup))
-                else {
+                let (Some(sub_t), Some(sup_t)) = (self.template(sub), self.template(sup)) else {
                     continue;
                 };
                 let reference_events = paths[0].resolved_event_map(sub_t, sup_t);

@@ -169,10 +169,7 @@ mod tests {
 
     #[test]
     fn attribute_display() {
-        assert_eq!(
-            AttributeSymbol::new("x", Sort::Int).to_string(),
-            "x: int"
-        );
+        assert_eq!(AttributeSymbol::new("x", Sort::Int).to_string(), "x: int");
         assert_eq!(
             AttributeSymbol::derived("y", Sort::Money).to_string(),
             "derived y: money"

@@ -167,9 +167,7 @@ mod tests {
         assert!(!b.accepts(["hire"]));
         assert!(!b.accepts(["establishment", "closure", "hire"]));
         assert!(!b.accepts(["establishment", "establishment"]));
-        assert!(b
-            .life_cycle_violations(t.signature().events())
-            .is_empty());
+        assert!(b.life_cycle_violations(t.signature().events()).is_empty());
     }
 
     #[test]

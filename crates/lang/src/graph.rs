@@ -18,7 +18,8 @@ use std::fmt::Write;
 
 /// Renders the model as DOT (pipe through `dot -Tsvg` to draw).
 pub fn to_dot(model: &SystemModel) -> String {
-    let mut out = String::from("digraph troll {\n  rankdir=BT;\n  node [fontname=\"Helvetica\"];\n");
+    let mut out =
+        String::from("digraph troll {\n  rankdir=BT;\n  node [fontname=\"Helvetica\"];\n");
 
     // object classes
     for (name, class) in &model.classes {
@@ -38,11 +39,7 @@ pub fn to_dot(model: &SystemModel) -> String {
 
     // interfaces
     for (name, iface) in &model.interfaces {
-        let _ = writeln!(
-            out,
-            "  {:?} [shape=ellipse, label=\"{name}\"];",
-            node(name)
-        );
+        let _ = writeln!(out, "  {:?} [shape=ellipse, label=\"{name}\"];", node(name));
         for (base, _) in &iface.bases {
             let _ = writeln!(
                 out,

@@ -119,26 +119,25 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                     j += 1;
                 }
                 // money literal: digits '.' 1-2 digits (not followed by ident)
-                if chars.get(j) == Some(&'.')
-                    && chars.get(j + 1).is_some_and(char::is_ascii_digit)
+                if chars.get(j) == Some(&'.') && chars.get(j + 1).is_some_and(char::is_ascii_digit)
                 {
                     let mut k = j + 1;
                     while k < chars.len() && chars[k].is_ascii_digit() {
                         k += 1;
                     }
                     let text: String = chars[i..k].iter().collect();
-                    let m: troll_data::Money = text
-                        .parse()
-                        .map_err(|_| LangError::new(line, col, format!("bad money literal `{text}`")))?;
+                    let m: troll_data::Money = text.parse().map_err(|_| {
+                        LangError::new(line, col, format!("bad money literal `{text}`"))
+                    })?;
                     let len = k - i;
                     tokens.push(Token::new(TokenKind::Money(m.cents()), line, col));
                     i = k;
                     col += len;
                 } else {
                     let text: String = chars[i..j].iter().collect();
-                    let n: i64 = text
-                        .parse()
-                        .map_err(|_| LangError::new(line, col, format!("integer `{text}` out of range")))?;
+                    let n: i64 = text.parse().map_err(|_| {
+                        LangError::new(line, col, format!("integer `{text}` out of range"))
+                    })?;
                     let len = j - i;
                     tokens.push(Token::new(TokenKind::Int(n), line, col));
                     i = j;

@@ -75,8 +75,8 @@ pub use lexer::lex;
 pub use lower::analyze;
 pub use model::{
     CallRule, ClassModel, ComponentModel, ConstraintKind, ConstraintModel, DerivationModel,
-    EventModel, EventTarget, InterfaceModel, LoweredCall, ModuleModel, ParamAttrModel, PermissionModel,
-    SystemModel, ValuationModel, ViewKind,
+    EventModel, EventTarget, InterfaceModel, LoweredCall, ModuleModel, ParamAttrModel,
+    PermissionModel, SystemModel, ValuationModel, ViewKind,
 };
 pub use parser::{parse, parse_formula, parse_term};
 pub use token::{Token, TokenKind};

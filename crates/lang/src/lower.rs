@@ -46,11 +46,8 @@ pub fn analyze(spec: &Spec) -> Result<SystemModel> {
         std::collections::BTreeMap::new();
     for item in &spec.items {
         if let Item::ObjectClass(decl) = item {
-            let mut names: BTreeSet<String> = decl
-                .identification
-                .iter()
-                .map(|p| p.name.clone())
-                .collect();
+            let mut names: BTreeSet<String> =
+                decl.identification.iter().map(|p| p.name.clone()).collect();
             names.extend(decl.body.attributes.iter().map(|a| a.name.clone()));
             names.extend(decl.body.components.iter().map(|c| c.name.clone()));
             names.extend(decl.inheriting.iter().map(|i| i.alias.clone()));
@@ -74,10 +71,7 @@ pub fn analyze(spec: &Spec) -> Result<SystemModel> {
                 let mut hops = 0;
                 while let Some(base) = cursor {
                     if hops > 32 {
-                        return err(format!(
-                            "class `{}`: cyclic `view of` chain",
-                            decl.name
-                        ));
+                        return err(format!("class `{}`: cyclic `view of` chain", decl.name));
                     }
                     hops += 1;
                     if let Some(names) = attr_names.get(&base) {
@@ -88,11 +82,10 @@ pub fn analyze(spec: &Spec) -> Result<SystemModel> {
                 let class = lower_class(decl, &inherited)?;
                 model.classes.insert(decl.name.clone(), class);
             }
-            Item::InterfaceClass(decl)
-                if model.interfaces.contains_key(&decl.name) => {
-                    return err(format!("duplicate interface `{}`", decl.name));
-                }
-                // lowered in pass 2 (needs the class table)
+            Item::InterfaceClass(decl) if model.interfaces.contains_key(&decl.name) => {
+                return err(format!("duplicate interface `{}`", decl.name));
+            }
+            // lowered in pass 2 (needs the class table)
             _ => {}
         }
     }
@@ -106,7 +99,10 @@ pub fn analyze(spec: &Spec) -> Result<SystemModel> {
                 // resolve the view kind now that the base is known
                 if let Some(base) = &decl.view_of {
                     let kind = view_kind(decl, base, &model)?;
-                    let class = model.classes.get_mut(&decl.name).expect("inserted in pass 1");
+                    let class = model
+                        .classes
+                        .get_mut(&decl.name)
+                        .expect("inserted in pass 1");
                     class.view = Some((base.clone(), kind));
                 }
             }
@@ -350,10 +346,7 @@ fn lower_class(decl: &ObjectClassDecl, inherited_scope: &BTreeSet<String>) -> Re
         });
     }
     for a in &decl.body.attributes {
-        if a.derived
-            && a.params.is_empty()
-            && !derivation.iter().any(|d| d.attribute == a.name)
-        {
+        if a.derived && a.params.is_empty() && !derivation.iter().any(|d| d.attribute == a.name) {
             return err(format!(
                 "class `{name}`: derived attribute `{}` has no derivation rule",
                 a.name
@@ -516,10 +509,13 @@ fn lower_class(decl: &ObjectClassDecl, inherited_scope: &BTreeSet<String>) -> Re
 }
 
 fn view_kind(decl: &ObjectClassDecl, base: &str, model: &SystemModel) -> Result<ViewKind> {
-    let base_class = model
-        .classes
-        .get(base)
-        .ok_or_else(|| LangError::new(0, 0, format!("class `{}`: view of unknown class `{base}`", decl.name)))?;
+    let base_class = model.classes.get(base).ok_or_else(|| {
+        LangError::new(
+            0,
+            0,
+            format!("class `{}`: view of unknown class `{base}`", decl.name),
+        )
+    })?;
     // A phase is entered by a base *update* event aliased as the view's
     // birth (MANAGER: birth PERSON.become_manager). A specialization has
     // no such alias, or aliases a base birth event.
@@ -579,9 +575,7 @@ fn check_cross_references(decl: &ObjectClassDecl, model: &SystemModel) -> Result
                     LangError::new(
                         0,
                         0,
-                        format!(
-                            "class `{name}`: event alias `{base}.{base_event}` does not exist"
-                        ),
+                        format!("class `{name}`: event alias `{base}.{base_event}` does not exist"),
                     )
                 })?;
             if bev.arity != e.params.len() {
@@ -698,7 +692,11 @@ fn lower_interface(decl: &InterfaceClassDecl, model: &SystemModel) -> Result<Int
     // attributes unqualified (the paper's RESEARCH_EMPLOYEE selects on
     // `Dept`, SAL_EMPLOYEE2 derives from `Salary`)
     for (class, _) in &bases {
-        for attr in model.classes[class.as_str()].template.signature().attributes() {
+        for attr in model.classes[class.as_str()]
+            .template
+            .signature()
+            .attributes()
+        {
             scope.insert(attr.name.clone());
         }
     }
@@ -865,10 +863,13 @@ fn lower_global_rule(rule: &CallingRule, model: &SystemModel) -> Result<CallRule
             ))
         }
     };
-    let trigger_class = model
-        .classes
-        .get(&class)
-        .ok_or_else(|| LangError::new(0, 0, format!("global interaction on unknown class `{class}`")))?;
+    let trigger_class = model.classes.get(&class).ok_or_else(|| {
+        LangError::new(
+            0,
+            0,
+            format!("global interaction on unknown class `{class}`"),
+        )
+    })?;
     let ev = trigger_class
         .template
         .signature()
@@ -907,7 +908,11 @@ fn lower_global_rule(rule: &CallingRule, model: &SystemModel) -> Result<CallRule
         let target = match &call.target {
             TargetRef::Instance { class, id } => {
                 let callee = model.classes.get(class).ok_or_else(|| {
-                    LangError::new(0, 0, format!("global interaction calls unknown class `{class}`"))
+                    LangError::new(
+                        0,
+                        0,
+                        format!("global interaction calls unknown class `{class}`"),
+                    )
                 })?;
                 let cev = callee
                     .template

@@ -86,12 +86,18 @@ pub struct ClassModel {
 
 impl ClassModel {
     /// The valuation rules indexed by the given event.
-    pub fn valuation_for<'a>(&'a self, event: &'a str) -> impl Iterator<Item = &'a ValuationModel> + 'a {
+    pub fn valuation_for<'a>(
+        &'a self,
+        event: &'a str,
+    ) -> impl Iterator<Item = &'a ValuationModel> + 'a {
         self.valuation.iter().filter(move |v| v.event == event)
     }
 
     /// The permissions guarding the given event.
-    pub fn permissions_for<'a>(&'a self, event: &'a str) -> impl Iterator<Item = &'a PermissionModel> + 'a {
+    pub fn permissions_for<'a>(
+        &'a self,
+        event: &'a str,
+    ) -> impl Iterator<Item = &'a PermissionModel> + 'a {
         self.permissions.iter().filter(move |p| p.event == event)
     }
 }

@@ -134,7 +134,10 @@ impl Parser {
             self.advance();
             Ok(())
         } else {
-            self.err(format!("expected keyword `{kw}`, found {}", self.peek().kind))
+            self.err(format!(
+                "expected keyword `{kw}`, found {}",
+                self.peek().kind
+            ))
         }
     }
 
@@ -342,17 +345,13 @@ impl Parser {
     fn instantiate_library(&mut self, name: &str, singleton: bool) -> Result<Item> {
         self.expect(&TokenKind::Eq)?;
         let lib_name = self.expect_ident()?;
-        let body = self
-            .libraries
-            .get(&lib_name)
-            .cloned()
-            .ok_or_else(|| {
-                LangError::new(
-                    self.peek().line,
-                    self.peek().column,
-                    format!("unknown library class `{lib_name}`"),
-                )
-            })?;
+        let body = self.libraries.get(&lib_name).cloned().ok_or_else(|| {
+            LangError::new(
+                self.peek().line,
+                self.peek().column,
+                format!("unknown library class `{lib_name}`"),
+            )
+        })?;
         let mut substitutions: Vec<(String, Vec<Token>)> = Vec::new();
         if self.eat_kw("with") {
             loop {
@@ -398,9 +397,7 @@ impl Parser {
         for tok in body {
             match &tok.kind {
                 TokenKind::Ident(word) => {
-                    if let Some((_, replacement)) =
-                        substitutions.iter().find(|(k, _)| k == word)
-                    {
+                    if let Some((_, replacement)) = substitutions.iter().find(|(k, _)| k == word) {
                         spliced.extend(replacement.iter().cloned());
                     } else {
                         spliced.push(tok);
@@ -427,7 +424,10 @@ impl Parser {
             LangError::new(
                 e.line,
                 e.column,
-                format!("in instantiation of library `{lib_name}` as `{name}`: {}", e.message),
+                format!(
+                    "in instantiation of library `{lib_name}` as `{name}`: {}",
+                    e.message
+                ),
             )
         })
     }
@@ -470,7 +470,9 @@ impl Parser {
                 self.expect(&TokenKind::Semi)?;
                 body.obligations.push(f);
             }
-        } else if self.eat_kw("interaction") || self.eat_kw("interactions") || self.eat_kw("calling")
+        } else if self.eat_kw("interaction")
+            || self.eat_kw("interactions")
+            || self.eat_kw("calling")
         {
             self.skip_variables_decl()?;
             while !self.at_section_boundary() {
@@ -499,16 +501,19 @@ impl Parser {
             self.sort_expr()?;
             self.expect(&TokenKind::Semi)?;
             // another declaration follows if we see `ident (,ident)* :`
-            let mut is_decl = matches!(self.peek().kind, TokenKind::Ident(_))
-                && !self.at_section_boundary();
+            let mut is_decl =
+                matches!(self.peek().kind, TokenKind::Ident(_)) && !self.at_section_boundary();
             if is_decl {
                 // lookahead for `:` after the name list
                 let mut k = 1;
                 while self.peek_at(k).kind == TokenKind::Comma {
                     k += 2;
                 }
+                // the sort after `:` may be a named sort or a class
+                // sort `|C|`
                 is_decl = self.peek_at(k).kind == TokenKind::Colon
-                    && self.peek_at(k + 1).ident().is_some();
+                    && (self.peek_at(k + 1).ident().is_some()
+                        || self.peek_at(k + 1).kind == TokenKind::Pipe);
             }
             if !is_decl {
                 return Ok(());
@@ -757,9 +762,7 @@ impl Parser {
             self.advance(); // (
             let id = self.expr();
             if let Ok(id) = id {
-                if self.peek().kind == TokenKind::RParen
-                    && self.peek_at(1).kind == TokenKind::Dot
-                {
+                if self.peek().kind == TokenKind::RParen && self.peek_at(1).kind == TokenKind::Dot {
                     self.advance(); // )
                     self.advance(); // .
                     let event = self.expect_ident()?;
@@ -1351,10 +1354,7 @@ impl Parser {
                 }
                 Ok(Term::apply(
                     Op::MkId,
-                    vec![
-                        Term::constant(Value::from(class)),
-                        Term::MkList(keys),
-                    ],
+                    vec![Term::constant(Value::from(class)), Term::MkList(keys)],
                 ))
             }
             TokenKind::LBrace => {
@@ -1459,8 +1459,9 @@ impl Parser {
                     self.advance();
                     self.quantified_term(Quantifier::Exists)
                 }
-                "for" if self.peek_at(1).is_kw("all")
-                    && self.peek_at(2).kind == TokenKind::LParen =>
+                "for"
+                    if self.peek_at(1).is_kw("all")
+                        && self.peek_at(2).kind == TokenKind::LParen =>
                 {
                     self.advance();
                     self.expect_kw("all")?;
@@ -1590,7 +1591,10 @@ mod tests {
         // Salary * 1.1 → scale_tenths(Salary, 11)
         assert_eq!(
             parse_term("Salary * 1.1").unwrap(),
-            Term::apply(Op::ScaleTenths, vec![Term::var("Salary"), Term::constant(11i64)])
+            Term::apply(
+                Op::ScaleTenths,
+                vec![Term::var("Salary"), Term::constant(11i64)]
+            )
         );
         // Salary * 13.5 → scale_tenths(Salary, 135)
         assert_eq!(
@@ -1655,10 +1659,7 @@ mod tests {
         let f = parse_formula("(occurs(a) or x = 1) and always(y >= 0)").unwrap();
         assert!(matches!(f, Formula::And(_, _)));
         let f = parse_formula("after(hire(_))").unwrap();
-        assert_eq!(
-            f,
-            Formula::after(EventPattern::new("hire", vec![None]))
-        );
+        assert_eq!(f, Formula::after(EventPattern::new("hire", vec![None])));
     }
 
     #[test]
@@ -1721,10 +1722,31 @@ end object class DEPT;
         assert_eq!(hire_rule.params, vec!["P".to_string()]);
         assert_eq!(hire_rule.attribute, "employees");
         // sorts: manager is an identity sort since PERSON is a class name
-        assert_eq!(
-            dept.body.attributes[1].sort,
-            Sort::id("PERSON"),
-        );
+        assert_eq!(dept.body.attributes[1].sort, Sort::id("PERSON"),);
+    }
+
+    #[test]
+    fn variables_decl_continues_after_class_sort() {
+        // regression: the decl-continuation lookahead must recognize a
+        // class sort `|C|` after the colon, not just named sorts
+        let src = r#"
+object class DEPT
+  identification id: string;
+  template
+    attributes employees: set(|PERSON|);
+    events
+      birth establishment;
+      hire(|PERSON|);
+      fire(|PERSON|);
+      swap(|PERSON|, |PERSON|);
+    interaction
+      variables P: |PERSON|; Q: |PERSON|;
+      swap(P, Q) >> (fire(P); hire(Q));
+end object class DEPT;
+"#;
+        let spec = parse(src).unwrap();
+        let dept = spec.object_class("DEPT").unwrap();
+        assert_eq!(dept.body.interactions.len(), 1);
     }
 
     #[test]
@@ -2029,8 +2051,7 @@ mod identity_literal_tests {
         for src in [r#"|PERSON|("ada")"#, "|TheCompany|()", "|DEPT|(d, 3)"] {
             let t1 = parse_term(src).unwrap();
             let printed = crate::pretty::print_term(&t1);
-            let t2 = parse_term(&printed)
-                .unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
+            let t2 = parse_term(&printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
             assert_eq!(t1, t2);
         }
     }
@@ -2087,10 +2108,7 @@ object class TOTES = COUNTER_LIKE with STEP_SORT = set(|ITEM|), WEIGHT = (2 + 3)
         );
         let spec = parse(&src).unwrap();
         let totes = spec.object_class("TOTES").unwrap();
-        assert_eq!(
-            totes.body.events[1].params[0],
-            Sort::set(Sort::id("ITEM"))
-        );
+        assert_eq!(totes.body.events[1].params[0], Sort::set(Sort::id("ITEM")));
     }
 
     #[test]

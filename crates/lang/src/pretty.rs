@@ -338,11 +338,7 @@ pub fn print_term(t: &Term) -> String {
                 let ks: Vec<String> = keys.iter().map(print_term).collect();
                 format!("|{class}|({})", ks.join(", "))
             } else {
-                format!(
-                    "mkid({}, {})",
-                    print_term(&args[0]),
-                    print_term(&args[1])
-                )
+                format!("mkid({}, {})", print_term(&args[0]), print_term(&args[1]))
             }
         }
         Term::Apply(op, args) => {
@@ -408,7 +404,11 @@ pub fn print_term(t: &Term) -> String {
                 troll_data::Quantifier::Forall => "for all",
                 troll_data::Quantifier::Exists => "exists",
             };
-            format!("{kw}({var} in {} : {})", print_term(domain), print_term(body))
+            format!(
+                "{kw}({var} in {} : {})",
+                print_term(domain),
+                print_term(body)
+            )
         }
         Term::Let { var, value, body } => {
             // `let` has no surface syntax in TROLL; inline by substitution
@@ -462,11 +462,7 @@ fn print_value(v: &troll_data::Value) -> String {
             format!("tuple({})", fs.join(", "))
         }
         Value::Id(id) => {
-            let ks: Vec<String> = id
-                .key()
-                .iter()
-                .map(|k| print_value(&k.clone()))
-                .collect();
+            let ks: Vec<String> = id.key().iter().map(|k| print_value(&k.clone())).collect();
             format!("|{}|({})", id.class(), ks.join(", "))
         }
         // maps have no literal syntax; render as data

@@ -42,16 +42,18 @@ pub fn sync_product(a: &Lts, b: &Lts, sync: &[&str]) -> (Lts, Vec<(usize, usize)
     let mut pairs: Vec<(usize, usize)> = Vec::new();
     let mut lts = Lts::new(0, 0);
 
-    let get_or_insert =
-        |pair: (usize, usize), lts: &mut Lts, pairs: &mut Vec<(usize, usize)>, index: &mut BTreeMap<(usize, usize), usize>| {
-            if let Some(&id) = index.get(&pair) {
-                return (id, false);
-            }
-            let id = lts.add_state();
-            index.insert(pair, id);
-            pairs.push(pair);
-            (id, true)
-        };
+    let get_or_insert = |pair: (usize, usize),
+                         lts: &mut Lts,
+                         pairs: &mut Vec<(usize, usize)>,
+                         index: &mut BTreeMap<(usize, usize), usize>| {
+        if let Some(&id) = index.get(&pair) {
+            return (id, false);
+        }
+        let id = lts.add_state();
+        index.insert(pair, id);
+        pairs.push(pair);
+        (id, true)
+    };
 
     let initial_pair = (a.initial(), b.initial());
     let (initial_id, _) = get_or_insert(initial_pair, &mut lts, &mut pairs, &mut index);
@@ -199,9 +201,8 @@ mod tests {
         cpu.add_transition(1, "compute", 1);
         cpu.add_transition(1, "cable_off", 0);
 
-        let alpha = |l: &Lts| -> BTreeSet<String> {
-            l.labels().into_iter().map(str::to_string).collect()
-        };
+        let alpha =
+            |l: &Lts| -> BTreeSet<String> { l.labels().into_iter().map(str::to_string).collect() };
         let prod = sync_product_all(&[
             (&cable, alpha(&cable)),
             (&powsply, alpha(&powsply)),

@@ -329,11 +329,10 @@ mod tests {
         let traces = l.traces_up_to(2);
         assert!(traces.contains(&vec![]));
         assert!(traces.contains(&vec!["establishment".to_string()]));
-        assert!(traces.contains(&vec![
-            "establishment".to_string(),
-            "hire".to_string()
-        ]));
-        assert!(!traces.iter().any(|t| t.first().map(String::as_str) == Some("hire")));
+        assert!(traces.contains(&vec!["establishment".to_string(), "hire".to_string()]));
+        assert!(!traces
+            .iter()
+            .any(|t| t.first().map(String::as_str) == Some("hire")));
         // all traces accepted
         for t in &traces {
             assert!(l.accepts(t.iter().map(String::as_str)));
@@ -356,8 +355,7 @@ mod tests {
         let r = l.restrict_to(&["establishment", "closure"]);
         assert!(r.accepts(["establishment", "closure"]));
         assert!(!r.accepts(["establishment", "hire"]));
-        let map: BTreeMap<String, String> =
-            [("hire".to_string(), "hire_c".to_string())].into();
+        let map: BTreeMap<String, String> = [("hire".to_string(), "hire_c".to_string())].into();
         let rl = l.relabel(&map);
         assert!(rl.accepts(["establishment", "hire_c"]));
         assert!(!rl.accepts(["establishment", "hire"]));

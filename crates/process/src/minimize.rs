@@ -37,10 +37,7 @@ pub fn quotient(lts: &Lts) -> Lts {
     {
         let mut by_signature: BTreeMap<BTreeSet<String>, usize> = BTreeMap::new();
         for &s in &reachable {
-            let signature: BTreeSet<String> = lts
-                .outgoing(s)
-                .map(|(l, _)| l.to_string())
-                .collect();
+            let signature: BTreeSet<String> = lts.outgoing(s).map(|(l, _)| l.to_string()).collect();
             let next_block = by_signature.len();
             let block = *by_signature.entry(signature).or_insert(next_block);
             block_of.insert(s, block);

@@ -29,8 +29,7 @@ use std::collections::BTreeSet;
 /// assert!(!simulates(&restricted, &spec)); // restricted cannot match "b"
 /// ```
 pub fn simulates(simulator: &Lts, simulated: &Lts) -> bool {
-    greatest_simulation(simulator, simulated)
-        .contains(&(simulated.initial(), simulator.initial()))
+    greatest_simulation(simulator, simulated).contains(&(simulated.initial(), simulator.initial()))
 }
 
 /// Computes the greatest simulation relation as a set of pairs
@@ -72,9 +71,8 @@ pub fn bisimilar(a: &Lts, b: &Lts) -> bool {
     // Greatest bisimulation: pairs must match in both directions.
     let na = a.num_states().max(1);
     let nb = b.num_states().max(1);
-    let mut rel: BTreeSet<(usize, usize)> = (0..na)
-        .flat_map(|s| (0..nb).map(move |t| (s, t)))
-        .collect();
+    let mut rel: BTreeSet<(usize, usize)> =
+        (0..na).flat_map(|s| (0..nb).map(move |t| (s, t))).collect();
     loop {
         let mut removed = false;
         let snapshot: Vec<(usize, usize)> = rel.iter().copied().collect();
@@ -102,7 +100,11 @@ pub fn bisimilar(a: &Lts, b: &Lts) -> bool {
 /// the converse fails for nondeterministic systems — both directions are
 /// exercised in the tests. Used by `troll-refine` to produce
 /// counterexample traces.
-pub fn trace_inclusion_up_to(includer: &Lts, included: &Lts, depth: usize) -> Result<(), Vec<String>> {
+pub fn trace_inclusion_up_to(
+    includer: &Lts,
+    included: &Lts,
+    depth: usize,
+) -> Result<(), Vec<String>> {
     for t in included.traces_up_to(depth) {
         if !includer.accepts(t.iter().map(String::as_str)) {
             return Err(t);
@@ -196,7 +198,10 @@ mod tests {
     #[test]
     fn simulation_implies_trace_inclusion() {
         let pairs = vec![
-            (device(), computer().restrict_to(&["switch_on", "switch_off"])),
+            (
+                device(),
+                computer().restrict_to(&["switch_on", "switch_off"]),
+            ),
             (computer(), device()),
         ];
         for (simulator, simulated) in pairs {

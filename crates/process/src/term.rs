@@ -288,7 +288,10 @@ mod tests {
     #[test]
     fn skip_and_empty_sequence() {
         assert_eq!(ProcessTerm::Skip.linearize(), Some(vec![]));
-        assert_eq!(ProcessTerm::sequence(Vec::<String>::new()), ProcessTerm::Skip);
+        assert_eq!(
+            ProcessTerm::sequence(Vec::<String>::new()),
+            ProcessTerm::Skip
+        );
         assert!(ProcessTerm::Skip.accepts_exactly([]));
         assert!(!ProcessTerm::Skip.accepts_exactly(["x"]));
     }
@@ -368,10 +371,8 @@ mod tests {
         ];
         leaf.prop_recursive(3, 16, 2, |inner| {
             prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| ProcessTerm::seq(a, b)),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| ProcessTerm::choice(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| ProcessTerm::seq(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| ProcessTerm::choice(a, b)),
                 inner.prop_map(ProcessTerm::star),
             ]
         })

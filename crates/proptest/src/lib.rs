@@ -1,0 +1,624 @@
+//! Minimal, dependency-free property-testing shim exposing the subset of
+//! the `proptest` 1.x API that troll-rs uses.
+//!
+//! The build environment for this workspace is hermetic: no crates.io
+//! registry is reachable, so the real `proptest` cannot be resolved. This
+//! crate keeps the property suites runnable offline under the identical
+//! source syntax (`proptest! { #[test] fn f(x in strat) { … } }`,
+//! `prop_oneof!`, `prop_assert*!`, `Strategy::prop_map/prop_recursive`,
+//! `proptest::collection::{vec, btree_set}`, `any::<T>()`, integer-range
+//! and simple regex-string strategies).
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case reports its inputs (via the
+//!   assertion message) and the deterministic case number, but is not
+//!   minimized.
+//! - **Deterministic generation.** Cases are generated from a SplitMix64
+//!   stream seeded by the test's module path + name + case index, so
+//!   failures reproduce exactly across runs and machines.
+//! - **Regex strategies** support only the patterns the workspace uses:
+//!   a single character class (`[a-z]`, `\PC`) with a `{m,n}` repetition,
+//!   or a literal string. Anything else panics loudly.
+//!
+//! Swapping the real `proptest` back in (when a registry is available)
+//! requires only restoring the `[workspace.dependencies]` entry; no test
+//! source changes.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 generator driving all strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test identifier and case index (FNV-1a over the
+        /// name, mixed with the case number).
+        pub fn deterministic(name: &str, case: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// A failed property-case; carried as `Err` out of the test body by
+    /// the `prop_assert*` macros.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Per-test configuration. Only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real crate defaults to 256; 64 keeps the hermetic
+            // tier-1 suite fast while retaining useful coverage.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A value generator. Unlike the real crate there is no `ValueTree` /
+/// shrinking layer: a strategy maps an RNG directly to a value.
+pub trait Strategy: Clone + 'static {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O + Clone + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a cheaply clonable boxed strategy.
+    fn prop_boxed(self) -> SBox<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        SBox {
+            gen: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+
+    /// Recursive strategies: `depth` levels of `expand` over the leaf
+    /// strategy. The `_desired_size` / `_expected_branch` hints of the
+    /// real API are accepted and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        expand: F,
+    ) -> SBox<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value>,
+        F: Fn(SBox<Self::Value>) -> S2 + 'static,
+    {
+        let mut cur = self.clone().prop_boxed();
+        for _ in 0..depth {
+            let leaf = self.clone().prop_boxed();
+            let expanded = expand(cur).prop_boxed();
+            // 1/3 chance of bottoming out at each level keeps expected
+            // sizes finite while still exercising deep nests.
+            cur = Union::new(vec![leaf, expanded.clone(), expanded]).prop_boxed();
+        }
+        cur
+    }
+}
+
+/// Type-erased strategy (`Rc`-shared, clone is O(1)).
+pub struct SBox<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for SBox<T> {
+    fn clone(&self) -> Self {
+        SBox {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for SBox<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone + 'static,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    variants: Vec<SBox<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(variants: Vec<SBox<T>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        Union { variants }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            variants: self.variants.clone(),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.variants.len());
+        self.variants[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = self.start as i128;
+                let span = (self.end as i128 - lo) as u128;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let span = (*self.end() as i128 - lo) as u128 + 1;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Full-range generation for primitive types (`any::<T>()`).
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// `&'static str` as a (tiny) regex strategy. Supported shapes:
+/// `[class]{m,n}`, `\PC{m,n}`, or a plain literal with no metacharacters.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_lite::generate(self, rng)
+    }
+}
+
+mod regex_lite {
+    use super::test_runner::TestRng;
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        if !pattern.contains(['[', ']', '\\', '{', '}', '(', ')', '*', '+', '?', '|', '.']) {
+            // No metacharacters: the pattern matches only itself.
+            return pattern.to_string();
+        }
+        let (class, rest) = parse_class(pattern);
+        let (min, max) = parse_counts(rest, pattern);
+        let len = min + rng.below(max - min + 1);
+        (0..len).map(|_| class[rng.below(class.len())]).collect()
+    }
+
+    fn parse_class(pattern: &str) -> (Vec<char>, &str) {
+        if let Some(rest) = pattern.strip_prefix("\\PC") {
+            // Printable: ASCII space..~ plus a few multibyte chars so
+            // lexer fuzzing sees non-ASCII input.
+            let mut class: Vec<char> = (' '..='~').collect();
+            class.extend(['ä', 'é', 'λ', '→', '\u{00a0}']);
+            (class, rest)
+        } else if let Some(body) = pattern.strip_prefix('[') {
+            let end = body.find(']').unwrap_or_else(|| unsupported(pattern));
+            let mut class = Vec::new();
+            let chars: Vec<char> = body[..end].chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                if i + 2 < chars.len() && chars[i + 1] == '-' {
+                    let (lo, hi) = (chars[i], chars[i + 2]);
+                    class.extend(lo..=hi);
+                    i += 3;
+                } else {
+                    class.push(chars[i]);
+                    i += 1;
+                }
+            }
+            if class.is_empty() {
+                unsupported(pattern);
+            }
+            (class, &body[end + 1..])
+        } else {
+            unsupported(pattern)
+        }
+    }
+
+    fn parse_counts(rest: &str, pattern: &str) -> (usize, usize) {
+        if rest.is_empty() {
+            (1, 1)
+        } else {
+            let body = rest
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .unwrap_or_else(|| unsupported(pattern));
+            let mut parts = body.splitn(2, ',');
+            let min: usize = parts
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| unsupported(pattern));
+            let max: usize = match parts.next() {
+                Some(m) => m.trim().parse().unwrap_or_else(|_| unsupported(pattern)),
+                None => min,
+            };
+            (min, max.max(min))
+        }
+    }
+
+    fn unsupported(pattern: &str) -> ! {
+        panic!(
+            "proptest shim: unsupported regex strategy pattern {pattern:?} \
+             (supported: `[class]{{m,n}}`, `\\PC{{m,n}}`)"
+        )
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span);
+            // Duplicates collapse, as with the real crate's set strategy.
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+pub mod strategy {
+    pub use super::{Any, Just, Map, SBox, Strategy, Union};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case as u64,
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __res: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __res {
+                    panic!(
+                        "proptest case #{case} of {} failed: {e}\n\
+                         (deterministic shim: re-running reproduces this case; no shrinking)",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::prop_boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}` ({} == {})",
+                l,
+                r,
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}`: {}",
+                l,
+                r,
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Any, Just, SBox as BoxedStrategy, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod shim_tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = (0i64..100, prop_oneof![Just("a"), Just("b")]);
+        let mut r1 = TestRng::deterministic("x", 7);
+        let mut r2 = TestRng::deterministic("x", 7);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("bounds", 0);
+        for _ in 0..1000 {
+            let v = (3u8..=12).generate(&mut rng);
+            assert!((3..=12).contains(&v));
+            let w = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn regex_class_and_printable() {
+        let mut rng = TestRng::deterministic("re", 0);
+        for _ in 0..200 {
+            let s = "[a-z]{0,8}".generate(&mut rng);
+            assert!(s.len() <= 8 && s.chars().all(|c| c.is_ascii_lowercase()));
+            let p = "\\PC{0,20}".generate(&mut rng);
+            assert!(p.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf,
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = Just(T::Leaf).prop_recursive(4, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::deterministic("rec", 1);
+        let mut saw_node = false;
+        for _ in 0..100 {
+            let t = strat.generate(&mut rng);
+            saw_node |= matches!(t, T::Node(..));
+            assert!(depth(&t) <= 4);
+        }
+        assert!(saw_node);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_pipeline_works(xs in crate::collection::vec(0i32..10, 1..20), b in any::<bool>()) {
+            prop_assert!(!xs.is_empty());
+            prop_assert_eq!(xs.len(), xs.iter().copied().filter(|v| (0..10).contains(v)).count());
+            let _ = b;
+        }
+    }
+}

@@ -50,8 +50,13 @@ impl Implementation {
     }
 
     /// Maps an abstract event to a differently-named concrete event.
-    pub fn map_event(mut self, abstract_event: impl Into<String>, concrete: impl Into<String>) -> Self {
-        self.event_map.insert(abstract_event.into(), concrete.into());
+    pub fn map_event(
+        mut self,
+        abstract_event: impl Into<String>,
+        concrete: impl Into<String>,
+    ) -> Self {
+        self.event_map
+            .insert(abstract_event.into(), concrete.into());
         self
     }
 
@@ -104,7 +109,8 @@ impl Implementation {
             .ok_or_else(|| RefineError::UnknownClass(self.abstract_class.clone()))?;
         let mut out = self.event_map.clone();
         for ev in abs.template.signature().events().iter() {
-            out.entry(ev.name.clone()).or_insert_with(|| ev.name.clone());
+            out.entry(ev.name.clone())
+                .or_insert_with(|| ev.name.clone());
         }
         Ok(out)
     }
@@ -237,11 +243,15 @@ end interface class CONC_VIEW;
         ));
         // unknown classes
         assert!(matches!(
-            Implementation::new("GHOST", "CONC").validate(&m).unwrap_err(),
+            Implementation::new("GHOST", "CONC")
+                .validate(&m)
+                .unwrap_err(),
             RefineError::UnknownClass(_)
         ));
         assert!(matches!(
-            Implementation::new("ABS", "GHOST").validate(&m).unwrap_err(),
+            Implementation::new("ABS", "GHOST")
+                .validate(&m)
+                .unwrap_err(),
             RefineError::UnknownClass(_)
         ));
         // unknown interface

@@ -114,7 +114,10 @@ impl std::fmt::Display for RefinementReport {
             self.scenarios_run, self.steps_checked, self.behavior_simulated
         )?;
         if self.divergences.is_empty() {
-            write!(f, "no divergences — implementation is correct on the checked scenarios")
+            write!(
+                f,
+                "no divergences — implementation is correct on the checked scenarios"
+            )
         } else {
             writeln!(f, "{} divergence(s):", self.divergences.len())?;
             for d in &self.divergences {
@@ -164,8 +167,7 @@ pub fn check_refinement(
     // behaviour simulation through the event map
     let event_map = imp.resolved_event_map(model)?;
     let abs_relabelled = abs_class.template.behavior().relabel(&event_map);
-    let behavior_simulated =
-        simulate::simulates(conc_class.template.behavior(), &abs_relabelled);
+    let behavior_simulated = simulate::simulates(conc_class.template.behavior(), &abs_relabelled);
 
     let mut divergences = Vec::new();
     let mut steps_checked = 0usize;
@@ -176,14 +178,10 @@ pub fn check_refinement(
         setup(&mut abs_ob)?;
         setup(&mut conc_ob)?;
 
-        let abs_id = troll_data::ObjectId::new(
-            imp.abstract_class().to_string(),
-            scenario.key.clone(),
-        );
-        let conc_id = troll_data::ObjectId::new(
-            imp.concrete_class().to_string(),
-            scenario.key.clone(),
-        );
+        let abs_id =
+            troll_data::ObjectId::new(imp.abstract_class().to_string(), scenario.key.clone());
+        let conc_id =
+            troll_data::ObjectId::new(imp.concrete_class().to_string(), scenario.key.clone());
 
         let mut abs_dead = false;
         for (ti, step) in scenario.steps.iter().enumerate() {

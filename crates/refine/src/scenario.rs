@@ -40,9 +40,7 @@ impl ValuePool {
     fn draw(&self, sort: &Sort, rng: &mut StdRng) -> Value {
         match sort {
             Sort::Bool => Value::Bool(rng.random_bool(0.5)),
-            Sort::Int | Sort::Nat => {
-                Value::Int(self.ints[rng.random_range(0..self.ints.len())])
-            }
+            Sort::Int | Sort::Nat => Value::Int(self.ints[rng.random_range(0..self.ints.len())]),
             Sort::String => {
                 Value::from(self.strings[rng.random_range(0..self.strings.len())].clone())
             }
@@ -124,7 +122,11 @@ impl Scenario {
                     args: draw_args(class, &birth.name, birth.arity, pool, &mut rng),
                 });
             }
-            let len = if max_len == 0 { 0 } else { rng.random_range(0..max_len) };
+            let len = if max_len == 0 {
+                0
+            } else {
+                rng.random_range(0..max_len)
+            };
             for _ in 0..len {
                 if updates.is_empty() {
                     break;
@@ -225,8 +227,7 @@ end object class ACC;
             assert_eq!(s.key.len(), 1);
         }
         // keys are unique across scenarios
-        let keys: std::collections::BTreeSet<_> =
-            scenarios.iter().map(|s| s.key.clone()).collect();
+        let keys: std::collections::BTreeSet<_> = scenarios.iter().map(|s| s.key.clone()).collect();
         assert_eq!(keys.len(), 20);
     }
 

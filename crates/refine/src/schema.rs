@@ -210,17 +210,13 @@ impl Module {
     /// # Errors
     ///
     /// Fails if the schema is not exported by this module.
-    pub fn open<'a>(
-        &self,
-        schema: &str,
-        base: &'a mut ObjectBase,
-    ) -> Result<GuardedBase<'a>> {
-        let export = self
-            .export_schema(schema)
-            .ok_or_else(|| RefineError::UnknownExportSchema {
-                module: self.name.clone(),
-                schema: schema.to_string(),
-            })?;
+    pub fn open<'a>(&self, schema: &str, base: &'a mut ObjectBase) -> Result<GuardedBase<'a>> {
+        let export =
+            self.export_schema(schema)
+                .ok_or_else(|| RefineError::UnknownExportSchema {
+                    module: self.name.clone(),
+                    schema: schema.to_string(),
+                })?;
         Ok(GuardedBase {
             module: self.name.clone(),
             allowed: export.interfaces.iter().cloned().collect(),
@@ -420,7 +416,10 @@ end module PAYROLL;
         let personnel = sys.module("PERSONNEL").unwrap();
 
         let guard = personnel.open("SALARY", &mut ob).unwrap();
-        assert_eq!(guard.allowed_interfaces().collect::<Vec<_>>(), vec!["SAL_EMPLOYEE"]);
+        assert_eq!(
+            guard.allowed_interfaces().collect::<Vec<_>>(),
+            vec!["SAL_EMPLOYEE"]
+        );
         // exported view works
         let v = guard.view("SAL_EMPLOYEE").unwrap();
         assert_eq!(v.len(), 1);
@@ -435,8 +434,7 @@ end module PAYROLL;
         let sys = modules(&model);
         let personnel = sys.module("PERSONNEL").unwrap();
         let ada = ObjectId::singleton("PERSON", Value::from("ada"));
-        let bindings: BTreeMap<String, ObjectId> =
-            [("PERSON".to_string(), ada.clone())].into();
+        let bindings: BTreeMap<String, ObjectId> = [("PERSON".to_string(), ada.clone())].into();
 
         {
             let mut guard = personnel.open("SALARY", &mut ob).unwrap();
@@ -502,7 +500,8 @@ end module PAYROLL;
         m.add_implementation(Implementation::new("PERSON", "PERSON"));
         let v = m.validate(&model);
         assert!(
-            v.iter().any(|msg| msg.contains("not in the internal schema")),
+            v.iter()
+                .any(|msg| msg.contains("not in the internal schema")),
             "{v:?}"
         );
     }

@@ -2,6 +2,10 @@
 
 use crate::env::{self, World};
 use crate::instance::{Instance, RoleState};
+use crate::monitor_cache::{
+    monitorable_grounding, recorded_state_vars, CheckKey, CheckKind, MonitorCache,
+    MonitorCacheStats, Verdict,
+};
 use crate::{Result, RuntimeError};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use troll_data::{ObjectId, Value};
@@ -77,6 +81,7 @@ pub struct ObjectBase {
     model: SystemModel,
     instances: BTreeMap<ObjectId, Instance>,
     steps_executed: usize,
+    monitor_cache: MonitorCache,
 }
 
 impl ObjectBase {
@@ -130,12 +135,35 @@ impl ObjectBase {
             model,
             instances,
             steps_executed: 0,
+            monitor_cache: MonitorCache::default(),
         })
     }
 
     /// The underlying model.
     pub fn model(&self) -> &SystemModel {
         &self.model
+    }
+
+    /// Enables or disables the incremental monitor cache (enabled by
+    /// default). With the cache off, every permission and constraint
+    /// check runs the reference history-scan evaluator — useful as a
+    /// differential-testing oracle and for measuring the cache's win.
+    /// Disabling drops all cached monitor state; re-enabling rebuilds
+    /// it lazily from committed traces.
+    pub fn set_monitor_cache_enabled(&mut self, enabled: bool) {
+        self.monitor_cache.set_enabled(enabled);
+    }
+
+    /// Whether the incremental monitor cache is active.
+    pub fn monitor_cache_enabled(&self) -> bool {
+        self.monitor_cache.enabled()
+    }
+
+    /// Counters of the incremental monitor cache: hits (checks answered
+    /// by a monitor), misses (entries created), fallbacks (checks
+    /// answered by the scan evaluator) and invalidations.
+    pub fn monitor_cache_stats(&self) -> MonitorCacheStats {
+        self.monitor_cache.stats()
     }
 
     /// Number of committed steps.
@@ -250,12 +278,7 @@ impl ObjectBase {
                 found: args.len(),
             });
         }
-        let params: BTreeMap<String, Value> = family
-            .binders
-            .iter()
-            .cloned()
-            .zip(args)
-            .collect();
+        let params: BTreeMap<String, Value> = family.binders.iter().cloned().zip(args).collect();
         let mut needed = env::needed_vars(&[&family.value]);
         needed.insert("self".to_string());
         let world = Committed(self);
@@ -330,10 +353,7 @@ impl ObjectBase {
     /// # Errors
     ///
     /// Fails on unknown instances or formula evaluation errors.
-    pub fn check_obligations(
-        &self,
-        id: &ObjectId,
-    ) -> Result<Vec<(String, bool)>> {
+    pub fn check_obligations(&self, id: &ObjectId) -> Result<Vec<(String, bool)>> {
         let inst = self
             .instances
             .get(id)
@@ -348,14 +368,7 @@ impl ObjectBase {
             env::formula_needed_vars(obligation, &mut needed);
             needed.insert("self".to_string());
             let world = Committed(self);
-            let env = env::build_env(
-                &world,
-                id,
-                class,
-                &inst.state,
-                &BTreeMap::new(),
-                &needed,
-            )?;
+            let env = env::build_env(&world, id, class, &inst.state, &BTreeMap::new(), &needed)?;
             // obligations are judged from the object's birth position
             let discharged = if inst.trace.is_empty() {
                 false
@@ -443,16 +456,30 @@ impl ObjectBase {
     // ----- the step engine ------------------------------------------
 
     fn execute_step(&mut self, initial: Vec<Occurrence>) -> Result<StepReport> {
+        // The cache is moved out for the duration of the step so the
+        // `&self` phases below can update it; it is restored on every
+        // path, including errors (whose transactions never feed it).
+        let mut cache = std::mem::take(&mut self.monitor_cache);
+        let result = self.execute_step_with(initial, &mut cache);
+        self.monitor_cache = cache;
+        result
+    }
+
+    fn execute_step_with(
+        &mut self,
+        initial: Vec<Occurrence>,
+        cache: &mut MonitorCache,
+    ) -> Result<StepReport> {
         let occurrences = self.close_over_calls(initial)?;
         let mut working: BTreeMap<ObjectId, Working> = BTreeMap::new();
 
         for occ in &occurrences {
-            self.apply_occurrence(occ, &mut working)?;
+            self.apply_occurrence(occ, &mut working, cache)?;
         }
 
         // constraints on post-states
         for (id, w) in &working {
-            self.check_constraints(id, w, &working)?;
+            self.check_constraints(id, w, &working, cache)?;
         }
 
         // trace snapshots record alias/component entries materialized as
@@ -485,7 +512,9 @@ impl ObjectBase {
             inst.alive = w.alive;
             inst.born = w.born;
             if !w.new_events.is_empty() || !w.existed_before {
-                inst.trace.push(Step::new(w.new_events, snapshot));
+                let step = Step::new(w.new_events, snapshot);
+                cache.on_commit(&id, &step);
+                inst.trace.push(step);
             }
             for (role, role_state) in w.roles {
                 let mut rs = role_state;
@@ -495,6 +524,9 @@ impl ObjectBase {
                     }
                 }
                 inst.roles.insert(role, rs);
+            }
+            if !w.alive {
+                cache.on_death(&id);
             }
         }
         self.steps_executed += 1;
@@ -626,8 +658,8 @@ impl ObjectBase {
                             .map(|c| c.class.clone())
                     })
                     .ok_or_else(|| RuntimeError::ViewError(format!("unknown alias `{alias}`")))?;
-                let target = env::resolve_alias(&world, &state, alias, &target_class)
-                    .ok_or_else(|| {
+                let target =
+                    env::resolve_alias(&world, &state, alias, &target_class).ok_or_else(|| {
                         RuntimeError::UnknownInstance(format!("alias `{alias}` unresolved"))
                     })?;
                 (target, target_class)
@@ -688,6 +720,7 @@ impl ObjectBase {
         &self,
         occ: &Occurrence,
         working: &mut BTreeMap<ObjectId, Working>,
+        cache: &mut MonitorCache,
     ) -> Result<()> {
         let class = self
             .model
@@ -816,10 +849,7 @@ impl ObjectBase {
                 if let Some(r) = role {
                     merged.extend(r.attrs.clone());
                 }
-                (
-                    role.map(|r| &r.trace).unwrap_or(&empty_trace),
-                    merged,
-                )
+                (role.map(|r| &r.trace).unwrap_or(&empty_trace), merged)
             } else {
                 (
                     self.instances
@@ -829,7 +859,7 @@ impl ObjectBase {
                     w.state.clone(),
                 )
             };
-            for perm in class.permissions_for(&occ.event) {
+            for (perm_index, perm) in class.permissions_for(&occ.event).enumerate() {
                 let params = bind_params(&perm.params, &occ.args, &occ.event)?;
                 let mut needed = BTreeSet::new();
                 env::formula_needed_vars(&perm.formula, &mut needed);
@@ -838,14 +868,8 @@ impl ObjectBase {
                     base: self,
                     working,
                 };
-                let env = env::build_env(
-                    &overlay,
-                    &occ.id,
-                    class,
-                    &current_state,
-                    &params,
-                    &needed,
-                )?;
+                let env =
+                    env::build_env(&overlay, &occ.id, class, &current_state, &params, &needed)?;
                 let virtual_step = Step::new(
                     if is_role_ctx {
                         w.new_role_events
@@ -857,7 +881,29 @@ impl ObjectBase {
                     },
                     env::materialize_aliases(&overlay, class, &current_state)?,
                 );
-                if !eval_now_appended(&perm.formula, trace, &virtual_step, &env)? {
+                // Role histories stay on the scan path; base histories
+                // go through the monitor cache, falling back to the
+                // scan for anything outside the monitorable fragment.
+                let holds = if is_role_ctx {
+                    eval_now_appended(&perm.formula, trace, &virtual_step, &env)?
+                } else {
+                    let key = CheckKey {
+                        kind: CheckKind::Permission,
+                        ctx_class: occ.ctx_class.clone(),
+                        event: occ.event.clone(),
+                        index: perm_index,
+                        args: params.values().cloned().collect(),
+                    };
+                    match cache.check(&occ.id, key, trace, &virtual_step, &env, || {
+                        monitorable_grounding(&perm.formula, &params, &recorded_state_vars(class))
+                    }) {
+                        Verdict::Holds(b) => b,
+                        Verdict::Fallback => {
+                            eval_now_appended(&perm.formula, trace, &virtual_step, &env)?
+                        }
+                    }
+                };
+                if !holds {
                     return Err(RuntimeError::NotPermitted {
                         instance: occ.id.to_string(),
                         event: occ.event.clone(),
@@ -894,8 +940,7 @@ impl ObjectBase {
                     base: self,
                     working,
                 };
-                let env =
-                    env::build_env(&overlay, &occ.id, class, &pre_state, &params, &needed)?;
+                let env = env::build_env(&overlay, &occ.id, class, &pre_state, &params, &needed)?;
                 if let Some(g) = &rule.guard {
                     match g.eval(&env)?.as_bool() {
                         Some(true) => {}
@@ -956,6 +1001,7 @@ impl ObjectBase {
         id: &ObjectId,
         w: &Working,
         working: &BTreeMap<ObjectId, Working>,
+        cache: &mut MonitorCache,
     ) -> Result<()> {
         let overlay = Overlay {
             base: self,
@@ -965,15 +1011,14 @@ impl ObjectBase {
             Some(c) => c,
             None => return Ok(()),
         };
-        let birth_in_step = w
-            .new_events
-            .iter()
-            .any(|e| base_class.template.signature().events().kind_of(&e.name) == Some(EventKind::Birth));
+        let birth_in_step = w.new_events.iter().any(|e| {
+            base_class.template.signature().events().kind_of(&e.name) == Some(EventKind::Birth)
+        });
 
         let check = |class: &ClassModel,
-                         state: &BTreeMap<String, Value>,
-                         trace: &Trace,
-                         events: &[EventOccurrence]|
+                     state: &BTreeMap<String, Value>,
+                     trace: &Trace,
+                     events: &[EventOccurrence]|
          -> Result<()> {
             for c in &class.constraints {
                 let applies = match c.kind {
@@ -1008,7 +1053,63 @@ impl ObjectBase {
                 .get(id)
                 .map(|i| &i.trace)
                 .unwrap_or(&empty_trace);
-            check(base_class, &w.state, base_trace, &w.new_events)?;
+            // Same as the `check` closure, but recurring constraints on
+            // the base history are answered by the monitor cache when
+            // they lie in the monitorable fragment.
+            for (index, c) in base_class.constraints.iter().enumerate() {
+                let applies = match c.kind {
+                    ConstraintKind::Static | ConstraintKind::Dynamic => true,
+                    ConstraintKind::Initially => birth_in_step,
+                };
+                if !applies {
+                    continue;
+                }
+                let mut needed = BTreeSet::new();
+                env::formula_needed_vars(&c.formula, &mut needed);
+                needed.insert("self".to_string());
+                let env = env::build_env(
+                    &overlay,
+                    id,
+                    base_class,
+                    &w.state,
+                    &BTreeMap::new(),
+                    &needed,
+                )?;
+                let virtual_step = Step::new(
+                    w.new_events.clone(),
+                    env::materialize_aliases(&overlay, base_class, &w.state)?,
+                );
+                // `initially` fires once per life — not worth an entry.
+                let holds = if c.kind == ConstraintKind::Initially {
+                    eval_now_appended(&c.formula, base_trace, &virtual_step, &env)?
+                } else {
+                    let key = CheckKey {
+                        kind: CheckKind::Constraint,
+                        ctx_class: w.class.clone(),
+                        event: String::new(),
+                        index,
+                        args: Vec::new(),
+                    };
+                    match cache.check(id, key, base_trace, &virtual_step, &env, || {
+                        monitorable_grounding(
+                            &c.formula,
+                            &BTreeMap::new(),
+                            &recorded_state_vars(base_class),
+                        )
+                    }) {
+                        Verdict::Holds(b) => b,
+                        Verdict::Fallback => {
+                            eval_now_appended(&c.formula, base_trace, &virtual_step, &env)?
+                        }
+                    }
+                };
+                if !holds {
+                    return Err(RuntimeError::ConstraintViolated {
+                        instance: id.to_string(),
+                        formula: c.formula.to_string(),
+                    });
+                }
+            }
         }
 
         for (role_name, role_state) in &w.roles {
@@ -1031,11 +1132,7 @@ impl ObjectBase {
     }
 }
 
-fn bind_params(
-    params: &[String],
-    args: &[Value],
-    event: &str,
-) -> Result<BTreeMap<String, Value>> {
+fn bind_params(params: &[String], args: &[Value], event: &str) -> Result<BTreeMap<String, Value>> {
     if !params.is_empty() && params.len() != args.len() {
         return Err(RuntimeError::ArityMismatch {
             event: event.to_string(),
@@ -1043,11 +1140,7 @@ fn bind_params(
             found: args.len(),
         });
     }
-    Ok(params
-        .iter()
-        .cloned()
-        .zip(args.iter().cloned())
-        .collect())
+    Ok(params.iter().cloned().zip(args.iter().cloned()).collect())
 }
 
 /// World view over committed state only.
@@ -1061,7 +1154,6 @@ impl World for Committed<'_> {
     fn state_of(&self, id: &ObjectId) -> Option<BTreeMap<String, Value>> {
         self.0.instances.get(id).map(|i| i.state.clone())
     }
-
 
     fn population(&self, class: &str) -> Vec<ObjectId> {
         self.0.population(class)
@@ -1089,7 +1181,6 @@ impl World for Overlay<'_> {
         }
         self.base.instances.get(id).map(|i| i.state.clone())
     }
-
 
     fn population(&self, class: &str) -> Vec<ObjectId> {
         // pre-step population plus anything born in this step
@@ -1221,7 +1312,10 @@ end global interactions;
             ob.attribute(&toys, "est_date").unwrap(),
             Value::Date(Date::new(1991, 10, 16).unwrap())
         );
-        assert_eq!(ob.attribute(&toys, "employees").unwrap(), Value::empty_set());
+        assert_eq!(
+            ob.attribute(&toys, "employees").unwrap(),
+            Value::empty_set()
+        );
         // manager declared but never assigned: observable as undefined
         assert_eq!(ob.attribute(&toys, "manager").unwrap(), Value::Undefined);
         let inst = ob.instance(&toys).unwrap();
@@ -1257,9 +1351,7 @@ end global interactions;
         ob.execute(&toys, "closure", vec![]).unwrap();
         assert!(!ob.instance(&toys).unwrap().is_alive());
         let ada = person(&mut ob, "ada", 1000);
-        let err = ob
-            .execute(&toys, "hire", vec![Value::Id(ada)])
-            .unwrap_err();
+        let err = ob.execute(&toys, "hire", vec![Value::Id(ada)]).unwrap_err();
         assert!(matches!(err, RuntimeError::NotAlive(_)));
     }
 
@@ -1269,15 +1361,18 @@ end global interactions;
         let toys = dept(&mut ob, "Toys");
         let ada = person(&mut ob, "ada", 1000);
         let bob = person(&mut ob, "bob", 1000);
-        ob.execute(&toys, "hire", vec![Value::Id(ada.clone())]).unwrap();
+        ob.execute(&toys, "hire", vec![Value::Id(ada.clone())])
+            .unwrap();
         // bob was never hired
-        let err = ob
-            .execute(&toys, "fire", vec![Value::Id(bob)])
-            .unwrap_err();
+        let err = ob.execute(&toys, "fire", vec![Value::Id(bob)]).unwrap_err();
         assert!(matches!(err, RuntimeError::NotPermitted { .. }));
         // ada can be fired — and even re-fired (permission is sticky)
-        ob.execute(&toys, "fire", vec![Value::Id(ada.clone())]).unwrap();
-        assert_eq!(ob.attribute(&toys, "employees").unwrap(), Value::empty_set());
+        ob.execute(&toys, "fire", vec![Value::Id(ada.clone())])
+            .unwrap();
+        assert_eq!(
+            ob.attribute(&toys, "employees").unwrap(),
+            Value::empty_set()
+        );
         ob.execute(&toys, "fire", vec![Value::Id(ada)]).unwrap();
     }
 
@@ -1286,7 +1381,8 @@ end global interactions;
         let mut ob = company_base();
         let toys = dept(&mut ob, "Toys");
         let ada = person(&mut ob, "ada", 1000);
-        ob.execute(&toys, "hire", vec![Value::Id(ada.clone())]).unwrap();
+        ob.execute(&toys, "hire", vec![Value::Id(ada.clone())])
+            .unwrap();
         // ada not yet fired: closure forbidden
         let err = ob.execute(&toys, "closure", vec![]).unwrap_err();
         assert!(matches!(err, RuntimeError::NotPermitted { .. }));
@@ -1306,7 +1402,10 @@ end global interactions;
         // the step contains both events, synchronously
         assert!(report.occurred("new_manager"));
         assert!(report.occurred("become_manager"));
-        assert_eq!(ob.attribute(&toys, "manager").unwrap(), Value::Id(ada.clone()));
+        assert_eq!(
+            ob.attribute(&toys, "manager").unwrap(),
+            Value::Id(ada.clone())
+        );
         // and ada's own trace records become_manager
         let ada_inst = ob.instance(&ada).unwrap();
         assert!(ada_inst.trace().last().unwrap().has_event("become_manager"));
@@ -1629,14 +1728,25 @@ end object class ACC;
 "#;
         let mut ob = ObjectBase::new(analyze(src)).unwrap();
         let err = ob
-            .birth("ACC", vec![Value::from("ada")], "open", vec![Value::from(-5)])
+            .birth(
+                "ACC",
+                vec![Value::from("ada")],
+                "open",
+                vec![Value::from(-5)],
+            )
             .unwrap_err();
         assert!(matches!(err, RuntimeError::ConstraintViolated { .. }));
         let acc = ob
-            .birth("ACC", vec![Value::from("ada")], "open", vec![Value::from(10)])
+            .birth(
+                "ACC",
+                vec![Value::from("ada")],
+                "open",
+                vec![Value::from(10)],
+            )
             .unwrap();
         // initially-constraint does not apply to later events
-        ob.execute(&acc, "withdraw", vec![Value::from(100)]).unwrap();
+        ob.execute(&acc, "withdraw", vec![Value::from(100)])
+            .unwrap();
         assert_eq!(ob.attribute(&acc, "balance").unwrap(), Value::from(-90));
     }
 
@@ -1706,7 +1816,9 @@ end object pair;
         assert_eq!(ob.attribute(&pair, "b").unwrap(), Value::from(5));
         // set_both(50): set_a succeeds in-step, set_b is refused → the
         // WHOLE step rolls back, a stays 5
-        let err = ob.execute(&pair, "set_both", vec![Value::from(50)]).unwrap_err();
+        let err = ob
+            .execute(&pair, "set_both", vec![Value::from(50)])
+            .unwrap_err();
         assert!(matches!(err, RuntimeError::NotPermitted { .. }));
         assert_eq!(ob.attribute(&pair, "a").unwrap(), Value::from(5));
         assert_eq!(ob.attribute(&pair, "b").unwrap(), Value::from(5));
@@ -1790,7 +1902,11 @@ end object echo;
         let e = ob.singleton("echo").unwrap();
         ob.execute(&e, "init", vec![]).unwrap();
         let report = ob.execute(&e, "say", vec![Value::from(7)]).unwrap();
-        assert_eq!(report.occurrences.len(), 1, "identical occurrence deduplicated");
+        assert_eq!(
+            report.occurrences.len(),
+            1,
+            "identical occurrence deduplicated"
+        );
         assert_eq!(ob.attribute(&e, "n").unwrap(), Value::from(7));
     }
 
@@ -1835,8 +1951,7 @@ object class TASK
       eventually(done = true);
 end object class TASK;
 "#;
-        let model =
-            troll_lang::analyze(&troll_lang::parse(src).expect("parse")).expect("analyze");
+        let model = troll_lang::analyze(&troll_lang::parse(src).expect("parse")).expect("analyze");
         let mut ob = ObjectBase::new(model).unwrap();
         let t = ob
             .birth("TASK", vec![Value::from("t1")], "start", vec![])
@@ -1870,8 +1985,7 @@ object class TASK
       eventually(occurs(finish));
 end object class TASK;
 "#;
-        let model =
-            troll_lang::analyze(&troll_lang::parse(src).expect("parse")).expect("analyze");
+        let model = troll_lang::analyze(&troll_lang::parse(src).expect("parse")).expect("analyze");
         let mut ob = ObjectBase::new(model).unwrap();
         let t = ob
             .birth("TASK", vec![Value::from("t1")], "start", vec![])
@@ -1897,7 +2011,10 @@ end object class T;
         let err = troll_lang::parse(src)
             .and_then(|s| troll_lang::analyze(&s))
             .unwrap_err();
-        assert!(err.to_string().contains("unknown variable `ghost`"), "{err}");
+        assert!(
+            err.to_string().contains("unknown variable `ghost`"),
+            "{err}"
+        );
     }
 }
 
@@ -1940,11 +2057,15 @@ object class TAXPAYER
       [register(t)] tax_id = t;
 end object class TAXPAYER;
 "#;
-        let model =
-            troll_lang::analyze(&troll_lang::parse(src).expect("parse")).expect("analyze");
+        let model = troll_lang::analyze(&troll_lang::parse(src).expect("parse")).expect("analyze");
         let mut ob = ObjectBase::new(model).unwrap();
         let ada = ob
-            .birth("PERSON", vec![Value::from("ada")], "create", vec![Value::from(30)])
+            .birth(
+                "PERSON",
+                vec![Value::from("ada")],
+                "create",
+                vec![Value::from(30)],
+            )
             .unwrap();
         // the specialization activated together with the base birth
         assert!(ob.instance(&ada).unwrap().has_role("TAXPAYER"));
@@ -1988,8 +2109,7 @@ object class PREMIUM
       [open(n)] perks = n div 1000;
 end object class PREMIUM;
 "#;
-        let model =
-            troll_lang::analyze(&troll_lang::parse(src).expect("parse")).expect("analyze");
+        let model = troll_lang::analyze(&troll_lang::parse(src).expect("parse")).expect("analyze");
         let mut ob = ObjectBase::new(model).unwrap();
         let acc = ob
             .birth(
@@ -2045,8 +2165,7 @@ object class WATCHDOG
       { sometime(m.level = 2) } bark;
 end object class WATCHDOG;
 "#;
-        let model =
-            troll_lang::analyze(&troll_lang::parse(src).expect("parse")).expect("analyze");
+        let model = troll_lang::analyze(&troll_lang::parse(src).expect("parse")).expect("analyze");
         let mut ob = ObjectBase::new(model).unwrap();
         let meter = ob.singleton("meter").unwrap();
         ob.execute(&meter, "init", vec![]).unwrap();
@@ -2057,8 +2176,8 @@ end object class WATCHDOG;
         assert!(ob.execute(&dog, "bark", vec![]).is_err());
         ob.execute(&meter, "rise", vec![]).unwrap();
         ob.execute(&meter, "rise", vec![]).unwrap(); // level = 2, but rex hasn't looked
-        // `sometime` is over REX's history; the current virtual step
-        // observes level 2, so bark is now permitted
+                                                     // `sometime` is over REX's history; the current virtual step
+                                                     // observes level 2, so bark is now permitted
         ob.execute(&dog, "bark", vec![]).unwrap();
         // and the observation is *sticky* even after the level moves on,
         // because rex's own trace recorded the materialized snapshot
@@ -2096,8 +2215,7 @@ end object class PERSON;
 "#;
 
     fn base() -> (ObjectBase, ObjectId) {
-        let model =
-            troll_lang::analyze(&troll_lang::parse(SRC).expect("parse")).expect("analyze");
+        let model = troll_lang::analyze(&troll_lang::parse(SRC).expect("parse")).expect("analyze");
         let mut ob = ObjectBase::new(model).unwrap();
         let ada = ob
             .birth(
@@ -2152,7 +2270,8 @@ end object class PERSON;
     fn errors_on_misuse() {
         let (ob, ada) = base();
         assert!(matches!(
-            ob.attribute_with_args(&ada, "IncomeInYear", vec![]).unwrap_err(),
+            ob.attribute_with_args(&ada, "IncomeInYear", vec![])
+                .unwrap_err(),
             RuntimeError::ArityMismatch { .. }
         ));
         assert!(matches!(
@@ -2166,7 +2285,10 @@ end object class PERSON;
     #[test]
     fn analyzer_rejects_bad_families() {
         // missing derivation rule
-        let bad = SRC.replace("IncomeInYear(y) = if y >= 2020 then Salary * 13.5 else Salary * 12;", "");
+        let bad = SRC.replace(
+            "IncomeInYear(y) = if y >= 2020 then Salary * 13.5 else Salary * 12;",
+            "",
+        );
         let err = troll_lang::parse(&bad)
             .and_then(|s| troll_lang::analyze(&s))
             .unwrap_err();
@@ -2178,8 +2300,14 @@ end object class PERSON;
             .unwrap_err();
         assert!(err.to_string().contains("binds 2 parameter"), "{err}");
         // parameterized but not derived
-        let bad = SRC.replace("derived IncomeInYear(int): money;", "IncomeInYear(int): money;");
+        let bad = SRC.replace(
+            "derived IncomeInYear(int): money;",
+            "IncomeInYear(int): money;",
+        );
         let err = troll_lang::parse(&bad).unwrap_err();
-        assert!(err.to_string().contains("must be declared `derived`"), "{err}");
+        assert!(
+            err.to_string().contains("must be declared `derived`"),
+            "{err}"
+        );
     }
 }

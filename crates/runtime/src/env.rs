@@ -90,10 +90,7 @@ pub(crate) fn build_env(
             .and_then(|s| s.strip_suffix(')'))
         {
             let ids = world.population(class_name);
-            env.bind(
-                var.clone(),
-                Value::set_of(ids.into_iter().map(Value::Id)),
-            );
+            env.bind(var.clone(), Value::set_of(ids.into_iter().map(Value::Id)));
         }
     }
     // self tuple (stored + derived + surrogate) on demand
@@ -196,10 +193,8 @@ pub(crate) fn self_tuple(
     class: &ClassModel,
     state: &BTreeMap<String, Value>,
 ) -> Result<Value> {
-    let mut fields: Vec<(String, Value)> = state
-        .iter()
-        .map(|(k, v)| (k.clone(), v.clone()))
-        .collect();
+    let mut fields: Vec<(String, Value)> =
+        state.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
     fields.push(("surrogate".to_string(), Value::Id(id.clone())));
     if !class.derivation.is_empty() {
         let env = env_for_instance(world, id, class, state, &BTreeMap::new(), 0)?;

@@ -100,7 +100,10 @@ impl fmt::Display for RuntimeError {
                 event,
                 expected,
                 found,
-            } => write!(f, "event `{event}` takes {expected} argument(s), got {found}"),
+            } => write!(
+                f,
+                "event `{event}` takes {expected} argument(s), got {found}"
+            ),
             RuntimeError::AlreadyBorn(i) => write!(f, "instance {i} already exists"),
             RuntimeError::NotAlive(i) => write!(f, "instance {i} is not alive"),
             RuntimeError::IdentityClassMismatch {
@@ -163,7 +166,11 @@ mod tests {
     fn display_and_conversions() {
         let e: RuntimeError = DataError::UnboundVariable("x".into()).into();
         assert!(e.to_string().contains("unbound variable"));
-        let e: RuntimeError = TemporalError::PositionOutOfRange { position: 1, len: 0 }.into();
+        let e: RuntimeError = TemporalError::PositionOutOfRange {
+            position: 1,
+            len: 0,
+        }
+        .into();
         assert!(e.to_string().contains("temporal error"));
         let e = RuntimeError::NotPermitted {
             instance: "DEPT(\"Toys\")".into(),

@@ -78,11 +78,13 @@ mod base;
 mod env;
 mod error;
 mod instance;
+mod monitor_cache;
 mod views;
 
-pub use base::{Occurrence, ObjectBase, StepReport};
+pub use base::{ObjectBase, Occurrence, StepReport};
 pub use error::RuntimeError;
 pub use instance::Instance;
+pub use monitor_cache::MonitorCacheStats;
 pub use views::{JoinStrategy, ViewRow, ViewSet};
 
 /// Convenience result alias.

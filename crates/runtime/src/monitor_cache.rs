@@ -1,0 +1,479 @@
+//! Incremental monitor cache for permission and constraint checks.
+//!
+//! The reference path evaluates every permission precondition and
+//! dynamic constraint by re-scanning the instance's whole trace
+//! ([`troll_temporal::eval_now_appended`], O(|trace|·|φ|) per check).
+//! This cache keeps one incremental [`Monitor`] per (instance, grounded
+//! check) pair, advanced once per committed step, so a check on the
+//! hot path costs a single O(|φ|) [`Monitor::peek`] regardless of how
+//! long the object has lived.
+//!
+//! # Safety argument
+//!
+//! The cache must never change observable semantics, only cost. Three
+//! properties make that hold:
+//!
+//! 1. **Grounding makes rigid arguments closed.** The scan evaluator
+//!    reads event-pattern arguments and permission parameters rigidly
+//!    in the *check-time* environment. A monitor replaying history has
+//!    no such environment, so [`monitorable_grounding`] substitutes the
+//!    parameter bindings as constants and rejects any formula that
+//!    still mentions a variable not guaranteed to be recorded in every
+//!    trace snapshot. Bindings that collide with recorded state names
+//!    are also rejected: step state shadows the ambient environment
+//!    under the scan semantics, so substituting them would flip the
+//!    resolution order.
+//! 2. **Replay errors poison the entry.** Historical steps are replayed
+//!    with an empty ambient environment. Any formula that needs
+//!    check-time bindings fails evaluation, the entry is marked
+//!    [`Entry::Unmonitorable`], and the caller falls back to the scan —
+//!    a monitor can give up, but it can never answer differently.
+//! 3. **Feeding happens at commit only.** [`MonitorCache::on_commit`]
+//!    is called exactly where the step engine pushes a committed trace
+//!    step; checks use the non-mutating [`Monitor::peek`] against the
+//!    transaction's virtual step. A rolled-back transaction therefore
+//!    leaves every monitor untouched by construction.
+//!
+//! `troll-core`'s differential property test drives random event
+//! scripts through a cached and an uncached object base and asserts
+//! decision-for-decision equality, including across rollbacks.
+
+use std::collections::{BTreeMap, BTreeSet};
+use troll_data::{Env, MapEnv, ObjectId, Value};
+use troll_lang::ast::ComponentKind;
+use troll_lang::ClassModel;
+use troll_temporal::{Formula, Monitor, Step, Trace};
+
+/// Per-instance cap on cached entries; beyond it, new checks simply use
+/// the scan path rather than evict (eviction would thrash on workloads
+/// with more distinct parameter values than slots).
+const MAX_ENTRIES_PER_INSTANCE: usize = 128;
+
+/// What kind of check an entry caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum CheckKind {
+    /// A permission precondition of an event.
+    Permission,
+    /// A static/dynamic constraint.
+    Constraint,
+}
+
+/// Identity of one grounded check within an instance: which rule it is
+/// (kind, context class, event, declaration index) plus the parameter
+/// values it was grounded with.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct CheckKey {
+    pub kind: CheckKind,
+    pub ctx_class: String,
+    /// Guarded event name; empty for constraints.
+    pub event: String,
+    /// Index of the rule in the class's declaration order.
+    pub index: usize,
+    /// Grounded parameter values; empty for constraints.
+    pub args: Vec<Value>,
+}
+
+#[derive(Debug)]
+enum Entry {
+    /// A live monitor, synced to some prefix of the committed trace.
+    Active(Monitor),
+    /// The check is outside the monitorable fragment (or a replay
+    /// errored); always answer with the scan path.
+    Unmonitorable,
+}
+
+/// Counters exposed for benchmarks and the differential test suite.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorCacheStats {
+    /// Checks answered by a monitor peek.
+    pub hits: u64,
+    /// Cache entries created (first sight of a grounded check).
+    pub misses: u64,
+    /// Checks answered by the reference scan evaluator.
+    pub fallbacks: u64,
+    /// Entries dropped (instance death or stale monitor state).
+    pub invalidations: u64,
+}
+
+/// Outcome of consulting the cache for one check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// The monitor answered: the formula holds (or not) on the history
+    /// extended with the virtual step.
+    Holds(bool),
+    /// Not cacheable here — evaluate with the scan path.
+    Fallback,
+}
+
+/// The cache proper: monitors keyed by instance, then by grounded check.
+#[derive(Debug)]
+pub(crate) struct MonitorCache {
+    enabled: bool,
+    per_instance: BTreeMap<ObjectId, BTreeMap<CheckKey, Entry>>,
+    stats: MonitorCacheStats,
+}
+
+impl Default for MonitorCache {
+    fn default() -> Self {
+        MonitorCache {
+            enabled: true,
+            per_instance: BTreeMap::new(),
+            stats: MonitorCacheStats::default(),
+        }
+    }
+}
+
+impl MonitorCache {
+    /// Enables or disables the cache. Disabling drops all state, so a
+    /// later re-enable rebuilds monitors lazily from committed traces.
+    pub(crate) fn set_enabled(&mut self, enabled: bool) {
+        if !enabled {
+            self.per_instance.clear();
+        }
+        self.enabled = enabled;
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn stats(&self) -> MonitorCacheStats {
+        self.stats
+    }
+
+    /// Answers one check against `trace` extended with `virtual_step`,
+    /// creating/syncing the entry as needed. `ground` is invoked only
+    /// when the entry is first created; returning `None` marks the
+    /// check unmonitorable for good.
+    pub(crate) fn check(
+        &mut self,
+        id: &ObjectId,
+        key: CheckKey,
+        trace: &Trace,
+        virtual_step: &Step,
+        env: &dyn Env,
+        ground: impl FnOnce() -> Option<Formula>,
+    ) -> Verdict {
+        if !self.enabled {
+            self.stats.fallbacks += 1;
+            return Verdict::Fallback;
+        }
+        let entries = self.per_instance.entry(id.clone()).or_default();
+
+        // A monitor ahead of the committed trace cannot arise from the
+        // normal feed order; discard rather than trust it.
+        if let Some(Entry::Active(m)) = entries.get(&key) {
+            if m.steps() > trace.len() {
+                entries.remove(&key);
+                self.stats.invalidations += 1;
+            }
+        }
+
+        if !entries.contains_key(&key) {
+            self.stats.misses += 1;
+            if entries.len() >= MAX_ENTRIES_PER_INSTANCE {
+                self.stats.fallbacks += 1;
+                return Verdict::Fallback;
+            }
+            let entry = match ground().map(|f| Monitor::new(&f)) {
+                Some(Ok(m)) => Entry::Active(m),
+                _ => Entry::Unmonitorable,
+            };
+            entries.insert(key.clone(), entry);
+        }
+
+        let Some(Entry::Active(monitor)) = entries.get_mut(&key) else {
+            self.stats.fallbacks += 1;
+            return Verdict::Fallback;
+        };
+
+        // Catch up on steps committed since the entry was last synced
+        // (the whole history on first use, O(1) amortized afterwards).
+        // Replay uses an empty ambient environment: anything that needs
+        // check-time bindings errors out and poisons the entry.
+        let rigid = MapEnv::new();
+        let mut poisoned = false;
+        while monitor.steps() < trace.len() {
+            let step = trace.step(monitor.steps()).expect("steps() < len()");
+            if monitor.step(step, &rigid).is_err() {
+                poisoned = true;
+                break;
+            }
+        }
+        let answer = if poisoned {
+            None
+        } else {
+            monitor.peek(virtual_step, env).ok()
+        };
+        match answer {
+            Some(holds) => {
+                self.stats.hits += 1;
+                Verdict::Holds(holds)
+            }
+            None => {
+                entries.insert(key, Entry::Unmonitorable);
+                self.stats.fallbacks += 1;
+                Verdict::Fallback
+            }
+        }
+    }
+
+    /// Feeds a freshly committed step to every monitor of the instance.
+    /// Must be called exactly once per step pushed to the instance's
+    /// base trace.
+    pub(crate) fn on_commit(&mut self, id: &ObjectId, step: &Step) {
+        if !self.enabled {
+            return;
+        }
+        let Some(entries) = self.per_instance.get_mut(id) else {
+            return;
+        };
+        let rigid = MapEnv::new();
+        let mut poisoned: Vec<CheckKey> = Vec::new();
+        for (key, entry) in entries.iter_mut() {
+            if let Entry::Active(m) = entry {
+                if m.step(step, &rigid).is_err() {
+                    poisoned.push(key.clone());
+                }
+            }
+        }
+        for key in poisoned {
+            self.stats.invalidations += 1;
+            entries.insert(key, Entry::Unmonitorable);
+        }
+    }
+
+    /// Drops all entries of a dead instance.
+    pub(crate) fn on_death(&mut self, id: &ObjectId) {
+        if let Some(entries) = self.per_instance.remove(id) {
+            self.stats.invalidations += entries.len() as u64;
+        }
+    }
+}
+
+/// Variables guaranteed resolvable from a committed base-trace snapshot
+/// of `class`: stored (non-derived) attributes, identification
+/// attributes, inherited-base aliases and single-valued component
+/// names. (If one of these happens to be missing from some historical
+/// snapshot, replay errors and the entry degrades to the scan path —
+/// the set gates what we *attempt*, not what is correct.)
+pub(crate) fn recorded_state_vars(class: &ClassModel) -> BTreeSet<String> {
+    let mut vars = BTreeSet::new();
+    for attr in class.template.signature().attributes() {
+        if !attr.derived {
+            vars.insert(attr.name.clone());
+        }
+    }
+    for (name, _) in &class.identification {
+        vars.insert(name.clone());
+    }
+    for (_, alias) in &class.inheriting {
+        vars.insert(alias.clone());
+    }
+    for comp in &class.components {
+        if comp.kind == ComponentKind::Single {
+            vars.insert(comp.name.clone());
+        }
+    }
+    vars
+}
+
+/// Grounds `formula` with the parameter `bindings` and returns the
+/// result if it lies in the cache's monitorable fragment:
+/// quantifier-free, past-only, closed event-pattern arguments, and
+/// state predicates over recorded variables only. Returns `None` (use
+/// the scan path) otherwise.
+pub(crate) fn monitorable_grounding(
+    formula: &Formula,
+    bindings: &BTreeMap<String, Value>,
+    recorded: &BTreeSet<String>,
+) -> Option<Formula> {
+    // Step state shadows the ambient environment under scan semantics,
+    // so a binding named like a recorded variable must not be
+    // substituted as a constant.
+    if bindings.keys().any(|k| recorded.contains(k)) {
+        return None;
+    }
+    let grounded = formula.ground(bindings);
+    monitor_safe(&grounded, recorded).then_some(grounded)
+}
+
+fn monitor_safe(f: &Formula, recorded: &BTreeSet<String>) -> bool {
+    match f {
+        Formula::Pred(t) => t.free_vars().iter().all(|v| recorded.contains(v)),
+        // Pattern arguments are evaluated rigidly at check time by the
+        // scan; only closed terms are rigid under replay too.
+        Formula::Occurs(p) | Formula::After(p) => {
+            p.args.iter().flatten().all(|t| t.free_vars().is_empty())
+        }
+        Formula::Not(a) | Formula::Sometime(a) | Formula::AlwaysPast(a) | Formula::Previous(a) => {
+            monitor_safe(a, recorded)
+        }
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Since(a, b) => {
+            monitor_safe(a, recorded) && monitor_safe(b, recorded)
+        }
+        Formula::Eventually(_) | Formula::Henceforth(_) | Formula::Quant { .. } => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troll_data::Term;
+    use troll_temporal::{EventOccurrence, EventPattern};
+
+    fn key(event: &str, args: Vec<Value>) -> CheckKey {
+        CheckKey {
+            kind: CheckKind::Permission,
+            ctx_class: "C".into(),
+            event: event.into(),
+            index: 0,
+            args,
+        }
+    }
+
+    fn hire_step(name: &str) -> Step {
+        Step::new(
+            vec![EventOccurrence::new("hire", vec![Value::from(name)])],
+            [],
+        )
+    }
+
+    fn sometime_hired(name: &str) -> Formula {
+        Formula::sometime(Formula::after(EventPattern::new(
+            "hire",
+            vec![Some(Term::constant(name))],
+        )))
+    }
+
+    #[test]
+    fn check_replays_peeks_and_feeds() {
+        let mut cache = MonitorCache::default();
+        let id = ObjectId::new("C", vec![]);
+        let env = MapEnv::new();
+        let mut trace = Trace::new();
+        trace.push(hire_step("ada"));
+
+        // miss + replay of the committed step, then a peek
+        let v = cache.check(
+            &id,
+            key("fire", vec![Value::from("ada")]),
+            &trace,
+            &Step::new(vec![], []),
+            &env,
+            || Some(sometime_hired("ada")),
+        );
+        assert_eq!(v, Verdict::Holds(true));
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+
+        // commit advances the monitor; the next check is a pure hit
+        let step = Step::new(vec![], []);
+        cache.on_commit(&id, &step);
+        trace.push(step);
+        let v = cache.check(
+            &id,
+            key("fire", vec![Value::from("ada")]),
+            &trace,
+            &Step::new(vec![], []),
+            &env,
+            || panic!("entry must already exist"),
+        );
+        assert_eq!(v, Verdict::Holds(true));
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 2);
+
+        // a different grounding is a distinct entry with its own state
+        let v = cache.check(
+            &id,
+            key("fire", vec![Value::from("bob")]),
+            &trace,
+            &Step::new(vec![], []),
+            &env,
+            || Some(sometime_hired("bob")),
+        );
+        assert_eq!(v, Verdict::Holds(false));
+    }
+
+    #[test]
+    fn unmonitorable_and_disabled_fall_back() {
+        let mut cache = MonitorCache::default();
+        let id = ObjectId::new("C", vec![]);
+        let env = MapEnv::new();
+        let trace = Trace::new();
+        let vstep = Step::new(vec![], []);
+
+        let v = cache.check(&id, key("e", vec![]), &trace, &vstep, &env, || None);
+        assert_eq!(v, Verdict::Fallback);
+        // the unmonitorable verdict is remembered, not re-derived
+        let v = cache.check(&id, key("e", vec![]), &trace, &vstep, &env, || {
+            panic!("ground must not run again")
+        });
+        assert_eq!(v, Verdict::Fallback);
+        assert_eq!(cache.stats().fallbacks, 2);
+        assert_eq!(cache.stats().misses, 1);
+
+        cache.set_enabled(false);
+        let v = cache.check(&id, key("f", vec![]), &trace, &vstep, &env, || {
+            panic!("disabled cache must not ground")
+        });
+        assert_eq!(v, Verdict::Fallback);
+        assert!(!cache.enabled());
+    }
+
+    #[test]
+    fn death_drops_entries() {
+        let mut cache = MonitorCache::default();
+        let id = ObjectId::new("C", vec![]);
+        let env = MapEnv::new();
+        let trace = Trace::new();
+        let vstep = Step::new(vec![], []);
+        cache.check(&id, key("e", vec![]), &trace, &vstep, &env, || {
+            Some(Formula::truth())
+        });
+        cache.on_death(&id);
+        assert_eq!(cache.stats().invalidations, 1);
+        // recreated from scratch afterwards
+        cache.check(&id, key("e", vec![]), &trace, &vstep, &env, || {
+            Some(Formula::truth())
+        });
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn grounding_gate() {
+        let mut recorded = BTreeSet::new();
+        recorded.insert("budget".to_string());
+        let mut bindings = BTreeMap::new();
+        bindings.insert("P".to_string(), Value::from("ada"));
+
+        // pattern argument P becomes closed after grounding
+        let perm = Formula::sometime(Formula::after(EventPattern::new(
+            "hire",
+            vec![Some(Term::var("P"))],
+        )));
+        let grounded = monitorable_grounding(&perm, &bindings, &recorded).unwrap();
+        assert_eq!(grounded.to_string(), "sometime(after(hire(\"ada\")))");
+
+        // un-grounded free pattern variable: rejected
+        assert!(monitorable_grounding(&perm, &BTreeMap::new(), &recorded).is_none());
+
+        // predicates over recorded state are fine, others are not
+        let pred_ok = Formula::pred(Term::var("budget"));
+        assert!(monitorable_grounding(&pred_ok, &BTreeMap::new(), &recorded).is_some());
+        let pred_bad = Formula::pred(Term::var("self"));
+        assert!(monitorable_grounding(&pred_bad, &BTreeMap::new(), &recorded).is_none());
+
+        // quantifiers and future operators: rejected
+        let quant = Formula::forall("Q", Term::var("budget"), Formula::truth());
+        assert!(monitorable_grounding(&quant, &BTreeMap::new(), &recorded).is_none());
+        let fut = Formula::eventually(Formula::truth());
+        assert!(monitorable_grounding(&fut, &BTreeMap::new(), &recorded).is_none());
+
+        // binding that collides with a recorded variable: rejected
+        let mut shadow = BTreeMap::new();
+        shadow.insert("budget".to_string(), Value::from(1));
+        let pred = Formula::pred(Term::var("budget"));
+        assert!(monitorable_grounding(&pred, &shadow, &recorded).is_none());
+    }
+}

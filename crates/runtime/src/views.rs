@@ -101,11 +101,7 @@ impl ObjectBase {
     ///
     /// Fails on unknown interfaces or failing selection/derivation
     /// evaluation.
-    pub fn view_with_strategy(
-        &self,
-        interface: &str,
-        strategy: JoinStrategy,
-    ) -> Result<ViewSet> {
+    pub fn view_with_strategy(&self, interface: &str, strategy: JoinStrategy) -> Result<ViewSet> {
         let iface = self
             .model()
             .interface(interface)
@@ -202,10 +198,7 @@ impl ObjectBase {
     /// `X.surrogate in Y.attr`: returns the matching combos directly
     /// (selection already applied), or `None` when the shape doesn't
     /// match and the naive product must be used.
-    fn indexed_join_combos(
-        &self,
-        iface: &InterfaceModel,
-    ) -> Result<Option<Vec<Vec<ObjectId>>>> {
+    fn indexed_join_combos(&self, iface: &InterfaceModel) -> Result<Option<Vec<Vec<ObjectId>>>> {
         use troll_data::{Op, Term};
         if iface.bases.len() != 2 {
             return Ok(None);
@@ -310,12 +303,12 @@ impl ObjectBase {
 
         if !ev.derived {
             // forward to the base owning the event
-            let (owner_class, idx) = self
-                .owning_base(&iface, event)
-                .ok_or_else(|| RuntimeError::UnknownEvent {
-                    class: interface.to_string(),
-                    event: event.to_string(),
-                })?;
+            let (owner_class, idx) =
+                self.owning_base(&iface, event)
+                    .ok_or_else(|| RuntimeError::UnknownEvent {
+                        class: interface.to_string(),
+                        event: event.to_string(),
+                    })?;
             let _ = owner_class;
             let target = combo[idx].clone();
             return self.execute(&target, event, args);
@@ -489,10 +482,7 @@ end interface class RESEARCH_EMPLOYEE;
                 "PERSON",
                 vec![Value::from(name)],
                 "create",
-                vec![
-                    Value::Money(Money::from_major(sal)),
-                    Value::from(dept),
-                ],
+                vec![Value::Money(Money::from_major(sal)), Value::from(dept)],
             )
             .unwrap();
         }
@@ -542,8 +532,7 @@ end interface class RESEARCH_EMPLOYEE;
     #[test]
     fn view_event_forwards_to_base() {
         let mut ob = setup();
-        let bindings: BTreeMap<String, ObjectId> =
-            [("PERSON".to_string(), pid("ada"))].into();
+        let bindings: BTreeMap<String, ObjectId> = [("PERSON".to_string(), pid("ada"))].into();
         ob.view_call(
             "SAL_EMPLOYEE",
             &bindings,
@@ -560,8 +549,7 @@ end interface class RESEARCH_EMPLOYEE;
     #[test]
     fn derived_view_event_expands_calling_rule() {
         let mut ob = setup();
-        let bindings: BTreeMap<String, ObjectId> =
-            [("PERSON".to_string(), pid("ada"))].into();
+        let bindings: BTreeMap<String, ObjectId> = [("PERSON".to_string(), pid("ada"))].into();
         // IncreaseSalary >> ChangeSalary(Salary * 1.1): 4000 → 4400
         ob.view_call("SAL_EMPLOYEE2", &bindings, "IncreaseSalary", vec![])
             .unwrap();
@@ -574,8 +562,7 @@ end interface class RESEARCH_EMPLOYEE;
     #[test]
     fn hidden_events_not_callable_through_view() {
         let mut ob = setup();
-        let bindings: BTreeMap<String, ObjectId> =
-            [("PERSON".to_string(), pid("ada"))].into();
+        let bindings: BTreeMap<String, ObjectId> = [("PERSON".to_string(), pid("ada"))].into();
         // ChangeDept exists on PERSON but is not in the interface
         let err = ob
             .view_call(

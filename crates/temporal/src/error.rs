@@ -34,7 +34,10 @@ impl fmt::Display for TemporalError {
         match self {
             TemporalError::Data(e) => write!(f, "data error in temporal formula: {e}"),
             TemporalError::NonBooleanPredicate { predicate, value } => {
-                write!(f, "state predicate `{predicate}` evaluated to non-boolean {value}")
+                write!(
+                    f,
+                    "state predicate `{predicate}` evaluated to non-boolean {value}"
+                )
             }
             TemporalError::NonFiniteDomain(d) => {
                 write!(f, "quantifier domain `{d}` is not a finite set or list")
@@ -74,7 +77,10 @@ mod tests {
         let e = TemporalError::Data(DataError::UnboundVariable("x".into()));
         assert!(e.to_string().contains("unbound variable"));
         assert!(e.source().is_some());
-        let e = TemporalError::PositionOutOfRange { position: 5, len: 2 };
+        let e = TemporalError::PositionOutOfRange {
+            position: 5,
+            len: 2,
+        };
         assert_eq!(e.to_string(), "position 5 outside trace of length 2");
         assert!(e.source().is_none());
     }

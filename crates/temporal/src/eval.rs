@@ -44,10 +44,11 @@ fn eval_pred(term: &troll_data::Term, step: &Step, env: &dyn Env) -> Result<bool
         base: env,
     };
     let v = term.eval(&layered)?;
-    v.as_bool().ok_or_else(|| TemporalError::NonBooleanPredicate {
-        predicate: term.to_string(),
-        value: v.to_string(),
-    })
+    v.as_bool()
+        .ok_or_else(|| TemporalError::NonBooleanPredicate {
+            predicate: term.to_string(),
+            value: v.to_string(),
+        })
 }
 
 /// A trace with an optional appended virtual step — lets callers
@@ -119,7 +120,12 @@ pub fn eval_now_appended(
     eval_at_view(formula, view, view.len() - 1, env)
 }
 
-fn eval_at_view(formula: &Formula, trace: TraceView<'_>, pos: usize, env: &dyn Env) -> Result<bool> {
+fn eval_at_view(
+    formula: &Formula,
+    trace: TraceView<'_>,
+    pos: usize,
+    env: &dyn Env,
+) -> Result<bool> {
     let step = trace.step(pos).ok_or(TemporalError::PositionOutOfRange {
         position: pos,
         len: trace.len(),
@@ -348,7 +354,8 @@ mod tests {
         let none = Formula::sometime(Formula::occurs(EventPattern::any("closure")));
         assert!(!eval_now(&none, &t, &env).unwrap());
         // explicit wildcard slot
-        let one_arg_hire = Formula::sometime(Formula::occurs(EventPattern::new("hire", vec![None])));
+        let one_arg_hire =
+            Formula::sometime(Formula::occurs(EventPattern::new("hire", vec![None])));
         assert!(eval_now(&one_arg_hire, &t, &env).unwrap());
     }
 
@@ -401,7 +408,10 @@ mod tests {
         let t = dept_trace();
         let env = MapEnv::new();
         let f = Formula::since(
-            Formula::pred(Term::apply(Op::Ge, vec![Term::var("x"), Term::constant(1i64)])),
+            Formula::pred(Term::apply(
+                Op::Ge,
+                vec![Term::var("x"), Term::constant(1i64)],
+            )),
             Formula::occurs(EventPattern::any("establishment")),
         );
         assert!(eval_at(&f, &t, 0, &env).unwrap()); // b holds at 0
@@ -592,13 +602,7 @@ mod tests {
             &env
         )
         .unwrap());
-        assert!(!eval_now_appended(
-            &Formula::previous(Formula::truth()),
-            &t,
-            &s,
-            &env
-        )
-        .unwrap());
+        assert!(!eval_now_appended(&Formula::previous(Formula::truth()), &t, &s, &env).unwrap());
     }
 
     #[test]

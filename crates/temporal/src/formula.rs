@@ -1,7 +1,8 @@
 //! Temporal formula syntax.
 
+use std::collections::BTreeMap;
 use std::fmt;
-use troll_data::{Quantifier, Term};
+use troll_data::{Quantifier, Term, Value};
 
 /// A pattern matching event occurrences in a trace.
 ///
@@ -13,7 +14,6 @@ use troll_data::{Quantifier, Term};
 /// same person at every position, which is exactly the paper's reading of
 /// `sometime(after(hire(P)))`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EventPattern {
     /// Event name to match.
     pub name: String,
@@ -68,7 +68,6 @@ impl fmt::Display for EventPattern {
 /// traces). State predicates are data [`Term`]s evaluated with the
 /// position's attribute state layered over the ambient environment.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Formula {
     /// A state predicate (a boolean data term).
     Pred(Term),
@@ -216,9 +215,10 @@ impl Formula {
             | Formula::Sometime(f)
             | Formula::AlwaysPast(f)
             | Formula::Previous(f) => f.is_past_only(),
-            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Since(a, b) => {
-                a.is_past_only() && b.is_past_only()
-            }
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Since(a, b) => a.is_past_only() && b.is_past_only(),
             Formula::Eventually(_) | Formula::Henceforth(_) => false,
             Formula::Quant { body, .. } => body.is_past_only(),
         }
@@ -235,10 +235,71 @@ impl Formula {
             | Formula::Previous(f)
             | Formula::Eventually(f)
             | Formula::Henceforth(f) => f.is_quantifier_free(),
-            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Since(a, b) => {
-                a.is_quantifier_free() && b.is_quantifier_free()
-            }
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Since(a, b) => a.is_quantifier_free() && b.is_quantifier_free(),
             Formula::Quant { .. } => false,
+        }
+    }
+
+    /// Substitutes constants for the given variables throughout the
+    /// formula: in state predicates, event-pattern arguments and
+    /// quantifier domains. Quantifier binders shadow as usual.
+    ///
+    /// Grounding a permission formula with its parameter bindings turns
+    /// time-varying pattern arguments (rigidly evaluated variables like
+    /// `P` in `sometime(after(hire(P)))`) into closed terms, which is
+    /// what makes the result safe to hand to an incremental
+    /// [`crate::Monitor`] that replays historical steps without the
+    /// check-time environment.
+    pub fn ground(&self, bindings: &BTreeMap<String, Value>) -> Formula {
+        if bindings.is_empty() {
+            return self.clone();
+        }
+        let pat = |p: &EventPattern| EventPattern {
+            name: p.name.clone(),
+            args: p
+                .args
+                .iter()
+                .map(|a| a.as_ref().map(|t| t.subst_map(bindings)))
+                .collect(),
+        };
+        match self {
+            Formula::Pred(t) => Formula::Pred(t.subst_map(bindings)),
+            Formula::Occurs(p) => Formula::Occurs(pat(p)),
+            Formula::After(p) => Formula::After(pat(p)),
+            Formula::Not(f) => Formula::not(f.ground(bindings)),
+            Formula::And(a, b) => Formula::and(a.ground(bindings), b.ground(bindings)),
+            Formula::Or(a, b) => Formula::or(a.ground(bindings), b.ground(bindings)),
+            Formula::Implies(a, b) => Formula::implies(a.ground(bindings), b.ground(bindings)),
+            Formula::Sometime(f) => Formula::sometime(f.ground(bindings)),
+            Formula::AlwaysPast(f) => Formula::always_past(f.ground(bindings)),
+            Formula::Previous(f) => Formula::previous(f.ground(bindings)),
+            Formula::Since(a, b) => Formula::since(a.ground(bindings), b.ground(bindings)),
+            Formula::Eventually(f) => Formula::eventually(f.ground(bindings)),
+            Formula::Henceforth(f) => Formula::henceforth(f.ground(bindings)),
+            Formula::Quant {
+                q,
+                var,
+                domain,
+                body,
+            } => {
+                let domain = domain.subst_map(bindings);
+                let body = if bindings.contains_key(var) {
+                    let mut inner = bindings.clone();
+                    inner.remove(var);
+                    body.ground(&inner)
+                } else {
+                    body.ground(bindings)
+                };
+                Formula::Quant {
+                    q: *q,
+                    var: var.clone(),
+                    domain,
+                    body: Box::new(body),
+                }
+            }
         }
     }
 
@@ -253,9 +314,10 @@ impl Formula {
             | Formula::Previous(f)
             | Formula::Eventually(f)
             | Formula::Henceforth(f) => 1 + f.size(),
-            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Since(a, b) => {
-                1 + a.size() + b.size()
-            }
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Since(a, b) => 1 + a.size() + b.size(),
             Formula::Quant { body, .. } => 1 + body.size(),
         }
     }
@@ -333,6 +395,26 @@ mod tests {
         let p = EventPattern::new("new_manager", vec![None]);
         assert_eq!(p.to_string(), "new_manager(_)");
         assert!(p.is_wildcard());
+    }
+
+    #[test]
+    fn ground_substitutes_predicates_patterns_and_domains() {
+        let mut b = BTreeMap::new();
+        b.insert("P".to_string(), Value::from("ada"));
+
+        let perm = Formula::sometime(Formula::after(hire_p()));
+        assert_eq!(
+            perm.ground(&b).to_string(),
+            "sometime(after(hire(\"ada\")))"
+        );
+
+        // Quantifier binders shadow the substitution in the body but not
+        // in the domain.
+        let q = Formula::forall("P", Term::var("P"), Formula::pred(Term::var("P")));
+        assert_eq!(q.ground(&b).to_string(), "for all(P in \"ada\" : P)");
+
+        // Empty bindings are the identity.
+        assert_eq!(perm.ground(&BTreeMap::new()), perm);
     }
 
     #[test]

@@ -62,23 +62,8 @@ mod trace;
 pub use error::TemporalError;
 pub use eval::{eval_at, eval_now, eval_now_appended, holds_throughout};
 pub use formula::{EventPattern, Formula};
-pub use monitor::{agree_on_trace, Monitor};
+pub use monitor::{agree_on_trace, Monitor, MonitorSnapshot};
 pub use trace::{EventOccurrence, Step, Trace};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, TemporalError>;
-
-#[cfg(all(test, feature = "serde"))]
-mod serde_bounds {
-    /// With the `serde` feature, histories and formulas serialize —
-    /// traces can be exported for audit.
-    #[test]
-    fn temporal_structures_are_serde() {
-        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serde::<crate::Trace>();
-        assert_serde::<crate::Step>();
-        assert_serde::<crate::EventOccurrence>();
-        assert_serde::<crate::Formula>();
-        assert_serde::<crate::EventPattern>();
-    }
-}

@@ -60,6 +60,15 @@ pub struct Monitor {
     steps: usize,
 }
 
+/// The dynamic state of a [`Monitor`] — one boolean per subformula plus
+/// the step count. Captured by [`Monitor::snapshot`], reinstated by
+/// [`Monitor::restore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorSnapshot {
+    prev: Vec<bool>,
+    steps: usize,
+}
+
 impl Monitor {
     /// Compiles a formula into a monitor.
     ///
@@ -83,13 +92,9 @@ impl Monitor {
         self.steps
     }
 
-    /// Feeds the next step of the history; returns the formula's truth
-    /// value at that step.
-    ///
-    /// # Errors
-    ///
-    /// Propagates predicate-evaluation errors.
-    pub fn step(&mut self, step: &Step, env: &dyn Env) -> Result<bool> {
+    /// Computes the subformula values at `step` given the values at the
+    /// previous step, without committing them.
+    fn advance(&self, step: &Step, env: &dyn Env) -> Result<Vec<bool>> {
         let first = self.steps == 0;
         let mut cur = vec![false; self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
@@ -100,10 +105,11 @@ impl Monitor {
                         base: env,
                     };
                     let v = t.eval(&layered)?;
-                    v.as_bool().ok_or_else(|| TemporalError::NonBooleanPredicate {
-                        predicate: t.to_string(),
-                        value: v.to_string(),
-                    })?
+                    v.as_bool()
+                        .ok_or_else(|| TemporalError::NonBooleanPredicate {
+                            predicate: t.to_string(),
+                            value: v.to_string(),
+                        })?
                 }
                 Node::Occurs(p) => pattern_matches(p, step, env)?,
                 Node::Not(a) => !cur[*a],
@@ -116,9 +122,60 @@ impl Monitor {
                 Node::Since(a, b) => cur[*b] || (cur[*a] && !first && self.prev[i]),
             };
         }
-        self.prev = cur;
+        Ok(cur)
+    }
+
+    /// Feeds the next step of the history; returns the formula's truth
+    /// value at that step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate-evaluation errors.
+    pub fn step(&mut self, step: &Step, env: &dyn Env) -> Result<bool> {
+        self.prev = self.advance(step, env)?;
         self.steps += 1;
         Ok(*self.prev.last().expect("monitor has at least one node"))
+    }
+
+    /// Evaluates the formula as if `step` were appended to the consumed
+    /// history, without advancing the monitor. This is the hot-path
+    /// query for permission/constraint checks: the runtime peeks at the
+    /// hypothetical step of the current transaction and only [`step`]s
+    /// the monitor once the transaction commits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate-evaluation errors.
+    ///
+    /// [`step`]: Monitor::step
+    pub fn peek(&self, step: &Step, env: &dyn Env) -> Result<bool> {
+        let cur = self.advance(step, env)?;
+        Ok(*cur.last().expect("monitor has at least one node"))
+    }
+
+    /// Captures the monitor's dynamic state — O(|φ|) booleans, cheap to
+    /// take before a speculative [`Monitor::step`] and restore after.
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            prev: self.prev.clone(),
+            steps: self.steps,
+        }
+    }
+
+    /// Restores state captured by [`Monitor::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a monitor compiled for a
+    /// different formula (subformula counts differ).
+    pub fn restore(&mut self, snapshot: MonitorSnapshot) {
+        assert_eq!(
+            snapshot.prev.len(),
+            self.nodes.len(),
+            "monitor snapshot belongs to a different formula"
+        );
+        self.prev = snapshot.prev;
+        self.steps = snapshot.steps;
     }
 
     /// Current truth value (of the last consumed step); `false` before
@@ -251,12 +308,7 @@ mod tests {
     #[test]
     fn rejects_unsupported() {
         assert!(Monitor::new(&Formula::eventually(Formula::truth())).is_err());
-        assert!(Monitor::new(&Formula::forall(
-            "P",
-            Term::var("d"),
-            Formula::truth()
-        ))
-        .is_err());
+        assert!(Monitor::new(&Formula::forall("P", Term::var("d"), Formula::truth())).is_err());
     }
 
     #[test]
@@ -286,7 +338,10 @@ mod tests {
     fn since_operator() {
         // x >= 1 since e
         let phi = Formula::since(
-            Formula::pred(Term::apply(Op::Ge, vec![Term::var("x"), Term::constant(1i64)])),
+            Formula::pred(Term::apply(
+                Op::Ge,
+                vec![Term::var("x"), Term::constant(1i64)],
+            )),
             Formula::occurs(EventPattern::any("e")),
         );
         let mut m = Monitor::new(&phi).unwrap();
@@ -297,6 +352,36 @@ mod tests {
         assert!(!m.step(&mkstep(vec![], 0), &env).unwrap()); // x drops below
         assert!(!m.step(&mkstep(vec![], 5), &env).unwrap()); // does not recover
         assert!(m.step(&mkstep(vec!["e"], 0), &env).unwrap()); // fresh e
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let phi = Formula::sometime(Formula::occurs(EventPattern::any("e")));
+        let mut m = Monitor::new(&phi).unwrap();
+        let env = MapEnv::new();
+        assert!(m.peek(&mkstep(vec!["e"], 0), &env).unwrap());
+        // Nothing was remembered: a quiet step still evaluates false.
+        assert!(!m.peek(&mkstep(vec![], 0), &env).unwrap());
+        assert_eq!(m.steps(), 0);
+        assert!(m.step(&mkstep(vec!["e"], 0), &env).unwrap());
+        // Now `sometime` is sticky even through a quiet peek.
+        assert!(m.peek(&mkstep(vec![], 0), &env).unwrap());
+        assert_eq!(m.steps(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let phi = Formula::sometime(Formula::occurs(EventPattern::any("e")));
+        let mut m = Monitor::new(&phi).unwrap();
+        let env = MapEnv::new();
+        m.step(&mkstep(vec![], 0), &env).unwrap();
+        let snap = m.snapshot();
+        assert!(m.step(&mkstep(vec!["e"], 0), &env).unwrap());
+        assert!(m.current());
+        m.restore(snap);
+        assert!(!m.current());
+        assert_eq!(m.steps(), 1);
+        assert!(!m.step(&mkstep(vec![], 0), &env).unwrap());
     }
 
     fn arb_formula() -> impl Strategy<Value = Formula> {
@@ -357,6 +442,24 @@ mod tests {
                 let mv = m.step(step, &env).unwrap();
                 let ev = eval_at(&f, &t, pos, &env).unwrap();
                 prop_assert_eq!(mv, ev, "disagreement at position {}", pos);
+            }
+        }
+
+        /// `peek` on a monitor synced to a prefix equals the reference
+        /// evaluation of the prefix with the step appended — the exact
+        /// contract the runtime's permission path relies on.
+        #[test]
+        fn peek_matches_appended_eval(f in arb_formula(), t in arb_trace()) {
+            let env = MapEnv::new();
+            let mut m = Monitor::new(&f).unwrap();
+            let mut prefix = Trace::new();
+            for step in t.iter() {
+                let peeked = m.peek(step, &env).unwrap();
+                let reference =
+                    crate::eval::eval_now_appended(&f, &prefix, step, &env).unwrap();
+                prop_assert_eq!(peeked, reference);
+                m.step(step, &env).unwrap();
+                prefix.push(step.clone());
             }
         }
     }

@@ -1,5 +1,6 @@
 //! Object histories: traces of steps.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use troll_data::{Env, Value};
 
@@ -10,7 +11,6 @@ use troll_data::{Env, Value};
 /// `hire(P)`. An occurrence records the *actual* parameters the event was
 /// invoked with.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EventOccurrence {
     /// Event name (e.g. `"hire"`).
     pub name: String,
@@ -51,7 +51,6 @@ impl std::fmt::Display for EventOccurrence {
 /// simultaneously (event sharing / calling makes several events occur in
 /// one step) and the attribute state observed *after* the step.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Step {
     /// Events that occurred at this step.
     pub events: Vec<EventOccurrence>,
@@ -88,7 +87,6 @@ impl Env for Step {
 /// Conceptually this is a (finite prefix of a) *life cycle* of the
 /// template-as-process; position 0 is the birth step.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Trace {
     steps: Vec<Step>,
 }
@@ -129,9 +127,14 @@ impl Trace {
         self.steps.iter()
     }
 
-    /// The current attribute state (of the last step); empty before birth.
-    pub fn current_state(&self) -> BTreeMap<String, Value> {
-        self.last().map(|s| s.state.clone()).unwrap_or_default()
+    /// The current attribute state (of the last step); empty before
+    /// birth. Borrows from the last step when there is one, so callers
+    /// that only read pay no clone.
+    pub fn current_state(&self) -> Cow<'_, BTreeMap<String, Value>> {
+        match self.last() {
+            Some(s) => Cow::Borrowed(&s.state),
+            None => Cow::Owned(BTreeMap::new()),
+        }
     }
 }
 

@@ -40,16 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // TheCompany is a singleton complex object, alive from the start.
     let company = ob.singleton("TheCompany").expect("declared singleton");
     ob.execute(&company, "found_dept", vec![Value::Id(toys.clone())])?;
-    println!(
-        "TheCompany.depts = {}",
-        ob.attribute(&company, "depts")?
-    );
+    println!("TheCompany.depts = {}", ob.attribute(&company, "depts")?);
 
     // --- global interaction + phase ------------------------------------
     // Appointing ada calls become_manager on her person object, which in
     // turn enters the MANAGER phase (birth PERSON.become_manager).
     let report = ob.execute(&toys, "new_manager", vec![Value::Id(ada.clone())])?;
-    println!("appointment step executed {} synchronous events:", report.occurrences.len());
+    println!(
+        "appointment step executed {} synchronous events:",
+        report.occurrences.len()
+    );
     for occ in &report.occurrences {
         println!("  {occ}");
     }
@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "ada's official car: {}",
         ob.role_attribute(ada, "MANAGER", "OfficialCar")?
     );
-    ob.execute(ada, "assign_official_car", vec![Value::from("company tesla")])?;
+    ob.execute(
+        ada,
+        "assign_official_car",
+        vec![Value::from("company tesla")],
+    )?;
     println!(
         "after assignment:   {}",
         ob.role_attribute(ada, "MANAGER", "OfficialCar")?
@@ -76,12 +80,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // While managing, ada's salary cannot drop below the bound…
     assert!(ob
-        .execute(ada, "ChangeSalary", vec![Value::Money(Money::from_major(100))])
+        .execute(
+            ada,
+            "ChangeSalary",
+            vec![Value::Money(Money::from_major(100))]
+        )
         .is_err());
     // …until she steps down.
     ob.execute(ada, "step_down", vec![])?;
-    ob.execute(ada, "ChangeSalary", vec![Value::Money(Money::from_major(100))])?;
-    println!("after stepping down, ada's salary: {}", ob.attribute(ada, "Salary")?);
+    ob.execute(
+        ada,
+        "ChangeSalary",
+        vec![Value::Money(Money::from_major(100))],
+    )?;
+    println!(
+        "after stepping down, ada's salary: {}",
+        ob.attribute(ada, "Salary")?
+    );
 
     // --- class objects ---------------------------------------------------
     println!(

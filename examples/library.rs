@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- borrowing calls the book object synchronously ----------------------
     let spec_book = book("0-13-629155-4");
     let report = ob.execute(&ada, "borrow", vec![Value::Id(spec_book.clone())])?;
-    println!("borrow step: {} synchronous events", report.occurrences.len());
+    println!(
+        "borrow step: {} synchronous events",
+        report.occurrences.len()
+    );
     assert!(report.occurred("lend"));
     assert_eq!(ob.attribute(&spec_book, "available")?, Value::from(1));
 
@@ -54,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- fines block borrowing until paid ----------------------------------------
     ob.execute(&ada, "bring_back", vec![Value::Id(book("0-201-53771-0"))])?;
-    ob.execute(&ada, "incur_fine", vec![Value::Money(Money::from_cents(250))])?;
+    ob.execute(
+        &ada,
+        "incur_fine",
+        vec![Value::Money(Money::from_cents(250))],
+    )?;
     assert!(ob
         .execute(&ada, "borrow", vec![Value::Id(book("0-201-53771-0"))])
         .is_err());

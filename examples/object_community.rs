@@ -79,25 +79,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- Example 3.9: aggregation ------------------------------------------
-    let pxx = community.add_object(ObjectId::new("powsply", vec![Value::from("PXX")]), "powsply")?;
+    let pxx = community.add_object(
+        ObjectId::new("powsply", vec![Value::from("PXX")]),
+        "powsply",
+    )?;
     let cyy = community.add_object(ObjectId::new("cpu", vec![Value::from("CYY")]), "cpu")?;
     let sun2 = community.aggregate(
         ObjectId::new("computer", vec![Value::from("SUN-2")]),
         "computer",
         vec![
-            (TemplateMorphism::identity_on("f", "computer", "powsply"), pxx.clone()),
-            (TemplateMorphism::identity_on("g", "computer", "cpu"), cyy.clone()),
+            (
+                TemplateMorphism::identity_on("f", "computer", "powsply"),
+                pxx.clone(),
+            ),
+            (
+                TemplateMorphism::identity_on("g", "computer", "cpu"),
+                cyy.clone(),
+            ),
         ],
     )?;
-    println!("aggregated {sun2} from {} parts", community.parts_of(&sun2).len());
+    println!(
+        "aggregated {sun2} from {} parts",
+        community.parts_of(&sun2).len()
+    );
 
     // --- Example 3.7: synchronization by sharing ------------------------------
     let cable = community.synchronize(
         ObjectId::new("cable", vec![Value::from("CBZ")]),
         "cable",
         vec![
-            (TemplateMorphism::identity_on("s1", "cpu", "cable"), cyy.clone()),
-            (TemplateMorphism::identity_on("s2", "powsply", "cable"), pxx.clone()),
+            (
+                TemplateMorphism::identity_on("s1", "cpu", "cable"),
+                cyy.clone(),
+            ),
+            (
+                TemplateMorphism::identity_on("s2", "powsply", "cable"),
+                pxx.clone(),
+            ),
         ],
     )?;
     let sharers = community.sharers_of(&cable);
@@ -129,7 +147,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (&cpu_p, alphabet(&cpu_p)),
     ]);
     assert!(joint.accepts(["cable_on", "surge", "compute", "cable_off"]));
-    assert!(!joint.accepts(["compute"]), "cpu can only compute once the shared cable is on");
+    assert!(
+        !joint.accepts(["compute"]),
+        "cpu can only compute once the shared cable is on"
+    );
     println!(
         "joint behaviour of the sharing diagram: {} states, {} transitions",
         joint.num_states(),

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("derived Salary = {}", ob.attribute(&codd, "Salary")?);
 
     ob.execute(&codd, "IncreaseSalary", vec![Value::from(500)])?;
-    println!("after IncreaseSalary(500): Salary = {}", ob.attribute(&codd, "Salary")?);
+    println!(
+        "after IncreaseSalary(500): Salary = {}",
+        ob.attribute(&codd, "Salary")?
+    );
     println!("relation now = {}", ob.attribute(&rel, "Emps")?);
 
     // The hiding interface EMPL restricts what clients see.
@@ -88,6 +91,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let report = check_refinement(model, &imp, &scenarios, &setup)?;
     println!("{report}");
-    assert!(report.is_refinement(), "the paper's implementation is correct");
+    assert!(
+        report.is_refinement(),
+        "the paper's implementation is correct"
+    );
     Ok(())
 }

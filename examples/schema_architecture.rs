@@ -91,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         payroll.imports
     );
     let (exporter, schema) = &payroll.imports[0];
-    let imported = modules.module(exporter).expect("validated").open(schema, &mut ob)?;
+    let imported = modules
+        .module(exporter)
+        .expect("validated")
+        .open(schema, &mut ob)?;
     let v = imported.view("SAL_EMPLOYEE")?;
     println!(
         "PAYROLL (via import) sees ada's salary: {}",

@@ -25,7 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             vec![Value::Money(Money::from_major(salary)), Value::from(dept)],
         )?;
     }
-    let research = ob.birth("DEPT", vec![Value::from("Research")], "establishment", vec![])?;
+    let research = ob.birth(
+        "DEPT",
+        vec![Value::from("Research")],
+        "establishment",
+        vec![],
+    )?;
     let ada = ObjectId::new("PERSON", vec![Value::from("ada")]);
     let eve = ObjectId::new("PERSON", vec![Value::from("eve")]);
     ob.execute(&research, "hire", vec![Value::Id(ada.clone())])?;
@@ -77,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- selection view ----------------------------------------------------
     let researchers = ob.view("RESEARCH_EMPLOYEE")?;
-    println!("RESEARCH_EMPLOYEE has {} rows (ada, eve)", researchers.len());
+    println!(
+        "RESEARCH_EMPLOYEE has {} rows (ada, eve)",
+        researchers.len()
+    );
     assert_eq!(researchers.len(), 2);
 
     // --- join view -----------------------------------------------------------

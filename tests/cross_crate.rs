@@ -63,7 +63,8 @@ fn monitor_agrees_with_evaluator_on_runtime_traces() {
 fn runtime_traces_are_accepted_by_the_template_process() {
     let (mut ob, toys) = dept_base();
     ob.execute(&toys, "hire", vec![person("ada")]).unwrap();
-    ob.execute(&toys, "new_manager", vec![person("ada")]).unwrap();
+    ob.execute(&toys, "new_manager", vec![person("ada")])
+        .unwrap();
     ob.execute(&toys, "fire", vec![person("ada")]).unwrap();
     ob.execute(&toys, "closure", vec![]).unwrap();
 
@@ -193,10 +194,20 @@ fn shared_clock_triggers_time_dependent_activities() {
     ob.execute(&clock, "start", vec![]).unwrap();
 
     let soon = ob
-        .birth("REMINDER", vec![Value::from("soon")], "set_for", vec![Value::from(2)])
+        .birth(
+            "REMINDER",
+            vec![Value::from("soon")],
+            "set_for",
+            vec![Value::from(2)],
+        )
         .unwrap();
     let later = ob
-        .birth("REMINDER", vec![Value::from("later")], "set_for", vec![Value::from(5)])
+        .birth(
+            "REMINDER",
+            vec![Value::from("later")],
+            "set_for",
+            vec![Value::from(5)],
+        )
         .unwrap();
     assert_eq!(ob.view("PENDING").unwrap().len(), 2);
 
@@ -207,15 +218,16 @@ fn shared_clock_triggers_time_dependent_activities() {
         for r in reports {
             for occ in r.occurrences {
                 if occ.event == "ring" {
-                    rings.push((
-                        occ.id.clone(),
-                        ob.attribute(&clock, "now").unwrap(),
-                    ));
+                    rings.push((occ.id.clone(), ob.attribute(&clock, "now").unwrap()));
                 }
             }
         }
     }
-    assert_eq!(rings.len(), 2, "each reminder rings exactly once: {rings:?}");
+    assert_eq!(
+        rings.len(),
+        2,
+        "each reminder rings exactly once: {rings:?}"
+    );
     assert_eq!(rings[0].0, soon);
     assert_eq!(rings[1].0, later);
     // `soon` rang strictly before `later`

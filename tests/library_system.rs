@@ -80,7 +80,10 @@ fn cross_object_rollback_on_callee_refusal() {
         ob.attribute(&member("m2"), "borrowed").unwrap(),
         Value::empty_set()
     );
-    assert_eq!(ob.instance(&member("m2")).unwrap().trace().len(), before_trace);
+    assert_eq!(
+        ob.instance(&member("m2")).unwrap().trace().len(),
+        before_trace
+    );
     // the book unchanged as well
     assert_eq!(ob.attribute(&book1(), "available").unwrap(), Value::from(0));
 }
@@ -107,11 +110,13 @@ fn returning_restores_availability() {
 fn fines_gate_borrowing_and_leaving() {
     let mut ob = setup();
     let m1 = member("m1");
-    ob.execute(&m1, "incur_fine", vec![Value::Money(Money::from_cents(100))])
-        .unwrap();
-    assert!(ob
-        .execute(&m1, "borrow", vec![Value::Id(book1())])
-        .is_err());
+    ob.execute(
+        &m1,
+        "incur_fine",
+        vec![Value::Money(Money::from_cents(100))],
+    )
+    .unwrap();
+    assert!(ob.execute(&m1, "borrow", vec![Value::Id(book1())]).is_err());
     assert!(ob.execute(&m1, "leave_library", vec![]).is_err());
     // overpaying is refused ({ m <= fines })
     assert!(ob

@@ -98,7 +98,10 @@ fn e2_object_community() {
 
     // Example 3.9: aggregate SUN-2 from PXX and CYY
     let pxx = community
-        .add_object(ObjectId::new("powsply", vec![Value::from("PXX")]), "powsply")
+        .add_object(
+            ObjectId::new("powsply", vec![Value::from("PXX")]),
+            "powsply",
+        )
         .unwrap();
     let cyy = community
         .add_object(ObjectId::new("cpu", vec![Value::from("CYY")]), "cpu")
@@ -272,7 +275,12 @@ fn e6_interfaces() {
         .unwrap();
     }
     let research = ob
-        .birth("DEPT", vec![Value::from("Research")], "establishment", vec![])
+        .birth(
+            "DEPT",
+            vec![Value::from("Research")],
+            "establishment",
+            vec![],
+        )
         .unwrap();
     ob.execute(&research, "hire", vec![Value::Id(pid("ada"))])
         .unwrap();
@@ -458,8 +466,7 @@ fn e8_three_level_architecture() {
 #[test]
 fn e9_corpus_loads() {
     for (name, src) in troll::specs::ALL {
-        let system =
-            System::load_str(src).unwrap_or_else(|e| panic!("spec `{name}` failed: {e}"));
+        let system = System::load_str(src).unwrap_or_else(|e| panic!("spec `{name}` failed: {e}"));
         let mut ob = system
             .object_base()
             .unwrap_or_else(|e| panic!("spec `{name}` object base: {e}"));
