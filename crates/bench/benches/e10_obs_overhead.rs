@@ -1,0 +1,125 @@
+//! E10 — observability overhead: the cost of the `troll-obs` layer on
+//! the runtime hot path.
+//!
+//! Four modes over the identical hire/fire workload of
+//! `e3_monitored_path` (deep history, bounded state):
+//!
+//! * `noop` — the shipped default: counters increment, but no observer
+//!   is attached (`NoopObserver`, `enabled() == false`), so no event is
+//!   ever constructed. This is the number the < 2 % acceptance gate in
+//!   EXPERIMENTS.md compares against the pre-obs baseline.
+//! * `recorder` — an in-memory [`Recorder`] sink: every event is built
+//!   and pushed into a mutex-guarded vector.
+//! * `trace_writer` — a [`TraceWriter`] over [`std::io::sink`]: every
+//!   event is built, serialized to JSON and "written"; isolates
+//!   serialization cost from disk latency.
+//! * `trace_writer_file` — the same, over a buffered temp file: what
+//!   `troll animate --trace` actually pays.
+//!
+//! Expected shape: noop ≈ baseline; recorder and trace_writer pay a
+//! per-event constant (allocation + formatting), flat in history depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use troll::runtime::{ObjectBase, Observer, Recorder, TraceWriter};
+use troll_bench::{dept_base_deep, person};
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Noop,
+    Recorder,
+    TraceSink,
+    TraceFile,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Noop => "noop",
+            Mode::Recorder => "recorder",
+            Mode::TraceSink => "trace_writer",
+            Mode::TraceFile => "trace_writer_file",
+        }
+    }
+
+    fn attach(self, ob: &mut ObjectBase) {
+        let observer: Arc<dyn Observer> = match self {
+            Mode::Noop => return, // shipped default: nothing to attach
+            Mode::Recorder => Arc::new(Recorder::new()),
+            Mode::TraceSink => Arc::new(TraceWriter::new(std::io::sink())),
+            Mode::TraceFile => {
+                let mut path = std::env::temp_dir();
+                path.push(format!("troll-e10-{}.jsonl", std::process::id()));
+                let file = std::fs::File::create(path).expect("temp trace file");
+                Arc::new(TraceWriter::new(std::io::BufWriter::new(file)))
+            }
+        };
+        ob.set_observer(observer);
+    }
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_obs_overhead");
+    group.sample_size(20);
+    for history in [32usize, 256] {
+        for mode in [Mode::Noop, Mode::Recorder, Mode::TraceSink, Mode::TraceFile] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("hire_fire_{}", mode.label()), history),
+                &history,
+                |b, _| {
+                    b.iter_batched(
+                        || {
+                            let (mut ob, dept) = dept_base_deep(history);
+                            mode.attach(&mut ob);
+                            // warm the monitor-cache entries outside the
+                            // measurement, exactly as e3_monitored_path does
+                            ob.execute(&dept, "hire", vec![person(9999)])
+                                .expect("hire succeeds");
+                            ob.execute(&dept, "fire", vec![person(9999)])
+                                .expect("permitted");
+                            (ob, dept)
+                        },
+                        |(mut ob, dept)| {
+                            ob.execute(&dept, "hire", vec![person(9999)])
+                                .expect("hire succeeds");
+                            ob.execute(&dept, "fire", vec![person(9999)])
+                                .expect("permitted");
+                            black_box(ob.steps_executed());
+                            ob // dropped outside the measurement
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The refused-fire point: permission evaluation and rollback, no
+/// commit — the path where the observer sees a `step_rolled_back`
+/// event with the error string (an allocation the commit path skips).
+fn bench_obs_overhead_refused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_obs_overhead_refused");
+    for mode in [Mode::Noop, Mode::Recorder, Mode::TraceSink] {
+        let (mut ob, dept) = dept_base_deep(128);
+        mode.attach(&mut ob);
+        let err = ob
+            .execute(&dept, "fire", vec![person(999_999)])
+            .expect_err("never hired"); // warms the cache entry
+        black_box(err);
+        group.bench_function(format!("refused_fire_{}", mode.label()), |b| {
+            b.iter(|| {
+                let err = ob
+                    .execute(&dept, "fire", vec![person(999_999)])
+                    .expect_err("never hired");
+                black_box(err)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead, bench_obs_overhead_refused);
+criterion_main!(benches);

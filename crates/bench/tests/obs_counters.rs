@@ -1,0 +1,107 @@
+//! Counters oracle: the monitored path and the scan path must agree.
+//!
+//! The monitor cache is a pure optimization (DESIGN.md decision 2) —
+//! running the same workload with the cache on and off must grant and
+//! refuse exactly the same permission checks. The obs counters make
+//! that assertable end-to-end: `permissions.granted`/`.refused` must be
+//! identical across modes, while `permissions.path.monitored`/`.scan`
+//! record which evaluator answered.
+
+use troll::data::{Date, Value};
+use troll::runtime::MetricsSnapshot;
+use troll_bench::person;
+
+/// Runs a fixed workload mixing granted hires/fires with refused fires
+/// and returns the run's metrics snapshot. The cache mode is set before
+/// the first event so every check in the run is attributed to it.
+fn run_scenario(cache_on: bool) -> MetricsSnapshot {
+    let system = troll::System::load_str(troll::specs::DEPT).expect("shipped spec loads");
+    let mut ob = system.object_base().expect("object base");
+    ob.set_monitor_cache_enabled(cache_on);
+    let dept = ob
+        .birth(
+            "DEPT",
+            vec![Value::from("oracle")],
+            "establishment",
+            vec![Value::Date(Date::new(1991, 10, 16).expect("valid date"))],
+        )
+        .expect("birth succeeds");
+    for round in 0..6 {
+        ob.execute(&dept, "hire", vec![person(round)])
+            .expect("hire succeeds");
+        ob.execute(&dept, "fire", vec![person(round)])
+            .expect("fire permitted after hire");
+        // firing someone never hired is refused by the permission
+        ob.execute(&dept, "fire", vec![person(10_000 + round)])
+            .expect_err("never hired");
+    }
+    ob.metrics().snapshot()
+}
+
+#[test]
+fn monitored_and_scan_paths_agree_on_grant_refusal_totals() {
+    let monitored = run_scenario(true);
+    let scan = run_scenario(false);
+
+    for key in [
+        "permissions.granted",
+        "permissions.refused",
+        "steps.committed",
+        "steps.rolled_back",
+        "events.occurred",
+        "valuation.updates",
+    ] {
+        assert_eq!(
+            monitored.counters[key], scan.counters[key],
+            "`{key}` must not depend on the evaluator\nmonitored: {:?}\nscan: {:?}",
+            monitored.counters, scan.counters
+        );
+    }
+
+    // the workload actually exercised both outcomes
+    assert!(monitored.counters["permissions.granted"] > 0);
+    assert!(monitored.counters["permissions.refused"] > 0);
+
+    // path counters partition the permission checks in both modes …
+    for snap in [&monitored, &scan] {
+        assert_eq!(
+            snap.counters["permissions.path.monitored"] + snap.counters["permissions.path.scan"],
+            snap.counters["permissions.granted"] + snap.counters["permissions.refused"],
+            "every check is attributed to exactly one path"
+        );
+    }
+    // … and the cache setting decides which path answers
+    assert!(monitored.counters["permissions.path.monitored"] > 0);
+    assert_eq!(scan.counters["permissions.path.monitored"], 0);
+    assert_eq!(
+        scan.counters["permissions.path.scan"],
+        scan.counters["permissions.granted"] + scan.counters["permissions.refused"]
+    );
+
+    // cache accounting is consistent with the checks it answered: the
+    // DEPT workload has no constraints or role contexts, so every cache
+    // consultation is a permission check, a cache hit answers on the
+    // monitored path and a fallback degrades to the scan
+    for snap in [&monitored, &scan] {
+        assert_eq!(
+            snap.counters["monitor_cache.hits"],
+            snap.counters["permissions.path.monitored"]
+        );
+        assert_eq!(
+            snap.counters["monitor_cache.fallbacks"],
+            snap.counters["permissions.path.scan"]
+        );
+    }
+}
+
+#[test]
+fn step_latency_histogram_records_every_step() {
+    let snap = run_scenario(true);
+    let h = &snap.histograms["step.latency_ns"];
+    assert_eq!(
+        h.count,
+        snap.counters["steps.committed"] + snap.counters["steps.rolled_back"],
+        "one latency sample per step, committed or not"
+    );
+    assert!(h.p50_ns > 0 && h.p99_ns >= h.p50_ns);
+}

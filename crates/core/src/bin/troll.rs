@@ -6,8 +6,12 @@
 //! troll fmt <file.troll>          print the normalized source
 //! troll info <file.troll>         summarize classes/interfaces/modules
 //! troll graph <file.troll>        emit a Graphviz DOT system diagram
-//! troll animate <file> <script>   run an animation script
+//! troll animate [--stats] [--trace <out.jsonl>] <file> <script>
+//!                                 run an animation script
 //! ```
+//!
+//! Exit codes: `0` success, `1` runtime failure (parse/analyze/execution
+//! errors), `2` usage error (unknown command, bad arity, unknown flag).
 //!
 //! Animation scripts are line-oriented; `--` starts a comment. Terms use
 //! TROLL expression syntax, identities the `|CLASS|(key…)` literal form:
@@ -22,23 +26,69 @@
 //! tick
 //! ```
 
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
+use troll::runtime::{ObjectBase, TraceWriter};
 use troll::System;
+
+const GENERAL_USAGE: &str = "usage: troll <command> [args]
+commands:
+  check <file.troll>…                          parse + analyze, report errors
+  fmt <file.troll>                             print the normalized source
+  info <file.troll>                            summarize classes/interfaces/modules
+  graph <file.troll>                           emit a Graphviz DOT system diagram
+  animate [--stats] [--trace <out>] <file> <script>
+                                               run an animation script";
+
+/// Prints the usage message for `command` (or the general one) and
+/// returns the usage exit code (2).
+fn usage(command: Option<&str>) -> ExitCode {
+    let msg = match command {
+        Some("check") => "usage: troll check <file.troll>…\nparse + analyze each file and report errors; fails if any file fails",
+        Some("fmt") => "usage: troll fmt <file.troll>\nprint the normalized (pretty-printed) source to stdout",
+        Some("info") => "usage: troll info <file.troll>\nsummarize classes, interfaces and modules of a specification",
+        Some("graph") => "usage: troll graph <file.troll>\nemit a Graphviz DOT diagram of the system structure",
+        Some("animate") => "usage: troll animate [--stats] [--trace <out.jsonl>] <file.troll> <script>\nrun an animation script against the specification
+  --stats           print runtime metrics (steps, permissions, monitor cache, latency) after the run
+  --trace <file>    stream one JSON object per observability event to <file>",
+        _ => GENERAL_USAGE,
+    };
+    eprintln!("{msg}");
+    ExitCode::from(2)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("check") if args.len() >= 2 => cmd_check(&args[1..]),
-        Some("fmt") if args.len() == 2 => cmd_fmt(&args[1]),
-        Some("info") if args.len() == 2 => cmd_info(&args[1]),
-        Some("graph") if args.len() == 2 => cmd_graph(&args[1]),
-        Some("animate") if args.len() == 3 => cmd_animate(&args[1], &args[2]),
-        _ => {
-            eprintln!(
-                "usage: troll check <file>… | fmt <file> | info <file> | graph <file> | animate <file> <script>"
-            );
-            return ExitCode::from(2);
+    let Some(command) = args.first().map(String::as_str) else {
+        return usage(None);
+    };
+    let result = match command {
+        "check" => {
+            if args.len() < 2 {
+                return usage(Some("check"));
+            }
+            cmd_check(&args[1..])
         }
+        "fmt" | "info" | "graph" => {
+            if args.len() != 2 {
+                return usage(Some(command));
+            }
+            match command {
+                "fmt" => cmd_fmt(&args[1]),
+                "info" => cmd_info(&args[1]),
+                _ => cmd_graph(&args[1]),
+            }
+        }
+        "animate" => match AnimateOpts::parse(&args[1..]) {
+            Some(opts) => cmd_animate(&opts),
+            None => return usage(Some("animate")),
+        },
+        "help" | "--help" | "-h" => {
+            println!("{GENERAL_USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => return usage(None),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -149,14 +199,98 @@ fn cmd_info(file: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_animate(file: &str, script: &str) -> Result<(), String> {
-    let system = System::load_file(file).map_err(|e| format!("{file}: {e}"))?;
+/// Parsed `troll animate` invocation.
+struct AnimateOpts {
+    file: String,
+    script: String,
+    stats: bool,
+    trace: Option<String>,
+}
+
+impl AnimateOpts {
+    /// Flags may appear anywhere among the two positionals; returns
+    /// `None` on any usage error (unknown flag, missing flag value,
+    /// wrong positional count).
+    fn parse(args: &[String]) -> Option<Self> {
+        let mut stats = false;
+        let mut trace = None;
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--stats" => stats = true,
+                "--trace" => trace = Some(it.next()?.clone()),
+                s if s.starts_with('-') => return None,
+                _ => positional.push(a.clone()),
+            }
+        }
+        let [file, script] = positional.as_slice() else {
+            return None;
+        };
+        Some(AnimateOpts {
+            file: file.clone(),
+            script: script.clone(),
+            stats,
+            trace,
+        })
+    }
+}
+
+fn cmd_animate(opts: &AnimateOpts) -> Result<(), String> {
+    let system = System::load_file(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
     let mut ob = system.object_base().map_err(|e| e.to_string())?;
-    let script_text = std::fs::read_to_string(script).map_err(|e| format!("{script}: {e}"))?;
-    let outcomes =
-        troll::script::run_script(&mut ob, &script_text).map_err(|e| format!("{script}:{e}"))?;
+    let writer = match &opts.trace {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let writer = Arc::new(TraceWriter::new(std::io::BufWriter::new(file)));
+            ob.set_observer(writer.clone());
+            Some((path.clone(), writer))
+        }
+        None => None,
+    };
+    let script_text =
+        std::fs::read_to_string(&opts.script).map_err(|e| format!("{}: {e}", opts.script))?;
+    let outcomes = troll::script::run_script(&mut ob, &script_text)
+        .map_err(|e| format!("{}:{e}", opts.script))?;
     for outcome in outcomes {
         println!("{outcome}");
     }
+    if let Some((path, writer)) = writer {
+        writer.flush();
+        if writer.write_errors() > 0 {
+            return Err(format!(
+                "{path}: {} trace event(s) failed to write",
+                writer.write_errors()
+            ));
+        }
+    }
+    if opts.stats {
+        print_stats(&ob);
+    }
     Ok(())
+}
+
+/// Renders the run's metrics: every registered counter and histogram,
+/// plus the monitor-cache façade so the two views can be compared.
+fn print_stats(ob: &ObjectBase) {
+    let snapshot = ob.metrics().snapshot();
+    let out = std::io::stdout();
+    let mut out = out.lock();
+    let _ = writeln!(out, "-- stats --");
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "{name:<34} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let _ = writeln!(
+            out,
+            "{name:<34} n={} mean={}ns p50<={}ns p90<={}ns p99<={}ns",
+            h.count, h.mean_ns, h.p50_ns, h.p90_ns, h.p99_ns
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<34} {}",
+        "monitor_cache (snapshot)",
+        ob.monitor_cache_stats()
+    );
 }

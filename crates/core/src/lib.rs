@@ -26,7 +26,10 @@
 //! * [`lang`] — the TROLL language front-end;
 //! * [`runtime`] — the object base / animator;
 //! * [`refine`] — refinement checking and the three-level schema
-//!   architecture.
+//!   architecture;
+//! * [`obs`] — zero-dependency tracing & metrics (attach an observer
+//!   with [`runtime::ObjectBase::set_observer`], read counters via
+//!   [`runtime::ObjectBase::metrics`]).
 //!
 //! # Quickstart
 //!
@@ -56,6 +59,7 @@ pub mod script;
 pub use troll_data as data;
 pub use troll_kernel as kernel;
 pub use troll_lang as lang;
+pub use troll_obs as obs;
 pub use troll_process as process;
 pub use troll_refine as refine;
 pub use troll_runtime as runtime;

@@ -26,6 +26,39 @@ const SAMPLES: usize = 24;
 const WARMUP: Duration = Duration::from_millis(100);
 const TARGET_SAMPLE: Duration = Duration::from_millis(25);
 
+/// CI smoke mode: when `TROLL_BENCH_SMOKE` is set (to anything but
+/// `0`), every point runs its routine once per sample with a single
+/// sample and no warmup — the suite degenerates to "does every
+/// benchmark still execute", cheap enough for a CI job.
+fn smoke() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::var_os("TROLL_BENCH_SMOKE").is_some_and(|v| v != "0"))
+}
+
+fn samples() -> usize {
+    if smoke() {
+        1
+    } else {
+        SAMPLES
+    }
+}
+
+fn warmup() -> Duration {
+    if smoke() {
+        Duration::ZERO
+    } else {
+        WARMUP
+    }
+}
+
+fn target_sample() -> Duration {
+    if smoke() {
+        Duration::ZERO
+    } else {
+        TARGET_SAMPLE
+    }
+}
+
 /// How batched inputs are grouped. The shim always times one routine
 /// call at a time, so the variants only exist for API compatibility.
 #[derive(Clone, Copy, Debug)]
@@ -168,14 +201,14 @@ impl Bencher {
         // Warmup + calibration.
         let mut iters: u64 = 0;
         let warm_start = Instant::now();
-        while warm_start.elapsed() < WARMUP {
+        while warm_start.elapsed() < warmup() || iters == 0 {
             black_box(routine());
             iters += 1;
         }
-        let per_iter = warm_start.elapsed().as_secs_f64() / iters as f64;
-        let batch = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let per_iter = (warm_start.elapsed().as_secs_f64() / iters as f64).max(1e-9);
+        let batch = ((target_sample().as_secs_f64() / per_iter).ceil() as u64).max(1);
 
-        for _ in 0..SAMPLES {
+        for _ in 0..samples() {
             let start = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
@@ -200,7 +233,7 @@ impl Bencher {
         let mut elapsed = Duration::ZERO;
         let mut iters: u64 = 0;
         let warm_start = Instant::now();
-        while warm_start.elapsed() < WARMUP || iters == 0 {
+        while warm_start.elapsed() < warmup() || iters == 0 {
             let input = setup();
             let t = Instant::now();
             let out = black_box(routine(input));
@@ -209,9 +242,9 @@ impl Bencher {
             iters += 1;
         }
         let per_iter = (elapsed.as_secs_f64() / iters as f64).max(1e-9);
-        let batch = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).clamp(1, 10_000);
+        let batch = ((target_sample().as_secs_f64() / per_iter).ceil() as u64).clamp(1, 10_000);
 
-        for _ in 0..SAMPLES {
+        for _ in 0..samples() {
             let mut ns_total = 0.0;
             for _ in 0..batch {
                 let input = setup();

@@ -1,0 +1,321 @@
+//! Typed observability events emitted by the runtime.
+
+/// Which evaluation path answered a permission or constraint check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckPath {
+    /// Answered by an incremental monitor peek (O(|φ|)).
+    Monitored,
+    /// Answered by the reference history-scan evaluator
+    /// (O(|trace|·|φ|)) — the fallback for quantified/future/open
+    /// formulas, role histories and a disabled cache.
+    Scan,
+}
+
+impl CheckPath {
+    /// Stable lower-case label, used in traces and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckPath::Monitored => "monitored",
+            CheckPath::Scan => "scan",
+        }
+    }
+}
+
+/// One observable runtime event. Events are emitted only when an
+/// [`crate::Observer`] is enabled, so owned `String` fields are fine:
+/// the disabled path never constructs them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEvent {
+    /// A step began executing (before the calling closure).
+    StepStarted {
+        /// Sequence number of the attempt (counts committed and
+        /// rolled-back steps alike).
+        step: u64,
+        /// Rendering of the initiating occurrence (`id[class].event`).
+        initial: String,
+    },
+    /// An occurrence was scheduled into the step's synchronous closure
+    /// (the initiating event and everything it calls).
+    EventCalled {
+        /// Instance identity.
+        instance: String,
+        /// Context class of the occurrence.
+        ctx_class: String,
+        /// Event name.
+        event: String,
+    },
+    /// A permission precondition was evaluated.
+    PermissionChecked {
+        /// Instance identity.
+        instance: String,
+        /// The guarded event.
+        event: String,
+        /// Monitored or scan path.
+        path: CheckPath,
+        /// Whether the permission granted the event.
+        granted: bool,
+    },
+    /// A constraint was evaluated on the post-state.
+    ConstraintChecked {
+        /// Instance identity.
+        instance: String,
+        /// Monitored or scan path.
+        path: CheckPath,
+        /// Whether the constraint held.
+        satisfied: bool,
+    },
+    /// Valuation rules of one occurrence were applied.
+    ValuationApplied {
+        /// Instance identity.
+        instance: String,
+        /// The event whose rules ran.
+        event: String,
+        /// Number of attribute updates applied.
+        updates: usize,
+    },
+    /// A committed step was fed to the instance's live monitors.
+    MonitorFed {
+        /// Instance identity.
+        instance: String,
+        /// Number of active monitors that consumed the step.
+        monitors: usize,
+    },
+    /// The step committed.
+    StepCommitted {
+        /// Sequence number of the attempt.
+        step: u64,
+        /// Occurrences in the committed closure.
+        occurrences: usize,
+        /// Wall-clock duration of the step, monotonic-clock timed.
+        nanos: u64,
+    },
+    /// The step rolled back (permission refusal, constraint violation,
+    /// or any other error) leaving the base unchanged.
+    StepRolledBack {
+        /// Sequence number of the attempt.
+        step: u64,
+        /// Human-readable rollback reason.
+        reason: String,
+        /// Wall-clock duration until the rollback.
+        nanos: u64,
+    },
+}
+
+impl ObsEvent {
+    /// Stable kind tag, used as the `"ev"` field in JSON-lines traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::StepStarted { .. } => "step_started",
+            ObsEvent::EventCalled { .. } => "event_called",
+            ObsEvent::PermissionChecked { .. } => "permission_checked",
+            ObsEvent::ConstraintChecked { .. } => "constraint_checked",
+            ObsEvent::ValuationApplied { .. } => "valuation_applied",
+            ObsEvent::MonitorFed { .. } => "monitor_fed",
+            ObsEvent::StepCommitted { .. } => "step_committed",
+            ObsEvent::StepRolledBack { .. } => "step_rolled_back",
+        }
+    }
+
+    /// Renders the event as one JSON object (no trailing newline). The
+    /// encoding is hand-rolled — the workspace is hermetic — but emits
+    /// strict JSON: strings are escaped, numbers are plain integers.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"ev\":");
+        push_json_str(&mut out, self.kind());
+        match self {
+            ObsEvent::StepStarted { step, initial } => {
+                push_field_u64(&mut out, "step", *step);
+                push_field_str(&mut out, "initial", initial);
+            }
+            ObsEvent::EventCalled {
+                instance,
+                ctx_class,
+                event,
+            } => {
+                push_field_str(&mut out, "instance", instance);
+                push_field_str(&mut out, "class", ctx_class);
+                push_field_str(&mut out, "event", event);
+            }
+            ObsEvent::PermissionChecked {
+                instance,
+                event,
+                path,
+                granted,
+            } => {
+                push_field_str(&mut out, "instance", instance);
+                push_field_str(&mut out, "event", event);
+                push_field_str(&mut out, "path", path.label());
+                push_field_bool(&mut out, "granted", *granted);
+            }
+            ObsEvent::ConstraintChecked {
+                instance,
+                path,
+                satisfied,
+            } => {
+                push_field_str(&mut out, "instance", instance);
+                push_field_str(&mut out, "path", path.label());
+                push_field_bool(&mut out, "satisfied", *satisfied);
+            }
+            ObsEvent::ValuationApplied {
+                instance,
+                event,
+                updates,
+            } => {
+                push_field_str(&mut out, "instance", instance);
+                push_field_str(&mut out, "event", event);
+                push_field_u64(&mut out, "updates", *updates as u64);
+            }
+            ObsEvent::MonitorFed { instance, monitors } => {
+                push_field_str(&mut out, "instance", instance);
+                push_field_u64(&mut out, "monitors", *monitors as u64);
+            }
+            ObsEvent::StepCommitted {
+                step,
+                occurrences,
+                nanos,
+            } => {
+                push_field_u64(&mut out, "step", *step);
+                push_field_u64(&mut out, "occurrences", *occurrences as u64);
+                push_field_u64(&mut out, "nanos", *nanos);
+            }
+            ObsEvent::StepRolledBack {
+                step,
+                reason,
+                nanos,
+            } => {
+                push_field_u64(&mut out, "step", *step);
+                push_field_str(&mut out, "reason", reason);
+                push_field_u64(&mut out, "nanos", *nanos);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_field_str(out: &mut String, key: &str, value: &str) {
+    out.push(',');
+    push_json_str(out, key);
+    out.push(':');
+    push_json_str(out, value);
+}
+
+fn push_field_u64(out: &mut String, key: &str, value: u64) {
+    out.push(',');
+    push_json_str(out, key);
+    out.push(':');
+    out.push_str(&value.to_string());
+}
+
+fn push_field_bool(out: &mut String, key: &str, value: bool) {
+    out.push(',');
+    push_json_str(out, key);
+    out.push(':');
+    out.push_str(if value { "true" } else { "false" });
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_encoding_is_strict() {
+        let ev = ObsEvent::PermissionChecked {
+            instance: "|DEPT|(\"Toys\")".into(),
+            event: "fire".into(),
+            path: CheckPath::Monitored,
+            granted: false,
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"permission_checked","instance":"|DEPT|(\"Toys\")","event":"fire","path":"monitored","granted":false}"#
+        );
+    }
+
+    #[test]
+    fn control_characters_escaped() {
+        let ev = ObsEvent::StepRolledBack {
+            step: 3,
+            reason: "line1\nline2\u{1}".into(),
+            nanos: 42,
+        };
+        let json = ev.to_json();
+        assert!(json.contains("\\n"), "{json}");
+        assert!(json.contains("\\u0001"), "{json}");
+        assert!(!json.contains('\n'), "one physical line: {json}");
+    }
+
+    #[test]
+    fn every_kind_is_distinct() {
+        let kinds = [
+            ObsEvent::StepStarted {
+                step: 0,
+                initial: String::new(),
+            }
+            .kind(),
+            ObsEvent::EventCalled {
+                instance: String::new(),
+                ctx_class: String::new(),
+                event: String::new(),
+            }
+            .kind(),
+            ObsEvent::PermissionChecked {
+                instance: String::new(),
+                event: String::new(),
+                path: CheckPath::Scan,
+                granted: true,
+            }
+            .kind(),
+            ObsEvent::ConstraintChecked {
+                instance: String::new(),
+                path: CheckPath::Scan,
+                satisfied: true,
+            }
+            .kind(),
+            ObsEvent::ValuationApplied {
+                instance: String::new(),
+                event: String::new(),
+                updates: 0,
+            }
+            .kind(),
+            ObsEvent::MonitorFed {
+                instance: String::new(),
+                monitors: 0,
+            }
+            .kind(),
+            ObsEvent::StepCommitted {
+                step: 0,
+                occurrences: 0,
+                nanos: 0,
+            }
+            .kind(),
+            ObsEvent::StepRolledBack {
+                step: 0,
+                reason: String::new(),
+                nanos: 0,
+            }
+            .kind(),
+        ];
+        let unique: std::collections::BTreeSet<_> = kinds.iter().collect();
+        assert_eq!(unique.len(), kinds.len());
+    }
+}

@@ -1,0 +1,60 @@
+//! # troll-obs — zero-dependency tracing & metrics for the object
+//! community runtime
+//!
+//! The paper's semantics is all about *observable behaviour*: attribute
+//! observations over event sequences. This crate reifies the runtime's
+//! own meta-level the same way — steps, permission checks, valuations
+//! and monitor feeds become observable events — so the system can be
+//! inspected and measured without redesign (the description-driven
+//! systems argument of Estrella et al.).
+//!
+//! Three pieces, all hermetic (no external dependencies, mirroring the
+//! in-repo proptest/rand/criterion shims):
+//!
+//! * [`Observer`] — span-style enter/exit hooks plus typed events
+//!   ([`ObsEvent`]): `StepStarted`, `PermissionChecked` (monitored or
+//!   scan path), `ValuationApplied`, `EventCalled`, `StepCommitted`,
+//!   `StepRolledBack`, `MonitorFed`. The [`NoopObserver`] default
+//!   reports itself disabled so instrumented code can skip event
+//!   construction entirely — the disabled cost is a predicted branch
+//!   (measured ≈0 in `e10_obs_overhead`).
+//! * [`Metrics`] — a lock-free-enough registry of named [`Counter`]s
+//!   (relaxed atomics) and fixed-bucket latency [`Histogram`]s
+//!   (power-of-two nanosecond buckets, p50/p90/p99 summaries).
+//!   Handles are resolved once and incremented without locking; the
+//!   registry mutex is touched only on registration and snapshot.
+//! * Two built-in sinks: the in-memory [`Recorder`] for tests and the
+//!   JSON-lines [`TraceWriter`] for offline analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use troll_obs::{Metrics, ObsEvent, Observer, Recorder};
+//! use std::sync::Arc;
+//!
+//! let metrics = Metrics::new();
+//! let steps = metrics.counter("steps.committed");
+//! steps.inc();
+//! assert_eq!(metrics.counter("steps.committed").get(), 1);
+//!
+//! let recorder = Arc::new(Recorder::new());
+//! recorder.on_event(&ObsEvent::StepCommitted {
+//!     step: 0,
+//!     occurrences: 1,
+//!     nanos: 1500,
+//! });
+//! assert_eq!(recorder.events().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod observer;
+mod sinks;
+
+pub use event::{CheckPath, ObsEvent};
+pub use metrics::{global, Counter, Histogram, HistogramSummary, Metrics, MetricsSnapshot};
+pub use observer::{NoopObserver, Observer};
+pub use sinks::{Recorder, TraceWriter};

@@ -1,0 +1,68 @@
+//! The observer trait and the no-op default.
+
+use crate::ObsEvent;
+
+/// Receives runtime observability signals.
+///
+/// Implementations use interior mutability — all hooks take `&self` so
+/// an observer can be shared behind an `Arc` by a runtime that is
+/// otherwise `&mut`. Hooks must not panic and should be cheap: they run
+/// inside the step engine's hot path.
+///
+/// Instrumented code is expected to consult [`Observer::enabled`] once
+/// per attachment and skip event *construction* entirely when it
+/// returns `false`; that makes the disabled cost of instrumentation a
+/// single predicted branch rather than an allocation.
+pub trait Observer: Send + Sync + std::fmt::Debug {
+    /// Whether the observer wants events at all. The runtime caches
+    /// this at attachment time; return a constant.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// A named span was entered (e.g. `"step"`). Spans nest; exits
+    /// arrive in reverse entry order with the measured duration.
+    fn span_enter(&self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// A named span was exited after `nanos` nanoseconds.
+    fn span_exit(&self, name: &'static str, nanos: u64) {
+        let _ = (name, nanos);
+    }
+
+    /// A typed event occurred.
+    fn on_event(&self, event: &ObsEvent);
+}
+
+/// The default observer: reports itself disabled, receives nothing.
+/// Instrumented code behind it costs one branch per would-be event
+/// (measured ≈0 against the uninstrumented baseline; EXPERIMENTS.md
+/// E10).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn on_event(&self, _event: &ObsEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled() {
+        assert!(!NoopObserver.enabled());
+        // and silently swallows anything sent anyway
+        NoopObserver.on_event(&ObsEvent::StepStarted {
+            step: 0,
+            initial: "x".into(),
+        });
+        NoopObserver.span_enter("step");
+        NoopObserver.span_exit("step", 10);
+    }
+}

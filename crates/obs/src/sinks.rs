@@ -1,0 +1,203 @@
+//! Built-in observer sinks: the in-memory [`Recorder`] for tests and
+//! the JSON-lines [`TraceWriter`] for offline analysis.
+
+use crate::{ObsEvent, Observer};
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Records every event (and span) in memory, in arrival order — the
+/// assertion-friendly sink for tests.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    events: Mutex<Vec<ObsEvent>>,
+    spans: Mutex<Vec<(&'static str, u64)>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.events.lock().expect("recorder poisoned").clone()
+    }
+
+    /// All exited spans as `(name, nanos)`, in exit order.
+    pub fn spans(&self) -> Vec<(&'static str, u64)> {
+        self.spans.lock().expect("recorder poisoned").clone()
+    }
+
+    /// Number of recorded events matching the predicate.
+    pub fn count(&self, pred: impl Fn(&ObsEvent) -> bool) -> usize {
+        self.events
+            .lock()
+            .expect("recorder poisoned")
+            .iter()
+            .filter(|e| pred(e))
+            .count()
+    }
+
+    /// Drops all recorded events and spans.
+    pub fn clear(&self) {
+        self.events.lock().expect("recorder poisoned").clear();
+        self.spans.lock().expect("recorder poisoned").clear();
+    }
+}
+
+impl Observer for Recorder {
+    fn on_event(&self, event: &ObsEvent) {
+        self.events
+            .lock()
+            .expect("recorder poisoned")
+            .push(event.clone());
+    }
+
+    fn span_exit(&self, name: &'static str, nanos: u64) {
+        self.spans
+            .lock()
+            .expect("recorder poisoned")
+            .push((name, nanos));
+    }
+}
+
+/// Streams events as JSON lines (one object per line) to any writer —
+/// typically a buffered file for offline analysis of a run.
+///
+/// Write errors are counted, not propagated: observability must never
+/// fail the observed step.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write + Send> {
+    out: Mutex<W>,
+    errors: crate::Counter,
+}
+
+impl<W: Write + Send> TraceWriter<W> {
+    /// Wraps a writer. Callers that hand in a file usually want to wrap
+    /// it in a [`std::io::BufWriter`] first.
+    pub fn new(out: W) -> TraceWriter<W> {
+        TraceWriter {
+            out: Mutex::new(out),
+            errors: crate::Counter::new(),
+        }
+    }
+
+    /// Number of write errors swallowed so far.
+    pub fn write_errors(&self) -> u64 {
+        self.errors.get()
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.out.into_inner().expect("trace writer poisoned");
+        let _ = w.flush();
+        w
+    }
+
+    /// Flushes buffered output.
+    pub fn flush(&self) {
+        if self
+            .out
+            .lock()
+            .expect("trace writer poisoned")
+            .flush()
+            .is_err()
+        {
+            self.errors.inc();
+        }
+    }
+}
+
+impl<W: Write + Send> Observer for TraceWriter<W>
+where
+    W: std::fmt::Debug,
+{
+    fn on_event(&self, event: &ObsEvent) {
+        let line = event.to_json();
+        let mut out = self.out.lock().expect("trace writer poisoned");
+        if writeln!(out, "{line}").is_err() {
+            self.errors.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CheckPath;
+
+    fn sample_events() -> Vec<ObsEvent> {
+        vec![
+            ObsEvent::StepStarted {
+                step: 0,
+                initial: "d.hire".into(),
+            },
+            ObsEvent::PermissionChecked {
+                instance: "d".into(),
+                event: "fire".into(),
+                path: CheckPath::Scan,
+                granted: true,
+            },
+            ObsEvent::StepCommitted {
+                step: 0,
+                occurrences: 1,
+                nanos: 1234,
+            },
+        ]
+    }
+
+    #[test]
+    fn recorder_keeps_order_and_counts() {
+        let r = Recorder::new();
+        for e in sample_events() {
+            r.on_event(&e);
+        }
+        r.span_exit("step", 99);
+        assert_eq!(r.events().len(), 3);
+        assert_eq!(r.events()[0].kind(), "step_started");
+        assert_eq!(r.count(|e| matches!(e, ObsEvent::StepCommitted { .. })), 1);
+        assert_eq!(r.spans(), vec![("step", 99)]);
+        r.clear();
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn trace_writer_emits_one_json_object_per_line() {
+        let w = TraceWriter::new(Vec::new());
+        for e in sample_events() {
+            w.on_event(&e);
+        }
+        let buf = w.into_inner();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with("{\"ev\":"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        assert!(lines[2].contains("\"nanos\":1234"));
+    }
+
+    #[test]
+    fn write_errors_are_swallowed_and_counted() {
+        /// A writer that always fails.
+        #[derive(Debug)]
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("broken pipe"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("broken pipe"))
+            }
+        }
+        let w = TraceWriter::new(Broken);
+        w.on_event(&ObsEvent::StepStarted {
+            step: 0,
+            initial: String::new(),
+        });
+        w.flush();
+        assert_eq!(w.write_errors(), 2);
+    }
+}

@@ -87,5 +87,13 @@ pub use instance::Instance;
 pub use monitor_cache::MonitorCacheStats;
 pub use views::{JoinStrategy, ViewRow, ViewSet};
 
+// Observability surface (see `troll_obs`): the runtime re-exports the
+// pieces callers need to attach an observer or read metrics without
+// depending on `troll-obs` directly.
+pub use troll_obs::{
+    CheckPath, HistogramSummary, Metrics, MetricsSnapshot, NoopObserver, ObsEvent, Observer,
+    Recorder, TraceWriter,
+};
+
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -42,6 +42,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use troll_data::{Env, MapEnv, ObjectId, Value};
 use troll_lang::ast::ComponentKind;
 use troll_lang::ClassModel;
+use troll_obs::{Counter, Metrics};
 use troll_temporal::{Formula, Monitor, Step, Trace};
 
 /// Per-instance cap on cached entries; beyond it, new checks simply use
@@ -82,17 +83,44 @@ enum Entry {
     Unmonitorable,
 }
 
-/// Counters exposed for benchmarks and the differential test suite.
+/// A stable point-in-time snapshot of the monitor-cache counters, as
+/// returned by [`crate::ObjectBase::monitor_cache_stats`]. Used by
+/// benchmarks, the differential test suite and the `troll animate
+/// --stats` report.
+///
+/// The counters themselves live in the object base's
+/// [`troll_obs::Metrics`] registry (`monitor_cache.hits` etc.); this
+/// struct is the typed façade over that registry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MonitorCacheStats {
-    /// Checks answered by a monitor peek.
+    /// Checks answered by a monitor peek — the O(|φ|) fast path.
     pub hits: u64,
     /// Cache entries created (first sight of a grounded check).
     pub misses: u64,
-    /// Checks answered by the reference scan evaluator.
+    /// Checks answered by the reference scan evaluator: formulas
+    /// outside the monitorable fragment, poisoned entries, per-instance
+    /// capacity overflow, or a disabled cache.
     pub fallbacks: u64,
-    /// Entries dropped (instance death or stale monitor state).
+    /// Entries dropped or degraded (instance death, stale or poisoned
+    /// monitor state).
     pub invalidations: u64,
+}
+
+impl MonitorCacheStats {
+    /// Total checks that consulted the cache (hits + fallbacks).
+    pub fn checks(&self) -> u64 {
+        self.hits + self.fallbacks
+    }
+}
+
+impl std::fmt::Display for MonitorCacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits {} / misses {} / fallbacks {} / invalidations {}",
+            self.hits, self.misses, self.fallbacks, self.invalidations
+        )
+    }
 }
 
 /// Outcome of consulting the cache for one check.
@@ -105,27 +133,54 @@ pub(crate) enum Verdict {
     Fallback,
 }
 
-/// The cache proper: monitors keyed by instance, then by grounded check.
+/// The cache proper: monitors keyed by instance, then by grounded
+/// check. The stats counters are obs handles — registered in the owning
+/// object base's [`Metrics`] under `monitor_cache.*` — so one
+/// instrumentation source feeds both [`MonitorCacheStats`] and the
+/// metrics snapshot.
 #[derive(Debug)]
 pub(crate) struct MonitorCache {
     enabled: bool,
     per_instance: BTreeMap<ObjectId, BTreeMap<CheckKey, Entry>>,
-    stats: MonitorCacheStats,
+    hits: Counter,
+    misses: Counter,
+    fallbacks: Counter,
+    invalidations: Counter,
 }
 
 impl Default for MonitorCache {
+    /// A cache with free-standing (unregistered) counters — used as the
+    /// placeholder during `mem::take` in the step engine and in unit
+    /// tests. The runtime's real cache is built by [`MonitorCache::new`].
     fn default() -> Self {
         MonitorCache {
             enabled: true,
             per_instance: BTreeMap::new(),
-            stats: MonitorCacheStats::default(),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            fallbacks: Counter::new(),
+            invalidations: Counter::new(),
         }
     }
 }
 
 impl MonitorCache {
+    /// Creates a cache whose counters are registered in `metrics` under
+    /// `monitor_cache.{hits,misses,fallbacks,invalidations}`.
+    pub(crate) fn new(metrics: &Metrics) -> Self {
+        MonitorCache {
+            enabled: true,
+            per_instance: BTreeMap::new(),
+            hits: metrics.counter("monitor_cache.hits"),
+            misses: metrics.counter("monitor_cache.misses"),
+            fallbacks: metrics.counter("monitor_cache.fallbacks"),
+            invalidations: metrics.counter("monitor_cache.invalidations"),
+        }
+    }
+
     /// Enables or disables the cache. Disabling drops all state, so a
     /// later re-enable rebuilds monitors lazily from committed traces.
+    /// The counters are cumulative and survive the toggle.
     pub(crate) fn set_enabled(&mut self, enabled: bool) {
         if !enabled {
             self.per_instance.clear();
@@ -138,7 +193,12 @@ impl MonitorCache {
     }
 
     pub(crate) fn stats(&self) -> MonitorCacheStats {
-        self.stats
+        MonitorCacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            fallbacks: self.fallbacks.get(),
+            invalidations: self.invalidations.get(),
+        }
     }
 
     /// Answers one check against `trace` extended with `virtual_step`,
@@ -155,7 +215,7 @@ impl MonitorCache {
         ground: impl FnOnce() -> Option<Formula>,
     ) -> Verdict {
         if !self.enabled {
-            self.stats.fallbacks += 1;
+            self.fallbacks.inc();
             return Verdict::Fallback;
         }
         let entries = self.per_instance.entry(id.clone()).or_default();
@@ -165,14 +225,14 @@ impl MonitorCache {
         if let Some(Entry::Active(m)) = entries.get(&key) {
             if m.steps() > trace.len() {
                 entries.remove(&key);
-                self.stats.invalidations += 1;
+                self.invalidations.inc();
             }
         }
 
         if !entries.contains_key(&key) {
-            self.stats.misses += 1;
+            self.misses.inc();
             if entries.len() >= MAX_ENTRIES_PER_INSTANCE {
-                self.stats.fallbacks += 1;
+                self.fallbacks.inc();
                 return Verdict::Fallback;
             }
             let entry = match ground().map(|f| Monitor::new(&f)) {
@@ -183,7 +243,7 @@ impl MonitorCache {
         }
 
         let Some(Entry::Active(monitor)) = entries.get_mut(&key) else {
-            self.stats.fallbacks += 1;
+            self.fallbacks.inc();
             return Verdict::Fallback;
         };
 
@@ -207,12 +267,12 @@ impl MonitorCache {
         };
         match answer {
             Some(holds) => {
-                self.stats.hits += 1;
+                self.hits.inc();
                 Verdict::Holds(holds)
             }
             None => {
                 entries.insert(key, Entry::Unmonitorable);
-                self.stats.fallbacks += 1;
+                self.fallbacks.inc();
                 Verdict::Fallback
             }
         }
@@ -220,33 +280,38 @@ impl MonitorCache {
 
     /// Feeds a freshly committed step to every monitor of the instance.
     /// Must be called exactly once per step pushed to the instance's
-    /// base trace.
-    pub(crate) fn on_commit(&mut self, id: &ObjectId, step: &Step) {
+    /// base trace. Returns the number of live monitors that consumed
+    /// the step (for the `MonitorFed` observability event).
+    pub(crate) fn on_commit(&mut self, id: &ObjectId, step: &Step) -> usize {
         if !self.enabled {
-            return;
+            return 0;
         }
         let Some(entries) = self.per_instance.get_mut(id) else {
-            return;
+            return 0;
         };
         let rigid = MapEnv::new();
+        let mut fed = 0usize;
         let mut poisoned: Vec<CheckKey> = Vec::new();
         for (key, entry) in entries.iter_mut() {
             if let Entry::Active(m) = entry {
                 if m.step(step, &rigid).is_err() {
                     poisoned.push(key.clone());
+                } else {
+                    fed += 1;
                 }
             }
         }
         for key in poisoned {
-            self.stats.invalidations += 1;
+            self.invalidations.inc();
             entries.insert(key, Entry::Unmonitorable);
         }
+        fed
     }
 
     /// Drops all entries of a dead instance.
     pub(crate) fn on_death(&mut self, id: &ObjectId) {
         if let Some(entries) = self.per_instance.remove(id) {
-            self.stats.invalidations += entries.len() as u64;
+            self.invalidations.add(entries.len() as u64);
         }
     }
 }

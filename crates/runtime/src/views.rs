@@ -278,6 +278,7 @@ impl ObjectBase {
         event: &str,
         args: Vec<Value>,
     ) -> Result<StepReport> {
+        self.counters().view_calls.inc();
         let iface = self
             .model()
             .interface(interface)
@@ -315,6 +316,12 @@ impl ObjectBase {
         }
 
         // derived event: expand the calling rule
+        self.counters().view_derived_calls.inc();
+        self.emit(|| troll_obs::ObsEvent::EventCalled {
+            instance: combo.first().map(ToString::to_string).unwrap_or_default(),
+            ctx_class: interface.to_string(),
+            event: event.to_string(),
+        });
         let rule = iface
             .calling
             .iter()

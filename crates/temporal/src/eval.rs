@@ -89,6 +89,7 @@ impl<'a> TraceView<'a> {
 /// * [`TemporalError::PositionOutOfRange`] if `pos >= trace.len()`.
 /// * Data and sort errors from predicate evaluation.
 pub fn eval_at(formula: &Formula, trace: &Trace, pos: usize, env: &dyn Env) -> Result<bool> {
+    crate::obs::scan_evals().inc();
     eval_at_view(
         formula,
         TraceView {
@@ -113,6 +114,7 @@ pub fn eval_now_appended(
     appended: &Step,
     env: &dyn Env,
 ) -> Result<bool> {
+    crate::obs::scan_evals().inc();
     let view = TraceView {
         base: trace,
         extra: Some(appended),

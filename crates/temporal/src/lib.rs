@@ -57,6 +57,7 @@ mod error;
 mod eval;
 mod formula;
 mod monitor;
+mod obs;
 mod trace;
 
 pub use error::TemporalError;

@@ -132,6 +132,7 @@ impl Monitor {
     ///
     /// Propagates predicate-evaluation errors.
     pub fn step(&mut self, step: &Step, env: &dyn Env) -> Result<bool> {
+        crate::obs::monitor_steps().inc();
         self.prev = self.advance(step, env)?;
         self.steps += 1;
         Ok(*self.prev.last().expect("monitor has at least one node"))
@@ -149,6 +150,7 @@ impl Monitor {
     ///
     /// [`step`]: Monitor::step
     pub fn peek(&self, step: &Step, env: &dyn Env) -> Result<bool> {
+        crate::obs::monitor_peeks().inc();
         let cur = self.advance(step, env)?;
         Ok(*cur.last().expect("monitor has at least one node"))
     }

@@ -1,0 +1,192 @@
+//! End-to-end tests of the `troll` binary: usage/exit-code discipline
+//! (`2` usage, `1` runtime failure, `0` success) and the observability
+//! surface of `troll animate --stats` / `--trace`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn troll() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_troll"))
+}
+
+fn run(args: &[&str]) -> Output {
+    troll().args(args).output().expect("spawn troll")
+}
+
+fn dept_spec() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/dept.troll").to_string()
+}
+
+/// A scratch path unique to this test process.
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("troll-cli-{}-{name}", std::process::id()));
+    p
+}
+
+const SCRIPT: &str = r#"
+-- drive the paper's DEPT class far enough to touch every counter
+birth DEPT ("Toys") establishment (date(1991,10,16))
+exec  |DEPT|("Toys") hire (|PERSON|("ada"))
+exec  |DEPT|("Toys") hire (|PERSON|("bob"))
+exec  |DEPT|("Toys") fire (|PERSON|("ada"))
+show  |DEPT|("Toys") employees
+"#;
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage: troll"), "general usage shown: {err}");
+}
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bad_arity_shows_the_commands_own_usage() {
+    for cmd in ["check", "fmt", "info", "graph", "animate"] {
+        let out = run(&[cmd]);
+        assert_eq!(out.status.code(), Some(2), "{cmd} without args");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(&format!("usage: troll {cmd}")),
+            "{cmd}: per-command usage shown, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn unknown_animate_flag_is_a_usage_error() {
+    let out = run(&["animate", "--bogus", "a.troll", "b.script"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_file_is_a_runtime_error_not_a_usage_error() {
+    let out = run(&["fmt", "/no/such/file.troll"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error:"), "runtime errors say error: {err}");
+}
+
+#[test]
+fn check_accepts_the_paper_spec() {
+    let out = run(&["check", &dept_spec()]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = run(&["help"]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+/// The tentpole acceptance check: `animate --stats` prints non-zero
+/// step and monitor-cache counters, and the obs counters agree with the
+/// `monitor_cache_stats()` façade printed alongside them.
+#[test]
+fn animate_stats_prints_consistent_counters() {
+    let script = scratch("stats.script");
+    std::fs::write(&script, SCRIPT).unwrap();
+    let out = run(&["animate", "--stats", &dept_spec(), script.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let counter = |name: &str| -> u64 {
+        let line = stdout
+            .lines()
+            .find(|l| l.split_whitespace().next() == Some(name))
+            .unwrap_or_else(|| panic!("counter `{name}` missing in:\n{stdout}"));
+        line.split_whitespace().nth(1).unwrap().parse().unwrap()
+    };
+
+    assert!(counter("steps.committed") >= 4, "one step per script line");
+    assert!(counter("events.occurred") >= 4);
+    assert!(counter("permissions.granted") > 0, "fire is guarded");
+    assert!(counter("valuation.updates") > 0);
+
+    // the façade line: "monitor_cache (snapshot) hits H / misses M / …"
+    let facade = stdout
+        .lines()
+        .find(|l| l.starts_with("monitor_cache (snapshot)"))
+        .expect("facade line printed");
+    let field = |key: &str| -> u64 {
+        let mut it = facade.split_whitespace();
+        while let Some(w) = it.next() {
+            if w == key {
+                return it.next().unwrap().parse().unwrap();
+            }
+        }
+        panic!("`{key}` missing in facade line: {facade}");
+    };
+    assert_eq!(field("hits"), counter("monitor_cache.hits"));
+    assert_eq!(field("misses"), counter("monitor_cache.misses"));
+    assert_eq!(field("fallbacks"), counter("monitor_cache.fallbacks"));
+    assert_eq!(
+        field("invalidations"),
+        counter("monitor_cache.invalidations")
+    );
+    assert!(
+        field("hits") + field("misses") > 0,
+        "monitored permissions exercised the cache"
+    );
+
+    let _ = std::fs::remove_file(&script);
+}
+
+/// `--trace` streams one strict-JSON object per line covering the whole
+/// step life cycle.
+#[test]
+fn animate_trace_streams_json_lines() {
+    let script = scratch("trace.script");
+    let trace = scratch("trace.jsonl");
+    std::fs::write(&script, SCRIPT).unwrap();
+    let out = run(&[
+        "animate",
+        "--trace",
+        trace.to_str().unwrap(),
+        &dept_spec(),
+        script.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let body = std::fs::read_to_string(&trace).unwrap();
+    assert!(!body.is_empty(), "trace file has content");
+    for line in body.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "each line is one JSON object: {line}"
+        );
+        assert!(line.contains("\"ev\":"), "tagged with a kind: {line}");
+    }
+    for kind in [
+        "step_started",
+        "event_called",
+        "permission_checked",
+        "valuation_applied",
+        "step_committed",
+    ] {
+        assert!(
+            body.contains(&format!("\"ev\":\"{kind}\"")),
+            "trace covers {kind}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&script);
+    let _ = std::fs::remove_file(&trace);
+}
