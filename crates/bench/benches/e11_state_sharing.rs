@@ -1,0 +1,150 @@
+//! E11 — per-event cost vs attribute-map width (state snapshot cost).
+//!
+//! The paper's observation semantics make every trace step carry the
+//! attribute state the object exhibited at that point, so the engine
+//! snapshots the state map on every committed event. These benches grow
+//! the *width* of that map (number of declared attributes) while holding
+//! the history depth fixed, isolating exactly the cost E3's
+//! `hire_vs_history` conflates with history growth: with eager
+//! `BTreeMap` snapshots the per-event cost is O(|state|) several times
+//! over (working-state materialization, virtual-step snapshot, trace
+//! snapshot, commit); with the persistent structurally-shared
+//! [`troll::data::StateMap`] every snapshot is an O(1) shared root and
+//! only the updated attribute pays an O(log n) path copy, so the curves
+//! should be roughly flat in width.
+//!
+//! Methodology matches E3: successful events commit and mutate the
+//! base, so they are measured with `iter_batched` (setup excluded) on a
+//! standing history of `HISTORY` hires.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use troll::data::{Date, ObjectId, Value};
+use troll::runtime::ObjectBase;
+use troll::System;
+use troll_bench::person;
+
+/// Attribute-map widths under test (the e11 sweep of EXPERIMENTS.md).
+const WIDTHS: [usize; 4] = [4, 16, 64, 256];
+
+/// Standing history depth: enough that the monitor cache matters, small
+/// enough that setup stays cheap at width 256.
+const HISTORY: usize = 32;
+
+/// A DEPT-like spec with `width` additional integer attributes. The
+/// extra attributes are born undefined, which still occupies a slot in
+/// every state snapshot — map width is what these benches vary.
+fn wide_spec(width: usize) -> String {
+    let attrs: Vec<String> = (0..width).map(|i| format!("a{i}: int;")).collect();
+    format!(
+        r#"
+object class DEPT
+  identification id: string;
+  template
+    attributes
+      est_date: date;
+      employees: set(|PERSON|);
+      hired_ever: set(|PERSON|);
+      counter: int;
+      {attrs}
+    events
+      birth establishment(date);
+      death closure;
+      hire(|PERSON|);
+      fire(|PERSON|);
+      bump;
+    valuation
+      variables P: |PERSON|; d: date;
+      [establishment(d)] est_date = d;
+      [establishment(d)] employees = {{}};
+      [establishment(d)] hired_ever = {{}};
+      [establishment(d)] counter = 0;
+      [hire(P)] employees = insert(P, employees);
+      [hire(P)] hired_ever = insert(P, hired_ever);
+      [fire(P)] employees = remove(P, employees);
+      [bump] counter = counter + 1;
+    permissions
+      variables P: |PERSON|;
+      {{ sometime(after(hire(P))) }} fire(P);
+end object class DEPT;
+"#,
+        attrs = attrs.join("\n      ")
+    )
+}
+
+/// Births one wide department and runs `HISTORY` hires on it.
+fn wide_base(width: usize) -> (ObjectBase, ObjectId) {
+    let system = System::load_str(&wide_spec(width)).expect("wide spec loads");
+    let mut ob = system.object_base().expect("object base");
+    let date = Value::Date(Date::new(1991, 10, 16).expect("valid date"));
+    let id = ob
+        .birth(
+            "DEPT",
+            vec![Value::from("wide")],
+            "establishment",
+            vec![date],
+        )
+        .expect("birth succeeds");
+    for j in 0..HISTORY {
+        ob.execute(&id, "hire", vec![person(j)])
+            .expect("hire succeeds");
+    }
+    (ob, id)
+}
+
+/// One hire event (two set-valued valuation updates + commit) as the
+/// attribute map widens — the `hire_vs_history` regime with width, not
+/// history, as the swept variable.
+fn bench_hire_vs_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_state_sharing");
+    group.sample_size(20);
+    for width in WIDTHS {
+        group.bench_with_input(BenchmarkId::new("hire_vs_width", width), &width, |b, _| {
+            b.iter_batched(
+                || wide_base(width),
+                |(mut ob, id)| {
+                    ob.execute(&id, "hire", vec![person(9999)])
+                        .expect("hire succeeds");
+                    black_box(ob.steps_executed());
+                    ob // dropped outside the measurement
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    // the purest snapshot probe: a single integer attribute update — all
+    // remaining per-event cost is state materialization and snapshots
+    for width in WIDTHS {
+        group.bench_with_input(BenchmarkId::new("bump_vs_width", width), &width, |b, _| {
+            b.iter_batched(
+                || wide_base(width),
+                |(mut ob, id)| {
+                    ob.execute(&id, "bump", vec![]).expect("bump succeeds");
+                    black_box(ob.steps_executed());
+                    ob
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    // steady state: thousands of bumps against one standing base, so
+    // first-touch cache effects of the freshly built wide tree amortize
+    // away and what remains is the per-event snapshot cost itself
+    for width in WIDTHS {
+        group.bench_with_input(
+            BenchmarkId::new("bump_steady_vs_width", width),
+            &width,
+            |b, _| {
+                let (mut ob, id) = wide_base(width);
+                b.iter(|| {
+                    ob.execute(&id, "bump", vec![]).expect("bump succeeds");
+                    black_box(ob.steps_executed())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hire_vs_width);
+criterion_main!(benches);

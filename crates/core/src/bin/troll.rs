@@ -271,7 +271,9 @@ fn cmd_animate(opts: &AnimateOpts) -> Result<(), String> {
 }
 
 /// Renders the run's metrics: every registered counter and histogram,
-/// plus the monitor-cache façade so the two views can be compared.
+/// the process-wide counters (temporal scan/monitor tallies, state-map
+/// sharing rates `state.clone_shared` / `state.path_copy`), plus the
+/// monitor-cache façade so the two views can be compared.
 fn print_stats(ob: &ObjectBase) {
     let snapshot = ob.metrics().snapshot();
     let out = std::io::stdout();
@@ -286,6 +288,10 @@ fn print_stats(ob: &ObjectBase) {
             "{name:<34} n={} mean={}ns p50<={}ns p90<={}ns p99<={}ns",
             h.count, h.mean_ns, h.p50_ns, h.p90_ns, h.p99_ns
         );
+    }
+    let global = troll_obs::global().snapshot();
+    for (name, value) in &global.counters {
+        let _ = writeln!(out, "global.{name:<27} {value}");
     }
     let _ = writeln!(
         out,

@@ -53,6 +53,7 @@ mod error;
 mod money;
 mod ops;
 mod sort;
+mod statemap;
 mod term;
 mod value;
 
@@ -61,6 +62,7 @@ pub use error::DataError;
 pub use money::Money;
 pub use ops::Op;
 pub use sort::{Sort, TupleField};
+pub use statemap::StateMap;
 pub use term::{Env, Layered, MapEnv, Quantifier, Term};
 pub use value::{ObjectId, Value};
 

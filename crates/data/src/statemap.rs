@@ -1,0 +1,703 @@
+//! Persistent, structurally-shared attribute-state maps.
+//!
+//! The paper's observation semantics make every step of an object's
+//! life carry the attribute state the object exhibited at that point
+//! (`obs(b·t)`, §3), so the runtime snapshots the state map on every
+//! committed event — and keeps every historical snapshot alive in the
+//! trace. [`StateMap`] makes those snapshots cheap: it is an immutable
+//! balanced search tree with [`Arc`]-shared nodes, so
+//!
+//! * `clone` is O(1) — a reference-count bump on the root;
+//! * `insert`/`remove` are O(log n) — only the root-to-leaf path is
+//!   copied, everything else is shared with the previous version;
+//! * `get` is O(log n), iteration is in key order (matching the
+//!   `BTreeMap` it replaced);
+//! * [`StateMap::ptr_eq`] answers "same snapshot?" in O(1).
+//!
+//! Keys are `Arc<str>` and values `Arc<Value>`, so path copies share
+//! both with the old version instead of deep-cloning (a department's
+//! `employees` set is never copied because an unrelated attribute
+//! changed).
+//!
+//! Two process-wide counters in [`troll_obs::global`] make the sharing
+//! rate observable (`troll animate --stats`):
+//!
+//! * `state.clone_shared` — O(1) shared-root clones taken;
+//! * `state.path_copy` — insert/remove operations that copied a path.
+//!
+//! The `btree-state` cargo feature swaps the internals for a plain
+//! `BTreeMap` with the same API — the differential-testing oracle: the
+//! whole suite can run against either representation and must behave
+//! identically (only cost and the sharing counters change).
+
+use crate::value::Value;
+use crate::Env;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+use troll_obs::Counter;
+
+/// Counter of O(1) shared-root clones (`state.clone_shared`).
+fn clone_shared() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| troll_obs::global().counter("state.clone_shared"))
+}
+
+/// Counter of path-copying updates (`state.path_copy`).
+fn path_copy() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| troll_obs::global().counter("state.path_copy"))
+}
+
+#[cfg(not(feature = "btree-state"))]
+mod imp {
+    use super::{clone_shared, path_copy, Value};
+    use std::cmp::Ordering;
+    use std::sync::Arc;
+
+    /// One tree node. `key`/`value` are `Arc`s so a path copy shares
+    /// them with the previous version of the map.
+    #[derive(Debug)]
+    pub(super) struct Node {
+        key: Arc<str>,
+        value: Arc<Value>,
+        left: Link,
+        right: Link,
+        height: u8,
+    }
+
+    type Link = Option<Arc<Node>>;
+
+    fn height(link: &Link) -> u8 {
+        link.as_ref().map_or(0, |n| n.height)
+    }
+
+    /// Allocates a node over existing children (the only constructor —
+    /// height is always derived, never stored stale).
+    fn mk(key: Arc<str>, value: Arc<Value>, left: Link, right: Link) -> Arc<Node> {
+        let height = 1 + height(&left).max(height(&right));
+        Arc::new(Node {
+            key,
+            value,
+            left,
+            right,
+            height,
+        })
+    }
+
+    /// Rebuilds a node AVL-balanced. Children differ from the parent's
+    /// previous children in at most one subtree, so at most two
+    /// rotations restore the invariant.
+    fn balance(key: Arc<str>, value: Arc<Value>, left: Link, right: Link) -> Arc<Node> {
+        let (hl, hr) = (height(&left), height(&right));
+        if hl > hr + 1 {
+            // left-heavy: the left child exists by the height bound
+            let l = left.expect("left-heavy node has a left child");
+            if height(&l.left) >= height(&l.right) {
+                // single right rotation
+                let new_right = mk(key, value, l.right.clone(), right);
+                mk(
+                    l.key.clone(),
+                    l.value.clone(),
+                    l.left.clone(),
+                    Some(new_right),
+                )
+            } else {
+                // left-right double rotation
+                let lr = l.right.as_ref().expect("taller right subtree exists");
+                let new_left = mk(
+                    l.key.clone(),
+                    l.value.clone(),
+                    l.left.clone(),
+                    lr.left.clone(),
+                );
+                let new_right = mk(key, value, lr.right.clone(), right);
+                mk(
+                    lr.key.clone(),
+                    lr.value.clone(),
+                    Some(new_left),
+                    Some(new_right),
+                )
+            }
+        } else if hr > hl + 1 {
+            let r = right.expect("right-heavy node has a right child");
+            if height(&r.right) >= height(&r.left) {
+                // single left rotation
+                let new_left = mk(key, value, left, r.left.clone());
+                mk(
+                    r.key.clone(),
+                    r.value.clone(),
+                    Some(new_left),
+                    r.right.clone(),
+                )
+            } else {
+                // right-left double rotation
+                let rl = r.left.as_ref().expect("taller left subtree exists");
+                let new_left = mk(key, value, left, rl.left.clone());
+                let new_right = mk(
+                    r.key.clone(),
+                    r.value.clone(),
+                    rl.right.clone(),
+                    r.right.clone(),
+                );
+                mk(
+                    rl.key.clone(),
+                    rl.value.clone(),
+                    Some(new_left),
+                    Some(new_right),
+                )
+            }
+        } else {
+            mk(key, value, left, right)
+        }
+    }
+
+    /// Returns the rebuilt subtree and whether the key was new.
+    fn insert_rec(link: &Link, key: &Arc<str>, value: &Arc<Value>) -> (Arc<Node>, bool) {
+        match link {
+            None => (mk(key.clone(), value.clone(), None, None), true),
+            Some(node) => match key.as_ref().cmp(node.key.as_ref()) {
+                Ordering::Equal => (
+                    // same key: replace the value in place, keep children
+                    mk(
+                        node.key.clone(),
+                        value.clone(),
+                        node.left.clone(),
+                        node.right.clone(),
+                    ),
+                    false,
+                ),
+                Ordering::Less => {
+                    let (new_left, added) = insert_rec(&node.left, key, value);
+                    (
+                        balance(
+                            node.key.clone(),
+                            node.value.clone(),
+                            Some(new_left),
+                            node.right.clone(),
+                        ),
+                        added,
+                    )
+                }
+                Ordering::Greater => {
+                    let (new_right, added) = insert_rec(&node.right, key, value);
+                    (
+                        balance(
+                            node.key.clone(),
+                            node.value.clone(),
+                            node.left.clone(),
+                            Some(new_right),
+                        ),
+                        added,
+                    )
+                }
+            },
+        }
+    }
+
+    /// Removes the minimum node, returning (its key, its value, rest).
+    fn take_min(node: &Arc<Node>) -> (Arc<str>, Arc<Value>, Link) {
+        match &node.left {
+            None => (node.key.clone(), node.value.clone(), node.right.clone()),
+            Some(left) => {
+                let (k, v, rest) = take_min(left);
+                (
+                    k,
+                    v,
+                    Some(balance(
+                        node.key.clone(),
+                        node.value.clone(),
+                        rest,
+                        node.right.clone(),
+                    )),
+                )
+            }
+        }
+    }
+
+    /// Returns the rebuilt subtree (None if emptied) and the removed
+    /// value, or `None` if the key was absent (subtree fully shared).
+    fn remove_rec(link: &Link, key: &str) -> Option<(Link, Arc<Value>)> {
+        let node = link.as_ref()?;
+        match key.cmp(node.key.as_ref()) {
+            Ordering::Equal => {
+                let rebuilt = match (&node.left, &node.right) {
+                    (None, r) => r.clone(),
+                    (l, None) => l.clone(),
+                    (Some(_), Some(right)) => {
+                        let (k, v, rest) = take_min(right);
+                        Some(balance(k, v, node.left.clone(), rest))
+                    }
+                };
+                Some((rebuilt, node.value.clone()))
+            }
+            Ordering::Less => {
+                let (new_left, removed) = remove_rec(&node.left, key)?;
+                Some((
+                    Some(balance(
+                        node.key.clone(),
+                        node.value.clone(),
+                        new_left,
+                        node.right.clone(),
+                    )),
+                    removed,
+                ))
+            }
+            Ordering::Greater => {
+                let (new_right, removed) = remove_rec(&node.right, key)?;
+                Some((
+                    Some(balance(
+                        node.key.clone(),
+                        node.value.clone(),
+                        node.left.clone(),
+                        new_right,
+                    )),
+                    removed,
+                ))
+            }
+        }
+    }
+
+    /// A persistent ordered map from attribute names to [`Value`]s with
+    /// O(1) structurally-shared clones (see the module docs).
+    #[derive(Debug, Default)]
+    pub struct StateMap {
+        root: Link,
+        len: usize,
+    }
+
+    impl StateMap {
+        /// Creates an empty map.
+        pub fn new() -> Self {
+            StateMap { root: None, len: 0 }
+        }
+
+        /// Number of entries.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// Whether the map is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        /// Looks up a key — O(log n), no allocation.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            let mut cur = self.root.as_ref()?;
+            loop {
+                match key.cmp(cur.key.as_ref()) {
+                    Ordering::Equal => return Some(&cur.value),
+                    Ordering::Less => cur = cur.left.as_ref()?,
+                    Ordering::Greater => cur = cur.right.as_ref()?,
+                }
+            }
+        }
+
+        /// Inserts or replaces — O(log n): copies the root-to-leaf path,
+        /// shares every untouched subtree, key and value with the
+        /// previous version.
+        pub fn insert(&mut self, key: impl Into<Arc<str>>, value: Value) {
+            self.insert_shared(key.into(), Arc::new(value));
+        }
+
+        /// Insert taking already-shared key/value handles (used by
+        /// [`StateMap::union`] so merged entries share allocations).
+        pub(super) fn insert_shared(&mut self, key: Arc<str>, value: Arc<Value>) {
+            path_copy().inc();
+            let (root, added) = insert_rec(&self.root, &key, &value);
+            self.root = Some(root);
+            if added {
+                self.len += 1;
+            }
+        }
+
+        /// Removes a key, returning whether it was present — O(log n).
+        pub fn remove(&mut self, key: &str) -> Option<Value> {
+            let (root, removed) = remove_rec(&self.root, key)?;
+            path_copy().inc();
+            self.root = root;
+            self.len -= 1;
+            Some(removed.as_ref().clone())
+        }
+
+        /// Whether both maps share the same root — O(1). `true` implies
+        /// equality; `false` implies nothing.
+        pub fn ptr_eq(&self, other: &Self) -> bool {
+            match (&self.root, &other.root) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+        }
+
+        /// Iterates in ascending key order.
+        pub fn iter(&self) -> Iter<'_> {
+            let mut iter = Iter { stack: Vec::new() };
+            iter.push_left(&self.root);
+            iter
+        }
+
+        /// The entries as shared handles, in key order (crate-internal:
+        /// lets [`StateMap::union`] avoid re-allocating keys/values).
+        pub(super) fn iter_shared(&self) -> impl Iterator<Item = (&Arc<str>, &Arc<Value>)> {
+            let mut iter = Iter { stack: Vec::new() };
+            iter.push_left(&self.root);
+            std::iter::from_fn(move || {
+                let node = iter.stack.pop()?;
+                iter.push_left(&node.right);
+                Some((&node.key, &node.value))
+            })
+        }
+    }
+
+    impl Clone for StateMap {
+        fn clone(&self) -> Self {
+            clone_shared().inc();
+            StateMap {
+                root: self.root.clone(),
+                len: self.len,
+            }
+        }
+    }
+
+    /// In-order iterator over a [`StateMap`].
+    pub struct Iter<'a> {
+        stack: Vec<&'a Node>,
+    }
+
+    impl<'a> Iter<'a> {
+        fn push_left(&mut self, mut link: &'a Link) {
+            while let Some(node) = link {
+                self.stack.push(node);
+                link = &node.left;
+            }
+        }
+    }
+
+    impl<'a> Iterator for Iter<'a> {
+        type Item = (&'a str, &'a Value);
+
+        fn next(&mut self) -> Option<Self::Item> {
+            let node = self.stack.pop()?;
+            self.push_left(&node.right);
+            Some((node.key.as_ref(), &node.value))
+        }
+    }
+}
+
+#[cfg(feature = "btree-state")]
+mod imp {
+    use super::Value;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    /// Differential-testing oracle representation: the plain `BTreeMap`
+    /// the persistent tree replaced, behind the identical API. Clones
+    /// are deep, `ptr_eq` is conservatively `false` for non-empty maps,
+    /// and the sharing counters stay silent.
+    #[derive(Debug, Default, Clone)]
+    pub struct StateMap {
+        map: BTreeMap<String, Value>,
+    }
+
+    impl StateMap {
+        /// Creates an empty map.
+        pub fn new() -> Self {
+            StateMap {
+                map: BTreeMap::new(),
+            }
+        }
+
+        /// Number of entries.
+        pub fn len(&self) -> usize {
+            self.map.len()
+        }
+
+        /// Whether the map is empty.
+        pub fn is_empty(&self) -> bool {
+            self.map.is_empty()
+        }
+
+        /// Looks up a key.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.map.get(key)
+        }
+
+        /// Inserts or replaces.
+        pub fn insert(&mut self, key: impl Into<Arc<str>>, value: Value) {
+            self.map.insert(key.into().as_ref().to_string(), value);
+        }
+
+        pub(super) fn insert_shared(&mut self, key: Arc<str>, value: Arc<Value>) {
+            self.map
+                .insert(key.as_ref().to_string(), value.as_ref().clone());
+        }
+
+        /// Removes a key, returning the removed value if present.
+        pub fn remove(&mut self, key: &str) -> Option<Value> {
+            self.map.remove(key)
+        }
+
+        /// No sharing in the oracle: only empty maps compare as shared.
+        pub fn ptr_eq(&self, other: &Self) -> bool {
+            self.map.is_empty() && other.map.is_empty()
+        }
+
+        /// Iterates in ascending key order.
+        pub fn iter(&self) -> Iter<'_> {
+            Iter {
+                inner: self.map.iter(),
+            }
+        }
+    }
+
+    /// In-order iterator over the oracle [`StateMap`].
+    pub struct Iter<'a> {
+        inner: std::collections::btree_map::Iter<'a, String, Value>,
+    }
+
+    impl<'a> Iterator for Iter<'a> {
+        type Item = (&'a str, &'a Value);
+
+        fn next(&mut self) -> Option<Self::Item> {
+            self.inner.next().map(|(k, v)| (k.as_str(), v))
+        }
+    }
+}
+
+pub use imp::{Iter, StateMap};
+
+impl StateMap {
+    /// Whether a key is present — O(log n).
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// The union of two maps: `self`'s entries with `over`'s inserted
+    /// on top (later wins), sharing `over`'s key/value allocations. Used
+    /// for role-attribute overlays — O(|over|·log n), independent of
+    /// |self|.
+    pub fn union(&self, over: &StateMap) -> StateMap {
+        let mut out = self.clone();
+        out.extend_shared(over);
+        out
+    }
+
+    /// Deep-copies into the `BTreeMap` representation (tests/oracles).
+    pub fn to_btree(&self) -> BTreeMap<String, Value> {
+        self.iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[cfg(not(feature = "btree-state"))]
+    fn extend_shared(&mut self, other: &StateMap) {
+        for (k, v) in other.iter_shared() {
+            self.insert_shared(k.clone(), v.clone());
+        }
+    }
+
+    #[cfg(feature = "btree-state")]
+    fn extend_shared(&mut self, other: &StateMap) {
+        for (k, v) in other.iter() {
+            self.insert(k, v.clone());
+        }
+    }
+}
+
+impl PartialEq for StateMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.ptr_eq(other) || (self.len() == other.len() && self.iter().eq(other.iter()))
+    }
+}
+
+impl Eq for StateMap {}
+
+impl Extend<(String, Value)> for StateMap {
+    fn extend<I: IntoIterator<Item = (String, Value)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl FromIterator<(String, Value)> for StateMap {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut out = StateMap::new();
+        out.extend(iter);
+        out
+    }
+}
+
+impl From<BTreeMap<String, Value>> for StateMap {
+    fn from(map: BTreeMap<String, Value>) -> Self {
+        map.into_iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a StateMap {
+    type Item = (&'a str, &'a Value);
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl Env for StateMap {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.get(name).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: i64) -> Value {
+        Value::from(i)
+    }
+
+    #[test]
+    fn insert_get_remove_len() {
+        let mut m = StateMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get("a"), None);
+        m.insert("b", v(2));
+        m.insert("a", v(1));
+        m.insert("c", v(3));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get("a"), Some(&v(1)));
+        assert_eq!(m.get("b"), Some(&v(2)));
+        assert_eq!(m.get("c"), Some(&v(3)));
+        // replace keeps the length
+        m.insert("b", v(20));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get("b"), Some(&v(20)));
+        assert_eq!(m.remove("b"), Some(v(20)));
+        assert_eq!(m.remove("b"), None);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("b"), None);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut m = StateMap::new();
+        for k in ["delta", "alpha", "echo", "bravo", "charlie"] {
+            m.insert(k, Value::from(k));
+        }
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["alpha", "bravo", "charlie", "delta", "echo"]);
+    }
+
+    #[test]
+    fn clone_shares_and_updates_do_not_leak_between_versions() {
+        let mut m = StateMap::new();
+        for i in 0..64 {
+            m.insert(format!("k{i:02}"), v(i));
+        }
+        let snapshot = m.clone();
+        #[cfg(not(feature = "btree-state"))]
+        assert!(snapshot.ptr_eq(&m));
+        m.insert("k07", v(700));
+        m.remove("k40");
+        assert!(!snapshot.ptr_eq(&m));
+        // the old version observes the old values
+        assert_eq!(snapshot.get("k07"), Some(&v(7)));
+        assert_eq!(snapshot.get("k40"), Some(&v(40)));
+        assert_eq!(snapshot.len(), 64);
+        // the new one the new
+        assert_eq!(m.get("k07"), Some(&v(700)));
+        assert_eq!(m.get("k40"), None);
+        assert_eq!(m.len(), 63);
+    }
+
+    #[test]
+    fn equality_is_structural_with_ptr_fast_path() {
+        let a: StateMap = [("x".to_string(), v(1)), ("y".to_string(), v(2))]
+            .into_iter()
+            .collect();
+        let b: StateMap = [("y".to_string(), v(2)), ("x".to_string(), v(1))]
+            .into_iter()
+            .collect();
+        assert_eq!(a, b);
+        let c = a.clone();
+        #[cfg(not(feature = "btree-state"))]
+        assert!(c.ptr_eq(&a));
+        assert_eq!(c, a);
+        let mut d = a.clone();
+        d.insert("x", v(9));
+        assert_ne!(d, a);
+    }
+
+    #[test]
+    fn union_overlays_and_keeps_base() {
+        let base: StateMap = [
+            ("salary".to_string(), v(1000)),
+            ("name".to_string(), Value::from("ada")),
+        ]
+        .into_iter()
+        .collect();
+        let over: StateMap = [
+            ("car".to_string(), Value::from("tesla")),
+            ("salary".to_string(), v(2000)),
+        ]
+        .into_iter()
+        .collect();
+        let merged = base.union(&over);
+        assert_eq!(merged.get("salary"), Some(&v(2000)));
+        assert_eq!(merged.get("car"), Some(&Value::from("tesla")));
+        assert_eq!(merged.get("name"), Some(&Value::from("ada")));
+        assert_eq!(merged.len(), 3);
+        // inputs untouched
+        assert_eq!(base.get("salary"), Some(&v(1000)));
+        assert!(!base.contains_key("car"));
+    }
+
+    #[test]
+    fn env_lookup_reads_entries() {
+        let mut m = StateMap::new();
+        m.insert("x", v(42));
+        assert_eq!(m.lookup("x"), Some(v(42)));
+        assert_eq!(m.lookup("y"), None);
+    }
+
+    #[test]
+    fn to_btree_round_trips() {
+        let mut m = StateMap::new();
+        for i in (0..40).rev() {
+            m.insert(format!("k{i:02}"), v(i));
+        }
+        let bt = m.to_btree();
+        assert_eq!(bt.len(), 40);
+        let back: StateMap = bt.clone().into();
+        assert_eq!(back, m);
+        assert_eq!(back.to_btree(), bt);
+    }
+
+    #[test]
+    fn large_random_order_stays_balanced_enough_to_terminate() {
+        // deterministic pseudo-shuffle: stride walk over 1 000 keys
+        let mut m = StateMap::new();
+        let n = 1000usize;
+        let mut k = 0usize;
+        for _ in 0..n {
+            k = (k + 617) % n;
+            m.insert(format!("key{k:04}"), v(k as i64));
+        }
+        assert_eq!(m.len(), n);
+        for i in 0..n {
+            assert_eq!(m.get(&format!("key{i:04}")), Some(&v(i as i64)));
+        }
+        let keys: Vec<&str> = m.iter().map(|(kk, _)| kk).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        // removal of every other key keeps order and content
+        for i in (0..n).step_by(2) {
+            assert!(m.remove(&format!("key{i:04}")).is_some());
+        }
+        assert_eq!(m.len(), n / 2);
+        for i in 0..n {
+            assert_eq!(m.get(&format!("key{i:04}")).is_some(), i % 2 == 1);
+        }
+    }
+}

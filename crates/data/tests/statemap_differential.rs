@@ -1,0 +1,131 @@
+//! Differential oracle: [`StateMap`] against `BTreeMap<String, Value>`
+//! over random scripts of inserts, removes, gets, and full iterations.
+//!
+//! The persistent map must be observationally identical to the standard
+//! ordered map it replaced — same lookup results, same removal results,
+//! same key-ordered iteration — regardless of operation interleaving.
+//! The scripts also interleave snapshot points to check that persistence
+//! holds: a snapshot taken mid-script must keep observing the state at
+//! snapshot time no matter what the live map does afterwards.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use troll_data::{StateMap, Value};
+
+/// One scripted operation over both maps.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(String, i64),
+    Remove(String),
+    Get(String),
+    /// Compare full key-ordered iteration.
+    IterCheck,
+    /// Clone the StateMap and remember the oracle state; verified at the
+    /// end of the script (persistence).
+    Snapshot,
+}
+
+/// Keys are drawn from a small pool so scripts actually hit existing
+/// entries with removes/overwrites instead of always missing.
+fn arb_key() -> impl Strategy<Value = String> {
+    (0u64..24).prop_map(|i| format!("k{i:02}"))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_key(), any::<i64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        arb_key().prop_map(Op::Remove),
+        arb_key().prop_map(Op::Get),
+        Just(Op::IterCheck),
+        Just(Op::Snapshot),
+    ]
+}
+
+fn run_script(script: &[Op]) -> Result<(), TestCaseError> {
+    let mut subject = StateMap::new();
+    let mut oracle: BTreeMap<String, Value> = BTreeMap::new();
+    let mut snapshots: Vec<(StateMap, BTreeMap<String, Value>)> = Vec::new();
+    for op in script {
+        match op {
+            Op::Insert(k, v) => {
+                subject.insert(k.clone(), Value::from(*v));
+                oracle.insert(k.clone(), Value::from(*v));
+            }
+            Op::Remove(k) => {
+                prop_assert_eq!(subject.remove(k), oracle.remove(k));
+            }
+            Op::Get(k) => {
+                prop_assert_eq!(subject.get(k), oracle.get(k.as_str()));
+            }
+            Op::IterCheck => {
+                let got: Vec<(String, Value)> = subject
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect();
+                let want: Vec<(String, Value)> =
+                    oracle.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                prop_assert_eq!(got, want);
+            }
+            Op::Snapshot => {
+                snapshots.push((subject.clone(), oracle.clone()));
+            }
+        }
+        prop_assert_eq!(subject.len(), oracle.len());
+        prop_assert_eq!(subject.is_empty(), oracle.is_empty());
+    }
+    // final full comparison…
+    prop_assert_eq!(subject.to_btree(), oracle);
+    // …and every mid-script snapshot still observes its own past state
+    for (snap, at_time) in snapshots {
+        prop_assert_eq!(snap.to_btree(), at_time);
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn statemap_matches_btreemap_oracle(script in proptest::collection::vec(arb_op(), 0..120)) {
+        run_script(&script)?;
+    }
+
+    #[test]
+    fn union_matches_oracle_extend(
+        base in proptest::collection::vec((arb_key(), any::<i64>()), 0..30),
+        over in proptest::collection::vec((arb_key(), any::<i64>()), 0..30),
+    ) {
+        let base_map: StateMap = base
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::from(*v)))
+            .collect();
+        let over_map: StateMap = over
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::from(*v)))
+            .collect();
+        let mut oracle: BTreeMap<String, Value> = base
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::from(*v)))
+            .collect();
+        for (k, v) in &over {
+            oracle.insert(k.clone(), Value::from(*v));
+        }
+        let merged = base_map.union(&over_map);
+        prop_assert_eq!(merged.to_btree(), oracle);
+        // union is non-destructive
+        prop_assert_eq!(
+            base_map.to_btree(),
+            base.iter()
+                .map(|(k, v)| (k.clone(), Value::from(*v)))
+                .collect::<BTreeMap<_, _>>()
+        );
+    }
+
+    #[test]
+    fn equality_agrees_with_oracle(
+        a in proptest::collection::vec((arb_key(), 0i64..4), 0..12),
+        b in proptest::collection::vec((arb_key(), 0i64..4), 0..12),
+    ) {
+        let am: StateMap = a.iter().map(|(k, v)| (k.clone(), Value::from(*v))).collect();
+        let bm: StateMap = b.iter().map(|(k, v)| (k.clone(), Value::from(*v))).collect();
+        prop_assert_eq!(am == bm, am.to_btree() == bm.to_btree());
+    }
+}

@@ -10,7 +10,7 @@ use crate::{Result, RuntimeError};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
-use troll_data::{ObjectId, Value};
+use troll_data::{ObjectId, StateMap, Value};
 use troll_lang::{ClassModel, ConstraintKind, EventTarget, SystemModel};
 use troll_obs::{CheckPath, Counter, Histogram, Metrics, NoopObserver, ObsEvent, Observer};
 use troll_process::EventKind;
@@ -68,7 +68,7 @@ impl StepReport {
 #[derive(Debug, Clone)]
 struct Working {
     class: String,
-    state: BTreeMap<String, Value>,
+    state: StateMap,
     roles: BTreeMap<String, RoleState>,
     alive: bool,
     born: bool,
@@ -176,7 +176,8 @@ impl ObjectBase {
                             );
                         }
                     }
-                    inst.trace.push(Step::new(vec![], inst.state.clone()));
+                    inst.trace
+                        .push(Step::with_state(vec![], inst.state.clone()));
                 }
                 instances.insert(id, inst);
             }
@@ -378,8 +379,7 @@ impl ObjectBase {
             });
         }
         let params: BTreeMap<String, Value> = family.binders.iter().cloned().zip(args).collect();
-        let mut needed = env::needed_vars(&[&family.value]);
-        needed.insert("self".to_string());
+        let needed = env::needed_vars(&[&family.value]);
         let world = Committed(self);
         let env = env::build_env(&world, id, class, &inst.state, &params, &needed)?;
         Ok(family.value.eval(&env)?)
@@ -465,7 +465,6 @@ impl ObjectBase {
         for obligation in &class.obligations {
             let mut needed = BTreeSet::new();
             env::formula_needed_vars(obligation, &mut needed);
-            needed.insert("self".to_string());
             let world = Committed(self);
             let env = env::build_env(&world, id, class, &inst.state, &BTreeMap::new(), &needed)?;
             // obligations are judged from the object's birth position
@@ -622,37 +621,40 @@ impl ObjectBase {
         // trace snapshots record alias/component entries materialized as
         // instance tuples, so temporal formulas can observe e.g.
         // `clk.now` at historical positions (the observation the object
-        // had at that time)
-        let mut snapshots: BTreeMap<ObjectId, BTreeMap<String, Value>> = BTreeMap::new();
+        // had at that time); only classes that *have* aliases need this
+        // pre-pass (it reads the overlay immutably) — everything else
+        // snapshots at commit time by sharing the working state's root
+        let mut alias_snapshots: BTreeMap<ObjectId, StateMap> = BTreeMap::new();
         for (id, w) in &working {
-            let snapshot = match self.model.class(&w.class) {
-                Some(class) if !class.inheriting.is_empty() || !class.components.is_empty() => {
+            if let Some(class) = self.model.class(&w.class) {
+                if !class.inheriting.is_empty() || !class.components.is_empty() {
                     let overlay = Overlay {
                         base: self,
                         working: &working,
                     };
-                    env::materialize_aliases(&overlay, class, &w.state)?
+                    let snapshot = env::materialize_aliases(&overlay, class, &w.state)?;
+                    alias_snapshots.insert(id.clone(), snapshot);
                 }
-                _ => w.state.clone(),
-            };
-            snapshots.insert(id.clone(), snapshot);
+            }
         }
 
-        // commit
+        // commit: the working state *moves* into the instance and every
+        // snapshot is a shared root — no full-map copy on this path
         // (the loop holds a mutable borrow of `instances`, so the
         // observer handle is cloned out rather than reached via &self)
         let observer = self.observing.then(|| self.observer.clone());
-        for (id, w) in working {
-            let snapshot = snapshots.remove(&id).expect("snapshot computed above");
+        for (id, mut w) in working {
             let inst = self
                 .instances
                 .entry(id.clone())
                 .or_insert_with(|| Instance::new(id.clone(), w.class.clone()));
-            inst.state = w.state.clone();
             inst.alive = w.alive;
             inst.born = w.born;
             if !w.new_events.is_empty() || !w.existed_before {
-                let step = Step::new(w.new_events, snapshot);
+                let snapshot = alias_snapshots
+                    .remove(&id)
+                    .unwrap_or_else(|| w.state.clone());
+                let step = Step::with_state(std::mem::take(&mut w.new_events), snapshot);
                 let fed = cache.on_commit(&id, &step);
                 if fed > 0 {
                     if let Some(obs) = &observer {
@@ -664,11 +666,12 @@ impl ObjectBase {
                 }
                 inst.trace.push(step);
             }
+            inst.state = w.state;
             for (role, role_state) in w.roles {
                 let mut rs = role_state;
-                if let Some(events) = w.new_role_events.get(&role) {
+                if let Some(events) = w.new_role_events.remove(&role) {
                     if !events.is_empty() {
-                        rs.trace.push(Step::new(events.clone(), rs.attrs.clone()));
+                        rs.trace.push(Step::with_state(events, rs.attrs.clone()));
                     }
                 }
                 inst.roles.insert(role, rs);
@@ -786,7 +789,6 @@ impl ObjectBase {
         if let EventTarget::Instance { id, .. } = &call.target {
             needed.extend(id.free_vars());
         }
-        needed.insert("self".to_string());
         let env = env::build_env(&world, &caller.id, caller_class, &state, params, &needed)?;
 
         let mut args = Vec::with_capacity(call.args.len());
@@ -849,8 +851,8 @@ impl ObjectBase {
 
     /// The state a newborn instance starts with, before its birth
     /// valuation rules run.
-    fn initial_state(&self, class: &ClassModel, id: &ObjectId) -> BTreeMap<String, Value> {
-        let mut state = BTreeMap::new();
+    fn initial_state(&self, class: &ClassModel, id: &ObjectId) -> StateMap {
+        let mut state = StateMap::new();
         for attr in class.template.signature().attributes() {
             if !attr.derived {
                 state.insert(attr.name.clone(), Value::Undefined);
@@ -921,7 +923,7 @@ impl ObjectBase {
                 },
                 None => Working {
                     class: occ.ctx_class.clone(),
-                    state: BTreeMap::new(),
+                    state: StateMap::new(),
                     roles: BTreeMap::new(),
                     alive: false,
                     born: false,
@@ -996,12 +998,14 @@ impl ObjectBase {
         if class.permissions_for(&occ.event).next().is_some() {
             let w = working.get(&occ.id).expect("inserted above");
             let empty_trace = Trace::new();
-            let (trace, current_state): (&Trace, BTreeMap<String, Value>) = if is_role_ctx {
+            // shared handles: the non-role clone is an O(1) root bump,
+            // the role merge pays only O(|role attrs|·log n)
+            let (trace, current_state): (&Trace, StateMap) = if is_role_ctx {
                 let role = w.roles.get(&occ.ctx_class);
-                let mut merged = w.state.clone();
-                if let Some(r) = role {
-                    merged.extend(r.attrs.clone());
-                }
+                let merged = match role {
+                    Some(r) => w.state.union(&r.attrs),
+                    None => w.state.clone(),
+                };
                 (role.map(|r| &r.trace).unwrap_or(&empty_trace), merged)
             } else {
                 (
@@ -1016,14 +1020,13 @@ impl ObjectBase {
                 let params = bind_params(&perm.params, &occ.args, &occ.event)?;
                 let mut needed = BTreeSet::new();
                 env::formula_needed_vars(&perm.formula, &mut needed);
-                needed.insert("self".to_string());
                 let overlay = Overlay {
                     base: self,
                     working,
                 };
                 let env =
                     env::build_env(&overlay, &occ.id, class, &current_state, &params, &needed)?;
-                let virtual_step = Step::new(
+                let virtual_step = Step::with_state(
                     if is_role_ctx {
                         w.new_role_events
                             .get(&occ.ctx_class)
@@ -1091,11 +1094,10 @@ impl ObjectBase {
         {
             let w = working.get(&occ.id).expect("inserted above");
             let pre_state = if is_role_ctx {
-                let mut merged = w.state.clone();
-                if let Some(r) = w.roles.get(&occ.ctx_class) {
-                    merged.extend(r.attrs.clone());
+                match w.roles.get(&occ.ctx_class) {
+                    Some(r) => w.state.union(&r.attrs),
+                    None => w.state.clone(),
                 }
-                merged
             } else {
                 w.state.clone()
             };
@@ -1106,8 +1108,7 @@ impl ObjectBase {
                 if let Some(g) = &rule.guard {
                     terms.push(g);
                 }
-                let mut needed = env::needed_vars(&terms);
-                needed.insert("self".to_string());
+                let needed = env::needed_vars(&terms);
                 let overlay = Overlay {
                     base: self,
                     working,
@@ -1196,7 +1197,7 @@ impl ObjectBase {
         });
 
         let check = |class: &ClassModel,
-                     state: &BTreeMap<String, Value>,
+                     state: &StateMap,
                      trace: &Trace,
                      events: &[EventOccurrence]|
          -> Result<()> {
@@ -1210,9 +1211,8 @@ impl ObjectBase {
                 }
                 let mut needed = BTreeSet::new();
                 env::formula_needed_vars(&c.formula, &mut needed);
-                needed.insert("self".to_string());
                 let env = env::build_env(&overlay, id, class, state, &BTreeMap::new(), &needed)?;
-                let virtual_step = Step::new(
+                let virtual_step = Step::with_state(
                     events.to_vec(),
                     env::materialize_aliases(&overlay, class, state)?,
                 );
@@ -1254,7 +1254,6 @@ impl ObjectBase {
                 }
                 let mut needed = BTreeSet::new();
                 env::formula_needed_vars(&c.formula, &mut needed);
-                needed.insert("self".to_string());
                 let env = env::build_env(
                     &overlay,
                     id,
@@ -1263,7 +1262,7 @@ impl ObjectBase {
                     &BTreeMap::new(),
                     &needed,
                 )?;
-                let virtual_step = Step::new(
+                let virtual_step = Step::with_state(
                     w.new_events.clone(),
                     env::materialize_aliases(&overlay, base_class, &w.state)?,
                 );
@@ -1321,8 +1320,7 @@ impl ObjectBase {
             if role_class.constraints.is_empty() {
                 continue;
             }
-            let mut merged = w.state.clone();
-            merged.extend(role_state.attrs.clone());
+            let merged = w.state.union(&role_state.attrs);
             let empty = Vec::new();
             let events = w.new_role_events.get(role_name).unwrap_or(&empty);
             check(role_class, &merged, &role_state.trace, events)?;
@@ -1350,7 +1348,7 @@ impl World for Committed<'_> {
         &self.0.model
     }
 
-    fn state_of(&self, id: &ObjectId) -> Option<BTreeMap<String, Value>> {
+    fn state_of(&self, id: &ObjectId) -> Option<StateMap> {
         self.0.instances.get(id).map(|i| i.state.clone())
     }
 
@@ -1374,7 +1372,7 @@ impl World for Overlay<'_> {
         &self.base.model
     }
 
-    fn state_of(&self, id: &ObjectId) -> Option<BTreeMap<String, Value>> {
+    fn state_of(&self, id: &ObjectId) -> Option<StateMap> {
         if let Some(w) = self.working.get(id) {
             return Some(w.state.clone());
         }

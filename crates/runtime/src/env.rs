@@ -10,7 +10,7 @@
 
 use crate::{Result, RuntimeError};
 use std::collections::{BTreeMap, BTreeSet};
-use troll_data::{MapEnv, ObjectId, Value};
+use troll_data::{Env, MapEnv, ObjectId, StateMap, Value};
 use troll_lang::{ClassModel, SystemModel};
 
 /// Maximum recursion depth when materializing instance tuples (an
@@ -22,8 +22,9 @@ const MAX_TUPLE_DEPTH: usize = 8;
 pub(crate) trait World {
     /// The analyzed model.
     fn model(&self) -> &SystemModel;
-    /// The (possibly in-step) attribute state of an instance.
-    fn state_of(&self, id: &ObjectId) -> Option<BTreeMap<String, Value>>;
+    /// The (possibly in-step) attribute state of an instance — a shared
+    /// handle onto the stored snapshot, not a copy.
+    fn state_of(&self, id: &ObjectId) -> Option<StateMap>;
     /// Identities of alive members of a class (creation class or active
     /// role).
     fn population(&self, class: &str) -> Vec<ObjectId>;
@@ -48,7 +49,7 @@ pub(crate) fn instance_tuple(world: &dyn World, id: &ObjectId, depth: usize) -> 
         .ok_or_else(|| RuntimeError::UnknownClass(id.class().to_string()))?;
     let mut fields: Vec<(String, Value)> = Vec::with_capacity(state.len() + 2);
     for (k, v) in &state {
-        fields.push((k.clone(), v.clone()));
+        fields.push((k.to_string(), v.clone()));
     }
     fields.push(("surrogate".to_string(), Value::Id(id.clone())));
     // derived attributes, computed against an env of the stored state
@@ -69,19 +70,47 @@ pub(crate) fn instance_tuple(world: &dyn World, id: &ObjectId, depth: usize) -> 
     Ok(Value::tuple_of(fields))
 }
 
+/// The environment rule terms evaluate against: a small [`MapEnv`] of
+/// overrides (alias tuples, parameters, on-demand bindings) layered over
+/// a shared handle onto the instance's [`StateMap`]. Building one costs
+/// O(overrides), not O(|state|) — the state is never copied into it.
+#[derive(Debug)]
+pub(crate) struct RuleEnv {
+    /// Bindings that shadow the state: aliases, then parameters.
+    over: MapEnv,
+    /// The instance's attribute state (shared snapshot).
+    state: StateMap,
+}
+
+impl RuleEnv {
+    /// Binds an override (shadows any state attribute of that name).
+    pub(crate) fn bind(&mut self, name: impl Into<String>, value: Value) {
+        self.over.bind(name, value);
+    }
+}
+
+impl Env for RuleEnv {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.over
+            .lookup(name)
+            .or_else(|| self.state.get(name).cloned())
+    }
+}
+
 /// Materializes the environment for evaluating rule terms of an
 /// occurrence on `id` in context class `class`, with `params` bound.
 ///
-/// `extra_state` overrides/extends the instance's own state (role
-/// attributes shadowing base attributes, or a threaded working state).
+/// The state rides along as a shared snapshot underneath the override
+/// layer (role attributes shadowing base attributes, or a threaded
+/// working state, are merged into `state` by the caller).
 pub(crate) fn build_env(
     world: &dyn World,
     id: &ObjectId,
     class: &ClassModel,
-    state: &BTreeMap<String, Value>,
+    state: &StateMap,
     params: &BTreeMap<String, Value>,
     needed: &BTreeSet<String>,
-) -> Result<MapEnv> {
+) -> Result<RuleEnv> {
     let mut env = env_for_instance(world, id, class, state, params, 0)?;
     // populations on demand
     for var in needed {
@@ -100,25 +129,23 @@ pub(crate) fn build_env(
     Ok(env)
 }
 
-/// Core environment: parameters, stored attributes, and alias tuples for
-/// incorporated objects and single components.
+/// Core environment: the shared state underneath, with alias tuples for
+/// incorporated objects / single components and then parameters layered
+/// on top (parameters shadow aliases shadow attributes).
 fn env_for_instance(
     world: &dyn World,
     id: &ObjectId,
     class: &ClassModel,
-    state: &BTreeMap<String, Value>,
+    state: &StateMap,
     params: &BTreeMap<String, Value>,
     depth: usize,
-) -> Result<MapEnv> {
-    let mut env = MapEnv::new();
-    for (k, v) in state {
-        env.bind(k.clone(), v.clone());
-    }
+) -> Result<RuleEnv> {
+    let mut over = MapEnv::new();
     // aliases shadow their raw Id values with the target's tuple
     for (object, alias) in &class.inheriting {
         if let Some(target) = resolve_alias(world, state, alias, object) {
             if world.state_of(&target).is_some() {
-                env.bind(alias.clone(), instance_tuple(world, &target, depth + 1)?);
+                over.bind(alias.clone(), instance_tuple(world, &target, depth + 1)?);
             }
         }
     }
@@ -126,7 +153,7 @@ fn env_for_instance(
         if comp.kind == troll_lang::ast::ComponentKind::Single {
             if let Some(target) = resolve_alias(world, state, &comp.name, &comp.class) {
                 if world.state_of(&target).is_some() {
-                    env.bind(
+                    over.bind(
                         comp.name.clone(),
                         instance_tuple(world, &target, depth + 1)?,
                     );
@@ -134,24 +161,29 @@ fn env_for_instance(
             }
         }
     }
-    // parameters bind last: they shadow attributes
+    // parameters bind last: they shadow attributes and aliases
     for (k, v) in params {
-        env.bind(k.clone(), v.clone());
+        over.bind(k.clone(), v.clone());
     }
     let _ = id;
-    Ok(env)
+    Ok(RuleEnv {
+        over,
+        state: state.clone(),
+    })
 }
 
-/// Returns a copy of `state` in which incorporation aliases and single
-/// components are replaced by their target instance's tuple — needed
+/// Returns a version of `state` in which incorporation aliases and
+/// single components are replaced by their target instance's tuple
+/// (shares all untouched structure with `state`; for a class with no
+/// aliases it is the same snapshot) — needed
 /// wherever a state map is evaluated as a temporal `Step` (step state
 /// shadows the ambient environment, so the raw Id/undefined entry would
 /// otherwise hide the materialized binding).
 pub(crate) fn materialize_aliases(
     world: &dyn World,
     class: &ClassModel,
-    state: &BTreeMap<String, Value>,
-) -> Result<BTreeMap<String, Value>> {
+    state: &StateMap,
+) -> Result<StateMap> {
     let mut out = state.clone();
     for (object, alias) in &class.inheriting {
         if let Some(target) = resolve_alias(world, state, alias, object) {
@@ -176,7 +208,7 @@ pub(crate) fn materialize_aliases(
 /// else the singleton instance of the target class.
 pub(crate) fn resolve_alias(
     world: &dyn World,
-    state: &BTreeMap<String, Value>,
+    state: &StateMap,
     alias: &str,
     target_class: &str,
 ) -> Option<ObjectId> {
@@ -191,10 +223,12 @@ pub(crate) fn self_tuple(
     world: &dyn World,
     id: &ObjectId,
     class: &ClassModel,
-    state: &BTreeMap<String, Value>,
+    state: &StateMap,
 ) -> Result<Value> {
-    let mut fields: Vec<(String, Value)> =
-        state.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    let mut fields: Vec<(String, Value)> = state
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
     fields.push(("surrogate".to_string(), Value::Id(id.clone())));
     if !class.derivation.is_empty() {
         let env = env_for_instance(world, id, class, state, &BTreeMap::new(), 0)?;

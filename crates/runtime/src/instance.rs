@@ -1,15 +1,15 @@
 //! Object instances: identity, state, history, roles.
 
 use std::collections::BTreeMap;
-use troll_data::{ObjectId, Value};
+use troll_data::{ObjectId, StateMap, Value};
 use troll_temporal::Trace;
 
 /// The state of one role (phase) an instance currently plays or has
 /// played.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct RoleState {
-    /// Role-local attribute state.
-    pub attrs: BTreeMap<String, Value>,
+    /// Role-local attribute state (shared snapshots, like base state).
+    pub attrs: StateMap,
     /// Whether the role is currently active.
     pub active: bool,
     /// Role-local history.
@@ -26,7 +26,7 @@ pub(crate) struct RoleState {
 pub struct Instance {
     id: ObjectId,
     class: String,
-    pub(crate) state: BTreeMap<String, Value>,
+    pub(crate) state: StateMap,
     pub(crate) trace: Trace,
     pub(crate) alive: bool,
     pub(crate) born: bool,
@@ -39,7 +39,7 @@ impl Instance {
         Instance {
             id,
             class: class.into(),
-            state: BTreeMap::new(),
+            state: StateMap::new(),
             trace: Trace::new(),
             alive: false,
             born: false,
@@ -127,7 +127,9 @@ mod tests {
         inst.roles.insert(
             "MANAGER".into(),
             RoleState {
-                attrs: [("OfficialCar".to_string(), Value::from("tesla"))].into(),
+                attrs: [("OfficialCar".to_string(), Value::from("tesla"))]
+                    .into_iter()
+                    .collect(),
                 active: true,
                 trace: Trace::new(),
             },

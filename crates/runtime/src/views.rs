@@ -11,7 +11,7 @@ use crate::base::Committed;
 use crate::env::{self, World};
 use crate::{ObjectBase, Result, RuntimeError, StepReport};
 use std::collections::BTreeMap;
-use troll_data::{Env, MapEnv, ObjectId, Value};
+use troll_data::{Env, MapEnv, ObjectId, StateMap, Value};
 use troll_lang::{EventTarget, InterfaceModel};
 
 /// One row of an evaluated view: the underlying base instance(s) and the
@@ -21,8 +21,9 @@ pub struct ViewRow {
     /// Base variable → underlying instance identity (one entry per
     /// encapsulated base; identity preservation).
     pub bindings: BTreeMap<String, ObjectId>,
-    /// Visible attributes (projected and derived).
-    pub attributes: BTreeMap<String, Value>,
+    /// Visible attributes (projected and derived) — same shared
+    /// representation as object state, so rows clone in O(1).
+    pub attributes: StateMap,
 }
 
 impl ViewRow {
@@ -141,7 +142,7 @@ impl ObjectBase {
                     Err(e) => return Err(e.into()),
                 }
             }
-            let mut attributes = BTreeMap::new();
+            let mut attributes = StateMap::new();
             for (name, _sort, derived) in &iface.attributes {
                 let value = if *derived {
                     let rule = iface
@@ -711,7 +712,7 @@ end interface class SAME_NICK;
                         .collect::<Vec<_>>(),
                     r.attributes
                         .iter()
-                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .map(|(k, v)| (k.to_string(), v.clone()))
                         .collect::<Vec<_>>(),
                 )
             })

@@ -1,8 +1,6 @@
 //! Object histories: traces of steps.
 
-use std::borrow::Cow;
-use std::collections::BTreeMap;
-use troll_data::{Env, Value};
+use troll_data::{Env, StateMap, Value};
 
 /// A single event occurrence: event name plus actual argument values.
 ///
@@ -50,12 +48,16 @@ impl std::fmt::Display for EventOccurrence {
 /// One step of an object's life: the set of events that occurred
 /// simultaneously (event sharing / calling makes several events occur in
 /// one step) and the attribute state observed *after* the step.
+///
+/// The state is a persistent [`StateMap`]: a trace of N steps over a
+/// wide object shares almost all state structure between consecutive
+/// snapshots instead of holding N full copies.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Step {
     /// Events that occurred at this step.
     pub events: Vec<EventOccurrence>,
     /// Attribute observations after the step.
-    pub state: BTreeMap<String, Value>,
+    pub state: StateMap,
 }
 
 impl Step {
@@ -68,6 +70,12 @@ impl Step {
             events,
             state: state.into_iter().collect(),
         }
+    }
+
+    /// Creates a step around an already-built state snapshot (shares the
+    /// snapshot's structure — no copy).
+    pub fn with_state(events: Vec<EventOccurrence>, state: StateMap) -> Self {
+        Step { events, state }
     }
 
     /// Whether an event with the given name occurred at this step.
@@ -128,12 +136,12 @@ impl Trace {
     }
 
     /// The current attribute state (of the last step); empty before
-    /// birth. Borrows from the last step when there is one, so callers
-    /// that only read pay no clone.
-    pub fn current_state(&self) -> Cow<'_, BTreeMap<String, Value>> {
+    /// birth. Returns a shared handle onto the last step's snapshot —
+    /// O(1), no copy.
+    pub fn current_state(&self) -> StateMap {
         match self.last() {
-            Some(s) => Cow::Borrowed(&s.state),
-            None => Cow::Owned(BTreeMap::new()),
+            Some(s) => s.state.clone(),
+            None => StateMap::new(),
         }
     }
 }
