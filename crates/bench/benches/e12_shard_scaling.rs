@@ -1,0 +1,98 @@
+//! E12 — sharded batch execution vs shard count.
+//!
+//! [`WorldShards::run_batch`] speculates a batch of externally
+//! addressed events in parallel (one worker per shard) against the
+//! frozen pre-batch base, then commits sequentially in batch order.
+//! These benches sweep the shard count over the paper's §4 company
+//! example in the two regimes that bracket the design:
+//!
+//! * **spread** — 64 hires over 64 departments: every speculation is
+//!   independent, commits validate with the `ptr_eq` fast path, and the
+//!   parallel section dominates. This is the regime where shards > 1
+//!   can win wall-clock on multi-core hosts.
+//! * **contended** — 64 hires over 8 departments: each department sees
+//!   8 same-batch writes, so most speculations conflict and re-execute
+//!   sequentially at commit time. This bounds the protocol's overhead:
+//!   the sharded run degenerates to the sequential loop plus the cost
+//!   of routing, speculating and validating.
+//!
+//! Replay equality (the correctness half of the experiment) is asserted
+//! by `replay_equality_with_single_threaded_oracle` in the runtime's
+//! shard tests, not here; the benches only measure. EXPERIMENTS.md §E12
+//! records the measured shapes and the host caveat: on a single-core
+//! container the spread regime cannot beat 1 shard — the worker threads
+//! time-slice one CPU — so the local numbers chart protocol overhead,
+//! not scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use troll::data::{Date, ObjectId, Value};
+use troll::runtime::{BatchEvent, WorldShards};
+use troll::System;
+use troll_bench::person;
+
+/// Shard counts under test (the e12 sweep of EXPERIMENTS.md).
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Events per measured batch.
+const BATCH: usize = 64;
+
+/// A sharded executor over the §4 company example with `depts`
+/// departments already established (via a batch, so setup and
+/// measurement exercise the same path).
+fn company_shards(shards: usize, depts: usize) -> (WorldShards, Vec<ObjectId>) {
+    let system = System::load_str(troll::specs::COMPANY).expect("shipped spec loads");
+    let mut ws = system
+        .object_base()
+        .expect("object base")
+        .into_shards(shards);
+    let date = Value::Date(Date::new(1991, 10, 16).expect("valid date"));
+    let ids: Vec<ObjectId> = (0..depts)
+        .map(|i| ObjectId::new("DEPT", vec![Value::from(format!("d{i}"))]))
+        .collect();
+    let births = ids
+        .iter()
+        .map(|id| BatchEvent::new(id.clone(), "establishment", vec![date.clone()]))
+        .collect();
+    for r in ws.run_batch(births) {
+        r.expect("birth succeeds");
+    }
+    (ws, ids)
+}
+
+/// `BATCH` hires round-robined over the departments with distinct
+/// persons — the per-department write contention is `BATCH / depts`.
+fn hire_batch(depts: &[ObjectId]) -> Vec<BatchEvent> {
+    (0..BATCH)
+        .map(|i| BatchEvent::new(depts[i % depts.len()].clone(), "hire", vec![person(i)]))
+        .collect()
+}
+
+fn bench_batch_vs_shards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_shard_scaling");
+    group.sample_size(20);
+    // (regime, department count): contention = BATCH / depts writes/dept
+    for (regime, depts) in [("spread_64x64", BATCH), ("contended_64x8", 8)] {
+        for shards in SHARDS {
+            group.bench_with_input(BenchmarkId::new(regime, shards), &shards, |b, &s| {
+                b.iter_batched(
+                    || {
+                        let (ws, ids) = company_shards(s, depts);
+                        (ws, hire_batch(&ids))
+                    },
+                    |(mut ws, batch)| {
+                        for r in ws.run_batch(batch) {
+                            r.expect("hire succeeds");
+                        }
+                        black_box(ws) // dropped outside the measurement
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_shards);
+criterion_main!(benches);

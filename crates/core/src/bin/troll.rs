@@ -6,7 +6,7 @@
 //! troll fmt <file.troll>          print the normalized source
 //! troll info <file.troll>         summarize classes/interfaces/modules
 //! troll graph <file.troll>        emit a Graphviz DOT system diagram
-//! troll animate [--stats] [--trace <out.jsonl>] <file> <script>
+//! troll animate [--stats] [--trace <out.jsonl>] [--shards N] <file> <script>
 //!                                 run an animation script
 //! ```
 //!
@@ -38,7 +38,7 @@ commands:
   fmt <file.troll>                             print the normalized source
   info <file.troll>                            summarize classes/interfaces/modules
   graph <file.troll>                           emit a Graphviz DOT system diagram
-  animate [--stats] [--trace <out>] <file> <script>
+  animate [--stats] [--trace <out>] [--shards N] <file> <script>
                                                run an animation script";
 
 /// Prints the usage message for `command` (or the general one) and
@@ -49,9 +49,11 @@ fn usage(command: Option<&str>) -> ExitCode {
         Some("fmt") => "usage: troll fmt <file.troll>\nprint the normalized (pretty-printed) source to stdout",
         Some("info") => "usage: troll info <file.troll>\nsummarize classes, interfaces and modules of a specification",
         Some("graph") => "usage: troll graph <file.troll>\nemit a Graphviz DOT diagram of the system structure",
-        Some("animate") => "usage: troll animate [--stats] [--trace <out.jsonl>] <file.troll> <script>\nrun an animation script against the specification
+        Some("animate") => "usage: troll animate [--stats] [--trace <out.jsonl>] [--shards N] <file.troll> <script>\nrun an animation script against the specification
   --stats           print runtime metrics (steps, permissions, monitor cache, latency) after the run
-  --trace <file>    stream one JSON object per observability event to <file>",
+  --trace <file>    stream one JSON object per observability event to <file>
+  --shards <N>      execute consecutive birth/exec lines as parallel batches over N shards
+                    (deterministic: observationally equal to the sequential run)",
         _ => GENERAL_USAGE,
     };
     eprintln!("{msg}");
@@ -205,6 +207,7 @@ struct AnimateOpts {
     script: String,
     stats: bool,
     trace: Option<String>,
+    shards: usize,
 }
 
 impl AnimateOpts {
@@ -214,12 +217,14 @@ impl AnimateOpts {
     fn parse(args: &[String]) -> Option<Self> {
         let mut stats = false;
         let mut trace = None;
+        let mut shards = 1;
         let mut positional = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--stats" => stats = true,
                 "--trace" => trace = Some(it.next()?.clone()),
+                "--shards" => shards = it.next()?.parse().ok().filter(|&n| n >= 1)?,
                 s if s.starts_with('-') => return None,
                 _ => positional.push(a.clone()),
             }
@@ -232,6 +237,7 @@ impl AnimateOpts {
             script: script.clone(),
             stats,
             trace,
+            shards,
         })
     }
 }
@@ -250,8 +256,16 @@ fn cmd_animate(opts: &AnimateOpts) -> Result<(), String> {
     };
     let script_text =
         std::fs::read_to_string(&opts.script).map_err(|e| format!("{}: {e}", opts.script))?;
-    let outcomes = troll::script::run_script(&mut ob, &script_text)
-        .map_err(|e| format!("{}:{e}", opts.script))?;
+    let outcomes = if opts.shards > 1 {
+        let mut ws = ob.into_shards(opts.shards);
+        let outcomes = troll::script::run_script_sharded(&mut ws, &script_text)
+            .map_err(|e| format!("{}:{e}", opts.script))?;
+        ob = ws.into_base();
+        outcomes
+    } else {
+        troll::script::run_script(&mut ob, &script_text)
+            .map_err(|e| format!("{}:{e}", opts.script))?
+    };
     for outcome in outcomes {
         println!("{outcome}");
     }

@@ -72,22 +72,38 @@ impl Date {
     }
 
     /// Returns the date `n` days later (or earlier for negative `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the result falls outside the representable year range
+    /// (`i32`) or the day arithmetic overflows `i64`. Use
+    /// [`Date::checked_plus_days`] on untrusted offsets — the valuation
+    /// evaluator does, surfacing [`DataError::Overflow`] instead.
     pub fn plus_days(&self, n: i64) -> Date {
-        let z = self.day_number() + n;
-        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        self.checked_plus_days(n).unwrap_or_else(|| {
+            panic!("date {self} plus {n} days overflows the representable range")
+        })
+    }
+
+    /// Returns the date `n` days later (or earlier for negative `n`), or
+    /// `None` when the day arithmetic overflows `i64` or the resulting
+    /// year does not fit an `i32`.
+    pub fn checked_plus_days(&self, n: i64) -> Option<Date> {
+        let z = self.day_number().checked_add(n)?;
+        let era = if z >= 0 { z } else { z.checked_sub(146_096)? } / 146_097;
         let doe = z - era * 146_097;
         let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-        let y = yoe + era * 400;
+        let y = yoe.checked_add(era.checked_mul(400)?)?;
         let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
         let mp = (5 * doy + 2) / 153;
         let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
         let m = ((mp + 2) % 12 + 1) as u8;
-        let y = (y + i64::from(m <= 2)) as i32;
-        Date {
+        let y = i32::try_from(y.checked_add(i64::from(m <= 2))?).ok()?;
+        Some(Date {
             year: y,
             month: m,
             day: d,
-        }
+        })
     }
 }
 
@@ -176,6 +192,25 @@ mod tests {
         let leap = Date::new(2024, 2, 28).unwrap();
         assert_eq!(leap.plus_days(1), Date::new(2024, 2, 29).unwrap());
         assert_eq!(leap.plus_days(2), Date::new(2024, 3, 1).unwrap());
+    }
+
+    #[test]
+    fn checked_plus_days_guards_overflow() {
+        let d = Date::new(1991, 10, 16).unwrap();
+        assert_eq!(
+            d.checked_plus_days(1),
+            Some(Date::new(1991, 10, 17).unwrap())
+        );
+        // i64 day arithmetic overflow
+        assert_eq!(d.checked_plus_days(i64::MAX), None);
+        assert_eq!(d.checked_plus_days(i64::MIN), None);
+        // year leaves the i32 range without overflowing i64 days
+        assert_eq!(d.checked_plus_days(800 * 365 * 3_000_000_000), None);
+        assert_eq!(d.checked_plus_days(-800 * 365 * 3_000_000_000), None);
+        // boundary years still round-trip
+        let far = Date::new(i32::MAX, 12, 1).unwrap();
+        assert_eq!(far.checked_plus_days(-1).unwrap().plus_days(1), far);
+        assert_eq!(far.checked_plus_days(31), None);
     }
 
     proptest! {

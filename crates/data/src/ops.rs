@@ -430,7 +430,10 @@ impl Op {
                 )),
             },
             DatePlusDays => match (&args[0], &args[1]) {
-                (Value::Date(d), Value::Int(n)) => Ok(Value::Date(d.plus_days(*n))),
+                (Value::Date(d), Value::Int(n)) => d
+                    .checked_plus_days(*n)
+                    .map(Value::Date)
+                    .ok_or_else(|| DataError::Overflow("plus_days".into())),
                 (a, b) => Err(DataError::sort_mismatch("plus_days", "(date, int)", (a, b))),
             },
             DateYear => match &args[0] {
@@ -820,5 +823,16 @@ mod tests {
             Value::Date(Date::new(1992, 1, 1).unwrap())
         );
         assert_eq!(Op::DateYear.apply(&[d]).unwrap(), Value::from(1991));
+    }
+
+    #[test]
+    fn plus_days_overflow_is_an_error() {
+        let d = Value::Date(Date::new(1991, 12, 31).unwrap());
+        for n in [i64::MAX, i64::MIN, 800 * 365 * 3_000_000_000] {
+            match Op::DatePlusDays.apply(&[d.clone(), Value::from(n)]) {
+                Err(DataError::Overflow(what)) => assert_eq!(what, "plus_days"),
+                other => panic!("expected overflow error, got {other:?}"),
+            }
+        }
     }
 }

@@ -1750,6 +1750,46 @@ end object class DEPT;
     }
 
     #[test]
+    fn variables_decl_continues_after_class_sort_in_all_sections() {
+        // regression (PR 1 lookahead fix): `variables P: |C|; Q: |C|;`
+        // must parse as two declarations — in the valuation and
+        // permissions sections too, not just interaction
+        let src = r#"
+object class DEPT
+  identification id: string;
+  template
+    attributes
+      employees: set(|PERSON|);
+      backups: set(|PERSON|);
+    events
+      birth establishment;
+      pair(|PERSON|, |PERSON|);
+      fire(|PERSON|);
+    valuation
+      variables P: |PERSON|; Q: |PERSON|;
+      [pair(P, Q)] employees = insert(P, employees);
+      [pair(P, Q)] backups = insert(Q, backups);
+    permissions
+      variables P: |PERSON|; Q: |PERSON|;
+      { not(sometime(after(pair(P, Q)))) } pair(P, Q);
+end object class DEPT;
+"#;
+        let spec = parse(src).unwrap();
+        let dept = spec.object_class("DEPT").unwrap();
+        assert_eq!(dept.body.valuation.len(), 2);
+        assert_eq!(dept.body.permissions.len(), 1);
+        // both binders survived into the rules (Q was not swallowed by
+        // the first declaration's sort)
+        let analyzed = crate::analyze(&spec).unwrap();
+        let class = analyzed.class("DEPT").unwrap();
+        assert!(class
+            .valuation_for("pair")
+            .all(|r| r.params == vec!["P".to_string(), "Q".to_string()]));
+        let perm = class.permissions_for("pair").next().unwrap();
+        assert_eq!(perm.params, vec!["P".to_string(), "Q".to_string()]);
+    }
+
+    #[test]
     fn parse_person_manager_phase() {
         let src = r#"
 object class PERSON

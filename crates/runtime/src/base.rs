@@ -7,8 +7,9 @@ use crate::monitor_cache::{
     MonitorCacheStats, Verdict,
 };
 use crate::{Result, RuntimeError};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use troll_data::{ObjectId, StateMap, Value};
 use troll_lang::{ClassModel, ConstraintKind, EventTarget, SystemModel};
@@ -50,7 +51,7 @@ impl std::fmt::Display for Occurrence {
 
 /// The committed result of one step: every event that occurred
 /// (synchronously), in application order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StepReport {
     /// Occurrences in application order.
     pub occurrences: Vec<Occurrence>,
@@ -75,6 +76,118 @@ struct Working {
     existed_before: bool,
     new_events: Vec<EventOccurrence>,
     new_role_events: BTreeMap<String, Vec<EventOccurrence>>,
+}
+
+/// A fully checked but uncommitted step: the output of
+/// [`ObjectBase::prepare_step`], consumed by
+/// [`ObjectBase::commit_prepared`]. The sharded executor prepares steps
+/// against a frozen base on worker threads and commits them later, in
+/// deterministic batch order (see the `shard` module).
+#[derive(Debug)]
+pub(crate) struct PreparedStep {
+    occurrences: Vec<Occurrence>,
+    working: BTreeMap<ObjectId, Working>,
+    alias_snapshots: BTreeMap<ObjectId, StateMap>,
+}
+
+impl PreparedStep {
+    /// Identities this step writes (working-set keys).
+    pub(crate) fn write_ids(&self) -> impl Iterator<Item = &ObjectId> {
+        self.working.keys()
+    }
+}
+
+/// Records the committed-state observations a speculative step makes,
+/// so the sharded committer can validate them before applying the step.
+/// Observed state roots are compared with the O(1) [`StateMap::ptr_eq`]
+/// fast path at validation time.
+#[derive(Debug, Default)]
+pub(crate) struct ReadTracker {
+    set: RefCell<ReadSet>,
+}
+
+impl ReadTracker {
+    fn record_state(&self, id: &ObjectId, observed: Option<&StateMap>) {
+        self.set
+            .borrow_mut()
+            .states
+            .entry(id.clone())
+            .or_insert_with(|| observed.cloned());
+    }
+
+    fn record_target(&self, id: &ObjectId, inst: Option<&Instance>) {
+        self.set
+            .borrow_mut()
+            .targets
+            .entry(id.clone())
+            .or_insert_with(|| inst.map(InstanceMark::of));
+    }
+
+    fn record_population(&self, class: &str) {
+        self.set.borrow_mut().populations.insert(class.to_string());
+    }
+
+    /// Consumes the tracker into its accumulated read set.
+    pub(crate) fn into_set(self) -> ReadSet {
+        self.set.into_inner()
+    }
+}
+
+/// The accumulated reads of one speculative step.
+#[derive(Debug, Default)]
+pub(crate) struct ReadSet {
+    /// Committed state roots observed through `World::state_of`
+    /// (`None`: the instance did not exist at read time).
+    pub(crate) states: BTreeMap<ObjectId, Option<StateMap>>,
+    /// Fingerprints of occurrence targets, whose traces and life-cycle
+    /// flags the step also inspected (`None`: absent at read time).
+    pub(crate) targets: BTreeMap<ObjectId, Option<InstanceMark>>,
+    /// Classes whose population was enumerated.
+    pub(crate) populations: BTreeSet<String>,
+}
+
+/// O(1)-comparable fingerprint of a committed instance at read time.
+#[derive(Debug)]
+pub(crate) struct InstanceMark {
+    state: StateMap,
+    trace_len: usize,
+    alive: bool,
+    born: bool,
+    roles: Vec<(String, bool, usize)>,
+}
+
+impl InstanceMark {
+    fn of(inst: &Instance) -> InstanceMark {
+        InstanceMark {
+            state: inst.state.clone(),
+            trace_len: inst.trace.len(),
+            alive: inst.alive,
+            born: inst.born,
+            roles: inst
+                .roles
+                .iter()
+                .map(|(name, r)| (name.clone(), r.active, r.trace.len()))
+                .collect(),
+        }
+    }
+
+    /// Whether the instance is observationally unchanged since the
+    /// fingerprint was taken (state-root `ptr_eq`, trace length,
+    /// life-cycle flags and role signature).
+    pub(crate) fn matches(&self, inst: &Instance) -> bool {
+        self.state.ptr_eq(&inst.state)
+            && self.trace_len == inst.trace.len()
+            && self.alive == inst.alive
+            && self.born == inst.born
+            && self.roles.len() == inst.roles.len()
+            && self
+                .roles
+                .iter()
+                .zip(inst.roles.iter())
+                .all(|((n, active, tlen), (name, r))| {
+                    n == name && *active == r.active && *tlen == r.trace.len()
+                })
+    }
 }
 
 /// Resolved handles into the object base's [`Metrics`] registry — one
@@ -274,6 +387,20 @@ impl ObjectBase {
     /// Looks up an instance.
     pub fn instance(&self, id: &ObjectId) -> Option<&Instance> {
         self.instances.get(id)
+    }
+
+    /// Iterates over every instance — alive or dead — in identity
+    /// order. Useful for whole-world comparisons (e.g. the sharded
+    /// replay-equality tests).
+    pub fn instances(&self) -> impl Iterator<Item = &Instance> {
+        self.instances.values()
+    }
+
+    /// Wraps this base in a sharded parallel executor that partitions
+    /// instances across `shards` worker threads and commits batches in
+    /// deterministic order (see [`crate::WorldShards`]).
+    pub fn into_shards(self, shards: usize) -> crate::WorldShards {
+        crate::WorldShards::from_base(self, shards)
     }
 
     /// The singleton instance id of a singleton object class.
@@ -606,16 +733,32 @@ impl ObjectBase {
         initial: Vec<Occurrence>,
         cache: &mut MonitorCache,
     ) -> Result<StepReport> {
-        let occurrences = self.close_over_calls(initial)?;
+        let prepared = self.prepare_step(initial, cache, None)?;
+        Ok(self.commit_prepared(prepared, cache))
+    }
+
+    /// The read-only half of a step: closes the occurrence set under
+    /// event calling, applies every occurrence to a working set
+    /// (life-cycle, permissions, valuation) and checks constraints —
+    /// everything short of mutating the instance store. With `reads`
+    /// attached, every committed-state observation is recorded so a
+    /// sharded committer can validate the speculation later.
+    fn prepare_step(
+        &self,
+        initial: Vec<Occurrence>,
+        cache: &mut MonitorCache,
+        reads: Option<&ReadTracker>,
+    ) -> Result<PreparedStep> {
+        let occurrences = self.close_over_calls(initial, reads)?;
         let mut working: BTreeMap<ObjectId, Working> = BTreeMap::new();
 
         for occ in &occurrences {
-            self.apply_occurrence(occ, &mut working, cache)?;
+            self.apply_occurrence(occ, &mut working, cache, reads)?;
         }
 
         // constraints on post-states
         for (id, w) in &working {
-            self.check_constraints(id, w, &working, cache)?;
+            self.check_constraints(id, w, &working, cache, reads)?;
         }
 
         // trace snapshots record alias/component entries materialized as
@@ -631,6 +774,7 @@ impl ObjectBase {
                     let overlay = Overlay {
                         base: self,
                         working: &working,
+                        reads,
                     };
                     let snapshot = env::materialize_aliases(&overlay, class, &w.state)?;
                     alias_snapshots.insert(id.clone(), snapshot);
@@ -638,6 +782,23 @@ impl ObjectBase {
             }
         }
 
+        Ok(PreparedStep {
+            occurrences,
+            working,
+            alias_snapshots,
+        })
+    }
+
+    /// The write half of a step: moves the prepared working states into
+    /// the instance store and feeds the committed steps to the monitor
+    /// cache. Infallible by construction — every check already passed
+    /// during [`ObjectBase::prepare_step`].
+    fn commit_prepared(&mut self, prepared: PreparedStep, cache: &mut MonitorCache) -> StepReport {
+        let PreparedStep {
+            occurrences,
+            working,
+            mut alias_snapshots,
+        } = prepared;
         // commit: the working state *moves* into the instance and every
         // snapshot is a shared root — no full-map copy on this path
         // (the loop holds a mutable borrow of `instances`, so the
@@ -681,14 +842,94 @@ impl ObjectBase {
             }
         }
         self.steps_executed += 1;
-        Ok(StepReport { occurrences })
+        StepReport { occurrences }
+    }
+
+    /// Prepares one externally addressed event (the sharded executor's
+    /// speculation entry point): resolves the context class and runs
+    /// [`ObjectBase::prepare_step`], recording every committed-state
+    /// observation into `reads`.
+    pub(crate) fn prepare_event(
+        &self,
+        id: &ObjectId,
+        event: &str,
+        args: Vec<Value>,
+        cache: &mut MonitorCache,
+        reads: Option<&ReadTracker>,
+    ) -> Result<PreparedStep> {
+        if let Some(r) = reads {
+            r.record_target(id, self.instances.get(id));
+        }
+        let ctx_class = self.resolve_context(id, event)?;
+        let initial = Occurrence {
+            id: id.clone(),
+            ctx_class,
+            event: event.to_string(),
+            args,
+        };
+        self.prepare_step(vec![initial], cache, reads)
+    }
+
+    /// Commits a validated speculation with the same bookkeeping as
+    /// [`ObjectBase::execute_step`]: step sequence number, observer
+    /// span/events and step counters. The step latency histogram is
+    /// *not* fed — speculation ran elsewhere, so only the sharded
+    /// commit-latency histogram describes this path.
+    pub(crate) fn commit_speculated(&mut self, prepared: PreparedStep) -> StepReport {
+        let seq = self.step_seq;
+        self.step_seq += 1;
+        if self.observing {
+            self.observer.span_enter("step");
+            if let Some(first) = prepared.occurrences.first() {
+                self.observer.on_event(&ObsEvent::StepStarted {
+                    step: seq,
+                    initial: first.to_string(),
+                });
+            }
+        }
+        let start = Instant::now();
+        let mut cache = std::mem::take(&mut self.monitor_cache);
+        let report = self.commit_prepared(prepared, &mut cache);
+        self.monitor_cache = cache;
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.counters.steps_committed.inc();
+        self.counters
+            .events_occurred
+            .add(report.occurrences.len() as u64);
+        self.emit(|| ObsEvent::StepCommitted {
+            step: seq,
+            occurrences: report.occurrences.len(),
+            nanos,
+        });
+        if self.observing {
+            self.observer.span_exit("step", nanos);
+        }
+        report
+    }
+
+    /// Records a speculation whose refusal/violation was validated as
+    /// deterministic (its reads still hold), mirroring the rolled-back
+    /// branch of [`ObjectBase::execute_step`].
+    pub(crate) fn record_speculated_rollback(&mut self, error: &RuntimeError) {
+        let seq = self.step_seq;
+        self.step_seq += 1;
+        self.counters.steps_rolled_back.inc();
+        self.emit(|| ObsEvent::StepRolledBack {
+            step: seq,
+            reason: error.to_string(),
+            nanos: 0,
+        });
     }
 
     /// Closes the initial occurrences under local interactions, global
     /// interactions and phase/role event aliases (synchronous event
     /// calling, §4). Argument terms of called events are evaluated in
     /// the **pre-state** of the calling object.
-    fn close_over_calls(&self, initial: Vec<Occurrence>) -> Result<Vec<Occurrence>> {
+    fn close_over_calls(
+        &self,
+        initial: Vec<Occurrence>,
+        reads: Option<&ReadTracker>,
+    ) -> Result<Vec<Occurrence>> {
         let mut result: Vec<Occurrence> = Vec::new();
         let mut queue: VecDeque<Occurrence> = initial.into();
         while let Some(occ) = queue.pop_front() {
@@ -719,7 +960,7 @@ impl ObjectBase {
                 }
                 let params = bind_params(&rule.trigger_params, &occ.args, &occ.event)?;
                 for call in &rule.calls {
-                    let callee = self.resolve_call(&occ, class, call, &params)?;
+                    let callee = self.resolve_call(&occ, class, call, &params, reads)?;
                     queue.push_back(callee);
                 }
             }
@@ -739,7 +980,7 @@ impl ObjectBase {
                     params.insert(v.clone(), Value::Id(occ.id.clone()));
                 }
                 for call in &rule.calls {
-                    let callee = self.resolve_call(&occ, class, call, &params)?;
+                    let callee = self.resolve_call(&occ, class, call, &params, reads)?;
                     queue.push_back(callee);
                 }
             }
@@ -777,8 +1018,9 @@ impl ObjectBase {
         caller_class: &ClassModel,
         call: &troll_lang::LoweredCall,
         params: &BTreeMap<String, Value>,
+        reads: Option<&ReadTracker>,
     ) -> Result<Occurrence> {
-        let world = Committed(self);
+        let world = Reading { base: self, reads };
         // a birth occurrence's calls see the newborn's initial state:
         // identification attributes from the identity key, everything
         // else undefined, incorporation aliases bound to singletons
@@ -876,6 +1118,7 @@ impl ObjectBase {
         occ: &Occurrence,
         working: &mut BTreeMap<ObjectId, Working>,
         cache: &mut MonitorCache,
+        reads: Option<&ReadTracker>,
     ) -> Result<()> {
         let class = self
             .model
@@ -910,6 +1153,13 @@ impl ObjectBase {
 
         // materialize the working entry
         if !working.contains_key(&occ.id) {
+            // every call target's committed fingerprint (state root,
+            // trace length, life-cycle flags) is part of a speculative
+            // step's read set — permissions and constraints below read
+            // the committed trace directly
+            if let Some(r) = reads {
+                r.record_target(&occ.id, self.instances.get(&occ.id));
+            }
             let w = match self.instances.get(&occ.id) {
                 Some(inst) => Working {
                     class: inst.class().to_string(),
@@ -937,7 +1187,7 @@ impl ObjectBase {
 
         // ----- life-cycle -----
         {
-            let w = working.get_mut(&occ.id).expect("inserted above");
+            let w = working_entry_mut(working, &occ.id)?;
             if is_role_ctx {
                 match ev.kind {
                     EventKind::Birth => {
@@ -996,7 +1246,7 @@ impl ObjectBase {
         // virtual step holding the threaded in-step state, so that state
         // predicates see the transaction-threaded present.
         if class.permissions_for(&occ.event).next().is_some() {
-            let w = working.get(&occ.id).expect("inserted above");
+            let w = working_entry(working, &occ.id)?;
             let empty_trace = Trace::new();
             // shared handles: the non-role clone is an O(1) root bump,
             // the role merge pays only O(|role attrs|·log n)
@@ -1023,6 +1273,7 @@ impl ObjectBase {
                 let overlay = Overlay {
                     base: self,
                     working,
+                    reads,
                 };
                 let env =
                     env::build_env(&overlay, &occ.id, class, &current_state, &params, &needed)?;
@@ -1057,10 +1308,13 @@ impl ObjectBase {
                         monitorable_grounding(&perm.formula, &params, &recorded_state_vars(class))
                     }) {
                         Verdict::Holds(b) => (b, CheckPath::Monitored),
-                        Verdict::Fallback => (
-                            eval_now_appended(&perm.formula, trace, &virtual_step, &env)?,
-                            CheckPath::Scan,
-                        ),
+                        Verdict::Fallback => {
+                            note_scan_fallback(cache, "permission", &perm.formula);
+                            (
+                                eval_now_appended(&perm.formula, trace, &virtual_step, &env)?,
+                                CheckPath::Scan,
+                            )
+                        }
                     }
                 };
                 match path {
@@ -1092,7 +1346,7 @@ impl ObjectBase {
         // All rules for this event are computed against the same
         // pre-state (simultaneous within the occurrence), then applied.
         {
-            let w = working.get(&occ.id).expect("inserted above");
+            let w = working_entry(working, &occ.id)?;
             let pre_state = if is_role_ctx {
                 match w.roles.get(&occ.ctx_class) {
                     Some(r) => w.state.union(&r.attrs),
@@ -1112,6 +1366,7 @@ impl ObjectBase {
                 let overlay = Overlay {
                     base: self,
                     working,
+                    reads,
                 };
                 let env = env::build_env(&overlay, &occ.id, class, &pre_state, &params, &needed)?;
                 if let Some(g) = &rule.guard {
@@ -1135,13 +1390,9 @@ impl ObjectBase {
                     updates: updates.len(),
                 });
             }
-            let w = working.get_mut(&occ.id).expect("inserted above");
+            let w = working_entry_mut(working, &occ.id)?;
             let target_state = if is_role_ctx {
-                &mut w
-                    .roles
-                    .get_mut(&occ.ctx_class)
-                    .expect("role activated above")
-                    .attrs
+                &mut role_entry_mut(&mut w.roles, &occ.ctx_class, &occ.id)?.attrs
             } else {
                 &mut w.state
             };
@@ -1152,7 +1403,7 @@ impl ObjectBase {
 
         // ----- record & death -----
         {
-            let w = working.get_mut(&occ.id).expect("inserted above");
+            let w = working_entry_mut(working, &occ.id)?;
             let record = EventOccurrence::new(occ.event.clone(), occ.args.clone());
             if is_role_ctx {
                 w.new_role_events
@@ -1160,10 +1411,7 @@ impl ObjectBase {
                     .or_default()
                     .push(record);
                 if ev.kind == EventKind::Death {
-                    w.roles
-                        .get_mut(&occ.ctx_class)
-                        .expect("role checked above")
-                        .active = false;
+                    role_entry_mut(&mut w.roles, &occ.ctx_class, &occ.id)?.active = false;
                 }
             } else {
                 w.new_events.push(record);
@@ -1183,10 +1431,12 @@ impl ObjectBase {
         w: &Working,
         working: &BTreeMap<ObjectId, Working>,
         cache: &mut MonitorCache,
+        reads: Option<&ReadTracker>,
     ) -> Result<()> {
         let overlay = Overlay {
             base: self,
             working,
+            reads,
         };
         let base_class = match self.model.class(&w.class) {
             Some(c) => c,
@@ -1288,10 +1538,13 @@ impl ObjectBase {
                         )
                     }) {
                         Verdict::Holds(b) => (b, CheckPath::Monitored),
-                        Verdict::Fallback => (
-                            eval_now_appended(&c.formula, base_trace, &virtual_step, &env)?,
-                            CheckPath::Scan,
-                        ),
+                        Verdict::Fallback => {
+                            note_scan_fallback(cache, "constraint", &c.formula);
+                            (
+                                eval_now_appended(&c.formula, base_trace, &virtual_step, &env)?,
+                                CheckPath::Scan,
+                            )
+                        }
                     }
                 };
                 self.counters.constraints_checked.inc();
@@ -1329,6 +1582,73 @@ impl ObjectBase {
     }
 }
 
+/// The working-map entry for `id`, which `apply_occurrence`
+/// materializes before use. A calling chain that leaves the map without
+/// the expected entry (e.g. a callee dying mid-step) must surface as a
+/// rolled-back [`RuntimeError::Internal`], never a panic — steps run on
+/// shard worker threads, where a panic would poison the whole world.
+fn working_entry<'a>(
+    working: &'a BTreeMap<ObjectId, Working>,
+    id: &ObjectId,
+) -> Result<&'a Working> {
+    working
+        .get(id)
+        .ok_or_else(|| RuntimeError::Internal(format!("working entry for {id} vanished mid-step")))
+}
+
+fn working_entry_mut<'a>(
+    working: &'a mut BTreeMap<ObjectId, Working>,
+    id: &ObjectId,
+) -> Result<&'a mut Working> {
+    working
+        .get_mut(id)
+        .ok_or_else(|| RuntimeError::Internal(format!("working entry for {id} vanished mid-step")))
+}
+
+/// The role-state entry the life-cycle phase activated or checked; same
+/// de-panicked contract as [`working_entry`].
+fn role_entry_mut<'a>(
+    roles: &'a mut BTreeMap<String, RoleState>,
+    role: &str,
+    id: &ObjectId,
+) -> Result<&'a mut RoleState> {
+    roles.get_mut(role).ok_or_else(|| {
+        RuntimeError::Internal(format!("role `{role}` state for {id} vanished mid-step"))
+    })
+}
+
+/// Process-wide count of permission/constraint checks that fell back
+/// from the incremental monitor to the O(history) scan because the
+/// formula lies outside the monitorable fragment — surfaced as
+/// `temporal.scan_fallback` in [`troll_obs::global()`].
+fn scan_fallback_counter() -> &'static Counter {
+    static COUNTER: OnceLock<Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| troll_obs::global().counter("temporal.scan_fallback"))
+}
+
+/// Counts a monitor→scan fallback and warns once per distinct formula,
+/// naming it — so users learn why that check is O(history). Deliberate
+/// scans (cache disabled) are not fallbacks and stay silent.
+fn note_scan_fallback(cache: &MonitorCache, what: &str, formula: &impl std::fmt::Display) {
+    if !cache.enabled() {
+        return;
+    }
+    scan_fallback_counter().inc();
+    static SEEN: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    let seen = SEEN.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut seen = match seen.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let formula = formula.to_string();
+    if seen.insert(formula.clone()) {
+        eprintln!(
+            "warning: {what} formula `{formula}` is outside the monitorable fragment; \
+             every check scans the full history"
+        );
+    }
+}
+
 fn bind_params(params: &[String], args: &[Value], event: &str) -> Result<BTreeMap<String, Value>> {
     if !params.is_empty() && params.len() != args.len() {
         return Err(RuntimeError::ArityMismatch {
@@ -1361,10 +1681,44 @@ impl World for Committed<'_> {
     }
 }
 
+/// World view over committed state that records what it reads (the
+/// speculative counterpart of [`Committed`], used when resolving
+/// called-event arguments in the pre-state).
+struct Reading<'a> {
+    base: &'a ObjectBase,
+    reads: Option<&'a ReadTracker>,
+}
+
+impl World for Reading<'_> {
+    fn model(&self) -> &SystemModel {
+        &self.base.model
+    }
+
+    fn state_of(&self, id: &ObjectId) -> Option<StateMap> {
+        let observed = self.base.instances.get(id).map(|i| i.state.clone());
+        if let Some(r) = self.reads {
+            r.record_state(id, observed.as_ref());
+        }
+        observed
+    }
+
+    fn population(&self, class: &str) -> Vec<ObjectId> {
+        if let Some(r) = self.reads {
+            r.record_population(class);
+        }
+        self.base.population(class)
+    }
+
+    fn singleton_id(&self, class: &str) -> Option<ObjectId> {
+        self.base.singleton(class)
+    }
+}
+
 /// World view overlaying in-step working states on the committed base.
 struct Overlay<'a> {
     base: &'a ObjectBase,
     working: &'a BTreeMap<ObjectId, Working>,
+    reads: Option<&'a ReadTracker>,
 }
 
 impl World for Overlay<'_> {
@@ -1374,12 +1728,21 @@ impl World for Overlay<'_> {
 
     fn state_of(&self, id: &ObjectId) -> Option<StateMap> {
         if let Some(w) = self.working.get(id) {
+            // in-step entries are write targets; their committed
+            // fingerprints were recorded at materialization
             return Some(w.state.clone());
         }
-        self.base.instances.get(id).map(|i| i.state.clone())
+        let observed = self.base.instances.get(id).map(|i| i.state.clone());
+        if let Some(r) = self.reads {
+            r.record_state(id, observed.as_ref());
+        }
+        observed
     }
 
     fn population(&self, class: &str) -> Vec<ObjectId> {
+        if let Some(r) = self.reads {
+            r.record_population(class);
+        }
         // pre-step population plus anything born in this step
         let mut out = self.base.population(class);
         for (id, w) in self.working {
@@ -2681,5 +3044,154 @@ end object class REMINDER;
         assert_eq!(status.len(), 1);
         assert!(!status[0].1, "died without ringing: {status:?}");
         assert!(!ob.obligations_discharged(&r).unwrap());
+    }
+}
+
+#[cfg(test)]
+mod death_calling_tests {
+    use super::*;
+
+    fn analyze(src: &str) -> SystemModel {
+        troll_lang::analyze(&troll_lang::parse(src).expect("parse")).expect("analyze")
+    }
+
+    /// `settle >> (shut; log)` kills the account mid-chain, then `log`
+    /// hits the dead instance; `purge(A)` does the same across
+    /// instances via global interactions.
+    const BANKING: &str = r#"
+object class ACCOUNT
+  identification id: string;
+  template
+    attributes balance: int;
+    events
+      birth open;
+      settle;
+      log;
+      death shut;
+    valuation
+      [open] balance = 0;
+      [log] balance = balance + 1;
+    interaction
+      settle >> (shut; log);
+end object class ACCOUNT;
+
+object class BANK
+  identification id: string;
+  template
+    events
+      birth establish;
+      purge(|ACCOUNT|);
+end object class BANK;
+
+global interactions
+  variables A: |ACCOUNT|; B: |BANK|;
+  BANK(B).purge(A) >> ACCOUNT(A).shut;
+  BANK(B).purge(A) >> ACCOUNT(A).log;
+end global interactions;
+"#;
+
+    /// The de-panicked working-map paths: a callee dying mid-step must
+    /// surface as a rolled-back `RuntimeError`, never a panic — with
+    /// the monitor cache on and off, locally and across instances.
+    #[test]
+    fn death_during_event_calling_rolls_back_cleanly() {
+        for cache_enabled in [true, false] {
+            let mut ob = ObjectBase::new(analyze(BANKING)).unwrap();
+            ob.set_monitor_cache_enabled(cache_enabled);
+            let acct = ob
+                .birth("ACCOUNT", vec![Value::from("a1")], "open", vec![])
+                .unwrap();
+            let bank = ob
+                .birth("BANK", vec![Value::from("b1")], "establish", vec![])
+                .unwrap();
+            let trace_before = ob.instance(&acct).unwrap().trace().len();
+
+            // local chain: settle >> (shut; log) — log lands on the
+            // freshly dead account
+            let err = ob.execute(&acct, "settle", vec![]).unwrap_err();
+            assert!(matches!(err, RuntimeError::NotAlive(_)), "{err}");
+            let inst = ob.instance(&acct).unwrap();
+            assert!(inst.is_alive(), "death must roll back with the step");
+            assert_eq!(inst.trace().len(), trace_before, "no partial commit");
+            assert_eq!(
+                ob.attribute(&acct, "balance").unwrap(),
+                Value::from(0),
+                "valuation of the dead-calling chain must not leak"
+            );
+
+            // cross-instance chain: purge >> ACCOUNT.shut then ACCOUNT.log
+            let err = ob
+                .execute(&bank, "purge", vec![Value::Id(acct.clone())])
+                .unwrap_err();
+            assert!(matches!(err, RuntimeError::NotAlive(_)), "{err}");
+            assert!(ob.instance(&acct).unwrap().is_alive());
+            assert!(ob.instance(&bank).unwrap().is_alive());
+
+            // the account still works after the rollbacks
+            ob.execute(&acct, "log", vec![]).unwrap();
+            assert_eq!(ob.attribute(&acct, "balance").unwrap(), Value::from(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod scan_fallback_tests {
+    use super::*;
+
+    fn analyze(src: &str) -> SystemModel {
+        troll_lang::analyze(&troll_lang::parse(src).expect("parse")).expect("analyze")
+    }
+
+    /// Quantified permissions lie outside the monitorable fragment: the
+    /// silent monitor→scan fallback must be counted in the process-wide
+    /// `temporal.scan_fallback`, but only while the cache is enabled
+    /// (a deliberate scan is not a fallback).
+    #[test]
+    fn quantified_fallback_is_counted() {
+        let spec = r#"
+object class DEPT
+  identification id: string;
+  template
+    attributes hired_ever: set(|PERSON|);
+    events
+      birth establishment;
+      hire(|PERSON|);
+      fire(|PERSON|);
+      death closure;
+    valuation
+      variables P: |PERSON|;
+      [establishment] hired_ever = {};
+      [hire(P)] hired_ever = insert(P, hired_ever);
+    permissions
+      variables P: |PERSON|;
+      { for all(P in hired_ever : sometime(after(fire(P)))) } closure;
+end object class DEPT;
+"#;
+        let counter = troll_obs::global().counter("temporal.scan_fallback");
+
+        let mut ob = ObjectBase::new(analyze(spec)).unwrap();
+        let toys = ob
+            .birth("DEPT", vec![Value::from("Toys")], "establishment", vec![])
+            .unwrap();
+        let before = counter.get();
+        ob.execute(&toys, "closure", vec![]).unwrap();
+        assert!(
+            counter.get() > before,
+            "quantified permission must count a scan fallback"
+        );
+
+        // cache off: the scan is requested, not fallen back to
+        let mut ob = ObjectBase::new(analyze(spec)).unwrap();
+        ob.set_monitor_cache_enabled(false);
+        let toys = ob
+            .birth("DEPT", vec![Value::from("Toys")], "establishment", vec![])
+            .unwrap();
+        let before = counter.get();
+        ob.execute(&toys, "closure", vec![]).unwrap();
+        assert_eq!(
+            counter.get(),
+            before,
+            "deliberate scans must not count as fallbacks"
+        );
     }
 }

@@ -82,6 +82,11 @@ pub enum RuntimeError {
     Data(DataError),
     /// Temporal-formula evaluation failure.
     Temporal(TemporalError),
+    /// An engine invariant did not hold mid-step (e.g. a working-map
+    /// entry vanished during event calling). The step rolls back like
+    /// any other error instead of panicking — essential once steps run
+    /// on shard worker threads, where a panic would poison the world.
+    Internal(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -132,6 +137,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Data(e) => write!(f, "data error: {e}"),
             RuntimeError::Temporal(e) => write!(f, "temporal error: {e}"),
+            RuntimeError::Internal(msg) => {
+                write!(f, "internal runtime invariant violated: {msg}")
+            }
         }
     }
 }

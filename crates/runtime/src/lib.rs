@@ -79,12 +79,14 @@ mod env;
 mod error;
 mod instance;
 mod monitor_cache;
+mod shard;
 mod views;
 
 pub use base::{ObjectBase, Occurrence, StepReport};
 pub use error::RuntimeError;
 pub use instance::Instance;
 pub use monitor_cache::MonitorCacheStats;
+pub use shard::{BatchEvent, WorldShards};
 pub use views::{JoinStrategy, ViewRow, ViewSet};
 
 // Observability surface (see `troll_obs`): the runtime re-exports the

@@ -144,6 +144,61 @@ fn animate_stats_prints_consistent_counters() {
     let _ = std::fs::remove_file(&script);
 }
 
+/// `--shards N` runs the script through the sharded executor: identical
+/// stdout to the sequential run, with the shard counters accounted for
+/// in the stats (every script event lands as a commit or a conflict).
+#[test]
+fn animate_shards_matches_sequential_output() {
+    let script = scratch("shards.script");
+    std::fs::write(&script, SCRIPT).unwrap();
+    let sequential = run(&["animate", &dept_spec(), script.to_str().unwrap()]);
+    let sharded = run(&[
+        "animate",
+        "--shards",
+        "4",
+        "--stats",
+        &dept_spec(),
+        script.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        sharded.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&sharded.stderr)
+    );
+    let seq_out = String::from_utf8_lossy(&sequential.stdout);
+    let shard_out = String::from_utf8_lossy(&sharded.stdout);
+    assert!(
+        shard_out.starts_with(seq_out.as_ref()),
+        "sharded outcome lines equal the sequential run's:\n{shard_out}"
+    );
+
+    let counter = |name: &str| -> u64 {
+        shard_out
+            .lines()
+            .find(|l| l.split_whitespace().next() == Some(name))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap_or_else(|| panic!("counter `{name}` missing in:\n{shard_out}"))
+            .parse()
+            .unwrap()
+    };
+    // 4 batched lines: one birth + three execs (the `show` flushes)
+    assert_eq!(counter("shard.inbox_depth"), 4);
+    assert_eq!(counter("shard.commits") + counter("shard.conflicts"), 4);
+    assert!(
+        shard_out.contains("shard.commit_latency_ns"),
+        "commit latency histogram printed:\n{shard_out}"
+    );
+
+    // bad shard counts are usage errors
+    for bad in ["0", "many"] {
+        let out = run(&["animate", "--shards", bad, "x.troll", "y.script"]);
+        assert_eq!(out.status.code(), Some(2), "--shards {bad}");
+    }
+
+    let _ = std::fs::remove_file(&script);
+}
+
 /// `--trace` streams one strict-JSON object per line covering the whole
 /// step life cycle.
 #[test]
