@@ -1,0 +1,113 @@
+//! E13 — durability overhead on the hot commit path.
+//!
+//! The durable sink serializes every committed step's initial
+//! occurrence vector into the segmented WAL; the fsync policy decides
+//! how often the OS buffer is forced to disk. These benches charge a
+//! fixed 64-event DEPT workload (one birth + 63 hires) against four
+//! configurations:
+//!
+//! * **off** — no sink attached: the baseline engine throughput.
+//! * **on_close** — append to the WAL but never fsync inside the
+//!   measured region: the cost of encoding + buffered writes.
+//! * **every_8** — group commit: one fsync per 8 steps.
+//! * **every_commit** — the paranoid default: fsync on every step.
+//!
+//! The store directory is wiped and reopened per measured iteration in
+//! the setup closure — outside the timing — so the numbers isolate the
+//! append path: no recovery, no snapshots, no directory teardown.
+//! EXPERIMENTS.md §E13 records the measured shapes; on tmpfs-backed
+//! temp dirs fsync is cheap, so treat the every_* rows as lower bounds
+//! on real-disk overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use troll::data::{Date, Value};
+use troll::runtime::ObjectBase;
+use troll::store::{open_world, DurableSink, FsyncPolicy, StoreOptions};
+use troll::System;
+use troll_bench::person;
+
+/// Events per measured iteration (one birth + EVENTS-1 hires).
+const EVENTS: usize = 64;
+
+/// One reusable scratch directory per mode; wiped in the (untimed)
+/// setup closure before each iteration.
+fn scratch(mode: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("troll-bench-e13-{}-{mode}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// A fresh DEPT world, durable under `fsync` policy when given.
+fn world(mode: &str, fsync: Option<FsyncPolicy>) -> ObjectBase {
+    match fsync {
+        None => System::load_str(troll::specs::DEPT)
+            .expect("shipped spec loads")
+            .object_base()
+            .expect("object base"),
+        Some(policy) => {
+            let dir = scratch(mode);
+            let opts = StoreOptions {
+                fsync: policy,
+                // no snapshots inside the measured region
+                snapshot_every: 0,
+                ..StoreOptions::default()
+            };
+            let (mut base, store, _) =
+                open_world(&dir, troll::specs::DEPT, &opts).expect("open store");
+            let (sink, _shared) = DurableSink::new(store);
+            base.set_step_sink(Box::new(sink));
+            base
+        }
+    }
+}
+
+/// The measured workload: birth + 63 hires, one committed step each.
+fn drive(base: &mut ObjectBase) {
+    let date = Value::Date(Date::new(1991, 10, 16).expect("valid date"));
+    let toys = base
+        .birth(
+            "DEPT",
+            vec![Value::from("Toys")],
+            "establishment",
+            vec![date],
+        )
+        .expect("birth");
+    for i in 1..EVENTS {
+        base.execute(&toys, "hire", vec![person(i)]).expect("hire");
+    }
+}
+
+fn bench_durability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_durability");
+    group.sample_size(20);
+    let modes: [(&str, Option<FsyncPolicy>); 4] = [
+        ("off", None),
+        ("on_close", Some(FsyncPolicy::OnClose)),
+        ("every_8", Some(FsyncPolicy::EveryN(8))),
+        ("every_commit", Some(FsyncPolicy::EveryCommit)),
+    ];
+    for (name, fsync) in modes {
+        group.bench_with_input(BenchmarkId::new(name, EVENTS), &fsync, |b, fsync| {
+            b.iter_batched(
+                || world(name, *fsync),
+                |mut base| {
+                    drive(&mut base);
+                    black_box(base) // dropped outside the measurement
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+    for (name, fsync) in modes {
+        if fsync.is_some() {
+            let _ = std::fs::remove_dir_all(scratch(name));
+        }
+    }
+}
+
+criterion_group!(benches, bench_durability);
+criterion_main!(benches);

@@ -6,8 +6,11 @@
 //! troll fmt <file.troll>          print the normalized source
 //! troll info <file.troll>         summarize classes/interfaces/modules
 //! troll graph <file.troll>        emit a Graphviz DOT system diagram
-//! troll animate [--stats] [--trace <out.jsonl>] [--shards N] <file> <script>
-//!                                 run an animation script
+//! troll animate [--stats] [--trace <out.jsonl>] [--shards N]
+//!               [--durable <dir>] [--fsync <policy>] [--snapshot-every N]
+//!               <file> <script>      run an animation script
+//! troll recover [--stats] [--dump] <dir>
+//!                                 rebuild the world from a durable directory
 //! ```
 //!
 //! Exit codes: `0` success, `1` runtime failure (parse/analyze/execution
@@ -30,6 +33,7 @@ use std::io::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
 use troll::runtime::{ObjectBase, TraceWriter};
+use troll::store::{DurableSink, FsyncPolicy, StoreOptions};
 use troll::System;
 
 const GENERAL_USAGE: &str = "usage: troll <command> [args]
@@ -38,8 +42,10 @@ commands:
   fmt <file.troll>                             print the normalized source
   info <file.troll>                            summarize classes/interfaces/modules
   graph <file.troll>                           emit a Graphviz DOT system diagram
-  animate [--stats] [--trace <out>] [--shards N] <file> <script>
-                                               run an animation script";
+  animate [--stats] [--trace <out>] [--shards N] [--durable <dir>]
+          [--fsync <policy>] [--snapshot-every N] <file> <script>
+                                               run an animation script
+  recover [--stats] [--dump] <dir>             rebuild the world from a durable directory";
 
 /// Prints the usage message for `command` (or the general one) and
 /// returns the usage exit code (2).
@@ -49,11 +55,19 @@ fn usage(command: Option<&str>) -> ExitCode {
         Some("fmt") => "usage: troll fmt <file.troll>\nprint the normalized (pretty-printed) source to stdout",
         Some("info") => "usage: troll info <file.troll>\nsummarize classes, interfaces and modules of a specification",
         Some("graph") => "usage: troll graph <file.troll>\nemit a Graphviz DOT diagram of the system structure",
-        Some("animate") => "usage: troll animate [--stats] [--trace <out.jsonl>] [--shards N] <file.troll> <script>\nrun an animation script against the specification
+        Some("animate") => "usage: troll animate [--stats] [--trace <out.jsonl>] [--shards N] [--durable <dir>] [--fsync <policy>] [--snapshot-every N] <file.troll> <script>\nrun an animation script against the specification
   --stats           print runtime metrics (steps, permissions, monitor cache, latency) after the run
   --trace <file>    stream one JSON object per observability event to <file>
   --shards <N>      execute consecutive birth/exec lines as parallel batches over N shards
-                    (deterministic: observationally equal to the sequential run)",
+                    (deterministic: observationally equal to the sequential run)
+  --durable <dir>   log every committed step to <dir> (WAL + snapshots); an existing
+                    directory is crash-recovered first and the run continues its history
+  --fsync <policy>  every-commit | every-<N> | on-close (with --durable; default every-commit)
+  --snapshot-every <N>  write a world snapshot every N steps (with --durable; default 256)",
+        Some("recover") => "usage: troll recover [--stats] [--dump] <dir>\nrebuild the object base from a durable directory (latest valid snapshot + WAL tail)
+and print a summary line; torn or corrupt tail frames are skipped, not fatal
+  --stats           print runtime metrics of the recovered world (includes store.* counters)
+  --dump            print the recovered world state, one deterministic line per fact",
         _ => GENERAL_USAGE,
     };
     eprintln!("{msg}");
@@ -85,6 +99,10 @@ fn main() -> ExitCode {
         "animate" => match AnimateOpts::parse(&args[1..]) {
             Some(opts) => cmd_animate(&opts),
             None => return usage(Some("animate")),
+        },
+        "recover" => match RecoverOpts::parse(&args[1..]) {
+            Some(opts) => cmd_recover(&opts),
+            None => return usage(Some("recover")),
         },
         "help" | "--help" | "-h" => {
             println!("{GENERAL_USAGE}");
@@ -208,16 +226,22 @@ struct AnimateOpts {
     stats: bool,
     trace: Option<String>,
     shards: usize,
+    durable: Option<String>,
+    fsync: FsyncPolicy,
+    snapshot_every: u64,
 }
 
 impl AnimateOpts {
     /// Flags may appear anywhere among the two positionals; returns
     /// `None` on any usage error (unknown flag, missing flag value,
-    /// wrong positional count).
+    /// wrong positional count, durability flag without `--durable`).
     fn parse(args: &[String]) -> Option<Self> {
         let mut stats = false;
         let mut trace = None;
         let mut shards = 1;
+        let mut durable = None;
+        let mut fsync = None;
+        let mut snapshot_every = None;
         let mut positional = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -225,9 +249,15 @@ impl AnimateOpts {
                 "--stats" => stats = true,
                 "--trace" => trace = Some(it.next()?.clone()),
                 "--shards" => shards = it.next()?.parse().ok().filter(|&n| n >= 1)?,
+                "--durable" => durable = Some(it.next()?.clone()),
+                "--fsync" => fsync = Some(it.next()?.parse::<FsyncPolicy>().ok()?),
+                "--snapshot-every" => snapshot_every = Some(it.next()?.parse::<u64>().ok()?),
                 s if s.starts_with('-') => return None,
                 _ => positional.push(a.clone()),
             }
+        }
+        if durable.is_none() && (fsync.is_some() || snapshot_every.is_some()) {
+            return None; // durability knobs without a durable directory
         }
         let [file, script] = positional.as_slice() else {
             return None;
@@ -238,13 +268,48 @@ impl AnimateOpts {
             stats,
             trace,
             shards,
+            durable,
+            fsync: fsync.unwrap_or(FsyncPolicy::EveryCommit),
+            snapshot_every: snapshot_every.unwrap_or(256),
         })
     }
 }
 
 fn cmd_animate(opts: &AnimateOpts) -> Result<(), String> {
     let system = System::load_file(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
-    let mut ob = system.object_base().map_err(|e| e.to_string())?;
+    // A durable run opens (and, on an existing directory, crash-recovers)
+    // the world from the store; stdout stays identical to a non-durable
+    // run — resume details go to stderr.
+    let mut durable = None;
+    let mut ob = match &opts.durable {
+        Some(dir) => {
+            let source =
+                std::fs::read_to_string(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
+            let store_opts = StoreOptions {
+                fsync: opts.fsync,
+                snapshot_every: opts.snapshot_every,
+                ..StoreOptions::default()
+            };
+            let (mut ob, store, info) =
+                troll::store::open_world(std::path::Path::new(dir), &source, &store_opts)
+                    .map_err(|e| format!("{dir}: {e}"))?;
+            if info.snapshot_seq.is_some() || info.replayed > 0 {
+                eprintln!(
+                    "{dir}: resumed at step {} (snapshot {}, {} replayed, {} tail byte(s) dropped)",
+                    info.next_seq,
+                    info.snapshot_seq
+                        .map_or_else(|| "none".into(), |s| s.to_string()),
+                    info.replayed,
+                    info.truncated_bytes
+                );
+            }
+            let (sink, shared) = DurableSink::new(store);
+            ob.set_step_sink(Box::new(sink));
+            durable = Some((dir.clone(), shared));
+            ob
+        }
+        None => system.object_base().map_err(|e| e.to_string())?,
+    };
     let writer = match &opts.trace {
         Some(path) => {
             let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
@@ -277,6 +342,65 @@ fn cmd_animate(opts: &AnimateOpts) -> Result<(), String> {
                 writer.write_errors()
             ));
         }
+    }
+    if let Some((dir, shared)) = durable {
+        ob.take_step_sink();
+        let mut store = shared
+            .lock()
+            .map_err(|_| format!("{dir}: store lock poisoned"))?;
+        store.close(&ob).map_err(|e| format!("{dir}: {e}"))?;
+    }
+    if opts.stats {
+        print_stats(&ob);
+    }
+    Ok(())
+}
+
+/// Parsed `troll recover` invocation.
+struct RecoverOpts {
+    dir: String,
+    stats: bool,
+    dump: bool,
+}
+
+impl RecoverOpts {
+    fn parse(args: &[String]) -> Option<Self> {
+        let mut stats = false;
+        let mut dump = false;
+        let mut positional = Vec::new();
+        for a in args {
+            match a.as_str() {
+                "--stats" => stats = true,
+                "--dump" => dump = true,
+                s if s.starts_with('-') => return None,
+                _ => positional.push(a.clone()),
+            }
+        }
+        let [dir] = positional.as_slice() else {
+            return None;
+        };
+        Some(RecoverOpts {
+            dir: dir.clone(),
+            stats,
+            dump,
+        })
+    }
+}
+
+fn cmd_recover(opts: &RecoverOpts) -> Result<(), String> {
+    let (ob, info) = troll::store::recover(std::path::Path::new(&opts.dir))
+        .map_err(|e| format!("{}: {e}", opts.dir))?;
+    println!(
+        "recovered instances={} steps={} snapshot={} replayed={} truncated_bytes={}",
+        ob.instances().count(),
+        ob.steps_executed(),
+        info.snapshot_seq
+            .map_or_else(|| "none".into(), |s| s.to_string()),
+        info.replayed,
+        info.truncated_bytes
+    );
+    if opts.dump {
+        print!("{}", troll::store::world_dump(&ob));
     }
     if opts.stats {
         print_stats(&ob);

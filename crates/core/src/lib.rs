@@ -63,6 +63,7 @@ pub use troll_obs as obs;
 pub use troll_process as process;
 pub use troll_refine as refine;
 pub use troll_runtime as runtime;
+pub use troll_store as store;
 pub use troll_temporal as temporal;
 
 use std::fmt;

@@ -272,6 +272,8 @@ tuple_strategies! {
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
 /// Full-range generation for primitive types (`any::<T>()`).

@@ -6,6 +6,7 @@ use crate::monitor_cache::{
     monitorable_grounding, recorded_state_vars, CheckKey, CheckKind, MonitorCache,
     MonitorCacheStats, Verdict,
 };
+use crate::persist::{InstanceDump, StepSink};
 use crate::{Result, RuntimeError};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -85,6 +86,9 @@ struct Working {
 /// deterministic batch order (see the `shard` module).
 #[derive(Debug)]
 pub(crate) struct PreparedStep {
+    /// The externally requested occurrences, before closure under event
+    /// calling — what a durable log records (replay re-runs the engine).
+    initial: Vec<Occurrence>,
     occurrences: Vec<Occurrence>,
     working: BTreeMap<ObjectId, Working>,
     alias_snapshots: BTreeMap<ObjectId, StateMap>,
@@ -245,6 +249,8 @@ pub struct ObjectBase {
     observing: bool,
     /// Sequence number of step *attempts* (committed and rolled back).
     step_seq: u64,
+    /// Durable-log hook: observes every committed step (see `persist`).
+    step_sink: Option<Box<dyn StepSink>>,
 }
 
 impl ObjectBase {
@@ -310,6 +316,7 @@ impl ObjectBase {
             observer: Arc::new(NoopObserver),
             observing: false,
             step_seq: 0,
+            step_sink: None,
         })
     }
 
@@ -382,6 +389,72 @@ impl ObjectBase {
     /// Number of committed steps.
     pub fn steps_executed(&self) -> usize {
         self.steps_executed
+    }
+
+    /// Sequence number of step *attempts* (committed **and** rolled
+    /// back) — the observer's step numbering. Recovery restores the
+    /// committed count exactly; refused attempts are not logged, so a
+    /// recovered base's attempt numbering restarts from the snapshot.
+    pub fn step_attempts(&self) -> u64 {
+        self.step_seq
+    }
+
+    // ----- durability hooks (see `troll-store`) ---------------------
+
+    /// Attaches a step sink: it is called once per committed step, in
+    /// commit order, on the sequential and sharded commit paths alike.
+    /// Replaces any previously attached sink.
+    pub fn set_step_sink(&mut self, sink: Box<dyn StepSink>) {
+        self.step_sink = Some(sink);
+    }
+
+    /// Detaches and returns the attached step sink, if any.
+    pub fn take_step_sink(&mut self) -> Option<Box<dyn StepSink>> {
+        self.step_sink.take()
+    }
+
+    /// Deep dump of every instance (alive or dead), in identity order —
+    /// the world half of a snapshot. Cheap: state maps and traces share
+    /// their persistent structure with the live world.
+    pub fn dump_instances(&self) -> Vec<InstanceDump> {
+        self.instances.values().map(InstanceDump::of).collect()
+    }
+
+    /// Rebuilds an object base from a snapshot: the model, a full
+    /// instance dump and the step counters. The monitor cache starts
+    /// cold and re-seeds itself from the restored traces on first use
+    /// (a cache miss replays the committed history).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ObjectBase::new`] errors.
+    pub fn restore(
+        model: SystemModel,
+        instances: Vec<InstanceDump>,
+        steps_executed: u64,
+        step_attempts: u64,
+    ) -> Result<Self> {
+        let mut base = ObjectBase::new(model)?;
+        base.instances = instances
+            .into_iter()
+            .map(|d| (d.id.clone(), d.into_instance()))
+            .collect();
+        base.steps_executed = steps_executed as usize;
+        base.step_seq = step_attempts;
+        Ok(base)
+    }
+
+    /// Re-executes one logged step from its initial occurrence(s) — the
+    /// WAL replay entry point. Runs the full engine (closure under event
+    /// calling, permissions, valuation, constraints), exactly like the
+    /// original execution did.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the step no longer executes — on a log produced by this
+    /// engine that indicates corruption or a model mismatch.
+    pub fn replay_step(&mut self, initial: Vec<Occurrence>) -> Result<StepReport> {
+        self.execute_step(initial)
     }
 
     /// Looks up an instance.
@@ -749,7 +822,7 @@ impl ObjectBase {
         cache: &mut MonitorCache,
         reads: Option<&ReadTracker>,
     ) -> Result<PreparedStep> {
-        let occurrences = self.close_over_calls(initial, reads)?;
+        let occurrences = self.close_over_calls(initial.clone(), reads)?;
         let mut working: BTreeMap<ObjectId, Working> = BTreeMap::new();
 
         for occ in &occurrences {
@@ -783,6 +856,7 @@ impl ObjectBase {
         }
 
         Ok(PreparedStep {
+            initial,
             occurrences,
             working,
             alias_snapshots,
@@ -795,6 +869,7 @@ impl ObjectBase {
     /// during [`ObjectBase::prepare_step`].
     fn commit_prepared(&mut self, prepared: PreparedStep, cache: &mut MonitorCache) -> StepReport {
         let PreparedStep {
+            initial,
             occurrences,
             working,
             mut alias_snapshots,
@@ -842,6 +917,13 @@ impl ObjectBase {
             }
         }
         self.steps_executed += 1;
+        // Durable sink: called after the step is fully applied, with the
+        // post-step base. Taken out of `self` for the call so the sink
+        // can read the base it is borrowing from.
+        if let Some(mut sink) = self.step_sink.take() {
+            sink.on_step_committed(self, &initial);
+            self.step_sink = Some(sink);
+        }
         StepReport { occurrences }
     }
 

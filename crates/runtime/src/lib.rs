@@ -79,6 +79,7 @@ mod env;
 mod error;
 mod instance;
 mod monitor_cache;
+mod persist;
 mod shard;
 mod views;
 
@@ -86,6 +87,7 @@ pub use base::{ObjectBase, Occurrence, StepReport};
 pub use error::RuntimeError;
 pub use instance::Instance;
 pub use monitor_cache::MonitorCacheStats;
+pub use persist::{InstanceDump, RoleDump, StepSink};
 pub use shard::{BatchEvent, WorldShards};
 pub use views::{JoinStrategy, ViewRow, ViewSet};
 

@@ -1,0 +1,182 @@
+//! Periodic world snapshots: a full instance dump plus the WAL cursor.
+//!
+//! A snapshot file `snap-<next-seq>.snap` starts with the magic
+//! `TRLSNP1\n` followed by checksummed frames:
+//!
+//! ```text
+//! [tag 0xA0][u64 next_seq][u64 steps_executed][u64 step_attempts][u32 n]   header
+//! [tag 0xA1][instance dump]                                          × n  instances
+//! [tag 0xA2]                                                              end marker
+//! ```
+//!
+//! `next_seq` is the WAL cursor: the sequence number of the first log
+//! record **not** reflected in the snapshot. Recovery loads the newest
+//! snapshot whose every frame (including the end marker) validates,
+//! then replays the log from `next_seq`; an invalid snapshot is simply
+//! skipped in favour of an older one — the log, not the snapshot, is
+//! the source of truth.
+//!
+//! Snapshots are written to a temporary file, fsynced, then renamed
+//! into place (and the directory fsynced), so a crash mid-snapshot
+//! leaves no half-valid `snap-*.snap` name behind. Dumping is cheap:
+//! instance states and trace snapshots share their persistent
+//! [`troll_data::StateMap`] structure, so the walk serializes each
+//! shared root once per position without deep-copying the world first.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use troll_runtime::{InstanceDump, ObjectBase};
+
+use crate::codec::{Dec, Enc};
+use crate::frame::{read_frame, write_frame, FrameRead};
+
+/// Magic bytes opening every snapshot file.
+pub const SNAP_MAGIC: &[u8; 8] = b"TRLSNP1\n";
+
+const TAG_HEADER: u8 = 0xA0;
+const TAG_INSTANCE: u8 = 0xA1;
+const TAG_END: u8 = 0xA2;
+
+/// A fully validated snapshot, ready to restore.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// WAL cursor: first sequence number to replay on top.
+    pub next_seq: u64,
+    /// Committed-step counter at snapshot time.
+    pub steps_executed: u64,
+    /// Step-attempt counter at snapshot time.
+    pub step_attempts: u64,
+    /// Every instance, alive or dead.
+    pub instances: Vec<InstanceDump>,
+}
+
+/// Snapshot files in `dir`, sorted oldest → newest.
+pub fn snapshot_paths(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("snap-") && name.ends_with(".snap") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Writes a snapshot of `base` with the given WAL cursor, atomically
+/// (temp file + fsync + rename + directory fsync). Returns the final
+/// path.
+pub fn write_snapshot(dir: &Path, base: &ObjectBase, next_seq: u64) -> std::io::Result<PathBuf> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(SNAP_MAGIC);
+    let instances = base.dump_instances();
+    let mut enc = Enc::new();
+    enc.u8(TAG_HEADER);
+    enc.u64(next_seq);
+    enc.u64(base.steps_executed() as u64);
+    enc.u64(base.step_attempts());
+    enc.u32(instances.len() as u32);
+    write_frame(&mut buf, &enc.into_bytes());
+    for inst in &instances {
+        let mut enc = Enc::new();
+        enc.u8(TAG_INSTANCE);
+        enc.instance(inst);
+        write_frame(&mut buf, &enc.into_bytes());
+    }
+    write_frame(&mut buf, &[TAG_END]);
+
+    let final_path = dir.join(format!("snap-{next_seq:020}.snap"));
+    let tmp_path = dir.join(format!("snap-{next_seq:020}.tmp"));
+    {
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    // persist the rename itself
+    File::open(dir)?.sync_all()?;
+    Ok(final_path)
+}
+
+/// Reads and fully validates one snapshot file. `None` means the file
+/// is unusable (torn, corrupt, missing end marker) — not an I/O error.
+pub fn read_snapshot(path: &Path) -> std::io::Result<Option<Snapshot>> {
+    let bytes = fs::read(path)?;
+    Ok(parse_snapshot(&bytes))
+}
+
+fn parse_snapshot(bytes: &[u8]) -> Option<Snapshot> {
+    if bytes.len() < SNAP_MAGIC.len() || &bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        return None;
+    }
+    let mut offset = SNAP_MAGIC.len();
+    let header = match read_frame(bytes, offset) {
+        FrameRead::Frame { payload, next } => {
+            offset = next;
+            payload
+        }
+        _ => return None,
+    };
+    let mut dec = Dec::new(header);
+    let parsed = (|| {
+        if dec.u8()? != TAG_HEADER {
+            return Err(crate::codec::CodecError {
+                at: 0,
+                kind: crate::codec::CodecErrorKind::BadTag(header[0]),
+            });
+        }
+        let next_seq = dec.u64()?;
+        let steps_executed = dec.u64()?;
+        let step_attempts = dec.u64()?;
+        let count = dec.u32()?;
+        dec.finish()?;
+        Ok((next_seq, steps_executed, step_attempts, count))
+    })();
+    let (next_seq, steps_executed, step_attempts, count) = parsed.ok()?;
+    let mut instances = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let payload = match read_frame(bytes, offset) {
+            FrameRead::Frame { payload, next } => {
+                offset = next;
+                payload
+            }
+            _ => return None,
+        };
+        let mut dec = Dec::new(payload);
+        if dec.u8().ok()? != TAG_INSTANCE {
+            return None;
+        }
+        let inst = dec.instance().ok()?;
+        dec.finish().ok()?;
+        instances.push(inst);
+    }
+    // the end marker proves the writer got all the way through
+    match read_frame(bytes, offset) {
+        FrameRead::Frame { payload, next } if payload == [TAG_END] => {
+            if read_frame(bytes, next) != FrameRead::CleanEnd {
+                return None;
+            }
+        }
+        _ => return None,
+    }
+    Some(Snapshot {
+        next_seq,
+        steps_executed,
+        step_attempts,
+        instances,
+    })
+}
+
+/// Loads the newest fully-valid snapshot in `dir`, skipping any that
+/// fail validation (a crash mid-write, a corrupt sector).
+pub fn load_latest_snapshot(dir: &Path) -> std::io::Result<Option<Snapshot>> {
+    for path in snapshot_paths(dir)?.iter().rev() {
+        if let Some(snap) = read_snapshot(path)? {
+            return Ok(Some(snap));
+        }
+    }
+    Ok(None)
+}

@@ -1,0 +1,310 @@
+//! The durable world: WAL + snapshots + crash recovery, glued to the
+//! runtime through the [`StepSink`] hook.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use troll_runtime::{ObjectBase, Occurrence, StepSink};
+
+use crate::snapshot::{load_latest_snapshot, write_snapshot};
+use crate::wal::{scan_wal, segment_paths, Wal, WalTail};
+use crate::{StoreCounters, StoreError, StoreOptions};
+
+/// Name of the spec file a durable directory carries so recovery can
+/// rebuild the model without out-of-band information.
+pub const SPEC_FILE: &str = "spec.troll";
+
+/// What recovery found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// WAL cursor of the snapshot used, if any.
+    pub snapshot_seq: Option<u64>,
+    /// Log records replayed on top of the snapshot.
+    pub replayed: u64,
+    /// Bytes of torn/corrupt tail that were (or must be) discarded.
+    pub truncated_bytes: u64,
+    /// The sequence number the next append will get.
+    pub next_seq: u64,
+}
+
+fn read_spec(dir: &Path) -> Result<String, StoreError> {
+    fs::read_to_string(dir.join(SPEC_FILE)).map_err(|_| StoreError::MissingSpec(dir.to_path_buf()))
+}
+
+fn build_model(spec: &str) -> Result<troll_lang::SystemModel, StoreError> {
+    let parsed = troll_lang::parse(spec).map_err(|e| StoreError::Spec(e.to_string()))?;
+    troll_lang::analyze(&parsed).map_err(|e| StoreError::Spec(e.to_string()))
+}
+
+/// Rebuilds the object base recorded in `dir`: loads the newest valid
+/// snapshot, replays the intact WAL tail, and reports what was skipped.
+/// Read-only — a torn tail is *reported*, not truncated on disk.
+///
+/// # Errors
+///
+/// Fails when the directory carries no `spec.troll`, the spec no longer
+/// parses, the log skips sequence numbers the snapshot does not cover,
+/// or a logged step no longer replays (all of which mean the store and
+/// the engine disagree — there is no safe world to return).
+pub fn recover(dir: &Path) -> Result<(ObjectBase, RecoveryInfo), StoreError> {
+    let spec = read_spec(dir)?;
+    let model = build_model(&spec)?;
+    let snapshot = load_latest_snapshot(dir)?;
+    let (mut base, mut expected_seq, snapshot_seq) = match snapshot {
+        Some(snap) => {
+            let base = ObjectBase::restore(
+                model,
+                snap.instances,
+                snap.steps_executed,
+                snap.step_attempts,
+            )?;
+            (base, snap.next_seq, Some(snap.next_seq))
+        }
+        None => (ObjectBase::new(model)?, 0, None),
+    };
+    let scan = scan_wal(dir)?;
+    let mut replayed = 0u64;
+    for rec in &scan.records {
+        if rec.seq < expected_seq {
+            continue; // already reflected in the snapshot
+        }
+        if rec.seq > expected_seq {
+            return Err(StoreError::SeqGap {
+                expected: expected_seq,
+                found: rec.seq,
+            });
+        }
+        base.replay_step(rec.initial.clone())
+            .map_err(|error| StoreError::Replay {
+                seq: rec.seq,
+                error,
+            })?;
+        expected_seq += 1;
+        replayed += 1;
+    }
+    // a snapshot may be newer than the surviving log tail; whatever is
+    // intact wins
+    let next_seq = expected_seq.max(scan.next_seq);
+    let truncated_bytes = match &scan.tail {
+        WalTail::Clean => 0,
+        WalTail::Truncate { lost_bytes, .. } => *lost_bytes,
+    };
+    let counters = StoreCounters::new(base.metrics());
+    if snapshot_seq.is_some() || replayed > 0 || truncated_bytes > 0 {
+        counters.recoveries.inc();
+    }
+    Ok((
+        base,
+        RecoveryInfo {
+            snapshot_seq,
+            replayed,
+            truncated_bytes,
+            next_seq,
+        },
+    ))
+}
+
+/// The append half of a durable directory: owns the WAL tail and the
+/// snapshot cadence. Created by [`open_world`]; fed by [`DurableSink`].
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    wal: Wal,
+    snapshot_every: u64,
+    appends_since_snapshot: u64,
+    /// First write error, if any — the commit path is infallible, so
+    /// failures are latched here and surfaced by [`Store::close`].
+    write_error: Option<std::io::Error>,
+}
+
+impl Store {
+    /// Records one committed step: appends to the WAL and, every
+    /// `snapshot_every` appends, writes a snapshot of `base`. Never
+    /// fails — errors are latched for [`Store::close`].
+    pub fn record_step(&mut self, base: &ObjectBase, initial: &[Occurrence]) {
+        if self.write_error.is_some() {
+            return; // the log is broken; don't write diverging suffixes
+        }
+        match self.wal.append(initial) {
+            Ok(_seq) => {
+                self.appends_since_snapshot += 1;
+                if self.snapshot_every > 0 && self.appends_since_snapshot >= self.snapshot_every {
+                    if let Err(e) = write_snapshot(&self.dir, base, self.wal.next_seq()) {
+                        self.write_error = Some(e);
+                        return;
+                    }
+                    self.appends_since_snapshot = 0;
+                }
+            }
+            Err(e) => self.write_error = Some(e),
+        }
+    }
+
+    /// Forces everything appended so far to stable storage (regardless
+    /// of the fsync policy).
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.wal.sync()?;
+        Ok(())
+    }
+
+    /// Writes a final snapshot, syncs the WAL, and surfaces any write
+    /// error latched during the run. Call once, when the world is done.
+    pub fn close(&mut self, base: &ObjectBase) -> Result<(), StoreError> {
+        if let Some(e) = self.write_error.take() {
+            return Err(StoreError::Io(e));
+        }
+        self.wal.sync()?;
+        if self.appends_since_snapshot > 0 {
+            write_snapshot(&self.dir, base, self.wal.next_seq())?;
+            self.appends_since_snapshot = 0;
+        }
+        Ok(())
+    }
+
+    /// Deletes WAL segments every record of which is older than the
+    /// newest valid snapshot (they can never be replayed again).
+    /// Returns the number of segments removed. Conservative: the tail
+    /// segment and anything a snapshot fallback might need are kept.
+    pub fn prune_segments(&mut self) -> Result<usize, StoreError> {
+        let Some(snap) = load_latest_snapshot(&self.dir)? else {
+            return Ok(0);
+        };
+        let segments = segment_paths(&self.dir)?;
+        let mut removed = 0;
+        // a segment is disposable when the *next* segment starts at or
+        // below the snapshot cursor (so every record here is < cursor)
+        for pair in segments.windows(2) {
+            let next_first = pair[1]
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_prefix("wal-"))
+                .and_then(|n| n.strip_suffix(".log"))
+                .and_then(|n| n.parse::<u64>().ok());
+            if next_first.is_some_and(|s| s <= snap.next_seq) {
+                fs::remove_file(&pair[0])?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Opens (or initializes) a durable directory and returns the live
+/// world plus its [`Store`]. On an existing directory this **is** crash
+/// recovery: the newest valid snapshot is loaded, the intact WAL tail
+/// replayed, and a torn/corrupt suffix truncated on disk before the
+/// log is reopened for appending.
+///
+/// `spec_source` is the TROLL source the caller wants to run; a fresh
+/// directory records it as `spec.troll`, an existing one must match it
+/// byte-for-byte ([`StoreError::SpecMismatch`] otherwise — replaying a
+/// log under a different model would silently diverge).
+///
+/// # Errors
+///
+/// Everything [`recover`] can fail with, plus I/O errors creating the
+/// directory or its files.
+pub fn open_world(
+    dir: &Path,
+    spec_source: &str,
+    opts: &StoreOptions,
+) -> Result<(ObjectBase, Store, RecoveryInfo), StoreError> {
+    fs::create_dir_all(dir)?;
+    let spec_path = dir.join(SPEC_FILE);
+    if spec_path.exists() {
+        let stored = read_spec(dir)?;
+        if stored != spec_source {
+            return Err(StoreError::SpecMismatch(dir.to_path_buf()));
+        }
+    } else {
+        let mut f = fs::File::create(&spec_path)?;
+        std::io::Write::write_all(&mut f, spec_source.as_bytes())?;
+        f.sync_all()?;
+        fs::File::open(dir)?.sync_all()?;
+    }
+    let (base, info) = recover(dir)?;
+    let scan = scan_wal(dir)?; // rescanned so Wal::open sees the tail to truncate
+    let counters = StoreCounters::new(base.metrics());
+    let wal = Wal::open(dir, &scan, opts.fsync, opts.segment_bytes, counters)?;
+    let store = Store {
+        dir: dir.to_path_buf(),
+        wal,
+        snapshot_every: opts.snapshot_every,
+        appends_since_snapshot: 0,
+        write_error: None,
+    };
+    Ok((base, store, info))
+}
+
+/// The [`StepSink`] that makes a world durable: forwards every
+/// committed step to a shared [`Store`]. Clone one handle into the
+/// sink and keep another to [`Store::close`] at the end.
+#[derive(Debug, Clone)]
+pub struct DurableSink {
+    store: Arc<Mutex<Store>>,
+}
+
+impl DurableSink {
+    /// Wraps a store for sharing between the sink and the caller.
+    pub fn new(store: Store) -> (DurableSink, Arc<Mutex<Store>>) {
+        let shared = Arc::new(Mutex::new(store));
+        (
+            DurableSink {
+                store: Arc::clone(&shared),
+            },
+            shared,
+        )
+    }
+}
+
+impl StepSink for DurableSink {
+    fn on_step_committed(&mut self, base: &ObjectBase, initial: &[Occurrence]) {
+        let mut store = match self.store.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        store.record_step(base, initial);
+    }
+}
+
+/// Deterministic plain-text dump of a world: one block per instance
+/// (identity order) with life-cycle flags, state, roles and trace
+/// lengths, then the committed-step total. Two equivalent worlds —
+/// e.g. a recovered one and its uninterrupted twin — dump identically,
+/// which is what the CLI's `recover --dump` and the CI crash-recovery
+/// job diff.
+pub fn world_dump(base: &ObjectBase) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for inst in base.dump_instances() {
+        writeln!(
+            out,
+            "instance {} class={} alive={} born={} trace={}",
+            inst.id,
+            inst.class,
+            inst.alive,
+            inst.born,
+            inst.trace.len()
+        )
+        .expect("write to String");
+        for (name, value) in inst.state.iter() {
+            writeln!(out, "  attr {name} = {value}").expect("write to String");
+        }
+        for role in &inst.roles {
+            writeln!(
+                out,
+                "  role {} active={} trace={}",
+                role.name,
+                role.active,
+                role.trace.len()
+            )
+            .expect("write to String");
+            for (name, value) in role.attrs.iter() {
+                writeln!(out, "    attr {name} = {value}").expect("write to String");
+            }
+        }
+    }
+    writeln!(out, "steps={}", base.steps_executed()).expect("write to String");
+    out
+}

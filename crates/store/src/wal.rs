@@ -1,0 +1,376 @@
+//! The segmented append-only write-ahead log of committed steps.
+//!
+//! A log directory holds segments named `wal-<first-seq>.log`, each
+//! starting with the 8-byte magic `TRLWAL1\n` followed by checksummed
+//! frames (see [`crate::frame`]). One frame holds one record:
+//!
+//! ```text
+//! [u8 tag = 1][u64 seq][u32 n][occurrence × n]
+//! ```
+//!
+//! `seq` numbers committed steps from 0, contiguously across segments.
+//! A record stores the step's **initial** occurrence vector — replay
+//! re-runs the engine, which deterministically reproduces the closure
+//! under event calling, the valuation and the role updates.
+//!
+//! Writers append only; a segment is rotated (closed and a new one
+//! started) when it exceeds the configured size. Readers accept exactly
+//! one defect, at the very tail: a torn or corrupt suffix, which
+//! recovery truncates. Anything bad *before* intact data is a real
+//! inconsistency and ends the scan at that point, discarding the rest.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use troll_runtime::Occurrence;
+
+use crate::codec::{Dec, Enc};
+use crate::frame::{read_frame, write_frame, FrameRead};
+use crate::StoreCounters;
+
+/// Magic bytes opening every WAL segment.
+pub const WAL_MAGIC: &[u8; 8] = b"TRLWAL1\n";
+
+/// Record tag: one committed step.
+pub const REC_STEP: u8 = 1;
+
+/// When the operating system is asked to flush appended records to
+/// stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every committed step — at most zero committed
+    /// steps are lost on power failure, at the cost of one disk round
+    /// trip per step.
+    EveryCommit,
+    /// `fsync` after every N committed steps — bounds the loss window
+    /// to N steps.
+    EveryN(u64),
+    /// `fsync` only on clean close — a crash may lose everything since
+    /// open; fastest.
+    OnClose,
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+
+    /// Parses `every-commit`, `on-close` or `every-<N>` (N ≥ 1).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "every-commit" => Ok(FsyncPolicy::EveryCommit),
+            "on-close" => Ok(FsyncPolicy::OnClose),
+            _ => {
+                let n = s
+                    .strip_prefix("every-")
+                    .and_then(|n| n.parse::<u64>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| {
+                        format!("bad fsync policy `{s}` (every-commit | every-<N> | on-close)")
+                    })?;
+                Ok(FsyncPolicy::EveryN(n))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::EveryCommit => write!(f, "every-commit"),
+            FsyncPolicy::EveryN(n) => write!(f, "every-{n}"),
+            FsyncPolicy::OnClose => write!(f, "on-close"),
+        }
+    }
+}
+
+fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
+    dir.join(format!("wal-{first_seq:020}.log"))
+}
+
+/// Segment files in `dir`, sorted by first sequence number.
+pub fn segment_paths(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("wal-") && name.ends_with(".log") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// One decoded WAL record plus its physical position (the frame's end
+/// offset within its segment — a clean truncation boundary).
+#[derive(Debug, Clone)]
+pub struct WalRecord {
+    /// Global step sequence number.
+    pub seq: u64,
+    /// The step's initial occurrence vector.
+    pub initial: Vec<Occurrence>,
+    /// Segment file holding the record.
+    pub segment: PathBuf,
+    /// Offset of the first byte *after* this record's frame.
+    pub end_offset: u64,
+}
+
+/// How a WAL scan ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalTail {
+    /// Every byte of every segment was intact.
+    Clean,
+    /// The log ends in a torn or corrupt suffix: `segment` is valid up
+    /// to `valid_len`; that suffix plus any later segments total
+    /// `lost_bytes` and must be truncated before appending resumes.
+    Truncate {
+        /// Segment holding the first bad frame.
+        segment: PathBuf,
+        /// Length of the segment's intact prefix.
+        valid_len: u64,
+        /// Bytes beyond the last intact frame, across all segments.
+        lost_bytes: u64,
+    },
+}
+
+/// The result of reading every segment in a log directory.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Intact records, in sequence order.
+    pub records: Vec<WalRecord>,
+    /// The sequence number the next append will get.
+    pub next_seq: u64,
+    /// Whether (and where) the tail needs truncation.
+    pub tail: WalTail,
+}
+
+/// Reads and validates the whole log in `dir` (which may have no
+/// segments at all). Never fails on torn or corrupt data — that is
+/// reported in [`WalScan::tail`]; only real I/O errors surface.
+pub fn scan_wal(dir: &Path) -> std::io::Result<WalScan> {
+    let segments = segment_paths(dir)?;
+    let mut records: Vec<WalRecord> = Vec::new();
+    let mut next_seq: Option<u64> = None;
+    // Where the intact prefix ends: (segment index, offset, lost so far).
+    let mut cut: Option<(usize, u64)> = None;
+    'segments: for (seg_idx, path) in segments.iter().enumerate() {
+        let bytes = fs::read(path)?;
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            // an unwritten or mangled header: nothing in this segment
+            // (or after it) is trustworthy
+            cut = Some((seg_idx, 0));
+            break 'segments;
+        }
+        let mut offset = WAL_MAGIC.len();
+        loop {
+            match read_frame(&bytes, offset) {
+                FrameRead::CleanEnd => break,
+                FrameRead::Torn | FrameRead::Corrupt => {
+                    cut = Some((seg_idx, offset as u64));
+                    break 'segments;
+                }
+                FrameRead::Frame { payload, next } => {
+                    let parsed = (|| {
+                        let mut dec = Dec::new(payload);
+                        if dec.u8()? != REC_STEP {
+                            return Err(crate::codec::CodecError {
+                                at: 0,
+                                kind: crate::codec::CodecErrorKind::BadTag(payload[0]),
+                            });
+                        }
+                        let seq = dec.u64()?;
+                        let n = dec.u32()?;
+                        let mut initial = Vec::with_capacity(n as usize);
+                        for _ in 0..n {
+                            initial.push(dec.occurrence()?);
+                        }
+                        dec.finish()?;
+                        Ok((seq, initial))
+                    })();
+                    let Ok((seq, initial)) = parsed else {
+                        // frame intact but record undecodable — same
+                        // treatment as a corrupt frame
+                        cut = Some((seg_idx, offset as u64));
+                        break 'segments;
+                    };
+                    // sequence numbers must be contiguous; a skip means
+                    // the log lost history and the tail is unusable
+                    if next_seq.is_some_and(|expected| seq != expected) {
+                        cut = Some((seg_idx, offset as u64));
+                        break 'segments;
+                    }
+                    next_seq = Some(seq + 1);
+                    records.push(WalRecord {
+                        seq,
+                        initial,
+                        segment: path.clone(),
+                        end_offset: next as u64,
+                    });
+                    offset = next;
+                }
+            }
+        }
+    }
+    let tail = match cut {
+        None => WalTail::Clean,
+        Some((seg_idx, valid_len)) => {
+            let mut lost = fs::metadata(&segments[seg_idx])?
+                .len()
+                .saturating_sub(valid_len);
+            for later in &segments[seg_idx + 1..] {
+                lost += fs::metadata(later)?.len();
+            }
+            WalTail::Truncate {
+                segment: segments[seg_idx].clone(),
+                valid_len,
+                lost_bytes: lost,
+            }
+        }
+    };
+    Ok(WalScan {
+        records,
+        next_seq: next_seq.map_or(0, |s| s),
+        tail,
+    })
+}
+
+/// The append half of the log: owns the open tail segment.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    file: BufWriter<File>,
+    seg_len: u64,
+    next_seq: u64,
+    fsync: FsyncPolicy,
+    segment_bytes: u64,
+    unsynced: u64,
+    counters: StoreCounters,
+}
+
+impl Wal {
+    /// Opens the log for appending after a [`scan_wal`] pass: truncates
+    /// a torn/corrupt tail (deleting any fully-lost later segments) and
+    /// positions at the end, or starts the first segment.
+    pub(crate) fn open(
+        dir: &Path,
+        scan: &WalScan,
+        fsync: FsyncPolicy,
+        segment_bytes: u64,
+        counters: StoreCounters,
+    ) -> std::io::Result<Wal> {
+        if let WalTail::Truncate {
+            segment, valid_len, ..
+        } = &scan.tail
+        {
+            // drop segments after the one holding the first bad frame
+            for later in segment_paths(dir)? {
+                if &later > segment {
+                    fs::remove_file(&later)?;
+                }
+            }
+            if *valid_len < WAL_MAGIC.len() as u64 {
+                // not even the header survived — retire the file
+                fs::remove_file(segment)?;
+            } else {
+                let f = OpenOptions::new().write(true).open(segment)?;
+                f.set_len(*valid_len)?;
+                f.sync_all()?;
+            }
+        }
+        let segments = segment_paths(dir)?;
+        let (file, seg_len) = match segments.last() {
+            Some(path) => {
+                let mut f = OpenOptions::new().append(true).open(path)?;
+                let len = f.seek(SeekFrom::End(0))?;
+                (f, len)
+            }
+            None => {
+                let path = segment_path(dir, scan.next_seq);
+                let mut f = OpenOptions::new()
+                    .create_new(true)
+                    .append(true)
+                    .open(&path)?;
+                f.write_all(WAL_MAGIC)?;
+                (f, WAL_MAGIC.len() as u64)
+            }
+        };
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            file: BufWriter::new(file),
+            seg_len,
+            next_seq: scan.next_seq,
+            fsync,
+            segment_bytes,
+            unsynced: 0,
+            counters,
+        })
+    }
+
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one committed step and applies the fsync policy.
+    /// Returns the record's sequence number.
+    pub fn append(&mut self, initial: &[Occurrence]) -> std::io::Result<u64> {
+        if self.seg_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        let seq = self.next_seq;
+        let mut enc = Enc::new();
+        enc.u8(REC_STEP);
+        enc.u64(seq);
+        enc.u32(initial.len() as u32);
+        for occ in initial {
+            enc.occurrence(occ);
+        }
+        let payload = enc.into_bytes();
+        let mut framed = Vec::with_capacity(payload.len() + crate::frame::FRAME_HEADER);
+        write_frame(&mut framed, &payload);
+        self.file.write_all(&framed)?;
+        self.seg_len += framed.len() as u64;
+        self.next_seq += 1;
+        self.counters.appends.inc();
+        self.counters.bytes.add(framed.len() as u64);
+        match self.fsync {
+            FsyncPolicy::EveryCommit => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::OnClose => {}
+        }
+        Ok(seq)
+    }
+
+    /// Flushes buffered appends and asks the OS to reach stable storage.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        let start = Instant::now();
+        self.file.get_ref().sync_data()?;
+        self.counters
+            .fsync_latency
+            .record_ns(start.elapsed().as_nanos() as u64);
+        self.counters.fsyncs.inc();
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Closes the current segment (flush + fsync) and starts the next.
+    fn rotate(&mut self) -> std::io::Result<()> {
+        self.sync()?;
+        let path = segment_path(&self.dir, self.next_seq);
+        let mut f = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)?;
+        f.write_all(WAL_MAGIC)?;
+        self.file = BufWriter::new(f);
+        self.seg_len = WAL_MAGIC.len() as u64;
+        Ok(())
+    }
+}

@@ -1,0 +1,244 @@
+//! End-to-end durability: a world run through [`DurableSink`] recovers
+//! identically from its directory — from the WAL alone, from snapshot +
+//! WAL tail, after segment rotation, and after a torn tail.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use troll_data::{ObjectId, Value};
+use troll_runtime::ObjectBase;
+use troll_store::wal::{scan_wal, WalTail};
+use troll_store::{open_world, recover, world_dump, DurableSink, FsyncPolicy, StoreOptions};
+
+const SPEC: &str = r#"
+object class DEPT
+  identification id: string;
+  template
+    attributes employees: set(|PERSON|);
+    events
+      birth establishment;
+      hire(|PERSON|);
+      fire(|PERSON|);
+      death closure;
+    valuation
+      variables P: |PERSON|;
+      [establishment] employees = {};
+      [hire(P)] employees = insert(P, employees);
+      [fire(P)] employees = remove(P, employees);
+    permissions
+      variables P: |PERSON|;
+      { sometime(after(hire(P))) } fire(P);
+end object class DEPT;
+"#;
+
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("troll-store-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&p);
+    p
+}
+
+fn person(name: &str) -> Value {
+    Value::Id(ObjectId::singleton("PERSON", Value::from(name)))
+}
+
+/// Runs a fixed 8-step workload (1 birth + 7 events, one refused
+/// attempt in the middle that must NOT be logged).
+fn drive(base: &mut ObjectBase) -> ObjectId {
+    let toys = base
+        .birth("DEPT", vec![Value::from("Toys")], "establishment", vec![])
+        .expect("birth");
+    for name in ["ada", "bob", "cyd"] {
+        base.execute(&toys, "hire", vec![person(name)])
+            .expect("hire");
+    }
+    // refused: "eve" was never hired — rolled back, never appended
+    assert!(base.execute(&toys, "fire", vec![person("eve")]).is_err());
+    base.execute(&toys, "fire", vec![person("ada")])
+        .expect("fire");
+    base.execute(&toys, "hire", vec![person("dan")])
+        .expect("hire");
+    base.execute(&toys, "fire", vec![person("bob")])
+        .expect("fire");
+    base.execute(&toys, "hire", vec![person("eve")])
+        .expect("hire");
+    toys
+}
+
+fn opts(fsync: FsyncPolicy, snapshot_every: u64, segment_bytes: u64) -> StoreOptions {
+    StoreOptions {
+        fsync,
+        segment_bytes,
+        snapshot_every,
+    }
+}
+
+/// Opens a durable world, drives the workload, closes cleanly.
+fn run_durable(dir: &Path, o: &StoreOptions) -> ObjectBase {
+    let (mut base, store, info) = open_world(dir, SPEC, o).expect("open");
+    assert_eq!(info.replayed, 0, "fresh dir has nothing to replay");
+    let (sink, shared) = DurableSink::new(store);
+    base.set_step_sink(Box::new(sink));
+    drive(&mut base);
+    shared
+        .lock()
+        .expect("store lock")
+        .close(&base)
+        .expect("clean close");
+    base
+}
+
+fn assert_same_world(a: &ObjectBase, b: &ObjectBase) {
+    assert_eq!(a.steps_executed(), b.steps_executed());
+    assert_eq!(a.dump_instances(), b.dump_instances());
+    assert_eq!(world_dump(a), world_dump(b));
+}
+
+#[test]
+fn wal_only_replay_recovers_identically() {
+    let dir = scratch("wal-only");
+    let live = run_durable(&dir, &opts(FsyncPolicy::EveryCommit, 0, 1 << 20));
+    // drop the close-time snapshot so recovery must replay the full log
+    for snap in fs::read_dir(&dir).unwrap() {
+        let p = snap.unwrap().path();
+        if p.extension().is_some_and(|e| e == "snap") {
+            fs::remove_file(p).unwrap();
+        }
+    }
+    let (recovered, info) = recover(&dir).expect("recover");
+    assert_eq!(info.snapshot_seq, None);
+    assert_eq!(info.replayed, 8);
+    assert_eq!(info.truncated_bytes, 0);
+    assert_same_world(&live, &recovered);
+    // the refused step is invisible: 8 committed steps, not 9
+    assert_eq!(recovered.steps_executed(), 8);
+}
+
+#[test]
+fn snapshot_plus_tail_recovers_identically() {
+    let dir = scratch("snap-tail");
+    // snapshot every 3 appends: recovery loads snap@6 and replays 2
+    let live = run_durable(&dir, &opts(FsyncPolicy::EveryN(2), 3, 1 << 20));
+    let (recovered, info) = recover(&dir).expect("recover");
+    // close() wrote a final snapshot at seq 8, so replay is 0 from it
+    assert_eq!(info.snapshot_seq, Some(8));
+    assert_eq!(info.replayed, 0);
+    assert_same_world(&live, &recovered);
+
+    // drop the final snapshot: the periodic snap@6 + 2-record tail win
+    let newest = dir.join(format!("snap-{:020}.snap", 8));
+    fs::remove_file(&newest).unwrap();
+    let (recovered, info) = recover(&dir).expect("recover from periodic snapshot");
+    assert_eq!(info.snapshot_seq, Some(6));
+    assert_eq!(info.replayed, 2);
+    assert_same_world(&live, &recovered);
+}
+
+#[test]
+fn segment_rotation_preserves_the_log() {
+    let dir = scratch("rotation");
+    // tiny segments force rotation on nearly every append
+    let live = run_durable(&dir, &opts(FsyncPolicy::OnClose, 0, 96));
+    let segments = troll_store::wal::segment_paths(&dir).unwrap();
+    assert!(
+        segments.len() >= 3,
+        "expected rotation to produce several segments, got {}",
+        segments.len()
+    );
+    let scan = scan_wal(&dir).unwrap();
+    assert_eq!(scan.records.len(), 8);
+    assert_eq!(scan.tail, WalTail::Clean);
+    for snap in troll_store::snapshot::snapshot_paths(&dir).unwrap() {
+        fs::remove_file(snap).unwrap();
+    }
+    let (recovered, _) = recover(&dir).expect("recover across segments");
+    assert_same_world(&live, &recovered);
+}
+
+#[test]
+fn torn_tail_is_truncated_to_the_last_intact_step() {
+    let dir = scratch("torn");
+    run_durable(&dir, &opts(FsyncPolicy::EveryCommit, 0, 1 << 20));
+    for snap in troll_store::snapshot::snapshot_paths(&dir).unwrap() {
+        fs::remove_file(snap).unwrap();
+    }
+    let scan = scan_wal(&dir).unwrap();
+    let last = scan.records.last().unwrap();
+    let prev_end = scan.records[scan.records.len() - 2].end_offset;
+    // cut mid-frame inside the last record: a classic torn write
+    let f = fs::OpenOptions::new()
+        .write(true)
+        .open(&last.segment)
+        .unwrap();
+    f.set_len(prev_end + 5).unwrap();
+    drop(f);
+
+    let (recovered, info) = recover(&dir).expect("recover");
+    assert_eq!(info.replayed, 7, "the torn 8th step is discarded");
+    assert!(info.truncated_bytes > 0);
+
+    // oracle: an uninterrupted world that only ran the first 7 steps
+    let model = troll_lang::analyze(&troll_lang::parse(SPEC).unwrap()).unwrap();
+    let mut oracle = ObjectBase::new(model).unwrap();
+    for rec in &scan.records[..7] {
+        oracle
+            .replay_step(rec.initial.clone())
+            .expect("oracle replay");
+    }
+    assert_same_world(&oracle, &recovered);
+
+    // reopening for append truncates the tail on disk and continues
+    let o = opts(FsyncPolicy::EveryCommit, 0, 1 << 20);
+    let (base, mut store, info) = open_world(&dir, SPEC, &o).expect("reopen");
+    assert_eq!(info.next_seq, 7);
+    store.close(&base).expect("close");
+    let scan = scan_wal(&dir).unwrap();
+    assert_eq!(scan.tail, WalTail::Clean);
+    assert_eq!(scan.records.len(), 7);
+}
+
+#[test]
+fn reopen_appends_where_the_log_left_off() {
+    let dir = scratch("reopen");
+    let o = opts(FsyncPolicy::EveryN(4), 3, 1 << 20);
+    let live = run_durable(&dir, &o);
+    let toys = ObjectId::new("DEPT", vec![Value::from("Toys")]);
+    // second session: recover and keep going
+    let (mut base, store, info) = open_world(&dir, SPEC, &o).expect("reopen");
+    assert_eq!(info.next_seq, 8);
+    assert_same_world(&live, &base);
+    let (sink, shared) = DurableSink::new(store);
+    base.set_step_sink(Box::new(sink));
+    base.execute(&toys, "fire", vec![person("cyd")])
+        .expect("fire");
+    base.execute(&toys, "closure", vec![]).expect("closure");
+    shared.lock().unwrap().close(&base).expect("close");
+    // third session: the whole history is there
+    let (recovered, _) = recover(&dir).expect("recover");
+    assert_same_world(&base, &recovered);
+    assert_eq!(recovered.steps_executed(), 10);
+}
+
+#[test]
+fn spec_mismatch_is_refused() {
+    let dir = scratch("mismatch");
+    run_durable(&dir, &StoreOptions::default());
+    let other = SPEC.replace("employees", "staff");
+    let err = open_world(&dir, &other, &StoreOptions::default()).unwrap_err();
+    assert!(matches!(err, troll_store::StoreError::SpecMismatch(_)));
+}
+
+#[test]
+fn prune_removes_only_fully_snapshotted_segments() {
+    let dir = scratch("prune");
+    let o = opts(FsyncPolicy::OnClose, 0, 96);
+    let live = run_durable(&dir, &o);
+    let before = troll_store::wal::segment_paths(&dir).unwrap().len();
+    let (base, mut store, _) = open_world(&dir, SPEC, &o).expect("reopen");
+    let removed = store.prune_segments().expect("prune");
+    assert!(removed > 0, "tiny segments under a close-time snapshot");
+    assert!(troll_store::wal::segment_paths(&dir).unwrap().len() < before);
+    store.close(&base).expect("close");
+    let (recovered, _) = recover(&dir).expect("recover after prune");
+    assert_same_world(&live, &recovered);
+}

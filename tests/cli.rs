@@ -245,3 +245,161 @@ fn animate_trace_streams_json_lines() {
     let _ = std::fs::remove_file(&script);
     let _ = std::fs::remove_file(&trace);
 }
+
+/// `--durable` must not change what the user sees: stdout is identical
+/// to a plain run, and the directory it leaves behind recovers with
+/// exit 0 plus an honest summary line.
+#[test]
+fn animate_durable_stdout_matches_plain_and_recovers() {
+    let script = scratch("durable.script");
+    let dir = scratch("durable.dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::write(&script, SCRIPT).unwrap();
+
+    let plain = run(&["animate", &dept_spec(), script.to_str().unwrap()]);
+    let durable = run(&[
+        "animate",
+        "--durable",
+        dir.to_str().unwrap(),
+        &dept_spec(),
+        script.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        durable.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&durable.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&durable.stdout),
+        String::from_utf8_lossy(&plain.stdout),
+        "--durable is invisible on stdout"
+    );
+
+    let out = run(&["recover", dir.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let summary = stdout
+        .lines()
+        .find(|l| l.starts_with("recovered "))
+        .unwrap_or_else(|| panic!("summary line missing:\n{stdout}"));
+    assert!(summary.contains("instances=1"), "{summary}");
+    assert!(summary.contains("steps=4"), "{summary}");
+    assert!(summary.contains("truncated_bytes=0"), "{summary}");
+
+    // --dump prints the world, one deterministic line per fact
+    let out = run(&["recover", "--dump", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let dump = String::from_utf8_lossy(&out.stdout);
+    assert!(dump.contains("instance DEPT(\"Toys\")"), "{dump}");
+    assert!(dump.contains("employees"), "{dump}");
+
+    // --stats exposes the store counters of the recovery itself
+    let out = run(&["recover", "--stats", dir.to_str().unwrap()]);
+    let stats = String::from_utf8_lossy(&out.stdout);
+    assert!(stats.contains("store.recoveries"), "{stats}");
+
+    let _ = std::fs::remove_file(&script);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recover_usage_and_failure_exit_codes() {
+    // no directory / unknown flag: usage errors
+    let out = run(&["recover"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("usage: troll recover"),
+        "per-command usage shown"
+    );
+    let out = run(&["recover", "--bogus", "somewhere"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["recover", "a", "b"]);
+    assert_eq!(out.status.code(), Some(2), "exactly one directory");
+
+    // a directory with no spec.troll is unrecoverable: runtime error
+    let dir = scratch("recover-empty.dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = run(&["recover", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("spec.troll"),
+        "says what is missing"
+    );
+
+    // a corrupt spec is unrecoverable too
+    std::fs::write(dir.join("spec.troll"), "object class {{{").unwrap();
+    let out = run(&["recover", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+
+    // durability flags without --durable are usage errors
+    let out = run(&["animate", "--fsync", "every-commit", "x.troll", "y.script"]);
+    assert_eq!(out.status.code(), Some(2), "--fsync needs --durable");
+    let out = run(&["animate", "--snapshot-every", "8", "x.troll", "y.script"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--snapshot-every needs --durable"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two sessions over the same directory: the second resumes where the
+/// first left off, refusing events the recovered history forbids.
+#[test]
+fn animate_durable_resumes_across_sessions() {
+    let dir = scratch("resume.dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let first = scratch("resume1.script");
+    let second = scratch("resume2.script");
+    std::fs::write(&first, SCRIPT).unwrap();
+    // fire(bob) is only permitted because the *recovered* history
+    // remembers hire(bob); fire(ada) must be refused — already fired
+    std::fs::write(&second, "exec |DEPT|(\"Toys\") fire (|PERSON|(\"bob\"))\n").unwrap();
+
+    let out = run(&[
+        "animate",
+        "--durable",
+        dir.to_str().unwrap(),
+        "--fsync",
+        "every-2",
+        &dept_spec(),
+        first.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+
+    let out = run(&[
+        "animate",
+        "--durable",
+        dir.to_str().unwrap(),
+        &dept_spec(),
+        second.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("resumed at step 4"),
+        "resume note goes to stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = run(&["recover", dir.to_str().unwrap()]);
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("steps=5"),
+        "both sessions persisted"
+    );
+
+    let _ = std::fs::remove_file(&first);
+    let _ = std::fs::remove_file(&second);
+    let _ = std::fs::remove_dir_all(&dir);
+}
