@@ -336,8 +336,9 @@ impl<'a> Dec<'a> {
 
     /// Reads a declared element count, bounding it by the bytes that
     /// remain (each element needs at least one byte), so corrupt counts
-    /// fail fast instead of looping.
-    fn count(&mut self) -> Result<usize> {
+    /// fail fast instead of looping — or, worse, pre-allocating
+    /// gigabytes for a count the input could never deliver.
+    pub fn count(&mut self) -> Result<usize> {
         let n = self.u32()? as usize;
         if n > self.buf.len() - self.pos {
             return self.err(CodecErrorKind::LengthOverrun(n as u64));

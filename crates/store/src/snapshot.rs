@@ -136,7 +136,12 @@ fn parse_snapshot(bytes: &[u8]) -> Option<Snapshot> {
         Ok((next_seq, steps_executed, step_attempts, count))
     })();
     let (next_seq, steps_executed, step_attempts, count) = parsed.ok()?;
-    let mut instances = Vec::with_capacity(count as usize);
+    // the declared count lives in its own frame, so bound the reserve
+    // by what the remaining bytes could actually hold (each instance
+    // is at least one frame) — a corrupt count must not allocate
+    let per_instance = crate::frame::FRAME_HEADER + 1;
+    let cap = (count as usize).min(bytes.len().saturating_sub(offset) / per_instance);
+    let mut instances = Vec::with_capacity(cap);
     for _ in 0..count {
         let payload = match read_frame(bytes, offset) {
             FrameRead::Frame { payload, next } => {

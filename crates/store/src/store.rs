@@ -7,8 +7,8 @@ use std::sync::{Arc, Mutex};
 
 use troll_runtime::{ObjectBase, Occurrence, StepSink};
 
-use crate::snapshot::{load_latest_snapshot, write_snapshot};
-use crate::wal::{scan_wal, segment_paths, Wal, WalTail};
+use crate::snapshot::{load_latest_snapshot, read_snapshot, snapshot_paths, write_snapshot};
+use crate::wal::{scan_wal, segment_first_seq, segment_paths, Wal, WalTail};
 use crate::{StoreCounters, StoreError, StoreOptions};
 
 /// Name of the spec file a durable directory carries so recovery can
@@ -130,6 +130,14 @@ impl Store {
             Ok(_seq) => {
                 self.appends_since_snapshot += 1;
                 if self.snapshot_every > 0 && self.appends_since_snapshot >= self.snapshot_every {
+                    // the log must reach stable storage before a
+                    // snapshot that references it: a durable snapshot
+                    // whose cursor exceeds the durable log would make
+                    // the snapshot, not the log, the source of truth
+                    if let Err(e) = self.wal.sync() {
+                        self.write_error = Some(e);
+                        return;
+                    }
                     if let Err(e) = write_snapshot(&self.dir, base, self.wal.next_seq()) {
                         self.write_error = Some(e);
                         return;
@@ -163,25 +171,31 @@ impl Store {
     }
 
     /// Deletes WAL segments every record of which is older than the
-    /// newest valid snapshot (they can never be replayed again).
-    /// Returns the number of segments removed. Conservative: the tail
-    /// segment and anything a snapshot fallback might need are kept.
+    /// **second-newest** valid snapshot, so recovery can still fall
+    /// back one snapshot (if the newest later proves unreadable) and
+    /// replay from there without hitting a pruned gap. With fewer than
+    /// two valid snapshots nothing is removed. Returns the number of
+    /// segments removed; the tail segment is always kept.
     pub fn prune_segments(&mut self) -> Result<usize, StoreError> {
-        let Some(snap) = load_latest_snapshot(&self.dir)? else {
+        // newest-first cursors of the two newest snapshots that validate
+        let mut cursors: Vec<u64> = Vec::new();
+        for path in snapshot_paths(&self.dir)?.iter().rev() {
+            if let Some(snap) = read_snapshot(path)? {
+                cursors.push(snap.next_seq);
+                if cursors.len() == 2 {
+                    break;
+                }
+            }
+        }
+        let Some(&pin) = cursors.get(1) else {
             return Ok(0);
         };
         let segments = segment_paths(&self.dir)?;
         let mut removed = 0;
         // a segment is disposable when the *next* segment starts at or
-        // below the snapshot cursor (so every record here is < cursor)
+        // below the pinned cursor (so every record here is < cursor)
         for pair in segments.windows(2) {
-            let next_first = pair[1]
-                .file_name()
-                .and_then(|n| n.to_str())
-                .and_then(|n| n.strip_prefix("wal-"))
-                .and_then(|n| n.strip_suffix(".log"))
-                .and_then(|n| n.parse::<u64>().ok());
-            if next_first.is_some_and(|s| s <= snap.next_seq) {
+            if segment_first_seq(&pair[1]).is_some_and(|s| s <= pin) {
                 fs::remove_file(&pair[0])?;
                 removed += 1;
             }
@@ -226,7 +240,16 @@ pub fn open_world(
     let (base, info) = recover(dir)?;
     let scan = scan_wal(dir)?; // rescanned so Wal::open sees the tail to truncate
     let counters = StoreCounters::new(base.metrics());
-    let wal = Wal::open(dir, &scan, opts.fsync, opts.segment_bytes, counters)?;
+    // append at the *recovered* cursor — a snapshot may be newer than
+    // the surviving log, and writing below its cursor would be lost
+    let wal = Wal::open(
+        dir,
+        &scan,
+        info.next_seq,
+        opts.fsync,
+        opts.segment_bytes,
+        counters,
+    )?;
     let store = Store {
         dir: dir.to_path_buf(),
         wal,

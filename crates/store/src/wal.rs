@@ -88,6 +88,16 @@ fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
     dir.join(format!("wal-{first_seq:020}.log"))
 }
 
+/// The first sequence number a segment's filename declares
+/// (`wal-<first-seq>.log`), or `None` for a foreign name.
+pub fn segment_first_seq(path: &Path) -> Option<u64> {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .and_then(|n| n.strip_prefix("wal-"))
+        .and_then(|n| n.strip_suffix(".log"))
+        .and_then(|n| n.parse::<u64>().ok())
+}
+
 /// Segment files in `dir`, sorted by first sequence number.
 pub fn segment_paths(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
@@ -162,6 +172,8 @@ pub fn scan_wal(dir: &Path) -> std::io::Result<WalScan> {
             cut = Some((seg_idx, 0));
             break 'segments;
         }
+        let declared_first = segment_first_seq(path);
+        let mut first_in_segment = true;
         let mut offset = WAL_MAGIC.len();
         loop {
             match read_frame(&bytes, offset) {
@@ -180,8 +192,8 @@ pub fn scan_wal(dir: &Path) -> std::io::Result<WalScan> {
                             });
                         }
                         let seq = dec.u64()?;
-                        let n = dec.u32()?;
-                        let mut initial = Vec::with_capacity(n as usize);
+                        let n = dec.count()?;
+                        let mut initial = Vec::with_capacity(n);
                         for _ in 0..n {
                             initial.push(dec.occurrence()?);
                         }
@@ -195,11 +207,23 @@ pub fn scan_wal(dir: &Path) -> std::io::Result<WalScan> {
                         break 'segments;
                     };
                     // sequence numbers must be contiguous; a skip means
-                    // the log lost history and the tail is unusable
+                    // the log lost history and the tail is unusable.
+                    // One exception: a forward jump exactly at a segment
+                    // whose filename declares it. That is how appending
+                    // resumes after "snapshot newer than surviving log"
+                    // — the fresh segment's name records where the
+                    // sequence picks up, and recovery still fails with
+                    // SeqGap unless a snapshot actually covers the gap.
                     if next_seq.is_some_and(|expected| seq != expected) {
-                        cut = Some((seg_idx, offset as u64));
-                        break 'segments;
+                        let declared_jump = first_in_segment
+                            && declared_first == Some(seq)
+                            && next_seq.is_some_and(|expected| seq > expected);
+                        if !declared_jump {
+                            cut = Some((seg_idx, offset as u64));
+                            break 'segments;
+                        }
                     }
+                    first_in_segment = false;
                     next_seq = Some(seq + 1);
                     records.push(WalRecord {
                         seq,
@@ -252,13 +276,23 @@ impl Wal {
     /// Opens the log for appending after a [`scan_wal`] pass: truncates
     /// a torn/corrupt tail (deleting any fully-lost later segments) and
     /// positions at the end, or starts the first segment.
+    ///
+    /// `next_seq` is the sequence number the next append must get — the
+    /// *recovered* cursor, which is at least [`WalScan::next_seq`] and
+    /// strictly greater when a snapshot outlives the surviving log. In
+    /// that case appending resumes in a fresh segment named by the
+    /// cursor, never inside the stale tail: a record written below the
+    /// snapshot cursor would be skipped by the next recovery as
+    /// "already reflected in the snapshot" and silently lost.
     pub(crate) fn open(
         dir: &Path,
         scan: &WalScan,
+        next_seq: u64,
         fsync: FsyncPolicy,
         segment_bytes: u64,
         counters: StoreCounters,
     ) -> std::io::Result<Wal> {
+        debug_assert!(next_seq >= scan.next_seq);
         if let WalTail::Truncate {
             segment, valid_len, ..
         } = &scan.tail
@@ -280,13 +314,20 @@ impl Wal {
         }
         let segments = segment_paths(dir)?;
         let (file, seg_len) = match segments.last() {
-            Some(path) => {
+            // appending to the tail segment keeps the log contiguous,
+            // or the tail segment is the cursor-declared one already
+            Some(path)
+                if next_seq == scan.next_seq || segment_first_seq(path) == Some(next_seq) =>
+            {
                 let mut f = OpenOptions::new().append(true).open(path)?;
                 let len = f.seek(SeekFrom::End(0))?;
                 (f, len)
             }
-            None => {
-                let path = segment_path(dir, scan.next_seq);
+            // no segments at all, or the snapshot cursor is ahead of
+            // the surviving log: start a fresh segment whose filename
+            // declares where the sequence resumes
+            _ => {
+                let path = segment_path(dir, next_seq);
                 let mut f = OpenOptions::new()
                     .create_new(true)
                     .append(true)
@@ -299,7 +340,7 @@ impl Wal {
             dir: dir.to_path_buf(),
             file: BufWriter::new(file),
             seg_len,
-            next_seq: scan.next_seq,
+            next_seq,
             fsync,
             segment_bytes,
             unsynced: 0,

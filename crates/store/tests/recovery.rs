@@ -229,16 +229,107 @@ fn spec_mismatch_is_refused() {
 }
 
 #[test]
-fn prune_removes_only_fully_snapshotted_segments() {
+fn prune_keeps_everything_the_snapshot_fallback_needs() {
     let dir = scratch("prune");
     let o = opts(FsyncPolicy::OnClose, 0, 96);
-    let live = run_durable(&dir, &o);
+    run_durable(&dir, &o); // close-time snapshot @8
+    let toys = ObjectId::new("DEPT", vec![Value::from("Toys")]);
+
+    // one valid snapshot is not enough to prune: falling back from it
+    // would need the whole log
+    let (mut base, mut store, _) = open_world(&dir, SPEC, &o).expect("reopen");
+    assert_eq!(store.prune_segments().expect("prune"), 0);
+
+    // a second session adds two steps; its close writes snapshot @10
+    let (sink, shared) = DurableSink::new(store);
+    base.set_step_sink(Box::new(sink));
+    base.execute(&toys, "fire", vec![person("cyd")])
+        .expect("fire");
+    base.execute(&toys, "closure", vec![]).expect("closure");
+    shared.lock().unwrap().close(&base).expect("close");
+
     let before = troll_store::wal::segment_paths(&dir).unwrap().len();
-    let (base, mut store, _) = open_world(&dir, SPEC, &o).expect("reopen");
+    let (reopened, mut store, _) = open_world(&dir, SPEC, &o).expect("reopen");
     let removed = store.prune_segments().expect("prune");
-    assert!(removed > 0, "tiny segments under a close-time snapshot");
+    assert!(removed > 0, "tiny segments below the second-newest snapshot");
     assert!(troll_store::wal::segment_paths(&dir).unwrap().len() < before);
-    store.close(&base).expect("close");
+    store.close(&reopened).expect("close");
     let (recovered, _) = recover(&dir).expect("recover after prune");
-    assert_same_world(&live, &recovered);
+    assert_same_world(&base, &recovered);
+
+    // the safety margin the pruning rule promises: lose the newest
+    // snapshot and recovery still works from the second-newest + log
+    let newest = dir.join(format!("snap-{:020}.snap", 10));
+    fs::remove_file(&newest).unwrap();
+    let (recovered, info) = recover(&dir).expect("recover from fallback snapshot");
+    assert_eq!(info.snapshot_seq, Some(8));
+    assert_same_world(&base, &recovered);
+}
+
+#[test]
+fn snapshot_ahead_of_surviving_log_resumes_at_the_cursor() {
+    let dir = scratch("snap-ahead");
+    let o = opts(FsyncPolicy::EveryCommit, 0, 1 << 20);
+    run_durable(&dir, &o); // log 0..8 + close-time snapshot @8
+    // lose the log's last two records (e.g. an unsynced tail under a
+    // laxer policy): the snapshot at cursor 8 now outlives the log
+    let scan = scan_wal(&dir).unwrap();
+    let cut = scan.records[5].end_offset;
+    let f = fs::OpenOptions::new()
+        .write(true)
+        .open(&scan.records[0].segment)
+        .unwrap();
+    f.set_len(cut).unwrap();
+    drop(f);
+    assert_eq!(scan_wal(&dir).unwrap().next_seq, 6);
+
+    // reopen: the world comes from the snapshot, and appends must
+    // resume at seq 8 — not at the stale log tail's 6
+    let (mut base, store, info) = open_world(&dir, SPEC, &o).expect("reopen");
+    assert_eq!(info.next_seq, 8);
+    assert_eq!(base.steps_executed(), 8);
+    let toys = ObjectId::new("DEPT", vec![Value::from("Toys")]);
+    let (sink, shared) = DurableSink::new(store);
+    base.set_step_sink(Box::new(sink));
+    base.execute(&toys, "fire", vec![person("cyd")])
+        .expect("fire");
+    base.execute(&toys, "closure", vec![]).expect("closure");
+    shared.lock().unwrap().close(&base).expect("close");
+
+    // the post-recovery steps got seqs 8 and 9 (the bug: they were
+    // logged as 6 and 7, then skipped by the next recovery as already
+    // in the snapshot — silently losing them)
+    let scan = scan_wal(&dir).unwrap();
+    assert_eq!(scan.records.last().unwrap().seq, 9);
+    let (recovered, _) = recover(&dir).expect("recover");
+    assert_same_world(&base, &recovered);
+    assert_eq!(recovered.steps_executed(), 10);
+
+    // even without the close-time snapshot the fresh segment's name
+    // declares the gap; snapshot @8 + records 8..10 reconstruct it
+    fs::remove_file(dir.join(format!("snap-{:020}.snap", 10))).unwrap();
+    let (recovered, info) = recover(&dir).expect("recover across the declared gap");
+    assert_eq!(info.snapshot_seq, Some(8));
+    assert_eq!(info.replayed, 2);
+    assert_same_world(&base, &recovered);
+}
+
+#[test]
+fn periodic_snapshots_sync_the_wal_first() {
+    let dir = scratch("sync-before-snap");
+    // on-close fsync policy + periodic snapshots: every snapshot must
+    // still force the log down first, so its cursor never references
+    // records that are not on stable storage
+    let o = opts(FsyncPolicy::OnClose, 3, 1 << 20);
+    let (mut base, store, _) = open_world(&dir, SPEC, &o).expect("open");
+    let (sink, shared) = DurableSink::new(store);
+    base.set_step_sink(Box::new(sink));
+    drive(&mut base);
+    // 8 appends → snapshots at 3 and 6, each preceded by a WAL sync
+    let fsyncs = base.metrics().counter("store.fsyncs").get();
+    assert!(
+        fsyncs >= 2,
+        "expected a WAL sync before each periodic snapshot, saw {fsyncs}"
+    );
+    shared.lock().unwrap().close(&base).expect("close");
 }
