@@ -274,7 +274,6 @@ impl Op {
     ///   domain (`head []`, `get` on a missing key, division by zero).
     /// * [`DataError::Overflow`] on arithmetic overflow.
     pub fn apply(&self, args: &[Value]) -> Result<Value> {
-        use Op::*;
         if args.len() != self.arity() {
             return Err(DataError::Arity {
                 op: self.name().to_string(),
@@ -282,19 +281,26 @@ impl Op {
                 found: args.len(),
             });
         }
+        match self.arity() {
+            1 => self.apply1(&args[0]),
+            2 => self.apply2(&args[0], &args[1]),
+            _ => self.apply3(&args[0], &args[1], &args[2]),
+        }
+    }
+
+    /// [`Op::apply`] for a unary operation, without slice packing.
+    ///
+    /// # Panics
+    ///
+    /// If `self` is not unary (`arity() != 1`).
+    pub fn apply1(&self, a: &Value) -> Result<Value> {
+        use Op::*;
         match self {
-            And => bool2(self, args, |a, b| a && b),
-            Or => bool2(self, args, |a, b| a || b),
-            Implies => bool2(self, args, |a, b| !a || b),
             Not => {
-                let a = want_bool(self, &args[0])?;
+                let a = want_bool(self, a)?;
                 Ok(Value::Bool(!a))
             }
-            Eq => Ok(Value::Bool(args[0] == args[1])),
-            Neq => Ok(Value::Bool(args[0] != args[1])),
-            Lt | Le | Gt | Ge => compare(self, &args[0], &args[1]),
-            Add | Sub | Mul | Div | Mod | Min | Max => arith(self, &args[0], &args[1]),
-            Neg => match &args[0] {
+            Neg => match a {
                 Value::Int(i) => i
                     .checked_neg()
                     .map(Value::Int)
@@ -302,7 +308,7 @@ impl Op {
                 Value::Money(m) => Ok(Value::Money(-*m)),
                 other => Err(DataError::sort_mismatch("neg", "int or money", other)),
             },
-            Abs => match &args[0] {
+            Abs => match a {
                 Value::Int(i) => i
                     .checked_abs()
                     .map(Value::Int)
@@ -310,7 +316,70 @@ impl Op {
                 Value::Money(m) => Ok(Value::Money(if m.cents() < 0 { -*m } else { *m })),
                 other => Err(DataError::sort_mismatch("abs", "int or money", other)),
             },
-            ScaleTenths => match (&args[0], &args[1]) {
+            Card => match a {
+                Value::Set(s) => Ok(Value::Int(s.len() as i64)),
+                Value::List(l) => Ok(Value::Int(l.len() as i64)),
+                Value::Map(m) => Ok(Value::Int(m.len() as i64)),
+                other => Err(DataError::sort_mismatch("card", "set, list or map", other)),
+            },
+            Head => want_list(self, a)?
+                .first()
+                .cloned()
+                .ok_or_else(|| DataError::Undefined("head of empty list".into())),
+            Tail => {
+                let l = want_list(self, a)?;
+                if l.is_empty() {
+                    Err(DataError::Undefined("tail of empty list".into()))
+                } else {
+                    Ok(Value::List(l[1..].to_vec()))
+                }
+            }
+            ToSet => {
+                let l = want_list(self, a)?;
+                Ok(Value::Set(l.iter().cloned().collect()))
+            }
+            ToList => {
+                let s = want_set(self, a)?;
+                Ok(Value::List(s.iter().cloned().collect()))
+            }
+            MapKeys => {
+                let m = want_map(self, a)?;
+                Ok(Value::Set(m.keys().cloned().collect()))
+            }
+            MapValues => {
+                let m = want_map(self, a)?;
+                Ok(Value::List(m.values().cloned().collect()))
+            }
+            StrLen => match a {
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                other => Err(DataError::sort_mismatch("str_len", "string", other)),
+            },
+            DateYear => match a {
+                Value::Date(d) => Ok(Value::Int(i64::from(d.year()))),
+                other => Err(DataError::sort_mismatch("year", "date", other)),
+            },
+            IsDefined => Ok(Value::Bool(!a.is_undefined())),
+            other => unreachable!("apply1 called with non-unary op {other}"),
+        }
+    }
+
+    /// [`Op::apply`] for a binary operation, without slice packing —
+    /// the operands need not be adjacent in the caller's storage.
+    ///
+    /// # Panics
+    ///
+    /// If `self` is not binary (`arity() != 2`).
+    pub fn apply2(&self, a: &Value, b: &Value) -> Result<Value> {
+        use Op::*;
+        match self {
+            And => bool2(self, a, b, |a, b| a && b),
+            Or => bool2(self, a, b, |a, b| a || b),
+            Implies => bool2(self, a, b, |a, b| !a || b),
+            Eq => Ok(Value::Bool(a == b)),
+            Neq => Ok(Value::Bool(a != b)),
+            Lt | Le | Gt | Ge => compare(self, a, b),
+            Add | Sub | Mul | Div | Mod | Min | Max => arith(self, a, b),
+            ScaleTenths => match (a, b) {
                 (Value::Money(m), Value::Int(t)) => Ok(Value::Money(m.scale_by_tenths(*t))),
                 (a, b) => Err(DataError::sort_mismatch(
                     "scale_tenths",
@@ -319,97 +388,58 @@ impl Op {
                 )),
             },
             Insert => {
-                let mut s = want_set(self, &args[1])?.clone();
-                s.insert(args[0].clone());
+                let mut s = want_set(self, b)?.clone();
+                s.insert(a.clone());
                 Ok(Value::Set(s))
             }
             Remove => {
-                let mut s = want_set(self, &args[1])?.clone();
-                s.remove(&args[0]);
+                let mut s = want_set(self, b)?.clone();
+                s.remove(a);
                 Ok(Value::Set(s))
             }
-            In => match &args[1] {
-                Value::Set(s) => Ok(Value::Bool(s.contains(&args[0]))),
-                Value::List(l) => Ok(Value::Bool(l.contains(&args[0]))),
-                Value::Map(m) => Ok(Value::Bool(m.contains_key(&args[0]))),
+            In => match b {
+                Value::Set(s) => Ok(Value::Bool(s.contains(a))),
+                Value::List(l) => Ok(Value::Bool(l.contains(a))),
+                Value::Map(m) => Ok(Value::Bool(m.contains_key(a))),
                 other => Err(DataError::sort_mismatch("in", "set, list or map", other)),
             },
-            Union => set2(self, args, |a, b| a.union(b).cloned().collect()),
-            Intersect => set2(self, args, |a, b| a.intersection(b).cloned().collect()),
-            Difference => set2(self, args, |a, b| a.difference(b).cloned().collect()),
+            Union => set2(self, a, b, |a, b| a.union(b).cloned().collect()),
+            Intersect => set2(self, a, b, |a, b| a.intersection(b).cloned().collect()),
+            Difference => set2(self, a, b, |a, b| a.difference(b).cloned().collect()),
             Subset => {
-                let a = want_set(self, &args[0])?;
-                let b = want_set(self, &args[1])?;
+                let a = want_set(self, a)?;
+                let b = want_set(self, b)?;
                 Ok(Value::Bool(a.is_subset(b)))
             }
-            Card => match &args[0] {
-                Value::Set(s) => Ok(Value::Int(s.len() as i64)),
-                Value::List(l) => Ok(Value::Int(l.len() as i64)),
-                Value::Map(m) => Ok(Value::Int(m.len() as i64)),
-                other => Err(DataError::sort_mismatch("card", "set, list or map", other)),
-            },
             Append => {
-                let mut l = want_list(self, &args[1])?.to_vec();
-                l.push(args[0].clone());
+                let mut l = want_list(self, b)?.to_vec();
+                l.push(a.clone());
                 Ok(Value::List(l))
             }
             Concat => {
-                let mut l = want_list(self, &args[0])?.to_vec();
-                l.extend_from_slice(want_list(self, &args[1])?);
+                let mut l = want_list(self, a)?.to_vec();
+                l.extend_from_slice(want_list(self, b)?);
                 Ok(Value::List(l))
             }
-            Head => want_list(self, &args[0])?
-                .first()
-                .cloned()
-                .ok_or_else(|| DataError::Undefined("head of empty list".into())),
-            Tail => {
-                let l = want_list(self, &args[0])?;
-                if l.is_empty() {
-                    Err(DataError::Undefined("tail of empty list".into()))
-                } else {
-                    Ok(Value::List(l[1..].to_vec()))
-                }
-            }
             Nth => {
-                let i = want_int(self, &args[0])?;
-                let l = want_list(self, &args[1])?;
+                let i = want_int(self, a)?;
+                let l = want_list(self, b)?;
                 usize::try_from(i)
                     .ok()
                     .and_then(|i| l.get(i))
                     .cloned()
                     .ok_or_else(|| DataError::Undefined(format!("nth({i}) out of bounds")))
             }
-            ToSet => {
-                let l = want_list(self, &args[0])?;
-                Ok(Value::Set(l.iter().cloned().collect()))
-            }
-            ToList => {
-                let s = want_set(self, &args[0])?;
-                Ok(Value::List(s.iter().cloned().collect()))
-            }
-            MapPut => {
-                let mut m = want_map(self, &args[2])?.clone();
-                m.insert(args[0].clone(), args[1].clone());
-                Ok(Value::Map(m))
-            }
-            MapGet => want_map(self, &args[1])?
-                .get(&args[0])
+            MapGet => want_map(self, b)?
+                .get(a)
                 .cloned()
-                .ok_or_else(|| DataError::Undefined(format!("get: key {} not in map", args[0]))),
+                .ok_or_else(|| DataError::Undefined(format!("get: key {a} not in map"))),
             MapDrop => {
-                let mut m = want_map(self, &args[1])?.clone();
-                m.remove(&args[0]);
+                let mut m = want_map(self, b)?.clone();
+                m.remove(a);
                 Ok(Value::Map(m))
             }
-            MapKeys => {
-                let m = want_map(self, &args[0])?;
-                Ok(Value::Set(m.keys().cloned().collect()))
-            }
-            MapValues => {
-                let m = want_map(self, &args[0])?;
-                Ok(Value::List(m.values().cloned().collect()))
-            }
-            StrConcat => match (&args[0], &args[1]) {
+            StrConcat => match (a, b) {
                 (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
                 (a, b) => Err(DataError::sort_mismatch(
                     "str_concat",
@@ -417,11 +447,7 @@ impl Op {
                     (a, b),
                 )),
             },
-            StrLen => match &args[0] {
-                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
-                other => Err(DataError::sort_mismatch("str_len", "string", other)),
-            },
-            StrContains => match (&args[0], &args[1]) {
+            StrContains => match (a, b) {
                 (Value::Str(hay), Value::Str(needle)) => Ok(Value::Bool(hay.contains(needle))),
                 (a, b) => Err(DataError::sort_mismatch(
                     "str_contains",
@@ -429,19 +455,14 @@ impl Op {
                     (a, b),
                 )),
             },
-            DatePlusDays => match (&args[0], &args[1]) {
+            DatePlusDays => match (a, b) {
                 (Value::Date(d), Value::Int(n)) => d
                     .checked_plus_days(*n)
                     .map(Value::Date)
                     .ok_or_else(|| DataError::Overflow("plus_days".into())),
                 (a, b) => Err(DataError::sort_mismatch("plus_days", "(date, int)", (a, b))),
             },
-            DateYear => match &args[0] {
-                Value::Date(d) => Ok(Value::Int(i64::from(d.year()))),
-                other => Err(DataError::sort_mismatch("year", "date", other)),
-            },
-            IsDefined => Ok(Value::Bool(!args[0].is_undefined())),
-            MkId => match (&args[0], &args[1]) {
+            MkId => match (a, b) {
                 (Value::Str(class), Value::List(key)) => {
                     Ok(Value::Id(crate::ObjectId::new(class.clone(), key.clone())))
                 }
@@ -451,6 +472,134 @@ impl Op {
                     (a, b),
                 )),
             },
+            other => unreachable!("apply2 called with non-binary op {other}"),
+        }
+    }
+
+    /// [`Op::apply`] for a ternary operation, without slice packing.
+    ///
+    /// # Panics
+    ///
+    /// If `self` is not ternary (`arity() != 3`).
+    pub fn apply3(&self, a: &Value, b: &Value, c: &Value) -> Result<Value> {
+        use Op::*;
+        match self {
+            MapPut => {
+                let mut m = want_map(self, c)?.clone();
+                m.insert(a.clone(), b.clone());
+                Ok(Value::Map(m))
+            }
+            other => unreachable!("apply3 called with non-ternary op {other}"),
+        }
+    }
+
+    /// Applies the operation to arguments the caller owns, donating
+    /// collection operands instead of cloning them (set insert/remove
+    /// and the other collection-building operations). Produces exactly
+    /// the value or error [`Op::apply`] would — each arm is guarded on
+    /// the operand shapes it consumes and everything else (including
+    /// every error case) delegates to `apply` with the arguments
+    /// untouched. Consumed operand slots are left `Undefined`.
+    pub fn apply_owned(&self, args: &mut [Value]) -> Result<Value> {
+        use std::mem::take;
+        use Op::*;
+        if args.len() != self.arity() {
+            return self.apply(args);
+        }
+        match self {
+            Insert if args[1].as_set().is_some() => {
+                let Value::Set(mut s) = take(&mut args[1]) else {
+                    unreachable!()
+                };
+                s.insert(take(&mut args[0]));
+                Ok(Value::Set(s))
+            }
+            Remove if args[1].as_set().is_some() => {
+                let Value::Set(mut s) = take(&mut args[1]) else {
+                    unreachable!()
+                };
+                s.remove(&args[0]);
+                Ok(Value::Set(s))
+            }
+            Union if args[0].as_set().is_some() && args[1].as_set().is_some() => {
+                let (Value::Set(mut a), Value::Set(b)) = (take(&mut args[0]), take(&mut args[1]))
+                else {
+                    unreachable!()
+                };
+                a.extend(b);
+                Ok(Value::Set(a))
+            }
+            Intersect if args[0].as_set().is_some() && args[1].as_set().is_some() => {
+                let (Value::Set(mut a), Value::Set(b)) = (take(&mut args[0]), take(&mut args[1]))
+                else {
+                    unreachable!()
+                };
+                a.retain(|x| b.contains(x));
+                Ok(Value::Set(a))
+            }
+            Difference if args[0].as_set().is_some() && args[1].as_set().is_some() => {
+                let (Value::Set(mut a), Value::Set(b)) = (take(&mut args[0]), take(&mut args[1]))
+                else {
+                    unreachable!()
+                };
+                a.retain(|x| !b.contains(x));
+                Ok(Value::Set(a))
+            }
+            Append if args[1].as_list().is_some() => {
+                let Value::List(mut l) = take(&mut args[1]) else {
+                    unreachable!()
+                };
+                l.push(take(&mut args[0]));
+                Ok(Value::List(l))
+            }
+            Concat if args[0].as_list().is_some() && args[1].as_list().is_some() => {
+                let (Value::List(mut a), Value::List(b)) = (take(&mut args[0]), take(&mut args[1]))
+                else {
+                    unreachable!()
+                };
+                a.extend(b);
+                Ok(Value::List(a))
+            }
+            Head if args[0].as_list().is_some_and(|l| !l.is_empty()) => {
+                let Value::List(l) = take(&mut args[0]) else {
+                    unreachable!()
+                };
+                Ok(l.into_iter().next().expect("guarded non-empty"))
+            }
+            Tail if args[0].as_list().is_some_and(|l| !l.is_empty()) => {
+                let Value::List(mut l) = take(&mut args[0]) else {
+                    unreachable!()
+                };
+                l.remove(0);
+                Ok(Value::List(l))
+            }
+            ToSet if args[0].as_list().is_some() => {
+                let Value::List(l) = take(&mut args[0]) else {
+                    unreachable!()
+                };
+                Ok(Value::Set(l.into_iter().collect()))
+            }
+            ToList if args[0].as_set().is_some() => {
+                let Value::Set(s) = take(&mut args[0]) else {
+                    unreachable!()
+                };
+                Ok(Value::List(s.into_iter().collect()))
+            }
+            MapPut if matches!(args[2], Value::Map(_)) => {
+                let Value::Map(mut m) = take(&mut args[2]) else {
+                    unreachable!()
+                };
+                m.insert(take(&mut args[0]), take(&mut args[1]));
+                Ok(Value::Map(m))
+            }
+            MapDrop if matches!(args[1], Value::Map(_)) => {
+                let Value::Map(mut m) = take(&mut args[1]) else {
+                    unreachable!()
+                };
+                m.remove(&args[0]);
+                Ok(Value::Map(m))
+            }
+            _ => self.apply(args),
         }
     }
 }
@@ -488,19 +637,20 @@ fn want_map<'a>(op: &Op, v: &'a Value) -> Result<&'a std::collections::BTreeMap<
     }
 }
 
-fn bool2(op: &Op, args: &[Value], f: impl Fn(bool, bool) -> bool) -> Result<Value> {
-    let a = want_bool(op, &args[0])?;
-    let b = want_bool(op, &args[1])?;
+fn bool2(op: &Op, a: &Value, b: &Value, f: impl Fn(bool, bool) -> bool) -> Result<Value> {
+    let a = want_bool(op, a)?;
+    let b = want_bool(op, b)?;
     Ok(Value::Bool(f(a, b)))
 }
 
 fn set2(
     op: &Op,
-    args: &[Value],
+    a: &Value,
+    b: &Value,
     f: impl Fn(&BTreeSet<Value>, &BTreeSet<Value>) -> BTreeSet<Value>,
 ) -> Result<Value> {
-    let a = want_set(op, &args[0])?;
-    let b = want_set(op, &args[1])?;
+    let a = want_set(op, a)?;
+    let b = want_set(op, b)?;
     Ok(Value::Set(f(a, b)))
 }
 

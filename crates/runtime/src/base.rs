@@ -1,5 +1,6 @@
 //! The object base: instance store and event execution engine.
 
+use crate::compiled::{CompiledCall, CompiledClass, CompiledModel};
 use crate::env::{self, World};
 use crate::instance::{Instance, RoleState};
 use crate::monitor_cache::{
@@ -236,6 +237,10 @@ impl RuntimeCounters {
 #[derive(Debug)]
 pub struct ObjectBase {
     model: SystemModel,
+    /// Every hot-path rule term, lowered to bytecode at build time
+    /// (empty under the `treewalk` oracle feature, which sends all
+    /// evaluation sites down their original tree-walk branches).
+    compiled: Arc<CompiledModel>,
     instances: BTreeMap<ObjectId, Instance>,
     steps_executed: usize,
     monitor_cache: MonitorCache,
@@ -305,8 +310,13 @@ impl ObjectBase {
         let counters = RuntimeCounters::new(&metrics);
         let monitor_cache = MonitorCache::new(&metrics);
         let step_latency = metrics.histogram("step.latency_ns");
+        #[cfg(not(feature = "treewalk"))]
+        let compiled = Arc::new(CompiledModel::new(&model));
+        #[cfg(feature = "treewalk")]
+        let compiled = Arc::new(CompiledModel::default());
         Ok(ObjectBase {
             model,
+            compiled,
             instances,
             steps_executed: 0,
             monitor_cache,
@@ -352,6 +362,14 @@ impl ObjectBase {
         if self.observing {
             self.observer.on_event(&make());
         }
+    }
+
+    /// The compiled rules of a class. `None` for unknown classes and —
+    /// because the compiled model is then empty — for every class under
+    /// the `treewalk` oracle feature, which routes all evaluation sites
+    /// down their original tree-walk branches.
+    pub(crate) fn compiled_class(&self, name: &str) -> Option<&CompiledClass> {
+        self.compiled.class(name)
     }
 
     /// Resolved metric handles, shared with the view layer.
@@ -563,10 +581,11 @@ impl ObjectBase {
             .model
             .class(inst.class())
             .ok_or_else(|| RuntimeError::UnknownClass(inst.class().to_string()))?;
-        let family = class
+        let (family_idx, family) = class
             .param_attributes
             .iter()
-            .find(|p| p.name == name)
+            .enumerate()
+            .find(|(_, p)| p.name == name)
             .ok_or_else(|| RuntimeError::UnknownAttribute {
                 class: inst.class().to_string(),
                 attribute: name.to_string(),
@@ -579,10 +598,23 @@ impl ObjectBase {
             });
         }
         let params: BTreeMap<String, Value> = family.binders.iter().cloned().zip(args).collect();
-        let needed = env::needed_vars(&[&family.value]);
+        let compiled = self
+            .compiled_class(inst.class())
+            .and_then(|c| c.param_attrs.get(family_idx));
+        let needed_fallback;
+        let needed = match compiled {
+            Some(c) => &c.needed,
+            None => {
+                needed_fallback = env::needed_vars(&[&family.value]);
+                &needed_fallback
+            }
+        };
         let world = Committed(self);
-        let env = env::build_env(&world, id, class, &inst.state, &params, &needed)?;
-        Ok(family.value.eval(&env)?)
+        let env = env::build_env(&world, id, class, &inst.state, &params, needed)?;
+        Ok(match compiled {
+            Some(c) => c.value.eval(&env)?,
+            None => family.value.eval(&env)?,
+        })
     }
 
     /// Reads a role-local attribute of an active (or past) role.
@@ -1035,20 +1067,25 @@ impl ObjectBase {
                 .class(&occ.ctx_class)
                 .ok_or_else(|| RuntimeError::UnknownClass(occ.ctx_class.clone()))?;
 
+            let cc = self.compiled_class(&occ.ctx_class);
+
             // local interaction rules
-            for rule in &class.interactions {
+            for (rule_idx, rule) in class.interactions.iter().enumerate() {
                 if rule.trigger_event != occ.event {
                     continue;
                 }
                 let params = bind_params(&rule.trigger_params, &occ.args, &occ.event)?;
-                for call in &rule.calls {
-                    let callee = self.resolve_call(&occ, class, call, &params, reads)?;
+                for (call_idx, call) in rule.calls.iter().enumerate() {
+                    let compiled = cc
+                        .and_then(|c| c.interactions.get(rule_idx))
+                        .and_then(|r| r.get(call_idx));
+                    let callee = self.resolve_call(&occ, class, call, &params, compiled, reads)?;
                     queue.push_back(callee);
                 }
             }
 
             // global interaction rules
-            for rule in &self.model.global_interactions {
+            for (rule_idx, rule) in self.model.global_interactions.iter().enumerate() {
                 let (trigger_class, trigger_id_term) = match &rule.trigger_target {
                     EventTarget::Instance { class, id } => (class, id),
                     _ => continue,
@@ -1061,8 +1098,13 @@ impl ObjectBase {
                 if let troll_data::Term::Var(v) = trigger_id_term {
                     params.insert(v.clone(), Value::Id(occ.id.clone()));
                 }
-                for call in &rule.calls {
-                    let callee = self.resolve_call(&occ, class, call, &params, reads)?;
+                for (call_idx, call) in rule.calls.iter().enumerate() {
+                    let compiled = self
+                        .compiled
+                        .globals
+                        .get(rule_idx)
+                        .and_then(|r| r.get(call_idx));
+                    let callee = self.resolve_call(&occ, class, call, &params, compiled, reads)?;
                     queue.push_back(callee);
                 }
             }
@@ -1100,6 +1142,7 @@ impl ObjectBase {
         caller_class: &ClassModel,
         call: &troll_lang::LoweredCall,
         params: &BTreeMap<String, Value>,
+        compiled: Option<&CompiledCall>,
         reads: Option<&ReadTracker>,
     ) -> Result<Occurrence> {
         let world = Reading { base: self, reads };
@@ -1109,15 +1152,32 @@ impl ObjectBase {
         let state = world
             .state_of(&caller.id)
             .unwrap_or_else(|| self.initial_state(caller_class, &caller.id));
-        let mut needed = env::needed_vars(&call.args.iter().collect::<Vec<_>>());
-        if let EventTarget::Instance { id, .. } = &call.target {
-            needed.extend(id.free_vars());
-        }
-        let env = env::build_env(&world, &caller.id, caller_class, &state, params, &needed)?;
+        let needed_fallback;
+        let needed = match compiled {
+            Some(c) => &c.needed,
+            None => {
+                let mut needed = env::needed_vars(&call.args.iter().collect::<Vec<_>>());
+                if let EventTarget::Instance { id, .. } = &call.target {
+                    needed.extend(id.free_vars());
+                }
+                needed_fallback = needed;
+                &needed_fallback
+            }
+        };
+        let env = env::build_env(&world, &caller.id, caller_class, &state, params, needed)?;
 
         let mut args = Vec::with_capacity(call.args.len());
-        for t in &call.args {
-            args.push(t.eval(&env)?);
+        match compiled {
+            Some(c) => {
+                for t in &c.args {
+                    args.push(t.eval(&env)?);
+                }
+            }
+            None => {
+                for t in &call.args {
+                    args.push(t.eval(&env)?);
+                }
+            }
         }
 
         let (target_id, target_class) = match &call.target {
@@ -1144,7 +1204,10 @@ impl ObjectBase {
                 (target, target_class)
             }
             EventTarget::Instance { class, id } => {
-                let id_val = id.eval(&env)?;
+                let id_val = match compiled.and_then(|c| c.target_id.as_ref()) {
+                    Some(c) => c.eval(&env)?,
+                    None => id.eval(&env)?,
+                };
                 let target = match id_val {
                     Value::Id(oid) => {
                         if oid.class() == class {
@@ -1348,17 +1411,26 @@ impl ObjectBase {
                     w.state.clone(),
                 )
             };
+            let cc = self.compiled_class(&occ.ctx_class);
             for (perm_index, perm) in class.permissions_for(&occ.event).enumerate() {
                 let params = bind_params(&perm.params, &occ.args, &occ.event)?;
-                let mut needed = BTreeSet::new();
-                env::formula_needed_vars(&perm.formula, &mut needed);
+                let needed_fallback;
+                let needed = match cc.and_then(|c| c.permission(&occ.event, perm_index)) {
+                    Some(p) => &p.needed,
+                    None => {
+                        let mut needed = BTreeSet::new();
+                        env::formula_needed_vars(&perm.formula, &mut needed);
+                        needed_fallback = needed;
+                        &needed_fallback
+                    }
+                };
                 let overlay = Overlay {
                     base: self,
                     working,
                     reads,
                 };
                 let env =
-                    env::build_env(&overlay, &occ.id, class, &current_state, &params, &needed)?;
+                    env::build_env(&overlay, &occ.id, class, &current_state, &params, needed)?;
                 let virtual_step = Step::with_state(
                     if is_role_ctx {
                         w.new_role_events
@@ -1438,21 +1510,34 @@ impl ObjectBase {
                 w.state.clone()
             };
             let mut updates: Vec<(String, Value)> = Vec::new();
-            for rule in class.valuation_for(&occ.event) {
+            let cc = self.compiled_class(&occ.ctx_class);
+            for (rule_index, rule) in class.valuation_for(&occ.event).enumerate() {
                 let params = bind_params(&rule.params, &occ.args, &occ.event)?;
-                let mut terms: Vec<&troll_data::Term> = vec![&rule.value];
-                if let Some(g) = &rule.guard {
-                    terms.push(g);
-                }
-                let needed = env::needed_vars(&terms);
+                let compiled = cc.and_then(|c| c.valuation(&occ.event, rule_index));
+                let needed_fallback;
+                let needed = match compiled {
+                    Some(c) => &c.needed,
+                    None => {
+                        let mut terms: Vec<&troll_data::Term> = vec![&rule.value];
+                        if let Some(g) = &rule.guard {
+                            terms.push(g);
+                        }
+                        needed_fallback = env::needed_vars(&terms);
+                        &needed_fallback
+                    }
+                };
                 let overlay = Overlay {
                     base: self,
                     working,
                     reads,
                 };
-                let env = env::build_env(&overlay, &occ.id, class, &pre_state, &params, &needed)?;
+                let env = env::build_env(&overlay, &occ.id, class, &pre_state, &params, needed)?;
                 if let Some(g) = &rule.guard {
-                    match g.eval(&env)?.as_bool() {
+                    let gv = match compiled.and_then(|c| c.guard.as_ref()) {
+                        Some(c) => c.eval(&env)?,
+                        None => g.eval(&env)?,
+                    };
+                    match gv.as_bool() {
                         Some(true) => {}
                         Some(false) => continue,
                         None => {
@@ -1462,7 +1547,11 @@ impl ObjectBase {
                         }
                     }
                 }
-                updates.push((rule.attribute.clone(), rule.value.eval(&env)?));
+                let value = match compiled {
+                    Some(c) => c.value.eval(&env)?,
+                    None => rule.value.eval(&env)?,
+                };
+                updates.push((rule.attribute.clone(), value));
             }
             if !updates.is_empty() {
                 self.counters.valuation_updates.add(updates.len() as u64);
@@ -1533,7 +1622,8 @@ impl ObjectBase {
                      trace: &Trace,
                      events: &[EventOccurrence]|
          -> Result<()> {
-            for c in &class.constraints {
+            let cc = self.compiled_class(&class.name);
+            for (index, c) in class.constraints.iter().enumerate() {
                 let applies = match c.kind {
                     ConstraintKind::Static | ConstraintKind::Dynamic => true,
                     ConstraintKind::Initially => birth_in_step,
@@ -1541,9 +1631,17 @@ impl ObjectBase {
                 if !applies {
                     continue;
                 }
-                let mut needed = BTreeSet::new();
-                env::formula_needed_vars(&c.formula, &mut needed);
-                let env = env::build_env(&overlay, id, class, state, &BTreeMap::new(), &needed)?;
+                let needed_fallback;
+                let needed = match cc.and_then(|c| c.constraints.get(index)) {
+                    Some(c) => &c.needed,
+                    None => {
+                        let mut needed = BTreeSet::new();
+                        env::formula_needed_vars(&c.formula, &mut needed);
+                        needed_fallback = needed;
+                        &needed_fallback
+                    }
+                };
+                let env = env::build_env(&overlay, id, class, state, &BTreeMap::new(), needed)?;
                 let virtual_step = Step::with_state(
                     events.to_vec(),
                     env::materialize_aliases(&overlay, class, state)?,
@@ -1576,6 +1674,7 @@ impl ObjectBase {
             // Same as the `check` closure, but recurring constraints on
             // the base history are answered by the monitor cache when
             // they lie in the monitorable fragment.
+            let cc = self.compiled_class(&w.class);
             for (index, c) in base_class.constraints.iter().enumerate() {
                 let applies = match c.kind {
                     ConstraintKind::Static | ConstraintKind::Dynamic => true,
@@ -1584,16 +1683,18 @@ impl ObjectBase {
                 if !applies {
                     continue;
                 }
-                let mut needed = BTreeSet::new();
-                env::formula_needed_vars(&c.formula, &mut needed);
-                let env = env::build_env(
-                    &overlay,
-                    id,
-                    base_class,
-                    &w.state,
-                    &BTreeMap::new(),
-                    &needed,
-                )?;
+                let needed_fallback;
+                let needed = match cc.and_then(|c| c.constraints.get(index)) {
+                    Some(c) => &c.needed,
+                    None => {
+                        let mut needed = BTreeSet::new();
+                        env::formula_needed_vars(&c.formula, &mut needed);
+                        needed_fallback = needed;
+                        &needed_fallback
+                    }
+                };
+                let env =
+                    env::build_env(&overlay, id, base_class, &w.state, &BTreeMap::new(), needed)?;
                 let virtual_step = Step::with_state(
                     w.new_events.clone(),
                     env::materialize_aliases(&overlay, base_class, &w.state)?,
@@ -1761,6 +1862,10 @@ impl World for Committed<'_> {
     fn singleton_id(&self, class: &str) -> Option<ObjectId> {
         self.0.singleton(class)
     }
+
+    fn compiled_class(&self, class: &str) -> Option<&CompiledClass> {
+        self.0.compiled_class(class)
+    }
 }
 
 /// World view over committed state that records what it reads (the
@@ -1793,6 +1898,10 @@ impl World for Reading<'_> {
 
     fn singleton_id(&self, class: &str) -> Option<ObjectId> {
         self.base.singleton(class)
+    }
+
+    fn compiled_class(&self, class: &str) -> Option<&CompiledClass> {
+        self.base.compiled_class(class)
     }
 }
 
@@ -1840,6 +1949,10 @@ impl World for Overlay<'_> {
 
     fn singleton_id(&self, class: &str) -> Option<ObjectId> {
         self.base.singleton(class)
+    }
+
+    fn compiled_class(&self, class: &str) -> Option<&CompiledClass> {
+        self.base.compiled_class(class)
     }
 }
 

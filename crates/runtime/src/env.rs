@@ -30,6 +30,12 @@ pub(crate) trait World {
     fn population(&self, class: &str) -> Vec<ObjectId>;
     /// The identity of a singleton object class.
     fn singleton_id(&self, class: &str) -> Option<ObjectId>;
+    /// The compiled rules of `class`, when this world is backed by an
+    /// object base that built them (`None` under the `treewalk` oracle
+    /// feature and for worlds with no base).
+    fn compiled_class(&self, _class: &str) -> Option<&crate::compiled::CompiledClass> {
+        None
+    }
 }
 
 /// Builds the value of an instance as a tuple: stored attributes,
@@ -55,8 +61,13 @@ pub(crate) fn instance_tuple(world: &dyn World, id: &ObjectId, depth: usize) -> 
     // derived attributes, computed against an env of the stored state
     if !class.derivation.is_empty() {
         let env = env_for_instance(world, id, class, &state, &BTreeMap::new(), depth)?;
-        for rule in &class.derivation {
-            match rule.value.eval(&env) {
+        let compiled = world.compiled_class(&class.name);
+        for (i, rule) in class.derivation.iter().enumerate() {
+            let result = match compiled.and_then(|c| c.derivations.get(i)) {
+                Some(c) => c.eval(&env),
+                None => rule.value.eval(&env),
+            };
+            match result {
                 Ok(v) => fields.push((rule.attribute.clone(), v)),
                 // a derived attribute may be undefined (e.g. key not yet
                 // present in the base relation); observe it as undefined
@@ -232,8 +243,13 @@ pub(crate) fn self_tuple(
     fields.push(("surrogate".to_string(), Value::Id(id.clone())));
     if !class.derivation.is_empty() {
         let env = env_for_instance(world, id, class, state, &BTreeMap::new(), 0)?;
-        for rule in &class.derivation {
-            match rule.value.eval(&env) {
+        let compiled = world.compiled_class(&class.name);
+        for (i, rule) in class.derivation.iter().enumerate() {
+            let result = match compiled.and_then(|c| c.derivations.get(i)) {
+                Some(c) => c.eval(&env),
+                None => rule.value.eval(&env),
+            };
+            match result {
                 Ok(v) => fields.push((rule.attribute.clone(), v)),
                 Err(troll_data::DataError::Undefined(_)) => {
                     fields.push((rule.attribute.clone(), Value::Undefined))

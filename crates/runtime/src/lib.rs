@@ -75,6 +75,10 @@
 #![warn(missing_docs)]
 
 mod base;
+// Under the `treewalk` oracle feature the compiled model is never
+// built, so its constructors are intentionally unreachable.
+#[cfg_attr(feature = "treewalk", allow(dead_code))]
+mod compiled;
 mod env;
 mod error;
 mod instance;

@@ -251,7 +251,10 @@ fn prune_keeps_everything_the_snapshot_fallback_needs() {
     let before = troll_store::wal::segment_paths(&dir).unwrap().len();
     let (reopened, mut store, _) = open_world(&dir, SPEC, &o).expect("reopen");
     let removed = store.prune_segments().expect("prune");
-    assert!(removed > 0, "tiny segments below the second-newest snapshot");
+    assert!(
+        removed > 0,
+        "tiny segments below the second-newest snapshot"
+    );
     assert!(troll_store::wal::segment_paths(&dir).unwrap().len() < before);
     store.close(&reopened).expect("close");
     let (recovered, _) = recover(&dir).expect("recover after prune");
@@ -271,8 +274,8 @@ fn snapshot_ahead_of_surviving_log_resumes_at_the_cursor() {
     let dir = scratch("snap-ahead");
     let o = opts(FsyncPolicy::EveryCommit, 0, 1 << 20);
     run_durable(&dir, &o); // log 0..8 + close-time snapshot @8
-    // lose the log's last two records (e.g. an unsynced tail under a
-    // laxer policy): the snapshot at cursor 8 now outlives the log
+                           // lose the log's last two records (e.g. an unsynced tail under a
+                           // laxer policy): the snapshot at cursor 8 now outlives the log
     let scan = scan_wal(&dir).unwrap();
     let cut = scan.records[5].end_offset;
     let f = fs::OpenOptions::new()

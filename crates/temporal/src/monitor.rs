@@ -15,14 +15,39 @@
 
 use crate::eval::{eval_at, eval_now};
 use crate::{EventPattern, Formula, Result, Step, TemporalError, Trace};
-use troll_data::{Env, Layered, Term};
+use troll_data::{Env, Layered};
+use troll_vm::Compiled;
+
+/// An [`EventPattern`] with its rigid argument terms lowered to
+/// bytecode — they are re-evaluated on every monitor step, so they are
+/// as hot as the state predicates.
+#[derive(Debug, Clone)]
+struct CompiledPattern {
+    name: String,
+    args: Vec<Option<Compiled>>,
+}
+
+impl CompiledPattern {
+    fn new(p: &EventPattern) -> Self {
+        CompiledPattern {
+            name: p.name.clone(),
+            args: p
+                .args
+                .iter()
+                .map(|a| a.as_ref().map(|t| Compiled::new(t.clone())))
+                .collect(),
+        }
+    }
+}
 
 /// Flattened subformula node; children are indices into the node array
 /// (children always precede parents, enabling a single bottom-up pass).
+/// State predicates and pattern arguments are compiled once here — the
+/// monitor re-evaluates them on every step/peek.
 #[derive(Debug, Clone)]
 enum Node {
-    Pred(Term),
-    Occurs(EventPattern),
+    Pred(Compiled),
+    Occurs(CompiledPattern),
     Not(usize),
     And(usize, usize),
     Or(usize, usize),
@@ -208,7 +233,7 @@ impl Monitor {
     }
 }
 
-fn pattern_matches(pattern: &EventPattern, step: &Step, env: &dyn Env) -> Result<bool> {
+fn pattern_matches(pattern: &CompiledPattern, step: &Step, env: &dyn Env) -> Result<bool> {
     for occ in &step.events {
         if occ.name != pattern.name {
             continue;
@@ -238,8 +263,8 @@ fn pattern_matches(pattern: &EventPattern, step: &Step, env: &dyn Env) -> Result
 /// Flattens `formula` into `nodes` (postorder) and returns the root index.
 fn flatten(formula: &Formula, nodes: &mut Vec<Node>) -> Result<usize> {
     let node = match formula {
-        Formula::Pred(t) => Node::Pred(t.clone()),
-        Formula::Occurs(p) | Formula::After(p) => Node::Occurs(p.clone()),
+        Formula::Pred(t) => Node::Pred(Compiled::new(t.clone())),
+        Formula::Occurs(p) | Formula::After(p) => Node::Occurs(CompiledPattern::new(p)),
         Formula::Not(f) => Node::Not(flatten(f, nodes)?),
         Formula::And(a, b) => {
             let (a, b) = (flatten(a, nodes)?, flatten(b, nodes)?);
@@ -295,7 +320,7 @@ mod tests {
     use super::*;
     use crate::EventOccurrence;
     use proptest::prelude::*;
-    use troll_data::{MapEnv, Op, Value};
+    use troll_data::{MapEnv, Op, Term, Value};
 
     fn mkstep(events: Vec<&str>, x: i64) -> Step {
         Step::new(

@@ -1,0 +1,536 @@
+//! Lowering `Term` trees to flat register code.
+//!
+//! Allocation is stack-disciplined: `emit(t, sp)` generates code whose
+//! result lands in register `sp`, using registers strictly above `sp`
+//! as scratch. Bound variables (quantifier elements, `let` values) live
+//! in pinned registers below the current stack pointer and are tracked
+//! in a compile-time scope; variable reads resolve to register copies
+//! when bound, name-pool loads otherwise.
+//!
+//! After emission a rewrite pass splits environment loads: a name read
+//! from exactly one code site outside any loop keeps the plain `Load`
+//! (one lookup, one clone — the tree walk's `Var` cost); a name read
+//! repeatedly (several sites, or any site inside a quantifier body,
+//! where the tree walk pays a chained environment lookup per iteration)
+//! becomes `LoadCached` through a per-execution value slot.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use troll_data::{Op, Quantifier, Term, Value};
+
+use crate::program::{Instr, Program, SelectData, NO_FIELD};
+
+/// Ops whose `apply_owned` consumes operand registers. Their operands
+/// must live in the contiguous scratch window (`Instr::Apply`); every
+/// other op reads by reference and may address registers directly
+/// (`Instr::Apply2`).
+fn consumes_operands(op: Op) -> bool {
+    use Op::*;
+    matches!(
+        op,
+        Insert
+            | Remove
+            | Union
+            | Intersect
+            | Difference
+            | Append
+            | Concat
+            | Head
+            | Tail
+            | ToSet
+            | ToList
+            | MapPut
+            | MapDrop
+    )
+}
+
+/// Most constants a loop body re-materializes per iteration are worth
+/// hoisting, but registers are a capped resource — past this many the
+/// rest simply stay in the body.
+const MAX_HOIST: usize = 16;
+
+/// Register-file cap. Stack-discipline allocation needs roughly one
+/// register per nesting level plus one per sibling operand, so
+/// realistic rules use a dozen; pathological terms (a 300-element
+/// literal list) exceed the cap and fall back to the tree walk.
+const REG_LIMIT: u16 = 240;
+
+/// Name/constant/side-table pool cap (`u16` indices).
+const POOL_LIMIT: usize = u16::MAX as usize;
+
+/// Why a term was not lowered. The only causes are static resource
+/// caps — semantics never prevent lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Bail(&'static str);
+
+impl Bail {
+    pub(crate) fn reason(&self) -> &'static str {
+        self.0
+    }
+}
+
+pub(crate) fn compile(term: &Term) -> Result<Program, Bail> {
+    let mut c = Compiler::default();
+    c.emit(term, 0)?;
+    let Compiler {
+        mut code,
+        consts,
+        names,
+        field_lists,
+        selects,
+        hot_loads,
+        max_reg,
+        max_iter,
+        ..
+    } = c;
+
+    // Split loads: count code sites per name, then give every name
+    // that is read more than once — or read at all inside a loop — a
+    // cache slot.
+    let mut sites: BTreeMap<u16, u32> = BTreeMap::new();
+    for instr in &code {
+        if let Instr::Load { name, .. } = instr {
+            *sites.entry(*name).or_insert(0) += 1;
+        }
+    }
+    let mut slots: BTreeMap<u16, u16> = BTreeMap::new();
+    for instr in &mut code {
+        if let Instr::Load { name, dst } = *instr {
+            if sites[&name] > 1 || hot_loads.contains(&name) {
+                let next = slots.len() as u16;
+                let slot = *slots.entry(name).or_insert(next);
+                *instr = Instr::LoadCached { name, slot, dst };
+            }
+        }
+    }
+
+    Ok(Program {
+        code: code.into_boxed_slice(),
+        consts: consts.into_boxed_slice(),
+        names: names.into_iter().map(String::into_boxed_str).collect(),
+        field_lists: field_lists.into_boxed_slice(),
+        selects: selects.into_boxed_slice(),
+        regs: max_reg + 1,
+        iters: max_iter,
+        cache_slots: slots.len() as u16,
+    })
+}
+
+#[derive(Default)]
+struct Compiler {
+    code: Vec<Instr>,
+    consts: Vec<Value>,
+    const_ids: BTreeMap<Value, u16>,
+    names: Vec<String>,
+    name_ids: BTreeMap<String, u16>,
+    field_lists: Vec<Box<[u16]>>,
+    selects: Vec<SelectData>,
+    /// Names loaded from the environment while inside a quantifier
+    /// body — cached even when the code site is unique, because it
+    /// executes once per element.
+    hot_loads: BTreeSet<u16>,
+    /// Compile-time scope: (name-pool id, pinned register), outermost
+    /// first. Mirrors the tree walk's `Binding` chain.
+    scope: Vec<(u16, u16)>,
+    /// Loop-invariant constants hoisted before a quantifier loop, with
+    /// the register each was materialized into. Stack-shaped like
+    /// `scope`; `Apply2` operands resolve against it.
+    hoist: Vec<(Value, u16)>,
+    max_reg: u16,
+    iter_depth: u16,
+    max_iter: u16,
+}
+
+impl Compiler {
+    /// Notes that register `r` is used; errors past the cap.
+    fn touch(&mut self, r: u16) -> Result<(), Bail> {
+        if r >= REG_LIMIT {
+            return Err(Bail("register file cap"));
+        }
+        self.max_reg = self.max_reg.max(r);
+        Ok(())
+    }
+
+    fn const_id(&mut self, v: &Value) -> Result<u16, Bail> {
+        if let Some(&id) = self.const_ids.get(v) {
+            return Ok(id);
+        }
+        if self.consts.len() >= POOL_LIMIT {
+            return Err(Bail("constant pool cap"));
+        }
+        let id = self.consts.len() as u16;
+        self.consts.push(v.clone());
+        self.const_ids.insert(v.clone(), id);
+        Ok(id)
+    }
+
+    fn name_id(&mut self, n: &str) -> Result<u16, Bail> {
+        if let Some(&id) = self.name_ids.get(n) {
+            return Ok(id);
+        }
+        if self.names.len() >= POOL_LIMIT {
+            return Err(Bail("name pool cap"));
+        }
+        let id = self.names.len() as u16;
+        self.names.push(n.to_string());
+        self.name_ids.insert(n.to_string(), id);
+        Ok(id)
+    }
+
+    fn field_list_id(&mut self, ids: Vec<u16>) -> Result<u16, Bail> {
+        if self.field_lists.len() >= POOL_LIMIT {
+            return Err(Bail("field-list pool cap"));
+        }
+        let id = self.field_lists.len() as u16;
+        self.field_lists.push(ids.into_boxed_slice());
+        Ok(id)
+    }
+
+    /// The pinned register of `name`, if bound; innermost wins, like
+    /// the tree walk's `Binding` chain.
+    fn bound_reg(&self, name: &str) -> Option<u16> {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(n, _)| self.names[*n as usize] == *name)
+            .map(|&(_, reg)| reg)
+    }
+
+    /// Emits an environment load; inside a loop the name is marked hot
+    /// so the rewrite pass gives it a cache slot.
+    fn emit_load(&mut self, name: &str, dst: u16) -> Result<(), Bail> {
+        let name = self.name_id(name)?;
+        if self.iter_depth > 0 {
+            self.hot_loads.insert(name);
+        }
+        self.code.push(Instr::Load { name, dst });
+        Ok(())
+    }
+
+    /// The register a hoisted constant was materialized into, if any.
+    fn hoisted_reg(&self, v: &Value) -> Option<u16> {
+        self.hoist
+            .iter()
+            .rev()
+            .find(|(h, _)| h == v)
+            .map(|&(_, reg)| reg)
+    }
+
+    /// Resolves an `Apply2` operand to `(register, projected field)`:
+    /// bound variables and hoisted constants are addressed in place (no
+    /// per-use clone), a field of a bound variable projects the pinned
+    /// tuple register in place (no clone at all); anything else is
+    /// emitted into the next scratch register.
+    fn operand(&mut self, t: &Term, scratch: &mut u16) -> Result<(u16, u16), Bail> {
+        match t {
+            Term::Var(name) => {
+                if let Some(reg) = self.bound_reg(name) {
+                    return Ok((reg, NO_FIELD));
+                }
+            }
+            Term::Const(v) => {
+                if let Some(reg) = self.hoisted_reg(v) {
+                    return Ok((reg, NO_FIELD));
+                }
+            }
+            Term::Field(base, field) => {
+                if let Term::Var(name) = &**base {
+                    if let Some(reg) = self.bound_reg(name) {
+                        return Ok((reg, self.name_id(field)?));
+                    }
+                }
+            }
+            _ => {}
+        }
+        let r = *scratch;
+        self.emit(t, r)?;
+        *scratch += 1;
+        Ok((r, NO_FIELD))
+    }
+
+    /// Collects constants in `t` that a loop body would re-materialize
+    /// every iteration in a read-only (`Apply2` operand) position.
+    /// `Select` predicates stay tree-walked and are skipped. Hoisting
+    /// is observationally equivalent: constant evaluation is infallible
+    /// and side-effect free, so evaluating one early (or for zero
+    /// iterations) cannot change the result.
+    fn collect_hoistable(&self, t: &Term, out: &mut Vec<Value>) {
+        match t {
+            Term::Apply(op, args)
+                if args.len() == 2 && op.arity() == 2 && !consumes_operands(*op) =>
+            {
+                for a in args {
+                    if let Term::Const(v) = a {
+                        if self.hoisted_reg(v).is_none() && !out.contains(v) {
+                            out.push(v.clone());
+                        }
+                    } else {
+                        self.collect_hoistable(a, out);
+                    }
+                }
+            }
+            Term::Apply(_, args) | Term::MkSet(args) | Term::MkList(args) => {
+                for a in args {
+                    self.collect_hoistable(a, out);
+                }
+            }
+            Term::Field(base, _) => self.collect_hoistable(base, out),
+            Term::MkTuple(fields) => {
+                for (_, ft) in fields {
+                    self.collect_hoistable(ft, out);
+                }
+            }
+            Term::IfThenElse(c, a, b) => {
+                self.collect_hoistable(c, out);
+                self.collect_hoistable(a, out);
+                self.collect_hoistable(b, out);
+            }
+            Term::Quant { domain, body, .. } => {
+                self.collect_hoistable(domain, out);
+                self.collect_hoistable(body, out);
+            }
+            Term::Let { value, body, .. } => {
+                self.collect_hoistable(value, out);
+                self.collect_hoistable(body, out);
+            }
+            Term::Select { rel, .. } | Term::Project { rel, .. } => {
+                self.collect_hoistable(rel, out)
+            }
+            Term::The(rel) => self.collect_hoistable(rel, out),
+            Term::Const(_) | Term::Var(_) => {}
+        }
+    }
+
+    /// Emits code leaving the value of `t` in register `sp`.
+    fn emit(&mut self, t: &Term, sp: u16) -> Result<(), Bail> {
+        self.touch(sp)?;
+        match t {
+            Term::Const(v) => {
+                let src = self.const_id(v)?;
+                self.code.push(Instr::Const { src, dst: sp });
+            }
+            Term::Var(name) => match self.bound_reg(name) {
+                Some(src) => self.code.push(Instr::Copy { src, dst: sp }),
+                None => self.emit_load(name, sp)?,
+            },
+            Term::Apply(op, args) => {
+                let n = args.len();
+                if n > (REG_LIMIT - 1) as usize {
+                    return Err(Bail("operand count cap"));
+                }
+                // binary read-only ops address operands directly
+                if n == 2 && op.arity() == 2 && !consumes_operands(*op) {
+                    let mut scratch = sp;
+                    let (a, a_field) = self.operand(&args[0], &mut scratch)?;
+                    let (b, b_field) = self.operand(&args[1], &mut scratch)?;
+                    self.code.push(Instr::Apply2 {
+                        op: *op,
+                        a,
+                        a_field,
+                        b,
+                        b_field,
+                        dst: sp,
+                    });
+                    return Ok(());
+                }
+                for (i, a) in args.iter().enumerate() {
+                    self.emit(a, sp + i as u16)?;
+                }
+                self.code.push(Instr::Apply {
+                    op: *op,
+                    base: sp,
+                    n: n as u16,
+                    dst: sp,
+                });
+            }
+            Term::Field(base, field) => {
+                // A field of a bound variable reads the pinned register
+                // in place and clones only the field value — the tree
+                // walk clones the whole tuple out of the binding first.
+                if let Term::Var(v) = &**base {
+                    if let Some(src) = self.bound_reg(v) {
+                        let name = self.name_id(field)?;
+                        self.code.push(Instr::FieldRef { src, name, dst: sp });
+                        return Ok(());
+                    }
+                }
+                self.emit(base, sp)?;
+                let name = self.name_id(field)?;
+                self.code.push(Instr::Field {
+                    src: sp,
+                    name,
+                    dst: sp,
+                });
+            }
+            Term::MkTuple(fields) => {
+                if fields.len() > (REG_LIMIT - 1) as usize {
+                    return Err(Bail("operand count cap"));
+                }
+                let mut names = Vec::with_capacity(fields.len());
+                for (i, (n, ft)) in fields.iter().enumerate() {
+                    self.emit(ft, sp + i as u16)?;
+                    names.push(self.name_id(n)?);
+                }
+                let list = self.field_list_id(names)?;
+                self.code.push(Instr::MkTuple {
+                    list,
+                    base: sp,
+                    dst: sp,
+                });
+            }
+            Term::MkSet(elems) | Term::MkList(elems) => {
+                if elems.len() > (REG_LIMIT - 1) as usize {
+                    return Err(Bail("operand count cap"));
+                }
+                for (i, e) in elems.iter().enumerate() {
+                    self.emit(e, sp + i as u16)?;
+                }
+                let (base, n) = (sp, elems.len() as u16);
+                self.code.push(if matches!(t, Term::MkSet(_)) {
+                    Instr::MkSet { base, n, dst: sp }
+                } else {
+                    Instr::MkList { base, n, dst: sp }
+                });
+            }
+            Term::IfThenElse(c, a, b) => {
+                self.emit(c, sp)?;
+                let branch_at = self.code.len();
+                self.code.push(Instr::Branch {
+                    cond: sp,
+                    otherwise: 0,
+                });
+                self.emit(a, sp)?;
+                let jump_at = self.code.len();
+                self.code.push(Instr::Jump { to: 0 });
+                let else_at = self.code.len() as u32;
+                if let Instr::Branch { otherwise, .. } = &mut self.code[branch_at] {
+                    *otherwise = else_at;
+                }
+                self.emit(b, sp)?;
+                let end = self.code.len() as u32;
+                if let Instr::Jump { to } = &mut self.code[jump_at] {
+                    *to = end;
+                }
+            }
+            Term::Quant {
+                q,
+                var,
+                domain,
+                body,
+            } => {
+                let forall = matches!(q, Quantifier::Forall);
+                self.emit(domain, sp)?;
+                let iter = self.iter_depth;
+                if iter >= REG_LIMIT {
+                    return Err(Bail("iterator nesting cap"));
+                }
+                self.iter_depth += 1;
+                self.max_iter = self.max_iter.max(self.iter_depth);
+                self.code.push(Instr::IterInit { src: sp, iter });
+                // the vacuous result, overwritten by a deciding element
+                let default = self.const_id(&Value::Bool(forall))?;
+                self.code.push(Instr::Const {
+                    src: default,
+                    dst: sp,
+                });
+                let var_reg = sp + 1;
+                self.touch(var_reg)?;
+                // materialize the body's loop-invariant constants once,
+                // before the loop head, in registers pinned below the
+                // body's stack pointer
+                let mut invariant = Vec::new();
+                self.collect_hoistable(body, &mut invariant);
+                invariant.truncate(MAX_HOIST);
+                if (sp as usize) + 2 + invariant.len() >= REG_LIMIT as usize {
+                    invariant.clear();
+                }
+                let hoisted = invariant.len() as u16;
+                for (i, v) in invariant.into_iter().enumerate() {
+                    let reg = sp + 2 + i as u16;
+                    self.touch(reg)?;
+                    let src = self.const_id(&v)?;
+                    self.code.push(Instr::Const { src, dst: reg });
+                    self.hoist.push((v, reg));
+                }
+                let body_sp = sp + 2 + hoisted;
+                let head = self.code.len() as u32;
+                let next_at = self.code.len();
+                self.code.push(Instr::IterNext {
+                    iter,
+                    var: var_reg,
+                    end: 0,
+                });
+                let var_id = self.name_id(var)?;
+                // pop the scope even when emission bails
+                self.scope.push((var_id, var_reg));
+                let body_res = self.emit(body, body_sp);
+                self.scope.pop();
+                self.hoist.truncate(self.hoist.len() - hoisted as usize);
+                body_res?;
+                self.code.push(Instr::QuantCheck {
+                    src: body_sp,
+                    forall,
+                    result: sp,
+                    head,
+                    end: 0,
+                });
+                let end = self.code.len() as u32;
+                let check_at = self.code.len() - 1;
+                if let Instr::IterNext { end: e, .. } = &mut self.code[next_at] {
+                    *e = end;
+                }
+                if let Instr::QuantCheck { end: e, .. } = &mut self.code[check_at] {
+                    *e = end;
+                }
+                self.iter_depth -= 1;
+            }
+            Term::Let { var, value, body } => {
+                self.emit(value, sp)?;
+                let var_id = self.name_id(var)?;
+                self.scope.push((var_id, sp));
+                let body_res = self.emit(body, sp + 1);
+                self.scope.pop();
+                body_res?;
+                self.code.push(Instr::Move {
+                    src: sp + 1,
+                    dst: sp,
+                });
+            }
+            Term::Select { rel, pred } => {
+                self.emit(rel, sp)?;
+                if self.selects.len() >= POOL_LIMIT {
+                    return Err(Bail("select pool cap"));
+                }
+                let sel = self.selects.len() as u16;
+                self.selects.push(SelectData {
+                    pred: Arc::new((**pred).clone()),
+                    scope: self.scope.clone().into_boxed_slice(),
+                });
+                self.code.push(Instr::Select {
+                    rel: sp,
+                    sel,
+                    dst: sp,
+                });
+            }
+            Term::Project { rel, fields } => {
+                self.emit(rel, sp)?;
+                let mut ids = Vec::with_capacity(fields.len());
+                for f in fields {
+                    ids.push(self.name_id(f)?);
+                }
+                let list = self.field_list_id(ids)?;
+                self.code.push(Instr::Project {
+                    rel: sp,
+                    list,
+                    dst: sp,
+                });
+            }
+            Term::The(rel) => {
+                self.emit(rel, sp)?;
+                self.code.push(Instr::The { src: sp, dst: sp });
+            }
+        }
+        Ok(())
+    }
+}

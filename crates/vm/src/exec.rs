@@ -1,0 +1,347 @@
+//! The register machine: a `while`-loop over the flat code.
+//!
+//! Frames (register file, iterator slots, load-cache slots) are pooled
+//! per thread and reused across executions; nested executions (a load
+//! may trigger a derived-attribute evaluation that runs another
+//! program) each take their own frame off the pool stack.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+use troll_data::{algebra, DataError, Env, Result, Value};
+
+use crate::program::{Instr, Program, NO_FIELD};
+
+/// Resolves an `Apply2` operand: the register itself, or — when
+/// `field` is a real name id — that field of the tuple in the register,
+/// projected in place without cloning. Errors match `Term::Field`'s.
+fn project<'r>(names: &[Box<str>], regs: &'r [Value], src: u16, field: u16) -> Result<&'r Value> {
+    if field == NO_FIELD {
+        return Ok(&regs[src as usize]);
+    }
+    let fname = &*names[field as usize];
+    match &regs[src as usize] {
+        Value::Tuple(fields) => match fields.iter().find(|(n, _)| n == fname) {
+            Some((_, fv)) => Ok(fv),
+            None => Err(DataError::NoSuchField {
+                field: fname.to_string(),
+                available: fields.iter().map(|(n, _)| n.clone()).collect(),
+            }),
+        },
+        other => Err(DataError::sort_mismatch(
+            format!(".{fname}"),
+            "tuple",
+            other.clone(),
+        )),
+    }
+}
+
+/// Reusable per-execution scratch.
+#[derive(Default)]
+struct Frame {
+    regs: Vec<Value>,
+    iters: Vec<std::vec::IntoIter<Value>>,
+    /// `LoadCached` slots: the owned result of the one environment
+    /// lookup a cached name pays per execution. Sound because the
+    /// environment is immutable for the duration of one execution;
+    /// misses error out immediately, so only hits cache.
+    cache: Vec<Option<Value>>,
+}
+
+thread_local! {
+    static POOL: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Bound on pooled frames per thread; deeper reentrancy allocates
+/// fresh frames that are simply dropped on completion.
+const POOL_DEPTH: usize = 8;
+
+/// The compile-time scope visible to an embedded tree-walk predicate
+/// (`Select`): bound variables resolve to their pinned registers,
+/// everything else to the outer environment. Innermost binding wins,
+/// like the tree walk's `Binding` chain.
+struct ScopeEnv<'a> {
+    scope: &'a [(u16, u16)],
+    names: &'a [Box<str>],
+    regs: &'a [Value],
+    outer: &'a dyn Env,
+}
+
+impl Env for ScopeEnv<'_> {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        for &(n, r) in self.scope.iter().rev() {
+            if &*self.names[n as usize] == name {
+                return Some(self.regs[r as usize].clone());
+            }
+        }
+        self.outer.lookup(name)
+    }
+}
+
+impl Program {
+    /// Runs the program against `env`, producing exactly the value or
+    /// error `Term::eval` would (see the crate-level equivalence
+    /// contract).
+    pub(crate) fn run(&self, env: &dyn Env) -> Result<Value> {
+        let mut frame = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+        frame.regs.clear();
+        frame.regs.resize(self.regs as usize, Value::Undefined);
+        if self.iters > 0 {
+            frame.iters.clear();
+            frame
+                .iters
+                .resize_with(self.iters as usize, || Vec::<Value>::new().into_iter());
+        }
+        if self.cache_slots > 0 {
+            frame.cache.clear();
+            frame.cache.resize(self.cache_slots as usize, None);
+        }
+        let result = self.run_in(env, &mut frame);
+        // drop held values before pooling so memory is not retained
+        frame.regs.clear();
+        frame.iters.clear();
+        frame.cache.clear();
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < POOL_DEPTH {
+                pool.push(frame);
+            }
+        });
+        result
+    }
+
+    fn run_in(&self, env: &dyn Env, frame: &mut Frame) -> Result<Value> {
+        let regs = &mut frame.regs;
+        let iters = &mut frame.iters;
+        let cache = &mut frame.cache;
+        let mut pc = 0usize;
+        while pc < self.code.len() {
+            match &self.code[pc] {
+                Instr::Const { src, dst } => {
+                    regs[*dst as usize] = self.consts[*src as usize].clone();
+                }
+                Instr::Load { name, dst } => {
+                    // single code site, outside loops: the lookup's
+                    // clone moves straight into the register
+                    let name = &*self.names[*name as usize];
+                    regs[*dst as usize] = env
+                        .lookup(name)
+                        .ok_or_else(|| DataError::UnboundVariable(name.to_string()))?;
+                }
+                Instr::LoadCached { name, slot, dst } => {
+                    let slot = &mut cache[*slot as usize];
+                    match slot {
+                        Some(v) => regs[*dst as usize] = v.clone(),
+                        None => {
+                            let name = &*self.names[*name as usize];
+                            let looked = env
+                                .lookup(name)
+                                .ok_or_else(|| DataError::UnboundVariable(name.to_string()))?;
+                            regs[*dst as usize] = looked.clone();
+                            *slot = Some(looked);
+                        }
+                    }
+                }
+                Instr::Copy { src, dst } => {
+                    regs[*dst as usize] = regs[*src as usize].clone();
+                }
+                Instr::Move { src, dst } => {
+                    regs[*dst as usize] = std::mem::take(&mut regs[*src as usize]);
+                }
+                Instr::Apply { op, base, n, dst } => {
+                    // operand registers are dead scratch above the
+                    // stack pointer, so the op may consume them
+                    let base = *base as usize;
+                    let v = op.apply_owned(&mut regs[base..base + *n as usize])?;
+                    regs[*dst as usize] = v;
+                }
+                Instr::Apply2 {
+                    op,
+                    a,
+                    a_field,
+                    b,
+                    b_field,
+                    dst,
+                } => {
+                    let v = {
+                        let va = project(&self.names, regs, *a, *a_field)?;
+                        let vb = project(&self.names, regs, *b, *b_field)?;
+                        op.apply2(va, vb)?
+                    };
+                    regs[*dst as usize] = v;
+                }
+                Instr::Field { src, name, dst } => {
+                    let v = std::mem::take(&mut regs[*src as usize]);
+                    let field = &*self.names[*name as usize];
+                    match v {
+                        Value::Tuple(fields) => {
+                            match fields.iter().position(|(n, _)| n == field) {
+                                Some(i) => {
+                                    let (_, fv) =
+                                        fields.into_iter().nth(i).expect("position is in range");
+                                    regs[*dst as usize] = fv;
+                                }
+                                None => {
+                                    // `available` is built on the error
+                                    // path only, like the tree walk
+                                    return Err(DataError::NoSuchField {
+                                        field: field.to_string(),
+                                        available: fields.iter().map(|(n, _)| n.clone()).collect(),
+                                    });
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(DataError::sort_mismatch(
+                                format!(".{field}"),
+                                "tuple",
+                                other,
+                            ))
+                        }
+                    }
+                }
+                Instr::FieldRef { src, name, dst } => {
+                    let field = &*self.names[*name as usize];
+                    let out = match &regs[*src as usize] {
+                        Value::Tuple(fields) => match fields.iter().find(|(n, _)| n == field) {
+                            Some((_, fv)) => fv.clone(),
+                            None => {
+                                return Err(DataError::NoSuchField {
+                                    field: field.to_string(),
+                                    available: fields.iter().map(|(n, _)| n.clone()).collect(),
+                                });
+                            }
+                        },
+                        other => {
+                            return Err(DataError::sort_mismatch(
+                                format!(".{field}"),
+                                "tuple",
+                                other.clone(),
+                            ))
+                        }
+                    };
+                    regs[*dst as usize] = out;
+                }
+                Instr::MkTuple { list, base, dst } => {
+                    let base = *base as usize;
+                    let pairs: Vec<(String, Value)> = self.field_lists[*list as usize]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, n)| {
+                            (
+                                self.names[*n as usize].to_string(),
+                                std::mem::take(&mut regs[base + i]),
+                            )
+                        })
+                        .collect();
+                    regs[*dst as usize] = Value::tuple_of(pairs);
+                }
+                Instr::MkSet { base, n, dst } => {
+                    let base = *base as usize;
+                    let mut out = BTreeSet::new();
+                    for i in 0..*n as usize {
+                        out.insert(std::mem::take(&mut regs[base + i]));
+                    }
+                    regs[*dst as usize] = Value::Set(out);
+                }
+                Instr::MkList { base, n, dst } => {
+                    let base = *base as usize;
+                    let out: Vec<Value> = (0..*n as usize)
+                        .map(|i| std::mem::take(&mut regs[base + i]))
+                        .collect();
+                    regs[*dst as usize] = Value::List(out);
+                }
+                Instr::Jump { to } => {
+                    pc = *to as usize;
+                    continue;
+                }
+                Instr::Branch { cond, otherwise } => {
+                    let v = &regs[*cond as usize];
+                    match v.as_bool() {
+                        Some(true) => {}
+                        Some(false) => {
+                            pc = *otherwise as usize;
+                            continue;
+                        }
+                        None => {
+                            return Err(DataError::sort_mismatch(
+                                "if-condition",
+                                "bool",
+                                std::mem::take(&mut regs[*cond as usize]),
+                            ))
+                        }
+                    }
+                }
+                Instr::IterInit { src, iter } => {
+                    let dom = std::mem::take(&mut regs[*src as usize]);
+                    let elems: Vec<Value> = match dom {
+                        Value::Set(s) => s.into_iter().collect(),
+                        Value::List(l) => l,
+                        other => {
+                            return Err(DataError::sort_mismatch(
+                                "quantifier domain",
+                                "set or list",
+                                other,
+                            ))
+                        }
+                    };
+                    iters[*iter as usize] = elems.into_iter();
+                }
+                Instr::IterNext { iter, var, end } => match iters[*iter as usize].next() {
+                    Some(v) => regs[*var as usize] = v,
+                    None => {
+                        pc = *end as usize;
+                        continue;
+                    }
+                },
+                Instr::QuantCheck {
+                    src,
+                    forall,
+                    result,
+                    head,
+                    end,
+                } => {
+                    let b = std::mem::take(&mut regs[*src as usize]);
+                    match b.as_bool() {
+                        Some(decided) if decided != *forall => {
+                            regs[*result as usize] = Value::Bool(decided);
+                            pc = *end as usize;
+                            continue;
+                        }
+                        Some(_) => {
+                            pc = *head as usize;
+                            continue;
+                        }
+                        None => return Err(DataError::sort_mismatch("quantifier body", "bool", b)),
+                    }
+                }
+                Instr::Select { rel, sel, dst } => {
+                    let r = std::mem::take(&mut regs[*rel as usize]);
+                    let data = &self.selects[*sel as usize];
+                    let bridge = ScopeEnv {
+                        scope: &data.scope,
+                        names: &self.names,
+                        regs: &regs[..],
+                        outer: env,
+                    };
+                    let out = algebra::select(&r, &data.pred, &bridge)?;
+                    regs[*dst as usize] = out;
+                }
+                Instr::Project { rel, list, dst } => {
+                    let r = std::mem::take(&mut regs[*rel as usize]);
+                    let fields: Vec<&str> = self.field_lists[*list as usize]
+                        .iter()
+                        .map(|n| &*self.names[*n as usize])
+                        .collect();
+                    regs[*dst as usize] = algebra::project(&r, &fields)?;
+                }
+                Instr::The { src, dst } => {
+                    let r = std::mem::take(&mut regs[*src as usize]);
+                    regs[*dst as usize] = algebra::the_element(&r)?;
+                }
+            }
+            pc += 1;
+        }
+        Ok(std::mem::take(&mut regs[0]))
+    }
+}

@@ -1,0 +1,514 @@
+//! # troll-vm — flat register bytecode for TROLL data terms
+//!
+//! The animation semantics evaluates valuation rules, derivation rules,
+//! permission/constraint state predicates and event arguments as
+//! [`troll_data::Term`] trees. A tree walk re-dispatches on tags and
+//! re-resolves variable names on every evaluation; for the runtime hot
+//! path that constant factor dominates (ROADMAP "Compile the spec").
+//!
+//! This crate lowers a `Term` **once** into a flat register
+//! [`Program`](struct@Compiled): a compact op sequence with an interned
+//! constant pool, an interned name pool (variables resolve through a
+//! per-execution slot cache instead of repeated environment walks), and
+//! structured control flow for conditionals and bounded quantifiers. The
+//! executor is a simple `while`-loop over the instruction array.
+//!
+//! ## Equivalence contract
+//!
+//! Compiled execution follows the *exact* evaluation order of
+//! [`Term::eval`]: operation arguments left to right, only the taken
+//! conditional branch, quantifier domains before bodies, strict
+//! (non-short-circuit) `and`/`or`, and the same error construction sites
+//! with the same context strings. A term therefore yields **identical
+//! values and identical [`DataError`]s** through either path — the
+//! property the differential tests in `tests/differential.rs` and the
+//! runtime's `treewalk` oracle feature check.
+//!
+//! ## Fallback rule
+//!
+//! Lowering never fails evaluation. The only terms the compiler refuses
+//! are those exceeding its static resource caps (register file, pools);
+//! these keep their tree and evaluate exactly as before, counted by the
+//! `vm.fallback` counter with a one-shot stderr note naming the first
+//! such term (mirroring `temporal.scan_fallback`). Successful lowerings
+//! count as `vm.programs_compiled`; each bytecode execution counts as
+//! `vm.exec`.
+//!
+//! ## Oracle modes
+//!
+//! * the `treewalk` cargo feature disables the compiler crate-wide, so
+//!   every [`Compiled`] evaluates through `Term::eval` — the same role
+//!   `btree-state` plays for `StateMap`;
+//! * [`set_force_treewalk`] disables it at run time (checked at
+//!   *compile* time of each term, so set it before building programs) —
+//!   used by in-binary differential tests that need both pipelines in
+//!   one process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compile;
+mod exec;
+mod program;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use troll_data::{Env, Result, Term, Value};
+use troll_obs::Counter;
+
+pub(crate) use program::Program;
+
+/// Run-time switch disabling the compiler (see [`set_force_treewalk`]).
+static FORCE_TREEWALK: AtomicBool = AtomicBool::new(false);
+
+/// Forces every *subsequently compiled* term onto the tree-walk
+/// evaluator, as if the `treewalk` feature were enabled. The flag is
+/// consulted when a [`Compiled`] is built, not on each evaluation, so
+/// set it **before** constructing the object base under test.
+///
+/// Intended for in-binary differential tests; production code selects
+/// the oracle with the `treewalk` cargo feature instead.
+pub fn set_force_treewalk(on: bool) {
+    FORCE_TREEWALK.store(on, Ordering::SeqCst);
+}
+
+/// Whether [`set_force_treewalk`] is currently on.
+pub fn force_treewalk() -> bool {
+    FORCE_TREEWALK.load(Ordering::SeqCst)
+}
+
+/// Whether new [`Compiled`] terms will use the tree walk (feature or
+/// run-time switch).
+fn treewalk_selected() -> bool {
+    cfg!(feature = "treewalk") || force_treewalk()
+}
+
+fn compiled_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| troll_obs::global().counter("vm.programs_compiled"))
+}
+
+fn exec_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| troll_obs::global().counter("vm.exec"))
+}
+
+fn fallback_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| troll_obs::global().counter("vm.fallback"))
+}
+
+/// Counts a compile-time fallback and warns once per distinct term,
+/// naming it and why — so users learn which rules still tree-walk.
+/// Oracle modes (feature / [`set_force_treewalk`]) are deliberate and
+/// stay silent and uncounted.
+fn note_fallback(term: &Term, why: &str) {
+    fallback_counter().inc();
+    static SEEN: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    let seen = SEEN.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut seen = match seen.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let rendered = term.to_string();
+    if seen.insert(rendered.clone()) {
+        eprintln!(
+            "note: term `{rendered}` is not bytecode-lowerable ({why}); \
+             it evaluates by tree walk"
+        );
+    }
+}
+
+/// A term lowered (when possible) to register bytecode, together with
+/// its precomputed free-variable set.
+///
+/// `Compiled` is the drop-in unit the runtime stores wherever it used to
+/// store a bare [`Term`] on a hot path: build once, [`eval`](Compiled::eval)
+/// many times. The original term is kept for display, for the fallback
+/// path, and as the self-describing source of truth.
+///
+/// # Example
+///
+/// ```
+/// use troll_data::{MapEnv, Op, Term, Value};
+/// use troll_vm::Compiled;
+///
+/// let term = Term::apply(Op::Add, vec![Term::var("x"), Term::constant(2i64)]);
+/// let compiled = Compiled::new(term);
+/// let mut env = MapEnv::new();
+/// env.bind("x", Value::from(40));
+/// assert_eq!(compiled.eval(&env)?, Value::from(42));
+/// assert_eq!(compiled.free_vars(), ["x".to_string()]);
+/// # Ok::<(), troll_data::DataError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    term: Term,
+    prog: Option<Program>,
+    free: Vec<String>,
+}
+
+impl Compiled {
+    /// Lowers `term` to bytecode (or records a fallback; see the crate
+    /// docs) and precomputes its free variables.
+    pub fn new(term: Term) -> Compiled {
+        let free = term.free_vars();
+        let prog = if treewalk_selected() {
+            None
+        } else {
+            match compile::compile(&term) {
+                Ok(p) => {
+                    compiled_counter().inc();
+                    Some(p)
+                }
+                Err(bail) => {
+                    note_fallback(&term, bail.reason());
+                    None
+                }
+            }
+        };
+        Compiled { term, prog, free }
+    }
+
+    /// Evaluates the term: bytecode when lowered, tree walk otherwise.
+    /// Both paths yield identical values and errors (crate docs).
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Term::eval`] on the same term and environment.
+    pub fn eval(&self, env: &dyn Env) -> Result<Value> {
+        match &self.prog {
+            Some(p) => {
+                exec_counter().inc();
+                p.run(env)
+            }
+            None => self.term.eval(env),
+        }
+    }
+
+    /// The free variables of the term, sorted and deduplicated —
+    /// computed once at build time (callers used to re-derive this per
+    /// evaluation via `Term::free_vars`).
+    pub fn free_vars(&self) -> &[String] {
+        &self.free
+    }
+
+    /// The source term.
+    pub fn term(&self) -> &Term {
+        &self.term
+    }
+
+    /// Whether a bytecode program backs this term (false in oracle
+    /// modes and for compile-time fallbacks).
+    pub fn is_compiled(&self) -> bool {
+        self.prog.is_some()
+    }
+}
+
+impl From<Term> for Compiled {
+    fn from(term: Term) -> Compiled {
+        Compiled::new(term)
+    }
+}
+
+impl fmt::Display for Compiled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.term.fmt(f)
+    }
+}
+
+impl PartialEq for Compiled {
+    fn eq(&self, other: &Self) -> bool {
+        self.term == other.term
+    }
+}
+
+impl Eq for Compiled {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troll_data::{DataError, MapEnv, Op, Quantifier};
+
+    fn env() -> MapEnv {
+        MapEnv::from_pairs(vec![
+            ("x", Value::from(10)),
+            ("y", Value::from(4)),
+            (
+                "emps",
+                Value::set_of(vec![
+                    Value::tuple_of(vec![("name", Value::from("a")), ("sal", Value::from(100))]),
+                    Value::tuple_of(vec![("name", Value::from("b")), ("sal", Value::from(200))]),
+                ]),
+            ),
+        ])
+    }
+
+    /// Asserts tree walk and bytecode agree on `t` over `env` — the
+    /// equivalence contract, on both the value and the error path.
+    fn assert_agree(t: Term, env: &MapEnv) {
+        let compiled = Compiled::new(t.clone());
+        if !cfg!(feature = "treewalk") {
+            assert!(compiled.is_compiled(), "expected lowering for {t}");
+        }
+        assert_eq!(compiled.eval(env), t.eval(env), "divergence on {t}");
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        assert_agree(
+            Term::apply(Op::Add, vec![Term::var("x"), Term::var("y")]),
+            &env(),
+        );
+        assert_agree(
+            Term::apply(Op::Gt, vec![Term::var("x"), Term::var("y")]),
+            &env(),
+        );
+        assert_agree(
+            Term::apply(Op::Div, vec![Term::var("x"), Term::constant(0i64)]),
+            &env(),
+        );
+    }
+
+    #[test]
+    fn strict_boolean_ops_match_tree_walk() {
+        // Term::eval's And/Or are strict: the second argument errors
+        // even when the first already decides. The VM must not
+        // short-circuit where the tree walk does not.
+        let t = Term::apply(Op::And, vec![Term::constant(false), Term::var("missing")]);
+        let compiled = Compiled::new(t.clone());
+        assert_eq!(
+            compiled.eval(&env()).unwrap_err(),
+            DataError::UnboundVariable("missing".into())
+        );
+    }
+
+    #[test]
+    fn unbound_variable_error_matches() {
+        assert_agree(Term::var("zzz"), &env());
+    }
+
+    #[test]
+    fn field_projection_and_errors() {
+        let tup = Term::constant(Value::tuple_of(vec![("a", Value::from(1))]));
+        assert_agree(Term::field(tup.clone(), "a"), &env());
+        assert_agree(Term::field(tup, "b"), &env());
+        assert_agree(Term::field(Term::var("x"), "b"), &env());
+    }
+
+    #[test]
+    fn constructors() {
+        assert_agree(
+            Term::MkTuple(vec![
+                ("b".into(), Term::var("x")),
+                ("a".into(), Term::var("y")),
+                ("b".into(), Term::constant(9i64)),
+            ]),
+            &env(),
+        );
+        assert_agree(
+            Term::MkSet(vec![Term::var("x"), Term::var("y"), Term::var("x")]),
+            &env(),
+        );
+        assert_agree(Term::MkList(vec![Term::var("y"), Term::var("x")]), &env());
+    }
+
+    #[test]
+    fn conditional_only_evaluates_taken_branch() {
+        assert_agree(
+            Term::ite(Term::constant(true), Term::var("x"), Term::var("nope")),
+            &env(),
+        );
+        assert_agree(
+            Term::ite(Term::constant(false), Term::var("nope"), Term::var("y")),
+            &env(),
+        );
+        assert_agree(
+            Term::ite(Term::var("x"), Term::var("x"), Term::var("y")),
+            &env(),
+        );
+    }
+
+    #[test]
+    fn quantifiers() {
+        let all = Term::quant(
+            Quantifier::Forall,
+            "e",
+            Term::var("emps"),
+            Term::apply(
+                Op::Ge,
+                vec![Term::field(Term::var("e"), "sal"), Term::constant(100i64)],
+            ),
+        );
+        assert_agree(all, &env());
+        let some = Term::quant(
+            Quantifier::Exists,
+            "e",
+            Term::var("emps"),
+            Term::apply(
+                Op::Gt,
+                vec![Term::field(Term::var("e"), "sal"), Term::constant(150i64)],
+            ),
+        );
+        assert_agree(some, &env());
+        // empty domains, non-collection domain, non-bool body
+        assert_agree(
+            Term::quant(
+                Quantifier::Forall,
+                "e",
+                Term::constant(Value::empty_set()),
+                Term::constant(false),
+            ),
+            &env(),
+        );
+        assert_agree(
+            Term::quant(
+                Quantifier::Exists,
+                "e",
+                Term::var("x"),
+                Term::constant(true),
+            ),
+            &env(),
+        );
+        assert_agree(
+            Term::quant(Quantifier::Forall, "e", Term::var("emps"), Term::var("e")),
+            &env(),
+        );
+    }
+
+    #[test]
+    fn quantifier_shadowing_and_nesting() {
+        // x bound by the quantifier shadows env's x
+        assert_agree(
+            Term::quant(
+                Quantifier::Forall,
+                "x",
+                Term::constant(Value::set_of(vec![Value::from(1)])),
+                Term::eq(Term::var("x"), Term::constant(1i64)),
+            ),
+            &env(),
+        );
+        // nested quantifiers over the same domain
+        let nested = Term::quant(
+            Quantifier::Forall,
+            "a",
+            Term::var("emps"),
+            Term::quant(
+                Quantifier::Exists,
+                "b",
+                Term::var("emps"),
+                Term::apply(
+                    Op::Ge,
+                    vec![
+                        Term::field(Term::var("b"), "sal"),
+                        Term::field(Term::var("a"), "sal"),
+                    ],
+                ),
+            ),
+        );
+        assert_agree(nested, &env());
+    }
+
+    #[test]
+    fn let_bindings() {
+        assert_agree(
+            Term::let_in(
+                "z",
+                Term::apply(Op::Mul, vec![Term::var("x"), Term::constant(2i64)]),
+                Term::apply(Op::Add, vec![Term::var("z"), Term::var("y")]),
+            ),
+            &env(),
+        );
+        // let shadows an outer quantifier variable
+        assert_agree(
+            Term::quant(
+                Quantifier::Exists,
+                "v",
+                Term::var("emps"),
+                Term::let_in(
+                    "v",
+                    Term::constant(7i64),
+                    Term::eq(Term::var("v"), Term::constant(7i64)),
+                ),
+            ),
+            &env(),
+        );
+    }
+
+    #[test]
+    fn query_algebra() {
+        let q = Term::the(Term::project(
+            Term::select(
+                Term::var("emps"),
+                Term::eq(Term::var("name"), Term::constant(Value::from("a"))),
+            ),
+            vec!["sal"],
+        ));
+        assert_agree(q, &env());
+        // selection predicate sees scope variables (let-bound target)
+        let q2 = Term::let_in(
+            "target",
+            Term::constant(Value::from("b")),
+            Term::the(Term::project(
+                Term::select(
+                    Term::var("emps"),
+                    Term::eq(Term::var("name"), Term::var("target")),
+                ),
+                vec!["sal"],
+            )),
+        );
+        assert_agree(q2, &env());
+        // tuple fields shadow scope variables inside the predicate
+        let q3 = Term::let_in(
+            "name",
+            Term::constant(Value::from("b")),
+            Term::select(
+                Term::var("emps"),
+                Term::eq(Term::var("name"), Term::constant(Value::from("a"))),
+            ),
+        );
+        assert_agree(q3, &env());
+        // the() of a non-singleton errors identically
+        assert_agree(Term::the(Term::var("emps")), &env());
+        assert_agree(Term::project(Term::var("emps"), vec!["missing"]), &env());
+    }
+
+    #[test]
+    fn oversized_terms_fall_back_to_tree_walk() {
+        let before = fallback_counter().get();
+        let wide = Term::MkList((0..300).map(|i| Term::constant(i as i64)).collect());
+        let compiled = Compiled::new(wide.clone());
+        assert!(!compiled.is_compiled());
+        if !cfg!(feature = "treewalk") && !force_treewalk() {
+            assert!(fallback_counter().get() > before);
+        }
+        assert_eq!(compiled.eval(&env()), wide.eval(&env()));
+    }
+
+    #[test]
+    fn free_vars_precomputed() {
+        let t = Term::quant(
+            Quantifier::Forall,
+            "e",
+            Term::var("emps"),
+            Term::eq(Term::var("x"), Term::var("e")),
+        );
+        let compiled = Compiled::new(t);
+        assert_eq!(compiled.free_vars(), ["emps".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn counters_advance() {
+        let execs = exec_counter().get();
+        let compiles = compiled_counter().get();
+        let c = Compiled::new(Term::apply(Op::Add, vec![Term::var("x"), Term::var("y")]));
+        c.eval(&env()).unwrap();
+        if !cfg!(feature = "treewalk") && !force_treewalk() {
+            assert!(compiled_counter().get() > compiles);
+            assert!(exec_counter().get() > execs);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The flat program representation: instruction set, constant pool,
+//! name pool, and side tables.
+//!
+//! Registers are `u16` indices into a per-execution register file whose
+//! size is fixed at compile time by stack-discipline allocation: the
+//! compiler emits every subterm so that its result lands at the entry
+//! stack pointer and scratch space lives strictly above it. Control
+//! flow is resolved to absolute instruction indices (`u32`).
+//!
+//! Instructions are kept small (fixed `u16`/`u32` operands only) so the
+//! dispatch loop stays cache-friendly; variable-length payloads — tuple
+//! and projection field lists, selection predicates with their captured
+//! scope — live in side tables on the [`Program`] and are referenced by
+//! `u16` id.
+
+use std::sync::Arc;
+
+use troll_data::{Op, Term};
+
+/// Sentinel for "no projection" in `Apply2` operands. Never a valid
+/// name-pool id: the pool caps at `u16::MAX` *entries*, so the largest
+/// allocated id is `u16::MAX - 1`.
+pub(crate) const NO_FIELD: u16 = u16::MAX;
+
+/// One bytecode instruction. `dst`/`src`/`base` are register indices;
+/// `name` indexes the program's name pool; `list`/`sel` index side
+/// tables; `to`/`otherwise`/`head`/`end` are absolute jump targets.
+#[derive(Debug, Clone)]
+pub(crate) enum Instr {
+    /// `regs[dst] = consts[src].clone()`.
+    Const { src: u16, dst: u16 },
+    /// `regs[dst] = env[names[name]]` — a variable the program reads
+    /// from this code site only (and outside any loop), so the lookup
+    /// result moves straight into the register, exactly one lookup and
+    /// clone like `Term::Var`. Unbound names error identically.
+    Load { name: u16, dst: u16 },
+    /// Like `Load`, but through per-execution value slot `slot`: the
+    /// environment is consulted once and every further read clones from
+    /// the slot — for variables read from several sites or inside a
+    /// quantifier body (where the tree walk pays a full environment
+    /// lookup per iteration). Sound because the environment is
+    /// immutable for the duration of one execution.
+    LoadCached { name: u16, slot: u16, dst: u16 },
+    /// `regs[dst] = regs[src].clone()` — reads of in-scope quantifier
+    /// and `let` variables (the tree walk's `Binding` lookup clone).
+    Copy { src: u16, dst: u16 },
+    /// `regs[dst] = take(regs[src])` — moves a result out of a dead
+    /// scratch register (e.g. a `let` body past its binding).
+    Move { src: u16, dst: u16 },
+    /// `regs[dst] = op.apply(&regs[base..base+n])` — strict, including
+    /// `and`/`or`, exactly like the tree walk. Collection-building ops
+    /// consume their operand registers (`Op::apply_owned`).
+    Apply { op: Op, base: u16, n: u16, dst: u16 },
+    /// Binary non-consuming apply with direct operand addressing: each
+    /// operand is read by reference wherever it lives — pinned binding
+    /// registers and hoisted loop-invariant constants included — and an
+    /// operand with `*_field != NO_FIELD` projects that tuple field *in
+    /// place*, so `e.salary >= Min` evaluates with zero clones where
+    /// the tree walk clones the tuple out of the binding and the field
+    /// value out of the tuple.
+    Apply2 {
+        op: Op,
+        a: u16,
+        a_field: u16,
+        b: u16,
+        b_field: u16,
+        dst: u16,
+    },
+    /// Tuple field projection of `regs[src]`, with `Term::Field`'s
+    /// errors (`NoSuchField` / `.field` sort mismatch). Consumes the
+    /// source register and moves the field value out.
+    Field { src: u16, name: u16, dst: u16 },
+    /// `Field` against a pinned binding register: reads `regs[src]` in
+    /// place (the register survives for the next read) and clones only
+    /// the field value — cheaper than the tree walk, which clones the
+    /// whole tuple out of the binding before projecting.
+    FieldRef { src: u16, name: u16, dst: u16 },
+    /// `regs[dst] = Value::tuple_of(field_lists[list][i], regs[base+i])`.
+    MkTuple { list: u16, base: u16, dst: u16 },
+    /// `regs[dst] = Value::Set(regs[base..base+n])`.
+    MkSet { base: u16, n: u16, dst: u16 },
+    /// `regs[dst] = Value::List(regs[base..base+n])`.
+    MkList { base: u16, n: u16, dst: u16 },
+    /// Unconditional jump.
+    Jump { to: u32 },
+    /// Falls through when `regs[cond]` is true, jumps to `otherwise`
+    /// when false, errors ("if-condition" sort mismatch) on non-bools.
+    Branch { cond: u16, otherwise: u32 },
+    /// Turns `regs[src]` (a set or list; "quantifier domain" mismatch
+    /// otherwise) into iterator slot `iter`.
+    IterInit { src: u16, iter: u16 },
+    /// Writes the iterator's next element to `regs[var]`, or jumps to
+    /// `end` when the domain is exhausted.
+    IterNext { iter: u16, var: u16, end: u32 },
+    /// Inspects the quantifier body result in `regs[src]`: a deciding
+    /// value writes it to `regs[result]` and jumps to `end`, otherwise
+    /// loops to `head`; non-bools error ("quantifier body").
+    QuantCheck {
+        src: u16,
+        forall: bool,
+        result: u16,
+        head: u32,
+        end: u32,
+    },
+    /// Query-algebra selection over `regs[rel]` via `selects[sel]`.
+    Select { rel: u16, sel: u16, dst: u16 },
+    /// Query-algebra projection of `regs[rel]` onto `field_lists[list]`.
+    Project { rel: u16, list: u16, dst: u16 },
+    /// Unique-element extraction from `regs[src]`.
+    The { src: u16, dst: u16 },
+}
+
+/// Side-table payload of a `Select`: the predicate runs as a tree over
+/// a bridge environment exposing the compile-time `scope` (name-pool
+/// id, register) pairs — dynamic tuple fields must shadow them, which
+/// slot-resolved code cannot express.
+#[derive(Debug, Clone)]
+pub(crate) struct SelectData {
+    pub(crate) pred: Arc<Term>,
+    pub(crate) scope: Box<[(u16, u16)]>,
+}
+
+/// A compiled program: flat code, interned pools, side tables, and the
+/// register / iterator / cache-slot budget its frame needs. Shared
+/// freely across threads (the runtime stores programs in an `Arc`ed
+/// compiled model).
+#[derive(Debug, Clone)]
+pub(crate) struct Program {
+    pub(crate) code: Box<[Instr]>,
+    pub(crate) consts: Box<[troll_data::Value]>,
+    pub(crate) names: Box<[Box<str>]>,
+    pub(crate) field_lists: Box<[Box<[u16]>]>,
+    pub(crate) selects: Box<[SelectData]>,
+    pub(crate) regs: u16,
+    pub(crate) iters: u16,
+    pub(crate) cache_slots: u16,
+}
