@@ -8,7 +8,12 @@
 //! troll graph <file.troll>        emit a Graphviz DOT system diagram
 //! troll animate [--stats] [--trace <out.jsonl>] [--shards N]
 //!               [--durable <dir>] [--fsync <policy>] [--snapshot-every N]
+//!               [--profile <out>] [--metrics <out>]
+//!               [--stats-stream <out.jsonl>] [--stats-every N]
 //!               <file> <script>      run an animation script
+//! troll profile [animate flags] <file> <script>
+//!                                 animate with the phase profiler on, then
+//!                                 print the per-phase self-time table
 //! troll recover [--stats] [--dump] <dir>
 //!                                 rebuild the world from a durable directory
 //! ```
@@ -35,6 +40,7 @@ use std::sync::Arc;
 use troll::runtime::{ObjectBase, TraceWriter};
 use troll::store::{DurableSink, FsyncPolicy, StoreOptions};
 use troll::System;
+use troll_obs::{Fanout, Observer, StatsSnapshotSink};
 
 const GENERAL_USAGE: &str = "usage: troll <command> [args]
 commands:
@@ -43,8 +49,11 @@ commands:
   info <file.troll>                            summarize classes/interfaces/modules
   graph <file.troll>                           emit a Graphviz DOT system diagram
   animate [--stats] [--trace <out>] [--shards N] [--durable <dir>]
-          [--fsync <policy>] [--snapshot-every N] <file> <script>
-                                               run an animation script
+          [--fsync <policy>] [--snapshot-every N] [--profile <out>]
+          [--metrics <out>] [--stats-stream <out>] [--stats-every N]
+          <file> <script>                      run an animation script
+  profile [animate flags] <file> <script>      animate with phase profiling on,
+                                               then print the self-time table
   recover [--stats] [--dump] <dir>             rebuild the world from a durable directory";
 
 /// Prints the usage message for `command` (or the general one) and
@@ -55,7 +64,7 @@ fn usage(command: Option<&str>) -> ExitCode {
         Some("fmt") => "usage: troll fmt <file.troll>\nprint the normalized (pretty-printed) source to stdout",
         Some("info") => "usage: troll info <file.troll>\nsummarize classes, interfaces and modules of a specification",
         Some("graph") => "usage: troll graph <file.troll>\nemit a Graphviz DOT diagram of the system structure",
-        Some("animate") => "usage: troll animate [--stats] [--trace <out.jsonl>] [--shards N] [--durable <dir>] [--fsync <policy>] [--snapshot-every N] <file.troll> <script>\nrun an animation script against the specification
+        Some("animate") | Some("profile") => "usage: troll animate [--stats] [--trace <out.jsonl>] [--shards N] [--durable <dir>] [--fsync <policy>] [--snapshot-every N] [--profile <out>] [--metrics <out>] [--stats-stream <out.jsonl>] [--stats-every N] <file.troll> <script>\n       troll profile [same flags] <file.troll> <script>\nrun an animation script against the specification
   --stats           print runtime metrics (steps, permissions, monitor cache, latency) after the run
   --trace <file>    stream one JSON object per observability event to <file>
   --shards <N>      execute consecutive birth/exec lines as parallel batches over N shards
@@ -63,7 +72,12 @@ fn usage(command: Option<&str>) -> ExitCode {
   --durable <dir>   log every committed step to <dir> (WAL + snapshots); an existing
                     directory is crash-recovered first and the run continues its history
   --fsync <policy>  every-commit | every-<N> | on-close (with --durable; default every-commit)
-  --snapshot-every <N>  write a world snapshot every N steps (with --durable; default 256)",
+  --snapshot-every <N>  write a world snapshot every N steps (with --durable; default 256)
+  --profile <file>  enable the phase profiler and write its self-time table to <file>
+                    (`troll profile` enables it and prints the table to stdout)
+  --metrics <file>  write all metrics in Prometheus text format to <file> after the run
+  --stats-stream <file>  append a JSON metrics snapshot to <file> every N committed steps
+  --stats-every <N>      snapshot cadence for --stats-stream (default 256)",
         Some("recover") => "usage: troll recover [--stats] [--dump] <dir>\nrebuild the object base from a durable directory (latest valid snapshot + WAL tail)
 and print a summary line; torn or corrupt tail frames are skipped, not fatal
   --stats           print runtime metrics of the recovered world (includes store.* counters)
@@ -99,6 +113,13 @@ fn main() -> ExitCode {
         "animate" => match AnimateOpts::parse(&args[1..]) {
             Some(opts) => cmd_animate(&opts),
             None => return usage(Some("animate")),
+        },
+        "profile" => match AnimateOpts::parse(&args[1..]) {
+            Some(mut opts) => {
+                opts.profile_stdout = true;
+                cmd_animate(&opts)
+            }
+            None => return usage(Some("profile")),
         },
         "recover" => match RecoverOpts::parse(&args[1..]) {
             Some(opts) => cmd_recover(&opts),
@@ -219,7 +240,7 @@ fn cmd_info(file: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Parsed `troll animate` invocation.
+/// Parsed `troll animate` (or `troll profile`) invocation.
 struct AnimateOpts {
     file: String,
     script: String,
@@ -229,12 +250,22 @@ struct AnimateOpts {
     durable: Option<String>,
     fsync: FsyncPolicy,
     snapshot_every: u64,
+    /// `--profile <file>`: enable the phase profiler, write the table here.
+    profile: Option<String>,
+    /// `troll profile` mode: enable the profiler, table goes to stdout.
+    profile_stdout: bool,
+    /// `--metrics <file>`: Prometheus text dump after the run.
+    metrics: Option<String>,
+    /// `--stats-stream <file>`: periodic JSON metrics snapshots.
+    stats_stream: Option<String>,
+    stats_every: u64,
 }
 
 impl AnimateOpts {
     /// Flags may appear anywhere among the two positionals; returns
     /// `None` on any usage error (unknown flag, missing flag value,
-    /// wrong positional count, durability flag without `--durable`).
+    /// wrong positional count, durability flag without `--durable`,
+    /// `--stats-every` without `--stats-stream`).
     fn parse(args: &[String]) -> Option<Self> {
         let mut stats = false;
         let mut trace = None;
@@ -242,6 +273,10 @@ impl AnimateOpts {
         let mut durable = None;
         let mut fsync = None;
         let mut snapshot_every = None;
+        let mut profile = None;
+        let mut metrics = None;
+        let mut stats_stream = None;
+        let mut stats_every = None;
         let mut positional = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -252,12 +287,21 @@ impl AnimateOpts {
                 "--durable" => durable = Some(it.next()?.clone()),
                 "--fsync" => fsync = Some(it.next()?.parse::<FsyncPolicy>().ok()?),
                 "--snapshot-every" => snapshot_every = Some(it.next()?.parse::<u64>().ok()?),
+                "--profile" => profile = Some(it.next()?.clone()),
+                "--metrics" => metrics = Some(it.next()?.clone()),
+                "--stats-stream" => stats_stream = Some(it.next()?.clone()),
+                "--stats-every" => {
+                    stats_every = Some(it.next()?.parse::<u64>().ok().filter(|&n| n >= 1)?)
+                }
                 s if s.starts_with('-') => return None,
                 _ => positional.push(a.clone()),
             }
         }
         if durable.is_none() && (fsync.is_some() || snapshot_every.is_some()) {
             return None; // durability knobs without a durable directory
+        }
+        if stats_stream.is_none() && stats_every.is_some() {
+            return None; // cadence without a stream to write to
         }
         let [file, script] = positional.as_slice() else {
             return None;
@@ -271,15 +315,49 @@ impl AnimateOpts {
             durable,
             fsync: fsync.unwrap_or(FsyncPolicy::EveryCommit),
             snapshot_every: snapshot_every.unwrap_or(256),
+            profile,
+            profile_stdout: false,
+            metrics,
+            stats_stream,
+            stats_every: stats_every.unwrap_or(256),
         })
+    }
+
+    /// Whether the phase profiler should be switched on for this run.
+    fn profiling(&self) -> bool {
+        self.profile_stdout || self.profile.is_some()
     }
 }
 
 fn cmd_animate(opts: &AnimateOpts) -> Result<(), String> {
+    // The trace writer is created — and registered as the process-wide
+    // warning observer — *before* the model is compiled, so build-time
+    // fallback notes (`vm.fallback`) land in the trace as structured
+    // events instead of on stderr.
+    let writer = match &opts.trace {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let writer = Arc::new(TraceWriter::new(std::io::BufWriter::new(file)));
+            troll_obs::set_warning_observer(writer.clone());
+            Some((path.clone(), writer))
+        }
+        None => None,
+    };
+    let result = animate_world(opts, &writer);
+    troll_obs::clear_warning_observer();
+    result
+}
+
+/// The body of `cmd_animate`, split out so the warning observer is
+/// always cleared on the way out regardless of which step failed.
+fn animate_world(
+    opts: &AnimateOpts,
+    writer: &Option<(String, Arc<TraceWriter<std::io::BufWriter<std::fs::File>>>)>,
+) -> Result<(), String> {
     let system = System::load_file(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
     // A durable run opens (and, on an existing directory, crash-recovers)
     // the world from the store; stdout stays identical to a non-durable
-    // run — resume details go to stderr.
+    // run — resume details go to stderr (and the trace, when attached).
     let mut durable = None;
     let mut ob = match &opts.durable {
         Some(dir) => {
@@ -293,6 +371,9 @@ fn cmd_animate(opts: &AnimateOpts) -> Result<(), String> {
             let (mut ob, store, info) =
                 troll::store::open_world(std::path::Path::new(dir), &source, &store_opts)
                     .map_err(|e| format!("{dir}: {e}"))?;
+            if let Some((_, w)) = writer {
+                w.on_event(&info.to_obs_event());
+            }
             if info.snapshot_seq.is_some() || info.replayed > 0 {
                 eprintln!(
                     "{dir}: resumed at step {} (snapshot {}, {} replayed, {} tail byte(s) dropped)",
@@ -310,15 +391,33 @@ fn cmd_animate(opts: &AnimateOpts) -> Result<(), String> {
         }
         None => system.object_base().map_err(|e| e.to_string())?,
     };
-    let writer = match &opts.trace {
+    let stats_sink = match &opts.stats_stream {
         Some(path) => {
             let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-            let writer = Arc::new(TraceWriter::new(std::io::BufWriter::new(file)));
-            ob.set_observer(writer.clone());
-            Some((path.clone(), writer))
+            let sink = Arc::new(StatsSnapshotSink::new(
+                ob.metrics().clone(),
+                opts.stats_every,
+                std::io::BufWriter::new(file),
+            ));
+            Some((path.clone(), sink))
         }
         None => None,
     };
+    let mut observers: Vec<Arc<dyn Observer>> = Vec::new();
+    if let Some((_, w)) = writer {
+        observers.push(w.clone());
+    }
+    if let Some((_, s)) = &stats_sink {
+        observers.push(s.clone());
+    }
+    match observers.len() {
+        0 => {}
+        1 => ob.set_observer(observers.remove(0)),
+        _ => ob.set_observer(Arc::new(Fanout::new(observers))),
+    }
+    if opts.profiling() {
+        ob.set_profiling(true);
+    }
     let script_text =
         std::fs::read_to_string(&opts.script).map_err(|e| format!("{}: {e}", opts.script))?;
     let outcomes = if opts.shards > 1 {
@@ -343,12 +442,36 @@ fn cmd_animate(opts: &AnimateOpts) -> Result<(), String> {
             ));
         }
     }
+    if let Some((path, sink)) = &stats_sink {
+        sink.flush();
+        if sink.write_errors() > 0 {
+            return Err(format!(
+                "{path}: {} stats snapshot(s) failed to write",
+                sink.write_errors()
+            ));
+        }
+    }
     if let Some((dir, shared)) = durable {
         ob.take_step_sink();
         let mut store = shared
             .lock()
             .map_err(|_| format!("{dir}: store lock poisoned"))?;
         store.close(&ob).map_err(|e| format!("{dir}: {e}"))?;
+    }
+    if opts.profiling() {
+        let table = troll_obs::phase_table(&ob.metrics().snapshot());
+        if let Some(path) = &opts.profile {
+            std::fs::write(path, &table).map_err(|e| format!("{path}: {e}"))?;
+        }
+        if opts.profile_stdout {
+            println!("-- profile --");
+            print!("{table}");
+        }
+    }
+    if let Some(path) = &opts.metrics {
+        let mut text = ob.metrics().render_prometheus("troll");
+        text.push_str(&troll_obs::global().render_prometheus("troll_global"));
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
     }
     if opts.stats {
         print_stats(&ob);

@@ -23,8 +23,19 @@
 //!   (power-of-two nanosecond buckets, p50/p90/p99 summaries).
 //!   Handles are resolved once and incremented without locking; the
 //!   registry mutex is touched only on registration and snapshot.
-//! * Two built-in sinks: the in-memory [`Recorder`] for tests and the
-//!   JSON-lines [`TraceWriter`] for offline analysis.
+//! * [`StepProfiler`] — phase-level self-time profiling of the step
+//!   envelope: RAII [`Phase`] guards on a thread-local stack record
+//!   `step.phase.*.self_ns` histograms with child time subtracted, so
+//!   the per-phase totals *partition* the recorded step latency
+//!   ([`phase_table`] renders the sorted breakdown).
+//! * Built-in sinks: the in-memory [`Recorder`] for tests, the
+//!   JSON-lines [`TraceWriter`] for offline analysis (lines carry a
+//!   [`thread_ord`] tag for cross-thread timelines), the [`Fanout`]
+//!   combinator, and the periodic [`StatsSnapshotSink`]. For pull-based
+//!   scrapers, [`Metrics::render_prometheus`] emits the Prometheus text
+//!   exposition format. One-shot evaluator-fallback warnings route
+//!   through [`note_fallback_warning`] when a warning observer is
+//!   registered ([`set_warning_observer`]), else stay on stderr.
 //!
 //! # Example
 //!
@@ -52,9 +63,13 @@
 mod event;
 mod metrics;
 mod observer;
+mod profile;
 mod sinks;
+mod warn;
 
 pub use event::{CheckPath, ObsEvent};
 pub use metrics::{global, Counter, Histogram, HistogramSummary, Metrics, MetricsSnapshot};
 pub use observer::{NoopObserver, Observer};
-pub use sinks::{Recorder, TraceWriter};
+pub use profile::{phase_table, Phase, PhaseGuard, StepProfiler, PHASES};
+pub use sinks::{thread_ord, Fanout, Recorder, StatsSnapshotSink, TraceWriter};
+pub use warn::{clear_warning_observer, note_fallback_warning, set_warning_observer};

@@ -1,9 +1,24 @@
-//! Built-in observer sinks: the in-memory [`Recorder`] for tests and
-//! the JSON-lines [`TraceWriter`] for offline analysis.
+//! Built-in observer sinks: the in-memory [`Recorder`] for tests, the
+//! JSON-lines [`TraceWriter`] for offline analysis, the [`Fanout`]
+//! combinator, and the periodic [`StatsSnapshotSink`].
 
-use crate::{ObsEvent, Observer};
+use crate::{Metrics, ObsEvent, Observer};
 use std::io::Write;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A small dense ordinal for the calling thread, assigned on first use
+/// (0, 1, 2, …) — stable for the thread's lifetime. Used to tag trace
+/// lines so cross-thread timelines (sharded speculation) can be
+/// regrouped offline. `std::thread::ThreadId` has no stable integer
+/// form, hence the hand-rolled scheme.
+pub fn thread_ord() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORD: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORD.with(|o| *o)
+}
 
 /// Records every event (and span) in memory, in arrival order — the
 /// assertion-friendly sink for tests.
@@ -114,8 +129,133 @@ where
     W: std::fmt::Debug,
 {
     fn on_event(&self, event: &ObsEvent) {
-        let line = event.to_json();
+        // Tag each line with the emitting thread's ordinal so sharded
+        // traces (speculation on workers, commit on the caller) can be
+        // re-grouped into per-thread timelines offline. The tag is
+        // spliced before the closing brace to keep the `{"ev":...}`
+        // line shape.
+        let mut line = event.to_json();
+        line.pop(); // trailing '}'
+        line.push_str(&format!(",\"thread\":{}}}", thread_ord()));
         let mut out = self.out.lock().expect("trace writer poisoned");
+        if writeln!(out, "{line}").is_err() {
+            self.errors.inc();
+        }
+    }
+}
+
+/// Forwards every event and span to each of a set of observers —
+/// e.g. a JSON-lines trace *and* a periodic stats snapshotter on the
+/// same run. Reports itself enabled iff any child is, and forwards
+/// only to enabled children.
+#[derive(Debug)]
+pub struct Fanout {
+    children: Vec<Arc<dyn Observer>>,
+}
+
+impl Fanout {
+    /// Combines `children` into one observer.
+    pub fn new(children: Vec<Arc<dyn Observer>>) -> Fanout {
+        Fanout { children }
+    }
+}
+
+impl Observer for Fanout {
+    fn enabled(&self) -> bool {
+        self.children.iter().any(|c| c.enabled())
+    }
+
+    fn span_enter(&self, name: &'static str) {
+        for c in &self.children {
+            if c.enabled() {
+                c.span_enter(name);
+            }
+        }
+    }
+
+    fn span_exit(&self, name: &'static str, nanos: u64) {
+        for c in &self.children {
+            if c.enabled() {
+                c.span_exit(name, nanos);
+            }
+        }
+    }
+
+    fn on_event(&self, event: &ObsEvent) {
+        for c in &self.children {
+            if c.enabled() {
+                c.on_event(event);
+            }
+        }
+    }
+}
+
+/// Writes a full [`crate::MetricsSnapshot`] as one JSON line every
+/// `every` committed steps — a poor-man's time series for watching a
+/// long run converge without attaching a scraper. Write errors are
+/// counted, not propagated.
+#[derive(Debug)]
+pub struct StatsSnapshotSink<W: Write + Send> {
+    metrics: Metrics,
+    every: u64,
+    committed: AtomicU64,
+    out: Mutex<W>,
+    errors: crate::Counter,
+}
+
+impl<W: Write + Send> StatsSnapshotSink<W> {
+    /// Snapshots `metrics` into `out` every `every` committed steps
+    /// (`every` is clamped to ≥ 1).
+    pub fn new(metrics: Metrics, every: u64, out: W) -> StatsSnapshotSink<W> {
+        StatsSnapshotSink {
+            metrics,
+            every: every.max(1),
+            committed: AtomicU64::new(0),
+            out: Mutex::new(out),
+            errors: crate::Counter::new(),
+        }
+    }
+
+    /// Number of write errors swallowed so far.
+    pub fn write_errors(&self) -> u64 {
+        self.errors.get()
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.out.into_inner().expect("stats sink poisoned");
+        let _ = w.flush();
+        w
+    }
+
+    /// Flushes buffered output.
+    pub fn flush(&self) {
+        if self
+            .out
+            .lock()
+            .expect("stats sink poisoned")
+            .flush()
+            .is_err()
+        {
+            self.errors.inc();
+        }
+    }
+}
+
+impl<W: Write + Send> Observer for StatsSnapshotSink<W>
+where
+    W: std::fmt::Debug,
+{
+    fn on_event(&self, event: &ObsEvent) {
+        if !matches!(event, ObsEvent::StepCommitted { .. }) {
+            return;
+        }
+        let n = self.committed.fetch_add(1, Ordering::Relaxed) + 1;
+        if !n.is_multiple_of(self.every) {
+            return;
+        }
+        let line = self.metrics.snapshot().to_json();
+        let mut out = self.out.lock().expect("stats sink poisoned");
         if writeln!(out, "{line}").is_err() {
             self.errors.inc();
         }
@@ -175,8 +315,61 @@ mod tests {
         for line in &lines {
             assert!(line.starts_with("{\"ev\":"), "{line}");
             assert!(line.ends_with('}'), "{line}");
+            assert!(line.contains("\"thread\":"), "{line}");
         }
         assert!(lines[2].contains("\"nanos\":1234"));
+    }
+
+    #[test]
+    fn thread_ordinals_are_stable_and_distinct() {
+        let here = thread_ord();
+        assert_eq!(here, thread_ord());
+        let other = std::thread::spawn(thread_ord).join().unwrap();
+        assert_ne!(here, other);
+    }
+
+    #[test]
+    fn fanout_forwards_to_enabled_children_only() {
+        use crate::NoopObserver;
+        let a = Arc::new(Recorder::new());
+        let b = Arc::new(Recorder::new());
+        let f = Fanout::new(vec![a.clone(), Arc::new(NoopObserver), b.clone()]);
+        assert!(f.enabled());
+        f.on_event(&ObsEvent::StepStarted {
+            step: 0,
+            initial: "x".into(),
+        });
+        f.span_exit("step", 7);
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+        assert_eq!(a.spans(), vec![("step", 7)]);
+        let empty = Fanout::new(vec![Arc::new(NoopObserver) as Arc<dyn Observer>]);
+        assert!(!empty.enabled());
+    }
+
+    #[test]
+    fn stats_sink_snapshots_every_n_commits() {
+        let m = Metrics::new();
+        let c = m.counter("steps.committed");
+        let sink = StatsSnapshotSink::new(m.clone(), 2, Vec::new());
+        for step in 0..5 {
+            c.inc();
+            sink.on_event(&ObsEvent::StepCommitted {
+                step,
+                occurrences: 1,
+                nanos: 10,
+            });
+            // non-commit events never trigger a snapshot
+            sink.on_event(&ObsEvent::StepStarted {
+                step,
+                initial: String::new(),
+            });
+        }
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "commits 2 and 4 snapshot: {text}");
+        assert!(lines[0].contains("\"steps.committed\":2"), "{text}");
+        assert!(lines[1].contains("\"steps.committed\":4"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Process-global routing for one-shot evaluator-fallback warnings.
+//!
+//! Two fallbacks in the engine used to announce themselves with a bare
+//! `eprintln!`: the temporal layer dropping to the history-scan
+//! evaluator for an unmonitorable formula, and the VM keeping a term on
+//! the tree walk because it would not compile. Both fire from layers
+//! that cannot see a per-world [`Observer`] — the VM fallback even runs
+//! at World *build* time, before any observer could be attached — so a
+//! trace could never capture them.
+//!
+//! This module gives them a destination: the process registers a
+//! warning observer (the CLI does this with the trace sink before
+//! building the world), and [`note_fallback_warning`] routes each
+//! warning there as a structured [`ObsEvent::FallbackNoted`]. When no
+//! observer is registered (or it reports disabled) the function returns
+//! `false` and the caller keeps its stderr behavior — plain runs look
+//! exactly as before.
+
+use crate::{ObsEvent, Observer};
+use std::sync::{Arc, Mutex, OnceLock};
+
+fn slot() -> &'static Mutex<Option<Arc<dyn Observer>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<dyn Observer>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Registers `observer` as the process-wide destination for fallback
+/// warnings, replacing any previous registration. Call before building
+/// worlds to capture build-time (VM compile) fallbacks too.
+pub fn set_warning_observer(observer: Arc<dyn Observer>) {
+    *slot().lock().expect("warning observer poisoned") = Some(observer);
+}
+
+/// Removes the registered warning observer (warnings fall back to the
+/// caller's stderr path again). Mainly for tests.
+pub fn clear_warning_observer() {
+    *slot().lock().expect("warning observer poisoned") = None;
+}
+
+/// Routes one fallback warning to the registered warning observer as an
+/// [`ObsEvent::FallbackNoted`]. Returns `true` when an enabled observer
+/// consumed it; `false` means no observer is attached (or it is
+/// disabled) and the caller should preserve its stderr warning.
+pub fn note_fallback_warning(fallback: &str, what: &str, detail: &str) -> bool {
+    let observer = slot().lock().expect("warning observer poisoned").clone();
+    match observer {
+        Some(obs) if obs.enabled() => {
+            obs.on_event(&ObsEvent::FallbackNoted {
+                fallback: fallback.to_string(),
+                what: what.to_string(),
+                detail: detail.to_string(),
+            });
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NoopObserver, Recorder};
+
+    #[test]
+    fn routes_to_registered_observer_else_reports_unconsumed() {
+        // Serialize against other tests touching the global slot.
+        clear_warning_observer();
+        assert!(!note_fallback_warning("vm.fallback", "t", "why"));
+
+        let rec = Arc::new(Recorder::new());
+        set_warning_observer(rec.clone());
+        assert!(note_fallback_warning(
+            "temporal.scan_fallback",
+            "sometime(p)",
+            "future"
+        ));
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            ObsEvent::FallbackNoted {
+                fallback,
+                what,
+                detail,
+            } => {
+                assert_eq!(fallback, "temporal.scan_fallback");
+                assert_eq!(what, "sometime(p)");
+                assert_eq!(detail, "future");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // disabled observers do not consume warnings
+        set_warning_observer(Arc::new(NoopObserver));
+        assert!(!note_fallback_warning("vm.fallback", "t", "why"));
+        clear_warning_observer();
+    }
+}

@@ -15,7 +15,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use troll_data::{ObjectId, StateMap, Value};
 use troll_lang::{ClassModel, ConstraintKind, EventTarget, SystemModel};
-use troll_obs::{CheckPath, Counter, Histogram, Metrics, NoopObserver, ObsEvent, Observer};
+use troll_obs::{
+    CheckPath, Counter, Histogram, Metrics, NoopObserver, ObsEvent, Observer, Phase, PhaseGuard,
+    StepProfiler,
+};
 use troll_process::EventKind;
 use troll_temporal::{eval_now_appended, EventOccurrence, Step, Trace};
 
@@ -256,6 +259,12 @@ pub struct ObjectBase {
     step_seq: u64,
     /// Durable-log hook: observes every committed step (see `persist`).
     step_sink: Option<Box<dyn StepSink>>,
+    /// Phase-level self-time profiler over this base's metrics registry
+    /// (`step.phase.*.self_ns` histograms).
+    profiler: StepProfiler,
+    /// Cached profiling switch — mirrors the `observing` discipline:
+    /// when false, every phase site costs one predicted branch.
+    profiling: bool,
 }
 
 impl ObjectBase {
@@ -310,6 +319,7 @@ impl ObjectBase {
         let counters = RuntimeCounters::new(&metrics);
         let monitor_cache = MonitorCache::new(&metrics);
         let step_latency = metrics.histogram("step.latency_ns");
+        let profiler = StepProfiler::new(&metrics);
         #[cfg(not(feature = "treewalk"))]
         let compiled = Arc::new(CompiledModel::new(&model));
         #[cfg(feature = "treewalk")]
@@ -327,6 +337,8 @@ impl ObjectBase {
             observing: false,
             step_seq: 0,
             step_sink: None,
+            profiler,
+            profiling: false,
         })
     }
 
@@ -361,6 +373,31 @@ impl ObjectBase {
     pub(crate) fn emit(&self, make: impl FnOnce() -> ObsEvent) {
         if self.observing {
             self.observer.on_event(&make());
+        }
+    }
+
+    /// Enables or disables the phase-level step profiler (disabled by
+    /// default). Enabled, every step records per-phase self-times into
+    /// `step.phase.*.self_ns` histograms (see [`troll_obs::phase_table`]
+    /// for the report); disabled, each phase site costs one predicted
+    /// branch, like the observer instrumentation.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// Whether phase-level profiling is enabled.
+    pub fn profiling(&self) -> bool {
+        self.profiling
+    }
+
+    /// Opens a profiling phase when profiling is enabled. The guard is
+    /// an `Option` so the disabled path is a branch and a no-op drop.
+    #[inline]
+    pub(crate) fn phase(&self, phase: Phase) -> Option<PhaseGuard> {
+        if self.profiling {
+            Some(self.profiler.enter(phase))
+        } else {
+            None
         }
     }
 
@@ -798,12 +835,17 @@ impl ObjectBase {
             }
         }
         let start = Instant::now();
+        // The envelope phase wraps everything between the two latency
+        // timer reads, so its self-time is exactly the step cost no
+        // narrower phase claims.
+        let envelope = self.phase(Phase::Envelope);
         // The cache is moved out for the duration of the step so the
         // `&self` phases below can update it; it is restored on every
         // path, including errors (whose transactions never feed it).
         let mut cache = std::mem::take(&mut self.monitor_cache);
         let result = self.execute_step_with(initial, &mut cache);
         self.monitor_cache = cache;
+        drop(envelope);
         let nanos = start.elapsed().as_nanos() as u64;
         self.step_latency.record_ns(nanos);
         match &result {
@@ -854,7 +896,10 @@ impl ObjectBase {
         cache: &mut MonitorCache,
         reads: Option<&ReadTracker>,
     ) -> Result<PreparedStep> {
-        let occurrences = self.close_over_calls(initial.clone(), reads)?;
+        let occurrences = {
+            let _closure = self.phase(Phase::Closure);
+            self.close_over_calls(initial.clone(), reads)?
+        };
         let mut working: BTreeMap<ObjectId, Working> = BTreeMap::new();
 
         for occ in &occurrences {
@@ -862,8 +907,11 @@ impl ObjectBase {
         }
 
         // constraints on post-states
-        for (id, w) in &working {
-            self.check_constraints(id, w, &working, cache, reads)?;
+        {
+            let _constraints = self.phase(Phase::Constraints);
+            for (id, w) in &working {
+                self.check_constraints(id, w, &working, cache, reads)?;
+            }
         }
 
         // trace snapshots record alias/component entries materialized as
@@ -873,16 +921,19 @@ impl ObjectBase {
         // pre-pass (it reads the overlay immutably) — everything else
         // snapshots at commit time by sharing the working state's root
         let mut alias_snapshots: BTreeMap<ObjectId, StateMap> = BTreeMap::new();
-        for (id, w) in &working {
-            if let Some(class) = self.model.class(&w.class) {
-                if !class.inheriting.is_empty() || !class.components.is_empty() {
-                    let overlay = Overlay {
-                        base: self,
-                        working: &working,
-                        reads,
-                    };
-                    let snapshot = env::materialize_aliases(&overlay, class, &w.state)?;
-                    alias_snapshots.insert(id.clone(), snapshot);
+        {
+            let _prepass = self.phase(Phase::AliasPrepass);
+            for (id, w) in &working {
+                if let Some(class) = self.model.class(&w.class) {
+                    if !class.inheriting.is_empty() || !class.components.is_empty() {
+                        let overlay = Overlay {
+                            base: self,
+                            working: &working,
+                            reads,
+                        };
+                        let snapshot = env::materialize_aliases(&overlay, class, &w.state)?;
+                        alias_snapshots.insert(id.clone(), snapshot);
+                    }
                 }
             }
         }
@@ -909,8 +960,11 @@ impl ObjectBase {
         // commit: the working state *moves* into the instance and every
         // snapshot is a shared root — no full-map copy on this path
         // (the loop holds a mutable borrow of `instances`, so the
-        // observer handle is cloned out rather than reached via &self)
+        // observer and profiler handles are cloned out rather than
+        // reached via &self)
         let observer = self.observing.then(|| self.observer.clone());
+        let profiler = self.profiling.then(|| self.profiler.clone());
+        let state_commit = profiler.as_ref().map(|p| p.enter(Phase::StateCommit));
         for (id, mut w) in working {
             let inst = self
                 .instances
@@ -923,7 +977,10 @@ impl ObjectBase {
                     .remove(&id)
                     .unwrap_or_else(|| w.state.clone());
                 let step = Step::with_state(std::mem::take(&mut w.new_events), snapshot);
-                let fed = cache.on_commit(&id, &step);
+                let fed = {
+                    let _advance = profiler.as_ref().map(|p| p.enter(Phase::MonitorAdvance));
+                    cache.on_commit(&id, &step)
+                };
                 if fed > 0 {
                     if let Some(obs) = &observer {
                         obs.on_event(&ObsEvent::MonitorFed {
@@ -945,14 +1002,17 @@ impl ObjectBase {
                 inst.roles.insert(role, rs);
             }
             if !w.alive {
+                let _advance = profiler.as_ref().map(|p| p.enter(Phase::MonitorAdvance));
                 cache.on_death(&id);
             }
         }
+        drop(state_commit);
         self.steps_executed += 1;
         // Durable sink: called after the step is fully applied, with the
         // post-step base. Taken out of `self` for the call so the sink
         // can read the base it is borrowing from.
         if let Some(mut sink) = self.step_sink.take() {
+            let _sink_phase = profiler.as_ref().map(|p| p.enter(Phase::Sink));
             sink.on_step_committed(self, &initial);
             self.step_sink = Some(sink);
         }
@@ -1002,9 +1062,11 @@ impl ObjectBase {
             }
         }
         let start = Instant::now();
+        let envelope = self.phase(Phase::Envelope);
         let mut cache = std::mem::take(&mut self.monitor_cache);
         let report = self.commit_prepared(prepared, &mut cache);
         self.monitor_cache = cache;
+        drop(envelope);
         let nanos = start.elapsed().as_nanos() as u64;
         self.counters.steps_committed.inc();
         self.counters
@@ -1391,6 +1453,7 @@ impl ObjectBase {
         // virtual step holding the threaded in-step state, so that state
         // predicates see the transaction-threaded present.
         if class.permissions_for(&occ.event).next().is_some() {
+            let _permissions = self.phase(Phase::Permissions);
             let w = working_entry(working, &occ.id)?;
             let empty_trace = Trace::new();
             // shared handles: the non-role clone is an O(1) root bump,
@@ -1429,6 +1492,7 @@ impl ObjectBase {
                     working,
                     reads,
                 };
+                let env_guard = self.phase(Phase::Env);
                 let env =
                     env::build_env(&overlay, &occ.id, class, &current_state, &params, needed)?;
                 let virtual_step = Step::with_state(
@@ -1442,6 +1506,7 @@ impl ObjectBase {
                     },
                     env::materialize_aliases(&overlay, class, &current_state)?,
                 );
+                drop(env_guard);
                 // Role histories stay on the scan path; base histories
                 // go through the monitor cache, falling back to the
                 // scan for anything outside the monitorable fragment.
@@ -1463,7 +1528,7 @@ impl ObjectBase {
                     }) {
                         Verdict::Holds(b) => (b, CheckPath::Monitored),
                         Verdict::Fallback => {
-                            note_scan_fallback(cache, "permission", &perm.formula);
+                            note_scan_fallback(self, cache, "permission", &perm.formula);
                             (
                                 eval_now_appended(&perm.formula, trace, &virtual_step, &env)?,
                                 CheckPath::Scan,
@@ -1500,6 +1565,7 @@ impl ObjectBase {
         // All rules for this event are computed against the same
         // pre-state (simultaneous within the occurrence), then applied.
         {
+            let _valuation = self.phase(Phase::Valuation);
             let w = working_entry(working, &occ.id)?;
             let pre_state = if is_role_ctx {
                 match w.roles.get(&occ.ctx_class) {
@@ -1531,7 +1597,10 @@ impl ObjectBase {
                     working,
                     reads,
                 };
-                let env = env::build_env(&overlay, &occ.id, class, &pre_state, &params, needed)?;
+                let env = {
+                    let _env = self.phase(Phase::Env);
+                    env::build_env(&overlay, &occ.id, class, &pre_state, &params, needed)?
+                };
                 if let Some(g) = &rule.guard {
                     let gv = match compiled.and_then(|c| c.guard.as_ref()) {
                         Some(c) => c.eval(&env)?,
@@ -1641,11 +1710,13 @@ impl ObjectBase {
                         &needed_fallback
                     }
                 };
+                let env_guard = self.phase(Phase::Env);
                 let env = env::build_env(&overlay, id, class, state, &BTreeMap::new(), needed)?;
                 let virtual_step = Step::with_state(
                     events.to_vec(),
                     env::materialize_aliases(&overlay, class, state)?,
                 );
+                drop(env_guard);
                 let holds = eval_now_appended(&c.formula, trace, &virtual_step, &env)?;
                 self.counters.constraints_checked.inc();
                 self.emit(|| ObsEvent::ConstraintChecked {
@@ -1693,12 +1764,14 @@ impl ObjectBase {
                         &needed_fallback
                     }
                 };
+                let env_guard = self.phase(Phase::Env);
                 let env =
                     env::build_env(&overlay, id, base_class, &w.state, &BTreeMap::new(), needed)?;
                 let virtual_step = Step::with_state(
                     w.new_events.clone(),
                     env::materialize_aliases(&overlay, base_class, &w.state)?,
                 );
+                drop(env_guard);
                 // `initially` fires once per life — not worth an entry.
                 let (holds, path) = if c.kind == ConstraintKind::Initially {
                     (
@@ -1722,7 +1795,7 @@ impl ObjectBase {
                     }) {
                         Verdict::Holds(b) => (b, CheckPath::Monitored),
                         Verdict::Fallback => {
-                            note_scan_fallback(cache, "constraint", &c.formula);
+                            note_scan_fallback(self, cache, "constraint", &c.formula);
                             (
                                 eval_now_appended(&c.formula, base_trace, &virtual_step, &env)?,
                                 CheckPath::Scan,
@@ -1812,7 +1885,18 @@ fn scan_fallback_counter() -> &'static Counter {
 /// Counts a monitor→scan fallback and warns once per distinct formula,
 /// naming it — so users learn why that check is O(history). Deliberate
 /// scans (cache disabled) are not fallbacks and stay silent.
-fn note_scan_fallback(cache: &MonitorCache, what: &str, formula: &impl std::fmt::Display) {
+///
+/// The one-shot warning routes as a structured
+/// [`ObsEvent::FallbackNoted`] to the world's own observer when one is
+/// attached and enabled, else to the process-global warning observer
+/// ([`troll_obs::set_warning_observer`]); only when neither consumes it
+/// does the historical stderr line fire.
+fn note_scan_fallback(
+    base: &ObjectBase,
+    cache: &MonitorCache,
+    what: &str,
+    formula: &impl std::fmt::Display,
+) {
     if !cache.enabled() {
         return;
     }
@@ -1825,10 +1909,26 @@ fn note_scan_fallback(cache: &MonitorCache, what: &str, formula: &impl std::fmt:
     };
     let formula = formula.to_string();
     if seen.insert(formula.clone()) {
-        eprintln!(
-            "warning: {what} formula `{formula}` is outside the monitorable fragment; \
+        let detail = format!(
+            "{what} formula outside the monitorable fragment; \
              every check scans the full history"
         );
+        let consumed = if base.observing {
+            base.observer.on_event(&ObsEvent::FallbackNoted {
+                fallback: "temporal.scan_fallback".to_string(),
+                what: formula.clone(),
+                detail: detail.clone(),
+            });
+            true
+        } else {
+            troll_obs::note_fallback_warning("temporal.scan_fallback", &formula, &detail)
+        };
+        if !consumed {
+            eprintln!(
+                "warning: {what} formula `{formula}` is outside the monitorable fragment; \
+                 every check scans the full history"
+            );
+        }
     }
 }
 

@@ -38,7 +38,7 @@ use crate::Result;
 use std::collections::BTreeSet;
 use std::time::Instant;
 use troll_data::{ObjectId, Value};
-use troll_obs::{Counter, Histogram};
+use troll_obs::{Counter, Histogram, ObsEvent};
 use troll_process::EventKind;
 
 /// One externally addressed event in a batch: the sharded counterpart
@@ -231,11 +231,27 @@ impl WorldShards {
             return Vec::new();
         }
 
+        // Causal span ids: one per submitted event, stable across
+        // speculation, conflict re-runs and commit. Commits happen in
+        // batch order and each event consumes exactly one step attempt
+        // (unless rejected before an attempt is allocated), so spans are
+        // preassigned from the attempt counter at batch start; the
+        // `SpanClosed` event links each span to the attempt it actually
+        // resolved to.
+        let span_base = self.base.step_attempts();
+
         // route into per-shard inboxes (batch indices, order preserved)
         let mut inboxes: Vec<Vec<usize>> = vec![Vec::new(); self.shards];
         for (i, ev) in batch.iter().enumerate() {
-            inboxes[self.shard_of(&ev.id)].push(i);
+            let shard = self.shard_of(&ev.id);
+            inboxes[shard].push(i);
             self.inbox_depth.inc();
+            self.base.emit(|| ObsEvent::EventRouted {
+                span: span_base + i as u64,
+                shard,
+                batch_index: i,
+                initial: format!("{}.{}", ev.id, ev.event),
+            });
         }
 
         // parallel speculation against the frozen pre-batch base
@@ -247,12 +263,25 @@ impl WorldShards {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = inboxes
                     .iter()
-                    .filter(|inbox| !inbox.is_empty())
-                    .map(|inbox| {
+                    .enumerate()
+                    .filter(|(_, inbox)| !inbox.is_empty())
+                    .map(|(shard, inbox)| {
                         scope.spawn(move || {
                             inbox
                                 .iter()
-                                .map(|&i| (i, speculate(base, &batch[i])))
+                                .map(|&i| {
+                                    let span = span_base + i as u64;
+                                    base.emit(|| ObsEvent::SpeculationStarted { span, shard });
+                                    let start = Instant::now();
+                                    let spec = speculate(base, &batch[i]);
+                                    base.emit(|| ObsEvent::SpeculationFinished {
+                                        span,
+                                        shard,
+                                        ok: spec.outcome.is_ok(),
+                                        nanos: start.elapsed().as_nanos() as u64,
+                                    });
+                                    (i, spec)
+                                })
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -276,7 +305,9 @@ impl WorldShards {
         let mut results = Vec::with_capacity(n);
         for (i, ev) in batch.into_iter().enumerate() {
             let start = Instant::now();
+            let span = span_base + i as u64;
             let speculation = slots[i].take();
+            let attempts_before = self.base.step_attempts();
             let result = match speculation {
                 Some(spec) if spec.valid(&self.base, &dirty, &lifecycle) => match spec.outcome {
                     Ok(prepared) => {
@@ -291,11 +322,33 @@ impl WorldShards {
                         Err(error)
                     }
                 },
-                _ => {
+                other => {
                     self.conflicts.inc();
+                    self.base.emit(|| ObsEvent::SpeculationConflict {
+                        span,
+                        reason: if other.is_some() {
+                            "read or lifecycle overlap with earlier commit in batch".to_string()
+                        } else {
+                            "speculation lost (worker did not report)".to_string()
+                        },
+                    });
                     self.base.execute(&ev.id, &ev.event, ev.args)
                 }
             };
+            // link the span to the attempt it consumed (none when the
+            // event was rejected before an attempt was allocated, e.g.
+            // an unknown event name)
+            self.base.emit(|| ObsEvent::SpanClosed {
+                span,
+                step: (self.base.step_attempts() > attempts_before).then_some(attempts_before),
+                outcome: match &result {
+                    Ok(_) => "committed".to_string(),
+                    Err(_) if self.base.step_attempts() > attempts_before => {
+                        "rolled_back".to_string()
+                    }
+                    Err(_) => "rejected".to_string(),
+                },
+            });
             if let Ok(report) = &result {
                 for occ in &report.occurrences {
                     dirty.insert(occ.id.clone());

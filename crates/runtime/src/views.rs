@@ -316,7 +316,11 @@ impl ObjectBase {
             return self.execute(&target, event, args);
         }
 
-        // derived event: expand the calling rule
+        // derived event: expand the calling rule. The Views phase spans
+        // the whole expansion; the inner steps open their own Envelope
+        // phases as children, so Views self-time is exactly the
+        // expansion overhead (row env assembly, argument evaluation).
+        let _views = self.phase(troll_obs::Phase::Views);
         self.counters().view_derived_calls.inc();
         self.emit(|| troll_obs::ObsEvent::EventCalled {
             instance: combo.first().map(ToString::to_string).unwrap_or_default(),

@@ -47,7 +47,7 @@ pub use wal::FsyncPolicy;
 
 use std::path::PathBuf;
 
-use troll_obs::{Counter, Histogram, Metrics};
+use troll_obs::{Counter, Histogram, Metrics, StepProfiler};
 
 /// Tuning knobs for a durable world.
 #[derive(Debug, Clone)]
@@ -157,6 +157,11 @@ pub(crate) struct StoreCounters {
     pub(crate) fsyncs: Counter,
     pub(crate) recoveries: Counter,
     pub(crate) fsync_latency: Histogram,
+    /// Phase profiler over the same registry: when a step is being
+    /// profiled (the runtime's sink phase is open on this thread), the
+    /// WAL's fsync records itself as the nested `fsync` phase — the
+    /// store never needs to see the engine's profiling switch.
+    pub(crate) profiler: StepProfiler,
 }
 
 impl StoreCounters {
@@ -167,6 +172,7 @@ impl StoreCounters {
             fsyncs: metrics.counter("store.fsyncs"),
             recoveries: metrics.counter("store.recoveries"),
             fsync_latency: metrics.histogram("store.fsync_latency_ns"),
+            profiler: StepProfiler::new(metrics),
         }
     }
 }

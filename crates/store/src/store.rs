@@ -4,7 +4,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
+use troll_obs::ObsEvent;
 use troll_runtime::{ObjectBase, Occurrence, StepSink};
 
 use crate::snapshot::{load_latest_snapshot, read_snapshot, snapshot_paths, write_snapshot};
@@ -26,6 +28,20 @@ pub struct RecoveryInfo {
     pub truncated_bytes: u64,
     /// The sequence number the next append will get.
     pub next_seq: u64,
+}
+
+impl RecoveryInfo {
+    /// The structured observer event describing this recovery —
+    /// [`recover`] runs before any observer can be attached to the
+    /// rebuilt base, so callers that trace emit this themselves.
+    pub fn to_obs_event(&self) -> ObsEvent {
+        ObsEvent::StoreRecovered {
+            snapshot_seq: self.snapshot_seq,
+            replayed: self.replayed,
+            truncated_bytes: self.truncated_bytes,
+            next_seq: self.next_seq,
+        }
+    }
 }
 
 fn read_spec(dir: &Path) -> Result<String, StoreError> {
@@ -122,12 +138,27 @@ impl Store {
     /// Records one committed step: appends to the WAL and, every
     /// `snapshot_every` appends, writes a snapshot of `base`. Never
     /// fails — errors are latched for [`Store::close`].
+    ///
+    /// When the base carries an enabled observer, the append, any fsync
+    /// and any snapshot emit structured events tagged with the step's
+    /// attempt number, extending the step's causal span into the store.
     pub fn record_step(&mut self, base: &ObjectBase, initial: &[Occurrence]) {
         if self.write_error.is_some() {
             return; // the log is broken; don't write diverging suffixes
         }
+        // the sink runs inside the attempt whose number was already
+        // allocated, so the current attempt is the previous counter value
+        let step = base.step_attempts().saturating_sub(1);
+        let observer = base.observer();
+        let observing = observer.enabled();
         match self.wal.append(initial) {
-            Ok(_seq) => {
+            Ok(seq) => {
+                if observing {
+                    observer.on_event(&ObsEvent::StoreAppended { step, seq });
+                    if let Some(nanos) = self.wal.take_last_sync_ns() {
+                        observer.on_event(&ObsEvent::StoreFsynced { step, nanos });
+                    }
+                }
                 self.appends_since_snapshot += 1;
                 if self.snapshot_every > 0 && self.appends_since_snapshot >= self.snapshot_every {
                     // the log must reach stable storage before a
@@ -138,9 +169,21 @@ impl Store {
                         self.write_error = Some(e);
                         return;
                     }
+                    if observing {
+                        if let Some(nanos) = self.wal.take_last_sync_ns() {
+                            observer.on_event(&ObsEvent::StoreFsynced { step, nanos });
+                        }
+                    }
+                    let start = Instant::now();
                     if let Err(e) = write_snapshot(&self.dir, base, self.wal.next_seq()) {
                         self.write_error = Some(e);
                         return;
+                    }
+                    if observing {
+                        observer.on_event(&ObsEvent::SnapshotWritten {
+                            seq: self.wal.next_seq(),
+                            nanos: start.elapsed().as_nanos() as u64,
+                        });
                     }
                     self.appends_since_snapshot = 0;
                 }

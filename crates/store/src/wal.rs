@@ -270,6 +270,11 @@ pub struct Wal {
     segment_bytes: u64,
     unsynced: u64,
     counters: StoreCounters,
+    /// Duration of the most recent [`Wal::sync`], until collected by
+    /// [`Wal::take_last_sync_ns`] — lets the store emit a structured
+    /// fsync event for syncs that happen inside [`Wal::append`]'s
+    /// policy dispatch.
+    last_sync_ns: Option<u64>,
 }
 
 impl Wal {
@@ -345,6 +350,7 @@ impl Wal {
             segment_bytes,
             unsynced: 0,
             counters,
+            last_sync_ns: None,
         })
     }
 
@@ -391,14 +397,27 @@ impl Wal {
     /// Flushes buffered appends and asks the OS to reach stable storage.
     pub fn sync(&mut self) -> std::io::Result<()> {
         self.file.flush()?;
+        // Inside a profiled step (the runtime's sink phase is open on
+        // this thread) the sync records itself as the nested `fsync`
+        // phase; outside one this is a no-op.
+        let _fsync_phase = self
+            .counters
+            .profiler
+            .enter_if_active(troll_obs::Phase::Fsync);
         let start = Instant::now();
         self.file.get_ref().sync_data()?;
-        self.counters
-            .fsync_latency
-            .record_ns(start.elapsed().as_nanos() as u64);
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.counters.fsync_latency.record_ns(nanos);
         self.counters.fsyncs.inc();
         self.unsynced = 0;
+        self.last_sync_ns = Some(nanos);
         Ok(())
+    }
+
+    /// Duration of the most recent [`Wal::sync`], consumed on read —
+    /// `None` when nothing synced since the last call.
+    pub fn take_last_sync_ns(&mut self) -> Option<u64> {
+        self.last_sync_ns.take()
     }
 
     /// Closes the current segment (flush + fsync) and starts the next.

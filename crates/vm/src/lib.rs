@@ -105,6 +105,12 @@ fn fallback_counter() -> &'static Counter {
 /// naming it and why — so users learn which rules still tree-walk.
 /// Oracle modes (feature / [`set_force_treewalk`]) are deliberate and
 /// stay silent and uncounted.
+///
+/// Fallbacks fire while a model *compiles* — before any per-world
+/// observer exists — so the one-shot warning routes through the
+/// process-global warning observer ([`troll_obs::set_warning_observer`])
+/// as a structured `FallbackNoted` event, keeping the historical stderr
+/// note only when no observer consumes it.
 fn note_fallback(term: &Term, why: &str) {
     fallback_counter().inc();
     static SEEN: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
@@ -115,10 +121,13 @@ fn note_fallback(term: &Term, why: &str) {
     };
     let rendered = term.to_string();
     if seen.insert(rendered.clone()) {
-        eprintln!(
-            "note: term `{rendered}` is not bytecode-lowerable ({why}); \
-             it evaluates by tree walk"
-        );
+        let detail = format!("not bytecode-lowerable ({why}); evaluates by tree walk");
+        if !troll_obs::note_fallback_warning("vm.fallback", &rendered, &detail) {
+            eprintln!(
+                "note: term `{rendered}` is not bytecode-lowerable ({why}); \
+                 it evaluates by tree walk"
+            );
+        }
     }
 }
 

@@ -403,3 +403,204 @@ fn animate_durable_resumes_across_sessions() {
     let _ = std::fs::remove_file(&second);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `troll profile` runs the script like `animate` and then prints the
+/// sorted per-phase self-time table, footed with how much of the step
+/// latency the phases account for.
+#[test]
+fn profile_command_prints_self_time_table() {
+    let script = scratch("profile.script");
+    std::fs::write(&script, SCRIPT).unwrap();
+    let out = run(&["profile", &dept_spec(), script.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("DEPT(\"Toys\").employees"),
+        "outcome lines still printed:\n{stdout}"
+    );
+    let table = stdout
+        .split("-- profile --")
+        .nth(1)
+        .unwrap_or_else(|| panic!("profile table printed:\n{stdout}"));
+    for row in ["envelope", "valuation", "state_commit"] {
+        assert!(table.contains(row), "{row} row present:\n{table}");
+    }
+    let footer = table
+        .lines()
+        .find(|l| l.starts_with("steps="))
+        .unwrap_or_else(|| panic!("footer present:\n{table}"));
+    assert!(footer.contains("steps=4"), "{footer}");
+    // the acceptance bar: phases explain (nearly) the whole step
+    let pct: f64 = footer
+        .split('(')
+        .nth(1)
+        .and_then(|s| s.strip_suffix("%)"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("accounted share parses: {footer}"));
+    assert!(
+        (90.0..=102.0).contains(&pct),
+        "accounted {pct}% of the step"
+    );
+    let _ = std::fs::remove_file(&script);
+}
+
+/// The file-writing observability outputs: `--profile` (phase table),
+/// `--metrics` (Prometheus text format) and `--stats-stream` (periodic
+/// JSON snapshots) — none of which may change stdout.
+#[test]
+fn animate_profile_metrics_and_stats_stream_write_files() {
+    let script = scratch("obsfiles.script");
+    let prof = scratch("obsfiles.prof");
+    let prom = scratch("obsfiles.prom");
+    let stream = scratch("obsfiles.stats.jsonl");
+    std::fs::write(&script, SCRIPT).unwrap();
+
+    let plain = run(&["animate", &dept_spec(), script.to_str().unwrap()]);
+    let out = run(&[
+        "animate",
+        "--profile",
+        prof.to_str().unwrap(),
+        "--metrics",
+        prom.to_str().unwrap(),
+        "--stats-stream",
+        stream.to_str().unwrap(),
+        "--stats-every",
+        "1",
+        &dept_spec(),
+        script.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&plain.stdout),
+        "file sinks are invisible on stdout"
+    );
+
+    let table = std::fs::read_to_string(&prof).unwrap();
+    assert!(table.starts_with("phase"), "table header first:\n{table}");
+    assert!(table.contains("envelope"), "{table}");
+    assert!(table.contains("accounted="), "{table}");
+
+    let text = std::fs::read_to_string(&prom).unwrap();
+    assert!(
+        text.contains("# TYPE troll_steps_committed counter"),
+        "{text}"
+    );
+    assert!(text.contains("troll_steps_committed 4"), "{text}");
+    assert!(
+        text.contains("troll_step_latency_ns_bucket{le=\"+Inf\"} 4"),
+        "cumulative buckets end at +Inf:\n{text}"
+    );
+    assert!(text.contains("troll_step_latency_ns_count 4"), "{text}");
+    assert!(
+        text.contains("# TYPE troll_step_phase_envelope_self_ns histogram"),
+        "profiler histograms exposed:\n{text}"
+    );
+
+    let stats = std::fs::read_to_string(&stream).unwrap();
+    let lines: Vec<&str> = stats.lines().collect();
+    assert_eq!(lines.len(), 4, "one snapshot per committed step:\n{stats}");
+    for line in lines {
+        assert!(
+            line.starts_with("{\"counters\":") && line.ends_with('}'),
+            "snapshot shape: {line}"
+        );
+        assert!(line.contains("\"histograms\":"), "{line}");
+    }
+
+    // cadence without a stream is a usage error, as is a bad cadence
+    let out = run(&["animate", "--stats-every", "2", "x.troll", "y.script"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--stats-every needs --stats-stream"
+    );
+    let out = run(&["profile", "x.troll"]);
+    assert_eq!(out.status.code(), Some(2), "profile keeps animate's arity");
+
+    for f in [&script, &prof, &prom, &stream] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+/// A sharded durable traced run covers the full causal-span vocabulary,
+/// and a second session records its recovery in the trace.
+#[test]
+fn trace_covers_span_and_store_events() {
+    let script = scratch("span.script");
+    let dir = scratch("span.dir");
+    let trace1 = scratch("span1.jsonl");
+    let trace2 = scratch("span2.jsonl");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::write(&script, SCRIPT).unwrap();
+
+    let out = run(&[
+        "animate",
+        "--shards",
+        "2",
+        "--durable",
+        dir.to_str().unwrap(),
+        "--trace",
+        trace1.to_str().unwrap(),
+        &dept_spec(),
+        script.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&trace1).unwrap();
+    for kind in [
+        "event_routed",
+        "speculation_started",
+        "speculation_finished",
+        "span_closed",
+        "store_appended",
+        "store_fsynced",
+    ] {
+        assert!(
+            body.contains(&format!("\"ev\":\"{kind}\"")),
+            "trace covers {kind}:\n{body}"
+        );
+    }
+    assert!(
+        body.contains("\"thread\":"),
+        "events carry thread ordinals:\n{body}"
+    );
+
+    // session two: the recovery itself is a trace event
+    let second = scratch("span2.script");
+    std::fs::write(&second, "show |DEPT|(\"Toys\") employees\n").unwrap();
+    let out = run(&[
+        "animate",
+        "--durable",
+        dir.to_str().unwrap(),
+        "--trace",
+        trace2.to_str().unwrap(),
+        &dept_spec(),
+        second.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let body = std::fs::read_to_string(&trace2).unwrap();
+    assert!(
+        body.contains("\"ev\":\"store_recovered\""),
+        "recovery recorded:\n{body}"
+    );
+
+    for f in [&script, &second, &trace1, &trace2] {
+        let _ = std::fs::remove_file(f);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,116 @@
+//! The phase profiler's accounting invariant: self-times partition the
+//! step envelope, so summed over a run the per-phase totals reproduce
+//! the recorded step latency — and a run without profiling records
+//! nothing at all.
+
+use troll::data::{Date, ObjectId, Value};
+use troll::System;
+
+fn person(name: &str) -> Value {
+    Value::Id(ObjectId::new("PERSON", vec![Value::from(name)]))
+}
+
+/// Births a department and churns `rounds` hire/fire pairs through it —
+/// a mutating workload touching closure, permissions (the monitored
+/// `fire` precondition), valuation, constraints and commit every step.
+fn churn(ob: &mut troll::runtime::ObjectBase, rounds: usize) {
+    let toys = ob
+        .birth(
+            "DEPT",
+            vec![Value::from("Toys")],
+            "establishment",
+            vec![Value::Date(Date::new(1991, 10, 16).unwrap())],
+        )
+        .unwrap();
+    for i in 0..rounds {
+        let p = person(&format!("p{i}"));
+        ob.execute(&toys, "hire", vec![p.clone()]).unwrap();
+        ob.execute(&toys, "fire", vec![p]).unwrap();
+    }
+}
+
+/// With profiling on, the summed per-phase self-times account for the
+/// summed step latency: at least ~90% (unattributed work lives in the
+/// explicit `envelope` pseudo-phase, so the gap is only timer skew) and
+/// at most ~102% (self-time is measured inside the latency envelope, so
+/// it cannot meaningfully exceed it).
+#[test]
+fn phase_self_times_partition_step_latency() {
+    let system = System::load_str(troll::specs::DEPT).unwrap();
+    let mut ob = system.object_base().unwrap();
+    ob.set_profiling(true);
+    assert!(ob.profiling());
+    churn(&mut ob, 100);
+
+    let snapshot = ob.metrics().snapshot();
+    let latency = &snapshot.histograms["step.latency_ns"];
+    assert_eq!(latency.count, 201, "birth + 100 hire/fire pairs");
+    let accounted: u64 = snapshot
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("step.phase.") && name.ends_with(".self_ns"))
+        .map(|(_, h)| h.sum_ns)
+        .sum();
+    let ratio = accounted as f64 / latency.sum_ns as f64;
+    assert!(
+        (0.90..=1.02).contains(&ratio),
+        "phases account for the step envelope: accounted={accounted} latency={} ratio={ratio:.3}",
+        latency.sum_ns
+    );
+    // the envelope pseudo-phase itself stays a small remainder: the
+    // named phases, not bookkeeping, own the step
+    let envelope = &snapshot.histograms["step.phase.envelope.self_ns"];
+    assert_eq!(envelope.count, latency.count);
+    assert!(
+        envelope.sum_ns < latency.sum_ns / 2,
+        "envelope self-time is the unattributed remainder, not the bulk: {} of {}",
+        envelope.sum_ns,
+        latency.sum_ns
+    );
+}
+
+/// Exact-sum bookkeeping survives the trip through the registry: every
+/// phase histogram's min/max bound its mean.
+#[test]
+fn phase_histograms_expose_consistent_exact_stats() {
+    let system = System::load_str(troll::specs::DEPT).unwrap();
+    let mut ob = system.object_base().unwrap();
+    ob.set_profiling(true);
+    churn(&mut ob, 20);
+    let snapshot = ob.metrics().snapshot();
+    for (name, h) in &snapshot.histograms {
+        if !name.starts_with("step.phase.") || h.count == 0 {
+            continue;
+        }
+        assert!(
+            h.min_ns <= h.mean_ns && h.mean_ns <= h.max_ns,
+            "{name}: {h:?}"
+        );
+        assert!(
+            h.min_ns <= h.sum_ns / h.count && h.sum_ns / h.count <= h.max_ns,
+            "{name}: {h:?}"
+        );
+    }
+}
+
+/// Profiling off (the default) records no phase samples at all — the
+/// instrumentation is invisible, not merely cheap.
+#[test]
+fn disabled_profiling_records_nothing() {
+    let system = System::load_str(troll::specs::DEPT).unwrap();
+    let mut ob = system.object_base().unwrap();
+    assert!(!ob.profiling());
+    churn(&mut ob, 10);
+    let snapshot = ob.metrics().snapshot();
+    for (name, h) in &snapshot.histograms {
+        if name.starts_with("step.phase.") {
+            assert_eq!(h.count, 0, "{name} sampled while profiling was off");
+        }
+    }
+    // and it can be flipped on mid-life: later steps are profiled
+    ob.set_profiling(true);
+    let toys = ObjectId::new("DEPT", vec![Value::from("Toys")]);
+    ob.execute(&toys, "hire", vec![person("late")]).unwrap();
+    let snapshot = ob.metrics().snapshot();
+    assert_eq!(snapshot.histograms["step.phase.envelope.self_ns"].count, 1);
+}

@@ -1,0 +1,267 @@
+//! Causal-span reconstruction: a sharded, durable, traced run emits
+//! enough structured events to rebuild every submitted event's complete
+//! cross-thread timeline — route → speculate → (conflict → sequential
+//! re-run) → commit → WAL append/fsync — as a well-nested span tree.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use troll::runtime::TraceWriter;
+use troll::script::run_script_sharded;
+use troll::store::{open_world, DurableSink, StoreOptions};
+
+/// A `Write` target the test can read back after the run.
+#[derive(Clone, Debug, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn lines(&self) -> Vec<String> {
+        String::from_utf8(self.0.lock().unwrap().clone())
+            .expect("trace is utf-8")
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+/// Minimal flat-JSON field extraction — the trace format is one object
+/// per line with scalar fields, so string search suffices.
+fn str_field(line: &str, name: &str) -> Option<String> {
+    let key = format!("\"{name}\":\"");
+    let start = line.find(&key)? + key.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+fn u64_field(line: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":");
+    let start = line.find(&key)? + key.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("troll-trace-spans-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// All events on one department: every batch routes to a single shard
+/// and later batch members read state an earlier commit changes, so the
+/// run is guaranteed to produce conflict → re-run chains.
+const SCRIPT: &str = r#"
+birth DEPT ("Toys") establishment (date(1991,10,16))
+exec |DEPT|("Toys") hire (|PERSON|("ada"))
+exec |DEPT|("Toys") hire (|PERSON|("bob"))
+exec |DEPT|("Toys") hire (|PERSON|("cyd"))
+exec |DEPT|("Toys") fire (|PERSON|("ada"))
+exec |DEPT|("Toys") fire (|PERSON|("bob"))
+"#;
+
+#[test]
+fn sharded_durable_trace_reconstructs_span_trees() {
+    let dir = scratch("durable");
+    let (mut base, store, info) =
+        open_world(&dir, troll::specs::DEPT, &StoreOptions::default()).expect("open_world");
+    assert_eq!(info.replayed, 0);
+    let (sink, shared) = DurableSink::new(store);
+    base.set_step_sink(Box::new(sink));
+
+    let buf = SharedBuf::default();
+    let writer = Arc::new(TraceWriter::new(buf.clone()));
+    base.set_observer(writer.clone());
+
+    let mut ws = base.into_shards(2);
+    run_script_sharded(&mut ws, SCRIPT).expect("sharded run");
+    let base = ws.into_base();
+    shared.lock().unwrap().close(&base).expect("clean close");
+    writer.flush();
+    assert_eq!(writer.write_errors(), 0);
+
+    let lines = buf.lines();
+    assert!(!lines.is_empty());
+    // every line keeps the `{"ev":...}` shape and carries the thread
+    // ordinal the TraceWriter splices in
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"ev\":\""), "{line}");
+        assert!(
+            line.contains("\"thread\":"),
+            "thread ordinal spliced: {line}"
+        );
+    }
+    let of_kind = |kind: &str| -> Vec<&String> {
+        lines
+            .iter()
+            .filter(|l| str_field(l, "ev").as_deref() == Some(kind))
+            .collect()
+    };
+
+    // --- span tree shape -------------------------------------------------
+    // each routed event owns a span that is speculated exactly once and
+    // closed exactly once
+    let routed = of_kind("event_routed");
+    assert_eq!(routed.len(), 6, "birth + 5 execs routed");
+    let spans: BTreeSet<u64> = routed
+        .iter()
+        .map(|l| u64_field(l, "span").unwrap())
+        .collect();
+    assert_eq!(spans.len(), 6, "span ids are distinct");
+    for kind in ["speculation_started", "speculation_finished", "span_closed"] {
+        let per_span: Vec<u64> = of_kind(kind)
+            .iter()
+            .map(|l| u64_field(l, "span").unwrap())
+            .collect();
+        assert_eq!(
+            per_span.iter().copied().collect::<BTreeSet<_>>(),
+            spans,
+            "every span has exactly one {kind}"
+        );
+        assert_eq!(per_span.len(), spans.len(), "no duplicate {kind}");
+    }
+    // speculation start/finish pair up on the same worker thread and
+    // shard — the cross-thread edge of the tree
+    for fin in of_kind("speculation_finished") {
+        let span = u64_field(fin, "span").unwrap();
+        let start = of_kind("speculation_started")
+            .into_iter()
+            .find(|l| u64_field(l, "span") == Some(span))
+            .expect("matching start");
+        assert_eq!(
+            u64_field(start, "shard"),
+            u64_field(fin, "shard"),
+            "span {span}"
+        );
+        assert_eq!(
+            u64_field(start, "thread"),
+            u64_field(fin, "thread"),
+            "span {span}"
+        );
+    }
+
+    // --- conflict → re-run chains ----------------------------------------
+    // same-object batches force overlaps: conflicted spans still close
+    // as committed (the sequential re-run), and conflict-free spans
+    // commit their speculation directly
+    let conflicted: BTreeSet<u64> = of_kind("speculation_conflict")
+        .iter()
+        .map(|l| u64_field(l, "span").unwrap())
+        .collect();
+    assert!(!conflicted.is_empty(), "same-object batches must conflict");
+    assert!(
+        conflicted.len() < spans.len(),
+        "first of each batch is conflict-free"
+    );
+    let mut steps_by_span: BTreeMap<u64, u64> = BTreeMap::new();
+    for closed in of_kind("span_closed") {
+        let span = u64_field(closed, "span").unwrap();
+        assert_eq!(
+            str_field(closed, "outcome").as_deref(),
+            Some("committed"),
+            "every event in this workload commits: {closed}"
+        );
+        steps_by_span.insert(
+            span,
+            u64_field(closed, "step").expect("committed span links a step"),
+        );
+    }
+    // spans commit in batch order: span order == step order, each step
+    // distinct and matched by a step_started/step_committed pair
+    let steps: Vec<u64> = steps_by_span.values().copied().collect();
+    assert!(
+        steps.windows(2).all(|w| w[0] < w[1]),
+        "batch-order commits: {steps:?}"
+    );
+    let started: BTreeSet<u64> = of_kind("step_started")
+        .iter()
+        .map(|l| u64_field(l, "step").unwrap())
+        .collect();
+    let committed: BTreeSet<u64> = of_kind("step_committed")
+        .iter()
+        .map(|l| u64_field(l, "step").unwrap())
+        .collect();
+    for step in &steps {
+        assert!(started.contains(step), "step {step} started");
+        assert!(committed.contains(step), "step {step} committed");
+    }
+
+    // --- the store joins the same timeline -------------------------------
+    // every committed step was appended (and fsynced, default policy)
+    // under its span's step id
+    let appended: BTreeSet<u64> = of_kind("store_appended")
+        .iter()
+        .map(|l| u64_field(l, "step").unwrap())
+        .collect();
+    assert_eq!(
+        appended,
+        steps.iter().copied().collect(),
+        "append per committed step"
+    );
+    let fsynced: BTreeSet<u64> = of_kind("store_fsynced")
+        .iter()
+        .map(|l| u64_field(l, "step").unwrap())
+        .collect();
+    assert_eq!(fsynced, appended, "every-commit fsync policy");
+}
+
+/// Re-opening the directory surfaces recovery as a structured event
+/// (the CLI forwards it to the trace), and the counters stay consistent
+/// with the trace: `shard.commits + shard.conflicts = shard.inbox_depth`.
+#[test]
+fn recovery_event_and_counter_consistency() {
+    let dir = scratch("recover");
+    {
+        let (mut base, store, _) =
+            open_world(&dir, troll::specs::DEPT, &StoreOptions::default()).expect("open");
+        let (sink, shared) = DurableSink::new(store);
+        base.set_step_sink(Box::new(sink));
+        let mut ws = base.into_shards(2);
+        run_script_sharded(&mut ws, SCRIPT).expect("run");
+        let base = ws.into_base();
+
+        let snap = base.metrics().snapshot();
+        assert_eq!(
+            snap.counters["shard.commits"] + snap.counters["shard.conflicts"],
+            snap.counters["shard.inbox_depth"],
+            "every routed event either commits speculatively or conflicts"
+        );
+        shared.lock().unwrap().close(&base).expect("close");
+    }
+    let (_, store, info) =
+        open_world(&dir, troll::specs::DEPT, &StoreOptions::default()).expect("re-open");
+    drop(store);
+    assert_eq!(
+        info.replayed + u64::from(info.snapshot_seq.is_some()) * info.next_seq,
+        6
+    );
+    let line = info.to_obs_event().to_json();
+    assert!(
+        str_field(&line, "ev").as_deref() == Some("store_recovered"),
+        "{line}"
+    );
+    assert!(u64_field(&line, "next_seq") == Some(6), "{line}");
+}
