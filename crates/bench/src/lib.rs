@@ -118,6 +118,32 @@ pub fn dept_base_deep(history_len: usize) -> (ObjectBase, ObjectId) {
     (ob, id)
 }
 
+/// One department with `n` *distinct* standing members: the history is
+/// `n` hire steps and the `employees`/`hired_ever` sets hold `n`
+/// elements. This is the delta-valuation scaling shape (E16): each
+/// further hire/fire updates an `n`-element collection, so a
+/// full-recompute valuation pays O(n) per step while the incremental
+/// path stays O(log n) — unlike [`dept_base_deep`], whose deep trace
+/// keeps the collections tiny.
+pub fn dept_base_members(n: usize) -> (ObjectBase, ObjectId) {
+    let system = System::load_str(troll::specs::DEPT).expect("shipped spec loads");
+    let mut ob = system.object_base().expect("object base");
+    let date = Value::Date(Date::new(1991, 10, 16).expect("valid date"));
+    let id = ob
+        .birth(
+            "DEPT",
+            vec![Value::from("members")],
+            "establishment",
+            vec![date],
+        )
+        .expect("birth succeeds");
+    for i in 0..n {
+        ob.execute(&id, "hire", vec![person(i)])
+            .expect("hire succeeds");
+    }
+    (ob, id)
+}
+
 /// A PERSON identity value for workloads.
 pub fn person(i: usize) -> Value {
     Value::Id(ObjectId::new("PERSON", vec![Value::from(format!("p{i}"))]))

@@ -311,7 +311,7 @@ fn parse_term_list(group: &str) -> Result<Vec<Value>, String> {
     }
     let term = crate::lang::parse_term(&format!("[{inner}]")).map_err(|e| e.to_string())?;
     match term.eval(&MapEnv::new()).map_err(|e| e.to_string())? {
-        Value::List(items) => Ok(items),
+        Value::List(items) => Ok(items.into_iter().collect()),
         other => Err(format!("argument list evaluated to non-list {other}")),
     }
 }

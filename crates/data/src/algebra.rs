@@ -31,8 +31,7 @@
 //! ```
 
 use crate::term::Layered;
-use crate::{DataError, Env, Result, Term, Value};
-use std::collections::BTreeSet;
+use crate::{DataError, Env, PSet, Result, Term, Value};
 
 /// Environment exposing a tuple's fields as variables.
 struct TupleEnv<'a> {
@@ -45,7 +44,7 @@ impl Env for TupleEnv<'_> {
     }
 }
 
-fn want_relation(v: &Value) -> Result<&BTreeSet<Value>> {
+fn want_relation(v: &Value) -> Result<&PSet> {
     v.as_set()
         .ok_or_else(|| DataError::sort_mismatch("query algebra", "set of tuples", v))
 }
@@ -59,15 +58,28 @@ fn want_relation(v: &Value) -> Result<&BTreeSet<Value>> {
 /// Fails if `rel` is not a set, if the predicate errors, or if the
 /// predicate does not evaluate to a boolean.
 pub fn select(rel: &Value, pred: &Term, outer: &dyn Env) -> Result<Value> {
+    select_by(rel, |env| pred.eval(env), outer)
+}
+
+/// [`select`] with the predicate abstracted to any evaluator over the
+/// per-row environment — the single row loop both the tree walk and a
+/// bytecode-compiled predicate go through, so relation traversal, field
+/// shadowing (tuple fields layered over `outer`), and every error site
+/// are shared verbatim.
+pub fn select_by(
+    rel: &Value,
+    mut pred: impl FnMut(&dyn Env) -> Result<Value>,
+    outer: &dyn Env,
+) -> Result<Value> {
     let tuples = want_relation(rel)?;
-    let mut out = BTreeSet::new();
+    let mut out = PSet::new();
     for t in tuples {
         let tuple_env = TupleEnv { tuple: t };
         let env = Layered {
             top: &tuple_env,
             base: outer,
         };
-        let keep = pred.eval(&env)?;
+        let keep = pred(&env)?;
         match keep.as_bool() {
             Some(true) => {
                 out.insert(t.clone());
@@ -95,7 +107,7 @@ pub fn select(rel: &Value, pred: &Term, outer: &dyn Env) -> Result<Value> {
 /// Fails if `rel` is not a set of tuples or a field is missing.
 pub fn project(rel: &Value, fields: &[&str]) -> Result<Value> {
     let tuples = want_relation(rel)?;
-    let mut out = BTreeSet::new();
+    let mut out = PSet::new();
     for t in tuples {
         match t {
             Value::Tuple(_) => {
@@ -140,7 +152,7 @@ fn missing_field(field: &str, tuple: &Value) -> DataError {
 pub fn join(left: &Value, right: &Value) -> Result<Value> {
     let l = want_relation(left)?;
     let r = want_relation(right)?;
-    let mut out = BTreeSet::new();
+    let mut out = PSet::new();
     for lt in l {
         let lf = match lt {
             Value::Tuple(fs) => fs,
@@ -182,7 +194,7 @@ pub fn join(left: &Value, right: &Value) -> Result<Value> {
 pub fn theta_join(left: &Value, right: &Value, pred: &Term, outer: &dyn Env) -> Result<Value> {
     let l = want_relation(left)?;
     let r = want_relation(right)?;
-    let mut out = BTreeSet::new();
+    let mut out = PSet::new();
     for lt in l {
         for rt in r {
             let (lf, rf) = match (lt, rt) {
@@ -223,7 +235,7 @@ pub fn theta_join(left: &Value, right: &Value, pred: &Term, outer: &dyn Env) -> 
 /// Fails if `rel` is not a set of tuples or `from` is missing anywhere.
 pub fn rename(rel: &Value, from: &str, to: &str) -> Result<Value> {
     let tuples = want_relation(rel)?;
-    let mut out = BTreeSet::new();
+    let mut out = PSet::new();
     for t in tuples {
         match t {
             Value::Tuple(fields) => {
@@ -516,7 +528,7 @@ mod tests {
                 }),
                 0..12,
             )
-            .prop_map(Value::Set)
+            .prop_map(|s| Value::Set(s.into_iter().collect()))
         }
 
         fn pred(threshold: i64) -> Term {

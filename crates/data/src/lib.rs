@@ -52,6 +52,7 @@ mod date;
 mod error;
 mod money;
 mod ops;
+mod pcoll;
 mod sort;
 mod statemap;
 mod term;
@@ -61,6 +62,7 @@ pub use date::Date;
 pub use error::DataError;
 pub use money::Money;
 pub use ops::Op;
+pub use pcoll::{PList, PMap, PSet};
 pub use sort::{Sort, TupleField};
 pub use statemap::StateMap;
 pub use term::{Env, Layered, MapEnv, Quantifier, Term};

@@ -5,8 +5,7 @@
 //! on sets, arithmetic on integers and money (`Salary + n`,
 //! `Salary * 13.5`), and comparisons (`Salary ≥ 5000`).
 
-use crate::{DataError, Money, Result, Value};
-use std::collections::BTreeSet;
+use crate::{DataError, Money, PList, PMap, PSet, Result, Value};
 use std::fmt;
 
 /// A built-in operation symbol.
@@ -328,10 +327,9 @@ impl Op {
                 .ok_or_else(|| DataError::Undefined("head of empty list".into())),
             Tail => {
                 let l = want_list(self, a)?;
-                if l.is_empty() {
-                    Err(DataError::Undefined("tail of empty list".into()))
-                } else {
-                    Ok(Value::List(l[1..].to_vec()))
+                match l.tail() {
+                    None => Err(DataError::Undefined("tail of empty list".into())),
+                    Some(t) => Ok(Value::List(t)),
                 }
             }
             ToSet => {
@@ -403,22 +401,32 @@ impl Op {
                 Value::Map(m) => Ok(Value::Bool(m.contains_key(a))),
                 other => Err(DataError::sort_mismatch("in", "set, list or map", other)),
             },
-            Union => set2(self, a, b, |a, b| a.union(b).cloned().collect()),
-            Intersect => set2(self, a, b, |a, b| a.intersection(b).cloned().collect()),
-            Difference => set2(self, a, b, |a, b| a.difference(b).cloned().collect()),
+            Union => set2(self, a, b, |a, b| {
+                let mut out = a.clone();
+                for e in b.iter() {
+                    out.insert(e.clone());
+                }
+                out
+            }),
+            Intersect => set2(self, a, b, |a, b| {
+                a.iter().filter(|e| b.contains(e)).cloned().collect()
+            }),
+            Difference => set2(self, a, b, |a, b| {
+                a.iter().filter(|e| !b.contains(e)).cloned().collect()
+            }),
             Subset => {
                 let a = want_set(self, a)?;
                 let b = want_set(self, b)?;
                 Ok(Value::Bool(a.is_subset(b)))
             }
             Append => {
-                let mut l = want_list(self, b)?.to_vec();
-                l.push(a.clone());
+                let mut l = want_list(self, b)?.clone();
+                l.push_back(a.clone());
                 Ok(Value::List(l))
             }
             Concat => {
-                let mut l = want_list(self, a)?.to_vec();
-                l.extend_from_slice(want_list(self, b)?);
+                let mut l = want_list(self, a)?.clone();
+                l.extend(want_list(self, b)?.iter().cloned());
                 Ok(Value::List(l))
             }
             Nth => {
@@ -463,9 +471,10 @@ impl Op {
                 (a, b) => Err(DataError::sort_mismatch("plus_days", "(date, int)", (a, b))),
             },
             MkId => match (a, b) {
-                (Value::Str(class), Value::List(key)) => {
-                    Ok(Value::Id(crate::ObjectId::new(class.clone(), key.clone())))
-                }
+                (Value::Str(class), Value::List(key)) => Ok(Value::Id(crate::ObjectId::new(
+                    class.clone(),
+                    key.iter().cloned().collect(),
+                ))),
                 (a, b) => Err(DataError::sort_mismatch(
                     "mkid",
                     "(string, list of key values)",
@@ -500,6 +509,10 @@ impl Op {
     /// the operand shapes it consumes and everything else (including
     /// every error case) delegates to `apply` with the arguments
     /// untouched. Consumed operand slots are left `Undefined`.
+    ///
+    /// With persistent collection payloads the collection handle itself
+    /// is O(1) to clone either way; what donation still saves is the
+    /// clone of the *element* operand (`insert`/`append`/`put`).
     pub fn apply_owned(&self, args: &mut [Value]) -> Result<Value> {
         use std::mem::take;
         use Op::*;
@@ -529,27 +542,11 @@ impl Op {
                 a.extend(b);
                 Ok(Value::Set(a))
             }
-            Intersect if args[0].as_set().is_some() && args[1].as_set().is_some() => {
-                let (Value::Set(mut a), Value::Set(b)) = (take(&mut args[0]), take(&mut args[1]))
-                else {
-                    unreachable!()
-                };
-                a.retain(|x| b.contains(x));
-                Ok(Value::Set(a))
-            }
-            Difference if args[0].as_set().is_some() && args[1].as_set().is_some() => {
-                let (Value::Set(mut a), Value::Set(b)) = (take(&mut args[0]), take(&mut args[1]))
-                else {
-                    unreachable!()
-                };
-                a.retain(|x| !b.contains(x));
-                Ok(Value::Set(a))
-            }
             Append if args[1].as_list().is_some() => {
                 let Value::List(mut l) = take(&mut args[1]) else {
                     unreachable!()
                 };
-                l.push(take(&mut args[0]));
+                l.push_back(take(&mut args[0]));
                 Ok(Value::List(l))
             }
             Concat if args[0].as_list().is_some() && args[1].as_list().is_some() => {
@@ -561,17 +558,16 @@ impl Op {
                 Ok(Value::List(a))
             }
             Head if args[0].as_list().is_some_and(|l| !l.is_empty()) => {
-                let Value::List(l) = take(&mut args[0]) else {
-                    unreachable!()
-                };
-                Ok(l.into_iter().next().expect("guarded non-empty"))
-            }
-            Tail if args[0].as_list().is_some_and(|l| !l.is_empty()) => {
                 let Value::List(mut l) = take(&mut args[0]) else {
                     unreachable!()
                 };
-                l.remove(0);
-                Ok(Value::List(l))
+                Ok(l.remove_at(0).expect("guarded non-empty"))
+            }
+            Tail if args[0].as_list().is_some_and(|l| !l.is_empty()) => {
+                let Value::List(l) = take(&mut args[0]) else {
+                    unreachable!()
+                };
+                Ok(Value::List(l.tail().expect("guarded non-empty")))
             }
             ToSet if args[0].as_list().is_some() => {
                 let Value::List(l) = take(&mut args[0]) else {
@@ -620,17 +616,17 @@ fn want_int(op: &Op, v: &Value) -> Result<i64> {
         .ok_or_else(|| DataError::sort_mismatch(op.name(), "int", v))
 }
 
-fn want_set<'a>(op: &Op, v: &'a Value) -> Result<&'a BTreeSet<Value>> {
+fn want_set<'a>(op: &Op, v: &'a Value) -> Result<&'a PSet> {
     v.as_set()
         .ok_or_else(|| DataError::sort_mismatch(op.name(), "set", v))
 }
 
-fn want_list<'a>(op: &Op, v: &'a Value) -> Result<&'a [Value]> {
+fn want_list<'a>(op: &Op, v: &'a Value) -> Result<&'a PList> {
     v.as_list()
         .ok_or_else(|| DataError::sort_mismatch(op.name(), "list", v))
 }
 
-fn want_map<'a>(op: &Op, v: &'a Value) -> Result<&'a std::collections::BTreeMap<Value, Value>> {
+fn want_map<'a>(op: &Op, v: &'a Value) -> Result<&'a PMap> {
     match v {
         Value::Map(m) => Ok(m),
         other => Err(DataError::sort_mismatch(op.name(), "map", other)),
@@ -643,12 +639,7 @@ fn bool2(op: &Op, a: &Value, b: &Value, f: impl Fn(bool, bool) -> bool) -> Resul
     Ok(Value::Bool(f(a, b)))
 }
 
-fn set2(
-    op: &Op,
-    a: &Value,
-    b: &Value,
-    f: impl Fn(&BTreeSet<Value>, &BTreeSet<Value>) -> BTreeSet<Value>,
-) -> Result<Value> {
+fn set2(op: &Op, a: &Value, b: &Value, f: impl Fn(&PSet, &PSet) -> PSet) -> Result<Value> {
     let a = want_set(op, a)?;
     let b = want_set(op, b)?;
     Ok(Value::Set(f(a, b)))

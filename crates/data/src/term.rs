@@ -233,16 +233,16 @@ impl Term {
                 Ok(Value::tuple_of(out))
             }
             Term::MkSet(elems) => {
-                let mut out = std::collections::BTreeSet::new();
+                let mut out = crate::PSet::new();
                 for t in elems {
                     out.insert(t.eval(env)?);
                 }
                 Ok(Value::Set(out))
             }
             Term::MkList(elems) => {
-                let mut out = Vec::with_capacity(elems.len());
+                let mut out = crate::PList::new();
                 for t in elems {
-                    out.push(t.eval(env)?);
+                    out.push_back(t.eval(env)?);
                 }
                 Ok(Value::List(out))
             }
@@ -263,7 +263,7 @@ impl Term {
                 let dom = domain.eval(env)?;
                 let elems: Vec<Value> = match dom {
                     Value::Set(s) => s.into_iter().collect(),
-                    Value::List(l) => l,
+                    Value::List(l) => l.into_iter().collect(),
                     other => {
                         return Err(DataError::sort_mismatch(
                             "quantifier domain",

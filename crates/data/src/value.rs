@@ -1,7 +1,6 @@
 //! The value universe of TROLL data terms.
 
-use crate::{Date, Money, Sort, TupleField};
-use std::collections::{BTreeMap, BTreeSet};
+use crate::{Date, Money, PList, PMap, PSet, Sort, TupleField};
 use std::fmt;
 
 /// An object identity value.
@@ -112,12 +111,12 @@ pub enum Value {
     Money(Money),
     /// Object identity.
     Id(ObjectId),
-    /// Finite set.
-    Set(BTreeSet<Value>),
-    /// Finite list.
-    List(Vec<Value>),
-    /// Finite map.
-    Map(BTreeMap<Value, Value>),
+    /// Finite set (persistent, structurally shared — see [`PSet`]).
+    Set(PSet),
+    /// Finite list (persistent, structurally shared — see [`PList`]).
+    List(PList),
+    /// Finite map (persistent, structurally shared — see [`PMap`]).
+    Map(PMap),
     /// Tuple with named fields, kept sorted by field name so equality is
     /// independent of field order in the source text.
     Tuple(Vec<(String, Value)>),
@@ -152,12 +151,12 @@ impl Value {
 
     /// The empty set.
     pub fn empty_set() -> Value {
-        Value::Set(BTreeSet::new())
+        Value::Set(PSet::new())
     }
 
     /// The empty list.
     pub fn empty_list() -> Value {
-        Value::List(Vec::new())
+        Value::List(PList::new())
     }
 
     /// Whether this is the undefined observation.
@@ -198,7 +197,7 @@ impl Value {
     }
 
     /// Returns the set payload, if this is a `Set`.
-    pub fn as_set(&self) -> Option<&BTreeSet<Value>> {
+    pub fn as_set(&self) -> Option<&PSet> {
         match self {
             Value::Set(s) => Some(s),
             _ => None,
@@ -206,9 +205,17 @@ impl Value {
     }
 
     /// Returns the list payload, if this is a `List`.
-    pub fn as_list(&self) -> Option<&[Value]> {
+    pub fn as_list(&self) -> Option<&PList> {
         match self {
             Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns the map payload, if this is a `Map`.
+    pub fn as_map(&self) -> Option<&PMap> {
+        match self {
+            Value::Map(m) => Some(m),
             _ => None,
         }
     }

@@ -73,6 +73,22 @@ pub enum ObsEvent {
         /// Number of attribute updates applied.
         updates: usize,
     },
+    /// Delta accounting for one occurrence's valuation rules: how many
+    /// collection-valued rules were applied incrementally (path-copied
+    /// onto the shared pre-state handle) versus recomputed in full
+    /// despite having a delta-able shape (oracle / forced-recompute
+    /// configurations). Emitted only when at least one field is
+    /// nonzero.
+    ValuationDelta {
+        /// Instance identity.
+        instance: String,
+        /// The event whose rules ran.
+        event: String,
+        /// Rules applied through delta ops.
+        delta: usize,
+        /// Delta-shaped rules evaluated by full recompute.
+        recomputed: usize,
+    },
     /// A committed step was fed to the instance's live monitors.
     MonitorFed {
         /// Instance identity.
@@ -210,6 +226,7 @@ impl ObsEvent {
             ObsEvent::PermissionChecked { .. } => "permission_checked",
             ObsEvent::ConstraintChecked { .. } => "constraint_checked",
             ObsEvent::ValuationApplied { .. } => "valuation_applied",
+            ObsEvent::ValuationDelta { .. } => "valuation_delta",
             ObsEvent::MonitorFed { .. } => "monitor_fed",
             ObsEvent::StepCommitted { .. } => "step_committed",
             ObsEvent::StepRolledBack { .. } => "step_rolled_back",
@@ -275,6 +292,17 @@ impl ObsEvent {
                 push_field_str(&mut out, "instance", instance);
                 push_field_str(&mut out, "event", event);
                 push_field_u64(&mut out, "updates", *updates as u64);
+            }
+            ObsEvent::ValuationDelta {
+                instance,
+                event,
+                delta,
+                recomputed,
+            } => {
+                push_field_str(&mut out, "instance", instance);
+                push_field_str(&mut out, "event", event);
+                push_field_u64(&mut out, "delta", *delta as u64);
+                push_field_u64(&mut out, "recomputed", *recomputed as u64);
             }
             ObsEvent::MonitorFed { instance, monitors } => {
                 push_field_str(&mut out, "instance", instance);
@@ -486,6 +514,13 @@ mod tests {
                 instance: String::new(),
                 event: String::new(),
                 updates: 0,
+            }
+            .kind(),
+            ObsEvent::ValuationDelta {
+                instance: String::new(),
+                event: String::new(),
+                delta: 0,
+                recomputed: 0,
             }
             .kind(),
             ObsEvent::MonitorFed {

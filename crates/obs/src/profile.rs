@@ -223,15 +223,23 @@ pub fn phase_table(snapshot: &MetricsSnapshot) -> String {
         }
     }
     rows.sort_by(|a, b| b.1.sum_ns.cmp(&a.1.sum_ns).then(a.0.cmp(b.0)));
-    // Sequential steps record `step.latency_ns`; speculated commits
-    // record `shard.commit_latency_ns` instead — together they cover
-    // every committed envelope, so the share denominator sums both.
+    // Sequential steps (and conflicted re-runs) record
+    // `step.latency_ns`; the sharded commit loop records its own
+    // machinery in `shard.commit_latency_ns` (re-run time subtracted,
+    // since the nested execute already recorded it); parallel
+    // speculation records `shard.speculation_latency_ns` on the worker
+    // threads. The three are disjoint and together cover every window
+    // in which phases record, so the share denominator sums them all —
+    // `steps` counts only committed envelopes, not speculations.
     let (mut steps, mut total_latency) = (0, 0u64);
     for name in ["step.latency_ns", "shard.commit_latency_ns"] {
         if let Some(h) = snapshot.histograms.get(name) {
             steps += h.count;
             total_latency += h.sum_ns;
         }
+    }
+    if let Some(h) = snapshot.histograms.get("shard.speculation_latency_ns") {
+        total_latency += h.sum_ns;
     }
     let accounted: u64 = rows.iter().map(|(_, h)| h.sum_ns).sum();
     let denom = if total_latency > 0 {

@@ -212,6 +212,8 @@ pub(crate) struct RuntimeCounters {
     pub(crate) constraints_checked: Counter,
     pub(crate) constraints_violated: Counter,
     pub(crate) valuation_updates: Counter,
+    pub(crate) valuation_delta_applied: Counter,
+    pub(crate) valuation_recomputed: Counter,
     pub(crate) view_calls: Counter,
     pub(crate) view_derived_calls: Counter,
 }
@@ -229,6 +231,8 @@ impl RuntimeCounters {
             constraints_checked: metrics.counter("constraints.checked"),
             constraints_violated: metrics.counter("constraints.violated"),
             valuation_updates: metrics.counter("valuation.updates"),
+            valuation_delta_applied: metrics.counter("valuation.delta_applied"),
+            valuation_recomputed: metrics.counter("valuation.recomputed"),
             view_calls: metrics.counter("views.calls"),
             view_derived_calls: metrics.counter("views.derived_calls"),
         }
@@ -1477,8 +1481,9 @@ impl ObjectBase {
             let cc = self.compiled_class(&occ.ctx_class);
             for (perm_index, perm) in class.permissions_for(&occ.event).enumerate() {
                 let params = bind_params(&perm.params, &occ.args, &occ.event)?;
+                let compiled_perm = cc.and_then(|c| c.permission(&occ.event, perm_index));
                 let needed_fallback;
-                let needed = match cc.and_then(|c| c.permission(&occ.event, perm_index)) {
+                let needed = match compiled_perm {
                     Some(p) => &p.needed,
                     None => {
                         let mut needed = BTreeSet::new();
@@ -1510,11 +1515,17 @@ impl ObjectBase {
                 // Role histories stay on the scan path; base histories
                 // go through the monitor cache, falling back to the
                 // scan for anything outside the monitorable fragment.
+                // Scans dispatch through the compiled formula when the
+                // compiled model exists (always, outside the `treewalk`
+                // oracle build) — bytecode leaves, identical semantics.
+                let scan_check = |env: &env::RuleEnv| -> Result<bool> {
+                    Ok(match compiled_perm {
+                        Some(p) => p.scan.eval_now_appended(trace, &virtual_step, env)?,
+                        None => eval_now_appended(&perm.formula, trace, &virtual_step, env)?,
+                    })
+                };
                 let (holds, path) = if is_role_ctx {
-                    (
-                        eval_now_appended(&perm.formula, trace, &virtual_step, &env)?,
-                        CheckPath::Scan,
-                    )
+                    (scan_check(&env)?, CheckPath::Scan)
                 } else {
                     let key = CheckKey {
                         kind: CheckKind::Permission,
@@ -1529,10 +1540,7 @@ impl ObjectBase {
                         Verdict::Holds(b) => (b, CheckPath::Monitored),
                         Verdict::Fallback => {
                             note_scan_fallback(self, cache, "permission", &perm.formula);
-                            (
-                                eval_now_appended(&perm.formula, trace, &virtual_step, &env)?,
-                                CheckPath::Scan,
-                            )
+                            (scan_check(&env)?, CheckPath::Scan)
                         }
                     }
                 };
@@ -1576,6 +1584,11 @@ impl ObjectBase {
                 w.state.clone()
             };
             let mut updates: Vec<(String, Value)> = Vec::new();
+            // Delta accounting: rules whose value applied incrementally
+            // through delta ops vs delta-shaped rules that recomputed
+            // in full (oracle / forced-recompute builds).
+            let mut delta_applied = 0usize;
+            let mut recomputed = 0usize;
             let cc = self.compiled_class(&occ.ctx_class);
             for (rule_index, rule) in class.valuation_for(&occ.event).enumerate() {
                 let params = bind_params(&rule.params, &occ.args, &occ.event)?;
@@ -1617,7 +1630,14 @@ impl ObjectBase {
                     }
                 }
                 let value = match compiled {
-                    Some(c) => c.value.eval(&env)?,
+                    Some(c) => {
+                        if c.value.delta_lowered() {
+                            delta_applied += 1;
+                        } else if c.value.delta_shaped() {
+                            recomputed += 1;
+                        }
+                        c.value.eval(&env)?
+                    }
                     None => rule.value.eval(&env)?,
                 };
                 updates.push((rule.attribute.clone(), value));
@@ -1628,6 +1648,18 @@ impl ObjectBase {
                     instance: occ.id.to_string(),
                     event: occ.event.clone(),
                     updates: updates.len(),
+                });
+            }
+            if delta_applied > 0 || recomputed > 0 {
+                self.counters
+                    .valuation_delta_applied
+                    .add(delta_applied as u64);
+                self.counters.valuation_recomputed.add(recomputed as u64);
+                self.emit(|| ObsEvent::ValuationDelta {
+                    instance: occ.id.to_string(),
+                    event: occ.event.clone(),
+                    delta: delta_applied,
+                    recomputed,
                 });
             }
             let w = working_entry_mut(working, &occ.id)?;
@@ -1700,8 +1732,9 @@ impl ObjectBase {
                 if !applies {
                     continue;
                 }
+                let compiled_con = cc.and_then(|c| c.constraints.get(index));
                 let needed_fallback;
-                let needed = match cc.and_then(|c| c.constraints.get(index)) {
+                let needed = match compiled_con {
                     Some(c) => &c.needed,
                     None => {
                         let mut needed = BTreeSet::new();
@@ -1717,7 +1750,10 @@ impl ObjectBase {
                     env::materialize_aliases(&overlay, class, state)?,
                 );
                 drop(env_guard);
-                let holds = eval_now_appended(&c.formula, trace, &virtual_step, &env)?;
+                let holds = match compiled_con {
+                    Some(cf) => cf.scan.eval_now_appended(trace, &virtual_step, &env)?,
+                    None => eval_now_appended(&c.formula, trace, &virtual_step, &env)?,
+                };
                 self.counters.constraints_checked.inc();
                 self.emit(|| ObsEvent::ConstraintChecked {
                     instance: id.to_string(),
@@ -1754,8 +1790,9 @@ impl ObjectBase {
                 if !applies {
                     continue;
                 }
+                let compiled_con = cc.and_then(|c| c.constraints.get(index));
                 let needed_fallback;
-                let needed = match cc.and_then(|c| c.constraints.get(index)) {
+                let needed = match compiled_con {
                     Some(c) => &c.needed,
                     None => {
                         let mut needed = BTreeSet::new();
@@ -1772,12 +1809,15 @@ impl ObjectBase {
                     env::materialize_aliases(&overlay, base_class, &w.state)?,
                 );
                 drop(env_guard);
+                let scan_check = |env: &env::RuleEnv| -> Result<bool> {
+                    Ok(match compiled_con {
+                        Some(cf) => cf.scan.eval_now_appended(base_trace, &virtual_step, env)?,
+                        None => eval_now_appended(&c.formula, base_trace, &virtual_step, env)?,
+                    })
+                };
                 // `initially` fires once per life — not worth an entry.
                 let (holds, path) = if c.kind == ConstraintKind::Initially {
-                    (
-                        eval_now_appended(&c.formula, base_trace, &virtual_step, &env)?,
-                        CheckPath::Scan,
-                    )
+                    (scan_check(&env)?, CheckPath::Scan)
                 } else {
                     let key = CheckKey {
                         kind: CheckKind::Constraint,
@@ -1796,10 +1836,7 @@ impl ObjectBase {
                         Verdict::Holds(b) => (b, CheckPath::Monitored),
                         Verdict::Fallback => {
                             note_scan_fallback(self, cache, "constraint", &c.formula);
-                            (
-                                eval_now_appended(&c.formula, base_trace, &virtual_step, &env)?,
-                                CheckPath::Scan,
-                            )
+                            (scan_check(&env)?, CheckPath::Scan)
                         }
                     }
                 };
@@ -2176,6 +2213,36 @@ end global interactions;
         let inst = ob.instance(&toys).unwrap();
         assert!(inst.is_alive());
         assert_eq!(inst.trace().len(), 1);
+    }
+
+    #[test]
+    fn delta_valuation_counters_on_delta_shaped_rules() {
+        let mut ob = company_base();
+        let toys = dept(&mut ob, "Toys");
+        let mut people = Vec::new();
+        for i in 0..5 {
+            let p = person(&mut ob, &format!("p{i}"), 1000);
+            ob.execute(&toys, "hire", vec![Value::Id(p.clone())])
+                .unwrap();
+            people.push(p);
+        }
+        ob.execute(&toys, "fire", vec![Value::Id(people[0].clone())])
+            .unwrap();
+        let applied = ob.metrics().counter("valuation.delta_applied").get();
+        let recomputed = ob.metrics().counter("valuation.recomputed").get();
+        if cfg!(feature = "treewalk") {
+            // no compiled model at all: nothing is accounted
+            assert_eq!(applied + recomputed, 0);
+        } else {
+            // every hire applies two delta rules (employees, hired_ever)
+            // and the fire one more; nothing recomputes
+            assert!(applied >= 11, "delta_applied = {applied}");
+            assert_eq!(recomputed, 0, "recomputed = {recomputed}");
+        }
+        assert_eq!(
+            ob.attribute(&toys, "employees").unwrap(),
+            Value::set_of(people[1..].iter().cloned().map(Value::Id)),
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use troll_lang::{ClassModel, EventTarget, LoweredCall, SystemModel};
+use troll_temporal::CompiledFormula;
 use troll_vm::Compiled;
 
 use crate::env;
@@ -34,17 +35,23 @@ pub(crate) struct CompiledValuation {
     pub(crate) needed: BTreeSet<String>,
 }
 
-/// Precomputed needed-variable set of a permission formula. The
-/// formula itself is evaluated by monitor or scan (the monitor's state
-/// predicates are compiled inside `troll_temporal::Monitor`).
+/// A permission formula's compiled scan form plus its precomputed
+/// needed-variable set. Monitorable formulas on base histories are
+/// answered by the monitor cache (whose state predicates are compiled
+/// inside `troll_temporal::Monitor`); everything else — role-context
+/// checks and unmonitorable formulas — scans through `scan`, the
+/// bytecode twin of the reference evaluator.
 #[derive(Debug)]
 pub(crate) struct CompiledPermission {
+    pub(crate) scan: CompiledFormula,
     pub(crate) needed: BTreeSet<String>,
 }
 
-/// Precomputed needed-variable set of a constraint formula.
+/// A constraint formula's compiled scan form plus its precomputed
+/// needed-variable set.
 #[derive(Debug)]
 pub(crate) struct CompiledConstraint {
+    pub(crate) scan: CompiledFormula,
     pub(crate) needed: BTreeSet<String>,
 }
 
@@ -95,7 +102,10 @@ impl CompiledClass {
                 .or_default()
                 .push(CompiledValuation {
                     guard: rule.guard.clone().map(Compiled::new),
-                    value: Compiled::new(rule.value.clone()),
+                    // delta-aware: `attr := insert(x, attr)`-shaped
+                    // value terms lower to incremental collection
+                    // updates (see `troll_vm::Compiled::new_valuation`)
+                    value: Compiled::new_valuation(rule.value.clone(), &rule.attribute),
                     needed,
                 });
         }
@@ -106,7 +116,10 @@ impl CompiledClass {
             permissions
                 .entry(perm.event.clone())
                 .or_default()
-                .push(CompiledPermission { needed });
+                .push(CompiledPermission {
+                    scan: CompiledFormula::new(&perm.formula),
+                    needed,
+                });
         }
         let constraints = class
             .constraints
@@ -114,7 +127,10 @@ impl CompiledClass {
             .map(|c| {
                 let mut needed = BTreeSet::new();
                 env::formula_needed_vars(&c.formula, &mut needed);
-                CompiledConstraint { needed }
+                CompiledConstraint {
+                    scan: CompiledFormula::new(&c.formula),
+                    needed,
+                }
             })
             .collect();
         let derivations = class

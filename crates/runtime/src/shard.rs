@@ -28,9 +28,15 @@
 //! instance by instance.
 //!
 //! Observability: `shard.commits`, `shard.conflicts` and
-//! `shard.inbox_depth` counters plus the `shard.commit_latency_ns`
-//! histogram live in the base's [`Metrics`] registry, so
-//! `troll animate --stats` surfaces them alongside the step counters.
+//! `shard.inbox_depth` counters plus the `shard.commit_latency_ns` and
+//! `shard.speculation_latency_ns` histograms live in the base's
+//! [`Metrics`] registry, so `troll animate --stats` surfaces them
+//! alongside the step counters. The latency histograms are kept
+//! *disjoint* from `step.latency_ns` — a conflicted re-run's envelope
+//! is recorded by the nested [`ObjectBase::execute`] and subtracted
+//! from its commit sample, and speculation windows get their own
+//! histogram — so the phase profiler's accounted-for footer
+//! ([`troll_obs::phase_table`]) stays honest on sharded runs.
 
 use crate::base::{ObjectBase, PreparedStep, ReadSet, ReadTracker, StepReport};
 use crate::monitor_cache::MonitorCache;
@@ -38,7 +44,7 @@ use crate::Result;
 use std::collections::BTreeSet;
 use std::time::Instant;
 use troll_data::{ObjectId, Value};
-use troll_obs::{Counter, Histogram, ObsEvent};
+use troll_obs::{Counter, Histogram, ObsEvent, Phase};
 use troll_process::EventKind;
 
 /// One externally addressed event in a batch: the sharded counterpart
@@ -74,6 +80,7 @@ pub struct WorldShards {
     conflicts: Counter,
     inbox_depth: Counter,
     commit_latency: Histogram,
+    speculation_latency: Histogram,
 }
 
 /// What one shard worker produced for one batch event: the prepared
@@ -172,6 +179,7 @@ impl WorldShards {
         let conflicts = metrics.counter("shard.conflicts");
         let inbox_depth = metrics.counter("shard.inbox_depth");
         let commit_latency = metrics.histogram("shard.commit_latency_ns");
+        let speculation_latency = metrics.histogram("shard.speculation_latency_ns");
         WorldShards {
             base,
             shards: shards.max(1),
@@ -179,6 +187,7 @@ impl WorldShards {
             conflicts,
             inbox_depth,
             commit_latency,
+            speculation_latency,
         }
     }
 
@@ -260,6 +269,11 @@ impl WorldShards {
         {
             let base = &self.base;
             let batch = &batch;
+            // Speculation work runs under the base's phase profiler on
+            // the worker threads; this histogram records the matching
+            // envelopes so the profiler footer can account for that
+            // time (see `troll_obs::phase_table`'s denominator).
+            let spec_latency = &self.speculation_latency;
             std::thread::scope(|scope| {
                 let handles: Vec<_> = inboxes
                     .iter()
@@ -274,11 +288,13 @@ impl WorldShards {
                                     base.emit(|| ObsEvent::SpeculationStarted { span, shard });
                                     let start = Instant::now();
                                     let spec = speculate(base, &batch[i]);
+                                    let nanos = start.elapsed().as_nanos() as u64;
+                                    spec_latency.record_ns(nanos);
                                     base.emit(|| ObsEvent::SpeculationFinished {
                                         span,
                                         shard,
                                         ok: spec.outcome.is_ok(),
-                                        nanos: start.elapsed().as_nanos() as u64,
+                                        nanos,
                                     });
                                     (i, spec)
                                 })
@@ -308,6 +324,17 @@ impl WorldShards {
             let span = span_base + i as u64;
             let speculation = slots[i].take();
             let attempts_before = self.base.step_attempts();
+            // A conflicted re-run goes through `ObjectBase::execute`,
+            // which records its own envelope in `step.latency_ns` — so
+            // its duration must be subtracted from this commit's sample
+            // or the profiler footer would count it in both histograms
+            // and the accounted-for share would read artificially low.
+            let mut rerun_ns = 0u64;
+            // The envelope pseudo-phase brackets the commit window so
+            // its glue (validation, lifecycle bookkeeping) is
+            // attributed; the conflict path's nested execute opens its
+            // own envelope, which subtracts as a child like any phase.
+            let envelope = self.base.phase(Phase::Envelope);
             let result = match speculation {
                 Some(spec) if spec.valid(&self.base, &dirty, &lifecycle) => match spec.outcome {
                     Ok(prepared) => {
@@ -332,7 +359,10 @@ impl WorldShards {
                             "speculation lost (worker did not report)".to_string()
                         },
                     });
-                    self.base.execute(&ev.id, &ev.event, ev.args)
+                    let rerun_start = Instant::now();
+                    let rerun = self.base.execute(&ev.id, &ev.event, ev.args);
+                    rerun_ns = rerun_start.elapsed().as_nanos() as u64;
+                    rerun
                 }
             };
             // link the span to the attempt it consumed (none when the
@@ -375,8 +405,9 @@ impl WorldShards {
                     }
                 }
             }
+            drop(envelope);
             self.commit_latency
-                .record_ns(start.elapsed().as_nanos() as u64);
+                .record_ns((start.elapsed().as_nanos() as u64).saturating_sub(rerun_ns));
             results.push(result);
         }
         results
@@ -389,6 +420,9 @@ impl WorldShards {
 /// safety argument guarantees is semantically identical. The committed
 /// (enabled) cache is fed only at commit time, in deterministic order.
 fn speculate(base: &ObjectBase, ev: &BatchEvent) -> Speculation {
+    // bracket the speculation window like a step envelope, so profiled
+    // worker-thread time is attributed (its phases subtract as children)
+    let _envelope = base.phase(Phase::Envelope);
     let tracker = ReadTracker::default();
     let mut scratch = MonitorCache::default();
     scratch.set_enabled(false);
@@ -707,6 +741,44 @@ end global interactions;
         assert!(matches!(res[0], Err(RuntimeError::NotPermitted { .. })));
         let snapshot = ws.base().metrics().snapshot();
         assert_eq!(snapshot.counters.get("steps.rolled_back").copied(), Some(1));
+    }
+
+    /// Phase self-times must account for ≥ 90 % of the recorded latency
+    /// envelopes on a profiled *sharded* run with conflicts — the
+    /// regression this guards: conflicted re-runs used to land in both
+    /// `step.latency_ns` and `shard.commit_latency_ns` while
+    /// speculation phases had no envelope at all, reading ~64 % on the
+    /// old accounting and ~180 % once re-runs were subtracted alone.
+    #[test]
+    fn sharded_profile_accounting_covers_the_envelopes() {
+        let batches = workload();
+        let mut ws = company().into_shards(4);
+        ws.base_mut().set_profiling(true);
+        for b in &batches {
+            ws.run_batch(b.clone());
+        }
+        let snap = ws.base().metrics().snapshot();
+        let mut denom = 0u64;
+        for name in [
+            "step.latency_ns",
+            "shard.commit_latency_ns",
+            "shard.speculation_latency_ns",
+        ] {
+            if let Some(h) = snap.histograms.get(name) {
+                denom += h.sum_ns;
+            }
+        }
+        let accounted: u64 = snap
+            .histograms
+            .iter()
+            .filter(|(name, _)| name.starts_with("step.phase."))
+            .map(|(_, h)| h.sum_ns)
+            .sum();
+        let ratio = accounted as f64 / denom as f64;
+        assert!(
+            (0.90..=1.02).contains(&ratio),
+            "sharded accounted share out of range: {accounted} / {denom} = {ratio:.3}"
+        );
     }
 
     /// Shard assignment is deterministic and actually spreads load.

@@ -27,7 +27,6 @@
 //! what makes "sharded and sequential runs produce byte-identical logs"
 //! a meaningful guarantee.
 
-use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use troll_data::{Date, Money, ObjectId, StateMap, Value};
@@ -178,7 +177,7 @@ impl Enc {
             Value::Map(m) => {
                 self.u8(9);
                 self.u32(m.len() as u32);
-                for (k, x) in m {
+                for (k, x) in m.iter() {
                     self.value(k);
                     self.value(x);
                 }
@@ -384,7 +383,7 @@ impl<'a> Dec<'a> {
             6 => Ok(Value::Id(self.id()?)),
             7 => {
                 let n = self.count()?;
-                let mut set = BTreeSet::new();
+                let mut set = troll_data::PSet::new();
                 for _ in 0..n {
                     set.insert(self.value()?);
                 }
@@ -392,15 +391,15 @@ impl<'a> Dec<'a> {
             }
             8 => {
                 let n = self.count()?;
-                let mut list = Vec::with_capacity(n);
+                let mut list = troll_data::PList::new();
                 for _ in 0..n {
-                    list.push(self.value()?);
+                    list.push_back(self.value()?);
                 }
                 Ok(Value::List(list))
             }
             9 => {
                 let n = self.count()?;
-                let mut map = BTreeMap::new();
+                let mut map = troll_data::PMap::new();
                 for _ in 0..n {
                     let k = self.value()?;
                     let v = self.value()?;
@@ -552,12 +551,8 @@ mod tests {
                 vec![Value::from("Toys"), Value::Int(7)],
             )),
             Value::set_of([Value::Int(1), Value::Int(2), Value::Undefined]),
-            Value::List(vec![Value::Bool(false), Value::Str(String::new())]),
-            Value::Map(
-                [(Value::Int(1), Value::Str("one".into()))]
-                    .into_iter()
-                    .collect(),
-            ),
+            Value::list_of(vec![Value::Bool(false), Value::Str(String::new())]),
+            Value::map_of([(Value::Int(1), Value::Str("one".into()))]),
             Value::Tuple(vec![
                 ("name".into(), Value::Str("ada".into())),
                 ("salary".into(), Value::Money(Money::from_cents(600_000))),

@@ -27,10 +27,9 @@ fn arb_leaf() -> impl Strategy<Value = Value> {
 fn arb_value() -> impl Strategy<Value = Value> {
     arb_leaf().prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
-            proptest::collection::btree_set(inner.clone(), 0..4).prop_map(Value::Set),
-            proptest::collection::vec((inner.clone(), inner.clone()), 0..3)
-                .prop_map(|pairs| Value::Map(pairs.into_iter().collect())),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::list_of),
+            proptest::collection::btree_set(inner.clone(), 0..4).prop_map(Value::set_of),
+            proptest::collection::vec((inner.clone(), inner.clone()), 0..3).prop_map(Value::map_of),
             proptest::collection::vec(("[a-z]{1,6}", inner.clone()), 0..3).prop_map(|fields| {
                 let mut fields: Vec<(String, Value)> = fields;
                 fields.sort_by(|a, b| a.0.cmp(&b.0));

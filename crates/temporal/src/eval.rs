@@ -54,18 +54,20 @@ fn eval_pred(term: &troll_data::Term, step: &Step, env: &dyn Env) -> Result<bool
 /// A trace with an optional appended virtual step — lets callers
 /// evaluate "history + the state being built right now" without cloning
 /// the history (the runtime's permission checks do this on every event).
+/// Shared with the compiled scan ([`crate::CompiledFormula`]), whose
+/// recursion must see the identical position space.
 #[derive(Clone, Copy)]
-struct TraceView<'a> {
-    base: &'a Trace,
-    extra: Option<&'a Step>,
+pub(crate) struct TraceView<'a> {
+    pub(crate) base: &'a Trace,
+    pub(crate) extra: Option<&'a Step>,
 }
 
 impl<'a> TraceView<'a> {
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.base.len() + usize::from(self.extra.is_some())
     }
 
-    fn step(&self, pos: usize) -> Option<&'a Step> {
+    pub(crate) fn step(&self, pos: usize) -> Option<&'a Step> {
         if pos < self.base.len() {
             self.base.step(pos)
         } else if pos == self.base.len() {
@@ -210,7 +212,7 @@ fn eval_at_view(
             let dom = domain.eval(&layered)?;
             let elems: Vec<Value> = match dom {
                 Value::Set(s) => s.into_iter().collect(),
-                Value::List(l) => l,
+                Value::List(l) => l.into_iter().collect(),
                 other => return Err(TemporalError::NonFiniteDomain(other.to_string())),
             };
             for elem in elems {
@@ -291,10 +293,10 @@ pub fn holds_throughout(formula: &Formula, trace: &Trace, env: &dyn Env) -> Resu
     Ok(true)
 }
 
-struct OneBinding<'a> {
-    name: &'a str,
-    value: Value,
-    parent: &'a dyn Env,
+pub(crate) struct OneBinding<'a> {
+    pub(crate) name: &'a str,
+    pub(crate) value: Value,
+    pub(crate) parent: &'a dyn Env,
 }
 
 impl Env for OneBinding<'_> {

@@ -26,6 +26,11 @@
 //! * [`Monitor`] — an incremental evaluator for the quantifier-free,
 //!   past-only fragment: O(|φ|) per step instead of O(|trace|·|φ|) per
 //!   query. This is the ablation pair of DESIGN.md decision 2.
+//! * [`CompiledFormula`] — the reference scan with every leaf term
+//!   lowered to bytecode once: handles the entire logic (quantifiers
+//!   and future operators included) and is observationally identical
+//!   to [`eval_at`], so the runtime's unmonitorable-formula checks can
+//!   dispatch through the VM instead of tree-walking per position.
 //!
 //! # Example
 //!
@@ -58,12 +63,14 @@ mod eval;
 mod formula;
 mod monitor;
 mod obs;
+mod scan;
 mod trace;
 
 pub use error::TemporalError;
 pub use eval::{eval_at, eval_now, eval_now_appended, holds_throughout};
 pub use formula::{EventPattern, Formula};
 pub use monitor::{agree_on_trace, Monitor, MonitorSnapshot};
+pub use scan::CompiledFormula;
 pub use trace::{EventOccurrence, Step, Trace};
 
 /// Convenience result alias.

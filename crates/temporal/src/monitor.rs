@@ -14,31 +14,10 @@
 //! against each other (`bench_permission_check`).
 
 use crate::eval::{eval_at, eval_now};
-use crate::{EventPattern, Formula, Result, Step, TemporalError, Trace};
+use crate::scan::{pattern_matches, CompiledPattern};
+use crate::{Formula, Result, Step, TemporalError, Trace};
 use troll_data::{Env, Layered};
 use troll_vm::Compiled;
-
-/// An [`EventPattern`] with its rigid argument terms lowered to
-/// bytecode — they are re-evaluated on every monitor step, so they are
-/// as hot as the state predicates.
-#[derive(Debug, Clone)]
-struct CompiledPattern {
-    name: String,
-    args: Vec<Option<Compiled>>,
-}
-
-impl CompiledPattern {
-    fn new(p: &EventPattern) -> Self {
-        CompiledPattern {
-            name: p.name.clone(),
-            args: p
-                .args
-                .iter()
-                .map(|a| a.as_ref().map(|t| Compiled::new(t.clone())))
-                .collect(),
-        }
-    }
-}
 
 /// Flattened subformula node; children are indices into the node array
 /// (children always precede parents, enabling a single bottom-up pass).
@@ -233,33 +212,6 @@ impl Monitor {
     }
 }
 
-fn pattern_matches(pattern: &CompiledPattern, step: &Step, env: &dyn Env) -> Result<bool> {
-    for occ in &step.events {
-        if occ.name != pattern.name {
-            continue;
-        }
-        if pattern.args.is_empty() {
-            return Ok(true);
-        }
-        if occ.args.len() != pattern.args.len() {
-            continue;
-        }
-        let mut all = true;
-        for (pat, actual) in pattern.args.iter().zip(&occ.args) {
-            if let Some(term) = pat {
-                if term.eval(env)? != *actual {
-                    all = false;
-                    break;
-                }
-            }
-        }
-        if all {
-            return Ok(true);
-        }
-    }
-    Ok(false)
-}
-
 /// Flattens `formula` into `nodes` (postorder) and returns the root index.
 fn flatten(formula: &Formula, nodes: &mut Vec<Node>) -> Result<usize> {
     let node = match formula {
@@ -318,7 +270,7 @@ pub fn agree_on_trace(formula: &Formula, trace: &Trace, env: &dyn Env) -> Result
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::EventOccurrence;
+    use crate::{EventOccurrence, EventPattern};
     use proptest::prelude::*;
     use troll_data::{MapEnv, Op, Term, Value};
 

@@ -10,6 +10,10 @@
 //!   [`crate::eval_now_appended`]): each one is a full history scan,
 //!   O(|trace|·|φ|). On the runtime's hot path these are exactly the
 //!   scan-path *fallbacks* of the monitor cache.
+//! * `temporal.compiled_scan_evals` — the subset of scans answered by
+//!   the compiled scan ([`crate::CompiledFormula`]): same complexity
+//!   class, but predicate leaves run as bytecode. Counted *in addition*
+//!   to `temporal.scan_evals`, which stays the total scan count.
 //! * `temporal.monitor_steps` — committed steps consumed by
 //!   [`crate::Monitor::step`], O(|φ|) each.
 //! * `temporal.monitor_peeks` — non-mutating hot-path queries via
@@ -26,6 +30,12 @@ use troll_obs::Counter;
 pub(crate) fn scan_evals() -> &'static Counter {
     static C: OnceLock<Counter> = OnceLock::new();
     C.get_or_init(|| troll_obs::global().counter("temporal.scan_evals"))
+}
+
+/// Counter of compiled-scan entries (also counted in `scan_evals`).
+pub(crate) fn compiled_scan_evals() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| troll_obs::global().counter("temporal.compiled_scan_evals"))
 }
 
 /// Counter of monitor steps (committed feeds).

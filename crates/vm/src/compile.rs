@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use troll_data::{Op, Quantifier, Term, Value};
 
-use crate::program::{Instr, Program, SelectData, NO_FIELD};
+use crate::program::{DeltaKind, Instr, Program, SelectData, NO_FIELD};
 
 /// Ops whose `apply_owned` consumes operand registers. Their operands
 /// must live in the contiguous scratch window (`Instr::Apply`); every
@@ -73,6 +73,70 @@ impl Bail {
 pub(crate) fn compile(term: &Term) -> Result<Program, Bail> {
     let mut c = Compiler::default();
     c.emit(term, 0)?;
+    finish(c)
+}
+
+/// The delta-able root shape of a valuation value term: `op(elem, attr)`
+/// where `op` is `insert`/`remove`/`append` and the collection operand
+/// is the very attribute being assigned. Returns the kind and the
+/// element subterm.
+fn delta_shape<'t>(t: &'t Term, attr: &str) -> Option<(DeltaKind, &'t Term)> {
+    if let Term::Apply(op, args) = t {
+        if args.len() == 2 {
+            if let Term::Var(name) = &args[1] {
+                if name == attr {
+                    let kind = match op {
+                        Op::Insert => DeltaKind::Insert,
+                        Op::Remove => DeltaKind::Remove,
+                        Op::Append => DeltaKind::Append,
+                        _ => return None,
+                    };
+                    return Some((kind, &args[0]));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether a valuation value term for `attr` is delta-able at its root:
+/// a [`delta_shape`], or a conditional whose branches are each
+/// delta-able, the identity `Var(attr)` ("no change"), or a constant
+/// reset — with at least one branch actually applying a delta. Anything
+/// else recomputes; recognition never rejects a term, it only decides
+/// which instruction shape the root gets.
+pub(crate) fn is_delta_root(t: &Term, attr: &str) -> bool {
+    fn arm_ok(t: &Term, attr: &str) -> bool {
+        delta_shape(t, attr).is_some()
+            || matches!(t, Term::Var(n) if n == attr)
+            || matches!(t, Term::Const(_))
+            || guarded(t, attr)
+    }
+    fn guarded(t: &Term, attr: &str) -> bool {
+        if let Term::IfThenElse(_, a, b) = t {
+            arm_ok(a, attr) && arm_ok(b, attr) && (has_delta(a, attr) || has_delta(b, attr))
+        } else {
+            false
+        }
+    }
+    fn has_delta(t: &Term, attr: &str) -> bool {
+        delta_shape(t, attr).is_some() || guarded(t, attr)
+    }
+    has_delta(t, attr)
+}
+
+/// Like [`compile`], but for a valuation value term assigned to `attr`:
+/// a delta-able root ([`is_delta_root`]) lowers to [`Instr::Delta`] ops
+/// that evaluate only the element subterm; everything else lowers
+/// exactly as `compile` would. Returns the program and whether any
+/// delta op was emitted.
+pub(crate) fn compile_valuation(term: &Term, attr: &str) -> Result<(Program, bool), Bail> {
+    let mut c = Compiler::default();
+    let delta = c.emit_delta(term, attr, 0)?;
+    finish(c).map(|p| (p, delta))
+}
+
+fn finish(c: Compiler) -> Result<Program, Bail> {
     let Compiler {
         mut code,
         consts,
@@ -302,6 +366,54 @@ impl Compiler {
         }
     }
 
+    /// Emits valuation-root code for `t`, the value term of a rule
+    /// assigning `attr`: a [`delta_shape`] root compiles its *element*
+    /// subterm only and applies the delta with [`Instr::Delta`]; a
+    /// recognized guard ([`is_delta_root`]) compiles its condition as
+    /// usual and recurses into the branches; anything else emits
+    /// exactly as [`Compiler::emit`] would. Returns whether any delta
+    /// op was emitted.
+    fn emit_delta(&mut self, t: &Term, attr: &str, sp: u16) -> Result<bool, Bail> {
+        if let Some((kind, elem)) = delta_shape(t, attr) {
+            self.emit(elem, sp)?;
+            let name = self.name_id(attr)?;
+            self.code.push(Instr::Delta {
+                kind,
+                elem: sp,
+                name,
+                dst: sp,
+            });
+            return Ok(true);
+        }
+        match t {
+            Term::IfThenElse(c, a, b) if is_delta_root(t, attr) => {
+                self.emit(c, sp)?;
+                let branch_at = self.code.len();
+                self.code.push(Instr::Branch {
+                    cond: sp,
+                    otherwise: 0,
+                });
+                let da = self.emit_delta(a, attr, sp)?;
+                let jump_at = self.code.len();
+                self.code.push(Instr::Jump { to: 0 });
+                let else_at = self.code.len() as u32;
+                if let Instr::Branch { otherwise, .. } = &mut self.code[branch_at] {
+                    *otherwise = else_at;
+                }
+                let db = self.emit_delta(b, attr, sp)?;
+                let end = self.code.len() as u32;
+                if let Instr::Jump { to } = &mut self.code[jump_at] {
+                    *to = end;
+                }
+                Ok(da || db)
+            }
+            _ => {
+                self.emit(t, sp)?;
+                Ok(false)
+            }
+        }
+    }
+
     /// Emits code leaving the value of `t` in register `sp`.
     fn emit(&mut self, t: &Term, sp: u16) -> Result<(), Bail> {
         self.touch(sp)?;
@@ -502,9 +614,24 @@ impl Compiler {
                 if self.selects.len() >= POOL_LIMIT {
                     return Err(Bail("select pool cap"));
                 }
+                // The predicate compiles as a standalone program with
+                // no compile-time scope: a tuple field may shadow any
+                // name at run time, so every read must resolve
+                // dynamically through the per-row environment. A bail
+                // here keeps the tree walk for the predicate only
+                // (counted like any other fallback), not the whole
+                // enclosing term.
+                let prog = match compile(pred) {
+                    Ok(p) => Some(p),
+                    Err(bail) => {
+                        crate::note_fallback(pred, bail.reason());
+                        None
+                    }
+                };
                 let sel = self.selects.len() as u16;
                 self.selects.push(SelectData {
                     pred: Arc::new((**pred).clone()),
+                    prog,
                     scope: self.scope.clone().into_boxed_slice(),
                 });
                 self.code.push(Instr::Select {

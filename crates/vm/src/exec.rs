@@ -6,11 +6,10 @@
 //! program) each take their own frame off the pool stack.
 
 use std::cell::RefCell;
-use std::collections::BTreeSet;
 
 use troll_data::{algebra, DataError, Env, Result, Value};
 
-use crate::program::{Instr, Program, NO_FIELD};
+use crate::program::{DeltaKind, Instr, Program, NO_FIELD};
 
 /// Resolves an `Apply2` operand: the register itself, or — when
 /// `field` is a real name id — that field of the tuple in the register,
@@ -238,7 +237,7 @@ impl Program {
                 }
                 Instr::MkSet { base, n, dst } => {
                     let base = *base as usize;
-                    let mut out = BTreeSet::new();
+                    let mut out = troll_data::PSet::new();
                     for i in 0..*n as usize {
                         out.insert(std::mem::take(&mut regs[base + i]));
                     }
@@ -246,9 +245,10 @@ impl Program {
                 }
                 Instr::MkList { base, n, dst } => {
                     let base = *base as usize;
-                    let out: Vec<Value> = (0..*n as usize)
-                        .map(|i| std::mem::take(&mut regs[base + i]))
-                        .collect();
+                    let mut out = troll_data::PList::new();
+                    for i in 0..*n as usize {
+                        out.push_back(std::mem::take(&mut regs[base + i]));
+                    }
                     regs[*dst as usize] = Value::List(out);
                 }
                 Instr::Jump { to } => {
@@ -276,7 +276,7 @@ impl Program {
                     let dom = std::mem::take(&mut regs[*src as usize]);
                     let elems: Vec<Value> = match dom {
                         Value::Set(s) => s.into_iter().collect(),
-                        Value::List(l) => l,
+                        Value::List(l) => l.into_iter().collect(),
                         other => {
                             return Err(DataError::sort_mismatch(
                                 "quantifier domain",
@@ -315,6 +315,47 @@ impl Program {
                         None => return Err(DataError::sort_mismatch("quantifier body", "bool", b)),
                     }
                 }
+                Instr::Delta {
+                    kind,
+                    elem,
+                    name,
+                    dst,
+                } => {
+                    // element code has already run; now fetch the
+                    // collection handle (O(1), shared) and path-copy the
+                    // delta in — elem-then-collection order and all
+                    // errors exactly as `Term::eval` on
+                    // `op(elem, Var(attr))`
+                    let nm = &*self.names[*name as usize];
+                    let coll = env
+                        .lookup(nm)
+                        .ok_or_else(|| DataError::UnboundVariable(nm.to_string()))?;
+                    let v = match (kind, coll) {
+                        (DeltaKind::Insert, Value::Set(mut s)) => {
+                            s.insert(std::mem::take(&mut regs[*elem as usize]));
+                            Value::Set(s)
+                        }
+                        (DeltaKind::Remove, Value::Set(mut s)) => {
+                            s.remove(&regs[*elem as usize]);
+                            Value::Set(s)
+                        }
+                        (DeltaKind::Append, Value::List(mut l)) => {
+                            l.push_back(std::mem::take(&mut regs[*elem as usize]));
+                            Value::List(l)
+                        }
+                        (DeltaKind::Insert, other) => {
+                            return Err(DataError::sort_mismatch("insert", "set", other))
+                        }
+                        (DeltaKind::Remove, other) => {
+                            return Err(DataError::sort_mismatch("remove", "set", other))
+                        }
+                        (DeltaKind::Append, other) => {
+                            return Err(DataError::sort_mismatch("append", "list", other))
+                        }
+                    };
+                    crate::delta_applied_counter().inc();
+                    regs[*dst as usize] = v;
+                }
                 Instr::Select { rel, sel, dst } => {
                     let r = std::mem::take(&mut regs[*rel as usize]);
                     let data = &self.selects[*sel as usize];
@@ -324,7 +365,14 @@ impl Program {
                         regs: &regs[..],
                         outer: env,
                     };
-                    let out = algebra::select(&r, &data.pred, &bridge)?;
+                    // both arms share algebra's row loop; the compiled
+                    // predicate runs per row against the layered row
+                    // environment (tuple fields → scope regs → outer),
+                    // keeping dynamic field shadowing intact
+                    let out = match &data.prog {
+                        Some(p) => algebra::select_by(&r, |row_env| p.run(row_env), &bridge)?,
+                        None => algebra::select(&r, &data.pred, &bridge)?,
+                    };
                     regs[*dst as usize] = out;
                 }
                 Instr::Project { rel, list, dst } => {

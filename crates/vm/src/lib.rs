@@ -80,6 +80,25 @@ pub fn force_treewalk() -> bool {
     FORCE_TREEWALK.load(Ordering::SeqCst)
 }
 
+/// Run-time switch disabling delta recognition (see
+/// [`set_force_recompute`]).
+static FORCE_RECOMPUTE: AtomicBool = AtomicBool::new(false);
+
+/// Forces every *subsequently built* valuation term
+/// ([`Compiled::new_valuation`]) to compile without delta recognition,
+/// so delta-shaped rules re-evaluate their full value term like any
+/// other — the recompute oracle for the incremental path. Like
+/// [`set_force_treewalk`] the flag is consulted at build time, so set
+/// it **before** constructing the object base under test.
+pub fn set_force_recompute(on: bool) {
+    FORCE_RECOMPUTE.store(on, Ordering::SeqCst);
+}
+
+/// Whether [`set_force_recompute`] is currently on.
+pub fn force_recompute() -> bool {
+    FORCE_RECOMPUTE.load(Ordering::SeqCst)
+}
+
 /// Whether new [`Compiled`] terms will use the tree walk (feature or
 /// run-time switch).
 fn treewalk_selected() -> bool {
@@ -99,6 +118,25 @@ fn exec_counter() -> &'static Counter {
 fn fallback_counter() -> &'static Counter {
     static C: OnceLock<Counter> = OnceLock::new();
     C.get_or_init(|| troll_obs::global().counter("vm.fallback"))
+}
+
+fn delta_lowered_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| troll_obs::global().counter("vm.delta_lowered"))
+}
+
+fn delta_unrecognized_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| troll_obs::global().counter("vm.delta_unrecognized"))
+}
+
+/// Bumped by the executor each time a `Delta` op actually applies an
+/// incremental update (the guarded else-branch of a delta rule does
+/// not count). Op-level and process-global; the runtime separately
+/// accounts rule-level `valuation.delta_applied` in its own metrics.
+pub(crate) fn delta_applied_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| troll_obs::global().counter("vm.delta_execs"))
 }
 
 /// Counts a compile-time fallback and warns once per distinct term,
@@ -158,6 +196,12 @@ pub struct Compiled {
     term: Term,
     prog: Option<Program>,
     free: Vec<String>,
+    /// Recognized as a delta-able valuation root (set by
+    /// [`Compiled::new_valuation`] regardless of oracle mode).
+    delta_shaped: bool,
+    /// The program actually contains delta ops (false in oracle and
+    /// forced-recompute modes and for compile-time fallbacks).
+    delta_lowered: bool,
 }
 
 impl Compiled {
@@ -179,7 +223,69 @@ impl Compiled {
                 }
             }
         };
-        Compiled { term, prog, free }
+        Compiled {
+            term,
+            prog,
+            free,
+            delta_shaped: false,
+            delta_lowered: false,
+        }
+    }
+
+    /// Lowers the *value term* of a valuation rule assigning `attr`.
+    ///
+    /// When the term's root is delta-able — `insert(x, attr)`,
+    /// `remove(x, attr)`, `append(x, attr)`, or a conditional over such
+    /// shapes and the identity/constant — the program applies the
+    /// update incrementally: only the element subterm is evaluated and
+    /// the delta is path-copied onto the shared collection handle
+    /// fetched from the environment, making step cost flat in the
+    /// collection's history. Any other shape compiles exactly as
+    /// [`Compiled::new`] (counted by `vm.delta_unrecognized`, never an
+    /// error); recognized shapes count as `vm.delta_lowered`.
+    ///
+    /// Oracle modes: the `treewalk` feature / [`set_force_treewalk`]
+    /// disable lowering entirely as usual, and [`set_force_recompute`]
+    /// disables just the delta recognition so the rule recomputes its
+    /// full value term — the differential baseline for the incremental
+    /// path. Values and errors are identical on every path.
+    pub fn new_valuation(term: Term, attr: &str) -> Compiled {
+        let shaped = compile::is_delta_root(&term, attr);
+        if !shaped {
+            delta_unrecognized_counter().inc();
+            return Compiled::new(term);
+        }
+        if treewalk_selected() || force_recompute() {
+            let mut c = Compiled::new(term);
+            c.delta_shaped = true;
+            return c;
+        }
+        let free = term.free_vars();
+        match compile::compile_valuation(&term, attr) {
+            Ok((prog, lowered)) => {
+                compiled_counter().inc();
+                if lowered {
+                    delta_lowered_counter().inc();
+                }
+                Compiled {
+                    term,
+                    prog: Some(prog),
+                    free,
+                    delta_shaped: true,
+                    delta_lowered: lowered,
+                }
+            }
+            Err(bail) => {
+                note_fallback(&term, bail.reason());
+                Compiled {
+                    term,
+                    prog: None,
+                    free,
+                    delta_shaped: true,
+                    delta_lowered: false,
+                }
+            }
+        }
     }
 
     /// Evaluates the term: bytecode when lowered, tree walk otherwise.
@@ -214,6 +320,21 @@ impl Compiled {
     /// modes and for compile-time fallbacks).
     pub fn is_compiled(&self) -> bool {
         self.prog.is_some()
+    }
+
+    /// Whether [`Compiled::new_valuation`] recognized this term as a
+    /// delta-able valuation root — true even when an oracle mode or
+    /// [`set_force_recompute`] kept it on the recompute path. The
+    /// runtime uses the combination with [`Compiled::delta_lowered`] to
+    /// account delta-shaped rules that execute by full recompute.
+    pub fn delta_shaped(&self) -> bool {
+        self.delta_shaped
+    }
+
+    /// Whether the lowered program applies this valuation incrementally
+    /// (contains delta ops).
+    pub fn delta_lowered(&self) -> bool {
+        self.delta_lowered
     }
 }
 
@@ -485,6 +606,106 @@ mod tests {
         assert_agree(Term::project(Term::var("emps"), vec!["missing"]), &env());
     }
 
+    /// Selection predicates compile scope-free and resolve every name
+    /// per row — tuple fields first, then pinned scope registers, then
+    /// the outer environment. Each case pins the expected value (not
+    /// just tree-walk agreement) so a resolution bug that broke both
+    /// evaluators the same way would still fail.
+    #[test]
+    fn select_dynamic_field_shadowing() {
+        let eval = |t: &Term| Compiled::new(t.clone()).eval(&env()).unwrap();
+        let row = |name: &str, sal: i64| {
+            Value::tuple_of(vec![("name", Value::from(name)), ("sal", Value::from(sal))])
+        };
+
+        // a quantifier variable named like a tuple field is shadowed by
+        // the field inside the predicate: `name` reads each row, never
+        // the pinned register holding "zzz"
+        let quant_shadowed = Term::quant(
+            Quantifier::Exists,
+            "name",
+            Term::constant(Value::set_of(vec![Value::from("zzz")])),
+            Term::eq(
+                Term::select(
+                    Term::var("emps"),
+                    Term::eq(Term::var("name"), Term::constant(Value::from("a"))),
+                ),
+                Term::constant(Value::set_of(vec![row("a", 100)])),
+            ),
+        );
+        assert_agree(quant_shadowed.clone(), &env());
+        assert_eq!(eval(&quant_shadowed), Value::from(true));
+
+        // a quantifier variable that is NOT a field reaches the
+        // predicate through the scope-register bridge
+        let quant_read = Term::quant(
+            Quantifier::Forall,
+            "threshold",
+            Term::constant(Value::set_of(vec![Value::from(150)])),
+            Term::eq(
+                Term::select(
+                    Term::var("emps"),
+                    Term::apply(Op::Gt, vec![Term::var("sal"), Term::var("threshold")]),
+                ),
+                Term::constant(Value::set_of(vec![row("b", 200)])),
+            ),
+        );
+        assert_agree(quant_read.clone(), &env());
+        assert_eq!(eval(&quant_read), Value::from(true));
+
+        // let-bound `sal` shadows nothing inside the predicate (the
+        // field wins row by row) but is visible again outside it
+        let let_shadowed = Term::let_in(
+            "sal",
+            Term::constant(999i64),
+            Term::select(
+                Term::var("emps"),
+                Term::apply(Op::Ge, vec![Term::var("sal"), Term::constant(200i64)]),
+            ),
+        );
+        assert_agree(let_shadowed.clone(), &env());
+        assert_eq!(eval(&let_shadowed), Value::set_of(vec![row("b", 200)]));
+
+        // heterogeneous rows resolve the same name differently per row:
+        // the field where present, the outer environment otherwise
+        // (`x` is 10 there, so the field-less row passes the predicate)
+        let mixed = Value::set_of(vec![
+            Value::tuple_of(vec![("x", Value::from(0))]),
+            Value::tuple_of(vec![("other", Value::from(1))]),
+        ]);
+        let per_row = Term::select(
+            Term::constant(mixed.clone()),
+            Term::eq(Term::var("x"), Term::constant(10i64)),
+        );
+        assert_agree(per_row.clone(), &env());
+        assert_eq!(
+            eval(&per_row),
+            Value::set_of(vec![Value::tuple_of(vec![("other", Value::from(1))])])
+        );
+
+        // a select nested inside another select's predicate: each level
+        // layers its own row fields, and the inner result feeds the
+        // outer comparison
+        let nested = Term::select(
+            Term::var("emps"),
+            Term::apply(
+                Op::Gt,
+                vec![
+                    Term::the(Term::project(
+                        Term::select(
+                            Term::var("emps"),
+                            Term::eq(Term::var("name"), Term::constant(Value::from("b"))),
+                        ),
+                        vec!["sal"],
+                    )),
+                    Term::var("sal"),
+                ],
+            ),
+        );
+        assert_agree(nested.clone(), &env());
+        assert_eq!(eval(&nested), Value::set_of(vec![row("a", 100)]));
+    }
+
     #[test]
     fn oversized_terms_fall_back_to_tree_walk() {
         let before = fallback_counter().get();
@@ -507,6 +728,138 @@ mod tests {
         );
         let compiled = Compiled::new(t);
         assert_eq!(compiled.free_vars(), ["emps".to_string(), "x".to_string()]);
+    }
+
+    fn coll_env() -> MapEnv {
+        MapEnv::from_pairs(vec![
+            ("x", Value::from(3)),
+            ("S", Value::set_of(vec![Value::from(1), Value::from(2)])),
+            ("L", Value::list_of(vec![Value::from(1)])),
+            ("n", Value::from(7)),
+        ])
+    }
+
+    /// Asserts the valuation lowering of `t` (assigning `attr`) agrees
+    /// with the tree walk on value and error, and reports the expected
+    /// delta recognition.
+    fn assert_valuation_agrees(t: Term, attr: &str, env: &MapEnv, expect_delta: bool) {
+        let c = Compiled::new_valuation(t.clone(), attr);
+        assert_eq!(c.delta_shaped(), expect_delta, "shape of {t}");
+        if !cfg!(feature = "treewalk") && !force_treewalk() && !force_recompute() {
+            assert_eq!(c.delta_lowered(), expect_delta, "lowering of {t}");
+        }
+        assert_eq!(c.eval(env), t.eval(env), "divergence on {t}");
+    }
+
+    #[test]
+    fn delta_valuation_matches_tree_walk() {
+        let env = coll_env();
+        for (t, attr) in [
+            (
+                Term::apply(Op::Insert, vec![Term::var("x"), Term::var("S")]),
+                "S",
+            ),
+            (
+                Term::apply(Op::Remove, vec![Term::constant(1i64), Term::var("S")]),
+                "S",
+            ),
+            (
+                Term::apply(
+                    Op::Append,
+                    vec![
+                        Term::apply(Op::Add, vec![Term::var("n"), Term::constant(1i64)]),
+                        Term::var("L"),
+                    ],
+                ),
+                "L",
+            ),
+        ] {
+            assert_valuation_agrees(t, attr, &env, true);
+        }
+    }
+
+    #[test]
+    fn guarded_delta_valuation() {
+        let env = coll_env();
+        // if n > 5 then insert(x, S) else S — guard true takes the delta
+        let guarded = |cond| {
+            Term::ite(
+                cond,
+                Term::apply(Op::Insert, vec![Term::var("x"), Term::var("S")]),
+                Term::var("S"),
+            )
+        };
+        assert_valuation_agrees(
+            guarded(Term::apply(
+                Op::Gt,
+                vec![Term::var("n"), Term::constant(5i64)],
+            )),
+            "S",
+            &env,
+            true,
+        );
+        // guard false leaves the attribute unchanged through the
+        // identity branch, without counting a delta application
+        let before = delta_applied_counter().get();
+        let c = Compiled::new_valuation(guarded(Term::constant(false)), "S");
+        assert_eq!(c.eval(&env).unwrap(), env.lookup("S").unwrap());
+        if c.delta_lowered() {
+            assert_eq!(delta_applied_counter().get(), before);
+        }
+        // nested guards and constant-reset arms stay recognized
+        let nested = Term::ite(
+            Term::constant(true),
+            guarded(Term::constant(true)),
+            Term::constant(Value::empty_set()),
+        );
+        assert_valuation_agrees(nested, "S", &env, true);
+    }
+
+    #[test]
+    fn delta_error_paths_match_tree_walk() {
+        let env = coll_env();
+        // element term errors before the collection lookup
+        let t = Term::apply(Op::Insert, vec![Term::var("missing"), Term::var("S")]);
+        assert_valuation_agrees(t, "S", &env, true);
+        // unbound attribute
+        let t = Term::apply(Op::Insert, vec![Term::var("x"), Term::var("ZZZ")]);
+        assert_valuation_agrees(t, "ZZZ", &env, true);
+        // attribute bound to the wrong sort
+        let t = Term::apply(Op::Insert, vec![Term::var("x"), Term::var("n")]);
+        assert_valuation_agrees(t, "n", &env, true);
+        let t = Term::apply(Op::Append, vec![Term::var("x"), Term::var("S")]);
+        assert_valuation_agrees(t, "S", &env, true);
+    }
+
+    #[test]
+    fn non_delta_shapes_compile_as_usual() {
+        let env = coll_env();
+        let before = delta_unrecognized_counter().get();
+        // rooted at the attribute but not a recognized delta op
+        let t = Term::apply(
+            Op::Union,
+            vec![Term::var("S"), Term::MkSet(vec![Term::var("x")])],
+        );
+        assert_valuation_agrees(t, "S", &env, false);
+        // insert into a *different* attribute than the one assigned
+        let t = Term::apply(Op::Insert, vec![Term::var("x"), Term::var("S")]);
+        assert_valuation_agrees(t, "L", &env, false);
+        // scalar rule
+        let t = Term::apply(Op::Add, vec![Term::var("n"), Term::constant(1i64)]);
+        assert_valuation_agrees(t, "n", &env, false);
+        assert!(delta_unrecognized_counter().get() >= before + 3);
+    }
+
+    #[test]
+    fn force_recompute_disables_delta_lowering() {
+        let env = coll_env();
+        let t = Term::apply(Op::Insert, vec![Term::var("x"), Term::var("S")]);
+        set_force_recompute(true);
+        let c = Compiled::new_valuation(t.clone(), "S");
+        set_force_recompute(false);
+        assert!(c.delta_shaped());
+        assert!(!c.delta_lowered());
+        assert_eq!(c.eval(&env), t.eval(&env));
     }
 
     #[test]

@@ -22,6 +22,18 @@ use troll_data::{Op, Term};
 /// allocated id is `u16::MAX - 1`.
 pub(crate) const NO_FIELD: u16 = u16::MAX;
 
+/// Which collection delta a [`Instr::Delta`] applies. All three surface
+/// forms are `op(elem, coll)`, so the instruction layout is uniform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeltaKind {
+    /// `insert(x, S)` on a set.
+    Insert,
+    /// `remove(x, S)` on a set.
+    Remove,
+    /// `append(x, L)` on a list.
+    Append,
+}
+
 /// One bytecode instruction. `dst`/`src`/`base` are register indices;
 /// `name` indexes the program's name pool; `list`/`sel` index side
 /// tables; `to`/`otherwise`/`head`/`end` are absolute jump targets.
@@ -102,6 +114,21 @@ pub(crate) enum Instr {
         head: u32,
         end: u32,
     },
+    /// Incremental valuation update: applies `regs[elem]` as a delta to
+    /// the collection handle fetched from the environment under
+    /// `names[name]` — the rule's own attribute. The fetch is an O(1)
+    /// shared-handle clone and the delta a path-copying O(log n)
+    /// insert/remove/append; the collection subterm is never
+    /// re-evaluated. Placed *after* the element code, so the
+    /// elem-then-collection evaluation order and every error
+    /// (`UnboundVariable`, the `insert`/`remove`/`append` sort
+    /// mismatches) match `Term::eval` on `op(elem, Var(attr))` exactly.
+    Delta {
+        kind: DeltaKind,
+        elem: u16,
+        name: u16,
+        dst: u16,
+    },
     /// Query-algebra selection over `regs[rel]` via `selects[sel]`.
     Select { rel: u16, sel: u16, dst: u16 },
     /// Query-algebra projection of `regs[rel]` onto `field_lists[list]`.
@@ -110,13 +137,19 @@ pub(crate) enum Instr {
     The { src: u16, dst: u16 },
 }
 
-/// Side-table payload of a `Select`: the predicate runs as a tree over
-/// a bridge environment exposing the compile-time `scope` (name-pool
-/// id, register) pairs — dynamic tuple fields must shadow them, which
-/// slot-resolved code cannot express.
+/// Side-table payload of a `Select`. The predicate compiles to its own
+/// scope-free `prog` — every variable read is an environment load, so
+/// per-row execution resolves names dynamically through the layered row
+/// environment (tuple fields first, then the compile-time `scope`
+/// (name-pool id, register) pairs of the enclosing program, then the
+/// outer environment), preserving dynamic field shadowing that
+/// slot-resolved code cannot express statically. The source `pred` tree
+/// is kept for the fallback path (a predicate past the resource caps)
+/// and as the display form.
 #[derive(Debug, Clone)]
 pub(crate) struct SelectData {
     pub(crate) pred: Arc<Term>,
+    pub(crate) prog: Option<Program>,
     pub(crate) scope: Box<[(u16, u16)]>,
 }
 

@@ -47,8 +47,8 @@ fn arb_leaf_value() -> impl Strategy<Value = Value> {
 fn arb_value() -> impl Strategy<Value = Value> {
     arb_leaf_value().prop_recursive(2, 12, 3, |inner| {
         prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..3).prop_map(Value::List),
-            proptest::collection::btree_set(inner.clone(), 0..3).prop_map(Value::Set),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Value::list_of),
+            proptest::collection::btree_set(inner.clone(), 0..3).prop_map(Value::set_of),
             proptest::collection::vec(("[a-c]{1,2}", inner), 0..3).prop_map(Value::tuple_of),
         ]
     })

@@ -1,0 +1,291 @@
+//! Replay-equality oracle for delta valuation: every shipped spec is
+//! driven through the same deterministic script twice — once with
+//! delta-shaped valuation rules lowered to incremental collection
+//! updates (the default) and once with
+//! [`troll_vm::set_force_recompute`] pinning every valuation rule to
+//! the full-recompute path — both sequentially and through a 4-shard
+//! executor, and the transcripts must match line for line.
+//!
+//! A property test then replays random insert/remove/append churn
+//! (hire/fire on a set, note/wipe on a list) with refused events mixed
+//! in — each refusal rolls the step back mid-sequence — and compares
+//! the two final worlds instance by instance.
+//!
+//! Under `--features treewalk` no rule is compiled at all, so both
+//! runs tree-walk and the comparisons check determinism only.
+
+#[path = "spec_workloads.rs"]
+mod spec_workloads;
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use proptest::prelude::*;
+use spec_workloads::workloads;
+use troll::data::{Date, ObjectId, Value};
+use troll::runtime::ObjectBase;
+use troll::script::{run_command, run_script_sharded};
+use troll::System;
+
+/// `set_force_recompute` is process-global and consulted at
+/// `ObjectBase` build time; serialize every test that toggles it so a
+/// concurrently built base cannot land in the wrong configuration.
+fn flag_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn base(spec: &str) -> ObjectBase {
+    System::load_str(spec)
+        .expect("spec loads")
+        .object_base()
+        .expect("object base")
+}
+
+/// Sequential transcript: every command's outcome or error, rendered.
+fn transcript(spec: &str, script: &[&str]) -> Vec<String> {
+    let mut ob = base(spec);
+    script
+        .iter()
+        .map(|line| match run_command(&mut ob, line) {
+            Ok(outcome) => format!("{line} => {outcome}"),
+            Err(e) => format!("{line} => error: {e}"),
+        })
+        .collect()
+}
+
+/// Sharded transcript: each line runs as its own one-line script, so
+/// `birth`/`exec` take the speculate-and-commit batch path while the
+/// run still continues past refused events exactly like the
+/// sequential transcript (whose error strings it must reproduce —
+/// the `line 1: ` prefix the batch runner adds is stripped).
+fn sharded_transcript(spec: &str, script: &[&str], shards: usize) -> Vec<String> {
+    let mut ws = base(spec).into_shards(shards);
+    script
+        .iter()
+        .map(|line| match run_script_sharded(&mut ws, line) {
+            Ok(outcomes) => format!("{line} => {}", outcomes[0]),
+            Err(e) => {
+                let e = e.strip_prefix("line 1: ").unwrap_or(&e);
+                format!("{line} => error: {e}")
+            }
+        })
+        .collect()
+}
+
+/// The 7-spec replay equality: delta-compiled and forced-recompute
+/// runs are byte-equal, sequentially and at 4 shards — and the
+/// sharded transcript equals the sequential one.
+#[test]
+fn delta_and_recompute_replays_agree() {
+    let _guard = flag_lock();
+    for (name, spec, script) in workloads() {
+        let delta_seq = transcript(spec, &script);
+        let delta_shard = sharded_transcript(spec, &script, 4);
+
+        troll_vm::set_force_recompute(true);
+        let oracle_seq = transcript(spec, &script);
+        let oracle_shard = sharded_transcript(spec, &script, 4);
+        troll_vm::set_force_recompute(false);
+
+        assert_eq!(
+            delta_seq, oracle_seq,
+            "spec `{name}`: delta and recompute sequential transcripts diverged"
+        );
+        assert_eq!(
+            delta_shard, oracle_shard,
+            "spec `{name}`: delta and recompute 4-shard transcripts diverged"
+        );
+        assert_eq!(
+            delta_seq, delta_shard,
+            "spec `{name}`: sharded transcript diverged from sequential"
+        );
+        assert!(
+            delta_seq.iter().any(|l| !l.contains("error:")),
+            "spec `{name}`: every line failed:\n{}",
+            delta_seq.join("\n")
+        );
+    }
+}
+
+/// The per-base counters split exactly by configuration: the default
+/// build applies every delta-shaped rule incrementally
+/// (`valuation.recomputed == 0`), the forced build recomputes every
+/// one (`valuation.delta_applied == 0`).
+#[test]
+fn delta_counters_split_by_configuration() {
+    if cfg!(feature = "treewalk") {
+        return; // no compiled model: neither counter can move
+    }
+    let _guard = flag_lock();
+    let (_, spec, script) = workloads().remove(0); // dept: all churn rules are delta-shaped
+
+    let run = |script: &[&str]| {
+        let mut ob = base(spec);
+        for line in script {
+            let _ = run_command(&mut ob, line);
+        }
+        let snap = ob.metrics().snapshot();
+        let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        (
+            counter("valuation.delta_applied"),
+            counter("valuation.recomputed"),
+        )
+    };
+
+    let (applied, recomputed) = run(&script);
+    assert!(applied > 0, "no delta was ever applied on the dept spec");
+    assert_eq!(recomputed, 0, "a delta-shaped rule fell back to recompute");
+
+    troll_vm::set_force_recompute(true);
+    let (applied, recomputed) = run(&script);
+    troll_vm::set_force_recompute(false);
+    assert_eq!(applied, 0, "forced-recompute build still applied deltas");
+    assert!(recomputed > 0, "forced build never took the recompute path");
+}
+
+/// Random churn corpus: a DEPT-style class whose permissions refuse
+/// fires of never-hired persons and closure while staff remain (each
+/// refusal rolls back mid-sequence), plus a singleton log exercising
+/// the `append` delta and whole-collection resets.
+const CHURN_SPEC: &str = r#"
+object class DEPT
+  identification id: string;
+  data types date, |PERSON|, set(|PERSON|);
+  template
+    attributes
+      employees: set(|PERSON|);
+      hired_ever: set(|PERSON|);
+    events
+      birth establishment(date);
+      death closure;
+      hire(|PERSON|);
+      fire(|PERSON|);
+    valuation
+      variables P: |PERSON|; d: date;
+      [establishment(d)] employees = {};
+      [establishment(d)] hired_ever = {};
+      [hire(P)] employees = insert(P, employees);
+      [hire(P)] hired_ever = insert(P, hired_ever);
+      [fire(P)] employees = remove(P, employees);
+    permissions
+      variables P: |PERSON|;
+      { sometime(after(hire(P))) } fire(P);
+      { for all(P in hired_ever : sometime(after(fire(P)))) } closure;
+end object class DEPT;
+
+object log
+  template
+    data types int, list(int);
+    attributes
+      entries: list(int);
+    events
+      birth open;
+      note(int);
+      wipe;
+    valuation
+      variables n: int;
+      [open] entries = [];
+      [note(n)] entries = append(n, entries);
+      [wipe] entries = [];
+end object log;
+"#;
+
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Hire(i64),
+    Fire(i64),
+    Closure,
+    Note(i64),
+    Wipe,
+}
+
+fn arb_op() -> impl Strategy<Value = ChurnOp> {
+    prop_oneof![
+        (0i64..4).prop_map(ChurnOp::Hire),
+        (0i64..4).prop_map(ChurnOp::Fire),
+        Just(ChurnOp::Closure),
+        (0i64..100).prop_map(ChurnOp::Note),
+        Just(ChurnOp::Wipe),
+    ]
+}
+
+fn churn_base() -> ObjectBase {
+    let mut ob = base(CHURN_SPEC);
+    ob.birth(
+        "DEPT",
+        vec![Value::from("D")],
+        "establishment",
+        vec![Value::Date(Date::new(1991, 10, 16).unwrap())],
+    )
+    .expect("dept births");
+    ob.execute(&ObjectId::new("log", vec![]), "open", vec![])
+        .expect("log opens");
+    ob
+}
+
+/// Applies one op, rendering success as the occurrence count and
+/// refusal as the error text (the refused step has rolled back).
+fn apply(ob: &mut ObjectBase, op: &ChurnOp) -> Result<usize, String> {
+    let dept = ObjectId::new("DEPT", vec![Value::from("D")]);
+    let log = ObjectId::new("log", vec![]);
+    let person = |n: i64| Value::Id(ObjectId::new("PERSON", vec![Value::from(format!("p{n}"))]));
+    match op {
+        ChurnOp::Hire(p) => ob.execute(&dept, "hire", vec![person(*p)]),
+        ChurnOp::Fire(p) => ob.execute(&dept, "fire", vec![person(*p)]),
+        ChurnOp::Closure => ob.execute(&dept, "closure", vec![]),
+        ChurnOp::Note(n) => ob.execute(&log, "note", vec![Value::from(*n)]),
+        ChurnOp::Wipe => ob.execute(&log, "wipe", vec![]),
+    }
+    .map(|report| report.occurrences.len())
+    .map_err(|e| e.to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Delta-applied and full-recompute runs agree step by step
+    /// (occurrence counts and refusal messages) and end in identical
+    /// worlds, on random insert/remove/append sequences with refused
+    /// events rolling back mid-sequence.
+    #[test]
+    fn delta_matches_recompute_on_random_churn(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let _guard = flag_lock();
+        let mut delta = churn_base();
+        troll_vm::set_force_recompute(true);
+        let mut oracle = churn_base();
+        troll_vm::set_force_recompute(false);
+
+        let mut saw_refusal = false;
+        for (i, op) in ops.iter().enumerate() {
+            let d = apply(&mut delta, op);
+            let o = apply(&mut oracle, op);
+            saw_refusal |= d.is_err();
+            prop_assert_eq!(&d, &o, "step {} ({:?}) diverged", i, op);
+        }
+        let _ = saw_refusal; // sequences without refusals are still valid cases
+
+        let left: Vec<_> = delta.instances().collect();
+        let right: Vec<_> = oracle.instances().collect();
+        prop_assert_eq!(left.len(), right.len(), "instance count diverged");
+        for (x, y) in left.iter().zip(&right) {
+            prop_assert_eq!(x, y, "instance {} diverged", y.id());
+        }
+
+        if cfg!(not(feature = "treewalk")) {
+            let snap = delta.metrics().snapshot();
+            prop_assert_eq!(
+                snap.counters.get("valuation.recomputed").copied().unwrap_or(0),
+                0u64,
+                "a delta-shaped rule recomputed in the default build"
+            );
+            let osnap = oracle.metrics().snapshot();
+            prop_assert_eq!(
+                osnap.counters.get("valuation.delta_applied").copied().unwrap_or(0),
+                0u64,
+                "the forced-recompute build applied a delta"
+            );
+        }
+    }
+}

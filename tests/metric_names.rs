@@ -32,6 +32,8 @@ const BASE_COUNTERS: &[&str] = &[
     "store.bytes",
     "store.fsyncs",
     "store.recoveries",
+    "valuation.delta_applied",
+    "valuation.recomputed",
     "valuation.updates",
     "views.calls",
     "views.derived_calls",
@@ -41,6 +43,7 @@ const BASE_COUNTERS: &[&str] = &[
 /// self-time family).
 const BASE_HISTOGRAMS: &[&str] = &[
     "shard.commit_latency_ns",
+    "shard.speculation_latency_ns",
     "step.latency_ns",
     "store.fsync_latency_ns",
     "step.phase.alias_prepass.self_ns",
@@ -64,8 +67,12 @@ const GLOBAL_COUNTERS: &[&str] = &[
     "state.path_copy",
     "temporal.monitor_peeks",
     "temporal.monitor_steps",
+    "temporal.compiled_scan_evals",
     "temporal.scan_evals",
     "temporal.scan_fallback",
+    "vm.delta_execs",
+    "vm.delta_lowered",
+    "vm.delta_unrecognized",
     "vm.exec",
     "vm.fallback",
     "vm.programs_compiled",
