@@ -54,7 +54,12 @@ commands:
           <file> <script>                      run an animation script
   profile [animate flags] <file> <script>      animate with phase profiling on,
                                                then print the self-time table
-  recover [--stats] [--dump] <dir>             rebuild the world from a durable directory";
+  recover [--stats] [--dump] <dir>             rebuild the world from a durable directory
+  serve [--addr <ip:port>] [--workers N] [--durable <dir>] [--fsync <policy>]
+        [--snapshot-every N] [--segment-bytes N]
+        <file.troll>                           host many worlds of one spec over TCP
+  serve --selftest [--worlds N] [--conns N] [--events N] [--durable <dir>]
+        [<file.troll>]                         run the built-in load driver";
 
 /// Prints the usage message for `command` (or the general one) and
 /// returns the usage exit code (2).
@@ -82,6 +87,22 @@ fn usage(command: Option<&str>) -> ExitCode {
 and print a summary line; torn or corrupt tail frames are skipped, not fatal
   --stats           print runtime metrics of the recovered world (includes store.* counters)
   --dump            print the recovered world state, one deterministic line per fact",
+        Some("serve") => "usage: troll serve [--addr <ip:port>] [--workers N] [--durable <dir>] [--fsync <policy>] [--snapshot-every N] [--segment-bytes N] <file.troll>
+       troll serve --selftest [--worlds N] [--conns N] [--events N] [--durable <dir>] [<file.troll>]
+host many independent worlds of one specification in a single process, speaking a
+newline-delimited JSON protocol (open / submit-event / query-attr / query-view /
+stats / shutdown — send {\"op\":\"shutdown\"} to stop the server cleanly)
+  --addr <ip:port>  listen address (default 127.0.0.1:7877; port 0 picks a free port)
+  --workers <N>     worker threads executing world steps (default: CPU count, min 2)
+  --durable <dir>   give every world its own WAL+snapshot store under <dir>/worlds/<id>;
+                    existing worlds crash-recover on open
+  --fsync <policy>  every-commit | every-<N> | on-close (with --durable; default every-commit)
+  --snapshot-every <N>  snapshot cadence per world (with --durable; default 1024)
+  --segment-bytes <N>   WAL segment rotation cap per world (with --durable; default 4 MiB)
+  --selftest        spawn an in-process server and drive it with the built-in load
+                    generator, then print events/sec and the latency histogram
+                    (defaults to the shipped DEPT spec; TROLL_BENCH_SMOKE=1 shrinks it)
+  --worlds/--conns/--events   selftest load shape (default 1000 worlds x 100 events over 8 conns)",
         _ => GENERAL_USAGE,
     };
     eprintln!("{msg}");
@@ -124,6 +145,10 @@ fn main() -> ExitCode {
         "recover" => match RecoverOpts::parse(&args[1..]) {
             Some(opts) => cmd_recover(&opts),
             None => return usage(Some("recover")),
+        },
+        "serve" => match ServeCliOpts::parse(&args[1..]) {
+            Some(opts) => cmd_serve(&opts),
+            None => return usage(Some("serve")),
         },
         "help" | "--help" | "-h" => {
             println!("{GENERAL_USAGE}");
@@ -528,6 +553,145 @@ fn cmd_recover(opts: &RecoverOpts) -> Result<(), String> {
     if opts.stats {
         print_stats(&ob);
     }
+    Ok(())
+}
+
+/// Parsed `troll serve` invocation.
+struct ServeCliOpts {
+    file: Option<String>,
+    addr: String,
+    workers: Option<usize>,
+    durable: Option<String>,
+    fsync: Option<FsyncPolicy>,
+    snapshot_every: Option<u64>,
+    segment_bytes: Option<u64>,
+    selftest: bool,
+    worlds: Option<usize>,
+    conns: Option<usize>,
+    events: Option<usize>,
+}
+
+impl ServeCliOpts {
+    /// Flags may appear anywhere around the one (optional with
+    /// `--selftest`) positional; `None` on any usage error.
+    fn parse(args: &[String]) -> Option<Self> {
+        let mut opts = ServeCliOpts {
+            file: None,
+            addr: "127.0.0.1:7877".to_string(),
+            workers: None,
+            durable: None,
+            fsync: None,
+            snapshot_every: None,
+            segment_bytes: None,
+            selftest: false,
+            worlds: None,
+            conns: None,
+            events: None,
+        };
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--addr" => opts.addr = it.next()?.clone(),
+                "--workers" => opts.workers = Some(it.next()?.parse().ok().filter(|&n| n >= 1)?),
+                "--durable" => opts.durable = Some(it.next()?.clone()),
+                "--fsync" => opts.fsync = Some(it.next()?.parse::<FsyncPolicy>().ok()?),
+                "--snapshot-every" => opts.snapshot_every = Some(it.next()?.parse::<u64>().ok()?),
+                "--segment-bytes" => {
+                    opts.segment_bytes = Some(it.next()?.parse::<u64>().ok().filter(|&n| n >= 1)?)
+                }
+                "--selftest" => opts.selftest = true,
+                "--worlds" => opts.worlds = Some(it.next()?.parse().ok().filter(|&n| n >= 1)?),
+                "--conns" => opts.conns = Some(it.next()?.parse().ok().filter(|&n| n >= 1)?),
+                "--events" => opts.events = Some(it.next()?.parse().ok()?),
+                s if s.starts_with('-') => return None,
+                _ => positional.push(a.clone()),
+            }
+        }
+        if (opts.fsync.is_some() || opts.snapshot_every.is_some() || opts.segment_bytes.is_some())
+            && opts.durable.is_none()
+        {
+            return None;
+        }
+        if !opts.selftest
+            && (opts.worlds.is_some() || opts.conns.is_some() || opts.events.is_some())
+        {
+            return None;
+        }
+        match (positional.len(), opts.selftest) {
+            (1, _) => opts.file = positional.pop(),
+            (0, true) => {}
+            _ => return None,
+        }
+        Some(opts)
+    }
+
+    fn serve_options(&self) -> troll::serve::ServeOptions {
+        let mut so = troll::serve::ServeOptions::default();
+        if let Some(w) = self.workers {
+            so.workers = w;
+        }
+        so.durable = self.durable.as_ref().map(std::path::PathBuf::from);
+        if let Some(f) = self.fsync {
+            so.store.fsync = f;
+        }
+        if let Some(n) = self.snapshot_every {
+            so.store.snapshot_every = n;
+        }
+        if let Some(n) = self.segment_bytes {
+            so.store.segment_bytes = n;
+        }
+        so
+    }
+}
+
+fn cmd_serve(opts: &ServeCliOpts) -> Result<(), String> {
+    let source = match &opts.file {
+        Some(file) => std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?,
+        None => troll::specs::DEPT.to_string(),
+    };
+    if opts.selftest {
+        // TROLL_BENCH_SMOKE=1 shrinks the default load to CI size
+        let smoke = std::env::var("TROLL_BENCH_SMOKE").is_ok_and(|v| v == "1");
+        let mut cfg = troll::serve::LoadConfig {
+            opts: opts.serve_options(),
+            ..Default::default()
+        };
+        if smoke {
+            cfg.worlds = 8;
+            cfg.conns = 2;
+            cfg.events_per_world = 16;
+        }
+        if let Some(n) = opts.worlds {
+            cfg.worlds = n;
+        }
+        if let Some(n) = opts.conns {
+            cfg.conns = n;
+        }
+        if let Some(n) = opts.events {
+            cfg.events_per_world = n;
+        }
+        let report = troll::serve::run_load(&source, &cfg)?;
+        println!("{}", report.render());
+        if report.errors > 0 {
+            return Err(format!("{} error responses during selftest", report.errors));
+        }
+        return Ok(());
+    }
+    let server = troll::serve::Server::bind(opts.addr.as_str(), &source, opts.serve_options())
+        .map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("troll-serve listening on {addr}");
+    let summary = server.run().map_err(|e| e.to_string())?;
+    println!(
+        "troll-serve exiting: worlds={} requests={} events={} commits={} conflicts={} errors={}",
+        summary.worlds,
+        summary.requests,
+        summary.events,
+        summary.commits,
+        summary.conflicts,
+        summary.errors
+    );
     Ok(())
 }
 

@@ -25,6 +25,7 @@
 //!   object communities;
 //! * [`lang`] — the TROLL language front-end;
 //! * [`runtime`] — the object base / animator;
+//! * [`serve`] — the multi-world animation server (`troll serve`);
 //! * [`refine`] — refinement checking and the three-level schema
 //!   architecture;
 //! * [`obs`] — zero-dependency tracing & metrics (attach an observer
@@ -54,7 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod script;
+pub use troll_runtime::script;
 
 pub use troll_data as data;
 pub use troll_kernel as kernel;
@@ -63,6 +64,7 @@ pub use troll_obs as obs;
 pub use troll_process as process;
 pub use troll_refine as refine;
 pub use troll_runtime as runtime;
+pub use troll_serve as serve;
 pub use troll_store as store;
 pub use troll_temporal as temporal;
 

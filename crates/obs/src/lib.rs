@@ -68,7 +68,9 @@ mod sinks;
 mod warn;
 
 pub use event::{CheckPath, ObsEvent};
-pub use metrics::{global, Counter, Histogram, HistogramSummary, Metrics, MetricsSnapshot};
+pub use metrics::{
+    global, json_str, Counter, Histogram, HistogramSummary, Metrics, MetricsSnapshot,
+};
 pub use observer::{NoopObserver, Observer};
 pub use profile::{phase_table, Phase, PhaseGuard, StepProfiler, PHASES};
 pub use sinks::{thread_ord, Fanout, Recorder, StatsSnapshotSink, TraceWriter};

@@ -323,8 +323,10 @@ impl MetricsSnapshot {
     }
 }
 
-/// A JSON string literal (quoted, escaped).
-fn json_str(s: &str) -> String {
+/// A JSON string literal (quoted, escaped) — the one escaping rule
+/// every hand-rolled JSON writer in the workspace shares (trace lines,
+/// stats snapshots, the serve wire protocol).
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

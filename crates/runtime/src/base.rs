@@ -4,7 +4,7 @@ use crate::compiled::{CompiledCall, CompiledClass, CompiledModel};
 use crate::env::{self, World};
 use crate::instance::{Instance, RoleState};
 use crate::monitor_cache::{
-    monitorable_grounding, recorded_state_vars, CheckKey, CheckKind, MonitorCache,
+    monitorable_grounding, recorded_state_vars, CheckKind, CheckRef, MonitorCache,
     MonitorCacheStats, Verdict,
 };
 use crate::persist::{InstanceDump, StepSink};
@@ -271,6 +271,57 @@ pub struct ObjectBase {
     profiling: bool,
 }
 
+/// Compiles a model's rules once (the empty compiled model under the
+/// `treewalk` differential-oracle feature, where every evaluation
+/// tree-walks instead).
+fn compile_model(model: &SystemModel) -> Arc<CompiledModel> {
+    #[cfg(not(feature = "treewalk"))]
+    {
+        Arc::new(CompiledModel::new(model))
+    }
+    #[cfg(feature = "treewalk")]
+    {
+        let _ = model;
+        Arc::new(CompiledModel::default())
+    }
+}
+
+/// A specification compiled once and shared by many worlds.
+///
+/// [`ObjectBase::new`] compiles the model's rules to bytecode as part
+/// of construction; a server hosting a thousand independent worlds of
+/// the same specification should pay that cost once. `SharedModel`
+/// holds the analyzed model plus its compiled rules behind an `Arc`,
+/// and [`SharedModel::spawn`] mints fresh, fully independent worlds
+/// that share the immutable compiled ruleset.
+#[derive(Debug, Clone)]
+pub struct SharedModel {
+    model: SystemModel,
+    compiled: Arc<CompiledModel>,
+}
+
+impl SharedModel {
+    /// Compiles the model once.
+    pub fn new(model: SystemModel) -> Self {
+        let compiled = compile_model(&model);
+        SharedModel { model, compiled }
+    }
+
+    /// The analyzed model.
+    pub fn model(&self) -> &SystemModel {
+        &self.model
+    }
+
+    /// A fresh world sharing the compiled rules.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ObjectBase::new`].
+    pub fn spawn(&self) -> Result<ObjectBase> {
+        ObjectBase::with_compiled(self.model.clone(), Arc::clone(&self.compiled))
+    }
+}
+
 impl ObjectBase {
     /// Creates an object base for the model. Singleton `object`
     /// declarations get their instance registered immediately; a
@@ -283,6 +334,15 @@ impl ObjectBase {
     /// Currently infallible in practice; returns `Result` for future
     /// model-level validation.
     pub fn new(model: SystemModel) -> Result<Self> {
+        let compiled = compile_model(&model);
+        Self::with_compiled(model, compiled)
+    }
+
+    /// Like [`ObjectBase::new`] but sharing an already-compiled rule
+    /// set (see [`SharedModel`]) — a process hosting a thousand worlds
+    /// of the same specification compiles it once, not a thousand
+    /// times.
+    pub(crate) fn with_compiled(model: SystemModel, compiled: Arc<CompiledModel>) -> Result<Self> {
         let mut instances = BTreeMap::new();
         for (name, class) in &model.classes {
             if class.singleton {
@@ -324,10 +384,6 @@ impl ObjectBase {
         let monitor_cache = MonitorCache::new(&metrics);
         let step_latency = metrics.histogram("step.latency_ns");
         let profiler = StepProfiler::new(&metrics);
-        #[cfg(not(feature = "treewalk"))]
-        let compiled = Arc::new(CompiledModel::new(&model));
-        #[cfg(feature = "treewalk")]
-        let compiled = Arc::new(CompiledModel::default());
         Ok(ObjectBase {
             model,
             compiled,
@@ -1527,12 +1583,12 @@ impl ObjectBase {
                 let (holds, path) = if is_role_ctx {
                     (scan_check(&env)?, CheckPath::Scan)
                 } else {
-                    let key = CheckKey {
+                    let key = CheckRef {
                         kind: CheckKind::Permission,
-                        ctx_class: occ.ctx_class.clone(),
-                        event: occ.event.clone(),
+                        ctx_class: &occ.ctx_class,
+                        event: &occ.event,
                         index: perm_index,
-                        args: params.values().cloned().collect(),
+                        args: &params,
                     };
                     match cache.check(&occ.id, key, trace, &virtual_step, &env, || {
                         monitorable_grounding(&perm.formula, &params, &recorded_state_vars(class))
@@ -1819,12 +1875,13 @@ impl ObjectBase {
                 let (holds, path) = if c.kind == ConstraintKind::Initially {
                     (scan_check(&env)?, CheckPath::Scan)
                 } else {
-                    let key = CheckKey {
+                    let no_args = BTreeMap::new();
+                    let key = CheckRef {
                         kind: CheckKind::Constraint,
-                        ctx_class: w.class.clone(),
-                        event: String::new(),
+                        ctx_class: &w.class,
+                        event: "",
                         index,
-                        args: Vec::new(),
+                        args: &no_args,
                     };
                     match cache.check(id, key, base_trace, &virtual_step, &env, || {
                         monitorable_grounding(

@@ -84,15 +84,16 @@ mod error;
 mod instance;
 mod monitor_cache;
 mod persist;
+pub mod script;
 mod shard;
 mod views;
 
-pub use base::{ObjectBase, Occurrence, StepReport};
+pub use base::{ObjectBase, Occurrence, SharedModel, StepReport};
 pub use error::RuntimeError;
 pub use instance::Instance;
 pub use monitor_cache::MonitorCacheStats;
 pub use persist::{InstanceDump, RoleDump, StepSink};
-pub use shard::{BatchEvent, WorldShards};
+pub use shard::{BatchEvent, SpeculatedStep, WorldShards};
 pub use views::{JoinStrategy, ViewRow, ViewSet};
 
 // Observability surface (see `troll_obs`): the runtime re-exports the

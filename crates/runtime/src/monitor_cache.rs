@@ -74,6 +74,48 @@ pub(crate) struct CheckKey {
     pub args: Vec<Value>,
 }
 
+/// Borrowed view of a [`CheckKey`], built on the check hot path from
+/// the step engine's existing data — no `String`/`Vec` clones per
+/// check. An owned key is materialized only when a new cache entry is
+/// actually inserted ([`CheckRef::to_owned`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CheckRef<'a> {
+    pub kind: CheckKind,
+    pub ctx_class: &'a str,
+    /// Guarded event name; empty for constraints.
+    pub event: &'a str,
+    /// Index of the rule in the class's declaration order.
+    pub index: usize,
+    /// Parameter bindings; the grounded argument values are the map's
+    /// values in name order, matching how [`CheckKey::args`] is built.
+    pub args: &'a BTreeMap<String, Value>,
+}
+
+impl CheckRef<'_> {
+    fn to_owned(self) -> CheckKey {
+        CheckKey {
+            kind: self.kind,
+            ctx_class: self.ctx_class.to_string(),
+            event: self.event.to_string(),
+            index: self.index,
+            args: self.args.values().cloned().collect(),
+        }
+    }
+}
+
+/// How `stored` orders relative to the probe — consistent with
+/// `CheckKey`'s derived `Ord` against `probe.to_owned()`, without
+/// materializing the owned key.
+fn key_order(stored: &CheckKey, probe: &CheckRef<'_>) -> std::cmp::Ordering {
+    stored
+        .kind
+        .cmp(&probe.kind)
+        .then_with(|| stored.ctx_class.as_str().cmp(probe.ctx_class))
+        .then_with(|| stored.event.as_str().cmp(probe.event))
+        .then_with(|| stored.index.cmp(&probe.index))
+        .then_with(|| stored.args.iter().cmp(probe.args.values()))
+}
+
 #[derive(Debug)]
 enum Entry {
     /// A live monitor, synced to some prefix of the committed trace.
@@ -138,10 +180,16 @@ pub(crate) enum Verdict {
 /// object base's [`Metrics`] under `monitor_cache.*` — so one
 /// instrumentation source feeds both [`MonitorCacheStats`] and the
 /// metrics snapshot.
+///
+/// Per-instance entries live in a `Vec` sorted by `CheckKey` order and
+/// are probed by binary search with [`key_order`]: the instance cap is
+/// 128 entries, a tree buys nothing at that size, and the flat layout
+/// is what lets a lookup compare against borrowed key parts instead of
+/// an allocated `CheckKey`.
 #[derive(Debug)]
 pub(crate) struct MonitorCache {
     enabled: bool,
-    per_instance: BTreeMap<ObjectId, BTreeMap<CheckKey, Entry>>,
+    per_instance: BTreeMap<ObjectId, Vec<(CheckKey, Entry)>>,
     hits: Counter,
     misses: Counter,
     fallbacks: Counter,
@@ -205,10 +253,14 @@ impl MonitorCache {
     /// creating/syncing the entry as needed. `ground` is invoked only
     /// when the entry is first created; returning `None` marks the
     /// check unmonitorable for good.
+    ///
+    /// The hit path — instance known, entry present, monitor in sync —
+    /// performs no allocation: the probe key is borrowed and the
+    /// instance/entry lookups compare in place.
     pub(crate) fn check(
         &mut self,
         id: &ObjectId,
-        key: CheckKey,
+        key: CheckRef<'_>,
         trace: &Trace,
         virtual_step: &Step,
         env: &dyn Env,
@@ -218,31 +270,43 @@ impl MonitorCache {
             self.fallbacks.inc();
             return Verdict::Fallback;
         }
-        let entries = self.per_instance.entry(id.clone()).or_default();
-
-        // A monitor ahead of the committed trace cannot arise from the
-        // normal feed order; discard rather than trust it.
-        if let Some(Entry::Active(m)) = entries.get(&key) {
-            if m.steps() > trace.len() {
-                entries.remove(&key);
-                self.invalidations.inc();
-            }
+        if !self.per_instance.contains_key(id) {
+            self.per_instance.insert(id.clone(), Vec::new());
         }
+        let entries = self.per_instance.get_mut(id).expect("ensured above");
 
-        if !entries.contains_key(&key) {
-            self.misses.inc();
-            if entries.len() >= MAX_ENTRIES_PER_INSTANCE {
-                self.fallbacks.inc();
-                return Verdict::Fallback;
+        let idx = match entries.binary_search_by(|(k, _)| key_order(k, &key)) {
+            Ok(i) => {
+                // A monitor ahead of the committed trace cannot arise
+                // from the normal feed order; rebuild rather than
+                // trust it.
+                if matches!(&entries[i].1, Entry::Active(m) if m.steps() > trace.len()) {
+                    self.invalidations.inc();
+                    self.misses.inc();
+                    entries[i].1 = match ground().map(|f| Monitor::new(&f)) {
+                        Some(Ok(m)) => Entry::Active(m),
+                        _ => Entry::Unmonitorable,
+                    };
+                }
+                i
             }
-            let entry = match ground().map(|f| Monitor::new(&f)) {
-                Some(Ok(m)) => Entry::Active(m),
-                _ => Entry::Unmonitorable,
-            };
-            entries.insert(key.clone(), entry);
-        }
+            Err(pos) => {
+                self.misses.inc();
+                if entries.len() >= MAX_ENTRIES_PER_INSTANCE {
+                    self.fallbacks.inc();
+                    return Verdict::Fallback;
+                }
+                let entry = match ground().map(|f| Monitor::new(&f)) {
+                    Some(Ok(m)) => Entry::Active(m),
+                    _ => Entry::Unmonitorable,
+                };
+                entries.insert(pos, (key.to_owned(), entry));
+                pos
+            }
+        };
 
-        let Some(Entry::Active(monitor)) = entries.get_mut(&key) else {
+        let entry = &mut entries[idx].1;
+        let Entry::Active(monitor) = entry else {
             self.fallbacks.inc();
             return Verdict::Fallback;
         };
@@ -271,7 +335,7 @@ impl MonitorCache {
                 Verdict::Holds(holds)
             }
             None => {
-                entries.insert(key, Entry::Unmonitorable);
+                *entry = Entry::Unmonitorable;
                 self.fallbacks.inc();
                 Verdict::Fallback
             }
@@ -291,19 +355,15 @@ impl MonitorCache {
         };
         let rigid = MapEnv::new();
         let mut fed = 0usize;
-        let mut poisoned: Vec<CheckKey> = Vec::new();
-        for (key, entry) in entries.iter_mut() {
+        for (_, entry) in entries.iter_mut() {
             if let Entry::Active(m) = entry {
                 if m.step(step, &rigid).is_err() {
-                    poisoned.push(key.clone());
+                    self.invalidations.inc();
+                    *entry = Entry::Unmonitorable;
                 } else {
                     fed += 1;
                 }
             }
-        }
-        for key in poisoned {
-            self.invalidations.inc();
-            entries.insert(key, Entry::Unmonitorable);
         }
         fed
     }
@@ -387,11 +447,18 @@ mod tests {
     use troll_data::Term;
     use troll_temporal::{EventOccurrence, EventPattern};
 
-    fn key(event: &str, args: Vec<Value>) -> CheckKey {
-        CheckKey {
+    fn params(pairs: &[(&str, &str)]) -> BTreeMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::from(*v)))
+            .collect()
+    }
+
+    fn key<'a>(event: &'a str, args: &'a BTreeMap<String, Value>) -> CheckRef<'a> {
+        CheckRef {
             kind: CheckKind::Permission,
-            ctx_class: "C".into(),
-            event: event.into(),
+            ctx_class: "C",
+            event,
             index: 0,
             args,
         }
@@ -418,11 +485,13 @@ mod tests {
         let env = MapEnv::new();
         let mut trace = Trace::new();
         trace.push(hire_step("ada"));
+        let ada = params(&[("P", "ada")]);
+        let bob = params(&[("P", "bob")]);
 
         // miss + replay of the committed step, then a peek
         let v = cache.check(
             &id,
-            key("fire", vec![Value::from("ada")]),
+            key("fire", &ada),
             &trace,
             &Step::new(vec![], []),
             &env,
@@ -438,7 +507,7 @@ mod tests {
         trace.push(step);
         let v = cache.check(
             &id,
-            key("fire", vec![Value::from("ada")]),
+            key("fire", &ada),
             &trace,
             &Step::new(vec![], []),
             &env,
@@ -451,7 +520,7 @@ mod tests {
         // a different grounding is a distinct entry with its own state
         let v = cache.check(
             &id,
-            key("fire", vec![Value::from("bob")]),
+            key("fire", &bob),
             &trace,
             &Step::new(vec![], []),
             &env,
@@ -467,11 +536,12 @@ mod tests {
         let env = MapEnv::new();
         let trace = Trace::new();
         let vstep = Step::new(vec![], []);
+        let none = params(&[]);
 
-        let v = cache.check(&id, key("e", vec![]), &trace, &vstep, &env, || None);
+        let v = cache.check(&id, key("e", &none), &trace, &vstep, &env, || None);
         assert_eq!(v, Verdict::Fallback);
         // the unmonitorable verdict is remembered, not re-derived
-        let v = cache.check(&id, key("e", vec![]), &trace, &vstep, &env, || {
+        let v = cache.check(&id, key("e", &none), &trace, &vstep, &env, || {
             panic!("ground must not run again")
         });
         assert_eq!(v, Verdict::Fallback);
@@ -479,7 +549,7 @@ mod tests {
         assert_eq!(cache.stats().misses, 1);
 
         cache.set_enabled(false);
-        let v = cache.check(&id, key("f", vec![]), &trace, &vstep, &env, || {
+        let v = cache.check(&id, key("f", &none), &trace, &vstep, &env, || {
             panic!("disabled cache must not ground")
         });
         assert_eq!(v, Verdict::Fallback);
@@ -493,13 +563,14 @@ mod tests {
         let env = MapEnv::new();
         let trace = Trace::new();
         let vstep = Step::new(vec![], []);
-        cache.check(&id, key("e", vec![]), &trace, &vstep, &env, || {
+        let none = params(&[]);
+        cache.check(&id, key("e", &none), &trace, &vstep, &env, || {
             Some(Formula::truth())
         });
         cache.on_death(&id);
         assert_eq!(cache.stats().invalidations, 1);
         // recreated from scratch afterwards
-        cache.check(&id, key("e", vec![]), &trace, &vstep, &env, || {
+        cache.check(&id, key("e", &none), &trace, &vstep, &env, || {
             Some(Formula::truth())
         });
         assert_eq!(cache.stats().misses, 2);

@@ -14,7 +14,7 @@
 //! tick
 //! ```
 
-use crate::runtime::{BatchEvent, ObjectBase, WorldShards};
+use crate::{BatchEvent, ObjectBase, WorldShards};
 use std::collections::BTreeMap;
 use troll_data::{MapEnv, ObjectId, Value};
 
@@ -174,6 +174,36 @@ pub fn run_script_sharded(ws: &mut WorldShards, script: &str) -> Result<Vec<Outc
     Ok(outcomes)
 }
 
+/// Parses a `birth`/`exec` script line into its batch event plus, for
+/// births, the identity its outcome reports — the speculable subset of
+/// the command language. Returns `None` for any other command (run
+/// those via [`run_command`]), `Some(Err)` for a birth/exec-shaped
+/// line with a malformed term.
+///
+/// # Errors
+///
+/// Inside the `Some`: a parse failure message for the offending term.
+pub fn parse_event_line(line: &str) -> Option<Result<(BatchEvent, Option<ObjectId>), String>> {
+    let tokens = split_top_level(line);
+    match tokens.first().map(String::as_str) {
+        Some("birth") if tokens.len() == 5 => Some((|| {
+            let key = parse_term_list(&tokens[2])?;
+            let args = parse_term_list(&tokens[4])?;
+            let id = ObjectId::new(tokens[1].clone(), key);
+            Ok((
+                BatchEvent::new(id.clone(), tokens[3].clone(), args),
+                Some(id),
+            ))
+        })()),
+        Some("exec") if tokens.len() == 4 => Some((|| {
+            let id = parse_identity(&tokens[1])?;
+            let args = parse_term_list(&tokens[3])?;
+            Ok((BatchEvent::new(id, tokens[2].clone(), args), None))
+        })()),
+        _ => None,
+    }
+}
+
 /// Runs a single script command.
 ///
 /// # Errors
@@ -309,7 +339,7 @@ fn parse_term_list(group: &str) -> Result<Vec<Value>, String> {
     if inner.trim().is_empty() {
         return Ok(vec![]);
     }
-    let term = crate::lang::parse_term(&format!("[{inner}]")).map_err(|e| e.to_string())?;
+    let term = troll_lang::parse_term(&format!("[{inner}]")).map_err(|e| e.to_string())?;
     match term.eval(&MapEnv::new()).map_err(|e| e.to_string())? {
         Value::List(items) => Ok(items.into_iter().collect()),
         other => Err(format!("argument list evaluated to non-list {other}")),
@@ -318,7 +348,7 @@ fn parse_term_list(group: &str) -> Result<Vec<Value>, String> {
 
 /// Parses and evaluates an identity literal `|CLASS|(key…)`.
 fn parse_identity(text: &str) -> Result<ObjectId, String> {
-    let term = crate::lang::parse_term(text).map_err(|e| e.to_string())?;
+    let term = troll_lang::parse_term(text).map_err(|e| e.to_string())?;
     match term.eval(&MapEnv::new()).map_err(|e| e.to_string())? {
         Value::Id(id) => Ok(id),
         other => Err(format!("expected an identity literal, found {other}")),
@@ -328,113 +358,6 @@ fn parse_identity(text: &str) -> Result<ObjectId, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::System;
-
-    fn base() -> ObjectBase {
-        System::load_str(crate::specs::DEPT)
-            .unwrap()
-            .object_base()
-            .unwrap()
-    }
-
-    #[test]
-    fn full_script_session() {
-        let mut ob = base();
-        let outcomes = run_script(
-            &mut ob,
-            r#"
--- establish and staff a department
-birth DEPT ("Toys") establishment (date(1991,10,16))
-exec |DEPT|("Toys") hire (|PERSON|("ada"))
-exec |DEPT|("Toys") hire (|PERSON|("bob"))
-show |DEPT|("Toys") employees
-exec |DEPT|("Toys") fire (|PERSON|("ada"))
-exec |DEPT|("Toys") fire (|PERSON|("bob"))
-exec |DEPT|("Toys") closure ()
-tick
-"#,
-        )
-        .unwrap();
-        assert_eq!(outcomes.len(), 8);
-        assert!(matches!(outcomes[0], Outcome::Born(_)));
-        match &outcomes[3] {
-            Outcome::Observation { value, .. } => {
-                assert_eq!(value.as_set().unwrap().len(), 2)
-            }
-            other => panic!("expected observation, got {other:?}"),
-        }
-        assert_eq!(outcomes[7], Outcome::Ticked(0));
-    }
-
-    #[test]
-    fn sharded_script_matches_sequential() {
-        let script = r#"
-birth DEPT ("Toys") establishment (date(1991,10,16))
-birth DEPT ("Shoes") establishment (date(1991,10,16))
-exec |DEPT|("Toys") hire (|PERSON|("ada"))
-exec |DEPT|("Shoes") hire (|PERSON|("bob"))
-show |DEPT|("Toys") employees
-exec |DEPT|("Toys") fire (|PERSON|("ada"))
-tick
-"#;
-        let mut ob = base();
-        let sequential = run_script(&mut ob, script).unwrap();
-        let mut ws = base().into_shards(4);
-        let sharded = run_script_sharded(&mut ws, script).unwrap();
-        assert_eq!(sharded, sequential);
-        // failures carry the script line number through the batch path
-        let err = run_script_sharded(&mut ws, "exec |DEPT|(\"Toys\") fire (|PERSON|(\"ghost\"))")
-            .unwrap_err();
-        assert!(
-            err.starts_with("line 1:") && err.contains("not permitted"),
-            "{err}"
-        );
-    }
-
-    #[test]
-    fn errors_carry_line_numbers() {
-        let mut ob = base();
-        let err = run_script(
-            &mut ob,
-            "birth DEPT (\"Toys\") establishment (date(1991,10,16))\nexec |DEPT|(\"Toys\") explode ()",
-        )
-        .unwrap_err();
-        assert!(err.starts_with("line 2:"), "{err}");
-        // permission refusal is an error too
-        let err =
-            run_script(&mut ob, "exec |DEPT|(\"Toys\") fire (|PERSON|(\"never\"))").unwrap_err();
-        assert!(err.contains("not permitted"), "{err}");
-    }
-
-    #[test]
-    fn malformed_commands_rejected() {
-        let mut ob = base();
-        assert!(run_command(&mut ob, "frobnicate").is_err());
-        assert!(run_command(&mut ob, "exec DEPT hire").is_err());
-        assert!(run_command(&mut ob, "show 42 x").is_err());
-        assert!(run_command(&mut ob, "birth DEPT Toys establishment ()").is_err());
-    }
-
-    #[test]
-    fn view_and_call_commands() {
-        let system = System::load_str(crate::specs::VIEWS).unwrap();
-        let mut ob = system.object_base().unwrap();
-        run_script(
-            &mut ob,
-            r#"
-birth PERSON ("ada") create (4000.00, "Research")
-view SAL_EMPLOYEE
-call SAL_EMPLOYEE2 |PERSON|("ada") IncreaseSalary ()
-show |PERSON|("ada") Salary
-"#,
-        )
-        .unwrap();
-        assert_eq!(
-            ob.attribute(&ObjectId::new("PERSON", vec![Value::from("ada")]), "Salary")
-                .unwrap(),
-            Value::Money(troll_data::Money::from_major(4400))
-        );
-    }
 
     #[test]
     fn splitter_respects_nesting_and_quotes() {
@@ -448,27 +371,5 @@ show |PERSON|("ada") Salary
             ]
         );
         assert!(split_top_level("").is_empty());
-    }
-}
-
-#[cfg(test)]
-mod demo_session_tests {
-    use super::*;
-    use crate::System;
-
-    /// The demo session shipped in docs/ runs cleanly against the DEPT
-    /// spec — keeps the documented CLI walkthrough honest.
-    #[test]
-    fn shipped_demo_session_runs() {
-        let script = std::fs::read_to_string(
-            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/demo_session.txt"),
-        )
-        .expect("demo session exists");
-        let mut ob = System::load_str(crate::specs::DEPT)
-            .unwrap()
-            .object_base()
-            .unwrap();
-        let outcomes = run_script(&mut ob, &script).expect("demo session runs");
-        assert!(outcomes.len() >= 8);
     }
 }

@@ -1,0 +1,31 @@
+//! `troll-serve`: one process hosting many independent TROLL worlds.
+//!
+//! A hand-rolled non-blocking TCP server (epoll on Linux, no external
+//! dependencies — see [`poll`]) speaking a newline-delimited JSON
+//! protocol ([`proto`]): `open`, `submit-event`, `query-attr`,
+//! `query-view`, `stats`, `shutdown`. A registry maps world ids to
+//! engines; submissions multiplex onto a worker pool that *speculates*
+//! steps via [`troll_runtime::ObjectBase::speculate`] and serializes
+//! only the commit per world ([`server`]). With `--durable`, every
+//! world gets its own [`troll_store`] directory (WAL + snapshots) and
+//! recovers on reopen.
+//!
+//! The response `text` for a script line is byte-for-byte what
+//! `troll animate` prints for the same line — the server is
+//! observationally a remote animator, times N worlds.
+//!
+//! [`selftest`] is a zero-dependency load driver used by
+//! `troll serve --selftest` and CI.
+
+#![deny(unsafe_code)] // except the epoll syscall shims in `poll`
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod poll;
+pub mod proto;
+pub mod selftest;
+pub mod server;
+
+pub use proto::{Request, Response, MAX_LINE};
+pub use selftest::{run_load, LoadConfig, LoadReport};
+pub use server::{ServeOptions, ServeSummary, Server, SpawnedServer};

@@ -1,0 +1,286 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, answered in
+//! request order per connection:
+//!
+//! ```text
+//! → {"op":"open","world":"w1"}
+//! ← {"ok":true,"text":"opened w1"}
+//! → {"op":"submit-event","world":"w1","line":"birth DEPT (\"Toys\") establishment (date(1991,10,16))"}
+//! ← {"ok":true,"text":"born |DEPT|(\"Toys\")"}
+//! → {"op":"query-attr","world":"w1","id":"|DEPT|(\"Toys\")","attr":"employees"}
+//! ← {"ok":true,"text":"|DEPT|(\"Toys\").employees = {}"}
+//! → {"op":"query-view","world":"w1","interface":"SAL_EMPLOYEE"}
+//! → {"op":"stats"}            -- server-wide counters
+//! → {"op":"stats","world":"w1"}
+//! → {"op":"shutdown"}
+//! ```
+//!
+//! `submit-event` lines use the animation script grammar
+//! (`troll_runtime::script`), and the `text` of a successful response
+//! is byte-for-byte the [`Outcome`](troll_runtime::script::Outcome)
+//! rendering `troll animate` prints for the same line — the server is
+//! observationally a remote `animate`.
+
+use crate::json::{parse, Json};
+
+/// Maximum accepted request line length (bytes, excluding newline).
+pub const MAX_LINE: usize = 1 << 20;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Create (or idempotently reopen) a world.
+    Open {
+        /// World id, `[A-Za-z0-9_-]{1,64}`.
+        world: String,
+    },
+    /// Run one animation-script line against a world.
+    SubmitEvent {
+        /// Target world.
+        world: String,
+        /// Script line (`birth …`, `exec …`, `show …`, `view …`, …).
+        line: String,
+    },
+    /// Observe one attribute (`show` sugar).
+    QueryAttr {
+        /// Target world.
+        world: String,
+        /// Identity literal, e.g. `|DEPT|("Toys")`.
+        id: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// Materialize a view interface (`view` sugar).
+    QueryView {
+        /// Target world.
+        world: String,
+        /// Interface name.
+        interface: String,
+    },
+    /// Server-wide (`world` absent) or per-world counters.
+    Stats {
+        /// Restrict to one world.
+        world: Option<String>,
+    },
+    /// Flush and close every world, then exit cleanly.
+    Shutdown,
+}
+
+/// A world id usable as a filesystem directory name under `--durable`.
+pub fn valid_world_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A message suitable for an error response: bad JSON, unknown op,
+    /// missing or ill-typed fields, invalid world id.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = parse(line)?;
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `op`")?;
+        let world = |v: &Json| -> Result<String, String> {
+            let w = v
+                .get("world")
+                .and_then(Json::as_str)
+                .ok_or("missing string field `world`")?;
+            if !valid_world_id(w) {
+                return Err(format!(
+                    "invalid world id `{w}` (want [A-Za-z0-9_-]{{1,64}})"
+                ));
+            }
+            Ok(w.to_string())
+        };
+        let field = |v: &Json, name: &str| -> Result<String, String> {
+            Ok(v.get(name)
+                .and_then(Json::as_str)
+                .ok_or(format!("missing string field `{name}`"))?
+                .to_string())
+        };
+        match op {
+            "open" => Ok(Request::Open { world: world(&v)? }),
+            "submit-event" => Ok(Request::SubmitEvent {
+                world: world(&v)?,
+                line: field(&v, "line")?,
+            }),
+            "query-attr" => Ok(Request::QueryAttr {
+                world: world(&v)?,
+                id: field(&v, "id")?,
+                attr: field(&v, "attr")?,
+            }),
+            "query-view" => Ok(Request::QueryView {
+                world: world(&v)?,
+                interface: field(&v, "interface")?,
+            }),
+            "stats" => Ok(Request::Stats {
+                world: match v.get("world") {
+                    None | Some(Json::Null) => None,
+                    Some(_) => Some(world(&v)?),
+                },
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// Serializes the request as one JSON line (no trailing newline) —
+    /// the client half of the codec, used by the load driver and tests.
+    pub fn to_json(&self) -> String {
+        let obj = match self {
+            Request::Open { world } => vec![
+                ("op".to_string(), Json::Str("open".to_string())),
+                ("world".to_string(), Json::Str(world.clone())),
+            ],
+            Request::SubmitEvent { world, line } => vec![
+                ("op".to_string(), Json::Str("submit-event".to_string())),
+                ("world".to_string(), Json::Str(world.clone())),
+                ("line".to_string(), Json::Str(line.clone())),
+            ],
+            Request::QueryAttr { world, id, attr } => vec![
+                ("op".to_string(), Json::Str("query-attr".to_string())),
+                ("world".to_string(), Json::Str(world.clone())),
+                ("id".to_string(), Json::Str(id.clone())),
+                ("attr".to_string(), Json::Str(attr.clone())),
+            ],
+            Request::QueryView { world, interface } => vec![
+                ("op".to_string(), Json::Str("query-view".to_string())),
+                ("world".to_string(), Json::Str(world.clone())),
+                ("interface".to_string(), Json::Str(interface.clone())),
+            ],
+            Request::Stats { world } => {
+                let mut fields = vec![("op".to_string(), Json::Str("stats".to_string()))];
+                if let Some(w) = world {
+                    fields.push(("world".to_string(), Json::Str(w.clone())));
+                }
+                fields
+            }
+            Request::Shutdown => vec![("op".to_string(), Json::Str("shutdown".to_string()))],
+        };
+        Json::Obj(obj).to_json()
+    }
+}
+
+/// A protocol response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success; `text` is the rendered outcome.
+    Ok(String),
+    /// Failure; a human-readable reason (refusals, parse errors, …).
+    Err(String),
+}
+
+impl Response {
+    /// Serializes as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let obj = match self {
+            Response::Ok(text) => vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("text".to_string(), Json::Str(text.clone())),
+            ],
+            Response::Err(error) => vec![
+                ("ok".to_string(), Json::Bool(false)),
+                ("error".to_string(), Json::Str(error.clone())),
+            ],
+        };
+        Json::Obj(obj).to_json()
+    }
+
+    /// Parses a response line (the client half).
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON or a shape that is neither success nor failure.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let v = parse(line)?;
+        match v.get("ok") {
+            Some(Json::Bool(true)) => Ok(Response::Ok(
+                v.get("text")
+                    .and_then(Json::as_str)
+                    .ok_or("missing `text`")?
+                    .to_string(),
+            )),
+            Some(Json::Bool(false)) => Ok(Response::Err(
+                v.get("error")
+                    .and_then(Json::as_str)
+                    .ok_or("missing `error`")?
+                    .to_string(),
+            )),
+            _ => Err("missing boolean field `ok`".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Open {
+                world: "w-1".to_string(),
+            },
+            Request::SubmitEvent {
+                world: "w_2".to_string(),
+                line: "birth DEPT (\"Toys\") establishment (date(1991,10,16))".to_string(),
+            },
+            Request::QueryAttr {
+                world: "a".to_string(),
+                id: "|DEPT|(\"Toys\")".to_string(),
+                attr: "employees".to_string(),
+            },
+            Request::QueryView {
+                world: "a".to_string(),
+                interface: "SAL_EMPLOYEE".to_string(),
+            },
+            Request::Stats { world: None },
+            Request::Stats {
+                world: Some("a".to_string()),
+            },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            assert_eq!(Request::parse(&req.to_json()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Ok("born |DEPT|(\"Toys\")".to_string()),
+            Response::Err("line 1: not permitted".to_string()),
+        ] {
+            assert_eq!(Response::parse(&resp.to_json()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn bad_requests_rejected() {
+        for bad in [
+            "",
+            "{}",
+            "{\"op\":\"fly\"}",
+            "{\"op\":\"open\"}",
+            "{\"op\":\"open\",\"world\":\"\"}",
+            "{\"op\":\"open\",\"world\":\"a/b\"}",
+            "{\"op\":\"open\",\"world\":\"../etc\"}",
+            "{\"op\":\"submit-event\",\"world\":\"w\"}",
+            "{\"op\":\"open\",\"world\":17}",
+            "not json at all",
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        let long = format!("{{\"op\":\"open\",\"world\":\"{}\"}}", "a".repeat(65));
+        assert!(Request::parse(&long).is_err(), "65-char world id");
+    }
+}

@@ -1,0 +1,913 @@
+//! The multi-world animation server.
+//!
+//! One readiness loop ([`crate::poll::Poller`]) owns the listener and
+//! every connection; it parses request lines, answers global requests
+//! (`stats`, `shutdown`, parse errors) inline, and routes world-bound
+//! requests to a worker pool. Each world has a FIFO job queue guarded
+//! by a `scheduled` flag, so at most one worker drains a given world
+//! at a time — submissions to *different* worlds run concurrently,
+//! submissions to the *same* world keep their arrival order (which is
+//! what makes a served world byte-equal to a sequential `animate` run
+//! of the same lines). Within a job the worker speculates the step
+//! under the world's read lock ([`ObjectBase::speculate`]) and takes
+//! the write lock only to commit — the cross-world lift of the
+//! [`troll_runtime::WorldShards`] speculation/commit split.
+//!
+//! Responses flow back to the loop thread over a completion list plus
+//! a socketpair waker byte; per-connection sequence numbers reassemble
+//! pipelined responses into request order before bytes hit the wire.
+//! A connection whose outbound buffer exceeds the cap (a reader that
+//! stopped reading) is dropped — slow clients never block the loop or
+//! other worlds.
+
+use crate::poll::{Interest, Poller};
+use crate::proto::{Request, Response, MAX_LINE};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+use troll_obs::{Counter, Histogram, HistogramSummary, Metrics};
+use troll_runtime::script::{self, Outcome};
+use troll_runtime::{BatchEvent, ObjectBase, SharedModel};
+use troll_store::{open_world, DurableSink, FsyncPolicy, Store, StoreOptions};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// How long a shutting-down server waits for clients to drain their
+/// final responses before closing the loop anyway.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads executing world jobs.
+    pub workers: usize,
+    /// Root directory for per-world stores; `None` keeps worlds in
+    /// memory only.
+    pub durable: Option<PathBuf>,
+    /// Store tuning for `--durable` worlds.
+    pub store: StoreOptions,
+    /// Outbound buffer cap per connection; a client further behind
+    /// than this is dropped rather than allowed to wedge the loop.
+    pub max_buffered: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            workers: thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2),
+            durable: None,
+            store: StoreOptions {
+                fsync: FsyncPolicy::EveryCommit,
+                segment_bytes: 4 << 20,
+                snapshot_every: 1024,
+            },
+            max_buffered: 8 << 20,
+        }
+    }
+}
+
+/// Totals reported when the server exits cleanly.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeSummary {
+    /// Request lines received (including malformed ones).
+    pub requests: u64,
+    /// `submit-event` requests.
+    pub events: u64,
+    /// Steps committed.
+    pub commits: u64,
+    /// Speculations that had to re-execute sequentially.
+    pub conflicts: u64,
+    /// Error responses sent.
+    pub errors: u64,
+    /// Worlds opened.
+    pub worlds: u64,
+    /// End-to-end latency of world-routed requests (enqueue → response
+    /// ready), from the `serve.request_latency_ns` histogram.
+    pub request_latency: HistogramSummary,
+}
+
+struct ServeCounters {
+    requests: Counter,
+    events: Counter,
+    commits: Counter,
+    conflicts: Counter,
+    errors: Counter,
+    worlds: Counter,
+    request_latency: Histogram,
+    commit_latency: Histogram,
+}
+
+impl ServeCounters {
+    fn new(metrics: &Metrics) -> ServeCounters {
+        ServeCounters {
+            requests: metrics.counter("serve.requests"),
+            events: metrics.counter("serve.events"),
+            commits: metrics.counter("serve.commits"),
+            conflicts: metrics.counter("serve.conflicts"),
+            errors: metrics.counter("serve.errors"),
+            worlds: metrics.counter("serve.worlds"),
+            request_latency: metrics.histogram("serve.request_latency_ns"),
+            commit_latency: metrics.histogram("serve.commit_latency_ns"),
+        }
+    }
+}
+
+/// One hosted world: its engine, and its store handle when durable.
+struct WorldState {
+    base: ObjectBase,
+    store: Option<Arc<Mutex<Store>>>,
+}
+
+/// A world's registry entry. `world` is `None` until the first `open`
+/// job builds (or recovers) it on a worker.
+struct WorldEntry {
+    name: String,
+    jobs: Mutex<JobQueue>,
+    world: RwLock<Option<WorldState>>,
+}
+
+#[derive(Default)]
+struct JobQueue {
+    queue: VecDeque<Job>,
+    /// True while the entry sits in the ready list or a worker drains
+    /// it — the one-worker-per-world-at-a-time discipline.
+    scheduled: bool,
+}
+
+impl WorldEntry {
+    fn new(name: String) -> WorldEntry {
+        WorldEntry {
+            name,
+            jobs: Mutex::new(JobQueue::default()),
+            world: RwLock::new(None),
+        }
+    }
+}
+
+struct Job {
+    conn: u64,
+    seq: u64,
+    req: Request,
+    t0: Instant,
+}
+
+struct Completion {
+    conn: u64,
+    seq: u64,
+    line: String,
+}
+
+/// A response slot awaiting its turn in the per-connection order.
+enum Pending {
+    /// Fully rendered response line.
+    Line(String),
+    /// Server-wide `stats`, rendered lazily at flush time.
+    GlobalStats,
+}
+
+struct Shared {
+    model: SharedModel,
+    spec_source: String,
+    durable: Option<PathBuf>,
+    store_opts: StoreOptions,
+    max_buffered: usize,
+    registry: Mutex<HashMap<String, Arc<WorldEntry>>>,
+    ready: Mutex<VecDeque<Arc<WorldEntry>>>,
+    ready_cv: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    /// Jobs enqueued but whose completion the loop has not drained yet.
+    inflight: AtomicU64,
+    /// Tells idle workers to exit once the ready list is empty.
+    shutdown: AtomicBool,
+    /// Write half of the waker socketpair; one byte per completion
+    /// batch nudges the loop out of `wait`.
+    waker: UnixStream,
+    metrics: Metrics,
+    c: ServeCounters,
+}
+
+impl Shared {
+    fn wake(&self) {
+        // best-effort: a full pipe already guarantees a pending wakeup
+        let _ = (&self.waker).write(&[1u8]);
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    waker_rx: UnixStream,
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+/// A server running on its own thread (see [`Server::spawn`]).
+pub struct SpawnedServer {
+    /// The bound address (useful with port 0).
+    pub addr: SocketAddr,
+    /// Joins the loop thread; yields the exit summary.
+    pub join: thread::JoinHandle<io::Result<ServeSummary>>,
+}
+
+impl Server {
+    /// Parses `spec_source`, compiles the model once (shared by every
+    /// world), and binds `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or `InvalidData` when the spec does not compile.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        spec_source: &str,
+        opts: ServeOptions,
+    ) -> io::Result<Server> {
+        let model = troll_lang::parse(spec_source)
+            .and_then(|parsed| troll_lang::analyze(&parsed))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let (waker_rx, waker_tx) = UnixStream::pair()?;
+        waker_rx.set_nonblocking(true)?;
+        waker_tx.set_nonblocking(true)?;
+        let metrics = Metrics::new();
+        let c = ServeCounters::new(&metrics);
+        let shared = Arc::new(Shared {
+            model: SharedModel::new(model),
+            spec_source: spec_source.to_string(),
+            durable: opts.durable,
+            store_opts: opts.store,
+            max_buffered: opts.max_buffered,
+            registry: Mutex::new(HashMap::new()),
+            ready: Mutex::new(VecDeque::new()),
+            ready_cv: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            inflight: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            waker: waker_tx,
+            metrics,
+            c,
+        });
+        Ok(Server {
+            listener,
+            waker_rx,
+            shared,
+            workers: opts.workers.max(1),
+        })
+    }
+
+    /// The bound local address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The server's metrics registry (counters under `serve.*`).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Binds and runs on a new thread; the caller talks to it over TCP
+    /// (send `{"op":"shutdown"}` to stop it).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::bind`].
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        spec_source: &str,
+        opts: ServeOptions,
+    ) -> io::Result<SpawnedServer> {
+        let server = Server::bind(addr, spec_source, opts)?;
+        let addr = server.local_addr()?;
+        let join = thread::Builder::new()
+            .name("troll-serve".to_string())
+            .spawn(move || server.run())?;
+        Ok(SpawnedServer { addr, join })
+    }
+
+    /// Runs the readiness loop until a `shutdown` request arrives, then
+    /// drains responses, joins the workers, and closes every durable
+    /// store (final snapshot + WAL sync).
+    ///
+    /// # Errors
+    ///
+    /// Fatal poller/listener failures only; per-connection errors just
+    /// drop that connection.
+    pub fn run(self) -> io::Result<ServeSummary> {
+        let Server {
+            listener,
+            waker_rx,
+            shared,
+            workers,
+        } = self;
+        let poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.add(waker_rx.as_raw_fd(), TOKEN_WAKER, Interest::READ)?;
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            worker_handles.push(
+                thread::Builder::new()
+                    .name(format!("troll-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_token = FIRST_CONN_TOKEN;
+        let mut events = Vec::with_capacity(256);
+        let mut shutting_down = false;
+        let mut deadline: Option<Instant> = None;
+
+        loop {
+            events.clear();
+            let timeout = if shutting_down { 10 } else { 250 };
+            poller.wait(&mut events, timeout)?;
+
+            for ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => loop {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if shutting_down {
+                                    continue; // drop it; we are leaving
+                                }
+                                if stream.set_nonblocking(true).is_err() {
+                                    continue;
+                                }
+                                let _ = stream.set_nodelay(true);
+                                let token = next_token;
+                                next_token += 1;
+                                if poller
+                                    .add(stream.as_raw_fd(), token, Interest::READ)
+                                    .is_ok()
+                                {
+                                    conns.insert(token, Conn::new(stream, token));
+                                }
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(_) => break,
+                        }
+                    },
+                    TOKEN_WAKER => {
+                        let mut sink = [0u8; 256];
+                        while matches!((&waker_rx).read(&mut sink), Ok(n) if n > 0) {}
+                    }
+                    token => {
+                        if let Some(conn) = conns.get_mut(&token) {
+                            if ev.error {
+                                conn.dead = true;
+                            }
+                            if ev.readable && !conn.dead && read_ready(&shared, conn) {
+                                shutting_down = true;
+                            }
+                            if ev.writable && !conn.dead {
+                                conn.try_write();
+                            }
+                        }
+                    }
+                }
+            }
+
+            for comp in shared.completions.lock().expect("completions").drain(..) {
+                shared.inflight.fetch_sub(1, Ordering::Relaxed);
+                if let Some(conn) = conns.get_mut(&comp.conn) {
+                    conn.pending.insert(comp.seq, Pending::Line(comp.line));
+                }
+            }
+
+            let mut drop_tokens = Vec::new();
+            for (token, conn) in conns.iter_mut() {
+                conn.flush_pending(&shared);
+                if !conn.outbuf.is_empty() {
+                    conn.try_write();
+                }
+                if conn.outbuf.len() - conn.out_pos > shared.max_buffered {
+                    conn.dead = true; // slow client: cut it loose
+                }
+                if conn.saw_eof && conn.drained() {
+                    conn.dead = true;
+                }
+                if conn.dead {
+                    drop_tokens.push(*token);
+                    continue;
+                }
+                let desired = Interest {
+                    read: !conn.saw_eof,
+                    write: conn.out_pos < conn.outbuf.len(),
+                };
+                if desired != conn.interest {
+                    if poller
+                        .modify(conn.stream.as_raw_fd(), *token, desired)
+                        .is_err()
+                    {
+                        conn.dead = true;
+                        drop_tokens.push(*token);
+                    } else {
+                        conn.interest = desired;
+                    }
+                }
+            }
+            for token in drop_tokens {
+                if let Some(conn) = conns.remove(&token) {
+                    let _ = poller.remove(conn.stream.as_raw_fd());
+                }
+            }
+
+            if shutting_down {
+                let deadline = *deadline.get_or_insert_with(|| Instant::now() + SHUTDOWN_GRACE);
+                let drained = shared.inflight.load(Ordering::Relaxed) == 0
+                    && conns.values().all(Conn::drained);
+                if drained || Instant::now() >= deadline {
+                    break;
+                }
+            }
+        }
+
+        drop(conns);
+        shared.shutdown.store(true, Ordering::SeqCst);
+        shared.ready_cv.notify_all();
+        for handle in worker_handles {
+            let _ = handle.join();
+        }
+        close_stores(&shared);
+
+        let c = &shared.c;
+        Ok(ServeSummary {
+            requests: c.requests.get(),
+            events: c.events.get(),
+            commits: c.commits.get(),
+            conflicts: c.conflicts.get(),
+            errors: c.errors.get(),
+            worlds: c.worlds.get(),
+            request_latency: c.request_latency.summary(),
+        })
+    }
+}
+
+/// Final-snapshot + sync every durable world on the way out.
+fn close_stores(shared: &Shared) {
+    let entries: Vec<Arc<WorldEntry>> = shared
+        .registry
+        .lock()
+        .expect("registry")
+        .values()
+        .cloned()
+        .collect();
+    for entry in entries {
+        let slot = entry.world.read().expect("world lock");
+        if let Some(state) = slot.as_ref() {
+            if let Some(store) = &state.store {
+                if let Err(e) = store.lock().expect("store lock").close(&state.base) {
+                    eprintln!("troll-serve: closing world `{}`: {e}", entry.name);
+                }
+            }
+        }
+    }
+}
+
+/// One client connection owned by the loop thread.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    /// Sequence number the next parsed request gets.
+    next_seq: u64,
+    /// Sequence number the next flushed response must carry.
+    next_flush: u64,
+    /// Responses that arrived out of order, keyed by sequence.
+    pending: BTreeMap<u64, Pending>,
+    interest: Interest,
+    saw_eof: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, token: u64) -> Conn {
+        Conn {
+            stream,
+            token,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            out_pos: 0,
+            next_seq: 0,
+            next_flush: 0,
+            pending: BTreeMap::new(),
+            interest: Interest::READ,
+            saw_eof: false,
+            dead: false,
+        }
+    }
+
+    /// Every received request has been answered and written out.
+    fn drained(&self) -> bool {
+        self.next_flush == self.next_seq && self.outbuf.len() == self.out_pos
+    }
+
+    /// Moves in-order pending responses into the outbound buffer.
+    /// Global stats render *here* — once everything the connection
+    /// pipelined before the `stats` request has completed — so the
+    /// counters reflect at least this connection's prior requests.
+    fn flush_pending(&mut self, shared: &Shared) {
+        while let Some(resp) = self.pending.remove(&self.next_flush) {
+            let line = match resp {
+                Pending::Line(line) => line,
+                Pending::GlobalStats => Response::Ok(global_stats(shared)).to_json(),
+            };
+            self.outbuf.extend_from_slice(line.as_bytes());
+            self.outbuf.push(b'\n');
+            self.next_flush += 1;
+        }
+    }
+
+    /// Writes buffered bytes until the socket pushes back.
+    fn try_write(&mut self) {
+        while self.out_pos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.out_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        if self.out_pos == self.outbuf.len() {
+            self.outbuf.clear();
+            self.out_pos = 0;
+        }
+    }
+}
+
+/// Reads everything available, splits complete lines, and routes them.
+/// Returns true when a `shutdown` request was seen.
+fn read_ready(shared: &Arc<Shared>, conn: &mut Conn) -> bool {
+    let mut buf = [0u8; 16384];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.saw_eof = true;
+                break;
+            }
+            Ok(n) => conn.inbuf.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return false;
+            }
+        }
+    }
+
+    let mut lines = Vec::new();
+    let mut start = 0usize;
+    while let Some(off) = conn.inbuf[start..].iter().position(|&b| b == b'\n') {
+        let mut line = &conn.inbuf[start..start + off];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        lines.push(String::from_utf8_lossy(line).into_owned());
+        start += off + 1;
+    }
+    if start > 0 {
+        conn.inbuf.drain(..start);
+    }
+    if conn.inbuf.len() > MAX_LINE {
+        // a line this long is not a protocol request; cut the peer off
+        shared.c.errors.inc();
+        conn.dead = true;
+        return false;
+    }
+
+    let mut shutdown = false;
+    for line in lines {
+        if route_line(shared, conn, &line) {
+            shutdown = true;
+        }
+    }
+    shutdown
+}
+
+/// Parses one request line and either answers it inline (errors,
+/// global stats, shutdown ack) or enqueues it on its world. Returns
+/// true for `shutdown`.
+fn route_line(shared: &Arc<Shared>, conn: &mut Conn, line: &str) -> bool {
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    shared.c.requests.inc();
+    let t0 = Instant::now();
+
+    let req = match Request::parse(line) {
+        Err(e) => {
+            shared.c.errors.inc();
+            conn.pending
+                .insert(seq, Pending::Line(Response::Err(e).to_json()));
+            return false;
+        }
+        Ok(req) => req,
+    };
+    let world = match &req {
+        Request::Shutdown => {
+            conn.pending.insert(
+                seq,
+                Pending::Line(Response::Ok("shutting down".to_string()).to_json()),
+            );
+            return true;
+        }
+        Request::Stats { world: None } => {
+            conn.pending.insert(seq, Pending::GlobalStats);
+            return false;
+        }
+        Request::Open { world }
+        | Request::SubmitEvent { world, .. }
+        | Request::QueryAttr { world, .. }
+        | Request::QueryView { world, .. }
+        | Request::Stats { world: Some(world) } => world.clone(),
+    };
+
+    let create = matches!(req, Request::Open { .. });
+    let entry = {
+        let mut registry = shared.registry.lock().expect("registry");
+        match registry.get(&world) {
+            Some(entry) => Some(Arc::clone(entry)),
+            None if create => {
+                let entry = Arc::new(WorldEntry::new(world.clone()));
+                registry.insert(world.clone(), Arc::clone(&entry));
+                Some(entry)
+            }
+            None => None,
+        }
+    };
+    match entry {
+        None => {
+            shared.c.errors.inc();
+            conn.pending.insert(
+                seq,
+                Pending::Line(Response::Err(format!("world `{world}` is not open")).to_json()),
+            );
+        }
+        Some(entry) => {
+            shared.inflight.fetch_add(1, Ordering::Relaxed);
+            enqueue(
+                shared,
+                &entry,
+                Job {
+                    conn: conn.token,
+                    seq,
+                    req,
+                    t0,
+                },
+            );
+        }
+    }
+    false
+}
+
+/// Appends a job to its world's queue and puts the world on the ready
+/// list unless a worker already has it.
+fn enqueue(shared: &Shared, entry: &Arc<WorldEntry>, job: Job) {
+    let newly_scheduled = {
+        let mut jobs = entry.jobs.lock().expect("job queue");
+        jobs.queue.push_back(job);
+        if jobs.scheduled {
+            false
+        } else {
+            jobs.scheduled = true;
+            true
+        }
+    };
+    if newly_scheduled {
+        shared
+            .ready
+            .lock()
+            .expect("ready list")
+            .push_back(Arc::clone(entry));
+        shared.ready_cv.notify_one();
+    }
+}
+
+/// Worker: claim a ready world, drain its queue in FIFO order, repeat.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let entry = {
+            let mut ready = shared.ready.lock().expect("ready list");
+            loop {
+                if let Some(entry) = ready.pop_front() {
+                    break entry;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                ready = shared.ready_cv.wait(ready).expect("ready list");
+            }
+        };
+        loop {
+            let job = {
+                let mut jobs = entry.jobs.lock().expect("job queue");
+                match jobs.queue.pop_front() {
+                    Some(job) => job,
+                    None => {
+                        jobs.scheduled = false;
+                        break;
+                    }
+                }
+            };
+            let resp = process(shared, &entry, job.req);
+            shared
+                .c
+                .request_latency
+                .record_ns(job.t0.elapsed().as_nanos() as u64);
+            shared
+                .completions
+                .lock()
+                .expect("completions")
+                .push(Completion {
+                    conn: job.conn,
+                    seq: job.seq,
+                    line: resp.to_json(),
+                });
+            shared.wake();
+        }
+    }
+}
+
+fn not_open(shared: &Shared, name: &str) -> Response {
+    shared.c.errors.inc();
+    Response::Err(format!("world `{name}` is not open"))
+}
+
+/// Executes one world-bound request on a worker thread.
+fn process(shared: &Shared, entry: &WorldEntry, req: Request) -> Response {
+    match req {
+        Request::Open { .. } => {
+            let mut slot = entry.world.write().expect("world lock");
+            if slot.is_none() {
+                match build_world(shared, &entry.name) {
+                    Ok(state) => {
+                        *slot = Some(state);
+                        shared.c.worlds.inc();
+                    }
+                    Err(e) => {
+                        shared.c.errors.inc();
+                        return Response::Err(e);
+                    }
+                }
+            }
+            Response::Ok(format!("opened {}", entry.name))
+        }
+        Request::SubmitEvent { line, .. } => submit(shared, entry, &line),
+        Request::QueryAttr { id, attr, .. } => command(shared, entry, &format!("show {id} {attr}")),
+        Request::QueryView { interface, .. } => {
+            command(shared, entry, &format!("view {interface}"))
+        }
+        Request::Stats { .. } => {
+            let slot = entry.world.read().expect("world lock");
+            match slot.as_ref() {
+                Some(state) => Response::Ok(format!(
+                    "world {}: steps={} attempts={}",
+                    entry.name,
+                    state.base.steps_executed(),
+                    state.base.step_attempts()
+                )),
+                None => not_open(shared, &entry.name),
+            }
+        }
+        // shutdown never reaches a worker; the loop answers it inline
+        Request::Shutdown => Response::Err("shutdown is handled by the loop".to_string()),
+    }
+}
+
+/// Runs one `submit-event` line: `birth`/`exec` lines speculate under
+/// the read lock and commit under the write lock; every other script
+/// command runs under the write lock directly.
+fn submit(shared: &Shared, entry: &WorldEntry, raw: &str) -> Response {
+    shared.c.events.inc();
+    let line = raw.split("--").next().unwrap_or("").trim();
+    if line.is_empty() {
+        shared.c.errors.inc();
+        return Response::Err("empty script line".to_string());
+    }
+    match script::parse_event_line(line) {
+        Some(Ok((ev, born))) => {
+            let BatchEvent { id, event, args } = ev;
+            let spec = {
+                let slot = entry.world.read().expect("world lock");
+                let Some(state) = slot.as_ref() else {
+                    return not_open(shared, &entry.name);
+                };
+                state.base.speculate(id, event, args)
+            };
+            let t0 = Instant::now();
+            let mut slot = entry.world.write().expect("world lock");
+            let Some(state) = slot.as_mut() else {
+                return not_open(shared, &entry.name);
+            };
+            let (result, conflict) = state.base.commit_speculation(spec);
+            shared
+                .c
+                .commit_latency
+                .record_ns(t0.elapsed().as_nanos() as u64);
+            if conflict {
+                shared.c.conflicts.inc();
+            }
+            match result {
+                Ok(report) => {
+                    shared.c.commits.inc();
+                    let outcome = match born {
+                        Some(id) => Outcome::Born(id),
+                        None => Outcome::Executed(report.occurrences.len()),
+                    };
+                    Response::Ok(outcome.to_string())
+                }
+                Err(e) => {
+                    shared.c.errors.inc();
+                    Response::Err(e.to_string())
+                }
+            }
+        }
+        Some(Err(e)) => {
+            shared.c.errors.inc();
+            Response::Err(e)
+        }
+        None => command(shared, entry, line),
+    }
+}
+
+/// Runs a non-event script command (`show`, `view`, `call`, …) under
+/// the world's write lock.
+fn command(shared: &Shared, entry: &WorldEntry, line: &str) -> Response {
+    let mut slot = entry.world.write().expect("world lock");
+    match slot.as_mut() {
+        Some(state) => match script::run_command(&mut state.base, line) {
+            Ok(outcome) => Response::Ok(outcome.to_string()),
+            Err(e) => {
+                shared.c.errors.inc();
+                Response::Err(e)
+            }
+        },
+        None => not_open(shared, &entry.name),
+    }
+}
+
+/// Spawns (in-memory) or opens/recovers (durable) one world.
+fn build_world(shared: &Shared, name: &str) -> Result<WorldState, String> {
+    match &shared.durable {
+        None => shared
+            .model
+            .spawn()
+            .map(|base| WorldState { base, store: None })
+            .map_err(|e| e.to_string()),
+        Some(root) => {
+            let dir = root.join("worlds").join(name);
+            let (mut base, store, _info) =
+                open_world(&dir, &shared.spec_source, &shared.store_opts)
+                    .map_err(|e| e.to_string())?;
+            let (sink, store) = DurableSink::new(store);
+            base.set_step_sink(Box::new(sink));
+            Ok(WorldState {
+                base,
+                store: Some(store),
+            })
+        }
+    }
+}
+
+fn global_stats(shared: &Shared) -> String {
+    let c = &shared.c;
+    let lat = c.request_latency.summary();
+    format!(
+        "worlds={} requests={} events={} commits={} conflicts={} errors={} request_p50_ns={} request_p99_ns={}",
+        c.worlds.get(),
+        c.requests.get(),
+        c.events.get(),
+        c.commits.get(),
+        c.conflicts.get(),
+        c.errors.get(),
+        lat.p50_ns,
+        lat.p99_ns,
+    )
+}

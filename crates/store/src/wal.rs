@@ -88,6 +88,22 @@ fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
     dir.join(format!("wal-{first_seq:020}.log"))
 }
 
+/// Creates a fresh segment file with its magic written, fsyncs the
+/// file, then fsyncs the directory so the new dirent survives a crash
+/// — otherwise every record acknowledged into the segment vanishes
+/// with the unlinked name.
+fn create_segment(dir: &Path, first_seq: u64) -> std::io::Result<File> {
+    let path = segment_path(dir, first_seq);
+    let mut f = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(&path)?;
+    f.write_all(WAL_MAGIC)?;
+    f.sync_all()?;
+    File::open(dir)?.sync_all()?;
+    Ok(f)
+}
+
 /// The first sequence number a segment's filename declares
 /// (`wal-<first-seq>.log`), or `None` for a foreign name.
 pub fn segment_first_seq(path: &Path) -> Option<u64> {
@@ -331,15 +347,7 @@ impl Wal {
             // no segments at all, or the snapshot cursor is ahead of
             // the surviving log: start a fresh segment whose filename
             // declares where the sequence resumes
-            _ => {
-                let path = segment_path(dir, next_seq);
-                let mut f = OpenOptions::new()
-                    .create_new(true)
-                    .append(true)
-                    .open(&path)?;
-                f.write_all(WAL_MAGIC)?;
-                (f, WAL_MAGIC.len() as u64)
-            }
+            _ => (create_segment(dir, next_seq)?, WAL_MAGIC.len() as u64),
         };
         Ok(Wal {
             dir: dir.to_path_buf(),
@@ -362,9 +370,6 @@ impl Wal {
     /// Appends one committed step and applies the fsync policy.
     /// Returns the record's sequence number.
     pub fn append(&mut self, initial: &[Occurrence]) -> std::io::Result<u64> {
-        if self.seg_len >= self.segment_bytes {
-            self.rotate()?;
-        }
         let seq = self.next_seq;
         let mut enc = Enc::new();
         enc.u8(REC_STEP);
@@ -376,6 +381,15 @@ impl Wal {
         let payload = enc.into_bytes();
         let mut framed = Vec::with_capacity(payload.len() + crate::frame::FRAME_HEADER);
         write_frame(&mut framed, &payload);
+        // Rotate *before* the write when this frame would push the
+        // segment past the cap, so no segment ever exceeds
+        // `segment_bytes` — except a segment whose single record is
+        // alone bigger than the cap (every segment keeps >= 1 record).
+        if self.seg_len > WAL_MAGIC.len() as u64
+            && self.seg_len + framed.len() as u64 > self.segment_bytes
+        {
+            self.rotate()?;
+        }
         self.file.write_all(&framed)?;
         self.seg_len += framed.len() as u64;
         self.next_seq += 1;
@@ -423,12 +437,7 @@ impl Wal {
     /// Closes the current segment (flush + fsync) and starts the next.
     fn rotate(&mut self) -> std::io::Result<()> {
         self.sync()?;
-        let path = segment_path(&self.dir, self.next_seq);
-        let mut f = OpenOptions::new()
-            .create_new(true)
-            .append(true)
-            .open(&path)?;
-        f.write_all(WAL_MAGIC)?;
+        let f = create_segment(&self.dir, self.next_seq)?;
         self.file = BufWriter::new(f);
         self.seg_len = WAL_MAGIC.len() as u64;
         Ok(())

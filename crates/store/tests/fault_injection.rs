@@ -172,6 +172,103 @@ fn corrupt_snapshot_falls_back_to_replay() {
     assert_eq!(recovered.dump_instances(), base.dump_instances());
 }
 
+/// Like [`seed_log`] but with tiny segments so nearly every append
+/// rotates — the crash-at-a-rotation-boundary scenarios below need a
+/// multi-segment log.
+fn seed_rotated_log(dir: &Path) -> ObjectBase {
+    let o = StoreOptions {
+        fsync: FsyncPolicy::EveryCommit,
+        segment_bytes: 96,
+        snapshot_every: 0,
+    };
+    let (mut base, store, _) = open_world(dir, SPEC, &o).expect("open");
+    let (sink, shared) = DurableSink::new(store);
+    base.set_step_sink(Box::new(sink));
+    let toys = base
+        .birth("DEPT", vec![Value::from("Toys")], "establishment", vec![])
+        .expect("birth");
+    for n in 0..8 {
+        base.execute(&toys, "hire", vec![person(n)]).expect("hire");
+    }
+    shared.lock().unwrap().close(&base).expect("close");
+    for snap in troll_store::snapshot::snapshot_paths(dir).unwrap() {
+        fs::remove_file(snap).unwrap();
+    }
+    base
+}
+
+#[test]
+fn crash_right_after_rotation_loses_nothing() {
+    let dir = scratch("rotation-fresh");
+    seed_rotated_log(&dir);
+    let scan = scan_wal(&dir).unwrap();
+    assert_eq!(scan.records.len(), 9);
+    let segments = troll_store::wal::segment_paths(&dir).unwrap();
+    assert!(segments.len() >= 3, "need a multi-segment log");
+    // crash simulation: the process died right after rotate() created
+    // the next segment but before any record reached it — the tail
+    // segment holds only its magic. The scan must stay clean and
+    // every record in the earlier segments must survive.
+    let last = segments.last().unwrap();
+    let in_tail = scan.records.iter().filter(|r| &r.segment == last).count();
+    let f = fs::OpenOptions::new().write(true).open(last).unwrap();
+    f.set_len(WAL_MAGIC.len() as u64).unwrap();
+    drop(f);
+    let scan = scan_wal(&dir).unwrap();
+    assert_eq!(
+        scan.tail,
+        WalTail::Clean,
+        "a bare fresh segment is not damage"
+    );
+    assert_eq!(scan.records.len(), 9 - in_tail);
+    let expected = oracle(&dir, 9 - in_tail);
+    let (recovered, info) = recover(&dir).expect("recover");
+    assert_eq!(info.replayed as usize, 9 - in_tail);
+    assert_eq!(recovered.dump_instances(), expected.dump_instances());
+}
+
+#[test]
+fn torn_write_across_a_rotation_boundary_truncates_only_the_tail() {
+    let dir = scratch("rotation-torn");
+    seed_rotated_log(&dir);
+    let scan = scan_wal(&dir).unwrap();
+    let segments = troll_store::wal::segment_paths(&dir).unwrap();
+    assert!(segments.len() >= 3, "need a multi-segment log");
+    // crash simulation: the first frame written into the freshly
+    // rotated tail segment is torn mid-write. Every record in the
+    // earlier segments must survive; only the torn tail is discarded.
+    let last = segments.last().unwrap();
+    let in_tail = scan.records.iter().filter(|r| &r.segment == last).count();
+    assert!(in_tail > 0, "tail segment must hold at least one record");
+    let f = fs::OpenOptions::new().write(true).open(last).unwrap();
+    f.set_len(WAL_MAGIC.len() as u64 + 5).unwrap();
+    drop(f);
+    let survivors = 9 - in_tail;
+    let expected = oracle(&dir, survivors);
+    let (recovered, info) = recover(&dir).expect("recover");
+    assert_eq!(info.replayed as usize, survivors);
+    assert!(info.truncated_bytes > 0);
+    assert_eq!(recovered.dump_instances(), expected.dump_instances());
+
+    // reopening truncates the torn tail on disk and appending resumes
+    // contiguously across the rotation boundary
+    let o = StoreOptions {
+        fsync: FsyncPolicy::EveryCommit,
+        segment_bytes: 96,
+        snapshot_every: 0,
+    };
+    let (mut base, store, info) = open_world(&dir, SPEC, &o).expect("reopen");
+    assert_eq!(info.next_seq as usize, survivors);
+    let toys = troll_data::ObjectId::new("DEPT", vec![Value::from("Toys")]);
+    let (sink, shared) = DurableSink::new(store);
+    base.set_step_sink(Box::new(sink));
+    base.execute(&toys, "hire", vec![person(90)]).expect("hire");
+    shared.lock().unwrap().close(&base).expect("close");
+    let scan = scan_wal(&dir).unwrap();
+    assert_eq!(scan.tail, WalTail::Clean);
+    assert_eq!(scan.records.last().unwrap().seq as usize, survivors);
+}
+
 #[test]
 fn every_byte_flip_in_the_log_is_either_truncated_or_harmless() {
     // sweep a coarse grid of single-bit flips over the whole segment:

@@ -156,6 +156,56 @@ fn segment_rotation_preserves_the_log() {
 }
 
 #[test]
+fn segments_respect_the_cap() {
+    let dir = scratch("cap");
+    // cap chosen so a handful of records fit per segment; under the
+    // corrected rotation rule (rotate *before* a frame that would
+    // overflow) no segment may exceed it — the frames here are far
+    // smaller than the cap, so the one-oversized-record exception
+    // cannot trigger
+    let cap = 256u64;
+    run_durable(&dir, &opts(FsyncPolicy::OnClose, 0, cap));
+    let segments = troll_store::wal::segment_paths(&dir).unwrap();
+    assert!(
+        segments.len() >= 2,
+        "expected the cap to force rotation, got {} segment(s)",
+        segments.len()
+    );
+    for seg in &segments {
+        let len = fs::metadata(seg).unwrap().len();
+        assert!(
+            len <= cap,
+            "segment {} is {len} bytes, over the {cap}-byte cap",
+            seg.display()
+        );
+    }
+    let scan = scan_wal(&dir).unwrap();
+    assert_eq!(scan.records.len(), 8, "no record lost to rotation");
+    assert_eq!(scan.tail, WalTail::Clean);
+}
+
+#[test]
+fn oversized_records_still_land_one_per_segment() {
+    let dir = scratch("cap-tiny");
+    // a cap smaller than any single frame: every segment must still
+    // accept exactly one record (never an empty segment, never a
+    // stuck writer), overshooting by at most that one frame
+    run_durable(&dir, &opts(FsyncPolicy::OnClose, 0, 16));
+    let segments = troll_store::wal::segment_paths(&dir).unwrap();
+    assert_eq!(segments.len(), 8, "one record per segment");
+    let scan = scan_wal(&dir).unwrap();
+    assert_eq!(scan.records.len(), 8);
+    assert_eq!(scan.tail, WalTail::Clean);
+    let (recovered, _) = {
+        for snap in troll_store::snapshot::snapshot_paths(&dir).unwrap() {
+            fs::remove_file(snap).unwrap();
+        }
+        recover(&dir).expect("recover one-record segments")
+    };
+    assert_eq!(recovered.steps_executed(), 8);
+}
+
+#[test]
 fn torn_tail_is_truncated_to_the_last_intact_step() {
     let dir = scratch("torn");
     run_durable(&dir, &opts(FsyncPolicy::EveryCommit, 0, 1 << 20));

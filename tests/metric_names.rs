@@ -78,6 +78,20 @@ const GLOBAL_COUNTERS: &[&str] = &[
     "vm.programs_compiled",
 ];
 
+/// Counters the multi-world animation server registers in its own
+/// per-server registry (`troll serve`).
+const SERVE_COUNTERS: &[&str] = &[
+    "serve.commits",
+    "serve.conflicts",
+    "serve.errors",
+    "serve.events",
+    "serve.requests",
+    "serve.worlds",
+];
+
+/// Histograms in the per-server registry.
+const SERVE_HISTOGRAMS: &[&str] = &["serve.commit_latency_ns", "serve.request_latency_ns"];
+
 /// `namespace.metric`: at least two dot-separated segments, each
 /// non-empty lower_snake ASCII starting with a letter.
 fn follows_convention(name: &str) -> bool {
@@ -175,6 +189,41 @@ exec |DEPT|("Toys") fire (|PERSON|("ada"))
             BASE_HISTOGRAMS.contains(&phase.metric_name().as_str()),
             "phase {} missing from allowlist",
             phase.label()
+        );
+    }
+}
+
+/// The server's registry is separate from any world's base registry
+/// (worlds keep their own `monitor_cache.*` etc.); binding a server is
+/// enough to register every `serve.*` handle, so audit that too.
+#[test]
+fn serve_registry_names_are_allowlisted_and_conventional() {
+    let server = troll::serve::Server::bind(
+        "127.0.0.1:0",
+        troll::specs::DEPT,
+        troll::serve::ServeOptions::default(),
+    )
+    .expect("bind");
+    let snap = server.metrics().snapshot();
+    assert!(!snap.counters.is_empty(), "bind registers serve counters");
+    for name in snap.counters.keys() {
+        assert!(
+            SERVE_COUNTERS.contains(&name.as_str()),
+            "unlisted serve counter `{name}` — extend the allowlist and DESIGN.md §4h"
+        );
+        assert!(follows_convention(name), "`{name}` breaks namespace.metric");
+    }
+    for name in snap.histograms.keys() {
+        assert!(
+            SERVE_HISTOGRAMS.contains(&name.as_str()),
+            "unlisted serve histogram `{name}` — extend the allowlist and DESIGN.md §4h"
+        );
+        assert!(follows_convention(name), "`{name}` breaks namespace.metric");
+    }
+    for name in SERVE_COUNTERS.iter().chain(SERVE_HISTOGRAMS) {
+        assert!(
+            follows_convention(name),
+            "allowlisted `{name}` breaks convention"
         );
     }
 }

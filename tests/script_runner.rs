@@ -1,0 +1,126 @@
+//! Session-level tests of the animation script runner (`troll::script`,
+//! hosted in `troll-runtime`): full sessions against compiled specs,
+//! sharded/sequential parity, and the shipped demo walkthrough.
+
+use troll::data::{Money, ObjectId, Value};
+use troll::runtime::ObjectBase;
+use troll::script::{run_command, run_script, run_script_sharded, Outcome};
+use troll::System;
+
+fn base() -> ObjectBase {
+    System::load_str(troll::specs::DEPT)
+        .unwrap()
+        .object_base()
+        .unwrap()
+}
+
+#[test]
+fn full_script_session() {
+    let mut ob = base();
+    let outcomes = run_script(
+        &mut ob,
+        r#"
+-- establish and staff a department
+birth DEPT ("Toys") establishment (date(1991,10,16))
+exec |DEPT|("Toys") hire (|PERSON|("ada"))
+exec |DEPT|("Toys") hire (|PERSON|("bob"))
+show |DEPT|("Toys") employees
+exec |DEPT|("Toys") fire (|PERSON|("ada"))
+exec |DEPT|("Toys") fire (|PERSON|("bob"))
+exec |DEPT|("Toys") closure ()
+tick
+"#,
+    )
+    .unwrap();
+    assert_eq!(outcomes.len(), 8);
+    assert!(matches!(outcomes[0], Outcome::Born(_)));
+    match &outcomes[3] {
+        Outcome::Observation { value, .. } => {
+            assert_eq!(value.as_set().unwrap().len(), 2)
+        }
+        other => panic!("expected observation, got {other:?}"),
+    }
+    assert_eq!(outcomes[7], Outcome::Ticked(0));
+}
+
+#[test]
+fn sharded_script_matches_sequential() {
+    let script = r#"
+birth DEPT ("Toys") establishment (date(1991,10,16))
+birth DEPT ("Shoes") establishment (date(1991,10,16))
+exec |DEPT|("Toys") hire (|PERSON|("ada"))
+exec |DEPT|("Shoes") hire (|PERSON|("bob"))
+show |DEPT|("Toys") employees
+exec |DEPT|("Toys") fire (|PERSON|("ada"))
+tick
+"#;
+    let mut ob = base();
+    let sequential = run_script(&mut ob, script).unwrap();
+    let mut ws = base().into_shards(4);
+    let sharded = run_script_sharded(&mut ws, script).unwrap();
+    assert_eq!(sharded, sequential);
+    // failures carry the script line number through the batch path
+    let err = run_script_sharded(&mut ws, "exec |DEPT|(\"Toys\") fire (|PERSON|(\"ghost\"))")
+        .unwrap_err();
+    assert!(
+        err.starts_with("line 1:") && err.contains("not permitted"),
+        "{err}"
+    );
+}
+
+#[test]
+fn errors_carry_line_numbers() {
+    let mut ob = base();
+    let err = run_script(
+        &mut ob,
+        "birth DEPT (\"Toys\") establishment (date(1991,10,16))\nexec |DEPT|(\"Toys\") explode ()",
+    )
+    .unwrap_err();
+    assert!(err.starts_with("line 2:"), "{err}");
+    // permission refusal is an error too
+    let err = run_script(&mut ob, "exec |DEPT|(\"Toys\") fire (|PERSON|(\"never\"))").unwrap_err();
+    assert!(err.contains("not permitted"), "{err}");
+}
+
+#[test]
+fn malformed_commands_rejected() {
+    let mut ob = base();
+    assert!(run_command(&mut ob, "frobnicate").is_err());
+    assert!(run_command(&mut ob, "exec DEPT hire").is_err());
+    assert!(run_command(&mut ob, "show 42 x").is_err());
+    assert!(run_command(&mut ob, "birth DEPT Toys establishment ()").is_err());
+}
+
+#[test]
+fn view_and_call_commands() {
+    let system = System::load_str(troll::specs::VIEWS).unwrap();
+    let mut ob = system.object_base().unwrap();
+    run_script(
+        &mut ob,
+        r#"
+birth PERSON ("ada") create (4000.00, "Research")
+view SAL_EMPLOYEE
+call SAL_EMPLOYEE2 |PERSON|("ada") IncreaseSalary ()
+show |PERSON|("ada") Salary
+"#,
+    )
+    .unwrap();
+    assert_eq!(
+        ob.attribute(&ObjectId::new("PERSON", vec![Value::from("ada")]), "Salary")
+            .unwrap(),
+        Value::Money(Money::from_major(4400))
+    );
+}
+
+/// The demo session shipped in docs/ runs cleanly against the DEPT
+/// spec — keeps the documented CLI walkthrough honest.
+#[test]
+fn shipped_demo_session_runs() {
+    let script = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/demo_session.txt"),
+    )
+    .expect("demo session exists");
+    let mut ob = base();
+    let outcomes = run_script(&mut ob, &script).expect("demo session runs");
+    assert!(outcomes.len() >= 8);
+}
