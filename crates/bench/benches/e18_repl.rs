@@ -1,0 +1,194 @@
+//! E18 — group commit and follower catch-up.
+//!
+//! Two questions, one per group:
+//!
+//! * **e18_group_commit** — what does the `group[:N]` fsync policy buy
+//!   on the hot commit path? Same fixed 64-event DEPT workload as E13,
+//!   charged against `every_commit` (one fsync per step), `group_8` and
+//!   `group_32` (one fsync per window; at the store level `group:N`
+//!   self-syncs like `every-N` — the serve layer's ack deferral adds no
+//!   append-path work). On tmpfs fsync is cheap; treat the gap as a
+//!   lower bound on real-disk spread.
+//! * **e18_follower_catchup** — how fast does a follower re-derive a
+//!   world? The measured region is `run_follow --once` against a live
+//!   in-process primary holding a pre-written history: TCP polls +
+//!   frame verification + engine replay + re-recording through the
+//!   follower's own WAL. Reported per-history-size so the per-record
+//!   apply cost is readable.
+//!
+//! Smoke mode (`TROLL_BENCH_SMOKE=1`) shrinks samples and the shipped
+//! history so CI finishes in seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use troll::data::{Date, Value};
+use troll::repl::{run_follow, FollowOptions};
+use troll::runtime::ObjectBase;
+use troll::serve::{Request, Response, ServeOptions, Server};
+use troll::store::{open_world, DurableSink, FsyncPolicy, StoreOptions};
+use troll_bench::person;
+
+/// Events per measured iteration of the commit-path group.
+const EVENTS: usize = 64;
+
+fn scratch(mode: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("troll-bench-e18-{}-{mode}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// A fresh durable DEPT world under `policy` (mirrors E13's setup).
+fn world(mode: &str, policy: FsyncPolicy) -> ObjectBase {
+    let dir = scratch(mode);
+    let opts = StoreOptions {
+        fsync: policy,
+        snapshot_every: 0, // no snapshots inside the measured region
+        ..StoreOptions::default()
+    };
+    let (mut base, store, _) = open_world(&dir, troll::specs::DEPT, &opts).expect("open store");
+    let (sink, _shared) = DurableSink::new(store);
+    base.set_step_sink(Box::new(sink));
+    base
+}
+
+/// The commit-path workload: birth + 63 hires, one committed step each.
+fn drive(base: &mut ObjectBase) {
+    let date = Value::Date(Date::new(1991, 10, 16).expect("valid date"));
+    let toys = base
+        .birth(
+            "DEPT",
+            vec![Value::from("Toys")],
+            "establishment",
+            vec![date],
+        )
+        .expect("birth");
+    for i in 1..EVENTS {
+        base.execute(&toys, "hire", vec![person(i)]).expect("hire");
+    }
+}
+
+fn bench_group_commit(c: &mut Criterion) {
+    let smoke = std::env::var_os("TROLL_BENCH_SMOKE").is_some();
+    let mut group = c.benchmark_group("e18_group_commit");
+    group.sample_size(if smoke { 10 } else { 20 });
+    let modes: [(&str, FsyncPolicy); 3] = [
+        ("every_commit", FsyncPolicy::EveryCommit),
+        ("group_8", FsyncPolicy::Group(8)),
+        ("group_32", FsyncPolicy::Group(32)),
+    ];
+    for (name, policy) in modes {
+        group.bench_with_input(BenchmarkId::new(name, EVENTS), &policy, |b, policy| {
+            b.iter_batched(
+                || world(name, *policy),
+                |mut base| {
+                    drive(&mut base);
+                    black_box(base) // dropped outside the measurement
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+    for (name, _) in modes {
+        let _ = std::fs::remove_dir_all(scratch(name));
+    }
+}
+
+/// Starts a primary whose world `w` holds `events` committed steps
+/// (all durable — group commit acks imply the covering fsync ran).
+fn primary_with_history(events: usize) -> (troll::serve::SpawnedServer, PathBuf) {
+    let dir = scratch("catchup-primary");
+    let opts = ServeOptions {
+        durable: Some(dir.clone()),
+        store: StoreOptions {
+            fsync: FsyncPolicy::Group(32),
+            ..StoreOptions::default()
+        },
+        ..Default::default()
+    };
+    let spawned = Server::spawn("127.0.0.1:0", troll::specs::DEPT, opts).expect("spawn primary");
+    let stream = std::net::TcpStream::connect(spawned.addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut rpc = |req: &Request| {
+        use std::io::{BufRead, Write};
+        writer
+            .write_all(format!("{}\n", req.to_json()).as_bytes())
+            .expect("send");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("recv");
+        match Response::parse(line.trim_end()).expect("well-formed") {
+            Response::Ok(text) => text,
+            Response::Err(e) => panic!("primary refused: {e}"),
+        }
+    };
+    rpc(&Request::Open {
+        world: "w".to_string(),
+    });
+    let submit = |line: String| Request::SubmitEvent {
+        world: "w".to_string(),
+        line,
+    };
+    rpc(&submit(
+        r#"birth DEPT ("Toys") establishment (date(1991,10,16))"#.to_string(),
+    ));
+    for i in 1..events {
+        rpc(&submit(format!(
+            r#"exec |DEPT|("Toys") hire (|PERSON|("p{i}"))"#
+        )));
+    }
+    (spawned, dir)
+}
+
+fn bench_follower_catchup(c: &mut Criterion) {
+    let smoke = std::env::var_os("TROLL_BENCH_SMOKE").is_some();
+    let events = if smoke { 32 } else { 256 };
+    let (spawned, primary_dir) = primary_with_history(events);
+    let addr = spawned.addr.to_string();
+
+    let mut group = c.benchmark_group("e18_follower_catchup");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(events as u64));
+    group.bench_function(BenchmarkId::new("follow_once", events), |b| {
+        b.iter_batched(
+            || {
+                let dir = scratch("catchup-follower");
+                let _ = std::fs::remove_dir_all(&dir);
+                dir
+            },
+            |dir| {
+                let summary = run_follow(
+                    &addr,
+                    &dir,
+                    &FollowOptions {
+                        once: true,
+                        ..Default::default()
+                    },
+                )
+                .expect("follow");
+                assert_eq!(summary.records_applied, events as u64);
+                black_box(summary)
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+
+    // stop the primary cleanly, then sweep the scratch space
+    let stream = std::net::TcpStream::connect(spawned.addr).expect("connect");
+    {
+        use std::io::Write;
+        let mut w = &stream;
+        w.write_all(format!("{}\n", Request::Shutdown.to_json()).as_bytes())
+            .expect("shutdown");
+    }
+    let _ = spawned.join.join();
+    let _ = std::fs::remove_dir_all(primary_dir);
+    let _ = std::fs::remove_dir_all(scratch("catchup-follower"));
+}
+
+criterion_group!(benches, bench_group_commit, bench_follower_catchup);
+criterion_main!(benches);

@@ -56,10 +56,13 @@ commands:
                                                then print the self-time table
   recover [--stats] [--dump] <dir>             rebuild the world from a durable directory
   serve [--addr <ip:port>] [--workers N] [--durable <dir>] [--fsync <policy>]
-        [--snapshot-every N] [--segment-bytes N]
+        [--snapshot-every N] [--segment-bytes N] [--compact-after <bytes>]
         <file.troll>                           host many worlds of one spec over TCP
   serve --selftest [--worlds N] [--conns N] [--events N] [--durable <dir>]
-        [<file.troll>]                         run the built-in load driver";
+        [<file.troll>]                         run the built-in load driver
+  follow [--listen <ip:port>] [--poll-ms N] [--once] [--fsync <policy>]
+         <addr> <dir>                          replicate a serve primary into <dir>
+  compact [--dry-run] <dir>                    snapshot + prune a durable directory";
 
 /// Prints the usage message for `command` (or the general one) and
 /// returns the usage exit code (2).
@@ -76,7 +79,7 @@ fn usage(command: Option<&str>) -> ExitCode {
                     (deterministic: observationally equal to the sequential run)
   --durable <dir>   log every committed step to <dir> (WAL + snapshots); an existing
                     directory is crash-recovered first and the run continues its history
-  --fsync <policy>  every-commit | every-<N> | on-close (with --durable; default every-commit)
+  --fsync <policy>  every-commit | every-<N> | group[:<N>] | on-close (with --durable; default every-commit)
   --snapshot-every <N>  write a world snapshot every N steps (with --durable; default 256)
   --profile <file>  enable the phase profiler and write its self-time table to <file>
                     (`troll profile` enables it and prints the table to stdout)
@@ -87,22 +90,40 @@ fn usage(command: Option<&str>) -> ExitCode {
 and print a summary line; torn or corrupt tail frames are skipped, not fatal
   --stats           print runtime metrics of the recovered world (includes store.* counters)
   --dump            print the recovered world state, one deterministic line per fact",
-        Some("serve") => "usage: troll serve [--addr <ip:port>] [--workers N] [--durable <dir>] [--fsync <policy>] [--snapshot-every N] [--segment-bytes N] <file.troll>
+        Some("serve") => "usage: troll serve [--addr <ip:port>] [--workers N] [--durable <dir>] [--fsync <policy>] [--snapshot-every N] [--segment-bytes N] [--compact-after <bytes>] <file.troll>
        troll serve --selftest [--worlds N] [--conns N] [--events N] [--durable <dir>] [<file.troll>]
 host many independent worlds of one specification in a single process, speaking a
 newline-delimited JSON protocol (open / submit-event / query-attr / query-view /
-stats / shutdown — send {\"op\":\"shutdown\"} to stop the server cleanly)
+stats / shutdown — send {\"op\":\"shutdown\"} to stop the server cleanly; durable
+servers additionally answer repl-spec / repl-worlds / repl-poll for `troll follow`)
   --addr <ip:port>  listen address (default 127.0.0.1:7877; port 0 picks a free port)
   --workers <N>     worker threads executing world steps (default: CPU count, min 2)
   --durable <dir>   give every world its own WAL+snapshot store under <dir>/worlds/<id>;
                     existing worlds crash-recover on open
-  --fsync <policy>  every-commit | every-<N> | on-close (with --durable; default every-commit)
+  --fsync <policy>  every-commit | every-<N> | group[:<N>] | on-close (with --durable;
+                    default every-commit); `group` batches commits into one fsync per
+                    window and defers acks until their fsync completes (default window 32)
   --snapshot-every <N>  snapshot cadence per world (with --durable; default 1024)
   --segment-bytes <N>   WAL segment rotation cap per world (with --durable; default 4 MiB)
+  --compact-after <bytes>  background-compact a world once it accrues this many WAL
+                    bytes past its newest snapshot (with --durable; jittered per world)
   --selftest        spawn an in-process server and drive it with the built-in load
                     generator, then print events/sec and the latency histogram
                     (defaults to the shipped DEPT spec; TROLL_BENCH_SMOKE=1 shrinks it)
   --worlds/--conns/--events   selftest load shape (default 1000 worlds x 100 events over 8 conns)",
+        Some("follow") => "usage: troll follow [--listen <ip:port>] [--poll-ms N] [--once] [--fsync <policy>] <addr> <dir>
+tail a durable `troll serve` primary at <addr>: replay every world's committed log
+into <dir> (a valid --durable root — promote by pointing `troll serve --durable` or
+`troll recover` at it when the primary dies)
+  --listen <ip:port>  serve read-only query-attr / query-view / stats while tailing
+  --poll-ms <N>       sleep between poll rounds once caught up (default 100)
+  --once              catch up once and exit instead of tailing until the primary dies
+  --fsync <policy>    the follower's own WAL fsync cadence (default every-64; the
+                      follower acknowledges nothing, so this only bounds local replay)",
+        Some("compact") => "usage: troll compact [--dry-run] <dir>
+snapshot a durable world directory at its current WAL cursor, then prune every
+log segment the second-newest snapshot no longer needs
+  --dry-run           report what a compaction would do without writing anything",
         _ => GENERAL_USAGE,
     };
     eprintln!("{msg}");
@@ -149,6 +170,14 @@ fn main() -> ExitCode {
         "serve" => match ServeCliOpts::parse(&args[1..]) {
             Some(opts) => cmd_serve(&opts),
             None => return usage(Some("serve")),
+        },
+        "follow" => match FollowCliOpts::parse(&args[1..]) {
+            Some(opts) => cmd_follow(&opts),
+            None => return usage(Some("follow")),
+        },
+        "compact" => match CompactOpts::parse(&args[1..]) {
+            Some(opts) => cmd_compact(&opts),
+            None => return usage(Some("compact")),
         },
         "help" | "--help" | "-h" => {
             println!("{GENERAL_USAGE}");
@@ -565,6 +594,7 @@ struct ServeCliOpts {
     fsync: Option<FsyncPolicy>,
     snapshot_every: Option<u64>,
     segment_bytes: Option<u64>,
+    compact_after: Option<u64>,
     selftest: bool,
     worlds: Option<usize>,
     conns: Option<usize>,
@@ -583,6 +613,7 @@ impl ServeCliOpts {
             fsync: None,
             snapshot_every: None,
             segment_bytes: None,
+            compact_after: None,
             selftest: false,
             worlds: None,
             conns: None,
@@ -600,6 +631,9 @@ impl ServeCliOpts {
                 "--segment-bytes" => {
                     opts.segment_bytes = Some(it.next()?.parse::<u64>().ok().filter(|&n| n >= 1)?)
                 }
+                "--compact-after" => {
+                    opts.compact_after = Some(it.next()?.parse::<u64>().ok().filter(|&n| n >= 1)?)
+                }
                 "--selftest" => opts.selftest = true,
                 "--worlds" => opts.worlds = Some(it.next()?.parse().ok().filter(|&n| n >= 1)?),
                 "--conns" => opts.conns = Some(it.next()?.parse().ok().filter(|&n| n >= 1)?),
@@ -608,7 +642,10 @@ impl ServeCliOpts {
                 _ => positional.push(a.clone()),
             }
         }
-        if (opts.fsync.is_some() || opts.snapshot_every.is_some() || opts.segment_bytes.is_some())
+        if (opts.fsync.is_some()
+            || opts.snapshot_every.is_some()
+            || opts.segment_bytes.is_some()
+            || opts.compact_after.is_some())
             && opts.durable.is_none()
         {
             return None;
@@ -641,6 +678,7 @@ impl ServeCliOpts {
         if let Some(n) = self.segment_bytes {
             so.store.segment_bytes = n;
         }
+        so.compact_after = self.compact_after;
         so
     }
 }
@@ -691,6 +729,137 @@ fn cmd_serve(opts: &ServeCliOpts) -> Result<(), String> {
         summary.commits,
         summary.conflicts,
         summary.errors
+    );
+    Ok(())
+}
+
+/// Parsed `troll follow` invocation.
+struct FollowCliOpts {
+    addr: String,
+    dir: String,
+    listen: Option<String>,
+    poll_ms: Option<u64>,
+    once: bool,
+    fsync: Option<FsyncPolicy>,
+}
+
+impl FollowCliOpts {
+    fn parse(args: &[String]) -> Option<Self> {
+        let mut listen = None;
+        let mut poll_ms = None;
+        let mut once = false;
+        let mut fsync = None;
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--listen" => listen = Some(it.next()?.clone()),
+                "--poll-ms" => poll_ms = Some(it.next()?.parse::<u64>().ok().filter(|&n| n >= 1)?),
+                "--once" => once = true,
+                "--fsync" => fsync = Some(it.next()?.parse::<FsyncPolicy>().ok()?),
+                s if s.starts_with('-') => return None,
+                _ => positional.push(a.clone()),
+            }
+        }
+        let [addr, dir] = positional.as_slice() else {
+            return None;
+        };
+        Some(FollowCliOpts {
+            addr: addr.clone(),
+            dir: dir.clone(),
+            listen,
+            poll_ms,
+            once,
+            fsync,
+        })
+    }
+}
+
+fn cmd_follow(opts: &FollowCliOpts) -> Result<(), String> {
+    let mut fopts = troll::repl::FollowOptions {
+        once: opts.once,
+        listen: opts.listen.clone(),
+        ..Default::default()
+    };
+    if let Some(ms) = opts.poll_ms {
+        fopts.poll_ms = ms;
+    }
+    if let Some(f) = opts.fsync {
+        fopts.store.fsync = f;
+    }
+    let summary = troll::repl::run_follow(&opts.addr, std::path::Path::new(&opts.dir), &fopts)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "follow: worlds={} records={} snapshots={} polls={} primary_lost={}",
+        summary.worlds,
+        summary.records_applied,
+        summary.snapshots_installed,
+        summary.polls,
+        summary.primary_lost
+    );
+    Ok(())
+}
+
+/// Parsed `troll compact` invocation.
+struct CompactOpts {
+    dir: String,
+    dry_run: bool,
+}
+
+impl CompactOpts {
+    fn parse(args: &[String]) -> Option<Self> {
+        let mut dry_run = false;
+        let mut positional = Vec::new();
+        for a in args {
+            match a.as_str() {
+                "--dry-run" => dry_run = true,
+                s if s.starts_with('-') => return None,
+                _ => positional.push(a.clone()),
+            }
+        }
+        let [dir] = positional.as_slice() else {
+            return None;
+        };
+        Some(CompactOpts {
+            dir: dir.clone(),
+            dry_run,
+        })
+    }
+}
+
+fn cmd_compact(opts: &CompactOpts) -> Result<(), String> {
+    let dir = std::path::Path::new(&opts.dir);
+    if opts.dry_run {
+        let plan = troll::store::compact_plan(dir).map_err(|e| format!("{}: {e}", opts.dir))?;
+        println!(
+            "compact plan: snapshot={} records_since={} bytes_since={} prunable_segments={} prunable_bytes={} next_seq={}",
+            plan.snapshot_seq
+                .map_or_else(|| "none".into(), |s| s.to_string()),
+            plan.records_since,
+            plan.bytes_since,
+            plan.prunable_segments,
+            plan.prunable_bytes,
+            plan.next_seq
+        );
+        return Ok(());
+    }
+    let source = std::fs::read_to_string(dir.join(troll::store::SPEC_FILE))
+        .map_err(|e| format!("{}: {e}", opts.dir))?;
+    // Compaction appends nothing, so the fsync policy only governs the
+    // final sync `compact` issues itself.
+    let store_opts = StoreOptions {
+        fsync: FsyncPolicy::OnClose,
+        ..StoreOptions::default()
+    };
+    let (ob, mut store, _info) = troll::store::open_world(dir, &source, &store_opts)
+        .map_err(|e| format!("{}: {e}", opts.dir))?;
+    let report = store
+        .compact(&ob)
+        .map_err(|e| format!("{}: {e}", opts.dir))?;
+    store.close(&ob).map_err(|e| format!("{}: {e}", opts.dir))?;
+    println!(
+        "compacted: snapshot={} pruned_segments={}",
+        report.snapshot_seq, report.pruned_segments
     );
     Ok(())
 }

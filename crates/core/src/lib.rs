@@ -26,6 +26,8 @@
 //! * [`lang`] — the TROLL language front-end;
 //! * [`runtime`] — the object base / animator;
 //! * [`serve`] — the multi-world animation server (`troll serve`);
+//! * [`repl`] — log-shipping replication: follower replay of a serve
+//!   primary's durable log (`troll follow`);
 //! * [`refine`] — refinement checking and the three-level schema
 //!   architecture;
 //! * [`obs`] — zero-dependency tracing & metrics (attach an observer
@@ -63,6 +65,7 @@ pub use troll_lang as lang;
 pub use troll_obs as obs;
 pub use troll_process as process;
 pub use troll_refine as refine;
+pub use troll_repl as repl;
 pub use troll_runtime as runtime;
 pub use troll_serve as serve;
 pub use troll_store as store;

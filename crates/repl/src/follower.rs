@@ -1,0 +1,476 @@
+//! The follower: tail a primary's durable worlds and replay them.
+//!
+//! One blocking client connection pulls batches (`repl-poll`); each
+//! world's records are re-verified (CRC + canonical decode), replayed
+//! through this process's own engine, and recorded through its own
+//! [`Store`] — so the follower's directory is not a file copy but an
+//! independently *re-derived* durable world that happens to be
+//! byte-identical, and `troll serve --durable <dir>` can promote it
+//! the moment the primary dies.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use troll_obs::{Counter, Metrics};
+use troll_runtime::ObjectBase;
+use troll_serve::proto::{hex_decode, Request, Response};
+use troll_store::codec::Dec;
+use troll_store::frame::{read_frame, FrameRead};
+use troll_store::snapshot::install_snapshot_bytes;
+use troll_store::wal::REC_STEP;
+use troll_store::{open_world, FsyncPolicy, Store, StoreOptions};
+
+/// Follower tuning.
+#[derive(Debug, Clone)]
+pub struct FollowOptions {
+    /// Sleep between poll rounds once caught up (milliseconds).
+    pub poll_ms: u64,
+    /// Catch up once and exit instead of tailing forever.
+    pub once: bool,
+    /// Serve read-only queries on this address while tailing.
+    pub listen: Option<String>,
+    /// Store tuning for the follower's own durable worlds.
+    pub store: StoreOptions,
+}
+
+impl Default for FollowOptions {
+    fn default() -> FollowOptions {
+        FollowOptions {
+            poll_ms: 100,
+            once: false,
+            listen: None,
+            store: StoreOptions {
+                // the follower acknowledges nothing, so its own fsync
+                // cadence trades only its *local* catch-up work
+                fsync: FsyncPolicy::EveryN(64),
+                segment_bytes: 4 << 20,
+                snapshot_every: 1024,
+            },
+        }
+    }
+}
+
+/// Totals reported when the follower exits.
+#[derive(Debug, Clone, Copy)]
+pub struct FollowSummary {
+    /// Worlds tailed.
+    pub worlds: u64,
+    /// Records replayed and re-recorded locally.
+    pub records_applied: u64,
+    /// Snapshots installed for catch-up past a pruned log.
+    pub snapshots_installed: u64,
+    /// `repl-poll` round trips issued.
+    pub polls: u64,
+    /// True when the follower exited because the primary became
+    /// unreachable after a successful start — the cue to promote.
+    pub primary_lost: bool,
+}
+
+/// Why a follower could not run (primary loss after a successful start
+/// is *not* an error — see [`FollowSummary::primary_lost`]).
+#[derive(Debug)]
+pub enum FollowError {
+    /// The primary was never reachable or refused replication.
+    Connect(String),
+    /// A local store/replay failure — this follower's copy is suspect.
+    Local(String),
+    /// The primary shipped something unintelligible or inconsistent.
+    Protocol(String),
+}
+
+impl std::fmt::Display for FollowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FollowError::Connect(e) => write!(f, "cannot follow: {e}"),
+            FollowError::Local(e) => write!(f, "follower store failure: {e}"),
+            FollowError::Protocol(e) => write!(f, "replication protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FollowError {}
+
+/// One tailed world, shared between the apply loop and the read-only
+/// query server.
+pub(crate) struct WorldSlot {
+    pub(crate) dir: PathBuf,
+    pub(crate) base: ObjectBase,
+    pub(crate) store: Store,
+}
+
+pub(crate) struct ReplCounters {
+    pub(crate) polls: Counter,
+    pub(crate) records_applied: Counter,
+    pub(crate) snapshots_installed: Counter,
+    pub(crate) worlds: Counter,
+}
+
+impl ReplCounters {
+    fn new(metrics: &Metrics) -> ReplCounters {
+        ReplCounters {
+            polls: metrics.counter("repl.polls"),
+            records_applied: metrics.counter("repl.records_applied"),
+            snapshots_installed: metrics.counter("repl.snapshots_installed"),
+            worlds: metrics.counter("repl.worlds"),
+        }
+    }
+}
+
+/// State shared with the read-only listener threads.
+pub(crate) struct FollowerShared {
+    pub(crate) spec_source: String,
+    pub(crate) worlds: Mutex<BTreeMap<String, Arc<Mutex<WorldSlot>>>>,
+    /// Set by a `shutdown` request on the read-only port (or at exit).
+    pub(crate) stop: AtomicBool,
+    pub(crate) c: ReplCounters,
+}
+
+/// A blocking line-protocol client that reconnects on demand and
+/// forgets the stream on any error (the caller decides whether that
+/// means the primary died).
+struct Client {
+    addr: String,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    fn new(addr: &str) -> Client {
+        Client {
+            addr: addr.to_string(),
+            stream: None,
+        }
+    }
+
+    fn rpc(&mut self, req: &Request) -> io::Result<Response> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            let _ = stream.set_nodelay(true);
+            self.stream = Some(BufReader::new(stream));
+        }
+        let result = self.rpc_on_stream(req);
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    fn rpc_on_stream(&mut self, req: &Request) -> io::Result<Response> {
+        let reader = self.stream.as_mut().expect("connected stream");
+        let mut line = req.to_json();
+        line.push('\n');
+        reader.get_mut().write_all(line.as_bytes())?;
+        let mut resp = String::new();
+        if reader.read_line(&mut resp)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "primary closed the connection",
+            ));
+        }
+        Response::parse(resp.trim_end()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+enum SyncErr {
+    /// The primary became unreachable; exit cleanly, promotable.
+    Primary,
+    /// A real error; surface it.
+    Fatal(FollowError),
+}
+
+/// Runs a follower against `addr`, mirroring every durable world into
+/// `dir` (a valid `troll serve --durable` root). Returns when: the
+/// primary dies after a successful start (`primary_lost` set), a
+/// `shutdown` arrives on the read-only port, or — with
+/// [`FollowOptions::once`] — a full catch-up pass completes.
+///
+/// # Errors
+///
+/// [`FollowError::Connect`] when the primary was never reachable,
+/// [`FollowError::Local`] / [`FollowError::Protocol`] when replication
+/// cannot be trusted to continue.
+pub fn run_follow(
+    addr: &str,
+    dir: &Path,
+    opts: &FollowOptions,
+) -> Result<FollowSummary, FollowError> {
+    let mut client = Client::new(addr);
+    let spec_source = match client.rpc(&Request::ReplSpec) {
+        Ok(Response::Ok(spec)) => spec,
+        Ok(Response::Err(e)) => {
+            return Err(FollowError::Connect(format!(
+                "primary refused repl-spec: {e}"
+            )))
+        }
+        Err(e) => {
+            return Err(FollowError::Connect(format!(
+                "primary at {addr} unreachable: {e}"
+            )))
+        }
+    };
+    troll_lang::parse(&spec_source)
+        .and_then(|parsed| troll_lang::analyze(&parsed))
+        .map_err(|e| FollowError::Protocol(format!("primary's spec does not compile: {e}")))?;
+    fs::create_dir_all(dir).map_err(|e| FollowError::Local(e.to_string()))?;
+
+    let metrics = Metrics::new();
+    let shared = Arc::new(FollowerShared {
+        spec_source,
+        worlds: Mutex::new(BTreeMap::new()),
+        stop: AtomicBool::new(false),
+        c: ReplCounters::new(&metrics),
+    });
+    let listener = match &opts.listen {
+        Some(listen) => Some(
+            crate::readonly::spawn(listen, Arc::clone(&shared))
+                .map_err(|e| FollowError::Local(format!("read-only listener: {e}")))?,
+        ),
+        None => None,
+    };
+
+    let mut primary_lost = false;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match sync_once(&mut client, dir, &shared, opts) {
+            Ok(()) => {}
+            Err(SyncErr::Primary) => {
+                primary_lost = true;
+                break;
+            }
+            Err(SyncErr::Fatal(e)) => {
+                shared.stop.store(true, Ordering::SeqCst);
+                if let Some((_, handle)) = listener {
+                    let _ = handle.join();
+                }
+                return Err(e);
+            }
+        }
+        if opts.once {
+            break;
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        thread::sleep(Duration::from_millis(opts.poll_ms));
+    }
+
+    shared.stop.store(true, Ordering::SeqCst);
+    if let Some((_, handle)) = listener {
+        let _ = handle.join();
+    }
+    // final snapshot + sync per world, so promotion recovers instantly
+    let worlds = shared.worlds.lock().expect("worlds");
+    for slot in worlds.values() {
+        let mut slot = slot.lock().expect("world slot");
+        let WorldSlot { base, store, .. } = &mut *slot;
+        store
+            .close(base)
+            .map_err(|e| FollowError::Local(e.to_string()))?;
+    }
+    Ok(FollowSummary {
+        worlds: shared.c.worlds.get(),
+        records_applied: shared.c.records_applied.get(),
+        snapshots_installed: shared.c.snapshots_installed.get(),
+        polls: shared.c.polls.get(),
+        primary_lost,
+    })
+}
+
+/// One full pass: refresh the world list, then catch every world up to
+/// the primary's durable cursor.
+fn sync_once(
+    client: &mut Client,
+    dir: &Path,
+    shared: &Arc<FollowerShared>,
+    opts: &FollowOptions,
+) -> Result<(), SyncErr> {
+    let names = match client.rpc(&Request::ReplWorlds) {
+        Ok(Response::Ok(text)) => text,
+        Ok(Response::Err(e)) => {
+            return Err(SyncErr::Fatal(FollowError::Protocol(format!(
+                "repl-worlds refused: {e}"
+            ))))
+        }
+        Err(_) => return Err(SyncErr::Primary),
+    };
+    for name in names.split_whitespace() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let slot = {
+            let mut worlds = shared.worlds.lock().expect("worlds");
+            match worlds.get(name) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    let world_dir = dir.join("worlds").join(name);
+                    let (base, store, _info) =
+                        open_world(&world_dir, &shared.spec_source, &opts.store)
+                            .map_err(|e| SyncErr::Fatal(FollowError::Local(e.to_string())))?;
+                    let slot = Arc::new(Mutex::new(WorldSlot {
+                        dir: world_dir,
+                        base,
+                        store,
+                    }));
+                    worlds.insert(name.to_string(), Arc::clone(&slot));
+                    shared.c.worlds.inc();
+                    slot
+                }
+            }
+        };
+        catch_up_world(client, shared, opts, name, &slot)?;
+    }
+    Ok(())
+}
+
+/// Polls one world until the primary has nothing durable left to ship.
+fn catch_up_world(
+    client: &mut Client,
+    shared: &Arc<FollowerShared>,
+    opts: &FollowOptions,
+    name: &str,
+    slot: &Arc<Mutex<WorldSlot>>,
+) -> Result<(), SyncErr> {
+    loop {
+        let from = slot.lock().expect("world slot").store.next_seq();
+        shared.c.polls.inc();
+        let text = match client.rpc(&Request::ReplPoll {
+            world: name.to_string(),
+            from,
+        }) {
+            Ok(Response::Ok(text)) => text,
+            // e.g. registered but not yet built on the primary — try
+            // again next round
+            Ok(Response::Err(_)) => return Ok(()),
+            Err(_) => return Err(SyncErr::Primary),
+        };
+        let mut parts = text.splitn(3, ' ');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("records"), Some(next), hex) => {
+                let next: u64 = next.parse().map_err(|_| bad_reply(&text))?;
+                let hex = hex.unwrap_or("");
+                if next <= from || hex.is_empty() {
+                    return Ok(()); // caught up to the durable cursor
+                }
+                let bytes = hex_decode(hex).ok_or_else(|| bad_reply(&text))?;
+                let mut slot = slot.lock().expect("world slot");
+                if apply_records(shared, &mut slot, &bytes)? == 0 {
+                    return Ok(());
+                }
+            }
+            (Some("snapshot"), Some(next), Some(hex)) => {
+                let next: u64 = next.parse().map_err(|_| bad_reply(&text))?;
+                let bytes = hex_decode(hex).ok_or_else(|| bad_reply(&text))?;
+                let mut slot = slot.lock().expect("world slot");
+                install_snapshot_bytes(&slot.dir, &bytes)
+                    .map_err(|e| SyncErr::Fatal(FollowError::Local(e.to_string())))?
+                    .ok_or_else(|| {
+                        SyncErr::Fatal(FollowError::Protocol(
+                            "shipped snapshot failed validation".to_string(),
+                        ))
+                    })?;
+                // reopen the world on top of the installed snapshot
+                // (recovery jumps the WAL cursor forward; stale local
+                // segments below it are simply ignored)
+                let (base, store, _info) = open_world(&slot.dir, &shared.spec_source, &opts.store)
+                    .map_err(|e| SyncErr::Fatal(FollowError::Local(e.to_string())))?;
+                slot.base = base;
+                slot.store = store;
+                shared.c.snapshots_installed.inc();
+                if slot.store.next_seq() <= from || slot.store.next_seq() < next {
+                    return Err(SyncErr::Fatal(FollowError::Protocol(format!(
+                        "snapshot for seq {next} did not advance past {from}"
+                    ))));
+                }
+            }
+            _ => return Err(bad_reply(&text)),
+        }
+    }
+}
+
+fn bad_reply(text: &str) -> SyncErr {
+    SyncErr::Fatal(FollowError::Protocol(format!(
+        "unintelligible repl-poll reply: {}",
+        &text[..text.len().min(128)]
+    )))
+}
+
+/// Verifies, replays and re-records one shipped batch of raw frames.
+/// Returns the number of records applied. Every frame re-passes the
+/// CRC and the canonical decode — a bit flip in transit (or on the
+/// primary's disk) stops replication here rather than poisoning the
+/// follower's log.
+fn apply_records(
+    shared: &Arc<FollowerShared>,
+    slot: &mut WorldSlot,
+    bytes: &[u8],
+) -> Result<u64, SyncErr> {
+    let mut offset = 0usize;
+    let mut applied = 0u64;
+    loop {
+        match read_frame(bytes, offset) {
+            FrameRead::CleanEnd => break,
+            FrameRead::Torn | FrameRead::Corrupt => {
+                return Err(SyncErr::Fatal(FollowError::Protocol(
+                    "torn or corrupt frame in shipped batch".to_string(),
+                )))
+            }
+            FrameRead::Frame { payload, next } => {
+                let parsed = (|| {
+                    let mut dec = Dec::new(payload);
+                    if dec.u8()? != REC_STEP {
+                        return Err(troll_store::codec::CodecError {
+                            at: 0,
+                            kind: troll_store::codec::CodecErrorKind::BadTag(payload[0]),
+                        });
+                    }
+                    let seq = dec.u64()?;
+                    let n = dec.count()?;
+                    let mut initial = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        initial.push(dec.occurrence()?);
+                    }
+                    dec.finish()?;
+                    Ok((seq, initial))
+                })();
+                let (seq, initial) = parsed.map_err(|e| {
+                    SyncErr::Fatal(FollowError::Protocol(format!(
+                        "undecodable shipped record: {e:?}"
+                    )))
+                })?;
+                let expected = slot.store.next_seq();
+                if seq < expected {
+                    offset = next;
+                    continue; // already have it
+                }
+                if seq > expected {
+                    return Err(SyncErr::Fatal(FollowError::Protocol(format!(
+                        "shipped batch skips from {expected} to {seq}"
+                    ))));
+                }
+                slot.base.replay_step(initial.clone()).map_err(|e| {
+                    SyncErr::Fatal(FollowError::Local(format!(
+                        "shipped step {seq} does not replay: {e}"
+                    )))
+                })?;
+                slot.store.record_step(&slot.base, &initial);
+                if slot.store.has_write_error() {
+                    return Err(SyncErr::Fatal(FollowError::Local(
+                        "local WAL append failed".to_string(),
+                    )));
+                }
+                shared.c.records_applied.inc();
+                applied += 1;
+                offset = next;
+            }
+        }
+    }
+    Ok(applied)
+}

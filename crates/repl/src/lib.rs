@@ -1,0 +1,40 @@
+//! # troll-repl — log-shipping replication for durable worlds
+//!
+//! The paper's object bases are deterministic trace machines: a world
+//! *is* its committed occurrence log, and replaying that log through
+//! the engine is the semantics, not an approximation of it. That makes
+//! replication almost free — the `spec.troll` + WAL pair a primary
+//! already writes is a complete, shippable description of a running
+//! world, and a follower that re-appends the same canonical-codec
+//! records builds a **byte-identical** log of its own.
+//!
+//! The pieces:
+//!
+//! * a **primary** is any `troll serve --durable` server — it answers
+//!   `repl-spec` / `repl-worlds` / `repl-poll` on the same newline-JSON
+//!   protocol clients use, shipping hex-encoded raw WAL frames (only
+//!   *durable* records: nothing a crash could still take back) and,
+//!   when the asked-for history was pruned by compaction, the newest
+//!   snapshot for catch-up;
+//! * a **follower** ([`run_follow`], the `troll follow` command) tails
+//!   every world, replays each record through its own engine, records
+//!   it through its own [`troll_store::Store`] (same codec → same
+//!   bytes), and serves read-only `query-attr` / `query-view` /
+//!   `stats` while it tails;
+//! * **promotion** is a no-op by construction: the follower directory
+//!   is a valid `--durable` root, so when the primary dies, pointing
+//!   `troll serve --durable <dir>` (or `troll recover`) at it resumes
+//!   from every record the primary ever acknowledged *to the
+//!   follower's knowledge* — the follower can lag the primary's tail,
+//!   but never holds a wrong or torn prefix.
+//!
+//! Observability lands in a follower-owned registry: `repl.polls`,
+//! `repl.records_applied`, `repl.snapshots_installed`, `repl.worlds`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod follower;
+mod readonly;
+
+pub use follower::{run_follow, FollowError, FollowOptions, FollowSummary};

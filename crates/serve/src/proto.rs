@@ -63,6 +63,20 @@ pub enum Request {
         /// Restrict to one world.
         world: Option<String>,
     },
+    /// Replication: fetch the TROLL spec source the server runs, so a
+    /// follower can build identical worlds.
+    ReplSpec,
+    /// Replication: list the ids of every world built so far.
+    ReplWorlds,
+    /// Replication: pull durable WAL records of one world starting at
+    /// sequence `from`. The response ships raw hex-encoded frames (or
+    /// a snapshot, when `from` fell behind the pruned log).
+    ReplPoll {
+        /// Target world.
+        world: String,
+        /// First sequence number wanted.
+        from: u64,
+    },
     /// Flush and close every world, then exit cleanly.
     Shutdown,
 }
@@ -128,6 +142,17 @@ impl Request {
                     Some(_) => Some(world(&v)?),
                 },
             }),
+            "repl-spec" => Ok(Request::ReplSpec),
+            "repl-worlds" => Ok(Request::ReplWorlds),
+            "repl-poll" => Ok(Request::ReplPoll {
+                world: world(&v)?,
+                from: v
+                    .get("from")
+                    .and_then(Json::as_i64)
+                    .filter(|&n| n >= 0)
+                    .ok_or("missing non-negative number field `from`")?
+                    as u64,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op `{other}`")),
         }
@@ -164,10 +189,50 @@ impl Request {
                 }
                 fields
             }
+            Request::ReplSpec => vec![("op".to_string(), Json::Str("repl-spec".to_string()))],
+            Request::ReplWorlds => vec![("op".to_string(), Json::Str("repl-worlds".to_string()))],
+            Request::ReplPoll { world, from } => vec![
+                ("op".to_string(), Json::Str("repl-poll".to_string())),
+                ("world".to_string(), Json::Str(world.clone())),
+                ("from".to_string(), Json::Num(*from as i64)),
+            ],
             Request::Shutdown => vec![("op".to_string(), Json::Str("shutdown".to_string()))],
         };
         Json::Obj(obj).to_json()
     }
+}
+
+/// Lower-case hex encoding for shipping raw WAL/snapshot bytes inside
+/// a JSON string (the protocol stays printable newline-JSON).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`]. `None` on odd length or a non-hex digit.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    let s = s.as_bytes();
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let nibble = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    };
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in s.chunks_exact(2) {
+        out.push(nibble(pair[0])? << 4 | nibble(pair[1])?);
+    }
+    Some(out)
 }
 
 /// A protocol response.
@@ -247,6 +312,12 @@ mod tests {
             Request::Stats {
                 world: Some("a".to_string()),
             },
+            Request::ReplSpec,
+            Request::ReplWorlds,
+            Request::ReplPoll {
+                world: "w-1".to_string(),
+                from: 42,
+            },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -282,5 +353,26 @@ mod tests {
         }
         let long = format!("{{\"op\":\"open\",\"world\":\"{}\"}}", "a".repeat(65));
         assert!(Request::parse(&long).is_err(), "65-char world id");
+        for bad in [
+            "{\"op\":\"repl-poll\",\"world\":\"w\"}",
+            "{\"op\":\"repl-poll\",\"world\":\"w\",\"from\":-1}",
+            "{\"op\":\"repl-poll\",\"world\":\"w\",\"from\":\"0\"}",
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for bytes in [&[][..], &[0u8][..], &[0xde, 0xad, 0xbe, 0xef][..]] {
+            let hex = hex_encode(bytes);
+            assert_eq!(hex_decode(&hex).unwrap(), bytes);
+        }
+        assert_eq!(
+            hex_decode("DEADbeef").unwrap(),
+            vec![0xde, 0xad, 0xbe, 0xef]
+        );
+        assert!(hex_decode("abc").is_none());
+        assert!(hex_decode("zz").is_none());
     }
 }

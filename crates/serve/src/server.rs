@@ -21,7 +21,7 @@
 //! other worlds.
 
 use crate::poll::{Interest, Poller};
-use crate::proto::{Request, Response, MAX_LINE};
+use crate::proto::{hex_encode, Request, Response, MAX_LINE};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -45,6 +45,14 @@ const FIRST_CONN_TOKEN: u64 = 2;
 /// final responses before closing the loop anyway.
 const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
 
+/// Cap on raw WAL bytes per `repl-poll` batch: hex doubles it on the
+/// wire, and the whole response line must stay a sane fraction of
+/// [`MAX_LINE`].
+const REPL_MAX_BATCH: usize = 128 << 10;
+
+/// How often the compaction daemon re-examines every world's pressure.
+const COMPACT_TICK: Duration = Duration::from_millis(100);
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
@@ -58,6 +66,11 @@ pub struct ServeOptions {
     /// Outbound buffer cap per connection; a client further behind
     /// than this is dropped rather than allowed to wedge the loop.
     pub max_buffered: usize,
+    /// Run the background compaction daemon once a durable world
+    /// accumulates this many WAL bytes past its last snapshot (the
+    /// per-world threshold is jittered ±25% so a fleet of worlds does
+    /// not snapshot-storm). `None` disables the daemon.
+    pub compact_after: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -74,6 +87,7 @@ impl Default for ServeOptions {
                 snapshot_every: 1024,
             },
             max_buffered: 8 << 20,
+            compact_after: None,
         }
     }
 }
@@ -105,6 +119,14 @@ struct ServeCounters {
     conflicts: Counter,
     errors: Counter,
     worlds: Counter,
+    /// Commit acknowledgements deferred to the group committer.
+    deferred_acks: Counter,
+    /// fsyncs issued by the group committer (one may cover many acks).
+    group_fsyncs: Counter,
+    /// Compactions run by the background daemon.
+    compactions: Counter,
+    /// `repl-poll` requests served.
+    repl_polls: Counter,
     request_latency: Histogram,
     commit_latency: Histogram,
 }
@@ -118,6 +140,10 @@ impl ServeCounters {
             conflicts: metrics.counter("serve.conflicts"),
             errors: metrics.counter("serve.errors"),
             worlds: metrics.counter("serve.worlds"),
+            deferred_acks: metrics.counter("serve.deferred_acks"),
+            group_fsyncs: metrics.counter("serve.group_fsyncs"),
+            compactions: metrics.counter("serve.compactions"),
+            repl_polls: metrics.counter("serve.repl_polls"),
             request_latency: metrics.histogram("serve.request_latency_ns"),
             commit_latency: metrics.histogram("serve.commit_latency_ns"),
         }
@@ -169,6 +195,31 @@ struct Completion {
     line: String,
 }
 
+/// A committed step whose success response waits for the covering
+/// fsync — the group-commit honesty rule: never acknowledge what the
+/// disk could still lose.
+struct DeferredAck {
+    conn: u64,
+    seq: u64,
+    /// The step's WAL sequence number; durable once
+    /// `store.durable_seq() > step_seq`.
+    step_seq: u64,
+    store: Arc<Mutex<Store>>,
+    line: String,
+    t0: Instant,
+}
+
+/// Hand-off point between workers and the group committer thread.
+/// Workers push deferred acks and nudge the condvar; the committer
+/// drains whatever accumulated (acks pile up naturally while an fsync
+/// is in flight — that *is* the batching) and fsyncs each distinct
+/// store at most once per drain.
+#[derive(Default)]
+struct GroupCommit {
+    pending: Mutex<Vec<DeferredAck>>,
+    cv: Condvar,
+}
+
 /// A response slot awaiting its turn in the per-connection order.
 enum Pending {
     /// Fully rendered response line.
@@ -194,6 +245,11 @@ struct Shared {
     /// Write half of the waker socketpair; one byte per completion
     /// batch nudges the loop out of `wait`.
     waker: UnixStream,
+    /// Present when the fsync policy is `group[:N]` on a durable
+    /// server: commit acks detour through the committer thread.
+    group: Option<GroupCommit>,
+    /// Compaction-daemon threshold (WAL bytes past the last snapshot).
+    compact_after: Option<u64>,
     metrics: Metrics,
     c: ServeCounters,
 }
@@ -243,6 +299,16 @@ impl Server {
         waker_tx.set_nonblocking(true)?;
         let metrics = Metrics::new();
         let c = ServeCounters::new(&metrics);
+        let group = if opts.durable.is_some() && matches!(opts.store.fsync, FsyncPolicy::Group(_)) {
+            Some(GroupCommit::default())
+        } else {
+            None
+        };
+        let compact_after = if opts.durable.is_some() {
+            opts.compact_after
+        } else {
+            None
+        };
         let shared = Arc::new(Shared {
             model: SharedModel::new(model),
             spec_source: spec_source.to_string(),
@@ -256,6 +322,8 @@ impl Server {
             inflight: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             waker: waker_tx,
+            group,
+            compact_after,
             metrics,
             c,
         });
@@ -328,6 +396,26 @@ impl Server {
                     .spawn(move || worker_loop(&shared))?,
             );
         }
+        let committer_handle = if shared.group.is_some() {
+            let shared = Arc::clone(&shared);
+            Some(
+                thread::Builder::new()
+                    .name("troll-serve-committer".to_string())
+                    .spawn(move || committer_loop(&shared))?,
+            )
+        } else {
+            None
+        };
+        let compactor_handle = if shared.compact_after.is_some() {
+            let shared = Arc::clone(&shared);
+            Some(
+                thread::Builder::new()
+                    .name("troll-serve-compactor".to_string())
+                    .spawn(move || compactor_loop(&shared))?,
+            )
+        } else {
+            None
+        };
 
         let mut conns: HashMap<u64, Conn> = HashMap::new();
         let mut next_token = FIRST_CONN_TOKEN;
@@ -444,7 +532,16 @@ impl Server {
         drop(conns);
         shared.shutdown.store(true, Ordering::SeqCst);
         shared.ready_cv.notify_all();
+        if let Some(group) = &shared.group {
+            group.cv.notify_all();
+        }
         for handle in worker_handles {
+            let _ = handle.join();
+        }
+        if let Some(handle) = committer_handle {
+            let _ = handle.join();
+        }
+        if let Some(handle) = compactor_handle {
             let _ = handle.join();
         }
         close_stores(&shared);
@@ -642,10 +739,25 @@ fn route_line(shared: &Arc<Shared>, conn: &mut Conn, line: &str) -> bool {
             conn.pending.insert(seq, Pending::GlobalStats);
             return false;
         }
+        Request::ReplSpec => {
+            conn.pending.insert(
+                seq,
+                Pending::Line(Response::Ok(shared.spec_source.clone()).to_json()),
+            );
+            return false;
+        }
+        Request::ReplWorlds => {
+            conn.pending.insert(
+                seq,
+                Pending::Line(Response::Ok(built_worlds(shared)).to_json()),
+            );
+            return false;
+        }
         Request::Open { world }
         | Request::SubmitEvent { world, .. }
         | Request::QueryAttr { world, .. }
         | Request::QueryView { world, .. }
+        | Request::ReplPoll { world, .. }
         | Request::Stats { world: Some(world) } => world.clone(),
     };
 
@@ -736,7 +848,25 @@ fn worker_loop(shared: &Arc<Shared>) {
                     }
                 }
             };
-            let resp = process(shared, &entry, job.req);
+            let Processed { resp, defer } = process(shared, &entry, job.req);
+            if let (Some(group), Some((store, step_seq))) = (&shared.group, defer) {
+                // success is only claimed once the covering fsync lands
+                shared.c.deferred_acks.inc();
+                group
+                    .pending
+                    .lock()
+                    .expect("group pending")
+                    .push(DeferredAck {
+                        conn: job.conn,
+                        seq: job.seq,
+                        step_seq,
+                        store,
+                        line: resp.to_json(),
+                        t0: job.t0,
+                    });
+                group.cv.notify_one();
+                continue;
+            }
             shared
                 .c
                 .request_latency
@@ -760,8 +890,21 @@ fn not_open(shared: &Shared, name: &str) -> Response {
     Response::Err(format!("world `{name}` is not open"))
 }
 
+/// A worker's result: the response, plus — under group commit — the
+/// store/WAL-seq pair whose fsync must land before `resp` may be sent.
+struct Processed {
+    resp: Response,
+    defer: Option<(Arc<Mutex<Store>>, u64)>,
+}
+
+impl From<Response> for Processed {
+    fn from(resp: Response) -> Processed {
+        Processed { resp, defer: None }
+    }
+}
+
 /// Executes one world-bound request on a worker thread.
-fn process(shared: &Shared, entry: &WorldEntry, req: Request) -> Response {
+fn process(shared: &Shared, entry: &WorldEntry, req: Request) -> Processed {
     match req {
         Request::Open { .. } => {
             let mut slot = entry.world.write().expect("world lock");
@@ -773,11 +916,11 @@ fn process(shared: &Shared, entry: &WorldEntry, req: Request) -> Response {
                     }
                     Err(e) => {
                         shared.c.errors.inc();
-                        return Response::Err(e);
+                        return Response::Err(e).into();
                     }
                 }
             }
-            Response::Ok(format!("opened {}", entry.name))
+            Response::Ok(format!("opened {}", entry.name)).into()
         }
         Request::SubmitEvent { line, .. } => submit(shared, entry, &line),
         Request::QueryAttr { id, attr, .. } => command(shared, entry, &format!("show {id} {attr}")),
@@ -787,29 +930,97 @@ fn process(shared: &Shared, entry: &WorldEntry, req: Request) -> Response {
         Request::Stats { .. } => {
             let slot = entry.world.read().expect("world lock");
             match slot.as_ref() {
-                Some(state) => Response::Ok(format!(
-                    "world {}: steps={} attempts={}",
-                    entry.name,
-                    state.base.steps_executed(),
-                    state.base.step_attempts()
-                )),
-                None => not_open(shared, &entry.name),
+                Some(state) => {
+                    let mut text = format!(
+                        "world {}: steps={} attempts={}",
+                        entry.name,
+                        state.base.steps_executed(),
+                        state.base.step_attempts()
+                    );
+                    if let Some(store) = &state.store {
+                        let f = store.lock().expect("store lock").figures();
+                        text.push_str(&format!(
+                            " appends={} fsyncs={} wal_bytes={} since_snapshot={} compactions={}",
+                            f.appends, f.fsyncs, f.wal_bytes, f.bytes_since_snapshot, f.compactions
+                        ));
+                    }
+                    Response::Ok(text).into()
+                }
+                None => not_open(shared, &entry.name).into(),
             }
         }
-        // shutdown never reaches a worker; the loop answers it inline
-        Request::Shutdown => Response::Err("shutdown is handled by the loop".to_string()),
+        Request::ReplPoll { from, .. } => repl_poll(shared, entry, from).into(),
+        // the loop answers these inline; they never reach a worker
+        Request::Shutdown | Request::ReplSpec | Request::ReplWorlds => {
+            Response::Err("handled by the loop".to_string()).into()
+        }
+    }
+}
+
+/// Serves one `repl-poll`: durable records from `from` as hex frames,
+/// or the newest snapshot when the log below `from` was pruned away.
+fn repl_poll(shared: &Shared, entry: &WorldEntry, from: u64) -> Response {
+    shared.c.repl_polls.inc();
+    let slot = entry.world.read().expect("world lock");
+    let Some(state) = slot.as_ref() else {
+        return not_open(shared, &entry.name);
+    };
+    let Some(store) = &state.store else {
+        shared.c.errors.inc();
+        return Response::Err(format!(
+            "world `{}` is not durable; nothing to replicate",
+            entry.name
+        ));
+    };
+    let store = store.lock().expect("store lock");
+    let oldest = match store.oldest_shippable_seq() {
+        Ok(oldest) => oldest.unwrap_or(0),
+        Err(e) => {
+            shared.c.errors.inc();
+            return Response::Err(format!("repl-poll: {e}"));
+        }
+    };
+    if from < oldest {
+        // the records the follower wants were pruned under a snapshot;
+        // ship the snapshot so it can jump ahead
+        return match store.newest_snapshot_bytes() {
+            Ok(Some((next_seq, bytes))) if next_seq > from => {
+                Response::Ok(format!("snapshot {next_seq} {}", hex_encode(&bytes)))
+            }
+            Ok(_) => {
+                shared.c.errors.inc();
+                Response::Err(format!(
+                    "history below {oldest} was pruned and no snapshot covers it"
+                ))
+            }
+            Err(e) => {
+                shared.c.errors.inc();
+                Response::Err(format!("repl-poll: {e}"))
+            }
+        };
+    }
+    match store.read_shippable(from, REPL_MAX_BATCH) {
+        Ok(batch) => Response::Ok(format!(
+            "records {} {}",
+            batch.next_seq,
+            hex_encode(&batch.bytes)
+        )),
+        Err(e) => {
+            shared.c.errors.inc();
+            Response::Err(format!("repl-poll: {e}"))
+        }
     }
 }
 
 /// Runs one `submit-event` line: `birth`/`exec` lines speculate under
 /// the read lock and commit under the write lock; every other script
 /// command runs under the write lock directly.
-fn submit(shared: &Shared, entry: &WorldEntry, raw: &str) -> Response {
+fn submit(shared: &Shared, entry: &WorldEntry, raw: &str) -> Processed {
     shared.c.events.inc();
     let line = raw.split("--").next().unwrap_or("").trim();
     if line.is_empty() {
         shared.c.errors.inc();
-        return Response::Err("empty script line".to_string());
+        return Response::Err("empty script line".to_string()).into();
     }
     match script::parse_event_line(line) {
         Some(Ok((ev, born))) => {
@@ -817,14 +1028,14 @@ fn submit(shared: &Shared, entry: &WorldEntry, raw: &str) -> Response {
             let spec = {
                 let slot = entry.world.read().expect("world lock");
                 let Some(state) = slot.as_ref() else {
-                    return not_open(shared, &entry.name);
+                    return not_open(shared, &entry.name).into();
                 };
                 state.base.speculate(id, event, args)
             };
             let t0 = Instant::now();
             let mut slot = entry.world.write().expect("world lock");
             let Some(state) = slot.as_mut() else {
-                return not_open(shared, &entry.name);
+                return not_open(shared, &entry.name).into();
             };
             let (result, conflict) = state.base.commit_speculation(spec);
             shared
@@ -841,36 +1052,232 @@ fn submit(shared: &Shared, entry: &WorldEntry, raw: &str) -> Response {
                         Some(id) => Outcome::Born(id),
                         None => Outcome::Executed(report.occurrences.len()),
                     };
-                    Response::Ok(outcome.to_string())
+                    // under group commit the success ack must wait for
+                    // the fsync covering the record just appended (the
+                    // world write lock is still held, so next_seq - 1
+                    // is that record)
+                    let defer = match (&shared.group, &state.store) {
+                        (Some(_), Some(store)) => {
+                            let step_seq = {
+                                let guard = store.lock().expect("store lock");
+                                guard.next_seq().saturating_sub(1)
+                            };
+                            Some((Arc::clone(store), step_seq))
+                        }
+                        _ => None,
+                    };
+                    Processed {
+                        resp: Response::Ok(outcome.to_string()),
+                        defer,
+                    }
                 }
                 Err(e) => {
                     shared.c.errors.inc();
-                    Response::Err(e.to_string())
+                    Response::Err(e.to_string()).into()
                 }
             }
         }
         Some(Err(e)) => {
             shared.c.errors.inc();
-            Response::Err(e)
+            Response::Err(e).into()
         }
         None => command(shared, entry, line),
     }
 }
 
 /// Runs a non-event script command (`show`, `view`, `call`, …) under
-/// the world's write lock.
-fn command(shared: &Shared, entry: &WorldEntry, line: &str) -> Response {
+/// the world's write lock. Commands can commit steps too (`call`,
+/// `tick`), so under group commit their success acks defer exactly
+/// like speculated events: the WAL cursor tells us whether the
+/// command appended anything.
+fn command(shared: &Shared, entry: &WorldEntry, line: &str) -> Processed {
     let mut slot = entry.world.write().expect("world lock");
     match slot.as_mut() {
-        Some(state) => match script::run_command(&mut state.base, line) {
-            Ok(outcome) => Response::Ok(outcome.to_string()),
-            Err(e) => {
-                shared.c.errors.inc();
-                Response::Err(e)
+        Some(state) => {
+            let before = match (&shared.group, &state.store) {
+                (Some(_), Some(store)) => Some(store.lock().expect("store lock").next_seq()),
+                _ => None,
+            };
+            match script::run_command(&mut state.base, line) {
+                Ok(outcome) => {
+                    let defer = match (before, &state.store) {
+                        (Some(before), Some(store)) => {
+                            let after = store.lock().expect("store lock").next_seq();
+                            (after > before).then(|| (Arc::clone(store), after - 1))
+                        }
+                        _ => None,
+                    };
+                    Processed {
+                        resp: Response::Ok(outcome.to_string()),
+                        defer,
+                    }
+                }
+                Err(e) => {
+                    shared.c.errors.inc();
+                    Response::Err(e).into()
+                }
             }
-        },
-        None => not_open(shared, &entry.name),
+        }
+        None => not_open(shared, &entry.name).into(),
     }
+}
+
+/// The group committer: drains whatever acks accumulated, fsyncs each
+/// distinct store at most once per drain (and only when some ack in
+/// the batch is not yet durable — a window-boundary self-sync inside
+/// `append` may already have covered it), then releases the responses.
+/// A failed fsync turns the covered acks into error responses: the
+/// steps are committed in memory but their durability cannot be
+/// claimed.
+fn committer_loop(shared: &Arc<Shared>) {
+    let group = shared.group.as_ref().expect("group state");
+    loop {
+        let batch: Vec<DeferredAck> = {
+            let mut pending = group.pending.lock().expect("group pending");
+            loop {
+                if !pending.is_empty() {
+                    break std::mem::take(&mut *pending);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                pending = group.cv.wait(pending).expect("group pending");
+            }
+        };
+        // distinct stores in the batch, with the highest seq each must
+        // cover (a server hosts many worlds; one batch may span several)
+        let mut stores: Vec<(Arc<Mutex<Store>>, u64)> = Vec::new();
+        for ack in &batch {
+            match stores.iter_mut().find(|(s, _)| Arc::ptr_eq(s, &ack.store)) {
+                Some((_, max_seq)) => *max_seq = (*max_seq).max(ack.step_seq),
+                None => stores.push((Arc::clone(&ack.store), ack.step_seq)),
+            }
+        }
+        let mut failures: Vec<(Arc<Mutex<Store>>, String)> = Vec::new();
+        for (store, max_seq) in &stores {
+            let mut guard = store.lock().expect("store lock");
+            if *max_seq < guard.durable_seq() {
+                continue; // the window already paid for this batch
+            }
+            match guard.sync_for_ack() {
+                Ok(synced) => {
+                    if synced {
+                        shared.c.group_fsyncs.inc();
+                    }
+                }
+                Err(e) => failures.push((Arc::clone(store), e.to_string())),
+            }
+        }
+        {
+            let mut completions = shared.completions.lock().expect("completions");
+            for ack in batch {
+                let line = match failures.iter().find(|(s, _)| Arc::ptr_eq(s, &ack.store)) {
+                    Some((_, e)) => {
+                        shared.c.errors.inc();
+                        Response::Err(format!("group commit fsync failed: {e}")).to_json()
+                    }
+                    None => ack.line,
+                };
+                shared
+                    .c
+                    .request_latency
+                    .record_ns(ack.t0.elapsed().as_nanos() as u64);
+                completions.push(Completion {
+                    conn: ack.conn,
+                    seq: ack.seq,
+                    line,
+                });
+            }
+        }
+        shared.wake();
+    }
+}
+
+/// Per-world jitter for the compaction threshold: an FNV-1a hash of
+/// the world name maps to a factor in [0.75, 1.25], so a fleet of
+/// same-shaped worlds crosses its thresholds staggered instead of
+/// snapshot-storming together.
+fn jittered_threshold(threshold: u64, name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let per_mille = 750 + h % 501; // 750..=1250
+    (threshold.saturating_mul(per_mille) / 1000).max(1)
+}
+
+/// The compaction daemon: every tick, scan the registry and compact
+/// (snapshot + prune under the second-newest pin) any durable world
+/// whose WAL bytes since its last snapshot crossed its jittered
+/// threshold.
+fn compactor_loop(shared: &Arc<Shared>) {
+    let threshold = shared.compact_after.expect("compact threshold");
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        thread::sleep(COMPACT_TICK);
+        let entries: Vec<Arc<WorldEntry>> = shared
+            .registry
+            .lock()
+            .expect("registry")
+            .values()
+            .cloned()
+            .collect();
+        for entry in entries {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // cheap pressure peek under the read lock first
+            let over = {
+                let slot = entry.world.read().expect("world lock");
+                match slot.as_ref().and_then(|s| s.store.as_ref()) {
+                    Some(store) => {
+                        let figures = store.lock().expect("store lock").figures();
+                        figures.bytes_since_snapshot >= jittered_threshold(threshold, &entry.name)
+                    }
+                    None => false,
+                }
+            };
+            if !over {
+                continue;
+            }
+            // the snapshot needs a quiescent base: same write lock the
+            // commit path takes, so commits and compaction serialize
+            let slot = entry.world.write().expect("world lock");
+            if let Some(state) = slot.as_ref() {
+                if let Some(store) = &state.store {
+                    match store.lock().expect("store lock").compact(&state.base) {
+                        Ok(_) => shared.c.compactions.inc(),
+                        Err(e) => {
+                            eprintln!("troll-serve: compacting world `{}`: {e}", entry.name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Space-separated sorted ids of the worlds built so far (the reply to
+/// `repl-worlds`). A world whose lock is held mid-commit is certainly
+/// built, so a failed `try_read` counts it in.
+fn built_worlds(shared: &Shared) -> String {
+    let entries: Vec<Arc<WorldEntry>> = shared
+        .registry
+        .lock()
+        .expect("registry")
+        .values()
+        .cloned()
+        .collect();
+    let mut names: Vec<String> = entries
+        .iter()
+        .filter(|entry| match entry.world.try_read() {
+            Ok(slot) => slot.is_some(),
+            Err(_) => true,
+        })
+        .map(|entry| entry.name.clone())
+        .collect();
+    names.sort();
+    names.join(" ")
 }
 
 /// Spawns (in-memory) or opens/recovers (durable) one world.

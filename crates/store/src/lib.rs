@@ -14,7 +14,7 @@
 //! * [`wal`] — a **segmented append-only WAL** of committed steps:
 //!   length-prefixed binary records ([`codec`]) in CRC32-checksummed
 //!   frames ([`frame`]), with an explicit [`FsyncPolicy`]
-//!   (`every-commit` / `every-N` / `on-close`);
+//!   (`every-commit` / `every-N` / `group[:N]` / `on-close`);
 //! * [`snapshot`] — **periodic world snapshots**: a full instance dump
 //!   (cheap — the persistent `troll_data::StateMap` shares structure
 //!   with the live world) plus the WAL cursor, written atomically;
@@ -42,7 +42,10 @@ pub mod snapshot;
 mod store;
 pub mod wal;
 
-pub use store::{open_world, recover, world_dump, DurableSink, RecoveryInfo, Store, SPEC_FILE};
+pub use store::{
+    compact_plan, open_world, recover, world_dump, CompactPlan, CompactionReport, DurableSink,
+    RecoveryInfo, Store, StoreFigures, SPEC_FILE,
+};
 pub use wal::FsyncPolicy;
 
 use std::path::PathBuf;
@@ -156,6 +159,7 @@ pub(crate) struct StoreCounters {
     pub(crate) bytes: Counter,
     pub(crate) fsyncs: Counter,
     pub(crate) recoveries: Counter,
+    pub(crate) compactions: Counter,
     pub(crate) fsync_latency: Histogram,
     /// Phase profiler over the same registry: when a step is being
     /// profiled (the runtime's sink phase is open on this thread), the
@@ -171,6 +175,7 @@ impl StoreCounters {
             bytes: metrics.counter("store.bytes"),
             fsyncs: metrics.counter("store.fsyncs"),
             recoveries: metrics.counter("store.recoveries"),
+            compactions: metrics.counter("store.compactions"),
             fsync_latency: metrics.histogram("store.fsync_latency_ns"),
             profiler: StepProfiler::new(metrics),
         }

@@ -108,6 +108,34 @@ pub fn read_snapshot(path: &Path) -> std::io::Result<Option<Snapshot>> {
     Ok(parse_snapshot(&bytes))
 }
 
+/// Validates raw snapshot-file bytes (e.g. shipped over the wire).
+/// `None` means the bytes do not form a complete valid snapshot.
+pub fn snapshot_from_bytes(bytes: &[u8]) -> Option<Snapshot> {
+    parse_snapshot(bytes)
+}
+
+/// Installs raw snapshot-file bytes into `dir` under their canonical
+/// name, with the same atomic temp + fsync + rename discipline as
+/// [`write_snapshot`]. The bytes are validated first; invalid bytes
+/// return `Ok(None)` and write nothing. Used by followers catching up
+/// past a pruned log.
+pub fn install_snapshot_bytes(dir: &Path, bytes: &[u8]) -> std::io::Result<Option<(PathBuf, u64)>> {
+    let Some(snap) = parse_snapshot(bytes) else {
+        return Ok(None);
+    };
+    let next_seq = snap.next_seq;
+    let final_path = dir.join(format!("snap-{next_seq:020}.snap"));
+    let tmp_path = dir.join(format!("snap-{next_seq:020}.tmp"));
+    {
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    File::open(dir)?.sync_all()?;
+    Ok(Some((final_path, next_seq)))
+}
+
 fn parse_snapshot(bytes: &[u8]) -> Option<Snapshot> {
     if bytes.len() < SNAP_MAGIC.len() || &bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
         return None;

@@ -9,8 +9,13 @@ use std::time::Instant;
 use troll_obs::ObsEvent;
 use troll_runtime::{ObjectBase, Occurrence, StepSink};
 
-use crate::snapshot::{load_latest_snapshot, read_snapshot, snapshot_paths, write_snapshot};
-use crate::wal::{scan_wal, segment_first_seq, segment_paths, Wal, WalTail};
+use crate::snapshot::{
+    load_latest_snapshot, read_snapshot, snapshot_from_bytes, snapshot_paths, write_snapshot,
+};
+use crate::wal::{
+    read_record_frames, scan_wal, segment_first_seq, segment_paths, ShippedFrames, Wal, WalTail,
+    WAL_MAGIC,
+};
 use crate::{StoreCounters, StoreError, StoreOptions};
 
 /// Name of the spec file a durable directory carries so recovery can
@@ -121,6 +126,36 @@ pub fn recover(dir: &Path) -> Result<(ObjectBase, RecoveryInfo), StoreError> {
     ))
 }
 
+/// What [`Store::compact`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// WAL cursor of the snapshot written.
+    pub snapshot_seq: u64,
+    /// Segments deleted under the second-newest-snapshot pin.
+    pub pruned_segments: usize,
+}
+
+/// Point-in-time figures from a live [`Store`], for stats reporting
+/// over the wire and for compaction-pressure decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreFigures {
+    /// Records appended since open.
+    pub appends: u64,
+    /// fsyncs issued since open.
+    pub fsyncs: u64,
+    /// Framed WAL bytes written since open.
+    pub wal_bytes: u64,
+    /// WAL bytes not yet covered by a snapshot (compaction pressure) —
+    /// includes bytes inherited from before this open.
+    pub bytes_since_snapshot: u64,
+    /// Compactions run since open.
+    pub compactions: u64,
+    /// The sequence number the next append will get.
+    pub next_seq: u64,
+    /// First sequence number not yet covered by an fsync.
+    pub durable_seq: u64,
+}
+
 /// The append half of a durable directory: owns the WAL tail and the
 /// snapshot cadence. Created by [`open_world`]; fed by [`DurableSink`].
 #[derive(Debug)]
@@ -129,6 +164,14 @@ pub struct Store {
     wal: Wal,
     snapshot_every: u64,
     appends_since_snapshot: u64,
+    /// WAL bytes that were already on disk past the newest snapshot
+    /// cursor when this store opened (compaction pressure inherited
+    /// from the previous run).
+    backlog_bytes: u64,
+    /// [`Wal::appended_bytes`] value at the last snapshot — the live
+    /// half of the bytes-since-snapshot figure.
+    bytes_mark: u64,
+    counters: StoreCounters,
     /// First write error, if any — the commit path is infallible, so
     /// failures are latched here and surfaced by [`Store::close`].
     write_error: Option<std::io::Error>,
@@ -186,9 +229,51 @@ impl Store {
                         });
                     }
                     self.appends_since_snapshot = 0;
+                    self.backlog_bytes = 0;
+                    self.bytes_mark = self.wal.appended_bytes();
                 }
             }
             Err(e) => self.write_error = Some(e),
+        }
+    }
+
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.wal.next_seq()
+    }
+
+    /// First sequence number not yet covered by an fsync — records
+    /// below this are safe to acknowledge and to ship to followers.
+    pub fn durable_seq(&self) -> u64 {
+        self.wal.durable_seq()
+    }
+
+    /// Whether a write error has been latched (the log is broken and
+    /// no further appends will be recorded until [`Store::close`]
+    /// surfaces it).
+    pub fn has_write_error(&self) -> bool {
+        self.write_error.is_some()
+    }
+
+    /// Group-commit acknowledgement sync: fsyncs only if records were
+    /// appended since the last sync, returning whether an fsync was
+    /// actually issued. A failure is latched (so [`Store::close`] still
+    /// reports it) *and* returned, because a deferred acknowledgement
+    /// must not claim durability the disk refused.
+    pub fn sync_for_ack(&mut self) -> Result<bool, StoreError> {
+        if let Some(e) = &self.write_error {
+            return Err(StoreError::Io(std::io::Error::new(e.kind(), e.to_string())));
+        }
+        if !self.wal.is_dirty() {
+            return Ok(false);
+        }
+        match self.wal.sync() {
+            Ok(()) => Ok(true),
+            Err(e) => {
+                let copy = std::io::Error::new(e.kind(), e.to_string());
+                self.write_error = Some(e);
+                Err(StoreError::Io(copy))
+            }
         }
     }
 
@@ -209,8 +294,84 @@ impl Store {
         if self.appends_since_snapshot > 0 {
             write_snapshot(&self.dir, base, self.wal.next_seq())?;
             self.appends_since_snapshot = 0;
+            self.backlog_bytes = 0;
+            self.bytes_mark = self.wal.appended_bytes();
         }
         Ok(())
+    }
+
+    /// Compacts the store: syncs the WAL, writes a snapshot of `base`
+    /// at the current cursor, then prunes segments under the
+    /// second-newest-snapshot pin. This is what the serve compaction
+    /// daemon and `troll compact` run; `base` must be the live world
+    /// this store records (the snapshot becomes recovery's starting
+    /// point).
+    pub fn compact(&mut self, base: &ObjectBase) -> Result<CompactionReport, StoreError> {
+        if let Some(e) = &self.write_error {
+            return Err(StoreError::Io(std::io::Error::new(e.kind(), e.to_string())));
+        }
+        // log before snapshot, same ordering rule as the periodic path
+        self.wal.sync()?;
+        let snapshot_seq = self.wal.next_seq();
+        write_snapshot(&self.dir, base, snapshot_seq)?;
+        self.appends_since_snapshot = 0;
+        self.backlog_bytes = 0;
+        self.bytes_mark = self.wal.appended_bytes();
+        let pruned_segments = self.prune_segments()?;
+        self.counters.compactions.inc();
+        Ok(CompactionReport {
+            snapshot_seq,
+            pruned_segments,
+        })
+    }
+
+    /// Point-in-time store figures for stats reporting.
+    pub fn figures(&self) -> StoreFigures {
+        StoreFigures {
+            appends: self.counters.appends.get(),
+            fsyncs: self.counters.fsyncs.get(),
+            wal_bytes: self.counters.bytes.get(),
+            bytes_since_snapshot: self.backlog_bytes
+                + (self.wal.appended_bytes() - self.bytes_mark),
+            compactions: self.counters.compactions.get(),
+            next_seq: self.wal.next_seq(),
+            durable_seq: self.wal.durable_seq(),
+        }
+    }
+
+    /// First sequence number still present in the on-disk log (the
+    /// oldest segment's declared first), or `None` with no segments. A
+    /// follower asking below this must catch up from a snapshot.
+    pub fn oldest_shippable_seq(&self) -> Result<Option<u64>, StoreError> {
+        let segments = segment_paths(&self.dir)?;
+        Ok(segments.first().and_then(|p| segment_first_seq(p)))
+    }
+
+    /// Reads the raw frames of durable records `from..durable_seq` for
+    /// shipping, capped near `max_bytes`. Only fsync-covered records
+    /// ship: a follower must never hold a step the primary could still
+    /// lose (and the covering sync guarantees the bytes are on disk
+    /// where this read finds them).
+    pub fn read_shippable(&self, from: u64, max_bytes: usize) -> Result<ShippedFrames, StoreError> {
+        Ok(read_record_frames(
+            &self.dir,
+            from,
+            self.wal.durable_seq(),
+            max_bytes,
+        )?)
+    }
+
+    /// Raw bytes of the newest fully-valid snapshot file, with its
+    /// cursor — what ships to a follower that fell behind the pruned
+    /// log. `None` when no valid snapshot exists.
+    pub fn newest_snapshot_bytes(&self) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        for path in snapshot_paths(&self.dir)?.iter().rev() {
+            let bytes = fs::read(path)?;
+            if let Some(snap) = snapshot_from_bytes(&bytes) {
+                return Ok(Some((snap.next_seq, bytes)));
+            }
+        }
+        Ok(None)
     }
 
     /// Deletes WAL segments every record of which is older than the
@@ -283,6 +444,22 @@ pub fn open_world(
     let (base, info) = recover(dir)?;
     let scan = scan_wal(dir)?; // rescanned so Wal::open sees the tail to truncate
     let counters = StoreCounters::new(base.metrics());
+    // compaction pressure inherited from the previous run: intact WAL
+    // bytes past the newest snapshot cursor (frame sizes fall out of
+    // consecutive end offsets within each segment)
+    let cursor = info.snapshot_seq.unwrap_or(0);
+    let mut backlog_bytes = 0u64;
+    let mut prev: Option<(&Path, u64)> = None;
+    for rec in &scan.records {
+        let start = match prev {
+            Some((seg, end)) if seg == rec.segment.as_path() => end,
+            _ => WAL_MAGIC.len() as u64,
+        };
+        if rec.seq >= cursor {
+            backlog_bytes += rec.end_offset - start;
+        }
+        prev = Some((rec.segment.as_path(), rec.end_offset));
+    }
     // append at the *recovered* cursor — a snapshot may be newer than
     // the surviving log, and writing below its cursor would be lost
     let wal = Wal::open(
@@ -291,16 +468,87 @@ pub fn open_world(
         info.next_seq,
         opts.fsync,
         opts.segment_bytes,
-        counters,
+        counters.clone(),
     )?;
     let store = Store {
         dir: dir.to_path_buf(),
         wal,
         snapshot_every: opts.snapshot_every,
         appends_since_snapshot: 0,
+        backlog_bytes,
+        bytes_mark: 0,
+        counters,
         write_error: None,
     };
     Ok((base, store, info))
+}
+
+/// What `troll compact --dry-run` would report: the state a compaction
+/// of `dir` would start from, computed read-only from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactPlan {
+    /// Cursor of the newest valid snapshot, if any.
+    pub snapshot_seq: Option<u64>,
+    /// Intact records past that cursor (what the new snapshot would
+    /// absorb).
+    pub records_since: u64,
+    /// Bytes of those records.
+    pub bytes_since: u64,
+    /// Segments a compaction could prune: after the new snapshot the
+    /// current newest becomes the second-newest pin, so every segment
+    /// wholly below the *current* newest cursor goes.
+    pub prunable_segments: usize,
+    /// Bytes of those segments.
+    pub prunable_bytes: u64,
+    /// The sequence number the next append would get.
+    pub next_seq: u64,
+}
+
+/// Computes a [`CompactPlan`] for `dir` without opening the world or
+/// writing anything.
+pub fn compact_plan(dir: &Path) -> Result<CompactPlan, StoreError> {
+    let mut snapshot_seq = None;
+    for path in snapshot_paths(dir)?.iter().rev() {
+        if let Some(snap) = read_snapshot(path)? {
+            snapshot_seq = Some(snap.next_seq);
+            break;
+        }
+    }
+    let scan = scan_wal(dir)?;
+    let cursor = snapshot_seq.unwrap_or(0);
+    let mut records_since = 0u64;
+    let mut bytes_since = 0u64;
+    let mut prev: Option<(&Path, u64)> = None;
+    for rec in &scan.records {
+        let start = match prev {
+            Some((seg, end)) if seg == rec.segment.as_path() => end,
+            _ => WAL_MAGIC.len() as u64,
+        };
+        if rec.seq >= cursor {
+            records_since += 1;
+            bytes_since += rec.end_offset - start;
+        }
+        prev = Some((rec.segment.as_path(), rec.end_offset));
+    }
+    let mut prunable_segments = 0;
+    let mut prunable_bytes = 0u64;
+    if snapshot_seq.is_some() {
+        let segments = segment_paths(dir)?;
+        for pair in segments.windows(2) {
+            if segment_first_seq(&pair[1]).is_some_and(|s| s <= cursor) {
+                prunable_segments += 1;
+                prunable_bytes += fs::metadata(&pair[0])?.len();
+            }
+        }
+    }
+    Ok(CompactPlan {
+        snapshot_seq,
+        records_since,
+        bytes_since,
+        prunable_segments,
+        prunable_bytes,
+        next_seq: scan.next_seq.max(cursor),
+    })
 }
 
 /// The [`StepSink`] that makes a world durable: forwards every

@@ -50,23 +50,43 @@ pub enum FsyncPolicy {
     /// `fsync` only on clean close — a crash may lose everything since
     /// open; fastest.
     OnClose,
+    /// Group commit: the log self-syncs once every `window` appends
+    /// (bounding the unsynced backlog), but the real batching happens
+    /// above the store — callers defer commit *acknowledgements* until
+    /// a covering fsync completes, so unlike [`FsyncPolicy::EveryN`] an
+    /// acknowledged step is never lost. `Group(1)` is byte- and
+    /// fsync-identical to [`FsyncPolicy::EveryCommit`].
+    Group(u64),
 }
+
+/// Window used when `--fsync group` is given without an explicit size.
+pub const DEFAULT_GROUP_WINDOW: u64 = 32;
 
 impl std::str::FromStr for FsyncPolicy {
     type Err = String;
 
-    /// Parses `every-commit`, `on-close` or `every-<N>` (N ≥ 1).
+    /// Parses `every-commit`, `on-close`, `every-<N>` (N ≥ 1), `group`
+    /// or `group:<N>` (N ≥ 1).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "every-commit" => Ok(FsyncPolicy::EveryCommit),
             "on-close" => Ok(FsyncPolicy::OnClose),
+            "group" => Ok(FsyncPolicy::Group(DEFAULT_GROUP_WINDOW)),
             _ => {
+                if let Some(w) = s.strip_prefix("group:") {
+                    let n = w.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("bad fsync policy `{s}` (group:<N> needs N >= 1)")
+                    })?;
+                    return Ok(FsyncPolicy::Group(n));
+                }
                 let n = s
                     .strip_prefix("every-")
                     .and_then(|n| n.parse::<u64>().ok())
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| {
-                        format!("bad fsync policy `{s}` (every-commit | every-<N> | on-close)")
+                        format!(
+                            "bad fsync policy `{s}` (every-commit | every-<N> | group[:<N>] | on-close)"
+                        )
                     })?;
                 Ok(FsyncPolicy::EveryN(n))
             }
@@ -80,6 +100,7 @@ impl std::fmt::Display for FsyncPolicy {
             FsyncPolicy::EveryCommit => write!(f, "every-commit"),
             FsyncPolicy::EveryN(n) => write!(f, "every-{n}"),
             FsyncPolicy::OnClose => write!(f, "on-close"),
+            FsyncPolicy::Group(n) => write!(f, "group:{n}"),
         }
     }
 }
@@ -285,6 +306,16 @@ pub struct Wal {
     fsync: FsyncPolicy,
     segment_bytes: u64,
     unsynced: u64,
+    /// First sequence number NOT yet covered by an fsync. Everything
+    /// below is on stable storage (records found on disk at open count
+    /// as durable — they survived whatever wrote them).
+    synced_seq: u64,
+    /// Whether any append happened since the last sync — lets callers
+    /// skip redundant fsyncs when a batch was already covered.
+    dirty: bool,
+    /// Cumulative framed bytes appended since open (monotonic; not
+    /// reset by rotation or snapshots).
+    appended_bytes: u64,
     counters: StoreCounters,
     /// Duration of the most recent [`Wal::sync`], until collected by
     /// [`Wal::take_last_sync_ns`] — lets the store emit a structured
@@ -357,6 +388,9 @@ impl Wal {
             fsync,
             segment_bytes,
             unsynced: 0,
+            synced_seq: next_seq,
+            dirty: false,
+            appended_bytes: 0,
             counters,
             last_sync_ns: None,
         })
@@ -365,6 +399,33 @@ impl Wal {
     /// The sequence number the next append will get.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// First sequence number not yet covered by an fsync: records below
+    /// this are on stable storage and safe to acknowledge (and to ship
+    /// to followers).
+    pub fn durable_seq(&self) -> u64 {
+        self.synced_seq
+    }
+
+    /// Cumulative framed bytes appended since this `Wal` was opened.
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes
+    }
+
+    /// Whether anything was appended since the last sync.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Syncs only if something was appended since the last sync —
+    /// lets a group committer coalesce acknowledgement batches without
+    /// issuing fsyncs the window already paid for.
+    pub fn sync_if_dirty(&mut self) -> std::io::Result<()> {
+        if self.dirty {
+            self.sync()?;
+        }
+        Ok(())
     }
 
     /// Appends one committed step and applies the fsync policy.
@@ -393,11 +454,13 @@ impl Wal {
         self.file.write_all(&framed)?;
         self.seg_len += framed.len() as u64;
         self.next_seq += 1;
+        self.dirty = true;
+        self.appended_bytes += framed.len() as u64;
         self.counters.appends.inc();
         self.counters.bytes.add(framed.len() as u64);
         match self.fsync {
             FsyncPolicy::EveryCommit => self.sync()?,
-            FsyncPolicy::EveryN(n) => {
+            FsyncPolicy::EveryN(n) | FsyncPolicy::Group(n) => {
                 self.unsynced += 1;
                 if self.unsynced >= n {
                     self.sync()?;
@@ -424,6 +487,8 @@ impl Wal {
         self.counters.fsync_latency.record_ns(nanos);
         self.counters.fsyncs.inc();
         self.unsynced = 0;
+        self.synced_seq = self.next_seq;
+        self.dirty = false;
         self.last_sync_ns = Some(nanos);
         Ok(())
     }
@@ -442,4 +507,81 @@ impl Wal {
         self.seg_len = WAL_MAGIC.len() as u64;
         Ok(())
     }
+}
+
+/// A batch of raw WAL frames read back for shipping to a follower.
+#[derive(Debug)]
+pub struct ShippedFrames {
+    /// Concatenated CRC-framed record bytes, exactly as on disk.
+    pub bytes: Vec<u8>,
+    /// One past the last sequence number included — the `from` of the
+    /// next poll. Equals the requested `from` when nothing was read.
+    pub next_seq: u64,
+}
+
+/// Reads the raw frames of records `from..upto` out of the segments in
+/// `dir`, stopping once `max_bytes` of frames are collected (at least
+/// one record is returned whenever any qualifies, so a single oversized
+/// record still ships). Frames are returned byte-for-byte as written —
+/// the canonical codec means a follower re-appending them produces an
+/// identical log. The walk stops at the first torn, corrupt or
+/// undecodable frame: on a live primary the bytes past the durable
+/// cursor may be mid-write, and `upto` should be that cursor.
+pub fn read_record_frames(
+    dir: &Path,
+    from: u64,
+    upto: u64,
+    max_bytes: usize,
+) -> std::io::Result<ShippedFrames> {
+    let segments = segment_paths(dir)?;
+    let mut out = Vec::new();
+    let mut next_seq = from;
+    'segments: for (i, path) in segments.iter().enumerate() {
+        // skip segments wholly below `from`: the next segment's
+        // filename declares where it starts
+        if let Some(next_path) = segments.get(i + 1) {
+            if segment_first_seq(next_path).is_some_and(|first| first <= from) {
+                continue;
+            }
+        }
+        let bytes = fs::read(path)?;
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            break;
+        }
+        let mut offset = WAL_MAGIC.len();
+        loop {
+            match read_frame(&bytes, offset) {
+                FrameRead::CleanEnd => break,
+                FrameRead::Torn | FrameRead::Corrupt => break 'segments,
+                FrameRead::Frame { payload, next } => {
+                    // peek tag + seq without a full decode
+                    if payload.len() < 9 || payload[0] != REC_STEP {
+                        break 'segments;
+                    }
+                    let seq = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+                    if seq >= upto {
+                        break 'segments;
+                    }
+                    if seq >= from {
+                        if seq != next_seq {
+                            // a gap relative to what we already
+                            // collected — stop rather than ship a
+                            // discontiguous batch
+                            break 'segments;
+                        }
+                        out.extend_from_slice(&bytes[offset..next]);
+                        next_seq = seq + 1;
+                        if out.len() >= max_bytes {
+                            break 'segments;
+                        }
+                    }
+                    offset = next;
+                }
+            }
+        }
+    }
+    Ok(ShippedFrames {
+        bytes: out,
+        next_seq,
+    })
 }

@@ -49,7 +49,9 @@ fn unknown_command_is_a_usage_error() {
 
 #[test]
 fn bad_arity_shows_the_commands_own_usage() {
-    for cmd in ["check", "fmt", "info", "graph", "animate"] {
+    for cmd in [
+        "check", "fmt", "info", "graph", "animate", "follow", "compact",
+    ] {
         let out = run(&[cmd]);
         assert_eq!(out.status.code(), Some(2), "{cmd} without args");
         let err = String::from_utf8_lossy(&out.stderr);
@@ -603,4 +605,112 @@ fn trace_covers_span_and_store_events() {
         let _ = std::fs::remove_file(f);
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `troll compact`: `--dry-run` reports the plan without writing,
+/// the real run snapshots and prunes, and the directory still
+/// recovers to the same world afterwards.
+#[test]
+fn compact_reports_prunes_and_preserves_the_world() {
+    let script = scratch("compact.script");
+    let dir = scratch("compact.dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::write(&script, SCRIPT).unwrap();
+    let out = run(&[
+        "animate",
+        "--durable",
+        dir.to_str().unwrap(),
+        &dept_spec(),
+        script.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let dump_before = run(&["recover", "--dump", dir.to_str().unwrap()]);
+
+    let out = run(&["compact", "--dry-run", dir.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let plan = String::from_utf8_lossy(&out.stdout);
+    assert!(plan.starts_with("compact plan:"), "{plan}");
+    assert!(plan.contains("next_seq=4"), "{plan}");
+    // a dry run changes nothing: the plan is reproducible
+    let again = run(&["compact", "--dry-run", dir.to_str().unwrap()]);
+    assert_eq!(String::from_utf8_lossy(&again.stdout), plan);
+
+    let out = run(&["compact", dir.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.starts_with("compacted: snapshot=4"), "{report}");
+
+    // the compacted directory recovers to the identical world
+    let dump_after = run(&["recover", "--dump", dir.to_str().unwrap()]);
+    assert_eq!(dump_after.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&dump_after.stdout)
+            .lines()
+            .filter(|l| !l.starts_with("recovered "))
+            .collect::<Vec<_>>(),
+        String::from_utf8_lossy(&dump_before.stdout)
+            .lines()
+            .filter(|l| !l.starts_with("recovered "))
+            .collect::<Vec<_>>(),
+        "compaction must not change the world"
+    );
+
+    let _ = std::fs::remove_file(&script);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compact_and_follow_exit_code_discipline() {
+    // usage errors: missing/extra positionals, unknown flags
+    let out = run(&["compact", "--bogus", "somewhere"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["compact", "a", "b"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["follow", "only-one-arg"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["follow", "--poll-ms", "0", "addr", "dir"]);
+    assert_eq!(out.status.code(), Some(2), "poll cadence must be >= 1");
+    let out = run(&["serve", "--compact-after", "4096", "x.troll"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--compact-after needs --durable"
+    );
+
+    // runtime errors: compacting nothing, following a dead primary
+    let dir = scratch("compact-missing.dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = run(&["compact", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    // a bound-then-dropped listener yields a port nobody serves
+    let port = std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port();
+    let follow_dir = scratch("follow-dead.dir");
+    let _ = std::fs::remove_dir_all(&follow_dir);
+    let out = run(&[
+        "follow",
+        "--once",
+        &format!("127.0.0.1:{port}"),
+        follow_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unreachable"),
+        "says why: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&follow_dir);
 }

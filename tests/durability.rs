@@ -5,7 +5,10 @@
 //!
 //! Also pins the byte-identical-log guarantee: the same script run
 //! sequentially and through a 4-shard executor writes the same WAL,
-//! byte for byte.
+//! byte for byte — and the group-commit boundary: `group:1` is
+//! indistinguishable from `every-commit`, a wider window bounds the
+//! unacknowledged tail, and a crash at the durable boundary recovers
+//! exactly the covered prefix.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -13,136 +16,12 @@ use std::path::{Path, PathBuf};
 use troll::runtime::ObjectBase;
 use troll::script::{run_script, run_script_sharded};
 use troll::store::wal::scan_wal;
-use troll::store::{open_world, recover, world_dump, DurableSink, StoreOptions};
+use troll::store::{open_world, recover, world_dump, DurableSink, FsyncPolicy, StoreOptions};
 use troll::System;
 
-/// One durability workload per spec in `specs/` — the same command
-/// language `troll animate` speaks, exercising births, interactions,
-/// phases, singletons, active events and views.
-const WORKLOADS: &[(&str, &str, &str)] = &[
-    (
-        "dept",
-        troll::specs::DEPT,
-        r#"
-birth DEPT ("Toys") establishment (date(1991,10,16))
-birth DEPT ("Shoes") establishment (date(1992,3,2))
-exec |DEPT|("Toys") hire (|PERSON|("ada"))
-exec |DEPT|("Toys") hire (|PERSON|("bob"))
-exec |DEPT|("Shoes") hire (|PERSON|("cyd"))
-exec |DEPT|("Toys") new_manager (|PERSON|("ada"))
-exec |DEPT|("Toys") assign_official_car ("V-TR 1991", |PERSON|("ada"))
-exec |DEPT|("Toys") fire (|PERSON|("ada"))
-exec |DEPT|("Shoes") fire (|PERSON|("cyd"))
-exec |DEPT|("Shoes") closure ()
-show |DEPT|("Toys") employees
-"#,
-    ),
-    (
-        "company",
-        troll::specs::COMPANY,
-        r#"
-birth PERSON ("ada", date(1960,1,1)) create (6000.00, "none")
-birth PERSON ("bob", date(1955,6,15)) create (3000.00, "none")
-birth DEPT ("Toys") establishment (date(1991,10,16))
-exec |DEPT|("Toys") hire (|PERSON|("ada", date(1960,1,1)))
-exec |DEPT|("Toys") hire (|PERSON|("bob", date(1955,6,15)))
-exec |DEPT|("Toys") new_manager (|PERSON|("ada", date(1960,1,1)))
-exec |TheCompany|() found_dept (|DEPT|("Toys"))
-exec |PERSON|("bob", date(1955,6,15)) ChangeSalary (3500.00)
-exec |DEPT|("Toys") fire (|PERSON|("bob", date(1955,6,15)))
-exec |DEPT|("Toys") fire (|PERSON|("ada", date(1960,1,1)))
-exec |DEPT|("Toys") closure ()
-show |TheCompany|() depts
-"#,
-    ),
-    (
-        "employment",
-        troll::specs::EMPLOYMENT,
-        r#"
-exec |emp_rel|() CreateEmpRel ()
-exec |emp_rel|() InsertEmp ("codd", date(1923,8,19), 500)
-exec |emp_rel|() InsertEmp ("hoare", date(1934,1,11), 700)
-exec |emp_rel|() UpdateSalary ("codd", date(1923,8,19), 900)
-exec |emp_rel|() DeleteEmp ("hoare", date(1934,1,11))
-birth EMPLOYEE ("mills", date(1919,5,2)) HireEmployee ()
-exec |EMPLOYEE|("mills", date(1919,5,2)) IncreaseSalary (250)
-show |emp_rel|() Emps
-"#,
-    ),
-    (
-        "views",
-        troll::specs::VIEWS,
-        r#"
-birth PERSON ("ada") create (4000.00, "Research")
-birth PERSON ("bob") create (3000.00, "Sales")
-birth DEPT ("Research") establishment ()
-exec |DEPT|("Research") hire (|PERSON|("ada"))
-exec |PERSON|("bob") ChangeSalary (3500.00)
-exec |PERSON|("ada") ChangeDept ("Research")
-call SAL_EMPLOYEE2 |PERSON|("ada") IncreaseSalary ()
-view SAL_EMPLOYEE
-view WORKS_FOR
-"#,
-    ),
-    (
-        "modules",
-        troll::specs::MODULES,
-        r#"
-birth PERSON ("ada") create (4000.00, "Research")
-birth PERSON ("bob") create (2500.00, "Sales")
-exec |person_rel|() CreateRel ()
-exec |person_rel|() InsertP ("ada", 4000.00)
-exec |person_rel|() InsertP ("bob", 2500.00)
-exec |person_rel|() DeleteP ("bob")
-exec |PERSON|("ada") ChangeSalary (4200.00)
-view PHONEBOOK
-"#,
-    ),
-    (
-        "library",
-        troll::specs::LIBRARY,
-        r#"
-birth BOOK ("0-262-51087-1") acquire ("SICP", 2)
-birth BOOK ("0-13-110362-8") acquire ("K+R", 1)
-birth MEMBER ("m1") join_library ("ada")
-birth MEMBER ("m2") join_library ("bob")
-exec |MEMBER|("m1") borrow (|BOOK|("0-262-51087-1"))
-exec |MEMBER|("m2") borrow (|BOOK|("0-262-51087-1"))
-exec |MEMBER|("m2") borrow (|BOOK|("0-13-110362-8"))
-exec |MEMBER|("m1") incur_fine (1.50)
-exec |MEMBER|("m1") pay_fine (1.50)
-exec |MEMBER|("m1") bring_back (|BOOK|("0-262-51087-1"))
-exec |MEMBER|("m1") promote_to_staff ()
-exec |MEMBER|("m1") assign_desk ("reference")
-view CATALOG
-view BORROWERS
-"#,
-    ),
-    (
-        "clock",
-        troll::specs::CLOCK,
-        r#"
-exec |clock|() start ()
-birth REMINDER ("soon") set_for (2)
-birth REMINDER ("later") set_for (5)
-tick
-tick
-tick
-tick
-tick
-tick
-view PENDING
-"#,
-    ),
-];
-
-fn workload(name: &str) -> (&'static str, &'static str) {
-    WORKLOADS
-        .iter()
-        .find(|(n, _, _)| *n == name)
-        .map(|(_, spec, script)| (*spec, *script))
-        .unwrap_or_else(|| panic!("unknown workload `{name}`"))
-}
+#[path = "workloads.rs"]
+mod workloads;
+use workloads::workload;
 
 fn scratch(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
@@ -300,3 +179,176 @@ macro_rules! durability_suite {
 }
 
 durability_suite!(dept, company, employment, views, modules, library, clock);
+
+/// Group-commit boundary properties at the store level. The serve
+/// layer's ack deferral rides on these: a window of `n` means at most
+/// `n` *unacknowledged* steps are exposed to a crash, and `group:1`
+/// collapses to `every-commit` exactly.
+mod group_commit {
+    use super::*;
+
+    /// Runs the workload durably under `opts` and returns the live
+    /// world plus the store figures captured *before* the closing sync.
+    fn run_with(
+        dir: &Path,
+        spec: &str,
+        script: &str,
+        opts: &StoreOptions,
+    ) -> (ObjectBase, troll::store::StoreFigures) {
+        let (mut base, store, _) = open_world(dir, spec, opts).expect("open_world");
+        let (sink, shared) = DurableSink::new(store);
+        base.set_step_sink(Box::new(sink));
+        run_script(&mut base, script).expect("workload");
+        let mut store = shared.lock().expect("store lock");
+        let figures = store.figures();
+        store.close(&base).expect("clean close");
+        drop(store);
+        (base, figures)
+    }
+
+    fn assert_same_wal(what: &str, a: &Path, b: &Path) {
+        let a_segments = troll::store::wal::segment_paths(a).unwrap();
+        let b_segments = troll::store::wal::segment_paths(b).unwrap();
+        assert_eq!(a_segments.len(), b_segments.len(), "{what}: segment count");
+        for (x, y) in a_segments.iter().zip(&b_segments) {
+            assert_eq!(x.file_name(), y.file_name(), "{what}: segment naming");
+            assert_eq!(
+                fs::read(x).unwrap(),
+                fs::read(y).unwrap(),
+                "{what}: WAL bytes differ"
+            );
+        }
+    }
+
+    /// `group:1` is `every-commit` with deferred acks — same bytes,
+    /// same number of fsyncs, nothing left unsynced at any point.
+    #[test]
+    fn window_of_one_is_every_commit() {
+        let (spec, script) = workload("dept");
+        let every_dir = scratch("group1-every");
+        let group_dir = scratch("group1-group");
+        let every = StoreOptions {
+            fsync: FsyncPolicy::EveryCommit,
+            ..StoreOptions::default()
+        };
+        let group = StoreOptions {
+            fsync: FsyncPolicy::Group(1),
+            ..StoreOptions::default()
+        };
+        let (live_e, fig_e) = run_with(&every_dir, spec, script, &every);
+        let (live_g, fig_g) = run_with(&group_dir, spec, script, &group);
+        assert_same_world("group:1", &live_e, &live_g);
+        assert_same_wal("group:1", &every_dir, &group_dir);
+        assert_eq!(fig_e.appends, fig_g.appends, "same step count");
+        assert_eq!(fig_e.fsyncs, fig_g.fsyncs, "group:1 costs the same fsyncs");
+        assert_eq!(fig_g.durable_seq, fig_g.next_seq, "nothing deferred");
+    }
+
+    /// A window of `n` bounds the unsynced tail by `n` while the run is
+    /// in flight, and costs measurably fewer fsyncs than every-commit.
+    #[test]
+    fn window_bounds_the_unsynced_tail() {
+        let (spec, script) = workload("dept");
+        let every_dir = scratch("window-every");
+        let group_dir = scratch("window-group");
+        let every = StoreOptions {
+            fsync: FsyncPolicy::EveryCommit,
+            ..StoreOptions::default()
+        };
+        let group = StoreOptions {
+            fsync: FsyncPolicy::Group(4),
+            ..StoreOptions::default()
+        };
+        let (_, fig_e) = run_with(&every_dir, spec, script, &every);
+        let (_, fig_g) = run_with(&group_dir, spec, script, &group);
+        assert_eq!(fig_e.appends, fig_g.appends);
+        assert!(
+            fig_g.fsyncs < fig_e.fsyncs,
+            "group:4 must fsync less: {} vs {}",
+            fig_g.fsyncs,
+            fig_e.fsyncs
+        );
+        assert!(
+            fig_g.durable_seq >= fig_g.next_seq.saturating_sub(4),
+            "window self-sync bounds the tail: durable {} next {}",
+            fig_g.durable_seq,
+            fig_g.next_seq
+        );
+        assert!(
+            fig_g.durable_seq < fig_g.next_seq,
+            "the dept workload does not end on a window boundary"
+        );
+    }
+
+    /// kill -9 mid-window: everything up to `durable_seq` survives;
+    /// the cut lands exactly there and recovery replays that prefix.
+    /// (The torn/corrupt tail beyond it is `cut_sweep`'s territory.)
+    #[test]
+    fn crash_at_the_durable_boundary_keeps_the_covered_prefix() {
+        let (spec, script) = workload("dept");
+        let dir = scratch("group-crash");
+        let opts = StoreOptions {
+            fsync: FsyncPolicy::Group(4),
+            ..StoreOptions::default()
+        };
+        let (mut base, store, _) = open_world(&dir, spec, &opts).expect("open_world");
+        let (sink, shared) = DurableSink::new(store);
+        base.set_step_sink(Box::new(sink));
+        run_script(&mut base, script).expect("workload");
+        // the crash: no close(), no final sync — only what the window
+        // self-syncs covered is promised
+        let durable = shared.lock().expect("store lock").durable_seq();
+        drop(base); // drops the sink and its store handle
+        drop(shared);
+
+        let scan = scan_wal(&dir).unwrap();
+        let n = scan.records.len() as u64;
+        assert!(durable < n, "a tail must be at risk for this test");
+        assert!(durable >= n - 4, "at most one window at risk");
+
+        // cut the log at the durable boundary (the bytes past it were
+        // never fsynced; on a real power cut they may simply not exist)
+        let segment = scan.records[0].segment.clone();
+        let end = scan.records[durable as usize - 1].end_offset;
+        let pristine = fs::read(&segment).unwrap();
+        fs::write(&segment, &pristine[..end as usize]).unwrap();
+
+        let (world, info) = recover(&dir).expect("recover at durable boundary");
+        assert_eq!(info.replayed, durable, "exactly the covered prefix");
+        let mut oracle = System::load_str(spec).unwrap().object_base().unwrap();
+        for rec in &scan.records[..durable as usize] {
+            oracle.replay_step(rec.initial.clone()).expect("oracle");
+        }
+        assert_same_world("durable boundary", &oracle, &world);
+    }
+
+    /// Group commit across a segment rotation: small segments force the
+    /// window to straddle files; bytes still match every-commit and the
+    /// rotated log still recovers to the live world.
+    #[test]
+    fn window_straddles_segment_rotation() {
+        let (spec, script) = workload("dept");
+        let every_dir = scratch("rotate-every");
+        let group_dir = scratch("rotate-group");
+        let every = StoreOptions {
+            fsync: FsyncPolicy::EveryCommit,
+            segment_bytes: 256,
+            ..StoreOptions::default()
+        };
+        let group = StoreOptions {
+            fsync: FsyncPolicy::Group(3),
+            segment_bytes: 256,
+            ..StoreOptions::default()
+        };
+        let (live_e, _) = run_with(&every_dir, spec, script, &every);
+        let (live_g, _) = run_with(&group_dir, spec, script, &group);
+        assert_same_world("rotation", &live_e, &live_g);
+        let segments = troll::store::wal::segment_paths(&group_dir).unwrap();
+        assert!(segments.len() > 1, "256-byte cap must rotate");
+        assert_same_wal("rotation", &every_dir, &group_dir);
+
+        delete_snapshots(&group_dir);
+        let (recovered, _) = recover(&group_dir).expect("recover rotated group log");
+        assert_same_world("rotation recover", &live_g, &recovered);
+    }
+}

@@ -30,6 +30,7 @@ const BASE_COUNTERS: &[&str] = &[
     "steps.rolled_back",
     "store.appends",
     "store.bytes",
+    "store.compactions",
     "store.fsyncs",
     "store.recoveries",
     "valuation.delta_applied",
@@ -82,9 +83,13 @@ const GLOBAL_COUNTERS: &[&str] = &[
 /// per-server registry (`troll serve`).
 const SERVE_COUNTERS: &[&str] = &[
     "serve.commits",
+    "serve.compactions",
     "serve.conflicts",
+    "serve.deferred_acks",
     "serve.errors",
     "serve.events",
+    "serve.group_fsyncs",
+    "serve.repl_polls",
     "serve.requests",
     "serve.worlds",
 ];

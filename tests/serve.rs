@@ -335,13 +335,23 @@ fn durable_worlds_survive_restart() {
             Response::Ok(format!("opened {world}"))
         );
         // the recovered world remembers its hire and still enforces
-        // permissions on top of it
-        assert_eq!(
-            client.round_trip(&Request::Stats {
-                world: Some(world.to_string())
-            }),
-            Response::Ok(format!("world {world}: steps=2 attempts=2"))
-        );
+        // permissions on top of it; durable worlds also report their
+        // store figures (appends/fsyncs/WAL bytes/compactions)
+        match client.round_trip(&Request::Stats {
+            world: Some(world.to_string()),
+        }) {
+            Response::Ok(stats) => {
+                assert!(
+                    stats.starts_with(&format!("world {world}: steps=2 attempts=2")),
+                    "{stats}"
+                );
+                assert!(stats.contains(" appends=0"), "fresh open: {stats}");
+                assert!(stats.contains(" fsyncs="), "{stats}");
+                assert!(stats.contains(" since_snapshot="), "{stats}");
+                assert!(stats.contains(" compactions=0"), "{stats}");
+            }
+            other => panic!("stats failed: {other:?}"),
+        }
         assert_eq!(
             client.round_trip(&submit(
                 world,

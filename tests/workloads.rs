@@ -1,0 +1,132 @@
+//! One durability/replication workload per spec in `specs/` — the same
+//! command language `troll animate` speaks, exercising births,
+//! interactions, phases, singletons, active events and views. Shared by
+//! the durability differential and the replication oracle via
+//! `#[path = "workloads.rs"] mod workloads;`.
+
+/// `(name, spec source, script)` per shipped spec.
+pub const WORKLOADS: &[(&str, &str, &str)] = &[
+    (
+        "dept",
+        troll::specs::DEPT,
+        r#"
+birth DEPT ("Toys") establishment (date(1991,10,16))
+birth DEPT ("Shoes") establishment (date(1992,3,2))
+exec |DEPT|("Toys") hire (|PERSON|("ada"))
+exec |DEPT|("Toys") hire (|PERSON|("bob"))
+exec |DEPT|("Shoes") hire (|PERSON|("cyd"))
+exec |DEPT|("Toys") new_manager (|PERSON|("ada"))
+exec |DEPT|("Toys") assign_official_car ("V-TR 1991", |PERSON|("ada"))
+exec |DEPT|("Toys") fire (|PERSON|("ada"))
+exec |DEPT|("Shoes") fire (|PERSON|("cyd"))
+exec |DEPT|("Shoes") closure ()
+show |DEPT|("Toys") employees
+"#,
+    ),
+    (
+        "company",
+        troll::specs::COMPANY,
+        r#"
+birth PERSON ("ada", date(1960,1,1)) create (6000.00, "none")
+birth PERSON ("bob", date(1955,6,15)) create (3000.00, "none")
+birth DEPT ("Toys") establishment (date(1991,10,16))
+exec |DEPT|("Toys") hire (|PERSON|("ada", date(1960,1,1)))
+exec |DEPT|("Toys") hire (|PERSON|("bob", date(1955,6,15)))
+exec |DEPT|("Toys") new_manager (|PERSON|("ada", date(1960,1,1)))
+exec |TheCompany|() found_dept (|DEPT|("Toys"))
+exec |PERSON|("bob", date(1955,6,15)) ChangeSalary (3500.00)
+exec |DEPT|("Toys") fire (|PERSON|("bob", date(1955,6,15)))
+exec |DEPT|("Toys") fire (|PERSON|("ada", date(1960,1,1)))
+exec |DEPT|("Toys") closure ()
+show |TheCompany|() depts
+"#,
+    ),
+    (
+        "employment",
+        troll::specs::EMPLOYMENT,
+        r#"
+exec |emp_rel|() CreateEmpRel ()
+exec |emp_rel|() InsertEmp ("codd", date(1923,8,19), 500)
+exec |emp_rel|() InsertEmp ("hoare", date(1934,1,11), 700)
+exec |emp_rel|() UpdateSalary ("codd", date(1923,8,19), 900)
+exec |emp_rel|() DeleteEmp ("hoare", date(1934,1,11))
+birth EMPLOYEE ("mills", date(1919,5,2)) HireEmployee ()
+exec |EMPLOYEE|("mills", date(1919,5,2)) IncreaseSalary (250)
+show |emp_rel|() Emps
+"#,
+    ),
+    (
+        "views",
+        troll::specs::VIEWS,
+        r#"
+birth PERSON ("ada") create (4000.00, "Research")
+birth PERSON ("bob") create (3000.00, "Sales")
+birth DEPT ("Research") establishment ()
+exec |DEPT|("Research") hire (|PERSON|("ada"))
+exec |PERSON|("bob") ChangeSalary (3500.00)
+exec |PERSON|("ada") ChangeDept ("Research")
+call SAL_EMPLOYEE2 |PERSON|("ada") IncreaseSalary ()
+view SAL_EMPLOYEE
+view WORKS_FOR
+"#,
+    ),
+    (
+        "modules",
+        troll::specs::MODULES,
+        r#"
+birth PERSON ("ada") create (4000.00, "Research")
+birth PERSON ("bob") create (2500.00, "Sales")
+exec |person_rel|() CreateRel ()
+exec |person_rel|() InsertP ("ada", 4000.00)
+exec |person_rel|() InsertP ("bob", 2500.00)
+exec |person_rel|() DeleteP ("bob")
+exec |PERSON|("ada") ChangeSalary (4200.00)
+view PHONEBOOK
+"#,
+    ),
+    (
+        "library",
+        troll::specs::LIBRARY,
+        r#"
+birth BOOK ("0-262-51087-1") acquire ("SICP", 2)
+birth BOOK ("0-13-110362-8") acquire ("K+R", 1)
+birth MEMBER ("m1") join_library ("ada")
+birth MEMBER ("m2") join_library ("bob")
+exec |MEMBER|("m1") borrow (|BOOK|("0-262-51087-1"))
+exec |MEMBER|("m2") borrow (|BOOK|("0-262-51087-1"))
+exec |MEMBER|("m2") borrow (|BOOK|("0-13-110362-8"))
+exec |MEMBER|("m1") incur_fine (1.50)
+exec |MEMBER|("m1") pay_fine (1.50)
+exec |MEMBER|("m1") bring_back (|BOOK|("0-262-51087-1"))
+exec |MEMBER|("m1") promote_to_staff ()
+exec |MEMBER|("m1") assign_desk ("reference")
+view CATALOG
+view BORROWERS
+"#,
+    ),
+    (
+        "clock",
+        troll::specs::CLOCK,
+        r#"
+exec |clock|() start ()
+birth REMINDER ("soon") set_for (2)
+birth REMINDER ("later") set_for (5)
+tick
+tick
+tick
+tick
+tick
+tick
+view PENDING
+"#,
+    ),
+];
+
+/// Looks a workload up by name; panics on an unknown one.
+pub fn workload(name: &str) -> (&'static str, &'static str) {
+    WORKLOADS
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, spec, script)| (*spec, *script))
+        .unwrap_or_else(|| panic!("unknown workload `{name}`"))
+}
